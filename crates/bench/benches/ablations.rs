@@ -1,0 +1,141 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * `scaling/*` — prover cost vs. circuit size (constraints ∝ d³ for
+//!   matmul; the paper's "runtimes increase with constraints" claim);
+//! * `msm/*` — Pippenger multi-scalar multiplication throughput (the
+//!   prover's dominant kernel);
+//! * `fft/*` — radix-2 FFT over the scalar field (the `h`-polynomial step);
+//! * `pairing/*` — the verifier's unit operations;
+//! * `average/fold-vs-divide` — the fold-the-average optimization used by
+//!   the end-to-end CNN circuit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use zkrownn_curves::{msm::msm, G1Affine, G1Projective};
+use zkrownn_ff::{Field, Fr};
+use zkrownn_gadgets::matmul::{matmul, NumMatrix};
+use zkrownn_groth16::{create_proof, generate_parameters};
+use zkrownn_pairing::{multi_pairing, pairing, G2Prepared};
+use zkrownn_poly::Radix2Domain;
+use zkrownn_r1cs::ConstraintSystem;
+
+fn bench_matmul_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/matmul-prove");
+    group.sample_size(10);
+    for d in [4usize, 8, 16] {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let entries: Vec<i128> = (0..(d * d) as i128).map(|i| i % 17 - 8).collect();
+        let a = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8);
+        let b = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8);
+        let _ = matmul(&a, &b, &mut cs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
+            bench.iter(|| create_proof(&pk, &cs, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let g = G1Projective::generator();
+    let mut group = c.benchmark_group("msm/g1");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let bases: Vec<G1Affine> = (0..n)
+            .map(|_| g.mul_scalar(Fr::random(&mut rng)).into_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| msm(&bases, &scalars))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("fft/radix2");
+    for log_n in [10u32, 14] {
+        let n = 1usize << log_n;
+        let domain = Radix2Domain::<Fr>::new(n).unwrap();
+        let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| domain.fft(&coeffs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let p = G1Projective::generator()
+        .mul_scalar(Fr::random(&mut rng))
+        .into_affine();
+    let q = zkrownn_curves::G2Projective::generator()
+        .mul_scalar(Fr::random(&mut rng))
+        .into_affine();
+    c.bench_function("pairing/single", |b| b.iter(|| pairing(&p, &q)));
+    let prepared = G2Prepared::from(q);
+    c.bench_function("pairing/triple-product", |b| {
+        b.iter(|| {
+            multi_pairing(&[
+                (p, prepared.clone()),
+                (p, prepared.clone()),
+                (p, prepared.clone()),
+            ])
+        })
+    });
+}
+
+fn bench_average_fold(c: &mut Criterion) {
+    // constraint-count comparison surfaces in the timing: folded averaging
+    // removes every division gadget from the µ computation
+    let mut group = c.benchmark_group("average/fold-vs-divide");
+    group.sample_size(10);
+    for fold in [false, true] {
+        let label = if fold { "folded" } else { "divide" };
+        let mut cs = ConstraintSystem::<Fr>::new();
+        use zkrownn_ff::PrimeField;
+        use zkrownn_gadgets::cmp::div_by_const;
+        use zkrownn_gadgets::Num;
+        let rows: Vec<Vec<Num>> = (0..3)
+            .map(|r| {
+                (0..64)
+                    .map(|i| {
+                        Num::alloc_witness(&mut cs, Fr::from_i128((i + r) as i128), 20)
+                    })
+                    .collect()
+            })
+            .collect();
+        for j in 0..64 {
+            let mut s = Num::zero();
+            for row in &rows {
+                s = s.add(&row[j]);
+            }
+            if !fold {
+                let _ = div_by_const(&s, 3, &mut cs);
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // anchor the circuit with one constraint if folding removed them all
+        if cs.num_constraints() == 0 {
+            let one = Num::alloc_witness(&mut cs, Fr::one(), 1);
+            let _ = one.mul(&one, &mut cs);
+        }
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        group.bench_function(label, |b| b.iter(|| create_proof(&pk, &cs, &mut rng)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_matmul_scaling,
+    bench_msm,
+    bench_fft,
+    bench_pairing,
+    bench_average_fold
+);
+criterion_main!(benches);

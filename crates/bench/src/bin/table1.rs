@@ -1,0 +1,192 @@
+//! `table1` — regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! table1                         # all Table I rows at paper scale
+//! table1 --scale quick           # reduced dimensions (seconds, not minutes)
+//! table1 --row matmult --row ber # selected rows only
+//! table1 --table2                # print the Table II architecture spec
+//! table1 --robustness            # watermark-robustness sweep (attack study)
+//! table1 --fixed-point           # fixed-point sigmoid precision ablation
+//! ```
+
+use zkrownn_bench::{build_row, format_table, measure, RowMetrics, Scale, ROW_NAMES};
+
+fn print_table2() {
+    println!("Table II — DNN benchmark architectures\n");
+    println!("| Dataset | Architecture |");
+    println!("|---|---|");
+    println!("| MNIST | 784 - FC(512) - FC(512) - FC(10) |");
+    println!(
+        "| CIFAR10 | 3×32×32 - C(32,3,2) - C(32,3,1) - MP(2,1) - C(64,3,1) - C(64,3,1) - MP(2,1) - FC(512) - FC(10) |"
+    );
+    println!();
+    println!("(both instantiated in zkrownn::benchmarks and validated by its tests)");
+}
+
+fn run_robustness() {
+    use rand::SeedableRng;
+    use zkrownn_deepsigns::attacks::{finetune, prune};
+    use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
+    use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+
+    println!("Watermark robustness sweep (DeepSigns claims inherited by ZKROWNN §IV-A)\n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let gmm = GmmConfig {
+        input_shape: vec![64],
+        num_classes: 8,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 320, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(64, 96, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(96, 8, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 6, 0.03);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 96,
+            signature_bits: 32,
+            num_triggers: 8,
+            projection_std: 1.0 / (96f32).sqrt(),
+        },
+        &data,
+        &mut rng,
+    );
+    embed(
+        &mut net,
+        &keys,
+        &data.xs,
+        &data.ys,
+        &EmbedConfig {
+            lambda: 5.0,
+            epochs: 30,
+            lr: 0.01,
+        },
+    );
+    let base_acc = net.accuracy(&data.xs, &data.ys);
+    println!("baseline: BER = {:.3}, accuracy = {:.1}%\n", extract(&net, &keys).1, 100.0 * base_acc);
+
+    println!("| Pruning fraction | BER | Accuracy |");
+    println!("|---:|---:|---:|");
+    for frac in [0.1f32, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let mut pruned = net.clone();
+        prune(&mut pruned, frac);
+        let (_, ber) = extract(&pruned, &keys);
+        println!(
+            "| {frac:.1} | {ber:.3} | {:.1}% |",
+            100.0 * pruned.accuracy(&data.xs, &data.ys)
+        );
+    }
+
+    println!("\n| Fine-tune epochs | BER | Accuracy |");
+    println!("|---:|---:|---:|");
+    for epochs in [1usize, 3, 5, 10] {
+        let mut tuned = net.clone();
+        finetune(&mut tuned, &data.xs, &data.ys, epochs, 0.01);
+        let (_, ber) = extract(&tuned, &keys);
+        println!(
+            "| {epochs} | {ber:.3} | {:.1}% |",
+            100.0 * tuned.accuracy(&data.xs, &data.ys)
+        );
+    }
+}
+
+fn run_fixed_point_ablation() {
+    use zkrownn_gadgets::fixed::FixedConfig;
+    use zkrownn_gadgets::sigmoid::{sigmoid_exact_f64, sigmoid_fixed_reference, sigmoid_poly_f64};
+
+    println!("Fixed-point sigmoid precision ablation (scale-bits sweep)\n");
+    println!("| frac bits | sigmoid bits | max |fixed−poly| on [-4,4] | max |poly−σ| on [-4,4] | c9 representable |");
+    println!("|---:|---:|---:|---:|---:|");
+    for (f, s) in [(8u32, 24u32), (12, 28), (16, 32), (20, 36), (24, 40)] {
+        let cfg = FixedConfig {
+            frac_bits: f,
+            sigmoid_frac_bits: s,
+            int_bits: 16,
+        };
+        let mut max_fixed_err = 0f64;
+        let mut max_poly_err = 0f64;
+        for i in -64..=64 {
+            let x = i as f64 / 16.0;
+            let xi = cfg.encode(x);
+            let fixed = cfg.decode(sigmoid_fixed_reference(xi, &cfg));
+            let poly = sigmoid_poly_f64(x);
+            max_fixed_err = max_fixed_err.max((fixed - poly).abs());
+            max_poly_err = max_poly_err.max((poly - sigmoid_exact_f64(x)).abs());
+        }
+        let c9_ok = zkrownn_gadgets::fixed::encode_fixed(7.2e-9, s) != 0;
+        println!("| {f} | {s} | {max_fixed_err:.2e} | {max_poly_err:.2e} | {c9_ok} |");
+    }
+    println!("\n(default config: 16 tensor bits / 32 sigmoid bits — the smallest sigmoid scale where the x⁹ Chebyshev coefficient survives)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: table1 [--scale paper|quick] [--row NAME]... [--table2] [--robustness]\n\
+             rows: {}",
+            ROW_NAMES.join(", ")
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--table2") {
+        print_table2();
+        return;
+    }
+    if args.iter().any(|a| a == "--robustness") {
+        run_robustness();
+        return;
+    }
+    if args.iter().any(|a| a == "--fixed-point") {
+        run_fixed_point_ablation();
+        return;
+    }
+
+    let scale = match args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("quick") => Scale::Quick,
+        _ => Scale::Paper,
+    };
+    let mut rows: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--row")
+        .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
+        .collect();
+    if rows.is_empty() {
+        rows = ROW_NAMES.to_vec();
+    }
+
+    println!(
+        "ZKROWNN Table I reproduction — scale: {scale:?}, {} threads\n",
+        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+    );
+    let mut measured: Vec<RowMetrics> = Vec::new();
+    for row in rows {
+        let canonical: &'static str = ROW_NAMES
+            .iter()
+            .find(|r| **r == row)
+            .unwrap_or_else(|| panic!("unknown row {row:?}; known: {ROW_NAMES:?}"));
+        eprintln!("[{canonical}] building circuit …");
+        let cs = build_row(canonical, scale);
+        eprintln!(
+            "[{canonical}] {} constraints; running setup/prove/verify …",
+            cs.num_constraints()
+        );
+        let m = measure(canonical, &cs);
+        eprintln!(
+            "[{canonical}] setup {:.1?}, prove {:.1?}, verify {:.2?}",
+            m.setup_time, m.prove_time, m.verify_time
+        );
+        measured.push(m);
+    }
+    println!("{}", format_table(&measured));
+}

@@ -1,0 +1,492 @@
+//! # zkrownn-bench — the Table I / Table II benchmark harness
+//!
+//! Builders for every circuit row of the paper's Table I (seven standalone
+//! gadget circuits plus the two end-to-end networks), a measurement harness
+//! that reports the same seven metrics the paper does (constraints, setup
+//! time, PK size, prover time, proof size, VK size, verifier time), and the
+//! paper's reference numbers for side-by-side comparison.
+//!
+//! Instance/witness visibility follows the paper's observable choices: the
+//! MatMult and Conv3D rows keep everything private (their reported VKs are
+//! ~0.2 KB), ReLU/Average2D/Sigmoid/HardThresholding expose their outputs,
+//! BER exposes only the verdict, and the end-to-end rows take the model
+//! weights as public input.
+
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use zkrownn::benchmarks::{spec_from_keys, watermarked_cnn, watermarked_mlp, BenchmarkScale};
+use zkrownn_deepsigns::{embed, generate_keys, EmbedConfig, KeyGenConfig};
+use zkrownn_ff::{Fr, PrimeField};
+use zkrownn_gadgets::average::average_rows;
+use zkrownn_gadgets::conv::{conv3d, ConvShape};
+use zkrownn_gadgets::matmul::{matmul, NumMatrix};
+use zkrownn_gadgets::relu::relu_vec;
+use zkrownn_gadgets::sigmoid::sigmoid_vec;
+use zkrownn_gadgets::threshold::hard_threshold_vec;
+use zkrownn_gadgets::{ber::ber_circuit, FixedConfig, Num};
+use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
+use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+use zkrownn_r1cs::ConstraintSystem;
+
+/// Benchmark scale: the paper's exact dimensions, or reduced ones for
+/// quick runs / CI.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Dimensions from the Table I caption.
+    Paper,
+    /// Reduced dimensions (same circuits, ~100× smaller).
+    Quick,
+}
+
+/// One measured Table I row.
+#[derive(Clone, Debug)]
+pub struct RowMetrics {
+    /// Row name (as in Table I).
+    pub name: &'static str,
+    /// Number of R1CS constraints.
+    pub constraints: usize,
+    /// Trusted-setup wall time.
+    pub setup_time: Duration,
+    /// Proving-key size in bytes.
+    pub pk_bytes: usize,
+    /// Prover wall time.
+    pub prove_time: Duration,
+    /// Proof size in bytes.
+    pub proof_bytes: usize,
+    /// Verifying-key size in bytes.
+    pub vk_bytes: usize,
+    /// Verifier wall time.
+    pub verify_time: Duration,
+}
+
+/// The paper's reported numbers for a row (for side-by-side printing).
+#[derive(Clone, Copy, Debug)]
+pub struct PaperRow {
+    /// Row name.
+    pub name: &'static str,
+    /// Reported constraint count.
+    pub constraints: u64,
+    /// Reported setup seconds.
+    pub setup_s: f64,
+    /// Reported PK size (MB).
+    pub pk_mb: f64,
+    /// Reported prover seconds.
+    pub prove_s: f64,
+    /// Reported proof size (B).
+    pub proof_b: f64,
+    /// Reported VK size (KB).
+    pub vk_kb: f64,
+    /// Reported verifier milliseconds.
+    pub verify_ms: f64,
+}
+
+/// Table I as printed in the paper.
+pub const PAPER_TABLE1: [PaperRow; 9] = [
+    PaperRow { name: "MatMult", constraints: 1_097_344, setup_s: 57.3976, pk_mb: 215.6518, prove_s: 18.6805, proof_b: 127.375, vk_kb: 0.199, verify_ms: 0.6 },
+    PaperRow { name: "Conv3D", constraints: 235_899, setup_s: 13.3621, pk_mb: 46.3793, prove_s: 4.2081, proof_b: 127.375, vk_kb: 0.199, verify_ms: 0.6 },
+    PaperRow { name: "ReLU", constraints: 8_832, setup_s: 0.6384, pk_mb: 1.7193, prove_s: 0.1907, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.7 },
+    PaperRow { name: "Average2D", constraints: 545_793, setup_s: 29.6248, pk_mb: 107.3271, prove_s: 9.5570, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.6 },
+    PaperRow { name: "Sigmoid", constraints: 454_656, setup_s: 34.4989, pk_mb: 90.5934, prove_s: 8.3680, proof_b: 127.375, vk_kb: 41.031, verify_ms: 0.8 },
+    PaperRow { name: "HardThresholding", constraints: 8_704, setup_s: 0.624, pk_mb: 1.6978, prove_s: 0.1857, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.7 },
+    PaperRow { name: "BER", constraints: 8_832, setup_s: 0.6423, pk_mb: 1.7527, prove_s: 0.1826, proof_b: 127.375, vk_kb: 0.2389, verify_ms: 0.6 },
+    PaperRow { name: "MNIST-MLP", constraints: 2_093_648, setup_s: 68.4456, pk_mb: 280.3859, prove_s: 45.1208, proof_b: 127.375, vk_kb: 16_006.343, verify_ms: 29.4 },
+    PaperRow { name: "CIFAR10-CNN", constraints: 590_624, setup_s: 32.35, pk_mb: 117.1699, prove_s: 11.22, proof_b: 127.375, vk_kb: 34.651, verify_ms: 1.0 },
+];
+
+/// All Table I row names, in paper order (keys for [`build_row`]).
+pub const ROW_NAMES: [&str; 9] = [
+    "matmult",
+    "conv3d",
+    "relu",
+    "average2d",
+    "sigmoid",
+    "hardthreshold",
+    "ber",
+    "mnist-mlp",
+    "cifar-cnn",
+];
+
+/// Bit-width used for the standalone integer circuits — chosen to mirror
+/// the paper's apparent per-element cost (~69 constraints per ReLU element
+/// suggests a 64-bit word size in their xJsnark circuits).
+pub const STANDALONE_BITS: u32 = 64;
+
+fn pseudo_entries(n: usize, modulus: i128, seed: i128) -> Vec<i128> {
+    (0..n as i128)
+        .map(|i| (i * 37 + seed) % modulus - modulus / 2)
+        .collect()
+}
+
+/// Builds the "MatMult" circuit: private `A, B ∈ ℤ^{d×d}`, private output.
+pub fn build_matmult(scale: Scale) -> ConstraintSystem<Fr> {
+    let d = match scale {
+        Scale::Paper => 128,
+        Scale::Quick => 16,
+    };
+    let mut cs = ConstraintSystem::new();
+    let a = NumMatrix::alloc_witness(&mut cs, d, d, &pseudo_entries(d * d, 1000, 7), 16);
+    let b = NumMatrix::alloc_witness(&mut cs, d, d, &pseudo_entries(d * d, 1000, 13), 16);
+    let _c = matmul(&a, &b, &mut cs);
+    cs
+}
+
+/// Builds the "Conv3D" circuit: 32×32×3 input, 32 output channels, 3×3
+/// kernels, stride 2 (paper caption); all private.
+pub fn build_conv3d(scale: Scale) -> ConstraintSystem<Fr> {
+    let shape = match scale {
+        Scale::Paper => ConvShape {
+            in_channels: 3,
+            height: 32,
+            width: 32,
+            out_channels: 32,
+            kernel: 3,
+            stride: 2,
+        },
+        Scale::Quick => ConvShape {
+            in_channels: 3,
+            height: 8,
+            width: 8,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+        },
+    };
+    let mut cs = ConstraintSystem::new();
+    let input: Vec<Num> = pseudo_entries(shape.in_len(), 500, 3)
+        .iter()
+        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 16))
+        .collect();
+    let kernels: Vec<Num> = pseudo_entries(shape.kernel_len(), 500, 5)
+        .iter()
+        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 16))
+        .collect();
+    let _out = conv3d(&input, &kernels, &shape, &mut cs);
+    cs
+}
+
+fn vector_len(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 128,
+        Scale::Quick => 16,
+    }
+}
+
+/// Builds the "ReLU" circuit: length-128 private vector, public outputs.
+pub fn build_relu(scale: Scale) -> ConstraintSystem<Fr> {
+    let n = vector_len(scale);
+    let mut cs = ConstraintSystem::new();
+    let xs: Vec<Num> = pseudo_entries(n, 1 << 20, 11)
+        .iter()
+        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
+        .collect();
+    for out in relu_vec(&xs, &mut cs) {
+        out.expose_as_output(&mut cs);
+    }
+    cs
+}
+
+/// Builds the "Average2D" circuit: private 128×128 matrix, public column
+/// means.
+pub fn build_average2d(scale: Scale) -> ConstraintSystem<Fr> {
+    let n = vector_len(scale);
+    let mut cs = ConstraintSystem::new();
+    let rows: Vec<Vec<Num>> = (0..n)
+        .map(|r| {
+            pseudo_entries(n, 1 << 20, r as i128)
+                .iter()
+                .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
+                .collect()
+        })
+        .collect();
+    for out in average_rows(&rows, &mut cs) {
+        out.expose_as_output(&mut cs);
+    }
+    cs
+}
+
+/// Builds the "Sigmoid" circuit: length-128 private vector through the
+/// degree-9 Chebyshev sigmoid, public outputs.
+pub fn build_sigmoid(scale: Scale) -> ConstraintSystem<Fr> {
+    let n = vector_len(scale);
+    let cfg = FixedConfig::default();
+    let mut cs = ConstraintSystem::new();
+    let xs: Vec<Num> = (0..n)
+        .map(|i| {
+            let x = (i as f64 / n as f64) * 8.0 - 4.0;
+            Num::alloc_witness(&mut cs, Fr::from_i128(cfg.encode(x)), cfg.value_bits())
+        })
+        .collect();
+    for out in sigmoid_vec(&xs, &cfg, &mut cs) {
+        out.expose_as_output(&mut cs);
+    }
+    cs
+}
+
+/// Builds the "HardThresholding" circuit: length-128 private vector,
+/// threshold 0.5, public 0/1 outputs.
+pub fn build_hardthreshold(scale: Scale) -> ConstraintSystem<Fr> {
+    let n = vector_len(scale);
+    let cfg = FixedConfig::default();
+    let mut cs = ConstraintSystem::new();
+    let xs: Vec<Num> = pseudo_entries(n, 1 << 18, 17)
+        .iter()
+        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
+        .collect();
+    let beta = Fr::from_i128(1i128 << (cfg.frac_bits - 1));
+    for out in hard_threshold_vec(&xs, beta, &mut cs) {
+        out.num.expose_as_output(&mut cs);
+    }
+    cs
+}
+
+/// Builds the "BER" circuit: two private 128-bit strings, public verdict.
+pub fn build_ber(scale: Scale) -> ConstraintSystem<Fr> {
+    let n = vector_len(scale);
+    let mut cs = ConstraintSystem::new();
+    let wm: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut ex = wm.clone();
+    ex[1] = !ex[1];
+    let _ = ber_circuit(&wm, &ex, 2, &mut cs);
+    cs
+}
+
+/// Builds the end-to-end "MNIST-MLP" extraction circuit (Table II MLP with
+/// a 32-bit watermark in the first hidden layer).
+pub fn build_mnist_mlp(scale: Scale) -> ConstraintSystem<Fr> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+    let cfg = FixedConfig::default();
+    match scale {
+        Scale::Paper => {
+            let bench = watermarked_mlp(&BenchmarkScale::paper(), &mut rng);
+            let spec = spec_from_keys(&bench.net, &bench.keys, false, 1, &cfg);
+            spec.build().cs
+        }
+        Scale::Quick => {
+            // same circuit shape, reduced dimensions (96 → 32, 8-bit wm)
+            let gmm = GmmConfig {
+                input_shape: vec![96],
+                num_classes: 10,
+                mean_scale: 1.0,
+                noise_std: 0.35,
+            };
+            let data = generate_gmm(&gmm, 200, &mut rng);
+            let mut net = Network::new(vec![
+                Layer::Dense(Dense::new(96, 32, &mut rng)),
+                Layer::ReLU,
+                Layer::Dense(Dense::new(32, 10, &mut rng)),
+            ]);
+            net.train(&data.xs, &data.ys, 2, 0.02);
+            let keys = generate_keys(
+                &KeyGenConfig {
+                    layer: 1,
+                    activation_dim: 32,
+                    signature_bits: 8,
+                    num_triggers: 3,
+                    projection_std: 1.0 / (32f32).sqrt(),
+                },
+                &data,
+                &mut rng,
+            );
+            embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+            spec_from_keys(&net, &keys, false, 1, &cfg).build().cs
+        }
+    }
+}
+
+/// Builds the end-to-end "CIFAR10-CNN" extraction circuit (watermark in the
+/// first convolution layer, with the averaging folded into the projection).
+pub fn build_cifar_cnn(scale: Scale) -> ConstraintSystem<Fr> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
+    let cfg = FixedConfig::default();
+    match scale {
+        Scale::Paper => {
+            let mut paper = BenchmarkScale::paper();
+            paper.num_triggers = 3; // conv activation maps are large
+            let bench = watermarked_cnn(&paper, &mut rng);
+            let spec = spec_from_keys(&bench.net, &bench.keys, true, 1, &cfg);
+            spec.build().cs
+        }
+        Scale::Quick => {
+            use zkrownn_nn::Conv2d;
+            let gmm = GmmConfig {
+                input_shape: vec![3, 16, 16],
+                num_classes: 4,
+                mean_scale: 1.0,
+                noise_std: 0.35,
+            };
+            let data = generate_gmm(&gmm, 120, &mut rng);
+            let mut net = Network::new(vec![
+                Layer::Conv2d(Conv2d::new(3, 8, 3, 2, &mut rng)),
+                Layer::ReLU,
+                Layer::Flatten,
+                Layer::Dense(Dense::new(8 * 7 * 7, 4, &mut rng)),
+            ]);
+            net.train(&data.xs, &data.ys, 2, 0.01);
+            let keys = generate_keys(
+                &KeyGenConfig {
+                    layer: 0,
+                    activation_dim: 8 * 7 * 7,
+                    signature_bits: 8,
+                    num_triggers: 2,
+                    projection_std: 1.0 / (8f32 * 49.0).sqrt(),
+                },
+                &data,
+                &mut rng,
+            );
+            embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+            spec_from_keys(&net, &keys, true, 1, &cfg).build().cs
+        }
+    }
+}
+
+/// Builds a Table I row circuit by name (see [`ROW_NAMES`]).
+///
+/// # Panics
+/// Panics on an unknown row name.
+pub fn build_row(name: &str, scale: Scale) -> ConstraintSystem<Fr> {
+    match name {
+        "matmult" => build_matmult(scale),
+        "conv3d" => build_conv3d(scale),
+        "relu" => build_relu(scale),
+        "average2d" => build_average2d(scale),
+        "sigmoid" => build_sigmoid(scale),
+        "hardthreshold" => build_hardthreshold(scale),
+        "ber" => build_ber(scale),
+        "mnist-mlp" => build_mnist_mlp(scale),
+        "cifar-cnn" => build_cifar_cnn(scale),
+        other => panic!("unknown Table I row {other:?}"),
+    }
+}
+
+/// The paper's reference metrics for a row name, if recorded.
+pub fn paper_reference(name: &str) -> Option<&'static PaperRow> {
+    let canonical = match name.to_lowercase().as_str() {
+        "matmult" => "MatMult",
+        "conv3d" => "Conv3D",
+        "relu" => "ReLU",
+        "average2d" => "Average2D",
+        "sigmoid" => "Sigmoid",
+        "hardthresholding" | "hardthreshold" => "HardThresholding",
+        "ber" => "BER",
+        "mnist-mlp" => "MNIST-MLP",
+        "cifar10-cnn" | "cifar-cnn" => "CIFAR10-CNN",
+        _ => return None,
+    };
+    PAPER_TABLE1.iter().find(|r| r.name == canonical)
+}
+
+/// Runs setup → prove → verify over a built circuit and measures all seven
+/// Table I metrics.
+pub fn measure(name: &'static str, cs: &ConstraintSystem<Fr>) -> RowMetrics {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe9c);
+    assert!(cs.is_satisfied().is_ok(), "{name}: unsatisfied circuit");
+    let matrices = cs.to_matrices();
+
+    let t = Instant::now();
+    let pk = generate_parameters(&matrices, &mut rng);
+    let setup_time = t.elapsed();
+
+    let t = Instant::now();
+    let proof = create_proof(&pk, cs, &mut rng);
+    let prove_time = t.elapsed();
+
+    let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
+    let pvk = pk.vk.prepare();
+    let t = Instant::now();
+    verify_proof_prepared(&pvk, &proof, &publics).expect("proof must verify");
+    let verify_time = t.elapsed();
+
+    RowMetrics {
+        name,
+        constraints: cs.num_constraints(),
+        setup_time,
+        pk_bytes: pk.serialized_size(),
+        prove_time,
+        proof_bytes: proof.to_bytes().len(),
+        vk_bytes: pk.vk.serialized_size(),
+        verify_time,
+    }
+}
+
+/// Formats measured rows (with the paper's numbers interleaved) as a
+/// markdown table.
+pub fn format_table(rows: &[RowMetrics]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| Benchmark | Constraints | Setup (s) | PK (MB) | Prove (s) | Proof (B) | VK (KB) | Verify (ms) |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} (ours) | {} | {:.3} | {:.2} | {:.3} | {} | {:.3} | {:.2} |\n",
+            r.name,
+            r.constraints,
+            r.setup_time.as_secs_f64(),
+            r.pk_bytes as f64 / 1e6,
+            r.prove_time.as_secs_f64(),
+            r.proof_bytes,
+            r.vk_bytes as f64 / 1e3,
+            r.verify_time.as_secs_f64() * 1e3,
+        ));
+        if let Some(p) = paper_reference(r.name) {
+            out.push_str(&format!(
+                "| {} (paper) | {} | {:.3} | {:.2} | {:.3} | 127 | {:.3} | {:.2} |\n",
+                p.name, p.constraints, p.setup_s, p.pk_mb, p.prove_s, p.vk_kb, p.verify_ms
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_rows_all_build_and_satisfy() {
+        for name in ROW_NAMES {
+            let cs = build_row(name, Scale::Quick);
+            assert!(cs.is_satisfied().is_ok(), "row {name}");
+            assert!(cs.num_constraints() > 0, "row {name}");
+        }
+    }
+
+    #[test]
+    fn quick_relu_row_measures_end_to_end() {
+        let cs = build_relu(Scale::Quick);
+        let m = measure("ReLU", &cs);
+        assert_eq!(m.proof_bytes, 128);
+        assert!(m.verify_time.as_secs_f64() < 1.0);
+    }
+
+    #[test]
+    fn paper_reference_lookup() {
+        assert_eq!(paper_reference("matmult").unwrap().constraints, 1_097_344);
+        assert_eq!(paper_reference("MatMult").unwrap().constraints, 1_097_344);
+        assert!(paper_reference("nope").is_none());
+    }
+
+    #[test]
+    fn paper_scale_conv_geometry_matches_caption() {
+        let shape = ConvShape {
+            in_channels: 3,
+            height: 32,
+            width: 32,
+            out_channels: 32,
+            kernel: 3,
+            stride: 2,
+        };
+        assert_eq!(shape.out_len(), 32 * 15 * 15);
+    }
+
+    #[test]
+    fn format_table_contains_paper_rows() {
+        let cs = build_ber(Scale::Quick);
+        let m = measure("BER", &cs);
+        let table = format_table(&[m]);
+        assert!(table.contains("BER (ours)"));
+        assert!(table.contains("BER (paper)"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The paper's benchmark model zoo (Table II) and helpers that assemble a
+//! complete watermarked benchmark: train → embed (DeepSigns) → quantize →
+//! extraction spec. Scaled-down variants support fast tests and examples;
+//! the full-size variants regenerate the Table I end-to-end rows.
+
+use crate::circuit::ExtractionSpec;
+use crate::model::QuantizedModel;
+use rand::Rng;
+use zkrownn_deepsigns::{embed, generate_keys, EmbedConfig, KeyGenConfig, WatermarkKeys};
+use zkrownn_gadgets::fixed::FixedConfig;
+use zkrownn_nn::{generate_gmm, Conv2d, Dataset, Dense, GmmConfig, Layer, Network};
+
+/// Table II MLP: `784 - FC(512) - FC(512) - FC(10)`.
+pub fn mnist_mlp<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    Network::new(vec![
+        Layer::Dense(Dense::new(784, 512, rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(512, 512, rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(512, 10, rng)),
+    ])
+}
+
+/// Table II CNN: `3×32×32 - C(32,3,2) - C(32,3,1) - MP(2,1) - C(64,3,1) -
+/// C(64,3,1) - MP(2,1) - FC(512) - FC(10)`.
+pub fn cifar10_cnn<R: Rng + ?Sized>(rng: &mut R) -> Network {
+    // flattened dimension after the conv/pool stack:
+    // 32×15×15 → 32×13×13 → MP(2,1) 32×12×12 → 64×10×10 → 64×8×8 → MP 64×7×7
+    Network::new(vec![
+        Layer::Conv2d(Conv2d::new(3, 32, 3, 2, rng)),
+        Layer::ReLU,
+        Layer::Conv2d(Conv2d::new(32, 32, 3, 1, rng)),
+        Layer::ReLU,
+        Layer::MaxPool2d { size: 2, stride: 1 },
+        Layer::Conv2d(Conv2d::new(32, 64, 3, 1, rng)),
+        Layer::ReLU,
+        Layer::Conv2d(Conv2d::new(64, 64, 3, 1, rng)),
+        Layer::ReLU,
+        Layer::MaxPool2d { size: 2, stride: 1 },
+        Layer::Flatten,
+        Layer::Dense(Dense::new(64 * 7 * 7, 512, rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(512, 10, rng)),
+    ])
+}
+
+/// A watermarked benchmark instance, ready to prove ownership of.
+pub struct WatermarkedBenchmark {
+    /// The (watermarked) float model.
+    pub net: Network,
+    /// The owner's secret keys.
+    pub keys: WatermarkKeys,
+    /// The training data used.
+    pub data: Dataset,
+    /// BER right after embedding (should be 0).
+    pub embed_ber: f64,
+}
+
+/// Scale knobs for benchmark construction.
+#[derive(Clone, Debug)]
+pub struct BenchmarkScale {
+    /// Training samples.
+    pub train_samples: usize,
+    /// Task-training epochs before embedding.
+    pub pretrain_epochs: usize,
+    /// Embedding fine-tuning epochs.
+    pub embed_epochs: usize,
+    /// Trigger-set size `T`.
+    pub num_triggers: usize,
+    /// Signature length `N`.
+    pub signature_bits: usize,
+}
+
+impl BenchmarkScale {
+    /// Paper-scale settings (32-bit watermark, first hidden layer).
+    pub fn paper() -> Self {
+        Self {
+            train_samples: 600,
+            pretrain_epochs: 3,
+            embed_epochs: 10,
+            num_triggers: 5,
+            signature_bits: 32,
+        }
+    }
+
+    /// Small settings for tests and quick examples.
+    pub fn quick() -> Self {
+        Self {
+            train_samples: 120,
+            pretrain_epochs: 2,
+            embed_epochs: 8,
+            num_triggers: 3,
+            signature_bits: 16,
+        }
+    }
+}
+
+/// Builds a watermarked MLP on MNIST-shaped synthetic data. The watermark
+/// lives in the *first hidden layer* activations (post-ReLU, layer index 1),
+/// as in the paper's MNIST-MLP benchmark.
+pub fn watermarked_mlp<R: Rng + ?Sized>(scale: &BenchmarkScale, rng: &mut R) -> WatermarkedBenchmark {
+    let data = generate_gmm(&GmmConfig::mnist_like(), scale.train_samples, rng);
+    let mut net = mnist_mlp(rng);
+    net.train(&data.xs, &data.ys, scale.pretrain_epochs, 0.01);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 512,
+            signature_bits: scale.signature_bits,
+            num_triggers: scale.num_triggers,
+            // normalize so |µ·A| stays within the sigmoid gadget's range
+            projection_std: 1.0 / (512f32).sqrt(),
+        },
+        &data,
+        rng,
+    );
+    let report = embed(
+        &mut net,
+        &keys,
+        &data.xs,
+        &data.ys,
+        &EmbedConfig {
+            lambda: 2.0,
+            epochs: scale.embed_epochs,
+            lr: 0.005,
+        },
+    );
+    WatermarkedBenchmark {
+        net,
+        keys,
+        data,
+        embed_ber: report.ber,
+    }
+}
+
+/// Builds a watermarked CNN on CIFAR-shaped synthetic data. The watermark
+/// lives in the first convolution layer's output (layer index 0).
+pub fn watermarked_cnn<R: Rng + ?Sized>(scale: &BenchmarkScale, rng: &mut R) -> WatermarkedBenchmark {
+    let data = generate_gmm(&GmmConfig::cifar_like(), scale.train_samples, rng);
+    let mut net = cifar10_cnn(rng);
+    net.train(&data.xs, &data.ys, scale.pretrain_epochs, 0.005);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 0,
+            activation_dim: 32 * 15 * 15,
+            signature_bits: scale.signature_bits,
+            num_triggers: scale.num_triggers,
+            // normalize so |µ·A| stays within the sigmoid gadget's range
+            projection_std: 1.0 / (32f32 * 15.0 * 15.0).sqrt(),
+        },
+        &data,
+        rng,
+    );
+    let report = embed(
+        &mut net,
+        &keys,
+        &data.xs,
+        &data.ys,
+        &EmbedConfig {
+            lambda: 2.0,
+            epochs: scale.embed_epochs,
+            lr: 0.002,
+        },
+    );
+    WatermarkedBenchmark {
+        net,
+        keys,
+        data,
+        embed_ber: report.ber,
+    }
+}
+
+/// Assembles the extraction spec (quantized model + quantized witness) for
+/// a watermarked benchmark.
+///
+/// `fold_average` should be set for CNN-scale activation maps (see
+/// [`ExtractionSpec`]); `max_errors` is the public BER tolerance `θ·N`.
+pub fn spec_from_benchmark(
+    bench: &WatermarkedBenchmark,
+    fold_average: bool,
+    max_errors: u64,
+    cfg: &FixedConfig,
+) -> ExtractionSpec {
+    spec_from_keys(&bench.net, &bench.keys, fold_average, max_errors, cfg)
+}
+
+/// Assembles an extraction spec directly from a model and watermark keys.
+pub fn spec_from_keys(
+    net: &Network,
+    keys: &WatermarkKeys,
+    fold_average: bool,
+    max_errors: u64,
+    cfg: &FixedConfig,
+) -> ExtractionSpec {
+    let input_len: usize = keys.triggers[0].len();
+    let model = QuantizedModel::from_network(net, keys.layer, input_len, cfg);
+    let triggers: Vec<Vec<i128>> = keys
+        .triggers
+        .iter()
+        .map(|t| t.data().iter().map(|&v| cfg.encode(v as f64)).collect())
+        .collect();
+    let t = keys.triggers.len() as f64;
+    let n = keys.signature.len();
+    let projection: Vec<i128> = keys
+        .projection
+        .iter()
+        .map(|&v| {
+            let val = if fold_average { v as f64 / t } else { v as f64 };
+            cfg.encode(val)
+        })
+        .collect();
+    assert_eq!(projection.len(), model.output_len() * n);
+    let spec = ExtractionSpec {
+        model,
+        triggers,
+        projection,
+        signature: keys.signature.clone(),
+        max_errors,
+        fold_average,
+        cfg: *cfg,
+    };
+    // Fail fast with an actionable message if the projections exceed the
+    // sigmoid gadget's input range (the circuit's range checks would reject
+    // the witness anyway, much later and more cryptically).
+    let fixed = crate::reference::extract_fixed(
+        &spec.model,
+        &spec.triggers,
+        &spec.projection,
+        &spec.signature,
+        spec.fold_average,
+        cfg,
+    );
+    let limit = 1i128 << (zkrownn_gadgets::sigmoid::SIGMOID_INPUT_INT_BITS + cfg.frac_bits);
+    let max_proj = fixed.projections.iter().map(|p| p.abs()).max().unwrap_or(0);
+    assert!(
+        max_proj < limit,
+        "projection magnitude {} exceeds the sigmoid input range 2^{}; \
+         scale the projection matrix down (e.g. std = 1/√M) or shorten the \
+         embedding",
+        cfg.decode(max_proj),
+        zkrownn_gadgets::sigmoid::SIGMOID_INPUT_INT_BITS,
+    );
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table2_mlp_architecture() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(291);
+        let net = mnist_mlp(&mut rng);
+        assert_eq!(
+            net.num_parameters(),
+            784 * 512 + 512 + 512 * 512 + 512 + 512 * 10 + 10
+        );
+        let y = net.forward(&zkrownn_nn::Tensor::zeros(&[784]));
+        assert_eq!(y.shape(), &[10]);
+    }
+
+    #[test]
+    fn table2_cnn_architecture_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(292);
+        let net = cifar10_cnn(&mut rng);
+        let y = net.forward(&zkrownn_nn::Tensor::zeros(&[3, 32, 32]));
+        assert_eq!(y.shape(), &[10]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The end-to-end watermark-extraction circuit (Algorithm 1 of the paper).
+//!
+//! Public inputs (in order): the quantized model parameters, then the final
+//! ownership verdict bit. Private witness: the trigger keys `X_key`, the
+//! projection matrix `A`, and the signature `wm`.
+//!
+//! ```text
+//! check = 1
+//! zkFeedForward(M) on X_key until layer l_wm
+//! µ   = zkAverage(activations)            (or folded into A, see below)
+//! G   = zkSigmoid(µ · A)
+//! ŵm  = zkHardThresholding(G, 0.5)
+//! out = check ∧ zkBER(wm, ŵm, θ)
+//! ```
+//!
+//! `fold_average` folds the `1/T` mean into the (private) projection
+//! matrix, removing `M` division gadgets — one of the "specific
+//! optimizations, such as … combining operations within loops" the paper
+//! applies to its end-to-end circuits; we use it for the CNN, whose
+//! 7200-dimensional activation map would otherwise dominate the circuit.
+
+use crate::model::{QuantLayer, QuantizedModel};
+use zkrownn_ff::{Fr, PrimeField};
+use zkrownn_gadgets::average::average_rows;
+use zkrownn_gadgets::ber::ber_check;
+use zkrownn_gadgets::bits::Bit;
+use zkrownn_gadgets::cmp::truncate;
+use zkrownn_gadgets::conv::conv3d;
+use zkrownn_gadgets::fixed::FixedConfig;
+use zkrownn_gadgets::num::Num;
+use zkrownn_gadgets::relu::relu_vec;
+use zkrownn_gadgets::sigmoid::sigmoid_vec;
+use zkrownn_gadgets::threshold::hard_threshold_vec;
+use zkrownn_r1cs::ConstraintSystem;
+
+/// Everything needed to build (and witness) the extraction circuit.
+#[derive(Clone, Debug)]
+pub struct ExtractionSpec {
+    /// The suspect model's quantized prefix (public).
+    pub model: QuantizedModel,
+    /// Quantized trigger inputs (private witness).
+    pub triggers: Vec<Vec<i128>>,
+    /// Quantized projection matrix, `M × N` row-major (private witness).
+    /// Pre-divided by `T` when `fold_average` is set.
+    pub projection: Vec<i128>,
+    /// The signature bits (private witness).
+    pub signature: Vec<bool>,
+    /// Maximum tolerated bit errors (`θ·N`; public, baked into the circuit).
+    pub max_errors: u64,
+    /// Fold the `1/T` averaging into the projection matrix.
+    pub fold_average: bool,
+    /// Fixed-point configuration.
+    pub cfg: FixedConfig,
+}
+
+/// Result of building the circuit.
+#[derive(Debug)]
+pub struct BuiltCircuit {
+    /// The populated constraint system.
+    pub cs: ConstraintSystem<Fr>,
+    /// The verdict the witness produces (`true` = ownership established).
+    pub verdict: bool,
+}
+
+impl ExtractionSpec {
+    /// Shape-compatible spec with zeroed witness values, for trusted setup
+    /// (the circuit structure is assignment-independent).
+    pub fn placeholder_witness(&self) -> Self {
+        let mut s = self.clone();
+        s.triggers = vec![vec![0; self.model.input_len]; self.triggers.len()];
+        s.projection = vec![0; self.projection.len()];
+        s.signature = vec![false; self.signature.len()];
+        s
+    }
+
+    /// Builds the full extraction circuit.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches between the model, triggers, projection
+    /// and signature.
+    pub fn build(&self) -> BuiltCircuit {
+        let f = self.cfg.frac_bits;
+        let act_bits = self.cfg.value_bits() + 2; // activation head-room
+        let mut cs = ConstraintSystem::<Fr>::new();
+
+        // -- public inputs: model parameters, layer by layer -------------
+        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
+        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
+        for layer in &self.model.layers {
+            match layer {
+                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                    let wn = w
+                        .iter()
+                        .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+                        .collect();
+                    let bn = b
+                        .iter()
+                        .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+                        .collect();
+                    weight_nums.push(wn);
+                    bias_nums.push(bn);
+                }
+                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
+                    weight_nums.push(Vec::new());
+                    bias_nums.push(Vec::new());
+                }
+            }
+        }
+
+        // -- private witness: trigger keys --------------------------------
+        let trigger_nums: Vec<Vec<Num>> = self
+            .triggers
+            .iter()
+            .map(|t| {
+                assert_eq!(t.len(), self.model.input_len, "trigger length mismatch");
+                t.iter()
+                    .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+                    .collect()
+            })
+            .collect();
+
+        // -- zkFeedForward until l_wm, per trigger ------------------------
+        let mut activations: Vec<Vec<Num>> = Vec::with_capacity(trigger_nums.len());
+        for trig in &trigger_nums {
+            let mut act = trig.clone();
+            for (li, layer) in self.model.layers.iter().enumerate() {
+                act = match layer {
+                    QuantLayer::Dense {
+                        in_dim, out_dim, ..
+                    } => {
+                        assert_eq!(act.len(), *in_dim);
+                        let w = &weight_nums[li];
+                        let b = &bias_nums[li];
+                        (0..*out_dim)
+                            .map(|o| {
+                                let row: Vec<Num> =
+                                    w[o * in_dim..(o + 1) * in_dim].to_vec();
+                                let acc = Num::inner_product(&row, &act, &mut cs)
+                                    .add(&b[o].shl(f));
+                                let mut out = truncate(&acc, f, &mut cs);
+                                out.bits = out.bits.min(act_bits);
+                                out
+                            })
+                            .collect()
+                    }
+                    QuantLayer::ReLU => relu_vec(&act, &mut cs),
+                    QuantLayer::Identity => act,
+                    QuantLayer::MaxPool {
+                        channels,
+                        height,
+                        width,
+                        size,
+                        stride,
+                    } => zkrownn_gadgets::maxpool::maxpool2d(
+                        &act, *channels, *height, *width, *size, *stride, &mut cs,
+                    ),
+                    QuantLayer::Conv { shape, .. } => {
+                        let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
+                        let (oh, ow) = (shape.out_height(), shape.out_width());
+                        raw.iter()
+                            .enumerate()
+                            .map(|(idx, r)| {
+                                let oc = idx / (oh * ow);
+                                let acc = r.add(&bias_nums[li][oc].shl(f));
+                                let mut out = truncate(&acc, f, &mut cs);
+                                out.bits = out.bits.min(act_bits);
+                                out
+                            })
+                            .collect()
+                    }
+                };
+            }
+            activations.push(act);
+        }
+
+        // -- zkAverage -----------------------------------------------------
+        let m = self.model.output_len();
+        let mu: Vec<Num> = if self.fold_average {
+            // raw sums; the 1/T is inside the projection matrix
+            (0..m)
+                .map(|j| {
+                    let terms: Vec<Num> =
+                        activations.iter().map(|a| a[j].clone()).collect();
+                    Num::sum(&terms)
+                })
+                .collect()
+        } else {
+            average_rows(&activations, &mut cs)
+        };
+
+        // -- projection µ·A, rescaled to the tensor scale ------------------
+        let n = self.signature.len();
+        assert_eq!(self.projection.len(), m * n, "projection shape mismatch");
+        let proj_nums: Vec<Num> = self
+            .projection
+            .iter()
+            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+            .collect();
+        let projections: Vec<Num> = (0..n)
+            .map(|j| {
+                let col: Vec<Num> = (0..m).map(|i| proj_nums[i * n + j].clone()).collect();
+                let acc = Num::inner_product(&mu, &col, &mut cs);
+                let mut out = truncate(&acc, f, &mut cs);
+                out.bits = out.bits.min(act_bits);
+                out
+            })
+            .collect();
+
+        // -- zkSigmoid + zkHardThresholding(0.5) ---------------------------
+        let squashed = sigmoid_vec(&projections, &self.cfg, &mut cs);
+        let half = Fr::from_i128(1i128 << (f - 1));
+        let extracted = hard_threshold_vec(&squashed, half, &mut cs);
+
+        // -- zkBER against the private signature ---------------------------
+        let sig_bits: Vec<Bit> = self
+            .signature
+            .iter()
+            .map(|&b| Bit::alloc(&mut cs, b))
+            .collect();
+        let valid = ber_check(&sig_bits, &extracted, self.max_errors, &mut cs);
+
+        // check = 1 ∧ valid_BER, exposed as the public verdict
+        let verdict = valid.value();
+        valid.num.expose_as_output(&mut cs);
+
+        BuiltCircuit { cs, verdict }
+    }
+
+    /// The verifier-side public input vector: model parameters followed by
+    /// the expected verdict (1 = ownership holds). Excludes the implicit
+    /// leading constant.
+    pub fn public_inputs(&self, expected_verdict: bool) -> Vec<Fr> {
+        let mut out: Vec<Fr> = self
+            .model
+            .params_in_order()
+            .iter()
+            .map(|&v| Fr::from_i128(v))
+            .collect();
+        out.push(Fr::from_i128(i128::from(expected_verdict)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QuantizedModel;
+    use crate::reference::extract_fixed;
+    use rand::SeedableRng;
+    use zkrownn_nn::{Dense, Layer, Network};
+
+    fn tiny_spec(seed: u64, fold: bool) -> ExtractionSpec {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(6, 5, &mut rng)),
+            Layer::ReLU,
+        ]);
+        let cfg = FixedConfig::default();
+        let model = QuantizedModel::from_network(&net, 1, 6, &cfg);
+        let triggers: Vec<Vec<i128>> = (0..3)
+            .map(|k| {
+                (0..6)
+                    .map(|i| cfg.encode(((i + k) as f64 - 3.0) / 2.0))
+                    .collect()
+            })
+            .collect();
+        let projection: Vec<i128> = (0..5 * 4)
+            .map(|i| cfg.encode(((i % 7) as f64 - 3.0) / 2.0))
+            .collect();
+        ExtractionSpec {
+            model,
+            triggers,
+            projection,
+            signature: vec![true, false, true, false],
+            max_errors: 4,
+            fold_average: fold,
+            cfg,
+        }
+    }
+
+    #[test]
+    fn circuit_is_satisfiable_and_matches_reference() {
+        for fold in [false, true] {
+            let spec = tiny_spec(281, fold);
+            let built = spec.build();
+            assert!(built.cs.is_satisfied().is_ok(), "fold = {fold}");
+            let reference = extract_fixed(
+                &spec.model,
+                &spec.triggers,
+                &spec.projection,
+                &spec.signature,
+                spec.fold_average,
+                &spec.cfg,
+            );
+            let expected_verdict = reference.errors as u64 <= spec.max_errors;
+            assert_eq!(built.verdict, expected_verdict, "fold = {fold}");
+        }
+    }
+
+    #[test]
+    fn tight_threshold_flips_verdict() {
+        let mut spec = tiny_spec(282, false);
+        let reference = extract_fixed(
+            &spec.model,
+            &spec.triggers,
+            &spec.projection,
+            &spec.signature,
+            false,
+            &spec.cfg,
+        );
+        // random projection → some errors are overwhelmingly likely
+        if reference.errors > 0 {
+            spec.max_errors = reference.errors as u64 - 1;
+            let built = spec.build();
+            assert!(built.cs.is_satisfied().is_ok());
+            assert!(!built.verdict);
+        }
+    }
+
+    #[test]
+    fn placeholder_has_same_structure() {
+        let spec = tiny_spec(283, false);
+        let built = spec.build();
+        let dummy = spec.placeholder_witness().build();
+        assert_eq!(
+            built.cs.num_constraints(),
+            dummy.cs.num_constraints(),
+            "setup and proving circuits must agree"
+        );
+        assert_eq!(
+            built.cs.num_instance_variables(),
+            dummy.cs.num_instance_variables()
+        );
+        assert_eq!(
+            built.cs.num_witness_variables(),
+            dummy.cs.num_witness_variables()
+        );
+    }
+
+    #[test]
+    fn public_inputs_match_instance_assignment() {
+        let spec = tiny_spec(284, false);
+        let built = spec.build();
+        let expected = spec.public_inputs(built.verdict);
+        // instance_assignment[0] is the constant 1
+        assert_eq!(built.cs.instance_assignment().len(), expected.len() + 1);
+        for (got, want) in built.cs.instance_assignment()[1..].iter().zip(&expected) {
+            assert_eq!(got, want);
+        }
+    }
+}

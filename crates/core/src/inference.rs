@@ -1,0 +1,365 @@
+//! Verifiable inference — the extension the paper closes with: "these
+//! circuits can be combined to perform a myriad of tasks, including
+//! verifiable machine learning inference".
+//!
+//! A model provider proves that the logits they returned for a *public*
+//! input were computed by their *private* model: the weights stay witness,
+//! the input and output logits are public. The same Dense/ReLU/Conv
+//! gadgets as the extraction circuit are reused; only the
+//! instance/witness split changes.
+
+use crate::model::{QuantLayer, QuantizedModel};
+use crate::reference::feed_forward_fixed;
+use zkrownn_ff::{Fr, PrimeField};
+use zkrownn_gadgets::cmp::truncate;
+use zkrownn_gadgets::conv::conv3d;
+use zkrownn_gadgets::num::Num;
+use zkrownn_gadgets::relu::relu_vec;
+use zkrownn_r1cs::ConstraintSystem;
+
+/// A verifiable-inference instance.
+#[derive(Clone, Debug)]
+pub struct InferenceSpec {
+    /// The provider's quantized model (private witness).
+    pub model: QuantizedModel,
+    /// The query input (public).
+    pub input: Vec<i128>,
+}
+
+/// A built inference circuit.
+#[derive(Debug)]
+pub struct BuiltInference {
+    /// The populated constraint system.
+    pub cs: ConstraintSystem<Fr>,
+    /// The output logits the witness produces (public outputs).
+    pub logits: Vec<i128>,
+}
+
+/// A built *class-only* inference circuit: the logits stay private and
+/// only the argmax class index is exposed — a stronger privacy variant
+/// (the confidence scores can leak information about the model).
+#[derive(Debug)]
+pub struct BuiltClassInference {
+    /// The populated constraint system.
+    pub cs: ConstraintSystem<Fr>,
+    /// The predicted class (the only public output besides the query).
+    pub class: usize,
+}
+
+impl InferenceSpec {
+    /// Shape-compatible spec with a zeroed model, for trusted setup.
+    pub fn placeholder_witness(&self) -> Self {
+        let mut s = self.clone();
+        for layer in s.model.layers.iter_mut() {
+            match layer {
+                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                    w.iter_mut().for_each(|v| *v = 0);
+                    b.iter_mut().for_each(|v| *v = 0);
+                }
+                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Builds the inference circuit: public input → private feed-forward →
+    /// public logits.
+    pub fn build(&self) -> BuiltInference {
+        let cfg = &self.model.cfg;
+        let f = cfg.frac_bits;
+        let act_bits = cfg.value_bits() + 2;
+        let mut cs = ConstraintSystem::<Fr>::new();
+
+        // public query input
+        let input_nums: Vec<Num> = self
+            .input
+            .iter()
+            .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+            .collect();
+
+        // private model parameters
+        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
+        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
+        for layer in &self.model.layers {
+            match layer {
+                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                    weight_nums.push(
+                        w.iter()
+                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .collect(),
+                    );
+                    bias_nums.push(
+                        b.iter()
+                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .collect(),
+                    );
+                }
+                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
+                    weight_nums.push(Vec::new());
+                    bias_nums.push(Vec::new());
+                }
+            }
+        }
+
+        // feed-forward (same fixed-point semantics as the extraction circuit)
+        let mut act = input_nums;
+        for (li, layer) in self.model.layers.iter().enumerate() {
+            act = match layer {
+                QuantLayer::Dense { in_dim, out_dim, .. } => {
+                    assert_eq!(act.len(), *in_dim);
+                    let w = &weight_nums[li];
+                    let b = &bias_nums[li];
+                    (0..*out_dim)
+                        .map(|o| {
+                            let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
+                            let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
+                            let mut out = truncate(&acc, f, &mut cs);
+                            out.bits = out.bits.min(act_bits);
+                            out
+                        })
+                        .collect()
+                }
+                QuantLayer::ReLU => relu_vec(&act, &mut cs),
+                QuantLayer::Identity => act,
+                QuantLayer::MaxPool {
+                    channels,
+                    height,
+                    width,
+                    size,
+                    stride,
+                } => zkrownn_gadgets::maxpool::maxpool2d(
+                    &act, *channels, *height, *width, *size, *stride, &mut cs,
+                ),
+                QuantLayer::Conv { shape, .. } => {
+                    let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
+                    let (oh, ow) = (shape.out_height(), shape.out_width());
+                    raw.iter()
+                        .enumerate()
+                        .map(|(idx, r)| {
+                            let oc = idx / (oh * ow);
+                            let acc = r.add(&bias_nums[li][oc].shl(f));
+                            let mut out = truncate(&acc, f, &mut cs);
+                            out.bits = out.bits.min(act_bits);
+                            out
+                        })
+                        .collect()
+                }
+            };
+        }
+
+        // expose the logits as public outputs
+        let logits: Vec<i128> = act
+            .iter()
+            .map(|num| {
+                num.expose_as_output(&mut cs);
+                num.value_i128()
+            })
+            .collect();
+
+        BuiltInference { cs, logits }
+    }
+
+    /// Builds the class-only inference circuit: public input → private
+    /// feed-forward → private logits → public argmax class. Uses the
+    /// [`zkrownn_gadgets::cmp::enforce_argmax`] gadget: the circuit is only
+    /// satisfiable if the exposed class really maximizes the logits.
+    pub fn build_class_only(&self) -> BuiltClassInference {
+        // run the plain build, then swap the exposure for an argmax proof
+        // (rebuilding is simpler than threading a flag through; structure
+        // stays assignment-independent either way)
+        let cfg = &self.model.cfg;
+        let f = cfg.frac_bits;
+        let act_bits = cfg.value_bits() + 2;
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let input_nums: Vec<Num> = self
+            .input
+            .iter()
+            .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+            .collect();
+        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
+        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
+        for layer in &self.model.layers {
+            match layer {
+                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                    weight_nums.push(
+                        w.iter()
+                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .collect(),
+                    );
+                    bias_nums.push(
+                        b.iter()
+                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .collect(),
+                    );
+                }
+                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
+                    weight_nums.push(Vec::new());
+                    bias_nums.push(Vec::new());
+                }
+            }
+        }
+        let mut act = input_nums;
+        for (li, layer) in self.model.layers.iter().enumerate() {
+            act = match layer {
+                QuantLayer::Dense { in_dim, out_dim, .. } => {
+                    assert_eq!(act.len(), *in_dim);
+                    let w = &weight_nums[li];
+                    let b = &bias_nums[li];
+                    (0..*out_dim)
+                        .map(|o| {
+                            let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
+                            let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
+                            let mut out = truncate(&acc, f, &mut cs);
+                            out.bits = out.bits.min(act_bits);
+                            out
+                        })
+                        .collect()
+                }
+                QuantLayer::ReLU => relu_vec(&act, &mut cs),
+                QuantLayer::Identity => act,
+                QuantLayer::MaxPool {
+                    channels,
+                    height,
+                    width,
+                    size,
+                    stride,
+                } => zkrownn_gadgets::maxpool::maxpool2d(
+                    &act, *channels, *height, *width, *size, *stride, &mut cs,
+                ),
+                QuantLayer::Conv { shape, .. } => {
+                    let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
+                    let (oh, ow) = (shape.out_height(), shape.out_width());
+                    raw.iter()
+                        .enumerate()
+                        .map(|(idx, r)| {
+                            let oc = idx / (oh * ow);
+                            let acc = r.add(&bias_nums[li][oc].shl(f));
+                            let mut out = truncate(&acc, f, &mut cs);
+                            out.bits = out.bits.min(act_bits);
+                            out
+                        })
+                        .collect()
+                }
+            };
+        }
+        // determine the class from the witness and enforce it in-circuit
+        let class = act
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| n.value_i128())
+            .map(|(i, _)| i)
+            .expect("non-empty logits");
+        zkrownn_gadgets::cmp::enforce_argmax(&act, class, &mut cs);
+        let class_num = Num::constant(Fr::from_i128(class as i128));
+        class_num.expose_as_output(&mut cs);
+        BuiltClassInference { cs, class }
+    }
+
+    /// The verifier's public input vector for a class-only proof: the query
+    /// followed by the claimed class index.
+    pub fn public_inputs_class(&self, class: usize) -> Vec<Fr> {
+        let mut out: Vec<Fr> = self.input.iter().map(|&v| Fr::from_i128(v)).collect();
+        out.push(Fr::from_i128(class as i128));
+        out
+    }
+
+    /// The verifier's public input vector: the query input followed by the
+    /// claimed logits.
+    pub fn public_inputs(&self, logits: &[i128]) -> Vec<Fr> {
+        let mut out: Vec<Fr> = self.input.iter().map(|&v| Fr::from_i128(v)).collect();
+        out.extend(logits.iter().map(|&v| Fr::from_i128(v)));
+        out
+    }
+
+    /// Reference logits (bit-identical to the circuit).
+    pub fn expected_logits(&self) -> Vec<i128> {
+        feed_forward_fixed(&self.model, &self.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QuantizedModel;
+    use rand::SeedableRng;
+    use zkrownn_gadgets::FixedConfig;
+    use zkrownn_groth16::{create_proof, generate_parameters, verify_proof};
+    use zkrownn_nn::{Dense, Layer, Network};
+
+    fn tiny_inference(seed: u64) -> InferenceSpec {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(8, 6, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(6, 3, &mut rng)),
+        ]);
+        let cfg = FixedConfig::default();
+        let model = QuantizedModel::from_network(&net, 2, 8, &cfg);
+        let input: Vec<i128> = (0..8)
+            .map(|i| cfg.encode((i as f64 - 4.0) / 3.0))
+            .collect();
+        InferenceSpec { model, input }
+    }
+
+    #[test]
+    fn circuit_logits_match_reference() {
+        let spec = tiny_inference(401);
+        let built = spec.build();
+        assert!(built.cs.is_satisfied().is_ok());
+        assert_eq!(built.logits, spec.expected_logits());
+    }
+
+    #[test]
+    fn inference_proof_roundtrip() {
+        let spec = tiny_inference(402);
+        let built = spec.build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(403);
+        let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &built.cs, &mut rng);
+        let publics = spec.public_inputs(&built.logits);
+        assert!(verify_proof(&pk.vk, &proof, &publics).is_ok());
+        // forged logits are rejected
+        let mut wrong = built.logits.clone();
+        wrong[0] += 1;
+        assert!(verify_proof(&pk.vk, &proof, &spec.public_inputs(&wrong)).is_err());
+    }
+
+    #[test]
+    fn class_only_inference_roundtrip() {
+        let spec = tiny_inference(405);
+        let built = spec.build_class_only();
+        assert!(built.cs.is_satisfied().is_ok());
+        // the class matches the reference argmax
+        let expected = spec.expected_logits();
+        let ref_class = expected
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(built.class, ref_class);
+        // prove & verify; wrong class rejected
+        let mut rng = rand::rngs::StdRng::seed_from_u64(406);
+        let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &built.cs, &mut rng);
+        assert!(
+            verify_proof(&pk.vk, &proof, &spec.public_inputs_class(built.class)).is_ok()
+        );
+        let wrong = (built.class + 1) % expected.len();
+        assert!(
+            verify_proof(&pk.vk, &proof, &spec.public_inputs_class(wrong)).is_err()
+        );
+    }
+
+    #[test]
+    fn placeholder_matches_structure() {
+        let spec = tiny_inference(404);
+        let a = spec.build();
+        let b = spec.placeholder_witness().build();
+        assert_eq!(a.cs.num_constraints(), b.cs.num_constraints());
+        assert_eq!(
+            a.cs.num_witness_variables(),
+            b.cs.num_witness_variables()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # zkrownn — zero-knowledge right of ownership for neural networks
+//!
+//! End-to-end reproduction of the paper's contribution: a model owner with
+//! a DeepSigns-watermarked network proves — in zero knowledge — that a
+//! suspect model still carries their watermark, without revealing the
+//! trigger keys, the projection matrix or the signature. Any third party
+//! verifies the 128-byte proof in milliseconds with only the verifying key.
+//!
+//! Pipeline (Figure 1 / Algorithm 1 of the paper):
+//!
+//! 1. [`model::QuantizedModel`] — quantize the public suspect model;
+//! 2. [`circuit::ExtractionSpec`] — assemble the watermark-extraction
+//!    circuit (feed-forward → average → project → sigmoid → threshold →
+//!    BER);
+//! 3. [`prove::setup`] — one-time circuit-specific trusted setup;
+//! 4. [`prove::prove`] — generate the ownership proof (once);
+//! 5. [`prove::verify`] — public verification by anyone.
+//!
+//! The [`mod@reference`] module re-implements the extraction with bit-identical
+//! fixed-point semantics outside the circuit, [`benchmarks`] hosts the
+//! Table II model zoo (MNIST-MLP / CIFAR10-CNN) with watermark embedding,
+//! and [`inference`] extends the gadget stack to verifiable ML inference
+//! (the extension highlighted in the paper's conclusion).
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod circuit;
+pub mod inference;
+pub mod model;
+pub mod prove;
+pub mod reference;
+
+pub use circuit::{BuiltCircuit, ExtractionSpec};
+pub use model::{QuantLayer, QuantizedModel};
+pub use prove::{prove, setup, verify, verify_prepared, OwnershipError, OwnershipProof};

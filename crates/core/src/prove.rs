@@ -1,0 +1,97 @@
+//! The ZKROWNN ownership-proof API: one-time setup, one-time proof
+//! generation, and millisecond public verification (Figure 1 of the paper).
+
+use crate::circuit::ExtractionSpec;
+use zkrownn_ff::Fr;
+use zkrownn_groth16::{
+    create_proof, generate_parameters, verify_proof_prepared, PreparedVerifyingKey, Proof,
+    ProvingKey, VerifyingKey,
+};
+
+/// Errors from the ownership-proof workflow.
+#[derive(Debug)]
+pub enum OwnershipError {
+    /// The witness does not satisfy the extraction circuit (internal bug —
+    /// an honest spec always satisfies it; the *verdict* may still be 0).
+    UnsatisfiedCircuit(usize),
+    /// Verification failed: the proof does not establish ownership of the
+    /// stated model.
+    InvalidProof(zkrownn_groth16::VerificationError),
+}
+
+impl core::fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnsatisfiedCircuit(i) => write!(f, "extraction circuit violated at row {i}"),
+            Self::InvalidProof(e) => write!(f, "ownership proof rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+/// An ownership proof together with the verdict it attests to.
+#[derive(Clone, Debug)]
+pub struct OwnershipProof {
+    /// The 128-byte Groth16 proof.
+    pub proof: Proof,
+    /// The public verdict (`true` — the watermark was recovered within the
+    /// BER threshold).
+    pub verdict: bool,
+}
+
+/// Runs the one-time trusted setup for an extraction circuit.
+///
+/// Only the *shape* of the spec matters (a placeholder witness is used), so
+/// a trusted third party can run this knowing just the public model and the
+/// watermark dimensions.
+pub fn setup<R: rand::Rng + ?Sized>(spec: &ExtractionSpec, rng: &mut R) -> ProvingKey {
+    let built = spec.placeholder_witness().build();
+    generate_parameters(&built.cs.to_matrices(), rng)
+}
+
+/// Generates the ownership proof (the prover `P` of the paper).
+pub fn prove<R: rand::Rng + ?Sized>(
+    pk: &ProvingKey,
+    spec: &ExtractionSpec,
+    rng: &mut R,
+) -> Result<OwnershipProof, OwnershipError> {
+    let built = spec.build();
+    built
+        .cs
+        .is_satisfied()
+        .map_err(OwnershipError::UnsatisfiedCircuit)?;
+    let proof = create_proof(pk, &built.cs, rng);
+    Ok(OwnershipProof {
+        proof,
+        verdict: built.verdict,
+    })
+}
+
+/// Verifies an ownership proof against the public model (the third-party
+/// verifier `V`; needs only the verifying key).
+pub fn verify(
+    vk: &VerifyingKey,
+    spec_public: &ExtractionSpec,
+    proof: &OwnershipProof,
+) -> Result<(), OwnershipError> {
+    verify_prepared(&vk.prepare(), spec_public, proof)
+}
+
+/// Verification against a prepared key (amortizes pairing precomputation
+/// across many verifications).
+pub fn verify_prepared(
+    pvk: &PreparedVerifyingKey,
+    spec_public: &ExtractionSpec,
+    proof: &OwnershipProof,
+) -> Result<(), OwnershipError> {
+    let inputs: Vec<Fr> = spec_public.public_inputs(proof.verdict);
+    verify_proof_prepared(pvk, &proof.proof, &inputs).map_err(OwnershipError::InvalidProof)?;
+    if !proof.verdict {
+        // a valid proof of a *negative* verdict is not an ownership claim
+        return Err(OwnershipError::InvalidProof(
+            zkrownn_groth16::VerificationError::InvalidProof,
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! Out-of-circuit fixed-point extraction with *bit-identical* semantics to
+//! the zkSNARK circuit.
+//!
+//! Every arithmetic step (feed-forward, averaging, projection, sigmoid,
+//! thresholding) uses the same integers and the same floor-division
+//! truncations as the gadgets, so `extract_fixed` predicts exactly what the
+//! circuit will output — the test suite and the prover's sanity checks rely
+//! on this.
+
+use crate::model::{QuantLayer, QuantizedModel};
+use zkrownn_gadgets::fixed::{floor_div, floor_div_pow2, FixedConfig};
+use zkrownn_gadgets::sigmoid::sigmoid_fixed_reference;
+
+/// Fixed-point feed-forward through the quantized prefix; returns the
+/// activations of the final (watermarked) layer at scale `frac_bits`.
+pub fn feed_forward_fixed(model: &QuantizedModel, input: &[i128]) -> Vec<i128> {
+    assert_eq!(input.len(), model.input_len, "input length mismatch");
+    let f = model.cfg.frac_bits;
+    let mut act = input.to_vec();
+    for layer in &model.layers {
+        act = match layer {
+            QuantLayer::Dense {
+                in_dim,
+                out_dim,
+                w,
+                b,
+            } => {
+                assert_eq!(act.len(), *in_dim);
+                (0..*out_dim)
+                    .map(|o| {
+                        let mut acc: i128 = 0;
+                        for i in 0..*in_dim {
+                            acc += w[o * in_dim + i] * act[i];
+                        }
+                        floor_div_pow2(acc + (b[o] << f), f)
+                    })
+                    .collect()
+            }
+            QuantLayer::ReLU => act.iter().map(|&v| v.max(0)).collect(),
+            QuantLayer::Identity => act,
+            QuantLayer::MaxPool {
+                channels,
+                height,
+                width,
+                size,
+                stride,
+            } => zkrownn_gadgets::maxpool::maxpool2d_reference(
+                &act, *channels, *height, *width, *size, *stride,
+            ),
+            QuantLayer::Conv { shape, w, b } => {
+                let raw = zkrownn_gadgets::conv::conv3d_reference(&act, w, shape);
+                let (oh, ow) = (shape.out_height(), shape.out_width());
+                raw.iter()
+                    .enumerate()
+                    .map(|(idx, &v)| {
+                        let oc = idx / (oh * ow);
+                        floor_div_pow2(v + (b[oc] << f), f)
+                    })
+                    .collect()
+            }
+        };
+    }
+    act
+}
+
+/// Result of a fixed-point extraction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixedExtraction {
+    /// Mean (or summed, when averaging is folded) activations.
+    pub mu: Vec<i128>,
+    /// Projections `µ·A` at scale `frac_bits`.
+    pub projections: Vec<i128>,
+    /// Decoded watermark bits.
+    pub decoded: Vec<bool>,
+    /// Number of bit errors against the signature.
+    pub errors: usize,
+}
+
+/// Full fixed-point extraction pipeline (Algorithm 1, out of circuit).
+///
+/// When `fold_average` is set, the `1/T` averaging is assumed to have been
+/// folded into `projection` and the raw activation *sums* are projected —
+/// the optimization the end-to-end CNN circuit uses.
+pub fn extract_fixed(
+    model: &QuantizedModel,
+    triggers: &[Vec<i128>],
+    projection: &[i128],
+    signature: &[bool],
+    fold_average: bool,
+    cfg: &FixedConfig,
+) -> FixedExtraction {
+    assert!(!triggers.is_empty(), "no trigger inputs");
+    let m = model.output_len();
+    let n = signature.len();
+    assert_eq!(projection.len(), m * n, "projection shape mismatch");
+
+    // Σ activations
+    let mut sums = vec![0i128; m];
+    for t in triggers {
+        let a = feed_forward_fixed(model, t);
+        for (s, v) in sums.iter_mut().zip(&a) {
+            *s += *v;
+        }
+    }
+    let mu: Vec<i128> = if fold_average {
+        sums
+    } else {
+        sums
+            .iter()
+            .map(|&s| floor_div(s, triggers.len() as i128))
+            .collect()
+    };
+
+    // project and rescale
+    let f = cfg.frac_bits;
+    let projections: Vec<i128> = (0..n)
+        .map(|j| {
+            let mut acc = 0i128;
+            for (i, &m_i) in mu.iter().enumerate() {
+                acc += m_i * projection[i * n + j];
+            }
+            floor_div_pow2(acc, f)
+        })
+        .collect();
+
+    // sigmoid + hard threshold at 0.5
+    let half = 1i128 << (f - 1);
+    let decoded: Vec<bool> = projections
+        .iter()
+        .map(|&z| sigmoid_fixed_reference(z, cfg) >= half)
+        .collect();
+    let errors = decoded
+        .iter()
+        .zip(signature)
+        .filter(|(a, b)| a != b)
+        .count();
+    FixedExtraction {
+        mu,
+        projections,
+        decoded,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QuantizedModel;
+    use rand::SeedableRng;
+    use zkrownn_nn::{Dense, Layer, Network, Tensor};
+
+    #[test]
+    fn fixed_feedforward_tracks_float() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(271);
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(10, 6, &mut rng)),
+            Layer::ReLU,
+        ]);
+        let cfg = FixedConfig::default();
+        let q = QuantizedModel::from_network(&net, 1, 10, &cfg);
+        let x: Vec<f32> = (0..10).map(|i| (i as f32 - 5.0) / 3.0).collect();
+        let x_fixed: Vec<i128> = x.iter().map(|&v| cfg.encode(v as f64)).collect();
+        let got = feed_forward_fixed(&q, &x_fixed);
+        let want = net.forward(&Tensor::from_vec(&[10], x));
+        for (g, w) in got.iter().zip(want.data()) {
+            assert!(
+                (cfg.decode(*g) - *w as f64).abs() < 1e-2,
+                "{} vs {w}",
+                cfg.decode(*g)
+            );
+        }
+    }
+
+    #[test]
+    fn folded_and_unfolded_extraction_agree_approximately() {
+        // with projection pre-divided by T, folding the average must give
+        // the same decisions (up to rounding at the decision boundary)
+        let mut rng = rand::rngs::StdRng::seed_from_u64(272);
+        let net = Network::new(vec![Layer::Dense(Dense::new(6, 4, &mut rng))]);
+        let cfg = FixedConfig::default();
+        let q = QuantizedModel::from_network(&net, 0, 6, &cfg);
+        let t_count = 4usize;
+        let triggers: Vec<Vec<i128>> = (0..t_count)
+            .map(|k| (0..6).map(|i| cfg.encode((i + k) as f64 / 5.0)).collect())
+            .collect();
+        let proj_f: Vec<f64> = (0..4 * 3).map(|i| (i as f64 - 6.0) / 4.0).collect();
+        let proj: Vec<i128> = proj_f.iter().map(|&v| cfg.encode(v)).collect();
+        let proj_folded: Vec<i128> = proj_f
+            .iter()
+            .map(|&v| cfg.encode(v / t_count as f64))
+            .collect();
+        let sig = vec![true, false, true];
+        let a = extract_fixed(&q, &triggers, &proj, &sig, false, &cfg);
+        let b = extract_fixed(&q, &triggers, &proj_folded, &sig, true, &cfg);
+        assert_eq!(a.decoded, b.decoded);
+    }
+}

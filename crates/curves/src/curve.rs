@@ -1,0 +1,349 @@
+//! Generic short-Weierstrass curve groups `y² = x³ + b` in Jacobian
+//! coordinates, shared by BN254 G1 (over `Fq`) and G2 (over `Fq2`).
+
+use crate::field_codec::FieldCodec;
+use zkrownn_ff::{Field, Fr, PrimeField, SquareRootField};
+
+/// Static configuration of a short-Weierstrass curve with `a = 0`.
+pub trait SwCurveConfig: 'static + Copy + Clone + Send + Sync + Eq + core::fmt::Debug {
+    /// Field the curve coordinates live in.
+    type BaseField: Field + SquareRootField + FieldCodec;
+
+    /// The constant `b` in `y² = x³ + b`.
+    fn coeff_b() -> Self::BaseField;
+
+    /// A generator of the prime-order subgroup.
+    fn generator() -> Affine<Self>;
+
+    /// Whether the prime-order subgroup is a proper subgroup (cofactor > 1).
+    /// When true, deserialization performs a full subgroup check.
+    const HAS_COFACTOR: bool;
+
+    /// Short human-readable name used in error messages.
+    const NAME: &'static str;
+}
+
+/// A point in affine coordinates (or the point at infinity).
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct Affine<C: SwCurveConfig + ?Sized> {
+    /// x-coordinate (meaningless when `infinity` is set).
+    pub x: C::BaseField,
+    /// y-coordinate (meaningless when `infinity` is set).
+    pub y: C::BaseField,
+    /// Marker for the identity element.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates: `(X : Y : Z)` represents the
+/// affine point `(X/Z², Y/Z³)`; the identity has `Z = 0`.
+#[derive(Copy, Clone, Debug)]
+pub struct Projective<C: SwCurveConfig + ?Sized> {
+    /// Jacobian X.
+    pub x: C::BaseField,
+    /// Jacobian Y.
+    pub y: C::BaseField,
+    /// Jacobian Z (zero at infinity).
+    pub z: C::BaseField,
+}
+
+impl<C: SwCurveConfig> Affine<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Self {
+            x: C::BaseField::zero(),
+            y: C::BaseField::one(),
+            infinity: true,
+        }
+    }
+
+    /// Creates a point from coordinates without checking the curve equation.
+    pub fn new_unchecked(x: C::BaseField, y: C::BaseField) -> Self {
+        Self { x, y, infinity: false }
+    }
+
+    /// Returns true if the identity.
+    pub fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Checks the curve equation `y² = x³ + b` (identity passes).
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        self.y.square() == self.x.square() * self.x + C::coeff_b()
+    }
+
+    /// Checks membership in the prime-order subgroup (multiplies by `r`).
+    pub fn is_in_correct_subgroup(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        if !C::HAS_COFACTOR {
+            return true;
+        }
+        self.mul_bigint(&Fr::MODULUS.0).is_identity()
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn into_projective(self) -> Projective<C> {
+        if self.infinity {
+            Projective::identity()
+        } else {
+            Projective {
+                x: self.x,
+                y: self.y,
+                z: C::BaseField::one(),
+            }
+        }
+    }
+
+    /// Scalar multiplication by a little-endian limb-encoded integer.
+    pub fn mul_bigint(&self, scalar: &[u64]) -> Projective<C> {
+        self.into_projective().mul_bigint(scalar)
+    }
+
+    /// Scalar multiplication by a field scalar.
+    pub fn mul_scalar(&self, scalar: Fr) -> Projective<C> {
+        self.mul_bigint(&scalar.into_bigint().0)
+    }
+
+    /// The negation `(x, −y)`.
+    pub fn neg(&self) -> Self {
+        if self.infinity {
+            *self
+        } else {
+            Self::new_unchecked(self.x, -self.y)
+        }
+    }
+}
+
+impl<C: SwCurveConfig> core::ops::Neg for Affine<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Affine::neg(&self)
+    }
+}
+
+impl<C: SwCurveConfig> Projective<C> {
+    /// The identity element.
+    pub fn identity() -> Self {
+        Self {
+            x: C::BaseField::one(),
+            y: C::BaseField::one(),
+            z: C::BaseField::zero(),
+        }
+    }
+
+    /// Returns true if the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// The subgroup generator.
+    pub fn generator() -> Self {
+        C::generator().into_projective()
+    }
+
+    /// Point doubling (`dbl-2009-l`, a = 0).
+    pub fn double(&self) -> Self {
+        if self.is_identity() {
+            return *self;
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        let d = ((self.x + b).square() - a - c).double();
+        let e = a.double() + a;
+        let f = e.square();
+        let x3 = f - d.double();
+        let eight_c = c.double().double().double();
+        let y3 = e * (d - x3) - eight_c;
+        let z3 = (self.y * self.z).double();
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian addition (`add-2007-bl`).
+    pub fn add(&self, other: &Self) -> Self {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x * z2z2;
+        let u2 = other.x * z1z1;
+        let s1 = self.y * other.z * z2z2;
+        let s2 = other.y * self.z * z1z1;
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2 - u1;
+        let i = h.double().square();
+        let j = h * i;
+        let r = (s2 - s1).double();
+        let v = u1 * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (s1 * j).double();
+        let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition with an affine point (`madd-2007-bl`).
+    pub fn add_assign_mixed(&mut self, other: &Affine<C>) {
+        if other.infinity {
+            return;
+        }
+        if self.is_identity() {
+            *self = other.into_projective();
+            return;
+        }
+        let z1z1 = self.z.square();
+        let u2 = other.x * z1z1;
+        let s2 = other.y * self.z * z1z1;
+        if self.x == u2 {
+            if self.y == s2 {
+                *self = self.double();
+            } else {
+                *self = Self::identity();
+            }
+            return;
+        }
+        let h = u2 - self.x;
+        let hh = h.square();
+        let i = hh.double().double();
+        let j = h * i;
+        let r = (s2 - self.y).double();
+        let v = self.x * i;
+        let x3 = r.square() - j - v.double();
+        let y3 = r * (v - x3) - (self.y * j).double();
+        let z3 = (self.z + h).square() - z1z1 - hh;
+        *self = Self { x: x3, y: y3, z: z3 };
+    }
+
+    /// Scalar multiplication (double-and-add, MSB first).
+    pub fn mul_bigint(&self, scalar: &[u64]) -> Self {
+        let mut res = Self::identity();
+        let mut started = false;
+        for i in (0..scalar.len() * 64).rev() {
+            if started {
+                res = res.double();
+            }
+            if (scalar[i / 64] >> (i % 64)) & 1 == 1 {
+                res = res.add(self);
+                started = true;
+            }
+        }
+        res
+    }
+
+    /// Scalar multiplication by a field scalar.
+    pub fn mul_scalar(&self, scalar: Fr) -> Self {
+        self.mul_bigint(&scalar.into_bigint().0)
+    }
+
+    /// Converts to affine coordinates (one field inversion).
+    pub fn into_affine(self) -> Affine<C> {
+        if self.is_identity() {
+            return Affine::identity();
+        }
+        let zinv = self.z.inverse().expect("nonzero z");
+        let zinv2 = zinv.square();
+        Affine::new_unchecked(self.x * zinv2, self.y * zinv2 * zinv)
+    }
+
+    /// Batch conversion to affine (one shared inversion).
+    pub fn batch_into_affine(points: &[Self]) -> Vec<Affine<C>> {
+        let mut zs: Vec<C::BaseField> = points.iter().map(|p| p.z).collect();
+        C::BaseField::batch_inverse(&mut zs);
+        points
+            .iter()
+            .zip(zs.iter())
+            .map(|(p, zinv)| {
+                if p.is_identity() {
+                    Affine::identity()
+                } else {
+                    let zinv2 = zinv.square();
+                    Affine::new_unchecked(p.x * zinv2, p.y * zinv2 * *zinv)
+                }
+            })
+            .collect()
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            x: self.x,
+            y: -self.y,
+            z: self.z,
+        }
+    }
+}
+
+impl<C: SwCurveConfig> PartialEq for Projective<C> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => true,
+            (true, false) | (false, true) => false,
+            _ => {
+                // (X1/Z1², Y1/Z1³) == (X2/Z2², Y2/Z2³) without inversions
+                let z1z1 = self.z.square();
+                let z2z2 = other.z.square();
+                self.x * z2z2 == other.x * z1z1
+                    && self.y * z2z2 * other.z == other.y * z1z1 * self.z
+            }
+        }
+    }
+}
+
+impl<C: SwCurveConfig> Eq for Projective<C> {}
+
+impl<C: SwCurveConfig> core::ops::Add for Projective<C> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs)
+    }
+}
+
+impl<C: SwCurveConfig> core::ops::AddAssign for Projective<C> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = Projective::add(self, &rhs);
+    }
+}
+
+impl<C: SwCurveConfig> core::ops::Sub for Projective<C> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Projective::add(&self, &rhs.neg())
+    }
+}
+
+impl<C: SwCurveConfig> core::ops::Neg for Projective<C> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Projective::neg(&self)
+    }
+}
+
+impl<C: SwCurveConfig> Default for Projective<C> {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+impl<C: SwCurveConfig> From<Affine<C>> for Projective<C> {
+    fn from(a: Affine<C>) -> Self {
+        a.into_projective()
+    }
+}
+
+impl<C: SwCurveConfig> From<Projective<C>> for Affine<C> {
+    fn from(p: Projective<C>) -> Self {
+        p.into_affine()
+    }
+}

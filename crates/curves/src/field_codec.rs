@@ -1,0 +1,113 @@
+//! Byte encoding and sign conventions for base-field elements, used by the
+//! compressed/uncompressed point serialization.
+
+use zkrownn_ff::{Field, Fq, Fq2, PrimeField};
+
+/// Canonical byte encoding plus a lexicographic "sign" for a field element.
+pub trait FieldCodec: Sized {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+
+    /// Appends the little-endian canonical encoding to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Parses an element from exactly `BYTES` bytes.
+    fn read_bytes(bytes: &[u8]) -> Option<Self>;
+
+    /// True if `self > -self` in the canonical ordering (used to encode the
+    /// choice of square root in compressed points).
+    fn is_lexicographically_largest(&self) -> bool;
+}
+
+impl FieldCodec for Fq {
+    const BYTES: usize = 32;
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Option<Self> {
+        let arr: &[u8; 32] = bytes.try_into().ok()?;
+        Fq::from_le_bytes(arr)
+    }
+
+    fn is_lexicographically_largest(&self) -> bool {
+        // compare canonical value against (p-1)/2
+        let half = Fq::MODULUS.shr(1);
+        self.into_bigint().const_cmp(&half) > 0
+    }
+}
+
+impl FieldCodec for Fq2 {
+    const BYTES: usize = 64;
+
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.c0.write_bytes(out);
+        self.c1.write_bytes(out);
+    }
+
+    fn read_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 64 {
+            return None;
+        }
+        let c0 = Fq::read_bytes(&bytes[..32])?;
+        let c1 = Fq::read_bytes(&bytes[32..])?;
+        Some(Fq2::new(c0, c1))
+    }
+
+    fn is_lexicographically_largest(&self) -> bool {
+        // order by (c1, c0): matches negation flipping both components
+        if !self.c1.is_zero() {
+            self.c1.is_lexicographically_largest()
+        } else {
+            self.c0.is_lexicographically_largest()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_ff::Field;
+
+    #[test]
+    fn fq_sign_is_antisymmetric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_ne!(
+                a.is_lexicographically_largest(),
+                (-a).is_lexicographically_largest()
+            );
+        }
+    }
+
+    #[test]
+    fn fq2_sign_is_antisymmetric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_ne!(
+                a.is_lexicographically_largest(),
+                (-a).is_lexicographically_largest()
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Fq2::random(&mut rng);
+        let mut buf = Vec::new();
+        a.write_bytes(&mut buf);
+        assert_eq!(buf.len(), Fq2::BYTES);
+        assert_eq!(Fq2::read_bytes(&buf), Some(a));
+    }
+}

@@ -1,0 +1,142 @@
+//! Fixed-base windowed scalar multiplication.
+//!
+//! The Groth16 setup multiplies a *single* base (the group generator, or
+//! `γ⁻¹`/`δ⁻¹`-scaled variants) by millions of distinct scalars. A windowed
+//! table reduces each multiplication to `⌈254/w⌉` mixed additions.
+
+use crate::curve::{Affine, Projective, SwCurveConfig};
+use zkrownn_ff::{Fr, PrimeField};
+
+/// Precomputed window table for one base point.
+pub struct FixedBaseTable<C: SwCurveConfig> {
+    window: usize,
+    /// `table[i][j] = j · 2^(i·window) · base` for `j` in `0..2^window`.
+    table: Vec<Vec<Affine<C>>>,
+}
+
+impl<C: SwCurveConfig> FixedBaseTable<C> {
+    /// Suggested window size when `n` multiplications will be performed.
+    pub fn suggested_window(n: usize) -> usize {
+        if n < 32 {
+            3
+        } else {
+            ((usize::BITS - n.leading_zeros()) as usize).max(3).min(18)
+        }
+    }
+
+    /// Builds a table for `base` with the given window width.
+    pub fn new(base: Projective<C>, window: usize) -> Self {
+        assert!(window >= 1 && window <= 24, "unreasonable window size");
+        let outer = 254usize.div_ceil(window);
+        let mut table = Vec::with_capacity(outer);
+        let mut block_base = base; // 2^(i·window) · base
+        for _ in 0..outer {
+            // row: 0, b, 2b, ..., (2^w - 1) b
+            let mut row = Vec::with_capacity(1 << window);
+            let mut acc = Projective::identity();
+            for _ in 0..(1 << window) {
+                row.push(acc);
+                acc += block_base;
+            }
+            table.push(Projective::batch_into_affine(&row));
+            block_base = acc; // 2^w · block_base
+        }
+        Self { window, table }
+    }
+
+    /// Multiplies the base by `scalar`.
+    pub fn mul(&self, scalar: Fr) -> Projective<C> {
+        let repr = scalar.into_bigint();
+        let mut acc = Projective::identity();
+        for (i, row) in self.table.iter().enumerate() {
+            let digit = extract(&repr.0, i * self.window, self.window);
+            if digit != 0 {
+                acc.add_assign_mixed(&row[digit as usize]);
+            }
+        }
+        acc
+    }
+
+    /// Multiplies the base by each scalar, in parallel, returning affine
+    /// points (batch-normalized).
+    pub fn mul_many(&self, scalars: &[Fr]) -> Vec<Affine<C>> {
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        let chunk = scalars.len().div_ceil(threads).max(1);
+        let mut out: Vec<Affine<C>> = vec![Affine::identity(); scalars.len()];
+        std::thread::scope(|scope| {
+            for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let proj: Vec<Projective<C>> =
+                        s_chunk.iter().map(|s| self.mul(*s)).collect();
+                    o_chunk.copy_from_slice(&Projective::batch_into_affine(&proj));
+                });
+            }
+        });
+        out
+    }
+}
+
+fn extract(limbs: &[u64; 4], shift: usize, width: usize) -> u64 {
+    if shift >= 256 {
+        return 0;
+    }
+    let limb = shift / 64;
+    let bit = shift % 64;
+    let mut out = limbs[limb] >> bit;
+    if bit + width > 64 && limb + 1 < 4 {
+        out |= limbs[limb + 1] << (64 - bit);
+    }
+    out & ((1u64 << width) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{G1Projective, G2Projective};
+    use rand::SeedableRng;
+    use zkrownn_ff::Field;
+
+    #[test]
+    fn table_mul_matches_double_and_add_g1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let g = G1Projective::generator();
+        for window in [1usize, 3, 7, 13] {
+            let table = FixedBaseTable::new(g, window);
+            for _ in 0..5 {
+                let s = Fr::random(&mut rng);
+                assert_eq!(table.mul(s), g.mul_scalar(s), "window {window}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_mul_matches_double_and_add_g2() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let g = G2Projective::generator();
+        let table = FixedBaseTable::new(g, 5);
+        let s = Fr::random(&mut rng);
+        assert_eq!(table.mul(s), g.mul_scalar(s));
+    }
+
+    #[test]
+    fn mul_many_matches_individual() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let g = G1Projective::generator();
+        let table = FixedBaseTable::new(g, 6);
+        let scalars: Vec<Fr> = (0..23).map(|_| Fr::random(&mut rng)).collect();
+        let many = table.mul_many(&scalars);
+        for (s, p) in scalars.iter().zip(many.iter()) {
+            assert_eq!(*p, g.mul_scalar(*s).into_affine());
+        }
+    }
+
+    #[test]
+    fn zero_and_one_scalars() {
+        let g = G1Projective::generator();
+        let table = FixedBaseTable::new(g, 4);
+        assert!(table.mul(Fr::zero()).is_identity());
+        assert_eq!(table.mul(Fr::one()), g);
+    }
+}

@@ -1,0 +1,35 @@
+//! # zkrownn-curves — BN254 elliptic-curve groups
+//!
+//! Short-Weierstrass group arithmetic for BN254 G1 and G2 in Jacobian
+//! coordinates, plus the two group-operation workhorses of a Groth16
+//! implementation:
+//!
+//! * [`msm::msm`] — Pippenger multi-scalar multiplication (prover),
+//! * [`fixed_base::FixedBaseTable`] — windowed fixed-base multiplication
+//!   (trusted setup),
+//!
+//! and validated compressed/uncompressed [`serialize`] encodings (32 B G1
+//! points, 64 B G2 points → 128 B Groth16 proofs, as in the paper).
+//!
+//! ```
+//! use zkrownn_curves::{G1Projective, msm};
+//! use zkrownn_ff::{Field, Fr};
+//! let g = G1Projective::generator();
+//! let bases = vec![g.into_affine(); 3];
+//! let scalars = vec![Fr::from_u64(1), Fr::from_u64(2), Fr::from_u64(3)];
+//! assert_eq!(msm::msm(&bases, &scalars), g.mul_scalar(Fr::from_u64(6)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bn254;
+pub mod curve;
+pub mod field_codec;
+pub mod fixed_base;
+pub mod msm;
+pub mod serialize;
+
+pub use bn254::{G1Affine, G1Config, G1Projective, G2Affine, G2Config, G2Projective};
+pub use curve::{Affine, Projective, SwCurveConfig};
+pub use field_codec::FieldCodec;
+pub use fixed_base::FixedBaseTable;

@@ -1,0 +1,179 @@
+//! Multi-scalar multiplication (Pippenger's bucket method).
+//!
+//! This is the prover's hot loop in Groth16: each proof is a handful of MSMs
+//! over up to millions of points. Windows are processed in parallel across
+//! the machine's cores with `std::thread::scope` (no external thread-pool
+//! dependency).
+
+use crate::curve::{Affine, Projective, SwCurveConfig};
+use zkrownn_ff::{BigInt256, Field, Fr, PrimeField};
+
+/// Chooses a Pippenger window size for `n` non-trivial terms.
+fn window_size(n: usize) -> usize {
+    if n < 32 {
+        3
+    } else {
+        // ~ln(n) + 2, the usual asymptotic sweet spot
+        (usize::BITS as usize - n.leading_zeros() as usize) * 69 / 100 + 2
+    }
+}
+
+/// Computes `Σ scalarᵢ · basesᵢ`.
+///
+/// `bases` and `scalars` must have equal length; identity points and zero
+/// scalars are skipped.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn msm<C: SwCurveConfig>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+    assert_eq!(
+        bases.len(),
+        scalars.len(),
+        "msm: bases and scalars must have equal length"
+    );
+    // Filter trivial terms once, up front.
+    let pairs: Vec<(Affine<C>, BigInt256)> = bases
+        .iter()
+        .zip(scalars.iter())
+        .filter(|(b, s)| !b.is_identity() && !s.is_zero())
+        .map(|(b, s)| (*b, s.into_bigint()))
+        .collect();
+    msm_bigint(&pairs)
+}
+
+/// Pippenger over pre-filtered `(base, canonical scalar)` pairs.
+pub fn msm_bigint<C: SwCurveConfig>(pairs: &[(Affine<C>, BigInt256)]) -> Projective<C> {
+    if pairs.is_empty() {
+        return Projective::identity();
+    }
+    let c = window_size(pairs.len());
+    let num_bits = 254usize;
+    let num_windows = num_bits.div_ceil(c);
+
+    let threads = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(num_windows);
+
+    let mut window_sums = vec![Projective::<C>::identity(); num_windows];
+    std::thread::scope(|scope| {
+        for (t, chunk) in window_sums.chunks_mut(num_windows.div_ceil(threads)).enumerate() {
+            let first_window = t * num_windows.div_ceil(threads);
+            scope.spawn(move || {
+                for (i, out) in chunk.iter_mut().enumerate() {
+                    *out = window_sum(pairs, (first_window + i) * c, c);
+                }
+            });
+        }
+    });
+
+    // total = Σ window_sums[w] · 2^(w·c), evaluated Horner-style from the top
+    let mut total = Projective::identity();
+    for w in (0..num_windows).rev() {
+        for _ in 0..c {
+            total = total.double();
+        }
+        total += window_sums[w];
+    }
+    total
+}
+
+/// Accumulates one `c`-bit window starting at bit `shift`.
+fn window_sum<C: SwCurveConfig>(
+    pairs: &[(Affine<C>, BigInt256)],
+    shift: usize,
+    c: usize,
+) -> Projective<C> {
+    let mask = (1u64 << c) - 1;
+    let mut buckets = vec![Projective::<C>::identity(); (1 << c) - 1];
+    for (base, scalar) in pairs {
+        let digit = extract_bits(scalar, shift, c) & mask;
+        if digit != 0 {
+            buckets[(digit - 1) as usize].add_assign_mixed(base);
+        }
+    }
+    // Σ k·bucket_k via running suffix sums
+    let mut running = Projective::identity();
+    let mut acc = Projective::identity();
+    for b in buckets.iter().rev() {
+        running += *b;
+        acc += running;
+    }
+    acc
+}
+
+/// Reads up to 64 bits of `v` starting at bit `shift` (little-endian).
+fn extract_bits(v: &BigInt256, shift: usize, width: usize) -> u64 {
+    if shift >= 256 {
+        return 0;
+    }
+    let limb = shift / 64;
+    let bit = shift % 64;
+    let mut out = v.0[limb] >> bit;
+    if bit + width > 64 && limb + 1 < 4 {
+        out |= v.0[limb + 1] << (64 - bit);
+    }
+    out & ((1u64 << width) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bn254::{G1Affine, G1Projective, G2Projective};
+    use rand::SeedableRng;
+    use zkrownn_ff::Field;
+
+    fn naive<C: SwCurveConfig>(bases: &[Affine<C>], scalars: &[Fr]) -> Projective<C> {
+        bases
+            .iter()
+            .zip(scalars)
+            .fold(Projective::identity(), |acc, (b, s)| {
+                acc + b.mul_scalar(*s)
+            })
+    }
+
+    #[test]
+    fn msm_matches_naive_g1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+        let g = G1Projective::generator();
+        for n in [0usize, 1, 2, 7, 33, 150] {
+            let bases: Vec<G1Affine> = (0..n)
+                .map(|_| g.mul_scalar(Fr::random(&mut rng)).into_affine())
+                .collect();
+            let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn msm_matches_naive_g2() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+        let g = G2Projective::generator();
+        let bases: Vec<_> = (0..40)
+            .map(|_| g.mul_scalar(Fr::random(&mut rng)).into_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..40).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn msm_skips_zero_scalars_and_identity_points() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(63);
+        let g = G1Projective::generator();
+        let mut bases: Vec<G1Affine> = (0..10)
+            .map(|_| g.mul_scalar(Fr::random(&mut rng)).into_affine())
+            .collect();
+        let mut scalars: Vec<Fr> = (0..10).map(|_| Fr::random(&mut rng)).collect();
+        bases[3] = G1Affine::identity();
+        scalars[7] = Fr::zero();
+        assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn extract_bits_spans_limb_boundaries() {
+        let v = BigInt256([u64::MAX, 0b1011, 0, 0]);
+        assert_eq!(extract_bits(&v, 60, 8), 0b1011_1111);
+        assert_eq!(extract_bits(&v, 64, 4), 0b1011);
+        assert_eq!(extract_bits(&v, 252, 10), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests of the group laws and point serialization.
+
+use proptest::prelude::*;
+use zkrownn_curves::serialize::{
+    read_compressed, read_uncompressed, write_compressed, write_uncompressed,
+};
+use zkrownn_curves::{G1Config, G1Projective, G2Config, G2Projective};
+use zkrownn_ff::{Field, Fr};
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| Fr::from_u64(a) * Fr::from_u64(b) + Fr::from_u64(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn g1_scalar_distributivity(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        prop_assert_eq!(g.mul_scalar(a) + g.mul_scalar(b), g.mul_scalar(a + b));
+    }
+
+    #[test]
+    fn g1_scalar_composition(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        prop_assert_eq!(g.mul_scalar(a).mul_scalar(b), g.mul_scalar(a * b));
+    }
+
+    #[test]
+    fn g1_add_commutes(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        let p = g.mul_scalar(a);
+        let q = g.mul_scalar(b);
+        prop_assert_eq!(p + q, q + p);
+    }
+
+    #[test]
+    fn g1_serialization_roundtrips(a in arb_fr()) {
+        let p = G1Projective::generator().mul_scalar(a).into_affine();
+        let mut buf = Vec::new();
+        write_compressed(&p, &mut buf);
+        prop_assert_eq!(read_compressed::<G1Config>(&buf), Some(p));
+        let mut buf2 = Vec::new();
+        write_uncompressed(&p, &mut buf2);
+        prop_assert_eq!(read_uncompressed::<G1Config>(&buf2), Some(p));
+    }
+
+    #[test]
+    fn g2_serialization_roundtrips(a in arb_fr()) {
+        let p = G2Projective::generator().mul_scalar(a).into_affine();
+        let mut buf = Vec::new();
+        write_compressed(&p, &mut buf);
+        prop_assert_eq!(read_compressed::<G2Config>(&buf), Some(p));
+    }
+
+    #[test]
+    fn corrupted_compressed_points_never_panic(bytes in prop::collection::vec(any::<u8>(), 32)) {
+        // arbitrary bytes must either parse to a valid curve point or None
+        if let Some(p) = read_compressed::<G1Config>(&bytes) {
+            prop_assert!(p.is_on_curve());
+        }
+    }
+
+    #[test]
+    fn corrupted_g2_points_never_panic(bytes in prop::collection::vec(any::<u8>(), 64)) {
+        if let Some(p) = read_compressed::<G2Config>(&bytes) {
+            prop_assert!(p.is_on_curve());
+            prop_assert!(p.is_in_correct_subgroup());
+        }
+    }
+
+    #[test]
+    fn mixed_and_general_addition_agree(a in arb_fr(), b in arb_fr()) {
+        let g = G1Projective::generator();
+        let p = g.mul_scalar(a);
+        let q_affine = g.mul_scalar(b).into_affine();
+        let mut mixed = p;
+        mixed.add_assign_mixed(&q_affine);
+        prop_assert_eq!(mixed, p + q_affine.into_projective());
+    }
+}

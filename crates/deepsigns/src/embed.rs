@@ -1,0 +1,180 @@
+//! Watermark embedding: fine-tunes the model so the mean activation of the
+//! trigger set, projected through the secret matrix and squashed by a
+//! sigmoid, reproduces the owner's signature bits.
+//!
+//! Loss: `L = CE(task) + λ·Σⱼ BCE(σ((µ·A)ⱼ), wmⱼ)` where `µ` is the mean
+//! activation of the trigger inputs at the watermarked layer. The embedding
+//! gradient is injected at that layer through
+//! [`zkrownn_nn::Network::backward`]'s injection hook, exactly mirroring
+//! DeepSigns' "additional loss term … while fine-tuning".
+
+use crate::extract::{extract, mean_activation};
+use crate::keys::WatermarkKeys;
+use zkrownn_nn::{sigmoid, softmax_cross_entropy, Network, Tensor};
+
+/// Embedding hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct EmbedConfig {
+    /// Weight of the watermark loss relative to the task loss.
+    pub lambda: f32,
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 2.0,
+            epochs: 15,
+            lr: 0.01,
+        }
+    }
+}
+
+/// Outcome of an embedding run.
+#[derive(Clone, Debug)]
+pub struct EmbedReport {
+    /// Bit error rate after embedding (0.0 = perfect).
+    pub ber: f64,
+    /// Final watermark loss.
+    pub wm_loss: f32,
+}
+
+/// Gradient of the watermark loss with respect to the mean activation `µ`:
+/// `∂/∂µ Σⱼ BCE(σ((µ·A)ⱼ), wmⱼ) = A · (σ(µ·A) − wm)`.
+fn wm_grad_wrt_mu(keys: &WatermarkKeys, mu: &[f32]) -> (Vec<f32>, f32) {
+    let n = keys.signature.len();
+    let proj = keys.project(mu);
+    let mut loss = 0.0f32;
+    let mut delta = vec![0.0f32; n];
+    for j in 0..n {
+        let p = sigmoid(proj[j]);
+        let t = if keys.signature[j] { 1.0 } else { 0.0 };
+        loss -= t * p.max(1e-6).ln() + (1.0 - t) * (1.0 - p).max(1e-6).ln();
+        // d BCE(σ(z), t) / dz = σ(z) − t
+        delta[j] = p - t;
+    }
+    let mut grad = vec![0.0f32; keys.activation_dim];
+    for i in 0..keys.activation_dim {
+        for j in 0..n {
+            grad[i] += keys.projection[i * n + j] * delta[j];
+        }
+    }
+    (grad, loss)
+}
+
+/// Embeds the watermark by fine-tuning `net` on the task data plus the
+/// embedding loss. Returns the post-embedding BER report.
+pub fn embed(
+    net: &mut Network,
+    keys: &WatermarkKeys,
+    task_xs: &[Tensor],
+    task_ys: &[usize],
+    cfg: &EmbedConfig,
+) -> EmbedReport {
+    let t = keys.triggers.len() as f32;
+    let mut wm_loss = 0.0;
+    for _ in 0..cfg.epochs {
+        // -- watermark step: gradient of the WM loss through the triggers --
+        let mu = mean_activation(net, keys);
+        let (grad_mu, loss) = wm_grad_wrt_mu(keys, &mu);
+        wm_loss = loss;
+        let inj = Tensor::from_vec(
+            &[keys.activation_dim],
+            grad_mu.iter().map(|g| g * cfg.lambda / t).collect(),
+        );
+        for trig in &keys.triggers {
+            let acts = net.forward_collect(trig);
+            // reshape injection to the activation's true shape (CNN layers)
+            let inj_shaped = inj.clone().reshape(acts[keys.layer].shape());
+            let zero_out = Tensor::zeros(acts.last().unwrap().shape());
+            let grads = net.backward(trig, &acts, &zero_out, &[(keys.layer, inj_shaped)]);
+            net.apply_grads(&grads, cfg.lr);
+        }
+        // -- task step: retain accuracy on the original objective --
+        for (x, &y) in task_xs.iter().zip(task_ys) {
+            let acts = net.forward_collect(x);
+            let (_, g) = softmax_cross_entropy(acts.last().unwrap(), y);
+            let grads = net.backward(x, &acts, &g, &[]);
+            net.apply_grads(&grads, cfg.lr);
+        }
+    }
+    let (_, ber) = extract(net, keys);
+    EmbedReport { ber, wm_loss }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::{generate_keys, KeyGenConfig};
+    use rand::SeedableRng;
+    use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer};
+
+    fn small_setup(
+        seed: u64,
+    ) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gmm = GmmConfig {
+            input_shape: vec![16],
+            num_classes: 4,
+            mean_scale: 1.0,
+            noise_std: 0.3,
+        };
+        let data = generate_gmm(&gmm, 120, &mut rng);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(16, 24, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(24, 4, &mut rng)),
+        ]);
+        net.train(&data.xs, &data.ys, 8, 0.05);
+        let keys = generate_keys(
+            &KeyGenConfig {
+                layer: 0,
+                activation_dim: 24,
+                signature_bits: 16,
+                num_triggers: 6,
+                projection_std: 1.0,
+            },
+            &data,
+            &mut rng,
+        );
+        (net, keys, data)
+    }
+
+    #[test]
+    fn embedding_drives_ber_to_zero() {
+        let (mut net, keys, data) = small_setup(231);
+        let (_, ber_before) = extract(&net, &keys);
+        let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+        assert_eq!(report.ber, 0.0, "BER before was {ber_before}");
+    }
+
+    #[test]
+    fn embedding_preserves_accuracy() {
+        let (mut net, keys, data) = small_setup(232);
+        let acc_before = net.accuracy(&data.xs, &data.ys);
+        embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+        let acc_after = net.accuracy(&data.xs, &data.ys);
+        assert!(
+            acc_after >= acc_before - 0.05,
+            "accuracy dropped from {acc_before} to {acc_after}"
+        );
+    }
+
+    #[test]
+    fn unrelated_model_has_high_ber() {
+        let (mut net, keys, data) = small_setup(233);
+        embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+        // fresh model never saw the watermark
+        let mut rng = rand::rngs::StdRng::seed_from_u64(999);
+        let fresh = Network::new(vec![
+            Layer::Dense(Dense::new(16, 24, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(24, 4, &mut rng)),
+        ]);
+        let (_, ber) = extract(&fresh, &keys);
+        assert!(ber > 0.2, "fresh model BER unexpectedly low: {ber}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Watermark extraction (the computation ZKROWNN later proves in zero
+//! knowledge): query the model with the trigger keys, average the
+//! activations at the watermarked layer, project, squash, threshold and
+//! compare against the signature.
+
+use crate::keys::WatermarkKeys;
+use zkrownn_nn::{sigmoid, Network};
+
+/// Mean activation of the trigger set at the watermarked layer (the
+/// "statistical mean of the obtained activation maps" approximating the
+/// Gaussian centers).
+pub fn mean_activation(net: &Network, keys: &WatermarkKeys) -> Vec<f32> {
+    assert!(!keys.triggers.is_empty(), "no trigger inputs");
+    let mut mu = vec![0.0f32; keys.activation_dim];
+    for trig in &keys.triggers {
+        let acts = net.forward_collect(trig);
+        let a = &acts[keys.layer];
+        assert_eq!(
+            a.len(),
+            keys.activation_dim,
+            "activation dimension mismatch at layer {}",
+            keys.layer
+        );
+        for (m, &v) in mu.iter_mut().zip(a.data()) {
+            *m += v;
+        }
+    }
+    let t = keys.triggers.len() as f32;
+    for m in mu.iter_mut() {
+        *m /= t;
+    }
+    mu
+}
+
+/// Extracts the watermark; returns `(decoded bits, bit error rate)`.
+pub fn extract(net: &Network, keys: &WatermarkKeys) -> (Vec<bool>, f64) {
+    let mu = mean_activation(net, keys);
+    let proj = keys.project(&mu);
+    let decoded: Vec<bool> = proj.iter().map(|&z| sigmoid(z) >= 0.5).collect();
+    let errors = decoded
+        .iter()
+        .zip(&keys.signature)
+        .filter(|(a, b)| a != b)
+        .count();
+    (decoded, errors as f64 / keys.signature.len() as f64)
+}
+
+/// Detection decision: ownership is asserted when `BER ≤ threshold`
+/// (DeepSigns uses `BER == 0`; a non-zero θ tolerates attack noise).
+pub fn detect(net: &Network, keys: &WatermarkKeys, threshold: f64) -> bool {
+    extract(net, keys).1 <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_nn::{Dense, Layer, Tensor};
+
+    #[test]
+    fn mean_activation_averages() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(241);
+        let net = Network::new(vec![Layer::Dense(Dense::new(4, 3, &mut rng))]);
+        let t1 = Tensor::from_vec(&[4], vec![1.0, 0.0, 0.0, 0.0]);
+        let t2 = Tensor::from_vec(&[4], vec![0.0, 1.0, 0.0, 0.0]);
+        let keys = WatermarkKeys {
+            layer: 0,
+            target_class: 0,
+            triggers: vec![t1.clone(), t2.clone()],
+            projection: vec![0.0; 3 * 2],
+            activation_dim: 3,
+            signature: vec![false, false],
+        };
+        let mu = mean_activation(&net, &keys);
+        let a1 = net.forward(&t1);
+        let a2 = net.forward(&t2);
+        for i in 0..3 {
+            assert!((mu[i] - (a1.data()[i] + a2.data()[i]) / 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn random_model_ber_near_half() {
+        // with a random projection and random signature, about half the
+        // decoded bits disagree
+        let mut rng = rand::rngs::StdRng::seed_from_u64(242);
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(8, 16, &mut rng)),
+            Layer::ReLU,
+        ]);
+        use crate::keys::{generate_keys, KeyGenConfig};
+        use zkrownn_nn::{generate_gmm, GmmConfig};
+        let data = generate_gmm(
+            &GmmConfig {
+                input_shape: vec![8],
+                num_classes: 2,
+                mean_scale: 1.0,
+                noise_std: 0.3,
+            },
+            64,
+            &mut rng,
+        );
+        let mut total = 0.0;
+        for _ in 0..10 {
+            let keys = generate_keys(
+                &KeyGenConfig {
+                    layer: 1,
+                    activation_dim: 16,
+                    signature_bits: 32,
+                    num_triggers: 4,
+                    projection_std: 1.0,
+                },
+                &data,
+                &mut rng,
+            );
+            total += extract(&net, &keys).1;
+        }
+        let avg = total / 10.0;
+        assert!((avg - 0.5).abs() < 0.2, "average BER {avg}");
+    }
+}

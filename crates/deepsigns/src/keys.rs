@@ -1,0 +1,173 @@
+//! Watermark key material (the owner's secret).
+//!
+//! Per DeepSigns (§II-A of the ZKROWNN paper), the keys consist of:
+//! * the **target class** `s` whose activation-distribution mean carries
+//!   the signature,
+//! * the **trigger inputs** `X_key` — a small subset (~1%) of the training
+//!   data from that class,
+//! * the **projection matrix** `A ∈ ℝ^{M×N}` mapping the `M`-dimensional
+//!   mean activation to the `N` signature bits,
+//! * the **signature** itself — `N` i.i.d. random bits,
+//! * and the index of the layer whose activations are watermarked.
+
+use rand::Rng;
+use zkrownn_nn::{Dataset, Tensor};
+
+/// The owner's secret watermark keys.
+#[derive(Clone, Debug)]
+pub struct WatermarkKeys {
+    /// Index of the watermarked layer (the layer whose *output*
+    /// activations carry the signature).
+    pub layer: usize,
+    /// The class whose activation mean is shifted.
+    pub target_class: usize,
+    /// Trigger inputs (drawn from the training data of `target_class`).
+    pub triggers: Vec<Tensor>,
+    /// Projection matrix, row-major `M × N` (`M` = activation dimension,
+    /// `N` = signature length).
+    pub projection: Vec<f32>,
+    /// Activation dimension `M`.
+    pub activation_dim: usize,
+    /// The `N`-bit signature.
+    pub signature: Vec<bool>,
+}
+
+impl WatermarkKeys {
+    /// Number of signature bits `N`.
+    pub fn signature_len(&self) -> usize {
+        self.signature.len()
+    }
+
+    /// Number of trigger inputs `T`.
+    pub fn num_triggers(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// Projection column `j` dotted with a vector (helper).
+    pub fn project(&self, mu: &[f32]) -> Vec<f32> {
+        assert_eq!(mu.len(), self.activation_dim);
+        let n = self.signature.len();
+        let mut out = vec![0.0f32; n];
+        for (i, &m) in mu.iter().enumerate() {
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += m * self.projection[i * n + j];
+            }
+        }
+        out
+    }
+}
+
+/// Configuration for key generation.
+#[derive(Clone, Debug)]
+pub struct KeyGenConfig {
+    /// Watermarked layer index.
+    pub layer: usize,
+    /// Activation dimension at that layer.
+    pub activation_dim: usize,
+    /// Signature length in bits (the paper's benchmarks use 32).
+    pub signature_bits: usize,
+    /// Number of trigger inputs to select.
+    pub num_triggers: usize,
+    /// Scale of the Gaussian projection entries.
+    pub projection_std: f32,
+}
+
+/// Generates fresh watermark keys: random signature, Gaussian projection,
+/// and triggers drawn from the dataset restricted to a random target class.
+pub fn generate_keys<R: Rng + ?Sized>(
+    cfg: &KeyGenConfig,
+    data: &Dataset,
+    rng: &mut R,
+) -> WatermarkKeys {
+    let target_class = rng.gen_range(0..data.num_classes);
+    let triggers: Vec<Tensor> = data
+        .xs
+        .iter()
+        .zip(&data.ys)
+        .filter(|(_, &y)| y == target_class)
+        .map(|(x, _)| x.clone())
+        .take(cfg.num_triggers)
+        .collect();
+    assert!(
+        triggers.len() == cfg.num_triggers,
+        "dataset has too few samples of class {target_class}"
+    );
+    let signature: Vec<bool> = (0..cfg.signature_bits).map(|_| rng.gen()).collect();
+    let projection: Vec<f32> = (0..cfg.activation_dim * cfg.signature_bits)
+        .map(|_| {
+            let u1: f32 = rng.gen_range(1e-7..1.0f32);
+            let u2: f32 = rng.gen_range(0.0..1.0f32);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * core::f32::consts::PI * u2).cos()
+                * cfg.projection_std
+        })
+        .collect();
+    WatermarkKeys {
+        layer: cfg.layer,
+        target_class,
+        triggers,
+        projection,
+        activation_dim: cfg.activation_dim,
+        signature,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_nn::{generate_gmm, GmmConfig};
+
+    #[test]
+    fn keys_have_requested_dimensions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(221);
+        let data = generate_gmm(&GmmConfig::mnist_like(), 100, &mut rng);
+        let cfg = KeyGenConfig {
+            layer: 0,
+            activation_dim: 64,
+            signature_bits: 32,
+            num_triggers: 5,
+            projection_std: 1.0,
+        };
+        let keys = generate_keys(&cfg, &data, &mut rng);
+        assert_eq!(keys.signature.len(), 32);
+        assert_eq!(keys.triggers.len(), 5);
+        assert_eq!(keys.projection.len(), 64 * 32);
+    }
+
+    #[test]
+    fn triggers_come_from_target_class() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(222);
+        let data = generate_gmm(&GmmConfig::mnist_like(), 100, &mut rng);
+        let cfg = KeyGenConfig {
+            layer: 0,
+            activation_dim: 8,
+            signature_bits: 8,
+            num_triggers: 3,
+            projection_std: 1.0,
+        };
+        let keys = generate_keys(&cfg, &data, &mut rng);
+        // every trigger must exactly match a dataset sample of the class
+        for t in &keys.triggers {
+            let found = data
+                .xs
+                .iter()
+                .zip(&data.ys)
+                .any(|(x, &y)| y == keys.target_class && x == t);
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn project_computes_mu_times_a() {
+        let keys = WatermarkKeys {
+            layer: 0,
+            target_class: 0,
+            triggers: vec![],
+            projection: vec![1.0, 2.0, 3.0, 4.0], // 2×2
+            activation_dim: 2,
+            signature: vec![true, false],
+        };
+        let p = keys.project(&[10.0, 100.0]);
+        assert_eq!(p, vec![10.0 + 300.0, 20.0 + 400.0]);
+    }
+}

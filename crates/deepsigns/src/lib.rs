@@ -1,0 +1,48 @@
+//! # zkrownn-deepsigns — DeepSigns watermarking
+//!
+//! The watermarking scheme the paper builds its ownership proofs on
+//! (Rouhani et al., ASPLOS 2019): an `N`-bit signature is embedded into the
+//! *mean of the activation distribution* of a chosen hidden layer by
+//! fine-tuning with an embedding loss; extraction feeds secret trigger
+//! inputs, averages the activations, projects them through a secret
+//! Gaussian matrix, applies a sigmoid and hard threshold, and measures the
+//! bit error rate against the signature.
+//!
+//! * [`keys`] — key generation (target class, triggers, projection, bits)
+//! * [`embed`](mod@embed) — embedding by fine-tuning (task loss + watermark loss)
+//! * [`extract`](mod@extract) — extraction and BER / detection decision
+//! * [`attacks`] — pruning / fine-tuning / overwriting removal attacks
+//!
+//! ```no_run
+//! use rand::SeedableRng;
+//! use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
+//! use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let data = generate_gmm(&GmmConfig::mnist_like(), 500, &mut rng);
+//! let mut net = Network::new(vec![
+//!     Layer::Dense(Dense::new(784, 512, &mut rng)),
+//!     Layer::ReLU,
+//!     Layer::Dense(Dense::new(512, 10, &mut rng)),
+//! ]);
+//! net.train(&data.xs, &data.ys, 3, 0.02);
+//! let keys = generate_keys(
+//!     &KeyGenConfig { layer: 0, activation_dim: 512, signature_bits: 32,
+//!                     num_triggers: 5, projection_std: 1.0 },
+//!     &data, &mut rng);
+//! let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+//! assert_eq!(report.ber, 0.0);
+//! let (_bits, ber) = extract(&net, &keys);
+//! assert_eq!(ber, 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod embed;
+pub mod extract;
+pub mod keys;
+
+pub use embed::{embed, EmbedConfig, EmbedReport};
+pub use extract::{detect, extract, mean_activation};
+pub use keys::{generate_keys, KeyGenConfig, WatermarkKeys};

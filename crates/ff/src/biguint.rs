@@ -1,0 +1,375 @@
+//! Minimal arbitrary-precision unsigned integers.
+//!
+//! Used only at setup time and in tests: deriving Frobenius exponents such as
+//! `(p − 1)/6`, cross-checking the hard-coded moduli against their decimal
+//! forms, and computing the naive final-exponentiation exponent
+//! `(p⁴ − p² + 1)/r` that validates the fast pairing path. None of this code
+//! is on a hot path, so clarity is preferred over speed.
+
+/// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
+#[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0 (empty limb vector).
+    pub fn zero() -> Self {
+        Self { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Self { limbs: vec![1] }
+    }
+
+    /// Creates a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut s = Self { limbs: vec![v] };
+        s.normalize();
+        s
+    }
+
+    /// Creates a value from little-endian limbs.
+    pub fn from_limbs(limbs: &[u64]) -> Self {
+        let mut s = Self { limbs: limbs.to_vec() };
+        s.normalize();
+        s
+    }
+
+    /// Parses a base-10 string. Panics on non-digit characters.
+    pub fn from_decimal(s: &str) -> Self {
+        let mut out = Self::zero();
+        for ch in s.chars() {
+            let d = ch.to_digit(10).unwrap_or_else(|| panic!("invalid decimal digit {ch:?}"));
+            out = out.mul_u64(10).add(&Self::from_u64(d as u64));
+        }
+        out
+    }
+
+    /// Renders the value in base 10.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        // 10^19 is the largest power of ten below 2^64.
+        const BASE: u64 = 10_000_000_000_000_000_000;
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(BASE);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().unwrap().to_string();
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+
+    /// Returns the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Copies the value into a fixed-size little-endian limb array.
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `N` limbs.
+    pub fn to_limbs<const N: usize>(&self) -> [u64; N] {
+        assert!(self.limbs.len() <= N, "value does not fit in {N} limbs");
+        let mut out = [0u64; N];
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Returns true if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of significant bits.
+    pub fn num_bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => (self.limbs.len() as u64) * 64 - u64::from(top.leading_zeros()),
+        }
+    }
+
+    /// Returns bit `i` (little-endian numbering).
+    pub fn bit(&self, i: u64) -> bool {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, i: u64) {
+        let limb = (i / 64) as usize;
+        if limb >= self.limbs.len() {
+            self.limbs.resize(limb + 1, 0);
+        }
+        self.limbs[limb] |= 1 << (i % 64);
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &Self) -> Self {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut out = Vec::with_capacity(n + 1);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s, c) = crate::bigint::adc(a, b, carry);
+            out.push(s);
+            carry = c;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert!(self >= other, "BigUint subtraction underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d, bo) = crate::bigint::sbb(a, b, borrow);
+            out.push(d);
+            borrow = bo;
+        }
+        assert_eq!(borrow, 0);
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let (lo, hi) = crate::bigint::mac(out[i + j], a, b, carry);
+                out[i + j] = lo;
+                carry = hi;
+            }
+            out[i + other.limbs.len()] = carry;
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Multiplication by a `u64`.
+    pub fn mul_u64(&self, v: u64) -> Self {
+        self.mul(&Self::from_u64(v))
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u64) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift > 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: u64) -> Self {
+        let limb_shift = (n / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = n % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut v = self.limbs[i] >> bit_shift;
+            if bit_shift > 0 && i + 1 < self.limbs.len() {
+                v |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out.push(v);
+        }
+        let mut r = Self { limbs: out };
+        r.normalize();
+        r
+    }
+
+    /// Long division: returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.num_bits() - divisor.num_bits();
+        let mut rem = self.clone();
+        let mut quot = Self::zero();
+        let mut shifted = divisor.shl(shift);
+        let mut i = shift as i64;
+        while i >= 0 {
+            if rem >= shifted {
+                rem = rem.sub(&shifted);
+                quot.set_bit(i as u64);
+            }
+            shifted = shifted.shr(1);
+            i -= 1;
+        }
+        (quot, rem)
+    }
+
+    /// Division by a `u64`, returning `(quotient, remainder)`.
+    pub fn div_rem_u64(&self, divisor: u64) -> (Self, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        let mut q = Self { limbs: out };
+        q.normalize();
+        (q, rem as u64)
+    }
+
+    /// Modular exponentiation `self^exp mod m` (schoolbook; test use only).
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero());
+        let mut base = self.div_rem(m).1;
+        let mut result = Self::one().div_rem(m).1;
+        let bits = exp.num_bits();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = result.mul(&base).div_rem(m).1;
+            }
+            base = base.mul(&base).div_rem(m).1;
+        }
+        result
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                core::cmp::Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        core::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl core::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "18446744073709551615",
+            "18446744073709551616",
+            "21888242871839275222246405745257275088696311157297823662689037894645226208583",
+        ];
+        for c in cases {
+            assert_eq!(BigUint::from_decimal(c).to_decimal(), c);
+        }
+    }
+
+    #[test]
+    fn add_sub() {
+        let a = BigUint::from_decimal("340282366920938463463374607431768211456"); // 2^128
+        let b = BigUint::from_u64(1);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&a), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_matches_decimal() {
+        let a = BigUint::from_u64(u64::MAX);
+        let sq = a.mul(&a);
+        assert_eq!(sq.to_decimal(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn div_rem_basic() {
+        let a = BigUint::from_decimal("1000000000000000000000000000000000000007");
+        let d = BigUint::from_decimal("1000000007");
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(q.mul(&d).add(&r), a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn div_rem_u64_matches_div_rem() {
+        let a = BigUint::from_decimal("123456789012345678901234567890123456789");
+        let (q1, r1) = a.div_rem_u64(97);
+        let (q2, r2) = a.div_rem(&BigUint::from_u64(97));
+        assert_eq!(q1, q2);
+        assert_eq!(BigUint::from_u64(r1), r2);
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let a = BigUint::from_decimal("987654321987654321987654321");
+        assert_eq!(a.shl(77).shr(77), a);
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) = 1 mod p for prime p
+        let p = BigUint::from_u64(1_000_000_007);
+        let e = BigUint::from_u64(1_000_000_006);
+        assert_eq!(BigUint::from_u64(2).modpow(&e, &p), BigUint::one());
+    }
+}

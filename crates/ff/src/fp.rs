@@ -1,0 +1,369 @@
+//! Generic Montgomery-form prime field over a 256-bit modulus.
+//!
+//! The only hand-transcribed datum per field is the modulus itself (plus a
+//! small generator hint); `R`, `R²` and `-p⁻¹ mod 2⁶⁴` are derived by
+//! `const fn` evaluation, and the 2-adic root of unity is derived at runtime.
+
+use crate::bigint::{adc, mac, mont_inv64, mont_r, mont_r2, BigInt256};
+use crate::traits::{Field, PrimeField, SquareRootField};
+use core::marker::PhantomData;
+
+/// Compile-time parameters describing a prime field.
+pub trait FpParams:
+    'static + Copy + Clone + Send + Sync + Eq + core::hash::Hash + core::fmt::Debug
+{
+    /// The prime modulus.
+    const MODULUS: BigInt256;
+    /// A small generator of the multiplicative group (hint; validated where
+    /// it matters).
+    const GENERATOR: u64;
+    /// Largest `s` with `2^s | MODULUS - 1`.
+    const TWO_ADICITY: u32;
+
+    /// Montgomery constant `R = 2^256 mod p` (derived — do not override).
+    const R: BigInt256 = mont_r(&Self::MODULUS);
+    /// Montgomery constant `R² mod p` (derived — do not override).
+    const R2: BigInt256 = mont_r2(&Self::MODULUS);
+    /// `-p⁻¹ mod 2^64` (derived — do not override).
+    const INV: u64 = mont_inv64(&Self::MODULUS);
+}
+
+/// An element of the prime field defined by `P`, stored in Montgomery form.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Fp<P: FpParams>(BigInt256, PhantomData<P>);
+
+impl<P: FpParams> Fp<P> {
+    /// Montgomery reduction of a 512-bit product.
+    #[inline]
+    fn mont_reduce(mut t: [u64; 8]) -> BigInt256 {
+        let m = P::MODULUS.0;
+        let mut carry2 = 0u64;
+        for i in 0..4 {
+            let k = t[i].wrapping_mul(P::INV);
+            let (_, mut carry) = mac(t[i], k, m[0], 0);
+            for j in 1..4 {
+                let (lo, hi) = mac(t[i + j], k, m[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+            }
+            let (lo, c) = adc(t[i + 4], carry, carry2);
+            t[i + 4] = lo;
+            carry2 = c;
+        }
+        debug_assert_eq!(carry2, 0, "montgomery reduction overflow");
+        let mut r = BigInt256([t[4], t[5], t[6], t[7]]);
+        if r.const_cmp(&P::MODULUS) >= 0 {
+            r = r.sub_with_borrow(&P::MODULUS).0;
+        }
+        r
+    }
+
+    #[inline]
+    fn mul_repr(a: &BigInt256, b: &BigInt256) -> BigInt256 {
+        Self::mont_reduce(a.mul_wide(b))
+    }
+
+    /// Returns the canonical (non-Montgomery) representation.
+    #[inline]
+    fn to_canonical(self) -> BigInt256 {
+        let mut t = [0u64; 8];
+        t[..4].copy_from_slice(&(self.0).0);
+        Self::mont_reduce(t)
+    }
+
+    /// Number of bits in the modulus.
+    pub const fn modulus_bits() -> u32 {
+        P::MODULUS.num_bits()
+    }
+
+    /// Halves the element (multiplies by 2⁻¹).
+    pub fn halve(&self) -> Self {
+        let mut r = self.0;
+        let mut carry = 0u64;
+        if r.is_odd() {
+            let (s, c) = r.add_with_carry(&P::MODULUS);
+            r = s;
+            carry = c;
+        }
+        let mut out = r.shr(1);
+        if carry == 1 {
+            out.0[3] |= 1 << 63;
+        }
+        Self(out, PhantomData)
+    }
+}
+
+impl<P: FpParams> Default for Fp<P> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<P: FpParams> core::fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp({})", self.to_canonical())
+    }
+}
+
+impl<P: FpParams> core::fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_canonical())
+    }
+}
+
+impl<P: FpParams> core::ops::Add for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        let (mut sum, carry) = self.0.add_with_carry(&rhs.0);
+        if carry == 1 || sum.const_cmp(&P::MODULUS) >= 0 {
+            sum = sum.sub_with_borrow(&P::MODULUS).0;
+        }
+        Self(sum, PhantomData)
+    }
+}
+
+impl<P: FpParams> core::ops::Sub for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        let (diff, borrow) = self.0.sub_with_borrow(&rhs.0);
+        if borrow == 1 {
+            Self(diff.add_with_carry(&P::MODULUS).0, PhantomData)
+        } else {
+            Self(diff, PhantomData)
+        }
+    }
+}
+
+impl<P: FpParams> core::ops::Mul for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self(Self::mul_repr(&self.0, &rhs.0), PhantomData)
+    }
+}
+
+impl<P: FpParams> core::ops::Neg for Fp<P> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        if self.0.is_zero() {
+            self
+        } else {
+            Self(P::MODULUS.sub_with_borrow(&self.0).0, PhantomData)
+        }
+    }
+}
+
+impl<P: FpParams> core::ops::AddAssign for Fp<P> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<P: FpParams> core::ops::SubAssign for Fp<P> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<P: FpParams> core::ops::MulAssign for Fp<P> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<P: FpParams> Field for Fp<P> {
+    #[inline]
+    fn zero() -> Self {
+        Self(BigInt256::ZERO, PhantomData)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Self(P::R, PhantomData)
+    }
+
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        // Fermat: a^(p-2). Adequate for our workloads; hot paths batch.
+        let exp = P::MODULUS.sub_with_borrow(&BigInt256::from_u64(2)).0;
+        let inv = self.pow(&exp.0);
+        debug_assert!((inv * *self).is_one());
+        Some(inv)
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let bits = P::MODULUS.num_bits();
+        let top_mask = if bits % 64 == 0 {
+            u64::MAX
+        } else {
+            (1u64 << (bits % 64)) - 1
+        };
+        loop {
+            let mut limbs = [0u64; 4];
+            for l in limbs.iter_mut() {
+                *l = rng.gen();
+            }
+            let top_limb = ((bits + 63) / 64 - 1) as usize;
+            limbs[top_limb] &= top_mask;
+            for l in limbs.iter_mut().skip(top_limb + 1) {
+                *l = 0;
+            }
+            let candidate = BigInt256(limbs);
+            if candidate.const_cmp(&P::MODULUS) < 0 {
+                // Interpret the sample directly as a Montgomery representation;
+                // the map x ↦ x·R⁻¹ is a bijection so uniformity is preserved.
+                return Self(candidate, PhantomData);
+            }
+        }
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Self(
+            Self::mul_repr(&BigInt256::from_u64(v), &P::R2),
+            PhantomData,
+        )
+    }
+}
+
+impl<P: FpParams> PartialOrd for Fp<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: FpParams> Ord for Fp<P> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.to_canonical().cmp(&other.to_canonical())
+    }
+}
+
+impl<P: FpParams> PrimeField for Fp<P> {
+    const MODULUS: BigInt256 = P::MODULUS;
+    const MODULUS_BIT_SIZE: u32 = P::MODULUS.num_bits();
+    const TWO_ADICITY: u32 = P::TWO_ADICITY;
+
+    fn from_bigint(v: BigInt256) -> Option<Self> {
+        if v.const_cmp(&P::MODULUS) >= 0 {
+            None
+        } else {
+            Some(Self(Self::mul_repr(&v, &P::R2), PhantomData))
+        }
+    }
+
+    fn into_bigint(self) -> BigInt256 {
+        self.to_canonical()
+    }
+
+    fn multiplicative_generator() -> Self {
+        // Validate the hint: we need a quadratic non-residue so the derived
+        // 2^s-th root of unity is primitive. Fall back to a search if the
+        // hint is a residue (cheap, happens once per call site).
+        let half = P::MODULUS.sub_with_borrow(&BigInt256::ONE).0.shr(1);
+        let mut g = P::GENERATOR;
+        loop {
+            let cand = Self::from_u64(g);
+            if !cand.is_zero() && !cand.pow(&half.0).is_one() {
+                return cand;
+            }
+            g += 1;
+        }
+    }
+}
+
+impl<P: FpParams> SquareRootField for Fp<P> {
+    fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        assert!(
+            P::MODULUS.0[0] & 3 == 3,
+            "sqrt is implemented only for p ≡ 3 (mod 4)"
+        );
+        // candidate = a^((p+1)/4)
+        let exp = P::MODULUS.add_with_carry(&BigInt256::ONE).0.shr(2);
+        let cand = self.pow(&exp.0);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A small-prime field for targeted unit tests: p = 2^61 - 1 won't work
+    // (not ≡ 3 mod 4 requirements aside, we want realistic 4-limb flows), so
+    // use the BN254 base field modulus directly via the crate's Fq params in
+    // integration tests; here we test the reduction path with a tiny prime.
+    #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+    struct P23;
+    impl FpParams for P23 {
+        const MODULUS: BigInt256 = BigInt256([23, 0, 0, 0]);
+        const GENERATOR: u64 = 5;
+        const TWO_ADICITY: u32 = 1;
+    }
+    type F23 = Fp<P23>;
+
+    #[test]
+    fn small_field_table() {
+        for a in 0..23u64 {
+            for b in 0..23u64 {
+                let fa = F23::from_u64(a);
+                let fb = F23::from_u64(b);
+                assert_eq!((fa + fb).into_bigint().0[0], (a + b) % 23);
+                assert_eq!((fa * fb).into_bigint().0[0], (a * b) % 23);
+                assert_eq!((fa - fb).into_bigint().0[0], (a + 23 - b) % 23);
+            }
+        }
+    }
+
+    #[test]
+    fn small_field_inverse() {
+        for a in 1..23u64 {
+            let fa = F23::from_u64(a);
+            let inv = fa.inverse().unwrap();
+            assert!((fa * inv).is_one());
+        }
+        assert!(F23::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn small_field_sqrt() {
+        // 23 ≡ 3 mod 4
+        let mut roots = 0;
+        for a in 0..23u64 {
+            if let Some(r) = F23::from_u64(a).sqrt() {
+                assert_eq!(r.square(), F23::from_u64(a));
+                roots += 1;
+            }
+        }
+        // 0 plus (p-1)/2 quadratic residues
+        assert_eq!(roots, 1 + 11);
+    }
+
+    #[test]
+    fn halve_matches_inverse_of_two() {
+        let two_inv = F23::from_u64(2).inverse().unwrap();
+        for a in 0..23u64 {
+            let fa = F23::from_u64(a);
+            assert_eq!(fa.halve(), fa * two_inv);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The BN254 base field `Fq`.
+//!
+//! `q = 21888242871839275222246405745257275088696311157297823662689037894645226208583`
+//!
+//! This is the field over which the curve `E: y² = x³ + 3` (a.k.a. BN128 /
+//! alt_bn128, the curve used by libsnark in the paper) is defined.
+
+use crate::bigint::BigInt256;
+use crate::fp::{Fp, FpParams};
+
+/// Parameters of the BN254 base field.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct FqParams;
+
+impl FpParams for FqParams {
+    /// 0x30644e72e131a029b85045b68181585d97816a916871ca8d3c208c16d87cfd47
+    const MODULUS: BigInt256 = BigInt256([
+        0x3c208c16d87cfd47,
+        0x97816a916871ca8d,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ]);
+    const GENERATOR: u64 = 3;
+    // q - 1 = 2 · odd
+    const TWO_ADICITY: u32 = 1;
+}
+
+/// An element of the BN254 base field.
+pub type Fq = Fp<FqParams>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biguint::BigUint;
+    use crate::traits::{Field, PrimeField, SquareRootField};
+    use rand::SeedableRng;
+
+    const Q_DEC: &str =
+        "21888242871839275222246405745257275088696311157297823662689037894645226208583";
+
+    #[test]
+    fn modulus_matches_published_decimal() {
+        let q = BigUint::from_limbs(&FqParams::MODULUS.0);
+        assert_eq!(q.to_decimal(), Q_DEC);
+    }
+
+    #[test]
+    fn modulus_is_3_mod_4() {
+        assert_eq!(FqParams::MODULUS.0[0] & 3, 3);
+    }
+
+    #[test]
+    fn r_and_r2_are_consistent() {
+        // R  = 2^256 mod q, and from_u64(1) stores R; one() must round-trip.
+        assert_eq!(Fq::one().into_bigint(), BigInt256::ONE);
+        let two = Fq::from_u64(2);
+        assert_eq!(two.into_bigint(), BigInt256::from_u64(2));
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = Fq::random(&mut rng);
+            let b = Fq::random(&mut rng);
+            let c = Fq::random(&mut rng);
+            assert_eq!(a + b, b + a);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a - a, Fq::zero());
+            assert_eq!(a + (-a), Fq::zero());
+            assert_eq!((a * b) * c, a * (b * c));
+        }
+    }
+
+    #[test]
+    fn inverse_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fq::one());
+        }
+    }
+
+    #[test]
+    fn sqrt_of_square_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let a = Fq::random(&mut rng);
+            let sq = a.square();
+            let r = sq.sqrt().expect("square must have a root");
+            assert!(r == a || r == -a);
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = Fq::random(&mut rng);
+        let q_min_1 = FqParams::MODULUS.sub_with_borrow(&BigInt256::ONE).0;
+        assert_eq!(a.pow(&q_min_1.0), Fq::one());
+    }
+
+    #[test]
+    fn to_from_bytes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Fq::random(&mut rng);
+        assert_eq!(Fq::from_le_bytes(&a.to_le_bytes()), Some(a));
+        // modulus itself must be rejected
+        assert_eq!(Fq::from_le_bytes(&FqParams::MODULUS.to_le_bytes()), None);
+    }
+
+    #[test]
+    fn signed_embedding_roundtrip() {
+        for v in [-5i128, -1, 0, 1, 7, 1 << 40, -(1 << 90)] {
+            assert_eq!(Fq::from_i128(v).to_i128(), Some(v));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Quadratic extension `Fq12 = Fq6[w] / (w² − v)` — the pairing target field.
+
+use crate::fq2::Fq2;
+use crate::fq6::Fq6;
+use crate::frobenius;
+use crate::traits::Field;
+
+/// An element `c0 + c1·w` of `Fq12`, where `w² = v`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Fq12 {
+    /// Coefficient of 1.
+    pub c0: Fq6,
+    /// Coefficient of `w`.
+    pub c1: Fq6,
+}
+
+impl Fq12 {
+    /// Creates the element `c0 + c1·w`.
+    #[inline]
+    pub const fn new(c0: Fq6, c1: Fq6) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// Conjugation `c0 − c1·w`; for elements of the cyclotomic subgroup this
+    /// equals inversion (used heavily by the final exponentiation).
+    #[inline]
+    pub fn conjugate(&self) -> Self {
+        Self::new(self.c0, -self.c1)
+    }
+
+    /// Applies the Frobenius endomorphism `x ↦ x^(q^power)`.
+    pub fn frobenius_map(&self, power: usize) -> Self {
+        let mut r = *self;
+        for _ in 0..power {
+            r = Self::new(
+                r.c0.frobenius_map(1),
+                r.c1.frobenius_map(1).mul_by_fq2(frobenius::fq12_c1()),
+            );
+        }
+        r
+    }
+
+    /// Squaring specialised to the cyclotomic subgroup. We currently use the
+    /// generic squaring, which is always correct; the specialised Granger–
+    /// Scott formula is a future optimisation hook.
+    #[inline]
+    pub fn cyclotomic_square(&self) -> Self {
+        self.square()
+    }
+
+    /// Exponentiation by a `u64`, staying in the cyclotomic subgroup.
+    pub fn cyclotomic_exp(&self, exp: u64) -> Self {
+        let mut res = Self::one();
+        let mut started = false;
+        for i in (0..64).rev() {
+            if started {
+                res = res.cyclotomic_square();
+            }
+            if (exp >> i) & 1 == 1 {
+                res *= *self;
+                started = true;
+            }
+        }
+        res
+    }
+
+    /// Multiplication by the sparse line element
+    /// `g = g0 + (g3·w + g4·v·w)` produced by D-twist line evaluations
+    /// (coefficients at positions 0, 3 and 4 of the Fq2-basis).
+    pub fn mul_by_034(&self, g0: Fq2, g3: Fq2, g4: Fq2) -> Self {
+        let sparse = Self::new(
+            Fq6::new(g0, Fq2::zero(), Fq2::zero()),
+            Fq6::new(g3, g4, Fq2::zero()),
+        );
+        *self * sparse
+    }
+}
+
+impl core::ops::Add for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+
+impl core::ops::Sub for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+
+impl core::ops::Mul for Fq12 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba with w² = v:
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let c0 = v0 + v1.mul_by_nonresidue();
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1;
+        Self::new(c0, c1)
+    }
+}
+
+impl core::ops::Neg for Fq12 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1)
+    }
+}
+
+impl core::ops::AddAssign for Fq12 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fq12 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fq12 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl core::fmt::Debug for Fq12 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fq12({:?}, {:?})", self.c0, self.c1)
+    }
+}
+
+impl core::fmt::Display for Fq12 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}) + ({})*w", self.c0, self.c1)
+    }
+}
+
+impl Field for Fq12 {
+    #[inline]
+    fn zero() -> Self {
+        Self::new(Fq6::zero(), Fq6::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        Self::new(Fq6::one(), Fq6::zero())
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    #[inline]
+    fn square(&self) -> Self {
+        // Complex squaring: (a + bw)² = (a² + v b²) + 2ab w
+        let v0 = self.c0 * self.c1;
+        let c0 = (self.c0 + self.c1) * (self.c0 + self.c1.mul_by_nonresidue())
+            - v0
+            - v0.mul_by_nonresidue();
+        Self::new(c0, v0.double())
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // (a + bw)⁻¹ = (a − bw)/(a² − v b²)
+        let denom = self.c0.square() - self.c1.square().mul_by_nonresidue();
+        let inv = denom.inverse()?;
+        Some(Self::new(self.c0 * inv, -(self.c1 * inv)))
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(Fq6::random(rng), Fq6::random(rng))
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Self::new(Fq6::from_u64(v), Fq6::zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn w_squared_is_v() {
+        let w = Fq12::new(Fq6::zero(), Fq6::one());
+        let v = Fq12::new(
+            Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero()),
+            Fq6::zero(),
+        );
+        assert_eq!(w.square(), v);
+    }
+
+    #[test]
+    fn field_axioms_and_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        for _ in 0..10 {
+            let a = Fq12::random(&mut rng);
+            let b = Fq12::random(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq12::one());
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_q_power() {
+        use crate::fp::FpParams;
+        use crate::fq::FqParams;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Fq12::random(&mut rng);
+        assert_eq!(a.frobenius_map(1), a.pow(&FqParams::MODULUS.0));
+        assert_eq!(a.frobenius_map(12), a);
+    }
+
+    #[test]
+    fn mul_by_034_matches_dense_mul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let a = Fq12::random(&mut rng);
+        let g0 = Fq2::random(&mut rng);
+        let g3 = Fq2::random(&mut rng);
+        let g4 = Fq2::random(&mut rng);
+        let dense = Fq12::new(
+            Fq6::new(g0, Fq2::zero(), Fq2::zero()),
+            Fq6::new(g3, g4, Fq2::zero()),
+        );
+        assert_eq!(a.mul_by_034(g0, g3, g4), a * dense);
+    }
+
+    #[test]
+    fn cyclotomic_exp_matches_pow() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let a = Fq12::random(&mut rng);
+        let e = 0xdead_beef_cafe_u64;
+        assert_eq!(a.cyclotomic_exp(e), a.pow(&[e]));
+    }
+
+    #[test]
+    fn conjugate_inverts_cyclotomic_elements() {
+        // r = f^(q^6 - 1) lies in the subgroup where conjugation = inversion.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let f = Fq12::random(&mut rng);
+        let r = f.frobenius_map(6) * f.inverse().unwrap();
+        assert_eq!(r.conjugate() * r, Fq12::one());
+    }
+}

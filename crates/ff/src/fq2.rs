@@ -1,0 +1,276 @@
+//! Quadratic extension `Fq2 = Fq[u] / (u² + 1)`.
+
+use crate::fq::Fq;
+use crate::traits::{Field, SquareRootField};
+
+/// An element `c0 + c1·u` of `Fq2`, where `u² = −1`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Fq2 {
+    /// Coefficient of 1.
+    pub c0: Fq,
+    /// Coefficient of `u`.
+    pub c1: Fq,
+}
+
+impl Fq2 {
+    /// Creates the element `c0 + c1·u`.
+    #[inline]
+    pub const fn new(c0: Fq, c1: Fq) -> Self {
+        Self { c0, c1 }
+    }
+
+    /// The distinguished non-residue `ξ = 9 + u` used to build `Fq6`.
+    pub fn xi() -> Self {
+        Self::new(Fq::from_u64(9), Fq::one())
+    }
+
+    /// Complex conjugation `c0 − c1·u` (this is also `x ↦ x^q`).
+    #[inline]
+    pub fn conjugate(&self) -> Self {
+        Self::new(self.c0, -self.c1)
+    }
+
+    /// Applies the Frobenius endomorphism `x ↦ x^(q^power)`.
+    #[inline]
+    pub fn frobenius_map(&self, power: usize) -> Self {
+        if power % 2 == 1 {
+            self.conjugate()
+        } else {
+            *self
+        }
+    }
+
+    /// The norm `c0² + c1²` (an element of `Fq`).
+    #[inline]
+    pub fn norm(&self) -> Fq {
+        self.c0.square() + self.c1.square()
+    }
+
+    /// Multiplies by a base-field scalar.
+    #[inline]
+    pub fn mul_by_fq(&self, s: Fq) -> Self {
+        Self::new(self.c0 * s, self.c1 * s)
+    }
+
+    /// Multiplies by the non-residue `ξ = 9 + u`.
+    ///
+    /// `(a + b·u)(9 + u) = (9a − b) + (a + 9b)·u`
+    #[inline]
+    pub fn mul_by_nonresidue(&self) -> Self {
+        let nine_a = self.c0.double().double().double() + self.c0;
+        let nine_b = self.c1.double().double().double() + self.c1;
+        Self::new(nine_a - self.c1, self.c0 + nine_b)
+    }
+}
+
+impl core::ops::Add for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1)
+    }
+}
+
+impl core::ops::Sub for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1)
+    }
+}
+
+impl core::ops::Mul for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        // Karatsuba with u² = −1:
+        // (a0 + a1 u)(b0 + b1 u) = (a0b0 − a1b1) + ((a0+a1)(b0+b1) − a0b0 − a1b1) u
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let c0 = v0 - v1;
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1;
+        Self::new(c0, c1)
+    }
+}
+
+impl core::ops::Neg for Fq2 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1)
+    }
+}
+
+impl core::ops::AddAssign for Fq2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fq2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fq2 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl core::fmt::Debug for Fq2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fq2({} + {}*u)", self.c0, self.c1)
+    }
+}
+
+impl core::fmt::Display for Fq2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} + {}*u", self.c0, self.c1)
+    }
+}
+
+impl Field for Fq2 {
+    #[inline]
+    fn zero() -> Self {
+        Self::new(Fq::zero(), Fq::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        Self::new(Fq::one(), Fq::zero())
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    #[inline]
+    fn square(&self) -> Self {
+        // (a + bu)² = (a+b)(a−b) + 2ab·u
+        let ab = self.c0 * self.c1;
+        Self::new(
+            (self.c0 + self.c1) * (self.c0 - self.c1),
+            ab.double(),
+        )
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        self.norm().inverse().map(|n| self.conjugate().mul_by_fq(n))
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(Fq::random(rng), Fq::random(rng))
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Self::new(Fq::from_u64(v), Fq::zero())
+    }
+}
+
+impl SquareRootField for Fq2 {
+    /// Square root via the "complex method", valid because `u² = −1`.
+    fn sqrt(&self) -> Option<Self> {
+        if self.is_zero() {
+            return Some(*self);
+        }
+        if self.c1.is_zero() {
+            // sqrt of a base-field element: either √c0 or √(−c0)·u.
+            if let Some(r) = self.c0.sqrt() {
+                return Some(Self::new(r, Fq::zero()));
+            }
+            return (-self.c0).sqrt().map(|r| Self::new(Fq::zero(), r));
+        }
+        // a = a0 + a1 u; |a| = a0² + a1² must be a square in Fq.
+        let s = self.norm().sqrt()?;
+        // x0² = (a0 + s)/2 or (a0 − s)/2, whichever is a QR.
+        let mut alpha = (self.c0 + s).halve();
+        let x0 = match alpha.sqrt() {
+            Some(x) => x,
+            None => {
+                alpha = (self.c0 - s).halve();
+                alpha.sqrt()?
+            }
+        };
+        let x1 = self.c1 * x0.double().inverse()?;
+        let cand = Self::new(x0, x1);
+        if cand.square() == *self {
+            Some(cand)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn u_squared_is_minus_one() {
+        let u = Fq2::new(Fq::zero(), Fq::one());
+        assert_eq!(u.square(), -Fq2::one());
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let a = Fq2::random(&mut rng);
+            let b = Fq2::random(&mut rng);
+            let c = Fq2::random(&mut rng);
+            assert_eq!(a * (b + c), a * b + a * c);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq2::one());
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_q_power() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let a = Fq2::random(&mut rng);
+        use crate::fq::FqParams;
+        use crate::fp::FpParams;
+        let frob = a.frobenius_map(1);
+        assert_eq!(frob, a.pow(&FqParams::MODULUS.0));
+        assert_eq!(a.frobenius_map(2), a);
+    }
+
+    #[test]
+    fn mul_by_nonresidue_matches_explicit() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a = Fq2::random(&mut rng);
+        assert_eq!(a.mul_by_nonresidue(), a * Fq2::xi());
+    }
+
+    #[test]
+    fn sqrt_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let mut found_nonsquare = false;
+        for _ in 0..20 {
+            let a = Fq2::random(&mut rng);
+            let sq = a.square();
+            let r = sq.sqrt().expect("squares have roots");
+            assert_eq!(r.square(), sq);
+            if a.sqrt().is_none() {
+                found_nonsquare = true;
+            }
+        }
+        // about half of random elements are non-squares
+        assert!(found_nonsquare);
+    }
+
+    #[test]
+    fn sqrt_of_base_field_embeddings() {
+        // ξ is known to be a non-residue? Not necessarily its embedding; just
+        // exercise both branches of the c1 == 0 path.
+        let four = Fq2::from_u64(4);
+        let r = four.sqrt().unwrap();
+        assert_eq!(r.square(), four);
+    }
+}

@@ -1,0 +1,217 @@
+//! Cubic extension `Fq6 = Fq2[v] / (v³ − ξ)` with `ξ = 9 + u`.
+
+use crate::fq2::Fq2;
+use crate::frobenius;
+use crate::traits::Field;
+
+/// An element `c0 + c1·v + c2·v²` of `Fq6`, where `v³ = ξ`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Fq6 {
+    /// Coefficient of 1.
+    pub c0: Fq2,
+    /// Coefficient of `v`.
+    pub c1: Fq2,
+    /// Coefficient of `v²`.
+    pub c2: Fq2,
+}
+
+impl Fq6 {
+    /// Creates the element `c0 + c1·v + c2·v²`.
+    #[inline]
+    pub const fn new(c0: Fq2, c1: Fq2, c2: Fq2) -> Self {
+        Self { c0, c1, c2 }
+    }
+
+    /// Multiplies by `v` (the Fq12-level non-residue):
+    /// `(c0 + c1 v + c2 v²)·v = ξ·c2 + c0·v + c1·v²`.
+    #[inline]
+    pub fn mul_by_nonresidue(&self) -> Self {
+        Self::new(self.c2.mul_by_nonresidue(), self.c0, self.c1)
+    }
+
+    /// Multiplies every coefficient by an `Fq2` scalar.
+    #[inline]
+    pub fn mul_by_fq2(&self, s: Fq2) -> Self {
+        Self::new(self.c0 * s, self.c1 * s, self.c2 * s)
+    }
+
+    /// Applies the Frobenius endomorphism `x ↦ x^(q^power)`.
+    pub fn frobenius_map(&self, power: usize) -> Self {
+        let mut r = *self;
+        for _ in 0..power {
+            r = Self::new(
+                r.c0.frobenius_map(1),
+                r.c1.frobenius_map(1) * frobenius::fq6_c1(),
+                r.c2.frobenius_map(1) * frobenius::fq6_c2(),
+            );
+        }
+        r
+    }
+}
+
+impl core::ops::Add for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.c0 + rhs.c0, self.c1 + rhs.c1, self.c2 + rhs.c2)
+    }
+}
+
+impl core::ops::Sub for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.c0 - rhs.c0, self.c1 - rhs.c1, self.c2 - rhs.c2)
+    }
+}
+
+impl core::ops::Mul for Fq6 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        // Toom-style schoolbook with v³ = ξ:
+        // c0 = a0b0 + ξ(a1b2 + a2b1)
+        // c1 = a0b1 + a1b0 + ξ a2b2
+        // c2 = a0b2 + a1b1 + a2b0
+        let v00 = self.c0 * rhs.c0;
+        let v01 = self.c0 * rhs.c1;
+        let v02 = self.c0 * rhs.c2;
+        let v10 = self.c1 * rhs.c0;
+        let v11 = self.c1 * rhs.c1;
+        let v12 = self.c1 * rhs.c2;
+        let v20 = self.c2 * rhs.c0;
+        let v21 = self.c2 * rhs.c1;
+        let v22 = self.c2 * rhs.c2;
+        Self::new(
+            v00 + (v12 + v21).mul_by_nonresidue(),
+            v01 + v10 + v22.mul_by_nonresidue(),
+            v02 + v11 + v20,
+        )
+    }
+}
+
+impl core::ops::Neg for Fq6 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.c0, -self.c1, -self.c2)
+    }
+}
+
+impl core::ops::AddAssign for Fq6 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl core::ops::SubAssign for Fq6 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl core::ops::MulAssign for Fq6 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl core::fmt::Debug for Fq6 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fq6({}, {}, {})", self.c0, self.c1, self.c2)
+    }
+}
+
+impl core::fmt::Display for Fq6 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}) + ({})*v + ({})*v^2", self.c0, self.c1, self.c2)
+    }
+}
+
+impl Field for Fq6 {
+    #[inline]
+    fn zero() -> Self {
+        Self::new(Fq2::zero(), Fq2::zero(), Fq2::zero())
+    }
+    #[inline]
+    fn one() -> Self {
+        Self::new(Fq2::one(), Fq2::zero(), Fq2::zero())
+    }
+    #[inline]
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero() && self.c2.is_zero()
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // Standard cubic-extension inversion (e.g. Guide to Pairing-Based
+        // Cryptography, Alg. 5.23).
+        let t0 = self.c0.square() - (self.c1 * self.c2).mul_by_nonresidue();
+        let t1 = self.c2.square().mul_by_nonresidue() - self.c0 * self.c1;
+        let t2 = self.c1.square() - self.c0 * self.c2;
+        let denom = self.c0 * t0
+            + ((self.c2 * t1 + self.c1 * t2).mul_by_nonresidue());
+        let inv = denom.inverse()?;
+        Some(Self::new(t0 * inv, t1 * inv, t2 * inv))
+    }
+
+    fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::new(Fq2::random(rng), Fq2::random(rng), Fq2::random(rng))
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Self::new(Fq2::from_u64(v), Fq2::zero(), Fq2::zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn v_cubed_is_xi() {
+        let v = Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero());
+        let v3 = v * v * v;
+        assert_eq!(v3, Fq6::new(Fq2::xi(), Fq2::zero(), Fq2::zero()));
+    }
+
+    #[test]
+    fn mul_by_nonresidue_matches_mul_by_v() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let a = Fq6::random(&mut rng);
+        let v = Fq6::new(Fq2::zero(), Fq2::one(), Fq2::zero());
+        assert_eq!(a.mul_by_nonresidue(), a * v);
+    }
+
+    #[test]
+    fn field_axioms_and_inverse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        for _ in 0..20 {
+            let a = Fq6::random(&mut rng);
+            let b = Fq6::random(&mut rng);
+            assert_eq!(a * b, b * a);
+            assert_eq!(a.square(), a * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq6::one());
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_is_q_power() {
+        use crate::fp::FpParams;
+        use crate::fq::FqParams;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let a = Fq6::random(&mut rng);
+        assert_eq!(a.frobenius_map(1), a.pow(&FqParams::MODULUS.0));
+    }
+
+    #[test]
+    fn frobenius_composes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let a = Fq6::random(&mut rng);
+        assert_eq!(a.frobenius_map(1).frobenius_map(1), a.frobenius_map(2));
+        assert_eq!(a.frobenius_map(6), a);
+    }
+}

@@ -1,0 +1,121 @@
+//! The BN254 scalar field `Fr` (the SNARK "constraint field").
+//!
+//! `r = 21888242871839275222246405745257275088548364400416034343698204186575808495617`
+//!
+//! `r − 1` has 2-adicity 28, enabling radix-2 FFTs over domains of size up to
+//! 2²⁸ — far larger than any circuit in the paper (the MNIST-MLP needs 2²¹).
+
+use crate::bigint::BigInt256;
+use crate::fp::{Fp, FpParams};
+
+/// Parameters of the BN254 scalar field.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
+pub struct FrParams;
+
+impl FpParams for FrParams {
+    /// 0x30644e72e131a029b85045b68181585d2833e84879b9709143e1f593f0000001
+    const MODULUS: BigInt256 = BigInt256([
+        0x43e1f593f0000001,
+        0x2833e84879b97091,
+        0xb85045b68181585d,
+        0x30644e72e131a029,
+    ]);
+    const GENERATOR: u64 = 5;
+    const TWO_ADICITY: u32 = 28;
+}
+
+/// An element of the BN254 scalar field.
+pub type Fr = Fp<FrParams>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biguint::BigUint;
+    use crate::traits::{Field, PrimeField};
+    use rand::SeedableRng;
+
+    const R_DEC: &str =
+        "21888242871839275222246405745257275088548364400416034343698204186575808495617";
+
+    #[test]
+    fn modulus_matches_published_decimal() {
+        let r = BigUint::from_limbs(&FrParams::MODULUS.0);
+        assert_eq!(r.to_decimal(), R_DEC);
+    }
+
+    #[test]
+    fn two_adicity_is_28() {
+        let r_min_1 = BigUint::from_limbs(&FrParams::MODULUS.0).sub(&BigUint::one());
+        let mut v = r_min_1;
+        let mut s = 0;
+        loop {
+            let (q, rem) = v.div_rem_u64(2);
+            if rem != 0 {
+                break;
+            }
+            v = q;
+            s += 1;
+        }
+        assert_eq!(s, 28);
+    }
+
+    #[test]
+    fn two_adic_root_has_exact_order() {
+        let w = Fr::two_adic_root_of_unity();
+        // w^(2^28) == 1
+        let mut x = w;
+        for _ in 0..28 {
+            x = x.square();
+        }
+        assert!(x.is_one());
+        // w^(2^27) != 1 (primitivity)
+        let mut y = w;
+        for _ in 0..27 {
+            y = y.square();
+        }
+        assert!(!y.is_one());
+    }
+
+    #[test]
+    fn generator_is_nonresidue() {
+        let g = Fr::multiplicative_generator();
+        let half = FrParams::MODULUS.sub_with_borrow(&BigInt256::ONE).0.shr(1);
+        assert_eq!(g.pow(&half.0), -Fr::one());
+    }
+
+    #[test]
+    fn field_axioms_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let a = Fr::random(&mut rng);
+            let b = Fr::random(&mut rng);
+            assert_eq!((a + b) - b, a);
+            assert_eq!(a * b * b.inverse().unwrap_or(Fr::one()), if b.is_zero() { a * b } else { a });
+        }
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let mut v: Vec<Fr> = (0..33).map(|_| Fr::random(&mut rng)).collect();
+        v[7] = Fr::zero(); // zeros must be skipped
+        let expected: Vec<Fr> = v
+            .iter()
+            .map(|x| x.inverse().unwrap_or(Fr::zero()))
+            .collect();
+        Fr::batch_inverse(&mut v);
+        for (got, want) in v.iter().zip(expected.iter()) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn from_u128_matches_composition() {
+        let v: u128 = (1u128 << 100) + 12345;
+        let direct = Fr::from_u128(v);
+        let composed = Fr::from_u64((v >> 64) as u64)
+            * Fr::from_u64(2).pow(&[64])
+            + Fr::from_u64(v as u64);
+        assert_eq!(direct, composed);
+    }
+}

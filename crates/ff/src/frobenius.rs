@@ -1,0 +1,76 @@
+//! Frobenius-endomorphism coefficients for the BN254 tower, derived at
+//! runtime from the modulus (no hand-transcribed curve constants).
+//!
+//! All coefficients are powers of the sextic non-residue `ξ = 9 + u`:
+//!
+//! * `fq6_c1  = ξ^((q−1)/3)` — scales the `v` coefficient of `Fq6`
+//! * `fq6_c2  = ξ^(2(q−1)/3)` — scales the `v²` coefficient of `Fq6`
+//! * `fq12_c1 = ξ^((q−1)/6)` — scales the `w` coefficient of `Fq12`
+//! * `twist_x = ξ^((q−1)/3)`, `twist_y = ξ^((q−1)/2)` — the
+//!   untwist-Frobenius-twist endomorphism on the G2 twist, used by the
+//!   pairing Miller loop.
+
+use crate::biguint::BigUint;
+use crate::fp::FpParams;
+use crate::fq::FqParams;
+use crate::fq2::Fq2;
+use crate::traits::Field;
+use std::sync::OnceLock;
+
+/// Returns `(q − 1)/k` as fixed limbs. Panics if `k` does not divide `q − 1`.
+fn q_minus_1_over(k: u64) -> [u64; 4] {
+    let q = BigUint::from_limbs(&FqParams::MODULUS.0);
+    let (quot, rem) = q.sub(&BigUint::one()).div_rem_u64(k);
+    assert_eq!(rem, 0, "{k} does not divide q - 1");
+    quot.to_limbs::<4>()
+}
+
+/// `ξ^((q−1)/3)`.
+pub fn fq6_c1() -> Fq2 {
+    static C: OnceLock<Fq2> = OnceLock::new();
+    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(3)))
+}
+
+/// `ξ^(2(q−1)/3)`.
+pub fn fq6_c2() -> Fq2 {
+    static C: OnceLock<Fq2> = OnceLock::new();
+    *C.get_or_init(|| fq6_c1().square())
+}
+
+/// `ξ^((q−1)/6)`.
+pub fn fq12_c1() -> Fq2 {
+    static C: OnceLock<Fq2> = OnceLock::new();
+    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(6)))
+}
+
+/// `ξ^((q−1)/3)` — x-coordinate coefficient of the G2 Frobenius.
+pub fn twist_mul_by_q_x() -> Fq2 {
+    fq6_c1()
+}
+
+/// `ξ^((q−1)/2)` — y-coordinate coefficient of the G2 Frobenius.
+pub fn twist_mul_by_q_y() -> Fq2 {
+    static C: OnceLock<Fq2> = OnceLock::new();
+    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_are_consistent() {
+        // fq12_c1² = fq6_c1, fq12_c1³ = twist_y
+        assert_eq!(fq12_c1().square(), fq6_c1());
+        assert_eq!(fq12_c1() * fq6_c1(), twist_mul_by_q_y());
+        assert_eq!(fq6_c1().square(), fq6_c2());
+    }
+
+    #[test]
+    fn sixth_power_is_xi_to_q_minus_1() {
+        // (ξ^((q−1)/6))^6 = ξ^(q−1) = frobenius(ξ)/ξ
+        let lhs = fq12_c1().pow(&[6]);
+        let rhs = Fq2::xi().frobenius_map(1) * Fq2::xi().inverse().unwrap();
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the field axioms and encodings, across the full
+//! tower (`Fq`, `Fr`, `Fq2`, `Fq6`, `Fq12`).
+
+use proptest::prelude::*;
+use zkrownn_ff::{BigInt256, Field, Fq, Fq12, Fq2, Fq6, Fr, PrimeField, SquareRootField};
+
+/// Strategy: a field element from four arbitrary limbs (reduced mod p by
+/// multiplication in the field — `from_u64` products spread over the range).
+fn arb_fq() -> impl Strategy<Value = Fq> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+        Fq::from_u64(a) * Fq::from_u64(b) + Fq::from_u64(c) * Fq::from_u64(d) + Fq::from_u64(1)
+    })
+}
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, c, d)| {
+        Fr::from_u64(a) * Fr::from_u64(b) + Fr::from_u64(c) * Fr::from_u64(d)
+    })
+}
+
+fn arb_fq2() -> impl Strategy<Value = Fq2> {
+    (arb_fq(), arb_fq()).prop_map(|(c0, c1)| Fq2::new(c0, c1))
+}
+
+fn arb_fq6() -> impl Strategy<Value = Fq6> {
+    (arb_fq2(), arb_fq2(), arb_fq2()).prop_map(|(c0, c1, c2)| Fq6::new(c0, c1, c2))
+}
+
+fn arb_fq12() -> impl Strategy<Value = Fq12> {
+    (arb_fq6(), arb_fq6()).prop_map(|(c0, c1)| Fq12::new(c0, c1))
+}
+
+macro_rules! field_axioms {
+    ($name:ident, $strat:expr, $ty:ty) => {
+        proptest! {
+            #[test]
+            fn $name((a, b, c) in ($strat, $strat, $strat)) {
+                // additive/multiplicative commutativity & associativity
+                prop_assert_eq!(a + b, b + a);
+                prop_assert_eq!(a * b, b * a);
+                prop_assert_eq!((a + b) + c, a + (b + c));
+                prop_assert_eq!((a * b) * c, a * (b * c));
+                // distributivity
+                prop_assert_eq!(a * (b + c), a * b + a * c);
+                // identities & inverses
+                prop_assert_eq!(a + <$ty>::zero(), a);
+                prop_assert_eq!(a * <$ty>::one(), a);
+                prop_assert_eq!(a - a, <$ty>::zero());
+                prop_assert_eq!(a + (-a), <$ty>::zero());
+                if !a.is_zero() {
+                    prop_assert_eq!(a * a.inverse().unwrap(), <$ty>::one());
+                }
+                // squaring consistency
+                prop_assert_eq!(a.square(), a * a);
+                prop_assert_eq!(a.double(), a + a);
+            }
+        }
+    };
+}
+
+field_axioms!(fq_axioms, arb_fq(), Fq);
+field_axioms!(fr_axioms, arb_fr(), Fr);
+field_axioms!(fq2_axioms, arb_fq2(), Fq2);
+field_axioms!(fq6_axioms, arb_fq6(), Fq6);
+field_axioms!(fq12_axioms, arb_fq12(), Fq12);
+
+proptest! {
+    #[test]
+    fn fq_bytes_roundtrip(a in arb_fq()) {
+        prop_assert_eq!(Fq::from_le_bytes(&a.to_le_bytes()), Some(a));
+    }
+
+    #[test]
+    fn fr_bigint_roundtrip(a in arb_fr()) {
+        prop_assert_eq!(Fr::from_bigint(a.into_bigint()), Some(a));
+    }
+
+    #[test]
+    fn fr_signed_embedding_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(Fr::from_i128(v as i128).to_i128(), Some(v as i128));
+    }
+
+    #[test]
+    fn fq_sqrt_of_square(a in arb_fq()) {
+        let r = a.square().sqrt().expect("squares have roots");
+        prop_assert!(r == a || r == -a);
+    }
+
+    #[test]
+    fn fq2_sqrt_of_square(a in arb_fq2()) {
+        let sq = a.square();
+        let r = sq.sqrt().expect("squares have roots");
+        prop_assert_eq!(r.square(), sq);
+    }
+
+    #[test]
+    fn fq12_frobenius_additivity(a in arb_fq12(), b in arb_fq12()) {
+        // Frobenius is a field homomorphism
+        prop_assert_eq!((a + b).frobenius_map(1), a.frobenius_map(1) + b.frobenius_map(1));
+        prop_assert_eq!((a * b).frobenius_map(1), a.frobenius_map(1) * b.frobenius_map(1));
+    }
+
+    #[test]
+    fn fr_pow_addition_law(a in arb_fr(), x in any::<u32>(), y in any::<u32>()) {
+        // a^x · a^y = a^(x+y)
+        let lhs = a.pow(&[x as u64]) * a.pow(&[y as u64]);
+        let rhs = a.pow(&[x as u64 + y as u64]);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bigint_add_sub_roundtrip(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let x = BigInt256(a);
+        let y = BigInt256(b);
+        let (sum, carry) = x.add_with_carry(&y);
+        let (back, borrow) = sum.sub_with_borrow(&y);
+        prop_assert_eq!(back, x);
+        prop_assert_eq!(carry, borrow);
+    }
+
+    #[test]
+    fn halve_is_inverse_of_double(a in arb_fr()) {
+        prop_assert_eq!(a.double().halve(), a);
+        prop_assert_eq!(a.halve().double(), a);
+    }
+}

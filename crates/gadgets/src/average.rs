@@ -1,0 +1,103 @@
+//! Zero-knowledge activation averaging (the `zkAverage` step of
+//! Algorithm 1): the statistical mean of the activation maps obtained from
+//! the trigger keys approximates the watermarked Gaussian centers.
+
+use crate::cmp::div_by_const;
+use crate::num::Num;
+use zkrownn_ff::Fr;
+use zkrownn_r1cs::ConstraintSystem;
+
+/// Averages `rows` vectors element-wise: output `j` is
+/// `⌊(Σᵢ rows[i][j]) / rows.len()⌋` (floor division, matching
+/// [`crate::fixed::floor_div`]).
+pub fn average_rows(rows: &[Vec<Num>], cs: &mut ConstraintSystem<Fr>) -> Vec<Num> {
+    assert!(!rows.is_empty(), "average of zero rows");
+    let width = rows[0].len();
+    assert!(
+        rows.iter().all(|r| r.len() == width),
+        "ragged rows in average"
+    );
+    let n = rows.len() as u64;
+    (0..width)
+        .map(|j| {
+            let terms: Vec<Num> = rows.iter().map(|row| row[j].clone()).collect();
+            div_by_const(&Num::sum(&terms), n, cs)
+        })
+        .collect()
+}
+
+/// The standalone Table I "Average2D" circuit: a private `rows × cols`
+/// matrix averaged along rows (column means), public outputs.
+pub fn average2d_circuit(
+    entries: &[i128],
+    rows: usize,
+    cols: usize,
+    bits: u32,
+    cs: &mut ConstraintSystem<Fr>,
+) -> Vec<i128> {
+    use zkrownn_ff::PrimeField;
+    assert_eq!(entries.len(), rows * cols);
+    let nums: Vec<Vec<Num>> = (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| Num::alloc_witness(cs, Fr::from_i128(entries[r * cols + c]), bits))
+                .collect()
+        })
+        .collect();
+    let means = average_rows(&nums, cs);
+    means
+        .iter()
+        .map(|m| {
+            m.expose_as_output(cs);
+            m.value_i128()
+        })
+        .collect()
+}
+
+/// Reference column means with floor semantics.
+pub fn average_reference(entries: &[i128], rows: usize, cols: usize) -> Vec<i128> {
+    (0..cols)
+        .map(|c| {
+            let sum: i128 = (0..rows).map(|r| entries[r * cols + c]).sum();
+            sum.div_euclid(rows as i128)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn average_matches_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(161);
+        let (rows, cols) = (5usize, 7usize);
+        let entries: Vec<i128> = (0..rows * cols).map(|_| rng.gen_range(-100..100)).collect();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs);
+        assert_eq!(got, average_reference(&entries, rows, cols));
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn power_of_two_rows_use_truncation_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(162);
+        let (rows, cols) = (4usize, 3usize);
+        let entries: Vec<i128> = (0..rows * cols).map(|_| rng.gen_range(-100..100)).collect();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs);
+        assert_eq!(got, average_reference(&entries, rows, cols));
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn single_row_average_is_identity() {
+        let entries = vec![3i128, -4, 5];
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let got = average2d_circuit(&entries, 1, 3, 4, &mut cs);
+        assert_eq!(got, entries);
+        assert!(cs.is_satisfied().is_ok());
+    }
+}

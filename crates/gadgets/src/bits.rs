@@ -1,0 +1,234 @@
+//! Boolean variables and bit decomposition.
+//!
+//! Bit decomposition is the workhorse behind every non-linear gadget
+//! (comparison, ReLU, thresholding, truncation): a value known to lie in
+//! `[0, 2^n)` is split into `n` boolean witnesses whose weighted sum is
+//! constrained to equal it. For `n ≪ 253` the decomposition is unique, so
+//! the booleans faithfully represent the value's binary expansion.
+
+use crate::num::Num;
+use zkrownn_ff::{Field, Fr};
+use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
+
+/// A boolean circuit value (guaranteed 0 or 1 by a constraint).
+#[derive(Clone, Debug)]
+pub struct Bit {
+    /// The underlying 0/1 number.
+    pub num: Num,
+}
+
+impl Bit {
+    /// Allocates a boolean witness and adds the constraint `b·(b−1) = 0`.
+    pub fn alloc(cs: &mut ConstraintSystem<Fr>, value: bool) -> Self {
+        let num = Num::alloc_witness(cs, if value { Fr::one() } else { Fr::zero() }, 1);
+        // b·b = b
+        cs.enforce(num.lc.clone(), num.lc.clone(), num.lc.clone());
+        Self { num }
+    }
+
+    /// Wraps an existing `Num` already known (constrained elsewhere) to be
+    /// boolean. Internal use by the decomposition gadget.
+    fn from_constrained(num: Num) -> Self {
+        Self { num }
+    }
+
+    /// A constant bit (no constraints).
+    pub fn constant(value: bool) -> Self {
+        Self {
+            num: if value {
+                Num::constant(Fr::one())
+            } else {
+                Num::zero()
+            },
+        }
+    }
+
+    /// The boolean value under the current assignment.
+    pub fn value(&self) -> bool {
+        !self.num.value.is_zero()
+    }
+
+    /// Logical NOT (free).
+    pub fn not(&self) -> Self {
+        Self {
+            num: Num::constant(Fr::one()).sub(&self.num),
+        }
+    }
+
+    /// Logical AND (one constraint).
+    pub fn and(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) -> Self {
+        let mut n = self.num.mul(&other.num, cs);
+        n.bits = 1;
+        Self::from_constrained(n)
+    }
+
+    /// Logical OR (one constraint): `a + b − a·b`.
+    pub fn or(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) -> Self {
+        let ab = self.num.mul(&other.num, cs);
+        let mut n = self.num.add(&other.num).sub(&ab);
+        n.bits = 1;
+        Self::from_constrained(n)
+    }
+
+    /// Logical XOR (one constraint): `a + b − 2·a·b`.
+    pub fn xor(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) -> Self {
+        let ab = self.num.mul(&other.num, cs);
+        let mut n = self
+            .num
+            .add(&other.num)
+            .sub(&ab.mul_constant(Fr::from_u64(2), 2));
+        n.bits = 1;
+        Self::from_constrained(n)
+    }
+
+    /// Multiplexer `if self { a } else { b }` (one constraint):
+    /// `out = b + self·(a − b)`.
+    pub fn select(&self, a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Num {
+        let diff = a.sub(b);
+        let scaled = self.num.mul(&diff, cs);
+        let mut out = b.add(&scaled);
+        out.bits = a.bits.max(b.bits) + 1;
+        out
+    }
+}
+
+/// Decomposes a *non-negative* value into `n` little-endian bits.
+///
+/// Adds `n` booleanity constraints plus one recomposition constraint. The
+/// caller must guarantee `0 ≤ value < 2^n` (gadgets arrange this via the
+/// `Num::bits` bound plus an offset); the constraint system itself enforces
+/// it — an out-of-range witness has no satisfying assignment for `n < 253`.
+///
+/// # Panics
+/// Panics if the assignment value is negative or too wide (internal bug or
+/// malicious witness during proving — setup never sees real values).
+pub fn to_bits(num: &Num, n: u32, cs: &mut ConstraintSystem<Fr>) -> Vec<Bit> {
+    assert!(n < 253, "decomposition width must stay below the field size");
+    let v = num.value_i128();
+    assert!(v >= 0, "to_bits requires a non-negative value, got {v}");
+    assert!(
+        n >= 127 || v < (1i128 << n),
+        "value {v} does not fit in {n} bits"
+    );
+    let mut bits = Vec::with_capacity(n as usize);
+    let mut recompose = LinearCombination::<Fr>::zero();
+    let mut weight = Fr::one();
+    for i in 0..n {
+        let bit = Bit::alloc(cs, (v >> i) & 1 == 1);
+        recompose = recompose + bit.num.lc.clone().scale(weight);
+        weight = weight.double();
+        bits.push(bit);
+    }
+    // Σ 2^i·bᵢ == num
+    cs.enforce(
+        recompose - num.lc.clone(),
+        LinearCombination::constant(Fr::one()),
+        LinearCombination::zero(),
+    );
+    bits
+}
+
+/// Packs little-endian bits back into a `Num` (free; pure LC manipulation).
+pub fn from_bits(bits: &[Bit]) -> Num {
+    let mut acc = Num::zero();
+    let mut weight = Fr::one();
+    for b in bits {
+        acc = acc.add(&b.num.mul_constant(weight, 0).clone());
+        weight = weight.double();
+    }
+    acc.bits = bits.len() as u32;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_ops_truth_tables() {
+        for a in [false, true] {
+            for b in [false, true] {
+                let mut cs = ConstraintSystem::<Fr>::new();
+                let ba = Bit::alloc(&mut cs, a);
+                let bb = Bit::alloc(&mut cs, b);
+                assert_eq!(ba.and(&bb, &mut cs).value(), a && b);
+                assert_eq!(ba.or(&bb, &mut cs).value(), a || b);
+                assert_eq!(ba.xor(&bb, &mut cs).value(), a ^ b);
+                assert_eq!(ba.not().value(), !a);
+                assert!(cs.is_satisfied().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn select_chooses_correct_branch() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = Num::alloc_witness(&mut cs, Fr::from_u64(11), 4);
+        let y = Num::alloc_witness(&mut cs, Fr::from_u64(22), 5);
+        let t = Bit::alloc(&mut cs, true);
+        let f = Bit::alloc(&mut cs, false);
+        assert_eq!(t.select(&x, &y, &mut cs).value, Fr::from_u64(11));
+        assert_eq!(f.select(&x, &y, &mut cs).value, Fr::from_u64(22));
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn to_bits_roundtrip() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let v = 0b1011_0110u64;
+        let num = Num::alloc_witness(&mut cs, Fr::from_u64(v), 8);
+        let bits = to_bits(&num, 8, &mut cs);
+        assert!(cs.is_satisfied().is_ok());
+        let vals: Vec<bool> = bits.iter().map(|b| b.value()).collect();
+        for (i, bv) in vals.iter().enumerate() {
+            assert_eq!(*bv, (v >> i) & 1 == 1);
+        }
+        let packed = from_bits(&bits);
+        assert_eq!(packed.value, Fr::from_u64(v));
+    }
+
+    #[test]
+    fn to_bits_constraint_count() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let num = Num::alloc_witness(&mut cs, Fr::from_u64(5), 4);
+        let base = cs.num_constraints();
+        let _ = to_bits(&num, 4, &mut cs);
+        // 4 booleanity + 1 recomposition
+        assert_eq!(cs.num_constraints() - base, 5);
+    }
+
+    #[test]
+    fn forged_bit_witness_is_unsatisfiable() {
+        // If a prover lies about a bit, the recomposition constraint fails.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let num = Num::alloc_witness(&mut cs, Fr::from_u64(3), 2);
+        let _ = to_bits(&num, 2, &mut cs);
+        assert!(cs.is_satisfied().is_ok());
+        // rebuild with a corrupted value in place of the allocated bit:
+        let mut cs2 = ConstraintSystem::<Fr>::new();
+        let num2 = Num::alloc_witness(&mut cs2, Fr::from_u64(3), 2);
+        let b0 = cs2.alloc_witness(Fr::zero()); // claims bit0 = 0 (lie)
+        let b1 = cs2.alloc_witness(Fr::one());
+        for b in [b0, b1] {
+            let lc: LinearCombination<Fr> = b.into();
+            cs2.enforce(lc.clone(), lc.clone(), lc.clone());
+        }
+        let recompose = LinearCombination::<Fr>::zero()
+            .add_term(Fr::one(), b0)
+            .add_term(Fr::from_u64(2), b1);
+        cs2.enforce(
+            recompose - num2.lc.clone(),
+            LinearCombination::constant(Fr::one()),
+            LinearCombination::zero(),
+        );
+        assert!(cs2.is_satisfied().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let num = Num::alloc_witness(&mut cs, Fr::from_u64(16), 5);
+        let _ = to_bits(&num, 4, &mut cs);
+    }
+}

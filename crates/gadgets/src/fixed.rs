@@ -1,0 +1,118 @@
+//! Fixed-point encoding of real numbers.
+//!
+//! zkSNARK circuits cannot do floating point natively; the paper scales
+//! inputs "by several orders of magnitude" and truncates the result
+//! (§III-B). We use
+//! binary scaling: a real `x` is represented by the integer `⌊x·2^f⌉`
+//! embedded in `Fr` as a signed value. Multiplication doubles the scale, so
+//! products are followed by a truncation gadget that floor-divides by `2^f`.
+
+use zkrownn_ff::{Fr, PrimeField};
+
+/// Fixed-point configuration.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FixedConfig {
+    /// Number of fractional bits for tensor values (weights, activations).
+    pub frac_bits: u32,
+    /// Number of fractional bits inside the sigmoid evaluation (must be
+    /// large enough to represent the 7.2e-9 Chebyshev coefficient).
+    pub sigmoid_frac_bits: u32,
+    /// Assumed bound on the *integer part* of any represented value:
+    /// `|x| < 2^int_bits`. Used to size comparison decompositions.
+    pub int_bits: u32,
+}
+
+impl Default for FixedConfig {
+    fn default() -> Self {
+        Self {
+            frac_bits: 16,
+            sigmoid_frac_bits: 32,
+            int_bits: 16,
+        }
+    }
+}
+
+impl FixedConfig {
+    /// Total bit width of a freshly-encoded value (`int + frac`).
+    pub fn value_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// Encodes a real number at `frac_bits` scale.
+    pub fn encode(&self, x: f64) -> i128 {
+        encode_fixed(x, self.frac_bits)
+    }
+
+    /// Decodes an integer at `frac_bits` scale.
+    pub fn decode(&self, v: i128) -> f64 {
+        decode_fixed(v, self.frac_bits)
+    }
+
+    /// Encodes directly into the field.
+    pub fn encode_fr(&self, x: f64) -> Fr {
+        Fr::from_i128(self.encode(x))
+    }
+}
+
+/// `⌊x·2^f⌉` with round-half-away-from-zero.
+pub fn encode_fixed(x: f64, frac_bits: u32) -> i128 {
+    let scaled = x * (2f64.powi(frac_bits as i32));
+    scaled.round() as i128
+}
+
+/// `v / 2^f` as `f64`.
+pub fn decode_fixed(v: i128, frac_bits: u32) -> f64 {
+    (v as f64) / 2f64.powi(frac_bits as i32)
+}
+
+/// Floor division by a power of two on signed integers (arithmetic shift),
+/// the reference semantics of the in-circuit truncation gadget.
+pub fn floor_div_pow2(v: i128, bits: u32) -> i128 {
+    v >> bits
+}
+
+/// Floor division by an arbitrary positive constant, the reference
+/// semantics of the in-circuit averaging gadget.
+pub fn floor_div(v: i128, d: i128) -> i128 {
+    debug_assert!(d > 0);
+    v.div_euclid(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip_within_precision() {
+        let cfg = FixedConfig::default();
+        for x in [-3.75f64, -0.001, 0.0, 0.5, 1.0, 123.456] {
+            let v = cfg.encode(x);
+            assert!((cfg.decode(v) - x).abs() < 1.0 / (1u64 << 15) as f64);
+        }
+    }
+
+    #[test]
+    fn floor_div_pow2_matches_euclid_for_negatives() {
+        // arithmetic shift == floor division, including negatives
+        for v in [-17i128, -16, -1, 0, 1, 15, 16, 17] {
+            assert_eq!(floor_div_pow2(v, 4), v.div_euclid(16));
+        }
+    }
+
+    #[test]
+    fn floor_div_matches_div_euclid() {
+        for v in [-100i128, -7, -1, 0, 1, 7, 100] {
+            assert_eq!(floor_div(v, 7), v.div_euclid(7));
+            assert!(v - floor_div(v, 7) * 7 >= 0);
+            assert!(v - floor_div(v, 7) * 7 < 7);
+        }
+    }
+
+    #[test]
+    fn sigmoid_coefficient_representable_at_32_bits() {
+        // the smallest Chebyshev coefficient must not round to zero
+        let c9 = 0.0000000072f64;
+        assert_ne!(encode_fixed(c9, 32), 0);
+        assert_eq!(encode_fixed(c9, 16), 0); // …but would vanish at 16 bits
+    }
+}

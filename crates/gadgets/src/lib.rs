@@ -1,0 +1,52 @@
+//! # zkrownn-gadgets — R1CS gadgets for watermark extraction
+//!
+//! The circuit building blocks of Algorithm 1, each usable standalone (as
+//! benchmarked in the paper's Table I) or composed into the end-to-end
+//! extraction circuits:
+//!
+//! | Paper circuit | Module |
+//! |---------------|--------|
+//! | MatMult | [`matmul`] |
+//! | Conv3D | [`conv`] |
+//! | ReLU | [`relu`] |
+//! | Average2D | [`average`] |
+//! | Sigmoid (degree-9 Chebyshev) | [`sigmoid`] |
+//! | HardThresholding | [`threshold`] |
+//! | BER | [`ber`] |
+//! | (extension) MaxPool | [`maxpool`] |
+//!
+//! Real values use binary fixed point ([`fixed`]); every non-linear step
+//! (comparison, truncation) reduces to bit decomposition ([`bits`],
+//! [`cmp`]). Each gadget ships with a plain-integer reference function with
+//! identical semantics, so the in-circuit pipeline can be validated
+//! bit-for-bit against an out-of-circuit implementation.
+//!
+//! ```
+//! use zkrownn_gadgets::{num::Num, relu::relu};
+//! use zkrownn_r1cs::ConstraintSystem;
+//! use zkrownn_ff::{Fr, PrimeField};
+//! let mut cs = ConstraintSystem::<Fr>::new();
+//! let x = Num::alloc_witness(&mut cs, Fr::from_i128(-7), 8);
+//! let y = relu(&x, &mut cs);
+//! assert_eq!(y.value_i128(), 0);
+//! assert!(cs.is_satisfied().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod average;
+pub mod ber;
+pub mod bits;
+pub mod cmp;
+pub mod conv;
+pub mod fixed;
+pub mod matmul;
+pub mod maxpool;
+pub mod num;
+pub mod relu;
+pub mod sigmoid;
+pub mod threshold;
+
+pub use bits::Bit;
+pub use fixed::FixedConfig;
+pub use num::Num;

@@ -1,0 +1,162 @@
+//! Zero-knowledge max pooling.
+//!
+//! Not one of the paper's seven benchmarked circuits, but required to push
+//! the watermark past a pooling layer ("ZKROWNN still works when the
+//! watermark is embedded in deeper layers, at the cost of higher prover
+//! complexity" — §III-B.6). Each pairwise max costs one signed comparison
+//! plus one multiplexer.
+
+use crate::bits::Bit;
+use crate::cmp::is_negative;
+use crate::num::Num;
+use zkrownn_ff::Fr;
+use zkrownn_r1cs::ConstraintSystem;
+
+/// `max(a, b)` on signed values.
+pub fn max(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Num {
+    let mut diff = a.sub(b);
+    diff.bits = a.bits.max(b.bits) + 1;
+    let a_lt_b: Bit = is_negative(&diff, cs);
+    let mut out = a_lt_b.select(b, a, cs);
+    out.bits = a.bits.max(b.bits);
+    out
+}
+
+/// `max` over a non-empty slice.
+pub fn max_many(vals: &[Num], cs: &mut ConstraintSystem<Fr>) -> Num {
+    assert!(!vals.is_empty(), "max of empty slice");
+    let mut acc = vals[0].clone();
+    for v in &vals[1..] {
+        acc = max(&acc, v, cs);
+    }
+    acc
+}
+
+/// 2-D max pooling over a channel-first `C×H×W` volume with a square
+/// window. Matches [`maxpool2d_reference`] and the float layer in
+/// `zkrownn-nn`.
+#[allow(clippy::too_many_arguments)]
+pub fn maxpool2d(
+    input: &[Num],
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    cs: &mut ConstraintSystem<Fr>,
+) -> Vec<Num> {
+    assert_eq!(input.len(), channels * height * width, "maxpool input shape");
+    let oh = (height - size) / stride + 1;
+    let ow = (width - size) / stride + 1;
+    let mut out = Vec::with_capacity(channels * oh * ow);
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut window = Vec::with_capacity(size * size);
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        window.push(input[(c * height + iy) * width + ix].clone());
+                    }
+                }
+                out.push(max_many(&window, cs));
+            }
+        }
+    }
+    out
+}
+
+/// Reference integer max pooling.
+pub fn maxpool2d_reference(
+    input: &[i128],
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+) -> Vec<i128> {
+    let oh = (height - size) / stride + 1;
+    let ow = (width - size) / stride + 1;
+    let mut out = Vec::with_capacity(channels * oh * ow);
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i128::MIN;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let iy = oy * stride + ky;
+                        let ix = ox * stride + kx;
+                        best = best.max(input[(c * height + iy) * width + ix]);
+                    }
+                }
+                out.push(best);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkrownn_ff::PrimeField;
+
+    #[test]
+    fn pairwise_max_on_samples() {
+        for (a, b) in [(3i128, 5i128), (5, 3), (-2, -7), (0, 0), (-1, 1)] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let na = Num::alloc_witness(&mut cs, Fr::from_i128(a), 8);
+            let nb = Num::alloc_witness(&mut cs, Fr::from_i128(b), 8);
+            let m = max(&na, &nb, &mut cs);
+            assert_eq!(m.value_i128(), a.max(b), "({a}, {b})");
+            assert!(cs.is_satisfied().is_ok());
+        }
+    }
+
+    #[test]
+    fn max_many_matches_iterator_max() {
+        let vals = [-4i128, 9, 0, 9, -100, 3];
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let nums: Vec<Num> = vals
+            .iter()
+            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 8))
+            .collect();
+        let m = max_many(&nums, &mut cs);
+        assert_eq!(m.value_i128(), 9);
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn maxpool_circuit_matches_reference() {
+        let (c, h, w) = (2usize, 4usize, 4usize);
+        let input: Vec<i128> = (0..(c * h * w) as i128).map(|i| (i * 7) % 23 - 11).collect();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let nums: Vec<Num> = input
+            .iter()
+            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 8))
+            .collect();
+        let pooled = maxpool2d(&nums, c, h, w, 2, 2, &mut cs);
+        let reference = maxpool2d_reference(&input, c, h, w, 2, 2);
+        assert_eq!(pooled.len(), reference.len());
+        for (p, r) in pooled.iter().zip(&reference) {
+            assert_eq!(p.value_i128(), *r);
+        }
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn overlapping_stride_pooling() {
+        // MP(2,1) as in the paper's CNN
+        let input: Vec<i128> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let nums: Vec<Num> = input
+            .iter()
+            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 6))
+            .collect();
+        let pooled = maxpool2d(&nums, 1, 3, 3, 2, 1, &mut cs);
+        let vals: Vec<i128> = pooled.iter().map(|p| p.value_i128()).collect();
+        assert_eq!(vals, vec![5, 6, 8, 9]);
+        assert!(cs.is_satisfied().is_ok());
+    }
+}

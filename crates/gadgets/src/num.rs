@@ -1,0 +1,282 @@
+//! `Num` — a signed fixed-point value inside the circuit.
+//!
+//! A `Num` carries a linear combination over circuit variables, the value it
+//! evaluates to under the current assignment, and a conservative bound
+//! `|value| < 2^bits` that downstream gadgets (comparisons, truncations) use
+//! to size their bit decompositions. Linear operations are free (pure LC
+//! manipulation); multiplication allocates one witness and one constraint.
+
+use zkrownn_ff::{Field, Fr, PrimeField};
+use zkrownn_r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+/// Maximum tracked magnitude (in bits) before gadgets refuse to continue.
+/// Keeps every intermediate far below the ~254-bit field and within the
+/// `i128` range used by witness computation helpers.
+pub const MAX_BITS: u32 = 120;
+
+/// A signed value in the circuit with magnitude bound `|v| < 2^bits`.
+#[derive(Clone, Debug)]
+pub struct Num {
+    /// Symbolic linear combination.
+    pub lc: LinearCombination<Fr>,
+    /// Assignment value.
+    pub value: Fr,
+    /// Conservative magnitude bound: `|value| < 2^bits` as a signed integer.
+    pub bits: u32,
+}
+
+impl Num {
+    /// Allocates a fresh private witness.
+    pub fn alloc_witness(cs: &mut ConstraintSystem<Fr>, value: Fr, bits: u32) -> Self {
+        assert!(bits <= MAX_BITS, "witness bound {bits} exceeds MAX_BITS");
+        let var = cs.alloc_witness(value);
+        Self {
+            lc: var.into(),
+            value,
+            bits,
+        }
+    }
+
+    /// Allocates a fresh public input.
+    pub fn alloc_instance(cs: &mut ConstraintSystem<Fr>, value: Fr, bits: u32) -> Self {
+        assert!(bits <= MAX_BITS, "instance bound {bits} exceeds MAX_BITS");
+        let var = cs.alloc_instance(value);
+        Self {
+            lc: var.into(),
+            value,
+            bits,
+        }
+    }
+
+    /// A circuit constant.
+    pub fn constant(value: Fr) -> Self {
+        let bits = value
+            .to_i128()
+            .map(|v| 128 - v.unsigned_abs().leading_zeros())
+            .unwrap_or(MAX_BITS);
+        Self {
+            lc: LinearCombination::constant(value),
+            value,
+            bits: bits.min(MAX_BITS),
+        }
+    }
+
+    /// The constant zero.
+    pub fn zero() -> Self {
+        Self {
+            lc: LinearCombination::zero(),
+            value: Fr::zero(),
+            bits: 0,
+        }
+    }
+
+    /// The signed integer value (panics if out of `i128` range — prevented
+    /// by the `MAX_BITS` discipline).
+    pub fn value_i128(&self) -> i128 {
+        self.value
+            .to_i128()
+            .expect("Num value exceeded i128 range; bounds tracking violated")
+    }
+
+    /// Addition (free).
+    pub fn add(&self, other: &Self) -> Self {
+        Self {
+            lc: self.lc.clone() + other.lc.clone(),
+            value: self.value + other.value,
+            bits: (self.bits.max(other.bits) + 1).min(MAX_BITS + 1),
+        }
+    }
+
+    /// Subtraction (free).
+    pub fn sub(&self, other: &Self) -> Self {
+        Self {
+            lc: self.lc.clone() - other.lc.clone(),
+            value: self.value - other.value,
+            bits: (self.bits.max(other.bits) + 1).min(MAX_BITS + 1),
+        }
+    }
+
+    /// Multiplication by a constant (free). `const_bits` must bound the
+    /// constant's magnitude.
+    pub fn mul_constant(&self, c: Fr, const_bits: u32) -> Self {
+        Self {
+            lc: self.lc.clone().scale(c),
+            value: self.value * c,
+            bits: (self.bits + const_bits).min(MAX_BITS + 1),
+        }
+    }
+
+    /// Multiplication by a power of two (free, exact bound bookkeeping).
+    pub fn shl(&self, k: u32) -> Self {
+        let c = Fr::from_u128(1u128 << k.min(127));
+        Self {
+            lc: self.lc.clone().scale(c),
+            value: self.value * c,
+            bits: self.bits + k,
+        }
+    }
+
+    /// Multiplication (allocates the product and one constraint).
+    pub fn mul(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) -> Self {
+        let bits = self.bits + other.bits;
+        assert!(
+            bits <= MAX_BITS,
+            "product bound {bits} exceeds MAX_BITS — truncate earlier"
+        );
+        let value = self.value * other.value;
+        let var = cs.alloc_witness(value);
+        cs.enforce(self.lc.clone(), other.lc.clone(), var.into());
+        Self {
+            lc: var.into(),
+            value,
+            bits,
+        }
+    }
+
+    /// Enforces `self == other` (one linear constraint).
+    pub fn enforce_equal(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) {
+        cs.enforce(
+            self.lc.clone() - other.lc.clone(),
+            LinearCombination::constant(Fr::one()),
+            LinearCombination::zero(),
+        );
+    }
+
+    /// Exposes the value as a public output: allocates an instance variable
+    /// carrying the same value and constrains it equal (one constraint).
+    pub fn expose_as_output(&self, cs: &mut ConstraintSystem<Fr>) -> Variable {
+        let var = cs.alloc_instance(self.value);
+        cs.enforce(
+            self.lc.clone(),
+            LinearCombination::constant(Fr::one()),
+            var.into(),
+        );
+        var
+    }
+
+    /// Sum of many values with a *tight* magnitude bound
+    /// (`max(bits) + ⌈log₂ n⌉` instead of `max(bits) + n` from chained
+    /// [`Num::add`]). Free — pure linear-combination concatenation.
+    pub fn sum(terms: &[Self]) -> Self {
+        if terms.is_empty() {
+            return Self::zero();
+        }
+        let mut lc = zkrownn_r1cs::LinearCombination::zero();
+        let mut value = Fr::zero();
+        let mut max_bits = 0u32;
+        for t in terms {
+            lc = lc + t.lc.clone();
+            value += t.value;
+            max_bits = max_bits.max(t.bits);
+        }
+        let log_n = usize::BITS - (terms.len() - 1).leading_zeros();
+        Self {
+            lc,
+            value,
+            bits: (max_bits + log_n).min(MAX_BITS + 1),
+        }
+    }
+
+    /// Inner product `Σ aᵢ·bᵢ` (one constraint per term).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths or are empty.
+    pub fn inner_product(a: &[Self], b: &[Self], cs: &mut ConstraintSystem<Fr>) -> Self {
+        assert_eq!(a.len(), b.len(), "inner product arity mismatch");
+        assert!(!a.is_empty(), "empty inner product");
+        let mut acc = Num::zero();
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc = acc.add(&x.mul(y, cs));
+        }
+        // tighten the bound: sum of n products each < 2^(ba+bb)
+        let term_bits = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.bits + y.bits)
+            .max()
+            .unwrap();
+        let sum_bits = term_bits + (usize::BITS - a.len().leading_zeros());
+        acc.bits = sum_bits.min(MAX_BITS + 1);
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_ops_are_constraint_free() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_u64(5), 4);
+        let b = Num::alloc_witness(&mut cs, Fr::from_u64(7), 4);
+        let c = a.add(&b).sub(&Num::constant(Fr::from_u64(2)));
+        assert_eq!(c.value, Fr::from_u64(10));
+        assert_eq!(cs.num_constraints(), 0);
+    }
+
+    #[test]
+    fn mul_allocates_one_constraint() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_i128(-5), 4);
+        let b = Num::alloc_witness(&mut cs, Fr::from_u64(7), 4);
+        let c = a.mul(&b, &mut cs);
+        assert_eq!(c.value.to_i128(), Some(-35));
+        assert_eq!(c.bits, 8);
+        assert_eq!(cs.num_constraints(), 1);
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn inner_product_value_and_count() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a: Vec<Num> = (1..=4)
+            .map(|i| Num::alloc_witness(&mut cs, Fr::from_u64(i), 3))
+            .collect();
+        let b: Vec<Num> = (1..=4)
+            .map(|i| Num::alloc_witness(&mut cs, Fr::from_u64(i + 1), 3))
+            .collect();
+        let ip = Num::inner_product(&a, &b, &mut cs);
+        // 1·2 + 2·3 + 3·4 + 4·5 = 40
+        assert_eq!(ip.value, Fr::from_u64(40));
+        assert_eq!(cs.num_constraints(), 4);
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn expose_as_output_adds_instance() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_u64(9), 4);
+        let before = cs.num_instance_variables();
+        a.expose_as_output(&mut cs);
+        assert_eq!(cs.num_instance_variables(), before + 1);
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn enforce_equal_detects_mismatch() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_u64(3), 3);
+        let b = Num::alloc_witness(&mut cs, Fr::from_u64(4), 3);
+        a.enforce_equal(&b, &mut cs);
+        assert!(cs.is_satisfied().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_BITS")]
+    fn oversized_product_panics() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_u64(1), 100);
+        let b = Num::alloc_witness(&mut cs, Fr::from_u64(1), 100);
+        let _ = a.mul(&b, &mut cs);
+    }
+
+    #[test]
+    fn shl_scales_value_and_bits() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = Num::alloc_witness(&mut cs, Fr::from_i128(-3), 3);
+        let b = a.shl(10);
+        assert_eq!(b.value.to_i128(), Some(-3 << 10));
+        assert_eq!(b.bits, 13);
+    }
+}

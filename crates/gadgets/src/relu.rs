@@ -1,0 +1,81 @@
+//! Zero-knowledge ReLU: `f(x) = max(0, x)`.
+
+use crate::bits::Bit;
+use crate::cmp::is_negative;
+use crate::num::Num;
+use zkrownn_ff::Fr;
+use zkrownn_r1cs::ConstraintSystem;
+
+/// ReLU on a single value: one sign decomposition plus one multiplexer.
+pub fn relu(x: &Num, cs: &mut ConstraintSystem<Fr>) -> Num {
+    let neg = is_negative(x, cs);
+    let mut out = neg.select(&Num::zero(), x, cs);
+    out.bits = x.bits;
+    out
+}
+
+/// ReLU applied element-wise.
+pub fn relu_vec(xs: &[Num], cs: &mut ConstraintSystem<Fr>) -> Vec<Num> {
+    xs.iter().map(|x| relu(x, cs)).collect()
+}
+
+/// The "zkReLU" circuit of Table I: a private input vector passed through
+/// ReLU with public outputs. Returns the output values for the verifier.
+pub fn relu_circuit(
+    inputs: &[i128],
+    bits: u32,
+    cs: &mut ConstraintSystem<Fr>,
+) -> Vec<i128> {
+    use zkrownn_ff::PrimeField;
+    let nums: Vec<Num> = inputs
+        .iter()
+        .map(|&v| Num::alloc_witness(cs, Fr::from_i128(v), bits))
+        .collect();
+    let outs = relu_vec(&nums, cs);
+    outs.iter()
+        .map(|o| {
+            o.expose_as_output(cs);
+            o.value.to_i128().expect("bounded")
+        })
+        .collect()
+}
+
+/// Boolean-output helper shared with hard thresholding: `x ≥ 0`.
+pub fn is_non_negative(x: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
+    is_negative(x, cs).not()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkrownn_ff::PrimeField;
+
+    #[test]
+    fn relu_matches_reference() {
+        for v in [-1000i128, -1, 0, 1, 5, 999] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = Num::alloc_witness(&mut cs, Fr::from_i128(v), 12);
+            let y = relu(&x, &mut cs);
+            assert_eq!(y.value_i128(), v.max(0), "v = {v}");
+            assert!(cs.is_satisfied().is_ok());
+        }
+    }
+
+    #[test]
+    fn relu_vec_preserves_order() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let vals = [-3i128, 7, -1, 0, 2];
+        let outs = relu_circuit(&vals, 8, &mut cs);
+        assert_eq!(outs, vec![0, 7, 0, 0, 2]);
+        assert!(cs.is_satisfied().is_ok());
+    }
+
+    #[test]
+    fn relu_constraint_count_scales_linearly() {
+        let mut cs1 = ConstraintSystem::<Fr>::new();
+        relu_circuit(&[1; 10], 32, &mut cs1);
+        let mut cs2 = ConstraintSystem::<Fr>::new();
+        relu_circuit(&[1; 20], 32, &mut cs2);
+        assert_eq!(cs2.num_constraints(), 2 * cs1.num_constraints());
+    }
+}

@@ -1,0 +1,276 @@
+//! Groth16 key and proof types, with binary serialization.
+//!
+//! Sizes mirror the paper's Table I metrics: proofs are three compressed
+//! points (`G1 ‖ G2 ‖ G1` = 128 bytes), the verifying key grows linearly in
+//! the number of public inputs, and the proving key grows linearly in the
+//! number of variables/constraints.
+
+use zkrownn_curves::serialize as ser;
+use zkrownn_curves::{G1Affine, G1Config, G2Affine, G2Config};
+use zkrownn_ff::Fq12;
+use zkrownn_pairing::{pairing, G2Prepared};
+
+/// A Groth16 proof `(A, B, C)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Proof {
+    /// `A ∈ G1`.
+    pub a: G1Affine,
+    /// `B ∈ G2`.
+    pub b: G2Affine,
+    /// `C ∈ G1`.
+    pub c: G1Affine,
+}
+
+impl Proof {
+    /// Compressed size in bytes (constant: 32 + 64 + 32).
+    pub const SIZE: usize = 128;
+
+    /// Serializes the proof (compressed, 128 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SIZE);
+        ser::write_compressed(&self.a, &mut out);
+        ser::write_compressed(&self.b, &mut out);
+        ser::write_compressed(&self.c, &mut out);
+        debug_assert_eq!(out.len(), Self::SIZE);
+        out
+    }
+
+    /// Deserializes and validates a proof.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        Some(Self {
+            a: ser::read_compressed::<G1Config>(&bytes[0..32])?,
+            b: ser::read_compressed::<G2Config>(&bytes[32..96])?,
+            c: ser::read_compressed::<G1Config>(&bytes[96..128])?,
+        })
+    }
+}
+
+/// The public verifying key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyingKey {
+    /// `α·G1`.
+    pub alpha_g1: G1Affine,
+    /// `β·G2`.
+    pub beta_g2: G2Affine,
+    /// `γ·G2`.
+    pub gamma_g2: G2Affine,
+    /// `δ·G2`.
+    pub delta_g2: G2Affine,
+    /// `{(β·uᵢ(τ) + α·vᵢ(τ) + wᵢ(τ))/γ · G1}` for each instance column
+    /// (including the constant-1 column).
+    pub gamma_abc_g1: Vec<G1Affine>,
+}
+
+impl VerifyingKey {
+    /// Serialized size in bytes (compressed points).
+    pub fn serialized_size(&self) -> usize {
+        8 + 32 + 3 * 64 + 32 * self.gamma_abc_g1.len()
+    }
+
+    /// Serializes the key (compressed points, length-prefixed vector).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        out.extend_from_slice(&(self.gamma_abc_g1.len() as u64).to_le_bytes());
+        ser::write_compressed(&self.alpha_g1, &mut out);
+        ser::write_compressed(&self.beta_g2, &mut out);
+        ser::write_compressed(&self.gamma_g2, &mut out);
+        ser::write_compressed(&self.delta_g2, &mut out);
+        for p in &self.gamma_abc_g1 {
+            ser::write_compressed(p, &mut out);
+        }
+        out
+    }
+
+    /// Deserializes and validates a verifying key.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
+        let expected = 8 + 32 + 3 * 64 + 32 * n;
+        if bytes.len() != expected {
+            return None;
+        }
+        let mut off = 8;
+        let alpha_g1 = ser::read_compressed::<G1Config>(&bytes[off..off + 32])?;
+        off += 32;
+        let beta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        off += 64;
+        let gamma_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        off += 64;
+        let delta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        off += 64;
+        let mut gamma_abc_g1 = Vec::with_capacity(n);
+        for _ in 0..n {
+            gamma_abc_g1.push(ser::read_compressed::<G1Config>(&bytes[off..off + 32])?);
+            off += 32;
+        }
+        Some(Self {
+            alpha_g1,
+            beta_g2,
+            gamma_g2,
+            delta_g2,
+            gamma_abc_g1,
+        })
+    }
+
+    /// Precomputes the pairing-side constants for fast verification.
+    pub fn prepare(&self) -> PreparedVerifyingKey {
+        PreparedVerifyingKey {
+            alpha_beta: pairing(&self.alpha_g1, &self.beta_g2),
+            gamma_prepared: G2Prepared::from(self.gamma_g2),
+            delta_prepared: G2Prepared::from(self.delta_g2),
+            gamma_abc_g1: self.gamma_abc_g1.clone(),
+        }
+    }
+}
+
+/// A verifying key with pairing precomputation applied.
+#[derive(Clone, Debug)]
+pub struct PreparedVerifyingKey {
+    /// `e(α·G1, β·G2)`.
+    pub alpha_beta: Fq12,
+    /// Prepared `γ·G2`.
+    pub gamma_prepared: G2Prepared,
+    /// Prepared `δ·G2`.
+    pub delta_prepared: G2Prepared,
+    /// Same instance-commitment bases as [`VerifyingKey::gamma_abc_g1`].
+    pub gamma_abc_g1: Vec<G1Affine>,
+}
+
+/// The proving key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProvingKey {
+    /// A copy of the verifying key (the prover needs `delta_g2`/`beta_g2`).
+    pub vk: VerifyingKey,
+    /// `β·G1`.
+    pub beta_g1: G1Affine,
+    /// `δ·G1`.
+    pub delta_g1: G1Affine,
+    /// `{uᵢ(τ)·G1}` for every column of `z`.
+    pub a_query: Vec<G1Affine>,
+    /// `{vᵢ(τ)·G1}` for every column of `z`.
+    pub b_g1_query: Vec<G1Affine>,
+    /// `{vᵢ(τ)·G2}` for every column of `z`.
+    pub b_g2_query: Vec<G2Affine>,
+    /// `{τⁱ·Z(τ)/δ · G1}` for `i < m − 1`.
+    pub h_query: Vec<G1Affine>,
+    /// `{(β·uᵢ(τ) + α·vᵢ(τ) + wᵢ(τ))/δ · G1}` for witness columns.
+    pub l_query: Vec<G1Affine>,
+}
+
+impl ProvingKey {
+    /// Serialized size in bytes (uncompressed points, like libsnark's
+    /// in-memory representation — this is the "PK size" metric of Table I).
+    pub fn serialized_size(&self) -> usize {
+        let g1 = 64;
+        let g2 = 128;
+        5 * 8
+            + self.vk.serialized_size()
+            + 2 * g1
+            + g1 * (self.a_query.len() + self.b_g1_query.len() + self.h_query.len() + self.l_query.len())
+            + g2 * self.b_g2_query.len()
+    }
+
+    /// Serializes the proving key (uncompressed points for fast loading).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        for len in [
+            self.a_query.len(),
+            self.b_g1_query.len(),
+            self.b_g2_query.len(),
+            self.h_query.len(),
+            self.l_query.len(),
+        ] {
+            out.extend_from_slice(&(len as u64).to_le_bytes());
+        }
+        let vk_bytes = self.vk.to_bytes();
+        out.extend_from_slice(&vk_bytes);
+        ser::write_uncompressed(&self.beta_g1, &mut out);
+        ser::write_uncompressed(&self.delta_g1, &mut out);
+        for p in &self.a_query {
+            ser::write_uncompressed(p, &mut out);
+        }
+        for p in &self.b_g1_query {
+            ser::write_uncompressed(p, &mut out);
+        }
+        for p in &self.b_g2_query {
+            ser::write_uncompressed(p, &mut out);
+        }
+        for p in &self.h_query {
+            ser::write_uncompressed(p, &mut out);
+        }
+        for p in &self.l_query {
+            ser::write_uncompressed(p, &mut out);
+        }
+        out
+    }
+
+    /// Deserializes and validates a proving key.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 40 {
+            return None;
+        }
+        let mut lens = [0usize; 5];
+        for (i, l) in lens.iter_mut().enumerate() {
+            *l = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().ok()?) as usize;
+        }
+        let mut off = 40;
+        // VK: need its size first
+        if bytes.len() < off + 8 {
+            return None;
+        }
+        let n_abc = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?) as usize;
+        let vk_size = 8 + 32 + 3 * 64 + 32 * n_abc;
+        let vk = VerifyingKey::from_bytes(bytes.get(off..off + vk_size)?)?;
+        off += vk_size;
+        let read_g1 = |off: &mut usize| -> Option<G1Affine> {
+            let p = ser::read_uncompressed::<G1Config>(bytes.get(*off..*off + 64)?)?;
+            *off += 64;
+            Some(p)
+        };
+        let read_g2 = |off: &mut usize| -> Option<G2Affine> {
+            let p = ser::read_uncompressed::<G2Config>(bytes.get(*off..*off + 128)?)?;
+            *off += 128;
+            Some(p)
+        };
+        let beta_g1 = read_g1(&mut off)?;
+        let delta_g1 = read_g1(&mut off)?;
+        let mut a_query = Vec::with_capacity(lens[0]);
+        for _ in 0..lens[0] {
+            a_query.push(read_g1(&mut off)?);
+        }
+        let mut b_g1_query = Vec::with_capacity(lens[1]);
+        for _ in 0..lens[1] {
+            b_g1_query.push(read_g1(&mut off)?);
+        }
+        let mut b_g2_query = Vec::with_capacity(lens[2]);
+        for _ in 0..lens[2] {
+            b_g2_query.push(read_g2(&mut off)?);
+        }
+        let mut h_query = Vec::with_capacity(lens[3]);
+        for _ in 0..lens[3] {
+            h_query.push(read_g1(&mut off)?);
+        }
+        let mut l_query = Vec::with_capacity(lens[4]);
+        for _ in 0..lens[4] {
+            l_query.push(read_g1(&mut off)?);
+        }
+        if off != bytes.len() {
+            return None;
+        }
+        Some(Self {
+            vk,
+            beta_g1,
+            delta_g1,
+            a_query,
+            b_g1_query,
+            b_g2_query,
+            h_query,
+            l_query,
+        })
+    }
+}

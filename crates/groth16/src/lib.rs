@@ -1,0 +1,217 @@
+//! # zkrownn-groth16 — the Groth16 zkSNARK over BN254
+//!
+//! A from-scratch implementation of the proof system the paper builds on
+//! (the same one libsnark provides): circuit-specific trusted [`setup`],
+//! a [`prover`] with constant-size (128-byte) proofs, and a millisecond
+//! [`verifier`]. The R1CS→QAP reduction follows libsnark's instance-padding
+//! construction.
+//!
+//! ```
+//! use zkrownn_groth16::{generate_parameters, create_proof, verify_proof};
+//! use zkrownn_r1cs::ConstraintSystem;
+//! use zkrownn_ff::{Field, Fr};
+//! use rand::SeedableRng;
+//!
+//! // prove knowledge of a factorization of 35 without revealing it
+//! let mut cs = ConstraintSystem::<Fr>::new();
+//! let n = cs.alloc_instance(Fr::from_u64(35));
+//! let p = cs.alloc_witness(Fr::from_u64(5));
+//! let q = cs.alloc_witness(Fr::from_u64(7));
+//! cs.enforce(p.into(), q.into(), n.into());
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+//! let proof = create_proof(&pk, &cs, &mut rng);
+//! assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(35)]).is_ok());
+//! assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(36)]).is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod keys;
+pub mod prover;
+pub mod qap;
+pub mod setup;
+pub mod verifier;
+
+pub use keys::{PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
+pub use prover::{create_proof, create_proof_with_randomness};
+pub use setup::{generate_parameters, generate_parameters_with, ToxicWaste};
+pub use verifier::{verify_proof, verify_proof_prepared, verify_proofs_batch, VerificationError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_ff::{Field, Fr};
+    use zkrownn_r1cs::{ConstraintSystem, LinearCombination, Variable};
+
+    /// A toy circuit: prove knowledge of x with x³ + x + 5 = y (y public).
+    /// (The classic "cubic" example from the Pinocchio/Groth16 literature.)
+    fn cubic_circuit(x_val: u64) -> ConstraintSystem<Fr> {
+        let x3_plus = x_val * x_val * x_val + x_val + 5;
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let y = cs.alloc_instance(Fr::from_u64(x3_plus));
+        let x = cs.alloc_witness(Fr::from_u64(x_val));
+        let x2 = cs.alloc_witness(Fr::from_u64(x_val * x_val));
+        let x3 = cs.alloc_witness(Fr::from_u64(x_val * x_val * x_val));
+        cs.enforce(x.into(), x.into(), x2.into());
+        cs.enforce(x2.into(), x.into(), x3.into());
+        // (x3 + x + 5) * 1 = y
+        let lhs = LinearCombination::from(x3)
+            .add_term(Fr::one(), x)
+            + LinearCombination::constant(Fr::from_u64(5));
+        cs.enforce(lhs, LinearCombination::constant(Fr::one()), y.into());
+        cs
+    }
+
+    #[test]
+    fn prove_and_verify_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(131);
+        let cs = cubic_circuit(3);
+        assert!(cs.is_satisfied().is_ok());
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        let y = Fr::from_u64(3 * 3 * 3 + 3 + 5);
+        assert!(verify_proof(&pk.vk, &proof, &[y]).is_ok());
+    }
+
+    #[test]
+    fn wrong_public_input_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(132);
+        let cs = cubic_circuit(3);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        assert_eq!(
+            verify_proof(&pk.vk, &proof, &[Fr::from_u64(999)]),
+            Err(VerificationError::InvalidProof)
+        );
+    }
+
+    #[test]
+    fn input_length_mismatch_detected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(133);
+        let cs = cubic_circuit(2);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        assert!(matches!(
+            verify_proof(&pk.vk, &proof, &[]),
+            Err(VerificationError::InputLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(134);
+        let cs = cubic_circuit(4);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        let y = Fr::from_u64(4 * 4 * 4 + 4 + 5);
+        // swap A and C (both G1): still valid points, wrong equation
+        let tampered = Proof {
+            a: proof.c,
+            b: proof.b,
+            c: proof.a,
+        };
+        assert!(verify_proof(&pk.vk, &tampered, &[y]).is_err());
+    }
+
+    #[test]
+    fn proofs_are_randomized_but_both_verify() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(135);
+        let cs = cubic_circuit(5);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let p1 = create_proof(&pk, &cs, &mut rng);
+        let p2 = create_proof(&pk, &cs, &mut rng);
+        assert_ne!(p1, p2, "zero-knowledge randomization");
+        let y = Fr::from_u64(5 * 5 * 5 + 5 + 5);
+        assert!(verify_proof(&pk.vk, &p1, &[y]).is_ok());
+        assert!(verify_proof(&pk.vk, &p2, &[y]).is_ok());
+    }
+
+    #[test]
+    fn proof_serialization_roundtrip_is_128_bytes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(136);
+        let cs = cubic_circuit(6);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        let bytes = proof.to_bytes();
+        assert_eq!(bytes.len(), Proof::SIZE);
+        assert_eq!(Proof::from_bytes(&bytes), Some(proof));
+    }
+
+    #[test]
+    fn vk_serialization_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(137);
+        let cs = cubic_circuit(2);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let bytes = pk.vk.to_bytes();
+        assert_eq!(bytes.len(), pk.vk.serialized_size());
+        assert_eq!(VerifyingKey::from_bytes(&bytes), Some(pk.vk.clone()));
+    }
+
+    #[test]
+    fn pk_serialization_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(138);
+        let cs = cubic_circuit(2);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let bytes = pk.to_bytes();
+        assert_eq!(bytes.len(), pk.serialized_size());
+        assert_eq!(ProvingKey::from_bytes(&bytes), Some(pk.clone()));
+    }
+
+    #[test]
+    fn batch_verification_accepts_valid_and_rejects_corrupt() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(140);
+        let cs = cubic_circuit(3);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pvk = pk.vk.prepare();
+        let y = Fr::from_u64(3 * 3 * 3 + 3 + 5);
+        let batch: Vec<(Proof, Vec<Fr>)> = (0..4)
+            .map(|_| (create_proof(&pk, &cs, &mut rng), vec![y]))
+            .collect();
+        assert!(verify_proofs_batch(&pvk, &batch, &mut rng).is_ok());
+        // one corrupted proof poisons the batch
+        let mut bad = batch.clone();
+        bad[2].0.a = bad[0].0.c; // valid point, wrong proof element
+        assert!(verify_proofs_batch(&pvk, &bad, &mut rng).is_err());
+        // and a wrong public input does too
+        let mut bad2 = batch.clone();
+        bad2[1].1 = vec![Fr::from_u64(999)];
+        assert!(verify_proofs_batch(&pvk, &bad2, &mut rng).is_err());
+        // empty batch is trivially fine
+        assert!(verify_proofs_batch(&pvk, &[], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn deterministic_setup_is_reproducible() {
+        let cs = cubic_circuit(3);
+        let m = cs.to_matrices();
+        let toxic = ToxicWaste {
+            alpha: Fr::from_u64(11),
+            beta: Fr::from_u64(12),
+            gamma: Fr::from_u64(13),
+            delta: Fr::from_u64(14),
+            tau: Fr::from_u64(15),
+        };
+        let pk1 = generate_parameters_with(&m, &toxic);
+        let pk2 = generate_parameters_with(&m, &toxic);
+        assert_eq!(pk1, pk2);
+    }
+
+    #[test]
+    fn proof_with_instance_only_circuit() {
+        // A circuit with no witness at all: 1 * y = y (tautology on input)
+        let mut rng = rand::rngs::StdRng::seed_from_u64(139);
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let y = cs.alloc_instance(Fr::from_u64(9));
+        cs.enforce(
+            LinearCombination::constant(Fr::one()),
+            LinearCombination::from(y),
+            Variable::Instance(1).into(),
+        );
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+        assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(9)]).is_ok());
+    }
+}

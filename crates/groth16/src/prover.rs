@@ -1,0 +1,68 @@
+//! Groth16 prover.
+
+use crate::keys::{Proof, ProvingKey};
+use crate::qap;
+use zkrownn_curves::msm::msm;
+use zkrownn_ff::{Field, Fr};
+use zkrownn_r1cs::{ConstraintSystem, R1csMatrices};
+
+/// Creates a proof for a satisfied constraint system.
+///
+/// The witness and instance are read from `cs`; fresh zero-knowledge
+/// randomness `(r, s)` is drawn from `rng`.
+///
+/// # Panics
+/// Panics (in debug builds) if the constraint system is unsatisfied or its
+/// shape disagrees with the proving key.
+pub fn create_proof<R: rand::Rng + ?Sized>(
+    pk: &ProvingKey,
+    cs: &ConstraintSystem<Fr>,
+    rng: &mut R,
+) -> Proof {
+    debug_assert_eq!(cs.is_satisfied(), Ok(()), "unsatisfied constraint system");
+    let matrices = cs.to_matrices();
+    let z = cs.full_assignment();
+    let r = Fr::random(rng);
+    let s = Fr::random(rng);
+    create_proof_with_randomness(pk, &matrices, &z, r, s)
+}
+
+/// Deterministic-randomness variant (used by tests and the bench harness).
+pub fn create_proof_with_randomness(
+    pk: &ProvingKey,
+    matrices: &R1csMatrices<Fr>,
+    z: &[Fr],
+    r: Fr,
+    s: Fr,
+) -> Proof {
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    assert_eq!(z.len(), num_vars, "assignment length mismatch");
+    assert_eq!(pk.a_query.len(), num_vars, "proving key shape mismatch");
+
+    // h(x) coefficients (the FFT-heavy part)
+    let h = qap::witness_map(matrices, z);
+
+    // A = α + Σ zᵢ·uᵢ(τ) + r·δ
+    let delta_g1 = pk.delta_g1.into_projective();
+    let a = pk.vk.alpha_g1.into_projective() + msm(&pk.a_query, z) + delta_g1.mul_scalar(r);
+
+    // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (in G2, and again in G1 for C)
+    let b_g2 = pk.vk.beta_g2.into_projective()
+        + msm(&pk.b_g2_query, z)
+        + pk.vk.delta_g2.into_projective().mul_scalar(s);
+    let b_g1 = pk.beta_g1.into_projective() + msm(&pk.b_g1_query, z) + delta_g1.mul_scalar(s);
+
+    // C = Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ − rs·δ
+    let witness = &z[matrices.num_instance..];
+    let c = msm(&pk.l_query, witness)
+        + msm(&pk.h_query, &h)
+        + a.mul_scalar(s)
+        + b_g1.mul_scalar(r)
+        - delta_g1.mul_scalar(r * s);
+
+    Proof {
+        a: a.into_affine(),
+        b: b_g2.into_affine(),
+        c: c.into_affine(),
+    }
+}

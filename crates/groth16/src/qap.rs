@@ -1,0 +1,196 @@
+//! R1CS → QAP reduction (libsnark style).
+//!
+//! The constraint matrices are interpolated over a radix-2 domain of size
+//! `m ≥ #constraints + #instance`. The extra `#instance` rows are *padding
+//! constraints* `zᵢ · 0 = 0` placed in the A matrix, which make the instance
+//! polynomials `uᵢ` linearly independent — the standard libsnark fix that
+//! Groth16's knowledge-soundness proof requires.
+
+use zkrownn_ff::{Field, Fr};
+use zkrownn_poly::Radix2Domain;
+use zkrownn_r1cs::R1csMatrices;
+
+/// The QAP view of an R1CS: the domain plus per-variable polynomial
+/// evaluations at a fixed point `τ` (used only at setup).
+pub struct QapEvaluations {
+    /// Evaluation domain.
+    pub domain: Radix2Domain<Fr>,
+    /// `uᵢ(τ)` per column of `z`.
+    pub u: Vec<Fr>,
+    /// `vᵢ(τ)` per column of `z`.
+    pub v: Vec<Fr>,
+    /// `wᵢ(τ)` per column of `z`.
+    pub w: Vec<Fr>,
+    /// `Z(τ) = τ^m − 1`.
+    pub zt: Fr,
+}
+
+/// Returns the evaluation domain used for the given matrix dimensions.
+///
+/// # Panics
+/// Panics if the circuit exceeds the field's 2-adic FFT capacity (2²⁸ rows).
+pub fn qap_domain(matrices: &R1csMatrices<Fr>) -> Radix2Domain<Fr> {
+    let rows = matrices.a.len() + matrices.num_instance;
+    Radix2Domain::new(rows).expect("circuit too large for the BN254 scalar field FFT")
+}
+
+/// Evaluates all QAP polynomials at `τ`.
+pub fn evaluate_qap_at(matrices: &R1csMatrices<Fr>, tau: Fr) -> QapEvaluations {
+    let domain = qap_domain(matrices);
+    let lagrange = domain.lagrange_coefficients_at(tau);
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    let mut u = vec![Fr::zero(); num_vars];
+    let mut v = vec![Fr::zero(); num_vars];
+    let mut w = vec![Fr::zero(); num_vars];
+    let ncons = matrices.a.len();
+    for (j, row) in matrices.a.iter().enumerate() {
+        for (col, coeff) in row {
+            u[*col] += *coeff * lagrange[j];
+        }
+    }
+    // instance padding rows: A[ncons + i][i] = 1
+    for i in 0..matrices.num_instance {
+        u[i] += lagrange[ncons + i];
+    }
+    for (j, row) in matrices.b.iter().enumerate() {
+        for (col, coeff) in row {
+            v[*col] += *coeff * lagrange[j];
+        }
+    }
+    for (j, row) in matrices.c.iter().enumerate() {
+        for (col, coeff) in row {
+            w[*col] += *coeff * lagrange[j];
+        }
+    }
+    QapEvaluations {
+        zt: domain.evaluate_vanishing_polynomial(tau),
+        domain,
+        u,
+        v,
+        w,
+    }
+}
+
+/// Computes the coefficients of the quotient `h(x) = (A(x)B(x) − C(x))/Z(x)`
+/// for a full assignment `z` (the prover's "witness map").
+///
+/// Returns `m − 1` coefficients (`deg h = m − 2` for a satisfied system).
+pub fn witness_map(matrices: &R1csMatrices<Fr>, z: &[Fr]) -> Vec<Fr> {
+    let domain = qap_domain(matrices);
+    let m = domain.size;
+    let ncons = matrices.a.len();
+    debug_assert_eq!(z.len(), matrices.num_instance + matrices.num_witness);
+
+    let eval_rows = |rows: &[Vec<(usize, Fr)>]| -> Vec<Fr> {
+        let mut evals = vec![Fr::zero(); m];
+        for (j, row) in rows.iter().enumerate() {
+            evals[j] = row
+                .iter()
+                .fold(Fr::zero(), |acc, (col, coeff)| acc + z[*col] * *coeff);
+        }
+        evals
+    };
+
+    let mut a_evals = eval_rows(&matrices.a);
+    for i in 0..matrices.num_instance {
+        a_evals[ncons + i] = z[i]; // padding rows
+    }
+    let mut b_evals = eval_rows(&matrices.b);
+    let mut c_evals = eval_rows(&matrices.c);
+
+    // interpolate, then move to the coset where Z is a nonzero constant
+    domain.ifft_in_place(&mut a_evals);
+    domain.coset_fft_in_place(&mut a_evals);
+    domain.ifft_in_place(&mut b_evals);
+    domain.coset_fft_in_place(&mut b_evals);
+    domain.ifft_in_place(&mut c_evals);
+    domain.coset_fft_in_place(&mut c_evals);
+
+    let z_inv = domain
+        .vanishing_polynomial_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    let mut h = a_evals;
+    for i in 0..m {
+        h[i] = (h[i] * b_evals[i] - c_evals[i]) * z_inv;
+    }
+    domain.coset_ifft_in_place(&mut h);
+    debug_assert!(
+        h[m - 1].is_zero(),
+        "AB - C not divisible by Z: unsatisfied constraint system?"
+    );
+    h.truncate(m - 1);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_ff::Field;
+    use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
+
+    /// x·y = p, y·y = s (two constraints, one instance for each output)
+    fn sample_system() -> ConstraintSystem<Fr> {
+        let mut cs = ConstraintSystem::new();
+        let p = cs.alloc_instance(Fr::from_u64(21));
+        let s = cs.alloc_instance(Fr::from_u64(49));
+        let x = cs.alloc_witness(Fr::from_u64(3));
+        let y = cs.alloc_witness(Fr::from_u64(7));
+        cs.enforce(x.into(), y.into(), p.into());
+        cs.enforce(y.into(), y.into(), s.into());
+        cs
+    }
+
+    #[test]
+    fn witness_map_gives_exact_division() {
+        let cs = sample_system();
+        assert!(cs.is_satisfied().is_ok());
+        let m = cs.to_matrices();
+        let h = witness_map(&m, &cs.full_assignment());
+        // verify A(τ)B(τ) − C(τ) = h(τ)Z(τ) at a random τ via QAP evals
+        let mut rng = rand::rngs::StdRng::seed_from_u64(121);
+        let tau = Fr::random(&mut rng);
+        let qap = evaluate_qap_at(&m, tau);
+        let z = cs.full_assignment();
+        let at = z.iter().zip(&qap.u).fold(Fr::zero(), |s, (zi, ui)| s + *zi * *ui);
+        let bt = z.iter().zip(&qap.v).fold(Fr::zero(), |s, (zi, vi)| s + *zi * *vi);
+        let ct = z.iter().zip(&qap.w).fold(Fr::zero(), |s, (zi, wi)| s + *zi * *wi);
+        let ht = h
+            .iter()
+            .rev()
+            .fold(Fr::zero(), |acc, &c| acc * tau + c);
+        assert_eq!(at * bt - ct, ht * qap.zt);
+    }
+
+    #[test]
+    #[should_panic(expected = "AB - C not divisible")]
+    #[cfg(debug_assertions)]
+    fn witness_map_panics_on_bad_witness() {
+        let cs = sample_system();
+        let m = cs.to_matrices();
+        let mut z = cs.full_assignment();
+        z[3] = Fr::from_u64(999); // corrupt a witness value
+        let _ = witness_map(&m, &z);
+    }
+
+    #[test]
+    fn instance_polynomials_are_nonzero() {
+        // the padding rows guarantee every instance column has u_i ≠ 0
+        let cs = sample_system();
+        let m = cs.to_matrices();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(122);
+        let qap = evaluate_qap_at(&m, Fr::random(&mut rng));
+        for i in 0..m.num_instance {
+            assert!(!qap.u[i].is_zero(), "instance column {i}");
+        }
+    }
+
+    #[test]
+    fn domain_covers_constraints_plus_instance() {
+        let cs = sample_system();
+        let m = cs.to_matrices();
+        let d = qap_domain(&m);
+        assert!(d.size >= m.a.len() + m.num_instance);
+    }
+}

@@ -1,0 +1,148 @@
+//! Groth16 trusted setup (circuit-specific CRS generation).
+//!
+//! In the paper's setting a trusted third party runs this once per circuit;
+//! because the watermark-extraction circuit never changes, the cost is
+//! amortized over the lifetime of the model (Section II-B of the paper).
+
+use crate::keys::{ProvingKey, VerifyingKey};
+use crate::qap;
+use zkrownn_curves::{FixedBaseTable, G1Projective, G2Projective, Projective};
+use zkrownn_ff::{Field, Fr};
+use zkrownn_r1cs::R1csMatrices;
+
+/// The secret randomness ("toxic waste") behind a CRS. Exposed as a struct
+/// so tests can run deterministic setups; real deployments sample it and
+/// drop it immediately.
+#[derive(Clone, Debug)]
+pub struct ToxicWaste {
+    /// α
+    pub alpha: Fr,
+    /// β
+    pub beta: Fr,
+    /// γ
+    pub gamma: Fr,
+    /// δ
+    pub delta: Fr,
+    /// τ — the evaluation point
+    pub tau: Fr,
+}
+
+impl ToxicWaste {
+    /// Samples fresh setup randomness.
+    pub fn sample<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        // all values must be non-zero for the CRS to be well-formed
+        let nonzero = |rng: &mut R| loop {
+            let v = Fr::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        };
+        Self {
+            alpha: nonzero(rng),
+            beta: nonzero(rng),
+            gamma: nonzero(rng),
+            delta: nonzero(rng),
+            tau: nonzero(rng),
+        }
+    }
+}
+
+/// Runs the Groth16 setup for an R1CS, producing the proving key (which
+/// embeds the verifying key).
+pub fn generate_parameters<R: rand::Rng + ?Sized>(
+    matrices: &R1csMatrices<Fr>,
+    rng: &mut R,
+) -> ProvingKey {
+    generate_parameters_with(matrices, &ToxicWaste::sample(rng))
+}
+
+/// Deterministic setup from explicit toxic waste (tests / reproducibility).
+pub fn generate_parameters_with(matrices: &R1csMatrices<Fr>, toxic: &ToxicWaste) -> ProvingKey {
+    let qap = qap::evaluate_qap_at(matrices, toxic.tau);
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    let ninstance = matrices.num_instance;
+    debug_assert_eq!(qap.u.len(), num_vars);
+
+    let gamma_inv = toxic.gamma.inverse().expect("gamma != 0");
+    let delta_inv = toxic.delta.inverse().expect("delta != 0");
+
+    // Scalar-side computations --------------------------------------------
+    // gamma_abc (instance columns) and l_query (witness columns)
+    let mut gamma_abc_scalars = Vec::with_capacity(ninstance);
+    let mut l_scalars = Vec::with_capacity(matrices.num_witness);
+    for i in 0..num_vars {
+        let combined = toxic.beta * qap.u[i] + toxic.alpha * qap.v[i] + qap.w[i];
+        if i < ninstance {
+            gamma_abc_scalars.push(combined * gamma_inv);
+        } else {
+            l_scalars.push(combined * delta_inv);
+        }
+    }
+    // h_query scalars: τ^i · Z(τ)/δ
+    let zt_over_delta = qap.zt * delta_inv;
+    let mut h_scalars = Vec::with_capacity(qap.domain.size - 1);
+    let mut cur = zt_over_delta;
+    for _ in 0..qap.domain.size - 1 {
+        h_scalars.push(cur);
+        cur *= toxic.tau;
+    }
+
+    // Group-side computations (fixed-base windowed tables) -----------------
+    let g1 = G1Projective::generator();
+    let g2 = G2Projective::generator();
+    let total_g1_muls = 3 * num_vars + h_scalars.len();
+    let w1 = FixedBaseTable::<zkrownn_curves::G1Config>::suggested_window(total_g1_muls);
+    let w2 = FixedBaseTable::<zkrownn_curves::G2Config>::suggested_window(num_vars);
+    let t1 = FixedBaseTable::new(g1, w1);
+    let t2 = FixedBaseTable::new(g2, w2);
+
+    let a_query = t1.mul_many(&qap.u);
+    let b_g1_query = t1.mul_many(&qap.v);
+    let b_g2_query = t2.mul_many(&qap.v);
+    let h_query = t1.mul_many(&h_scalars);
+    let l_query = t1.mul_many(&l_scalars);
+    let gamma_abc_g1 = t1.mul_many(&gamma_abc_scalars);
+
+    let vk = VerifyingKey {
+        alpha_g1: t1.mul(toxic.alpha).into_affine(),
+        beta_g2: t2.mul(toxic.beta).into_affine(),
+        gamma_g2: t2.mul(toxic.gamma).into_affine(),
+        delta_g2: t2.mul(toxic.delta).into_affine(),
+        gamma_abc_g1,
+    };
+
+    ProvingKey {
+        vk,
+        beta_g1: t1.mul(toxic.beta).into_affine(),
+        delta_g1: t1.mul(toxic.delta).into_affine(),
+        a_query,
+        b_g1_query,
+        b_g2_query,
+        h_query,
+        l_query,
+    }
+}
+
+/// Convenience: number of Jacobian points the setup will produce, used by
+/// the bench harness for progress reporting.
+pub fn setup_output_points(matrices: &R1csMatrices<Fr>) -> usize {
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    let domain = qap::qap_domain(matrices);
+    4 * num_vars + domain.size - 1
+}
+
+/// Helper trait re-export so callers can normalize without reaching into
+/// `zkrownn-curves` directly.
+pub trait IntoAffineExt {
+    /// Affine form of the point.
+    type Affine;
+    /// Converts to affine coordinates.
+    fn into_affine_pt(self) -> Self::Affine;
+}
+
+impl<C: zkrownn_curves::SwCurveConfig> IntoAffineExt for Projective<C> {
+    type Affine = zkrownn_curves::Affine<C>;
+    fn into_affine_pt(self) -> Self::Affine {
+        self.into_affine()
+    }
+}

@@ -1,0 +1,381 @@
+//! Network layers with forward and backward passes.
+//!
+//! Covers exactly what the paper's Table II benchmarks require: fully
+//! connected layers, ReLU, 2-D convolution over channel-first volumes
+//! (the "Conv3D" of the paper: 3-D input, per-kernel 3-D dot products),
+//! max pooling and flattening.
+
+use crate::tensor::{dense_forward, Tensor};
+use rand::Rng;
+
+/// A fully connected layer `y = Wx + b`.
+#[derive(Clone, Debug)]
+pub struct Dense {
+    /// Weights, shape `[out, in]`.
+    pub w: Tensor,
+    /// Bias, shape `[out]`.
+    pub b: Tensor,
+}
+
+impl Dense {
+    /// Kaiming-initialized dense layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            w: Tensor::kaiming(&[out_dim, in_dim], in_dim, rng),
+            b: Tensor::zeros(&[out_dim]),
+        }
+    }
+}
+
+/// A 2-D convolution layer over `C×H×W` volumes (valid padding).
+#[derive(Clone, Debug)]
+pub struct Conv2d {
+    /// Kernels, shape `[oc, ic, k, k]`.
+    pub w: Tensor,
+    /// Bias, shape `[oc]`.
+    pub b: Tensor,
+    /// Stride.
+    pub stride: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Kernel side length.
+    pub kernel: usize,
+}
+
+impl Conv2d {
+    /// Kaiming-initialized convolution layer.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        Self {
+            w: Tensor::kaiming(&[out_channels, in_channels, kernel, kernel], fan_in, rng),
+            b: Tensor::zeros(&[out_channels]),
+            stride,
+            in_channels,
+            out_channels,
+            kernel,
+        }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
+    }
+}
+
+/// One layer of a feed-forward network.
+#[derive(Clone, Debug)]
+pub enum Layer {
+    /// Fully connected.
+    Dense(Dense),
+    /// Element-wise ReLU.
+    ReLU,
+    /// 2-D convolution (channel-first).
+    Conv2d(Conv2d),
+    /// Max pooling with square window.
+    MaxPool2d {
+        /// Window side length.
+        size: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Collapses `C×H×W` to a flat vector.
+    Flatten,
+}
+
+/// Parameter gradients for one layer (empty for parameter-free layers).
+#[derive(Clone, Debug, Default)]
+pub struct LayerGrad {
+    /// Gradient of the weights (if any).
+    pub dw: Option<Tensor>,
+    /// Gradient of the bias (if any).
+    pub db: Option<Tensor>,
+}
+
+impl Layer {
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Layer::Dense(d) => dense_forward(&d.w, &d.b, x),
+            Layer::ReLU => {
+                let data = x.data().iter().map(|&v| v.max(0.0)).collect();
+                Tensor::from_vec(x.shape(), data)
+            }
+            Layer::Conv2d(c) => conv_forward(c, x),
+            Layer::MaxPool2d { size, stride } => maxpool_forward(x, *size, *stride).0,
+            Layer::Flatten => x.clone().reshape(&[x.len()]),
+        }
+    }
+
+    /// Backward pass: given the layer input and ∂L/∂output, returns
+    /// (∂L/∂input, parameter gradients).
+    pub fn backward(&self, x: &Tensor, grad_out: &Tensor) -> (Tensor, LayerGrad) {
+        match self {
+            Layer::Dense(d) => {
+                let (out_dim, in_dim) = (d.w.shape()[0], d.w.shape()[1]);
+                let mut dw = Tensor::zeros(&[out_dim, in_dim]);
+                let mut dx = Tensor::zeros(&[in_dim]);
+                for o in 0..out_dim {
+                    let go = grad_out.data()[o];
+                    for i in 0..in_dim {
+                        dw.data_mut()[o * in_dim + i] = go * x.data()[i];
+                        dx.data_mut()[i] += go * d.w.data()[o * in_dim + i];
+                    }
+                }
+                let db = Tensor::from_vec(&[out_dim], grad_out.data().to_vec());
+                (
+                    dx,
+                    LayerGrad {
+                        dw: Some(dw),
+                        db: Some(db),
+                    },
+                )
+            }
+            Layer::ReLU => {
+                let data = x
+                    .data()
+                    .iter()
+                    .zip(grad_out.data())
+                    .map(|(&xi, &g)| if xi > 0.0 { g } else { 0.0 })
+                    .collect();
+                (Tensor::from_vec(x.shape(), data), LayerGrad::default())
+            }
+            Layer::Conv2d(c) => conv_backward(c, x, grad_out),
+            Layer::MaxPool2d { size, stride } => {
+                let (_, argmax) = maxpool_forward(x, *size, *stride);
+                let mut dx = Tensor::zeros(x.shape());
+                for (out_idx, &in_idx) in argmax.iter().enumerate() {
+                    dx.data_mut()[in_idx] += grad_out.data()[out_idx];
+                }
+                (dx, LayerGrad::default())
+            }
+            Layer::Flatten => (
+                grad_out.clone().reshape(x.shape()),
+                LayerGrad::default(),
+            ),
+        }
+    }
+
+    /// Applies a gradient step `param -= lr · grad`.
+    pub fn apply_grad(&mut self, grad: &LayerGrad, lr: f32) {
+        match self {
+            Layer::Dense(d) => {
+                if let Some(dw) = &grad.dw {
+                    d.w.add_scaled(dw, -lr);
+                }
+                if let Some(db) = &grad.db {
+                    d.b.add_scaled(db, -lr);
+                }
+            }
+            Layer::Conv2d(c) => {
+                if let Some(dw) = &grad.dw {
+                    c.w.add_scaled(dw, -lr);
+                }
+                if let Some(db) = &grad.db {
+                    c.b.add_scaled(db, -lr);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn conv_forward(c: &Conv2d, x: &Tensor) -> Tensor {
+    let (ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert_eq!(ic, c.in_channels, "conv input channel mismatch");
+    let (oh, ow) = c.out_hw(h, w);
+    let k = c.kernel;
+    let mut out = Tensor::zeros(&[c.out_channels, oh, ow]);
+    for oc in 0..c.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = c.b.data()[oc];
+                for ci in 0..ic {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * c.stride + ky;
+                            let ix = ox * c.stride + kx;
+                            acc += c.w.data()[((oc * ic + ci) * k + ky) * k + kx]
+                                * x.data()[(ci * h + iy) * w + ix];
+                        }
+                    }
+                }
+                out.data_mut()[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    out
+}
+
+fn conv_backward(c: &Conv2d, x: &Tensor, grad_out: &Tensor) -> (Tensor, LayerGrad) {
+    let (ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let (oh, ow) = c.out_hw(h, w);
+    let k = c.kernel;
+    let mut dw = Tensor::zeros(c.w.shape());
+    let mut db = Tensor::zeros(c.b.shape());
+    let mut dx = Tensor::zeros(x.shape());
+    for oc in 0..c.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let go = grad_out.data()[(oc * oh + oy) * ow + ox];
+                db.data_mut()[oc] += go;
+                for ci in 0..ic {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy * c.stride + ky;
+                            let ix = ox * c.stride + kx;
+                            dw.data_mut()[((oc * ic + ci) * k + ky) * k + kx] +=
+                                go * x.data()[(ci * h + iy) * w + ix];
+                            dx.data_mut()[(ci * h + iy) * w + ix] +=
+                                go * c.w.data()[((oc * ic + ci) * k + ky) * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (
+        dx,
+        LayerGrad {
+            dw: Some(dw),
+            db: Some(db),
+        },
+    )
+}
+
+/// Returns pooled output and, for each output element, the flat input index
+/// of its maximum (for gradient routing).
+fn maxpool_forward(x: &Tensor, size: usize, stride: usize) -> (Tensor, Vec<usize>) {
+    let (c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    let oh = (h - size) / stride + 1;
+    let ow = (w - size) / stride + 1;
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..size {
+                    for kx in 0..size {
+                        let idx = (ci * h + oy * stride + ky) * w + ox * stride + kx;
+                        if x.data()[idx] > best {
+                            best = x.data()[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                out.data_mut()[(ci * oh + oy) * ow + ox] = best;
+                argmax[(ci * oh + oy) * ow + ox] = best_idx;
+            }
+        }
+    }
+    (out, argmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn numeric_grad<F: Fn(&Tensor) -> f32>(x: &Tensor, f: F) -> Tensor {
+        let eps = 1e-3f32;
+        let mut g = Tensor::zeros(x.shape());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            g.data_mut()[i] = (f(&xp) - f(&xm)) / (2.0 * eps);
+        }
+        g
+    }
+
+    #[test]
+    fn dense_backward_matches_numeric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(191);
+        let layer = Layer::Dense(Dense::new(4, 3, &mut rng));
+        let x = Tensor::kaiming(&[4], 4, &mut rng);
+        // loss = sum of outputs
+        let (dx, _) = layer.backward(&x, &Tensor::from_vec(&[3], vec![1.0; 3]));
+        let num = numeric_grad(&x, |xv| layer.forward(xv).data().iter().sum());
+        for (a, b) in dx.data().iter().zip(num.data()) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_backward_matches_numeric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(192);
+        let conv = Conv2d::new(2, 3, 3, 1, &mut rng);
+        let layer = Layer::Conv2d(conv);
+        let x = Tensor::kaiming(&[2, 5, 5], 50, &mut rng);
+        let out_len = 3 * 3 * 3;
+        let (dx, _) = layer.backward(&x, &Tensor::from_vec(&[3, 3, 3], vec![1.0; out_len]));
+        let num = numeric_grad(&x, |xv| layer.forward(xv).data().iter().sum());
+        for (a, b) in dx.data().iter().zip(num.data()) {
+            assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn conv_weight_grad_matches_numeric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(193);
+        let conv = Conv2d::new(1, 2, 2, 1, &mut rng);
+        let x = Tensor::kaiming(&[1, 4, 4], 16, &mut rng);
+        let layer = Layer::Conv2d(conv.clone());
+        let out_len = 2 * 3 * 3;
+        let (_, grad) = layer.backward(&x, &Tensor::from_vec(&[2, 3, 3], vec![1.0; out_len]));
+        let dw = grad.dw.unwrap();
+        // numeric gradient w.r.t. one kernel weight
+        for wi in [0usize, 3, 7] {
+            let eps = 1e-3f32;
+            let mut cp = conv.clone();
+            cp.w.data_mut()[wi] += eps;
+            let fp: f32 = Layer::Conv2d(cp).forward(&x).data().iter().sum();
+            let mut cm = conv.clone();
+            cm.w.data_mut()[wi] -= eps;
+            let fm: f32 = Layer::Conv2d(cm).forward(&x).data().iter().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((dw.data()[wi] - num).abs() < 2e-2, "{} vs {num}", dw.data()[wi]);
+        }
+    }
+
+    #[test]
+    fn relu_and_maxpool_shapes() {
+        let x = Tensor::from_vec(&[1, 4, 4], (0..16).map(|v| v as f32 - 8.0).collect());
+        let r = Layer::ReLU.forward(&x);
+        assert!(r.data().iter().all(|&v| v >= 0.0));
+        let p = Layer::MaxPool2d { size: 2, stride: 2 }.forward(&x);
+        assert_eq!(p.shape(), &[1, 2, 2]);
+        // max of each 2×2 block of 0..16 grid
+        assert_eq!(p.data(), &[5.0 - 8.0, 7.0 - 8.0, 13.0 - 8.0, 15.0 - 8.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let layer = Layer::MaxPool2d { size: 2, stride: 1 };
+        let (dx, _) = layer.backward(&x, &Tensor::from_vec(&[1, 1, 1], vec![2.0]));
+        assert_eq!(dx.data(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_output_geometry_matches_paper_cnn() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(194);
+        // C(32, 3, 2) on 3×32×32 (first layer of the Table II CNN)
+        let conv = Conv2d::new(3, 32, 3, 2, &mut rng);
+        let x = Tensor::zeros(&[3, 32, 32]);
+        let y = Layer::Conv2d(conv).forward(&x);
+        assert_eq!(y.shape(), &[32, 15, 15]);
+    }
+}

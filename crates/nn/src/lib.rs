@@ -1,0 +1,39 @@
+//! # zkrownn-nn — neural-network substrate
+//!
+//! A compact, dependency-free neural-network library sufficient to *train*
+//! the paper's Table II benchmark models (an MNIST-shaped MLP and a
+//! CIFAR-shaped CNN): dense/convolution/pooling layers with full backprop,
+//! sample-wise SGD, softmax cross-entropy, and synthetic Gaussian-mixture
+//! datasets standing in for MNIST/CIFAR-10 in the offline environment.
+//!
+//! The API surface DeepSigns builds on:
+//! * [`Network::forward_collect`] — per-layer activation capture,
+//! * [`Network::backward`] with *injected gradients* at hidden layers — the
+//!   hook for the watermark-embedding loss.
+//!
+//! ```
+//! use zkrownn_nn::{Dense, Layer, Network, Tensor};
+//! use rand::SeedableRng;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = Network::new(vec![
+//!     Layer::Dense(Dense::new(4, 8, &mut rng)),
+//!     Layer::ReLU,
+//!     Layer::Dense(Dense::new(8, 2, &mut rng)),
+//! ]);
+//! let y = net.forward(&Tensor::zeros(&[4]));
+//! assert_eq!(y.shape(), &[2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod network;
+pub mod tensor;
+
+pub use data::{generate_gmm, Dataset, GmmConfig};
+pub use layers::{Conv2d, Dense, Layer, LayerGrad};
+pub use loss::{binary_cross_entropy, sigmoid, softmax_cross_entropy};
+pub use network::Network;
+pub use tensor::Tensor;

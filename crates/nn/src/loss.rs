@@ -1,0 +1,88 @@
+//! Loss functions.
+
+use crate::tensor::Tensor;
+
+/// Softmax cross-entropy against an integer label; returns
+/// `(loss, ∂loss/∂logits)`.
+pub fn softmax_cross_entropy(logits: &Tensor, label: usize) -> (f32, Tensor) {
+    let max = logits
+        .data()
+        .iter()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.data().iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let probs: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -probs[label].max(1e-12).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, Tensor::from_vec(logits.shape(), grad))
+}
+
+/// Binary cross-entropy of a sigmoid probability `p` against a bit target;
+/// returns `(loss, ∂loss/∂p)`.
+pub fn binary_cross_entropy(p: f32, target: bool) -> (f32, f32) {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    let t = if target { 1.0 } else { 0.0 };
+    let loss = -(t * p.ln() + (1.0 - t) * (1.0 - p).ln());
+    let grad = (p - t) / (p * (1.0 - p));
+    (loss, grad)
+}
+
+/// The logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_ce_prefers_correct_class() {
+        let good = Tensor::from_vec(&[3], vec![5.0, 0.0, 0.0]);
+        let bad = Tensor::from_vec(&[3], vec![0.0, 5.0, 0.0]);
+        let (l_good, _) = softmax_cross_entropy(&good, 0);
+        let (l_bad, _) = softmax_cross_entropy(&bad, 0);
+        assert!(l_good < l_bad);
+    }
+
+    #[test]
+    fn softmax_ce_grad_sums_to_zero() {
+        let logits = Tensor::from_vec(&[4], vec![0.3, -1.0, 2.0, 0.1]);
+        let (_, g) = softmax_cross_entropy(&logits, 2);
+        let s: f32 = g.data().iter().sum();
+        assert!(s.abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_grad_matches_numeric() {
+        let logits = Tensor::from_vec(&[3], vec![0.5, -0.2, 1.1]);
+        let (_, g) = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num =
+                (softmax_cross_entropy(&lp, 1).0 - softmax_cross_entropy(&lm, 1).0) / (2.0 * eps);
+            assert!((g.data()[i] - num).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_grad_sign() {
+        // predicting 0.9 for target 0 → positive gradient (push p down)
+        let (_, g) = binary_cross_entropy(0.9, false);
+        assert!(g > 0.0);
+        let (_, g2) = binary_cross_entropy(0.1, true);
+        assert!(g2 < 0.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,215 @@
+//! Feed-forward networks: forward passes (with per-layer activation
+//! capture, which DeepSigns needs) and SGD training with optional injected
+//! gradients at hidden layers (which the watermark-embedding loss needs).
+
+use crate::layers::{Layer, LayerGrad};
+use crate::loss::softmax_cross_entropy;
+use crate::tensor::Tensor;
+
+/// A sequential feed-forward network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// The layer stack, applied in order.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from a layer stack.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Self { layers }
+    }
+
+    /// Plain forward pass.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.layers.iter().fold(x.clone(), |h, l| l.forward(&h))
+    }
+
+    /// Forward pass returning the activation *after every layer*
+    /// (`result[i]` is the output of `layers[i]`).
+    pub fn forward_collect(&self, x: &Tensor) -> Vec<Tensor> {
+        let mut acts = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for l in &self.layers {
+            h = l.forward(&h);
+            acts.push(h.clone());
+        }
+        acts
+    }
+
+    /// Predicted class for a single input.
+    pub fn predict(&self, x: &Tensor) -> usize {
+        self.forward(x).argmax()
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn accuracy(&self, xs: &[Tensor], ys: &[usize]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+
+    /// Full backward pass for one sample.
+    ///
+    /// `grad_output` is ∂L/∂(final activation); `injected` optionally adds
+    /// extra gradient contributions at the outputs of specific hidden
+    /// layers (layer index → gradient tensor) — this is how the DeepSigns
+    /// embedding loss on intermediate activations joins the task loss.
+    pub fn backward(
+        &self,
+        input: &Tensor,
+        activations: &[Tensor],
+        grad_output: &Tensor,
+        injected: &[(usize, Tensor)],
+    ) -> Vec<LayerGrad> {
+        let n = self.layers.len();
+        assert_eq!(activations.len(), n);
+        let mut grads = vec![LayerGrad::default(); n];
+        let mut grad = grad_output.clone();
+        for i in (0..n).rev() {
+            for (idx, extra) in injected {
+                if *idx == i {
+                    grad.add_scaled(extra, 1.0);
+                }
+            }
+            let layer_input = if i == 0 { input } else { &activations[i - 1] };
+            let (gx, gp) = self.layers[i].backward(layer_input, &grad);
+            grads[i] = gp;
+            grad = gx;
+        }
+        grads
+    }
+
+    /// One SGD step from accumulated gradients.
+    pub fn apply_grads(&mut self, grads: &[LayerGrad], lr: f32) {
+        for (layer, grad) in self.layers.iter_mut().zip(grads) {
+            layer.apply_grad(grad, lr);
+        }
+    }
+
+    /// Trains with softmax cross-entropy for `epochs` over the dataset,
+    /// sample-at-a-time SGD. Returns the final mean loss.
+    pub fn train(
+        &mut self,
+        xs: &[Tensor],
+        ys: &[usize],
+        epochs: usize,
+        lr: f32,
+    ) -> f32 {
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (x, &y) in xs.iter().zip(ys) {
+                let acts = self.forward_collect(x);
+                let logits = acts.last().expect("non-empty network");
+                let (loss, grad) = softmax_cross_entropy(logits, y);
+                total += loss;
+                let grads = self.backward(x, &acts, &grad, &[]);
+                self.apply_grads(&grads, lr);
+            }
+            last = total / xs.len() as f32;
+        }
+        last
+    }
+
+    /// Total parameter count.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => d.w.len() + d.b.len(),
+                Layer::Conv2d(c) => c.w.len() + c.b.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use rand::SeedableRng;
+
+    fn xor_network(seed: u64) -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Layer::Dense(Dense::new(2, 8, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(8, 2, &mut rng)),
+        ])
+    }
+
+    fn xor_data() -> (Vec<Tensor>, Vec<usize>) {
+        let xs = vec![
+            Tensor::from_vec(&[2], vec![0., 0.]),
+            Tensor::from_vec(&[2], vec![0., 1.]),
+            Tensor::from_vec(&[2], vec![1., 0.]),
+            Tensor::from_vec(&[2], vec![1., 1.]),
+        ];
+        (xs, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut net = xor_network(201);
+        let (xs, ys) = xor_data();
+        net.train(&xs, &ys, 600, 0.1);
+        assert_eq!(net.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn forward_collect_matches_forward() {
+        let net = xor_network(202);
+        let x = Tensor::from_vec(&[2], vec![0.3, -0.7]);
+        let acts = net.forward_collect(&x);
+        assert_eq!(acts.len(), 3);
+        assert_eq!(acts.last().unwrap(), &net.forward(&x));
+    }
+
+    #[test]
+    fn injected_gradient_changes_training() {
+        let mut a = xor_network(203);
+        let mut b = a.clone();
+        let x = Tensor::from_vec(&[2], vec![1., 0.]);
+        let acts_a = a.forward_collect(&x);
+        let (_, g) = softmax_cross_entropy(acts_a.last().unwrap(), 1);
+        // a: plain; b: with an injected gradient at layer 0's output
+        let grads_a = a.backward(&x, &acts_a, &g, &[]);
+        let inj = Tensor::from_vec(&[8], vec![0.5; 8]);
+        let grads_b = b.backward(&x, &acts_a, &g, &[(0, inj)]);
+        a.apply_grads(&grads_a, 0.1);
+        b.apply_grads(&grads_b, 0.1);
+        let wa = match &a.layers[0] {
+            Layer::Dense(d) => d.w.clone(),
+            _ => unreachable!(),
+        };
+        let wb = match &b.layers[0] {
+            Layer::Dense(d) => d.w.clone(),
+            _ => unreachable!(),
+        };
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn parameter_count_for_paper_mlp() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(204);
+        // Table II: 784 - FC(512) - FC(512) - FC(10)
+        let net = Network::new(vec![
+            Layer::Dense(Dense::new(784, 512, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(512, 512, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(512, 10, &mut rng)),
+        ]);
+        assert_eq!(
+            net.num_parameters(),
+            784 * 512 + 512 + 512 * 512 + 512 + 512 * 10 + 10
+        );
+    }
+}

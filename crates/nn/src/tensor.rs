@@ -1,0 +1,212 @@
+//! A minimal dense tensor (`f32`, row-major) sufficient for the paper's
+//! benchmark networks.
+
+use rand::Rng;
+
+/// A dense row-major tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape/data mismatch"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Kaiming-style random initialization for a layer with `fan_in` inputs.
+    pub fn kaiming<R: Rng + ?Sized>(shape: &[usize], fan_in: usize, rng: &mut R) -> Self {
+        let std = (2.0 / fan_in as f32).sqrt();
+        let data = (0..shape.iter().product())
+            .map(|_| {
+                // Box-Muller from two uniforms
+                let u1: f32 = rng.gen_range(1e-7..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * core::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw data access.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data access.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reshapes in place (volume must match).
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            self.data.len(),
+            "reshape volume mismatch"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape);
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha · other`.
+    pub fn add_scaled(&mut self, other: &Self, alpha: f32) {
+        assert_eq!(self.shape, other.shape);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Scales all elements in place.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Index of the maximum element.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Dense matrix-vector product: `w [out×in] · x [in] + b [out]`.
+pub fn dense_forward(w: &Tensor, b: &Tensor, x: &Tensor) -> Tensor {
+    let (out_dim, in_dim) = (w.shape()[0], w.shape()[1]);
+    assert_eq!(x.len(), in_dim, "dense input dimension mismatch");
+    assert_eq!(b.len(), out_dim);
+    let mut out = vec![0.0f32; out_dim];
+    for o in 0..out_dim {
+        let row = &w.data()[o * in_dim..(o + 1) * in_dim];
+        let mut acc = 0.0f32;
+        for (wi, xi) in row.iter().zip(x.data()) {
+            acc += wi * xi;
+        }
+        out[o] = acc + b.data()[o];
+    }
+    Tensor::from_vec(&[out_dim], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_vec_and_reshape() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1., 2., 3.]);
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let w = Tensor::from_vec(&[2, 3], vec![1., 0., -1., 2., 1., 0.]);
+        let b = Tensor::from_vec(&[2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        let y = dense_forward(&w, &b, &x);
+        assert_eq!(y.data(), &[1. - 3. + 0.5, 2. + 2. - 0.5]);
+    }
+
+    #[test]
+    fn kaiming_has_reasonable_spread() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(181);
+        let t = Tensor::kaiming(&[100, 100], 100, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 0.02).abs() < 0.005, "var {var}"); // 2/fan_in = 0.02
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        let t = Tensor::from_vec(&[4], vec![0.1, 3.0, -2.0, 1.5]);
+        assert_eq!(t.argmax(), 1);
+        assert!((t.mean() - 0.65).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::zeros(&[3]);
+        let b = Tensor::from_vec(&[3], vec![1., 2., 3.]);
+        a.add_scaled(&b, 0.5);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), b.data());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the NN substrate: gradient sanity and tensor
+//! algebra invariants.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use zkrownn_nn::{softmax_cross_entropy, Dense, Layer, Network, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sgd_step_reduces_sample_loss(seed in 0u64..500, label in 0usize..3) {
+        // one gradient step on one sample must not increase that sample's loss
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Network::new(vec![
+            Layer::Dense(Dense::new(6, 8, &mut rng)),
+            Layer::ReLU,
+            Layer::Dense(Dense::new(8, 3, &mut rng)),
+        ]);
+        let x = Tensor::kaiming(&[6], 6, &mut rng);
+        let acts = net.forward_collect(&x);
+        let (loss_before, grad) = softmax_cross_entropy(acts.last().unwrap(), label);
+        let grads = net.backward(&x, &acts, &grad, &[]);
+        net.apply_grads(&grads, 0.01);
+        let (loss_after, _) = softmax_cross_entropy(&net.forward(&x), label);
+        prop_assert!(loss_after <= loss_before + 1e-4,
+            "loss rose from {loss_before} to {loss_after}");
+    }
+
+    #[test]
+    fn softmax_ce_loss_is_nonnegative(logits in prop::collection::vec(-10f32..10.0, 2..8)) {
+        let n = logits.len();
+        let t = Tensor::from_vec(&[n], logits);
+        let (loss, grad) = softmax_cross_entropy(&t, 0);
+        prop_assert!(loss >= 0.0);
+        // gradient entries lie in [-1, 1]
+        prop_assert!(grad.data().iter().all(|g| (-1.0..=1.0).contains(g)));
+    }
+
+    #[test]
+    fn relu_forward_idempotent(vals in prop::collection::vec(-5f32..5.0, 1..32)) {
+        let n = vals.len();
+        let t = Tensor::from_vec(&[n], vals);
+        let once = Layer::ReLU.forward(&t);
+        let twice = Layer::ReLU.forward(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn tensor_add_scaled_linear(a in prop::collection::vec(-3f32..3.0, 4), alpha in -2f32..2.0) {
+        let t = Tensor::from_vec(&[4], a.clone());
+        let mut acc = Tensor::zeros(&[4]);
+        acc.add_scaled(&t, alpha);
+        for (x, y) in acc.data().iter().zip(&a) {
+            prop_assert!((x - alpha * y).abs() < 1e-5);
+        }
+    }
+}

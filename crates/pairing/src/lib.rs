@@ -1,0 +1,397 @@
+//! # zkrownn-pairing — optimal ate pairing over BN254
+//!
+//! The pairing `e: G1 × G2 → Fq12` used by the Groth16 verifier. The
+//! implementation follows the textbook optimal-ate construction for BN
+//! curves:
+//!
+//! * Miller loop over the NAF of `6x + 2` (with `x = 4965661367192848881`,
+//!   the BN254 curve parameter), using homogeneous projective line
+//!   evaluation on the D-type sextic twist;
+//! * two closing addition steps with `ψ(Q)` and `−ψ²(Q)`, where `ψ` is the
+//!   untwist-Frobenius-twist endomorphism;
+//! * final exponentiation split into the easy part `(q⁶−1)(q²+1)` and the
+//!   Fuentes-Castañeda hard part, which is cross-checked in tests against a
+//!   naive `(q¹²−1)/r` exponentiation.
+//!
+//! ```
+//! use zkrownn_pairing::pairing;
+//! use zkrownn_curves::{G1Projective, G2Projective};
+//! use zkrownn_ff::{Field, Fr};
+//! let p = G1Projective::generator().into_affine();
+//! let q = G2Projective::generator().into_affine();
+//! let a = Fr::from_u64(3);
+//! let b = Fr::from_u64(5);
+//! let lhs = pairing(&p.mul_scalar(a).into_affine(), &q.mul_scalar(b).into_affine());
+//! let rhs = pairing(&p, &q).pow(&[15]);
+//! assert_eq!(lhs, rhs);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use zkrownn_curves::{G1Affine, G2Affine, G2Config, SwCurveConfig};
+use zkrownn_ff::{frobenius, Field, Fq, Fq12, Fq2};
+
+/// The BN254 curve parameter `x` (positive).
+pub const BN_X: u64 = 4_965_661_367_192_848_881;
+
+/// The (positive) ate loop count `6x + 2`.
+pub const ATE_LOOP_COUNT: u128 = 6 * BN_X as u128 + 2;
+
+/// Non-adjacent form of the ate loop count, least-significant digit first.
+fn ate_naf() -> &'static [i8] {
+    static NAF: OnceLock<Vec<i8>> = OnceLock::new();
+    NAF.get_or_init(|| {
+        let mut n = ATE_LOOP_COUNT;
+        let mut out = Vec::new();
+        while n > 0 {
+            if n & 1 == 1 {
+                let d: i8 = if n & 3 == 3 { -1 } else { 1 };
+                out.push(d);
+                if d == 1 {
+                    n -= 1;
+                } else {
+                    n += 1;
+                }
+            } else {
+                out.push(0);
+            }
+            n >>= 1;
+        }
+        debug_assert_eq!(*out.last().unwrap(), 1);
+        out
+    })
+}
+
+/// One line-function evaluation, as three `Fq2` coefficients.
+type EllCoeff = (Fq2, Fq2, Fq2);
+
+/// A G2 point with all Miller-loop line coefficients precomputed.
+///
+/// Preparing a point once and reusing it across pairings is the standard
+/// verifier optimization (the Groth16 verifying key prepares `β`, `γ` and
+/// `δ` once).
+#[derive(Clone, Debug)]
+pub struct G2Prepared {
+    ell_coeffs: Vec<EllCoeff>,
+    infinity: bool,
+}
+
+/// Homogeneous projective coordinates used during line computation.
+struct G2HomProjective {
+    x: Fq2,
+    y: Fq2,
+    z: Fq2,
+}
+
+impl G2HomProjective {
+    /// Doubling step; returns the line coefficients for the D-twist.
+    fn double_in_place(&mut self, two_inv: Fq) -> EllCoeff {
+        // Formulas from Costello–Lange–Naehrig (as used by libsnark/arkworks).
+        let a = (self.x * self.y).mul_by_fq(two_inv);
+        let b = self.y.square();
+        let c = self.z.square();
+        let e = G2Config::coeff_b() * (c.double() + c);
+        let f = e.double() + e;
+        let g = (b + f).mul_by_fq(two_inv);
+        let h = (self.y + self.z).square() - (b + c);
+        let i = e - b;
+        let j = self.x.square();
+        let e_square = e.square();
+        self.x = a * (b - f);
+        self.y = g.square() - (e_square.double() + e_square);
+        self.z = b * h;
+        (-h, j.double() + j, i)
+    }
+
+    /// Mixed addition step; returns the line coefficients for the D-twist.
+    fn add_in_place(&mut self, q: &G2Affine) -> EllCoeff {
+        let theta = self.y - (q.y * self.z);
+        let lambda = self.x - (q.x * self.z);
+        let c = theta.square();
+        let d = lambda.square();
+        let e = lambda * d;
+        let f = self.z * c;
+        let g = self.x * d;
+        let h = e + f - g.double();
+        self.x = lambda * h;
+        self.y = theta * (g - h) - (e * self.y);
+        self.z *= e;
+        let j = theta * q.x - (lambda * q.y);
+        (lambda, -theta, j)
+    }
+}
+
+/// The untwist-Frobenius-twist endomorphism
+/// `ψ(x, y) = (x̄·ξ^((q−1)/3), ȳ·ξ^((q−1)/2))`.
+fn mul_by_char(q: G2Affine) -> G2Affine {
+    G2Affine::new_unchecked(
+        q.x.frobenius_map(1) * frobenius::twist_mul_by_q_x(),
+        q.y.frobenius_map(1) * frobenius::twist_mul_by_q_y(),
+    )
+}
+
+impl From<G2Affine> for G2Prepared {
+    fn from(q: G2Affine) -> Self {
+        if q.is_identity() {
+            return Self {
+                ell_coeffs: Vec::new(),
+                infinity: true,
+            };
+        }
+        let two_inv = Fq::from_u64(2).inverse().expect("2 != 0");
+        let naf = ate_naf();
+        let neg_q = -q;
+        let mut r = G2HomProjective {
+            x: q.x,
+            y: q.y,
+            z: Fq2::one(),
+        };
+        let mut coeffs = Vec::with_capacity(naf.len() * 3 / 2 + 2);
+        for i in (0..naf.len() - 1).rev() {
+            coeffs.push(r.double_in_place(two_inv));
+            match naf[i] {
+                1 => coeffs.push(r.add_in_place(&q)),
+                -1 => coeffs.push(r.add_in_place(&neg_q)),
+                _ => {}
+            }
+        }
+        // BN254's x is positive, so no conjugation step here.
+        let q1 = mul_by_char(q);
+        let mut q2 = mul_by_char(q1);
+        q2.y = -q2.y;
+        coeffs.push(r.add_in_place(&q1));
+        coeffs.push(r.add_in_place(&q2));
+        Self {
+            ell_coeffs: coeffs,
+            infinity: false,
+        }
+    }
+}
+
+/// Multiplies `f` by the line evaluated at the G1 point `p` (D-twist layout).
+#[inline]
+fn ell(f: &mut Fq12, coeff: &EllCoeff, p: &G1Affine) {
+    *f = f.mul_by_034(coeff.0.mul_by_fq(p.y), coeff.1.mul_by_fq(p.x), coeff.2);
+}
+
+/// Product of Miller loops `∏ f_{6x+2, Qᵢ}(Pᵢ)` (no final exponentiation).
+pub fn multi_miller_loop(pairs: &[(G1Affine, G2Prepared)]) -> Fq12 {
+    let active: Vec<&(G1Affine, G2Prepared)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.infinity)
+        .collect();
+    let naf = ate_naf();
+    let mut f = Fq12::one();
+    let mut idx = 0usize;
+    for i in (0..naf.len() - 1).rev() {
+        f = f.square();
+        for (p, q) in active.iter() {
+            ell(&mut f, &q.ell_coeffs[idx], p);
+        }
+        idx += 1;
+        if naf[i] != 0 {
+            for (p, q) in active.iter() {
+                ell(&mut f, &q.ell_coeffs[idx], p);
+            }
+            idx += 1;
+        }
+    }
+    for _ in 0..2 {
+        for (p, q) in active.iter() {
+            ell(&mut f, &q.ell_coeffs[idx], p);
+        }
+        idx += 1;
+    }
+    debug_assert!(active.iter().all(|(_, q)| q.ell_coeffs.len() == idx));
+    f
+}
+
+/// `f^(-x)` for the positive BN parameter `x` (cyclotomic subgroup only).
+fn exp_by_neg_x(f: Fq12) -> Fq12 {
+    f.cyclotomic_exp(BN_X).conjugate()
+}
+
+/// The final exponentiation `f ↦ f^((q¹²−1)/r)` (up to a fixed power coprime
+/// to `r`, per Fuentes-Castañeda — which preserves all pairing identities).
+///
+/// Returns `None` if `f` is zero (which cannot happen for Miller-loop
+/// outputs of valid points).
+pub fn final_exponentiation(f: &Fq12) -> Option<Fq12> {
+    // Easy part: f^((q^6 - 1)(q^2 + 1)).
+    let f_inv = f.inverse()?;
+    let mut r = f.conjugate() * f_inv;
+    r = r.frobenius_map(2) * r;
+
+    // Hard part: Fuentes-Castañeda et al., "Faster hashing to G2".
+    let y0 = exp_by_neg_x(r);
+    let y1 = y0.cyclotomic_square();
+    let y2 = y1.cyclotomic_square();
+    let mut y3 = y2 * y1;
+    let y4 = exp_by_neg_x(y3);
+    let y5 = y4.cyclotomic_square();
+    let mut y6 = exp_by_neg_x(y5);
+    y3 = y3.conjugate();
+    y6 = y6.conjugate();
+    let y7 = y6 * y4;
+    let mut y8 = y7 * y3;
+    let y9 = y8 * y1;
+    let y10 = y8 * y4;
+    let y11 = y10 * r;
+    let mut y12 = y9;
+    y12 = y12.frobenius_map(1);
+    let y13 = y12 * y11;
+    y8 = y8.frobenius_map(2);
+    let y14 = y8 * y13;
+    r = r.conjugate();
+    let mut y15 = r * y9;
+    y15 = y15.frobenius_map(3);
+    Some(y15 * y14)
+}
+
+/// The optimal ate pairing `e(P, Q)`.
+pub fn pairing(p: &G1Affine, q: &G2Affine) -> Fq12 {
+    let ml = multi_miller_loop(&[(*p, G2Prepared::from(*q))]);
+    final_exponentiation(&ml).expect("miller loop output is non-zero")
+}
+
+/// Product of pairings `∏ e(Pᵢ, Qᵢ)` with a single shared final
+/// exponentiation — the shape of the Groth16 verification equation.
+pub fn multi_pairing(pairs: &[(G1Affine, G2Prepared)]) -> Fq12 {
+    let ml = multi_miller_loop(pairs);
+    final_exponentiation(&ml).expect("miller loop output is non-zero")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use zkrownn_curves::{G1Projective, G2Projective};
+    use zkrownn_ff::{BigUint, FpParams, FqParams, Fr, PrimeField};
+
+    fn g1() -> G1Affine {
+        G1Projective::generator().into_affine()
+    }
+    fn g2() -> G2Affine {
+        G2Projective::generator().into_affine()
+    }
+
+    #[test]
+    fn ate_loop_count_naf_reconstructs() {
+        let naf = ate_naf();
+        let mut v: i128 = 0;
+        for (i, &d) in naf.iter().enumerate() {
+            v += (d as i128) << i;
+        }
+        assert_eq!(v as u128, ATE_LOOP_COUNT);
+    }
+
+    #[test]
+    fn non_degeneracy() {
+        let e = pairing(&g1(), &g2());
+        assert_ne!(e, Fq12::one());
+        assert!(!e.is_zero());
+    }
+
+    #[test]
+    fn output_has_order_dividing_r() {
+        let e = pairing(&g1(), &g2());
+        assert_eq!(e.pow(&Fr::MODULUS.0), Fq12::one());
+    }
+
+    #[test]
+    fn bilinearity_left() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        let a = Fr::random(&mut rng);
+        let pa = g1().mul_scalar(a).into_affine();
+        let lhs = pairing(&pa, &g2());
+        let rhs = pairing(&g1(), &g2()).pow(&a.into_bigint().0);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinearity_right() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        let b = Fr::random(&mut rng);
+        let qb = g2().mul_scalar(b).into_affine();
+        let lhs = pairing(&g1(), &qb);
+        let rhs = pairing(&g1(), &g2()).pow(&b.into_bigint().0);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinearity_both_sides() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(93);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let pa = g1().mul_scalar(a).into_affine();
+        let qb = g2().mul_scalar(b).into_affine();
+        let lhs = pairing(&pa, &qb);
+        let rhs = pairing(&g1(), &g2()).pow(&(a * b).into_bigint().0);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn inverse_relations() {
+        let e = pairing(&g1(), &g2());
+        let e_negp = pairing(&(-g1()), &g2());
+        let e_negq = pairing(&g1(), &(-g2()));
+        assert_eq!(e * e_negp, Fq12::one());
+        assert_eq!(e * e_negq, Fq12::one());
+        assert_eq!(e_negp, e_negq);
+    }
+
+    #[test]
+    fn multi_pairing_is_product() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(94);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        let p1 = g1().mul_scalar(a).into_affine();
+        let p2 = g1().mul_scalar(b).into_affine();
+        let prod = multi_pairing(&[
+            (p1, G2Prepared::from(g2())),
+            (p2, G2Prepared::from(g2())),
+        ]);
+        assert_eq!(prod, pairing(&p1, &g2()) * pairing(&p2, &g2()));
+        // and equals e(g1, g2)^(a+b)
+        assert_eq!(prod, pairing(&g1(), &g2()).pow(&(a + b).into_bigint().0));
+    }
+
+    #[test]
+    fn identity_inputs_give_one() {
+        assert_eq!(pairing(&G1Affine::identity(), &g2()), Fq12::one());
+        assert_eq!(pairing(&g1(), &G2Affine::identity()), Fq12::one());
+    }
+
+    #[test]
+    fn final_exponentiation_matches_naive() {
+        // Fuentes-Castañeda computes f^(2x(6x²+3x+1)·(q¹²−1)/r) rather than
+        // the plain cofactor power; both kill every factor of order ≠ r and
+        // agree on all pairing identities. Check the exact relation.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(95);
+        let f = Fq12::random(&mut rng);
+
+        let q = BigUint::from_limbs(&FqParams::MODULUS.0);
+        let r = BigUint::from_limbs(&Fr::MODULUS.0);
+        let mut q12 = BigUint::one();
+        for _ in 0..12 {
+            q12 = q12.mul(&q);
+        }
+        let (cofactor, rem) = q12.sub(&BigUint::one()).div_rem(&r);
+        assert!(rem.is_zero(), "r must divide q^12 - 1");
+
+        let naive = f.pow(cofactor.limbs());
+        let fast = final_exponentiation(&f).unwrap();
+
+        let x = BigUint::from_u64(BN_X);
+        let six_x2 = x.mul(&x).mul_u64(6);
+        let exp = x
+            .mul_u64(2)
+            .mul(&six_x2.add(&x.mul_u64(3)).add(&BigUint::one()));
+        let expected = naive.pow(exp.limbs());
+        assert_eq!(
+            fast, expected,
+            "hard part disagrees with naive exponentiation"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-cutting pairing identities used implicitly by the Groth16
+//! verification equation.
+
+use rand::SeedableRng;
+use zkrownn_curves::{G1Affine, G1Projective, G2Projective};
+use zkrownn_ff::{Field, Fq12, Fr, PrimeField};
+use zkrownn_pairing::{multi_miller_loop, multi_pairing, pairing, final_exponentiation, G2Prepared};
+
+fn rand_points(seed: u64) -> (G1Affine, zkrownn_curves::G2Affine, Fr, Fr) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    (
+        G1Projective::generator().mul_scalar(a).into_affine(),
+        G2Projective::generator().mul_scalar(b).into_affine(),
+        a,
+        b,
+    )
+}
+
+#[test]
+fn groth16_shaped_equation_balances() {
+    // e(aP, bQ) · e(-abP, Q) == 1  — the cancellation pattern the verifier
+    // relies on, via one shared final exponentiation.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(601);
+    let a = Fr::random(&mut rng);
+    let b = Fr::random(&mut rng);
+    let p = G1Projective::generator();
+    let q = G2Projective::generator().into_affine();
+    let pa = p.mul_scalar(a).into_affine();
+    let p_ab_neg = p.mul_scalar(a * b).neg().into_affine();
+    let qb = G2Projective::generator().mul_scalar(b).into_affine();
+    let result = multi_pairing(&[
+        (pa, G2Prepared::from(qb)),
+        (p_ab_neg, G2Prepared::from(q)),
+    ]);
+    assert_eq!(result, Fq12::one());
+}
+
+#[test]
+fn prepared_points_are_reusable() {
+    let (p, q, _, _) = rand_points(602);
+    let prepared = G2Prepared::from(q);
+    let first = multi_pairing(&[(p, prepared.clone())]);
+    let second = multi_pairing(&[(p, prepared)]);
+    assert_eq!(first, second);
+    assert_eq!(first, pairing(&p, &q));
+}
+
+#[test]
+fn miller_loop_product_equals_pairing_product() {
+    let (p1, q1, _, _) = rand_points(603);
+    let (p2, q2, _, _) = rand_points(604);
+    // final_exp(ML(p1,q1) · ML(p2,q2)) == e(p1,q1)·e(p2,q2)
+    let ml = multi_miller_loop(&[
+        (p1, G2Prepared::from(q1)),
+        (p2, G2Prepared::from(q2)),
+    ]);
+    let combined = final_exponentiation(&ml).unwrap();
+    assert_eq!(combined, pairing(&p1, &q1) * pairing(&p2, &q2));
+}
+
+#[test]
+fn pairing_respects_scalar_bilinearity_in_small_scalars() {
+    let p = G1Projective::generator().into_affine();
+    let q = G2Projective::generator().into_affine();
+    let e = pairing(&p, &q);
+    // e(3P, 5Q) = e(P,Q)^15 via small multiples computed by repeated addition
+    let p3 = (p.into_projective() + p.into_projective() + p.into_projective()).into_affine();
+    let mut q5 = q.into_projective();
+    for _ in 0..4 {
+        q5 += q.into_projective();
+    }
+    assert_eq!(pairing(&p3, &q5.into_affine()), e.pow(&[15]));
+}
+
+#[test]
+fn unit_output_only_for_identity_inputs() {
+    let (p, q, _, _) = rand_points(605);
+    assert_ne!(pairing(&p, &q), Fq12::one());
+    assert_eq!(pairing(&G1Affine::identity(), &q), Fq12::one());
+}

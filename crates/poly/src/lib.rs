@@ -1,0 +1,23 @@
+//! # zkrownn-poly — FFT domains and polynomials over BN254 Fr
+//!
+//! Radix-2 evaluation domains ([`Radix2Domain`]) with plain and coset
+//! FFT/IFFT, Lagrange-coefficient evaluation (used by the Groth16 trusted
+//! setup), and dense polynomials ([`DensePolynomial`]).
+//!
+//! ```
+//! use zkrownn_poly::Radix2Domain;
+//! use zkrownn_ff::{Field, Fr};
+//! let domain = Radix2Domain::<Fr>::new(4).unwrap();
+//! let coeffs = vec![Fr::from_u64(3), Fr::one()]; // p(x) = 3 + x
+//! let evals = domain.fft(&coeffs);
+//! assert_eq!(evals[0], Fr::from_u64(4)); // p(1)
+//! assert_eq!(domain.ifft(&evals)[..2], coeffs[..]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod domain;
+
+pub use dense::DensePolynomial;
+pub use domain::Radix2Domain;

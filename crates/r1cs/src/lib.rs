@@ -1,0 +1,383 @@
+//! # zkrownn-r1cs — rank-1 constraint systems
+//!
+//! The circuit representation consumed by the Groth16 backend: a list of
+//! constraints `⟨A_j, z⟩ · ⟨B_j, z⟩ = ⟨C_j, z⟩` over the assignment vector
+//! `z = (1, instance…, witness…)`.
+//!
+//! This mirrors the role xJsnark + libsnark's `protoboard` play in the
+//! paper's stack: gadget code allocates variables, builds
+//! [`LinearCombination`]s and calls [`ConstraintSystem::enforce`]. The same
+//! builder runs in two situations: with real values (proving) and with
+//! placeholder values (setup) — the constraint *structure* must not depend
+//! on the assignment, which is what makes the generated circuit reusable.
+//!
+//! ```
+//! use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
+//! use zkrownn_ff::{Field, Fr};
+//! // prove knowledge of a factorization 6 = 2·3
+//! let mut cs = ConstraintSystem::<Fr>::new();
+//! let six = cs.alloc_instance(Fr::from_u64(6));
+//! let a = cs.alloc_witness(Fr::from_u64(2));
+//! let b = cs.alloc_witness(Fr::from_u64(3));
+//! cs.enforce(a.into(), b.into(), six.into());
+//! assert!(cs.is_satisfied().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+use zkrownn_ff::PrimeField;
+
+/// A variable in the constraint system.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Variable {
+    /// The constant 1 (index 0 of the instance block).
+    One,
+    /// `i`-th public-input variable (1-based column in the instance block).
+    Instance(usize),
+    /// `i`-th private witness variable.
+    Witness(usize),
+}
+
+/// A sparse linear combination `Σ coeff·var`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearCombination<F: PrimeField>(pub Vec<(Variable, F)>);
+
+impl<F: PrimeField> LinearCombination<F> {
+    /// The empty (zero) combination.
+    pub fn zero() -> Self {
+        Self(Vec::new())
+    }
+
+    /// The constant `c` (as `c · 1`).
+    pub fn constant(c: F) -> Self {
+        if c.is_zero() {
+            Self::zero()
+        } else {
+            Self(vec![(Variable::One, c)])
+        }
+    }
+
+    /// Returns `self + coeff·var`.
+    pub fn add_term(mut self, coeff: F, var: Variable) -> Self {
+        if !coeff.is_zero() {
+            self.0.push((var, coeff));
+        }
+        self
+    }
+
+    /// Returns `self · c`.
+    pub fn scale(mut self, c: F) -> Self {
+        if c.is_zero() {
+            return Self::zero();
+        }
+        for (_, coeff) in self.0.iter_mut() {
+            *coeff *= c;
+        }
+        self
+    }
+
+    /// Merges duplicate variables (keeps the representation compact when
+    /// combinations are built incrementally).
+    pub fn compact(mut self) -> Self {
+        self.0.sort_by_key(|(v, _)| match v {
+            Variable::One => (0usize, 0usize),
+            Variable::Instance(i) => (1, *i),
+            Variable::Witness(i) => (2, *i),
+        });
+        let mut out: Vec<(Variable, F)> = Vec::with_capacity(self.0.len());
+        for (v, c) in self.0 {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| !c.is_zero());
+        Self(out)
+    }
+}
+
+impl<F: PrimeField> From<Variable> for LinearCombination<F> {
+    fn from(v: Variable) -> Self {
+        Self(vec![(v, F::one())])
+    }
+}
+
+impl<F: PrimeField> core::ops::Add for LinearCombination<F> {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self.0.extend(rhs.0);
+        self
+    }
+}
+
+impl<F: PrimeField> core::ops::Sub for LinearCombination<F> {
+    type Output = Self;
+    fn sub(mut self, rhs: Self) -> Self {
+        for (v, c) in rhs.0 {
+            self.0.push((v, -c));
+        }
+        self
+    }
+}
+
+impl<F: PrimeField> core::ops::Neg for LinearCombination<F> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::zero() - self
+    }
+}
+
+/// One R1CS constraint `⟨a, z⟩·⟨b, z⟩ = ⟨c, z⟩`.
+#[derive(Clone, Debug)]
+pub struct Constraint<F: PrimeField> {
+    /// Left factor.
+    pub a: LinearCombination<F>,
+    /// Right factor.
+    pub b: LinearCombination<F>,
+    /// Product.
+    pub c: LinearCombination<F>,
+}
+
+/// Column-indexed sparse matrices (the QAP front-end representation).
+///
+/// Columns are indices into `z = (1, instance…, witness…)`, so column 0 is
+/// the constant, columns `1..num_instance` the public inputs, and the rest
+/// the witness.
+#[derive(Clone, Debug)]
+pub struct R1csMatrices<F: PrimeField> {
+    /// Rows of the A matrix.
+    pub a: Vec<Vec<(usize, F)>>,
+    /// Rows of the B matrix.
+    pub b: Vec<Vec<(usize, F)>>,
+    /// Rows of the C matrix.
+    pub c: Vec<Vec<(usize, F)>>,
+    /// Size of the instance block (including the leading 1).
+    pub num_instance: usize,
+    /// Number of witness variables.
+    pub num_witness: usize,
+}
+
+/// A rank-1 constraint system with an assignment.
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintSystem<F: PrimeField> {
+    instance: Vec<F>,
+    witness: Vec<F>,
+    constraints: Vec<Constraint<F>>,
+}
+
+impl<F: PrimeField> ConstraintSystem<F> {
+    /// Creates an empty system (instance block starts with the constant 1).
+    pub fn new() -> Self {
+        Self {
+            instance: vec![F::one()],
+            witness: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Allocates a public-input variable with the given value.
+    pub fn alloc_instance(&mut self, value: F) -> Variable {
+        self.instance.push(value);
+        Variable::Instance(self.instance.len() - 1)
+    }
+
+    /// Allocates a private witness variable with the given value.
+    pub fn alloc_witness(&mut self, value: F) -> Variable {
+        self.witness.push(value);
+        Variable::Witness(self.witness.len() - 1)
+    }
+
+    /// Adds the constraint `⟨a, z⟩·⟨b, z⟩ = ⟨c, z⟩`.
+    pub fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.constraints.push(Constraint {
+            a: a.compact(),
+            b: b.compact(),
+            c: c.compact(),
+        });
+    }
+
+    /// Value of a variable under the current assignment.
+    pub fn value(&self, v: Variable) -> F {
+        match v {
+            Variable::One => F::one(),
+            Variable::Instance(i) => self.instance[i],
+            Variable::Witness(i) => self.witness[i],
+        }
+    }
+
+    /// Value of a linear combination under the current assignment.
+    pub fn eval_lc(&self, lc: &LinearCombination<F>) -> F {
+        lc.0.iter()
+            .fold(F::zero(), |acc, (v, c)| acc + self.value(*v) * *c)
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Instance-block size (including the constant 1).
+    pub fn num_instance_variables(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// Number of witness variables.
+    pub fn num_witness_variables(&self) -> usize {
+        self.witness.len()
+    }
+
+    /// The instance assignment (with the leading constant 1).
+    pub fn instance_assignment(&self) -> &[F] {
+        &self.instance
+    }
+
+    /// The witness assignment.
+    pub fn witness_assignment(&self) -> &[F] {
+        &self.witness
+    }
+
+    /// The full assignment `z = (1, instance…, witness…)`.
+    pub fn full_assignment(&self) -> Vec<F> {
+        let mut z = self.instance.clone();
+        z.extend_from_slice(&self.witness);
+        z
+    }
+
+    /// The constraints (for inspection and tests).
+    pub fn constraints(&self) -> &[Constraint<F>] {
+        &self.constraints
+    }
+
+    /// Checks satisfaction; on failure returns the index of the first
+    /// violated constraint.
+    pub fn is_satisfied(&self) -> Result<(), usize> {
+        for (i, cstr) in self.constraints.iter().enumerate() {
+            let a = self.eval_lc(&cstr.a);
+            let b = self.eval_lc(&cstr.b);
+            let c = self.eval_lc(&cstr.c);
+            if a * b != c {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+
+    fn column(&self, v: Variable) -> usize {
+        match v {
+            Variable::One => 0,
+            Variable::Instance(i) => i,
+            Variable::Witness(i) => self.instance.len() + i,
+        }
+    }
+
+    /// Lowers the constraints to column-indexed sparse matrices.
+    pub fn to_matrices(&self) -> R1csMatrices<F> {
+        let lower = |lc: &LinearCombination<F>| -> Vec<(usize, F)> {
+            lc.0.iter().map(|(v, c)| (self.column(*v), *c)).collect()
+        };
+        R1csMatrices {
+            a: self.constraints.iter().map(|c| lower(&c.a)).collect(),
+            b: self.constraints.iter().map(|c| lower(&c.b)).collect(),
+            c: self.constraints.iter().map(|c| lower(&c.c)).collect(),
+            num_instance: self.instance.len(),
+            num_witness: self.witness.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkrownn_ff::{Field, Fr};
+
+    fn lc(v: Variable) -> LinearCombination<Fr> {
+        v.into()
+    }
+
+    #[test]
+    fn factorization_circuit_satisfied() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let prod = cs.alloc_instance(Fr::from_u64(35));
+        let p = cs.alloc_witness(Fr::from_u64(5));
+        let q = cs.alloc_witness(Fr::from_u64(7));
+        cs.enforce(lc(p), lc(q), lc(prod));
+        assert!(cs.is_satisfied().is_ok());
+        assert_eq!(cs.num_constraints(), 1);
+        assert_eq!(cs.num_instance_variables(), 2);
+        assert_eq!(cs.num_witness_variables(), 2);
+    }
+
+    #[test]
+    fn unsatisfied_constraint_reports_index() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = cs.alloc_witness(Fr::from_u64(2));
+        let b = cs.alloc_witness(Fr::from_u64(2));
+        cs.enforce(lc(a), lc(a), LinearCombination::constant(Fr::from_u64(4)));
+        cs.enforce(lc(a), lc(b), LinearCombination::constant(Fr::from_u64(5)));
+        assert_eq!(cs.is_satisfied(), Err(1));
+    }
+
+    #[test]
+    fn linear_combination_arithmetic() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(3));
+        let y = cs.alloc_witness(Fr::from_u64(4));
+        // (2x + y - 1) should evaluate to 9
+        let combo = LinearCombination::zero()
+            .add_term(Fr::from_u64(2), x)
+            .add_term(Fr::one(), y)
+            + LinearCombination::constant(-Fr::one());
+        assert_eq!(cs.eval_lc(&combo), Fr::from_u64(9));
+        // and scaling by 3 gives 27
+        assert_eq!(cs.eval_lc(&combo.scale(Fr::from_u64(3))), Fr::from_u64(27));
+    }
+
+    #[test]
+    fn compact_merges_duplicates() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(5));
+        let combo = (LinearCombination::from(x) + LinearCombination::from(x)).compact();
+        assert_eq!(combo.0.len(), 1);
+        assert_eq!(cs.eval_lc(&combo), Fr::from_u64(10));
+        // exact cancellation removes the term entirely
+        let zero = (LinearCombination::<Fr>::from(x) - LinearCombination::from(x)).compact();
+        assert!(zero.0.is_empty());
+    }
+
+    #[test]
+    fn matrices_use_z_column_order() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let inst = cs.alloc_instance(Fr::from_u64(6));
+        let w = cs.alloc_witness(Fr::from_u64(6));
+        // w * 1 = inst
+        cs.enforce(lc(w), LinearCombination::constant(Fr::one()), lc(inst));
+        let m = cs.to_matrices();
+        assert_eq!(m.num_instance, 2);
+        assert_eq!(m.num_witness, 1);
+        assert_eq!(m.a[0], vec![(2, Fr::one())]); // witness column = 1 + 1
+        assert_eq!(m.b[0], vec![(0, Fr::one())]); // constant column
+        assert_eq!(m.c[0], vec![(1, Fr::one())]); // instance column
+    }
+
+    #[test]
+    fn structure_is_assignment_independent() {
+        // The same builder with different values must give identical matrices
+        // (this is what lets one circuit definition serve setup and proving).
+        fn build(x: u64, y: u64) -> R1csMatrices<Fr> {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let a = cs.alloc_witness(Fr::from_u64(x));
+            let b = cs.alloc_witness(Fr::from_u64(y));
+            let out = cs.alloc_instance(Fr::from_u64(x * y));
+            cs.enforce(lc(a), lc(b), lc(out));
+            cs.to_matrices()
+        }
+        let m1 = build(3, 4);
+        let m2 = build(100, 0);
+        assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
+    }
+}

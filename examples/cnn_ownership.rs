@@ -1,0 +1,95 @@
+//! The paper's CIFAR10-CNN scenario: the watermark lives in the first
+//! convolution layer's activation maps; the extraction circuit is
+//! convolution-dominated and uses the fold-the-average optimization.
+//!
+//! ```text
+//! cargo run --release --example cnn_ownership            # scaled-down (fast)
+//! cargo run --release --example cnn_ownership -- --paper # full Table II CNN
+//! ```
+
+use rand::SeedableRng;
+use std::time::Instant;
+use zkrownn::benchmarks::{spec_from_keys, watermarked_cnn, BenchmarkScale};
+use zkrownn::{prove, setup, verify_prepared};
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_nn::{generate_gmm, Conv2d, GmmConfig, Layer, Network};
+
+fn main() {
+    let paper_scale = std::env::args().any(|a| a == "--paper");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let cfg = FixedConfig::default();
+
+    let spec = if paper_scale {
+        println!("building the FULL Table II CNN (C(32,3,2) head on 3×32×32) …");
+        let bench = watermarked_cnn(&BenchmarkScale::paper(), &mut rng);
+        println!("  watermark embedded: BER = {:.3}", bench.embed_ber);
+        // fold the 1/T average into the projection: the 7200-dimensional
+        // activation map would otherwise need 7200 division gadgets
+        spec_from_keys(&bench.net, &bench.keys, true, 1, &cfg)
+    } else {
+        println!("building a scaled-down CNN (C(8,3,2) on 3×16×16) — pass --paper for full size");
+        let gmm = GmmConfig {
+            input_shape: vec![3, 16, 16],
+            num_classes: 4,
+            mean_scale: 1.0,
+            noise_std: 0.35,
+        };
+        let data = generate_gmm(&gmm, 160, &mut rng);
+        let mut net = Network::new(vec![
+            Layer::Conv2d(Conv2d::new(3, 8, 3, 2, &mut rng)), // 8×7×7 maps
+            Layer::ReLU,
+            Layer::Flatten,
+            Layer::Dense(zkrownn_nn::Dense::new(8 * 7 * 7, 4, &mut rng)),
+        ]);
+        net.train(&data.xs, &data.ys, 3, 0.01);
+        let keys = generate_keys(
+            &KeyGenConfig {
+                layer: 0, // conv output activation maps
+                activation_dim: 8 * 7 * 7,
+                signature_bits: 8,
+                num_triggers: 2,
+                // normalized: keeps |µ·A| inside the sigmoid input range
+                projection_std: 1.0 / (8f32 * 7.0 * 7.0).sqrt(),
+            },
+            &data,
+            &mut rng,
+        );
+        let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+        let (_, ber) = extract(&net, &keys);
+        println!("  watermark embedded: BER = {ber:.3} (loss {:.4})", report.wm_loss);
+        spec_from_keys(&net, &keys, true, 1, &cfg)
+    };
+
+    let built = spec.build();
+    println!(
+        "extraction circuit: {} constraints | {} public inputs (kernels) | verdict = {}",
+        built.cs.num_constraints(),
+        built.cs.num_instance_variables() - 1,
+        built.verdict
+    );
+
+    let t = Instant::now();
+    let pk = setup(&spec, &mut rng);
+    println!(
+        "setup:  {:.2?}  (PK {:.1} MB, VK {:.2} KB)",
+        t.elapsed(),
+        pk.serialized_size() as f64 / 1e6,
+        pk.vk.serialized_size() as f64 / 1e3,
+    );
+
+    let t = Instant::now();
+    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    println!(
+        "prove:  {:.2?}  (proof {} B)",
+        t.elapsed(),
+        proof.proof.to_bytes().len()
+    );
+    assert!(proof.verdict, "watermark must be recovered");
+
+    let pvk = pk.vk.prepare();
+    let t = Instant::now();
+    verify_prepared(&pvk, &spec, &proof).expect("ownership established");
+    println!("verify: {:.2?}", t.elapsed());
+    println!("ownership of the CNN established in zero knowledge ✔");
+}

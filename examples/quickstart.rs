@@ -1,0 +1,101 @@
+//! Quickstart: the complete ZKROWNN workflow on a tiny model, in under a
+//! minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use std::time::Instant;
+use zkrownn::benchmarks::spec_from_keys;
+use zkrownn::{prove, setup, verify};
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // 1. The model owner trains a network ---------------------------------
+    println!("[1/5] training a small classifier …");
+    let gmm = GmmConfig {
+        input_shape: vec![20],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 160, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(20, 32, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(32, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 6, 0.05);
+    println!("      accuracy: {:.1}%", 100.0 * net.accuracy(&data.xs, &data.ys));
+
+    // 2. … embeds a DeepSigns watermark -----------------------------------
+    println!("[2/5] embedding a 16-bit DeepSigns watermark …");
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,            // first hidden layer activations
+            activation_dim: 32,
+            signature_bits: 16,
+            num_triggers: 4,
+            projection_std: 1.0,
+        },
+        &data,
+        &mut rng,
+    );
+    let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+    let (_, ber) = extract(&net, &keys);
+    println!(
+        "      post-embedding BER: {ber:.3} (wm loss {:.4}), accuracy: {:.1}%",
+        report.wm_loss,
+        100.0 * net.accuracy(&data.xs, &data.ys)
+    );
+
+    // 3. One-time trusted setup for the extraction circuit ----------------
+    println!("[3/5] trusted setup (one-time, circuit-specific) …");
+    let spec = spec_from_keys(&net, &keys, false, 1, &FixedConfig::default());
+    let built = spec.build();
+    println!(
+        "      circuit: {} constraints, {} public inputs, {} witness vars",
+        built.cs.num_constraints(),
+        built.cs.num_instance_variables() - 1,
+        built.cs.num_witness_variables()
+    );
+    let t = Instant::now();
+    let pk = setup(&spec, &mut rng);
+    println!(
+        "      setup took {:.2?}; PK {:.2} MB, VK {:.2} KB",
+        t.elapsed(),
+        pk.serialized_size() as f64 / 1e6,
+        pk.vk.serialized_size() as f64 / 1e3
+    );
+
+    // 4. The owner proves ownership (once) --------------------------------
+    println!("[4/5] generating the zero-knowledge ownership proof …");
+    let t = Instant::now();
+    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    println!(
+        "      proved in {:.2?}; proof is {} bytes; verdict: {}",
+        t.elapsed(),
+        proof.proof.to_bytes().len(),
+        proof.verdict
+    );
+
+    // 5. Anyone verifies in milliseconds -----------------------------------
+    println!("[5/5] third-party verification …");
+    let pvk = pk.vk.prepare();
+    let t = Instant::now();
+    zkrownn::verify_prepared(&pvk, &spec, &proof).expect("verification succeeds");
+    println!("      verified in {:.2?} — ownership established ✔", t.elapsed());
+
+    // and a negative control: different model ⇒ rejection
+    let mut other = spec.clone();
+    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.model.layers[0] {
+        w[0] += 1;
+    }
+    assert!(verify(&pk.vk, &other, &proof).is_err());
+    println!("      (control: proof rejected against a different model ✔)");
+}

@@ -1,0 +1,99 @@
+//! Verifiable inference-as-a-service — the extension the paper's
+//! conclusion points at ("these circuits can be combined to perform …
+//! verifiable machine learning inference").
+//!
+//! A provider holds a *private* model; a client sends a *public* query and
+//! receives logits plus a 128-byte proof that those logits really came from
+//! the provider's committed model — without the model ever leaving the
+//! provider.
+//!
+//! ```text
+//! cargo run --release --example verifiable_inference
+//! ```
+
+use rand::SeedableRng;
+use std::time::Instant;
+use zkrownn::inference::InferenceSpec;
+use zkrownn::QuantizedModel;
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
+use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let cfg = FixedConfig::default();
+
+    // the provider's private model
+    println!("[provider] training a private 64-32-8 classifier …");
+    let gmm = GmmConfig {
+        input_shape: vec![64],
+        num_classes: 8,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 240, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(64, 32, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(32, 8, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 6, 0.03);
+    println!(
+        "[provider] accuracy {:.1}%",
+        100.0 * net.accuracy(&data.xs, &data.ys)
+    );
+    let model = QuantizedModel::from_network(&net, net.layers.len() - 1, 64, &cfg);
+
+    // the client's public query
+    let query: Vec<i128> = data.xs[0]
+        .data()
+        .iter()
+        .map(|&v| cfg.encode(v as f64))
+        .collect();
+    let spec = InferenceSpec {
+        model,
+        input: query,
+    };
+
+    println!("[setup]    building the inference circuit …");
+    let built = spec.build();
+    println!(
+        "[setup]    {} constraints ({} public: query + logits)",
+        built.cs.num_constraints(),
+        built.cs.num_instance_variables() - 1
+    );
+    let t = Instant::now();
+    let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
+    println!("[setup]    done in {:.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let proof = create_proof(&pk, &built.cs, &mut rng);
+    println!(
+        "[provider] inference proof generated in {:.2?} ({} bytes)",
+        t.elapsed(),
+        proof.to_bytes().len()
+    );
+    let class = built
+        .logits
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+        .unwrap();
+    println!(
+        "[provider] returned logits (class {class}), true label {}",
+        data.ys[0]
+    );
+
+    let pvk = pk.vk.prepare();
+    let publics = spec.public_inputs(&built.logits);
+    let t = Instant::now();
+    verify_proof_prepared(&pvk, &proof, &publics).expect("client accepts");
+    println!("[client]   proof verified in {:.2?} — logits are authentic ✔", t.elapsed());
+
+    // forged logits are rejected
+    let mut forged = built.logits.clone();
+    forged[0] += 1;
+    assert!(verify_proof_prepared(&pvk, &proof, &spec.public_inputs(&forged)).is_err());
+    println!("[client]   (control: forged logits rejected ✔)");
+}

@@ -1,0 +1,26 @@
+//! # zkrownn-repro — workspace meta-crate
+//!
+//! Re-exports the full public API of the ZKROWNN reproduction so the
+//! workspace-level examples and integration tests can depend on a single
+//! crate. See the individual crates for documentation:
+//!
+//! * [`zkrownn`] — the end-to-end ownership-proof framework (start here)
+//! * [`zkrownn_deepsigns`] — DeepSigns watermark embedding/extraction
+//! * [`zkrownn_nn`] — the neural-network substrate
+//! * [`zkrownn_groth16`] / [`zkrownn_gadgets`] / [`zkrownn_r1cs`] — the
+//!   zkSNARK stack
+//! * [`zkrownn_pairing`] / [`zkrownn_curves`] / [`zkrownn_poly`] /
+//!   [`zkrownn_ff`] — the cryptographic substrate
+
+#![warn(missing_docs)]
+
+pub use zkrownn;
+pub use zkrownn_curves;
+pub use zkrownn_deepsigns;
+pub use zkrownn_ff;
+pub use zkrownn_gadgets;
+pub use zkrownn_groth16;
+pub use zkrownn_nn;
+pub use zkrownn_pairing;
+pub use zkrownn_poly;
+pub use zkrownn_r1cs;

@@ -1,0 +1,99 @@
+//! Watermarks embedded in *deeper* layers — §III-B.6: "ZKROWNN still works
+//! when the watermark is embedded in deeper layers, at the cost of higher
+//! prover complexity." Here the watermark sits *behind* a max-pooling
+//! layer, so the extraction circuit must feed forward through
+//! Conv → ReLU → MaxPool (exercising the MaxPool gadget extension).
+
+use rand::SeedableRng;
+use zkrownn::benchmarks::spec_from_keys;
+use zkrownn::reference::extract_fixed;
+use zkrownn::{prove, setup, verify};
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_nn::{generate_gmm, Conv2d, Dense, GmmConfig, Layer, Network};
+
+fn deep_watermarked(
+    seed: u64,
+) -> (
+    Network,
+    zkrownn_deepsigns::WatermarkKeys,
+    zkrownn_nn::Dataset,
+) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let gmm = GmmConfig {
+        input_shape: vec![2, 8, 8],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 120, &mut rng);
+    // Conv(4,3,1) → ReLU → MaxPool(2,2) → Flatten → Dense
+    let mut net = Network::new(vec![
+        Layer::Conv2d(Conv2d::new(2, 4, 3, 1, &mut rng)), // 4×6×6
+        Layer::ReLU,
+        Layer::MaxPool2d { size: 2, stride: 2 }, // 4×3×3 = 36
+        Layer::Flatten,
+        Layer::Dense(Dense::new(36, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 4, 0.02);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 2, // the *pooled* activation maps — behind MaxPool
+            activation_dim: 36,
+            signature_bits: 8,
+            num_triggers: 3,
+            projection_std: 1.0 / (36f32).sqrt(),
+        },
+        &data,
+        &mut rng,
+    );
+    embed(
+        &mut net,
+        &keys,
+        &data.xs,
+        &data.ys,
+        &EmbedConfig {
+            lambda: 4.0,
+            epochs: 25,
+            lr: 0.01,
+        },
+    );
+    (net, keys, data)
+}
+
+#[test]
+fn deep_watermark_embeds_and_extracts() {
+    let (net, keys, _) = deep_watermarked(501);
+    let (_, ber) = extract(&net, &keys);
+    assert!(ber <= 0.125, "post-pool embedding BER {ber}");
+}
+
+#[test]
+fn circuit_through_maxpool_matches_reference() {
+    let (net, keys, _) = deep_watermarked(502);
+    let cfg = FixedConfig::default();
+    let spec = spec_from_keys(&net, &keys, false, 1, &cfg);
+    let built = spec.build();
+    assert!(built.cs.is_satisfied().is_ok());
+    let fixed = extract_fixed(
+        &spec.model,
+        &spec.triggers,
+        &spec.projection,
+        &spec.signature,
+        false,
+        &cfg,
+    );
+    assert_eq!(built.verdict, fixed.errors as u64 <= spec.max_errors);
+}
+
+#[test]
+fn deep_watermark_ownership_proof_roundtrip() {
+    let (net, keys, _) = deep_watermarked(503);
+    let cfg = FixedConfig::default();
+    let spec = spec_from_keys(&net, &keys, false, 1, &cfg);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(504);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    assert!(proof.verdict, "deep watermark must be recovered in-circuit");
+    verify(&pk.vk, &spec, &proof).expect("verification succeeds");
+}

@@ -1,0 +1,132 @@
+//! §IV-A parity claims: "ZKROWNN is able to achieve the same BER and
+//! detection success from extracted watermarks as DeepSigns" and
+//! "ZKROWNN does not result in any lapses in model accuracy".
+//!
+//! We check that (a) the fixed-point in-circuit extraction agrees with the
+//! float DeepSigns extraction on watermark decisions, (b) the circuit's
+//! verdict agrees bit-for-bit with the fixed-point reference, and (c) the
+//! proving pipeline never touches the model weights.
+
+use rand::SeedableRng;
+use zkrownn::benchmarks::spec_from_keys;
+use zkrownn::reference::extract_fixed;
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig, WatermarkKeys};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+
+fn watermarked_mlp(seed: u64) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let gmm = GmmConfig {
+        input_shape: vec![24],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 140, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(24, 16, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(16, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 5, 0.05);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 16,
+            signature_bits: 12,
+            num_triggers: 4,
+            projection_std: 1.0,
+        },
+        &data,
+        &mut rng,
+    );
+    embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+    (net, keys, data)
+}
+
+#[test]
+fn fixed_point_extraction_matches_float_decisions() {
+    let (net, keys, _) = watermarked_mlp(311);
+    let (float_bits, float_ber) = extract(&net, &keys);
+    assert_eq!(float_ber, 0.0);
+
+    let cfg = FixedConfig::default();
+    let spec = spec_from_keys(&net, &keys, false, 0, &cfg);
+    let fixed = extract_fixed(
+        &spec.model,
+        &spec.triggers,
+        &spec.projection,
+        &spec.signature,
+        false,
+        &cfg,
+    );
+    assert_eq!(fixed.decoded, float_bits, "same decoded watermark");
+    assert_eq!(fixed.errors, 0, "same zero BER as DeepSigns");
+}
+
+#[test]
+fn circuit_verdict_matches_fixed_reference_exactly() {
+    let (net, keys, _) = watermarked_mlp(312);
+    let cfg = FixedConfig::default();
+    for fold in [false, true] {
+        let spec = spec_from_keys(&net, &keys, fold, 0, &cfg);
+        let built = spec.build();
+        assert!(built.cs.is_satisfied().is_ok());
+        let fixed = extract_fixed(
+            &spec.model,
+            &spec.triggers,
+            &spec.projection,
+            &spec.signature,
+            fold,
+            &cfg,
+        );
+        assert_eq!(
+            built.verdict,
+            fixed.errors as u64 <= spec.max_errors,
+            "fold = {fold}"
+        );
+    }
+}
+
+#[test]
+fn proving_pipeline_never_modifies_the_model() {
+    // "our scheme does not modify the weights of the model at all"
+    let (net, keys, _) = watermarked_mlp(313);
+    let before = net.clone();
+    let cfg = FixedConfig::default();
+    let spec = spec_from_keys(&net, &keys, false, 0, &cfg);
+    let _ = spec.build();
+    // the float model is untouched by quantization and circuit building
+    for (a, b) in net.layers.iter().zip(before.layers.iter()) {
+        match (a, b) {
+            (Layer::Dense(x), Layer::Dense(y)) => {
+                assert_eq!(x.w, y.w);
+                assert_eq!(x.b, y.b);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn unwatermarked_model_fails_detection_in_both_pipelines() {
+    let (_, keys, _) = watermarked_mlp(314);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(315);
+    let fresh = Network::new(vec![
+        Layer::Dense(Dense::new(24, 16, &mut rng)),
+        Layer::ReLU,
+    ]);
+    let (_, float_ber) = extract(&fresh, &keys);
+    assert!(float_ber > 0.15, "float BER {float_ber}");
+    let cfg = FixedConfig::default();
+    let spec = spec_from_keys(&fresh, &keys, false, 0, &cfg);
+    let fixed = extract_fixed(
+        &spec.model,
+        &spec.triggers,
+        &spec.projection,
+        &spec.signature,
+        false,
+        &cfg,
+    );
+    assert!(fixed.errors > 0, "fixed-point extraction must also fail");
+}

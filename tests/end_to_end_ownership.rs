@@ -1,0 +1,124 @@
+//! End-to-end ownership proof: train → watermark → setup → prove → verify,
+//! including rejection paths. This is the full Figure-1 workflow of the
+//! paper on a scaled-down MLP.
+
+use rand::SeedableRng;
+use zkrownn::benchmarks::spec_from_keys;
+use zkrownn::{prove, setup, verify, ExtractionSpec, OwnershipError};
+use zkrownn_deepsigns::{embed, generate_keys, EmbedConfig, KeyGenConfig};
+use zkrownn_ff::{Field, Fr, PrimeField};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_groth16::Proof;
+use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
+
+/// A small watermarked MLP + its extraction spec (fast enough for CI).
+fn small_watermarked_spec(seed: u64) -> ExtractionSpec {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let gmm = GmmConfig {
+        input_shape: vec![20],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 120, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(20, 16, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(16, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 5, 0.05);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 16,
+            signature_bits: 8,
+            num_triggers: 3,
+            projection_std: 1.0,
+        },
+        &data,
+        &mut rng,
+    );
+    let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+    assert_eq!(report.ber, 0.0, "embedding must reach zero BER");
+    spec_from_keys(&net, &keys, false, 1, &FixedConfig::default())
+}
+
+#[test]
+fn ownership_proof_roundtrip() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+    let spec = small_watermarked_spec(300);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    assert!(proof.verdict, "watermark must be recovered");
+    verify(&pk.vk, &spec, &proof).expect("verification must succeed");
+}
+
+#[test]
+fn proof_is_128_bytes_and_roundtrips() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(302);
+    let spec = small_watermarked_spec(300);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).unwrap();
+    let bytes = proof.proof.to_bytes();
+    assert_eq!(bytes.len(), 128, "constant proof size, as in the paper");
+    assert_eq!(Proof::from_bytes(&bytes).as_ref(), Some(&proof.proof));
+}
+
+#[test]
+fn verification_rejects_different_model() {
+    // Claiming ownership of a model with different weights must fail:
+    // the weights are public inputs, so the verifier's input vector
+    // diverges and the pairing check breaks.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(303);
+    let spec = small_watermarked_spec(300);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).unwrap();
+    let mut other = spec.clone();
+    // perturb one public weight
+    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.model.layers[0] {
+        w[0] += 1;
+    }
+    assert!(matches!(
+        verify(&pk.vk, &other, &proof),
+        Err(OwnershipError::InvalidProof(_))
+    ));
+}
+
+#[test]
+fn wrong_watermark_produces_negative_verdict() {
+    // A prover with the wrong signature gets a *valid proof of verdict 0*,
+    // which `verify` refuses to accept as an ownership claim.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(304);
+    let mut spec = small_watermarked_spec(300);
+    // flip half the signature bits — BER jumps above θ
+    for b in spec.signature.iter_mut().take(4) {
+        *b = !*b;
+    }
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).expect("circuit still satisfiable");
+    assert!(!proof.verdict);
+    assert!(verify(&pk.vk, &spec, &proof).is_err());
+}
+
+#[test]
+fn tampered_verdict_is_rejected() {
+    // Flipping the claimed verdict bit after proving must not verify.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(305);
+    let spec = small_watermarked_spec(300);
+    let pk = setup(&spec, &mut rng);
+    let mut proof = prove(&pk, &spec, &mut rng).unwrap();
+    proof.verdict = false; // lie about the public output
+    assert!(verify(&pk.vk, &spec, &proof).is_err());
+}
+
+#[test]
+fn public_input_vector_layout() {
+    let spec = small_watermarked_spec(300);
+    let inputs = spec.public_inputs(true);
+    // weights + bias of layer 0 (ReLU adds none) + verdict
+    assert_eq!(inputs.len(), 20 * 16 + 16 + 1);
+    assert_eq!(*inputs.last().unwrap(), Fr::one());
+    // quantized weights are embedded as signed field elements
+    let w0 = spec.model.params_in_order()[0];
+    assert_eq!(inputs[0], Fr::from_i128(w0));
+}

@@ -1,0 +1,117 @@
+//! Ownership proofs against *modified* (stolen-and-altered) models — the
+//! paper's core scenario: "a second model M' is built based on watermarked
+//! model M". The watermark must survive the modification, and the proof
+//! must be generated against M' (the suspect model), whose weights are the
+//! public input.
+
+use rand::SeedableRng;
+use zkrownn::benchmarks::spec_from_keys;
+use zkrownn::{prove, setup, verify};
+use zkrownn_deepsigns::attacks::{finetune, prune};
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig, WatermarkKeys};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_nn::{generate_gmm, Dataset, Dense, GmmConfig, Layer, Network};
+
+fn watermarked(seed: u64) -> (Network, WatermarkKeys, Dataset) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let gmm = GmmConfig {
+        input_shape: vec![20],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.3,
+    };
+    let data = generate_gmm(&gmm, 120, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(20, 32, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(32, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 5, 0.05);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 32,
+            signature_bits: 10,
+            num_triggers: 6,
+            projection_std: 1.0,
+        },
+        &data,
+        &mut rng,
+    );
+    // a strong embedding (more epochs, larger λ) so the mark survives the
+    // removal attacks below — robustness grows with embedding strength
+    embed(
+        &mut net,
+        &keys,
+        &data.xs,
+        &data.ys,
+        &EmbedConfig {
+            lambda: 5.0,
+            epochs: 30,
+            lr: 0.01,
+        },
+    );
+    (net, keys, data)
+}
+
+#[test]
+fn proof_of_ownership_of_finetuned_model() {
+    let (mut stolen, keys, data) = watermarked(321);
+    // the thief fine-tunes to wash out the watermark
+    finetune(&mut stolen, &data.xs, &data.ys, 4, 0.01);
+    let (_, ber) = extract(&stolen, &keys);
+    assert!(ber <= 0.1, "watermark must survive fine-tuning (BER {ber})");
+
+    // the owner proves ownership of the *modified* model M'
+    let theta_errors = 1; // tolerate one flipped bit
+    let spec = spec_from_keys(&stolen, &keys, false, theta_errors, &FixedConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(322);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).unwrap();
+    assert!(proof.verdict, "ownership verdict on the fine-tuned model");
+    verify(&pk.vk, &spec, &proof).unwrap();
+}
+
+#[test]
+fn proof_of_ownership_of_pruned_model() {
+    let (mut stolen, keys, _) = watermarked(323);
+    prune(&mut stolen, 0.2);
+    let (_, ber) = extract(&stolen, &keys);
+    assert!(ber <= 0.2, "watermark must survive 20% pruning (BER {ber})");
+
+    let theta_errors = 2;
+    let spec = spec_from_keys(&stolen, &keys, false, theta_errors, &FixedConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(324);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).unwrap();
+    assert!(proof.verdict, "ownership verdict on the pruned model");
+    verify(&pk.vk, &spec, &proof).unwrap();
+}
+
+#[test]
+fn impostor_without_keys_cannot_claim_ownership() {
+    // An impostor who does not know the owner's keys invents their own;
+    // extraction fails (BER ≈ 0.5), so the only proof they can generate
+    // carries verdict 0 and is rejected.
+    let (victim_model, _real_keys, data) = watermarked(325);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(326);
+    let fake_keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 32,
+            signature_bits: 10,
+            num_triggers: 4,
+            projection_std: 1.0,
+        },
+        &data,
+        &mut rng,
+    );
+    let (_, fake_ber) = extract(&victim_model, &fake_keys);
+    assert!(fake_ber > 0.15, "fake keys should not extract (BER {fake_ber})");
+
+    let spec = spec_from_keys(&victim_model, &fake_keys, false, 0, &FixedConfig::default());
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).unwrap();
+    assert!(!proof.verdict);
+    assert!(verify(&pk.vk, &spec, &proof).is_err());
+}
