@@ -103,9 +103,7 @@ fn bench_average_fold(c: &mut Criterion) {
         let rows: Vec<Vec<Num>> = (0..3)
             .map(|r| {
                 (0..64)
-                    .map(|i| {
-                        Num::alloc_witness(&mut cs, Fr::from_i128((i + r) as i128), 20)
-                    })
+                    .map(|i| Num::alloc_witness(&mut cs, Fr::from_i128((i + r) as i128), 20))
                     .collect()
             })
             .collect();

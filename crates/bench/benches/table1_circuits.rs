@@ -21,9 +21,7 @@ fn bench_rows(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(format!("table1/{row}"));
         group.sample_size(10);
-        group.bench_function("prove", |b| {
-            b.iter(|| create_proof(&pk, &cs, &mut rng))
-        });
+        group.bench_function("prove", |b| b.iter(|| create_proof(&pk, &cs, &mut rng)));
         let proof = create_proof(&pk, &cs, &mut rng);
         let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
         let pvk = pk.vk.prepare();

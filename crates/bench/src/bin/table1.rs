@@ -7,6 +7,7 @@
 //! table1 --table2                # print the Table II architecture spec
 //! table1 --robustness            # watermark-robustness sweep (attack study)
 //! table1 --fixed-point           # fixed-point sigmoid precision ablation
+//! table1 --smoke                 # CI smoke: cheapest rows at quick scale
 //! ```
 
 use zkrownn_bench::{build_row, format_table, measure, RowMetrics, Scale, ROW_NAMES};
@@ -67,7 +68,11 @@ fn run_robustness() {
         },
     );
     let base_acc = net.accuracy(&data.xs, &data.ys);
-    println!("baseline: BER = {:.3}, accuracy = {:.1}%\n", extract(&net, &keys).1, 100.0 * base_acc);
+    println!(
+        "baseline: BER = {:.3}, accuracy = {:.1}%\n",
+        extract(&net, &keys).1,
+        100.0 * base_acc
+    );
 
     println!("| Pruning fraction | BER | Accuracy |");
     println!("|---:|---:|---:|");
@@ -127,7 +132,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: table1 [--scale paper|quick] [--row NAME]... [--table2] [--robustness]\n\
+            "usage: table1 [--scale paper|quick] [--row NAME]... \n\
+             \x20      [--table2] [--robustness] [--fixed-point] [--smoke]\n\
              rows: {}",
             ROW_NAMES.join(", ")
         );
@@ -146,6 +152,9 @@ fn main() {
         return;
     }
 
+    // --smoke: the CI bitrot check — cheapest rows at quick scale, so the
+    // whole build→setup→prove→verify path runs in seconds.
+    let smoke = args.iter().any(|a| a == "--smoke");
     let scale = match args
         .iter()
         .position(|a| a == "--scale")
@@ -153,6 +162,7 @@ fn main() {
         .map(String::as_str)
     {
         Some("quick") => Scale::Quick,
+        None if smoke => Scale::Quick,
         _ => Scale::Paper,
     };
     let mut rows: Vec<&str> = args
@@ -162,12 +172,18 @@ fn main() {
         .filter_map(|(i, _)| args.get(i + 1).map(String::as_str))
         .collect();
     if rows.is_empty() {
-        rows = ROW_NAMES.to_vec();
+        rows = if smoke {
+            vec!["ber", "relu", "hardthreshold"]
+        } else {
+            ROW_NAMES.to_vec()
+        };
     }
 
     println!(
         "ZKROWNN Table I reproduction — scale: {scale:?}, {} threads\n",
-        std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
     );
     let mut measured: Vec<RowMetrics> = Vec::new();
     for row in rows {

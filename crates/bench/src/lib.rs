@@ -84,15 +84,96 @@ pub struct PaperRow {
 
 /// Table I as printed in the paper.
 pub const PAPER_TABLE1: [PaperRow; 9] = [
-    PaperRow { name: "MatMult", constraints: 1_097_344, setup_s: 57.3976, pk_mb: 215.6518, prove_s: 18.6805, proof_b: 127.375, vk_kb: 0.199, verify_ms: 0.6 },
-    PaperRow { name: "Conv3D", constraints: 235_899, setup_s: 13.3621, pk_mb: 46.3793, prove_s: 4.2081, proof_b: 127.375, vk_kb: 0.199, verify_ms: 0.6 },
-    PaperRow { name: "ReLU", constraints: 8_832, setup_s: 0.6384, pk_mb: 1.7193, prove_s: 0.1907, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.7 },
-    PaperRow { name: "Average2D", constraints: 545_793, setup_s: 29.6248, pk_mb: 107.3271, prove_s: 9.5570, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.6 },
-    PaperRow { name: "Sigmoid", constraints: 454_656, setup_s: 34.4989, pk_mb: 90.5934, prove_s: 8.3680, proof_b: 127.375, vk_kb: 41.031, verify_ms: 0.8 },
-    PaperRow { name: "HardThresholding", constraints: 8_704, setup_s: 0.624, pk_mb: 1.6978, prove_s: 0.1857, proof_b: 127.375, vk_kb: 5.303, verify_ms: 0.7 },
-    PaperRow { name: "BER", constraints: 8_832, setup_s: 0.6423, pk_mb: 1.7527, prove_s: 0.1826, proof_b: 127.375, vk_kb: 0.2389, verify_ms: 0.6 },
-    PaperRow { name: "MNIST-MLP", constraints: 2_093_648, setup_s: 68.4456, pk_mb: 280.3859, prove_s: 45.1208, proof_b: 127.375, vk_kb: 16_006.343, verify_ms: 29.4 },
-    PaperRow { name: "CIFAR10-CNN", constraints: 590_624, setup_s: 32.35, pk_mb: 117.1699, prove_s: 11.22, proof_b: 127.375, vk_kb: 34.651, verify_ms: 1.0 },
+    PaperRow {
+        name: "MatMult",
+        constraints: 1_097_344,
+        setup_s: 57.3976,
+        pk_mb: 215.6518,
+        prove_s: 18.6805,
+        proof_b: 127.375,
+        vk_kb: 0.199,
+        verify_ms: 0.6,
+    },
+    PaperRow {
+        name: "Conv3D",
+        constraints: 235_899,
+        setup_s: 13.3621,
+        pk_mb: 46.3793,
+        prove_s: 4.2081,
+        proof_b: 127.375,
+        vk_kb: 0.199,
+        verify_ms: 0.6,
+    },
+    PaperRow {
+        name: "ReLU",
+        constraints: 8_832,
+        setup_s: 0.6384,
+        pk_mb: 1.7193,
+        prove_s: 0.1907,
+        proof_b: 127.375,
+        vk_kb: 5.303,
+        verify_ms: 0.7,
+    },
+    PaperRow {
+        name: "Average2D",
+        constraints: 545_793,
+        setup_s: 29.6248,
+        pk_mb: 107.3271,
+        prove_s: 9.5570,
+        proof_b: 127.375,
+        vk_kb: 5.303,
+        verify_ms: 0.6,
+    },
+    PaperRow {
+        name: "Sigmoid",
+        constraints: 454_656,
+        setup_s: 34.4989,
+        pk_mb: 90.5934,
+        prove_s: 8.3680,
+        proof_b: 127.375,
+        vk_kb: 41.031,
+        verify_ms: 0.8,
+    },
+    PaperRow {
+        name: "HardThresholding",
+        constraints: 8_704,
+        setup_s: 0.624,
+        pk_mb: 1.6978,
+        prove_s: 0.1857,
+        proof_b: 127.375,
+        vk_kb: 5.303,
+        verify_ms: 0.7,
+    },
+    PaperRow {
+        name: "BER",
+        constraints: 8_832,
+        setup_s: 0.6423,
+        pk_mb: 1.7527,
+        prove_s: 0.1826,
+        proof_b: 127.375,
+        vk_kb: 0.2389,
+        verify_ms: 0.6,
+    },
+    PaperRow {
+        name: "MNIST-MLP",
+        constraints: 2_093_648,
+        setup_s: 68.4456,
+        pk_mb: 280.3859,
+        prove_s: 45.1208,
+        proof_b: 127.375,
+        vk_kb: 16_006.343,
+        verify_ms: 29.4,
+    },
+    PaperRow {
+        name: "CIFAR10-CNN",
+        constraints: 590_624,
+        setup_s: 32.35,
+        pk_mb: 117.1699,
+        prove_s: 11.22,
+        proof_b: 127.375,
+        vk_kb: 34.651,
+        verify_ms: 1.0,
+    },
 ];
 
 /// All Table I row names, in paper order (keys for [`build_row`]).

@@ -98,7 +98,10 @@ impl BenchmarkScale {
 /// Builds a watermarked MLP on MNIST-shaped synthetic data. The watermark
 /// lives in the *first hidden layer* activations (post-ReLU, layer index 1),
 /// as in the paper's MNIST-MLP benchmark.
-pub fn watermarked_mlp<R: Rng + ?Sized>(scale: &BenchmarkScale, rng: &mut R) -> WatermarkedBenchmark {
+pub fn watermarked_mlp<R: Rng + ?Sized>(
+    scale: &BenchmarkScale,
+    rng: &mut R,
+) -> WatermarkedBenchmark {
     let data = generate_gmm(&GmmConfig::mnist_like(), scale.train_samples, rng);
     let mut net = mnist_mlp(rng);
     net.train(&data.xs, &data.ys, scale.pretrain_epochs, 0.01);
@@ -135,7 +138,10 @@ pub fn watermarked_mlp<R: Rng + ?Sized>(scale: &BenchmarkScale, rng: &mut R) -> 
 
 /// Builds a watermarked CNN on CIFAR-shaped synthetic data. The watermark
 /// lives in the first convolution layer's output (layer index 0).
-pub fn watermarked_cnn<R: Rng + ?Sized>(scale: &BenchmarkScale, rng: &mut R) -> WatermarkedBenchmark {
+pub fn watermarked_cnn<R: Rng + ?Sized>(
+    scale: &BenchmarkScale,
+    rng: &mut R,
+) -> WatermarkedBenchmark {
     let data = generate_gmm(&GmmConfig::cifar_like(), scale.train_samples, rng);
     let mut net = cifar10_cnn(rng);
     net.train(&data.xs, &data.ys, scale.pretrain_epochs, 0.005);

@@ -91,11 +91,15 @@ impl ExtractionSpec {
                 QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
                     let wn = w
                         .iter()
-                        .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+                        .map(|&v| {
+                            Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits())
+                        })
                         .collect();
                     let bn = b
                         .iter()
-                        .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
+                        .map(|&v| {
+                            Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits())
+                        })
                         .collect();
                     weight_nums.push(wn);
                     bias_nums.push(bn);
@@ -133,10 +137,8 @@ impl ExtractionSpec {
                         let b = &bias_nums[li];
                         (0..*out_dim)
                             .map(|o| {
-                                let row: Vec<Num> =
-                                    w[o * in_dim..(o + 1) * in_dim].to_vec();
-                                let acc = Num::inner_product(&row, &act, &mut cs)
-                                    .add(&b[o].shl(f));
+                                let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
+                                let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
                                 let mut out = truncate(&acc, f, &mut cs);
                                 out.bits = out.bits.min(act_bits);
                                 out
@@ -179,8 +181,7 @@ impl ExtractionSpec {
             // raw sums; the 1/T is inside the projection matrix
             (0..m)
                 .map(|j| {
-                    let terms: Vec<Num> =
-                        activations.iter().map(|a| a[j].clone()).collect();
+                    let terms: Vec<Num> = activations.iter().map(|a| a[j].clone()).collect();
                     Num::sum(&terms)
                 })
                 .collect()
@@ -251,10 +252,7 @@ mod tests {
 
     fn tiny_spec(seed: u64, fold: bool) -> ExtractionSpec {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let net = Network::new(vec![
-            Layer::Dense(Dense::new(6, 5, &mut rng)),
-            Layer::ReLU,
-        ]);
+        let net = Network::new(vec![Layer::Dense(Dense::new(6, 5, &mut rng)), Layer::ReLU]);
         let cfg = FixedConfig::default();
         let model = QuantizedModel::from_network(&net, 1, 6, &cfg);
         let triggers: Vec<Vec<i128>> = (0..3)

@@ -85,12 +85,16 @@ impl InferenceSpec {
                 QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
                     weight_nums.push(
                         w.iter()
-                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .map(|&v| {
+                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                            })
                             .collect(),
                     );
                     bias_nums.push(
                         b.iter()
-                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .map(|&v| {
+                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                            })
                             .collect(),
                     );
                 }
@@ -105,7 +109,9 @@ impl InferenceSpec {
         let mut act = input_nums;
         for (li, layer) in self.model.layers.iter().enumerate() {
             act = match layer {
-                QuantLayer::Dense { in_dim, out_dim, .. } => {
+                QuantLayer::Dense {
+                    in_dim, out_dim, ..
+                } => {
                     assert_eq!(act.len(), *in_dim);
                     let w = &weight_nums[li];
                     let b = &bias_nums[li];
@@ -183,12 +189,16 @@ impl InferenceSpec {
                 QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
                     weight_nums.push(
                         w.iter()
-                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .map(|&v| {
+                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                            })
                             .collect(),
                     );
                     bias_nums.push(
                         b.iter()
-                            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits()))
+                            .map(|&v| {
+                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                            })
                             .collect(),
                     );
                 }
@@ -201,7 +211,9 @@ impl InferenceSpec {
         let mut act = input_nums;
         for (li, layer) in self.model.layers.iter().enumerate() {
             act = match layer {
-                QuantLayer::Dense { in_dim, out_dim, .. } => {
+                QuantLayer::Dense {
+                    in_dim, out_dim, ..
+                } => {
                     assert_eq!(act.len(), *in_dim);
                     let w = &weight_nums[li];
                     let b = &bias_nums[li];
@@ -295,9 +307,7 @@ mod tests {
         ]);
         let cfg = FixedConfig::default();
         let model = QuantizedModel::from_network(&net, 2, 8, &cfg);
-        let input: Vec<i128> = (0..8)
-            .map(|i| cfg.encode((i as f64 - 4.0) / 3.0))
-            .collect();
+        let input: Vec<i128> = (0..8).map(|i| cfg.encode((i as f64 - 4.0) / 3.0)).collect();
         InferenceSpec { model, input }
     }
 
@@ -342,13 +352,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(406);
         let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
         let proof = create_proof(&pk, &built.cs, &mut rng);
-        assert!(
-            verify_proof(&pk.vk, &proof, &spec.public_inputs_class(built.class)).is_ok()
-        );
+        assert!(verify_proof(&pk.vk, &proof, &spec.public_inputs_class(built.class)).is_ok());
         let wrong = (built.class + 1) % expected.len();
-        assert!(
-            verify_proof(&pk.vk, &proof, &spec.public_inputs_class(wrong)).is_err()
-        );
+        assert!(verify_proof(&pk.vk, &proof, &spec.public_inputs_class(wrong)).is_err());
     }
 
     #[test]
@@ -357,9 +363,6 @@ mod tests {
         let a = spec.build();
         let b = spec.placeholder_witness().build();
         assert_eq!(a.cs.num_constraints(), b.cs.num_constraints());
-        assert_eq!(
-            a.cs.num_witness_variables(),
-            b.cs.num_witness_variables()
-        );
+        assert_eq!(a.cs.num_witness_variables(), b.cs.num_witness_variables());
     }
 }

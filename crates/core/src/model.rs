@@ -64,7 +64,9 @@ impl QuantLayer {
     /// Output length given an input length.
     pub fn out_len(&self, in_len: usize) -> usize {
         match self {
-            QuantLayer::Dense { out_dim, in_dim, .. } => {
+            QuantLayer::Dense {
+                out_dim, in_dim, ..
+            } => {
                 assert_eq!(in_len, *in_dim, "dense input length mismatch");
                 *out_dim
             }
@@ -107,7 +109,12 @@ impl QuantizedModel {
     /// Panics on layer kinds the extraction circuit does not support before
     /// the watermarked layer (MaxPool/Flatten — the paper's benchmarks
     /// place the watermark before any pooling).
-    pub fn from_network(net: &Network, up_to_layer: usize, input_len: usize, cfg: &FixedConfig) -> Self {
+    pub fn from_network(
+        net: &Network,
+        up_to_layer: usize,
+        input_len: usize,
+        cfg: &FixedConfig,
+    ) -> Self {
         let q = |v: f32| cfg.encode(v as f64);
         let layers = net.layers[..=up_to_layer]
             .iter()
@@ -277,10 +284,7 @@ mod tests {
     #[test]
     fn params_in_order_is_stable() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(264);
-        let net = Network::new(vec![
-            Layer::Dense(Dense::new(3, 2, &mut rng)),
-            Layer::ReLU,
-        ]);
+        let net = Network::new(vec![Layer::Dense(Dense::new(3, 2, &mut rng)), Layer::ReLU]);
         let cfg = FixedConfig::default();
         let q = QuantizedModel::from_network(&net, 1, 3, &cfg);
         let p1 = q.params_in_order();

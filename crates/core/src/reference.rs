@@ -105,8 +105,7 @@ pub fn extract_fixed(
     let mu: Vec<i128> = if fold_average {
         sums
     } else {
-        sums
-            .iter()
+        sums.iter()
             .map(|&s| floor_div(s, triggers.len() as i128))
             .collect()
     };
@@ -152,10 +151,7 @@ mod tests {
     #[test]
     fn fixed_feedforward_tracks_float() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(271);
-        let net = Network::new(vec![
-            Layer::Dense(Dense::new(10, 6, &mut rng)),
-            Layer::ReLU,
-        ]);
+        let net = Network::new(vec![Layer::Dense(Dense::new(10, 6, &mut rng)), Layer::ReLU]);
         let cfg = FixedConfig::default();
         let q = QuantizedModel::from_network(&net, 1, 10, &cfg);
         let x: Vec<f32> = (0..10).map(|i| (i as f32 - 5.0) / 3.0).collect();

@@ -25,7 +25,7 @@ pub trait SwCurveConfig: 'static + Copy + Clone + Send + Sync + Eq + core::fmt::
 
 /// A point in affine coordinates (or the point at infinity).
 #[derive(Copy, Clone, Eq, PartialEq, Hash, Debug)]
-pub struct Affine<C: SwCurveConfig + ?Sized> {
+pub struct Affine<C: SwCurveConfig> {
     /// x-coordinate (meaningless when `infinity` is set).
     pub x: C::BaseField,
     /// y-coordinate (meaningless when `infinity` is set).
@@ -37,7 +37,7 @@ pub struct Affine<C: SwCurveConfig + ?Sized> {
 /// A point in Jacobian projective coordinates: `(X : Y : Z)` represents the
 /// affine point `(X/Z², Y/Z³)`; the identity has `Z = 0`.
 #[derive(Copy, Clone, Debug)]
-pub struct Projective<C: SwCurveConfig + ?Sized> {
+pub struct Projective<C: SwCurveConfig> {
     /// Jacobian X.
     pub x: C::BaseField,
     /// Jacobian Y.
@@ -58,7 +58,11 @@ impl<C: SwCurveConfig> Affine<C> {
 
     /// Creates a point from coordinates without checking the curve equation.
     pub fn new_unchecked(x: C::BaseField, y: C::BaseField) -> Self {
-        Self { x, y, infinity: false }
+        Self {
+            x,
+            y,
+            infinity: false,
+        }
     }
 
     /// Returns true if the identity.
@@ -160,7 +164,11 @@ impl<C: SwCurveConfig> Projective<C> {
         let eight_c = c.double().double().double();
         let y3 = e * (d - x3) - eight_c;
         let z3 = (self.y * self.z).double();
-        Self { x: x3, y: y3, z: z3 }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian addition (`add-2007-bl`).
@@ -191,7 +199,11 @@ impl<C: SwCurveConfig> Projective<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (s1 * j).double();
         let z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h;
-        Self { x: x3, y: y3, z: z3 }
+        Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (`madd-2007-bl`).
@@ -223,7 +235,11 @@ impl<C: SwCurveConfig> Projective<C> {
         let x3 = r.square() - j - v.double();
         let y3 = r * (v - x3) - (self.y * j).double();
         let z3 = (self.z + h).square() - z1z1 - hh;
-        *self = Self { x: x3, y: y3, z: z3 };
+        *self = Self {
+            x: x3,
+            y: y3,
+            z: z3,
+        };
     }
 
     /// Scalar multiplication (double-and-add, MSB first).

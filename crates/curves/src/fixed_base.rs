@@ -20,13 +20,13 @@ impl<C: SwCurveConfig> FixedBaseTable<C> {
         if n < 32 {
             3
         } else {
-            ((usize::BITS - n.leading_zeros()) as usize).max(3).min(18)
+            ((usize::BITS - n.leading_zeros()) as usize).clamp(3, 18)
         }
     }
 
     /// Builds a table for `base` with the given window width.
     pub fn new(base: Projective<C>, window: usize) -> Self {
-        assert!(window >= 1 && window <= 24, "unreasonable window size");
+        assert!((1..=24).contains(&window), "unreasonable window size");
         let outer = 254usize.div_ceil(window);
         let mut table = Vec::with_capacity(outer);
         let mut block_base = base; // 2^(i·window) · base
@@ -68,8 +68,7 @@ impl<C: SwCurveConfig> FixedBaseTable<C> {
         std::thread::scope(|scope| {
             for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 scope.spawn(move || {
-                    let proj: Vec<Projective<C>> =
-                        s_chunk.iter().map(|s| self.mul(*s)).collect();
+                    let proj: Vec<Projective<C>> = s_chunk.iter().map(|s| self.mul(*s)).collect();
                     o_chunk.copy_from_slice(&Projective::batch_into_affine(&proj));
                 });
             }

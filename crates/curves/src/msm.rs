@@ -57,7 +57,10 @@ pub fn msm_bigint<C: SwCurveConfig>(pairs: &[(Affine<C>, BigInt256)]) -> Project
 
     let mut window_sums = vec![Projective::<C>::identity(); num_windows];
     std::thread::scope(|scope| {
-        for (t, chunk) in window_sums.chunks_mut(num_windows.div_ceil(threads)).enumerate() {
+        for (t, chunk) in window_sums
+            .chunks_mut(num_windows.div_ceil(threads))
+            .enumerate()
+        {
             let first_window = t * num_windows.div_ceil(threads);
             scope.spawn(move || {
                 for (i, out) in chunk.iter_mut().enumerate() {
@@ -127,9 +130,7 @@ mod tests {
         bases
             .iter()
             .zip(scalars)
-            .fold(Projective::identity(), |acc, (b, s)| {
-                acc + b.mul_scalar(*s)
-            })
+            .fold(Projective::identity(), |acc, (b, s)| acc + b.mul_scalar(*s))
     }
 
     #[test]

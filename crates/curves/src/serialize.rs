@@ -215,6 +215,9 @@ mod tests {
                 }
             }
         }
-        assert!(found, "random twist points should overwhelmingly be outside the subgroup");
+        assert!(
+            found,
+            "random twist points should overwhelmingly be outside the subgroup"
+        );
     }
 }

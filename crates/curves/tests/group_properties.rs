@@ -8,7 +8,8 @@ use zkrownn_curves::{G1Config, G1Projective, G2Config, G2Projective};
 use zkrownn_ff::{Field, Fr};
 
 fn arb_fr() -> impl Strategy<Value = Fr> {
-    (any::<u64>(), any::<u64>()).prop_map(|(a, b)| Fr::from_u64(a) * Fr::from_u64(b) + Fr::from_u64(1))
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(a, b)| Fr::from_u64(a) * Fr::from_u64(b) + Fr::from_u64(1))
 }
 
 proptest! {

@@ -77,9 +77,7 @@ mod tests {
     use rand::SeedableRng;
     use zkrownn_nn::{generate_gmm, Dense, GmmConfig};
 
-    fn watermarked_setup(
-        seed: u64,
-    ) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
+    fn watermarked_setup(seed: u64) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let gmm = GmmConfig {
             input_shape: vec![16],
@@ -172,7 +170,10 @@ mod tests {
         let (_, adv_ber) = extract(&net, &adv);
         // the adversary embeds their mark, but the victim's stays
         // detectable (well below the ~0.5 BER of an unrelated model)
-        assert!(victim_ber <= 0.25, "victim BER after overwrite: {victim_ber}");
+        assert!(
+            victim_ber <= 0.25,
+            "victim BER after overwrite: {victim_ber}"
+        );
         assert!(adv_ber <= 0.25, "adversary embed failed: {adv_ber}");
     }
 

@@ -2,22 +2,27 @@
 //! trigger set, projected through the secret matrix and squashed by a
 //! sigmoid, reproduces the owner's signature bits.
 //!
-//! Loss: `L = CE(task) + λ·Σⱼ BCE(σ((µ·A)ⱼ), wmⱼ)` where `µ` is the mean
-//! activation of the trigger inputs at the watermarked layer. The embedding
-//! gradient is injected at that layer through
-//! [`zkrownn_nn::Network::backward`]'s injection hook, exactly mirroring
-//! DeepSigns' "additional loss term … while fine-tuning".
+//! Loss: `L = CE(task) + λ·Σⱼ band((µ·A)ⱼ, wmⱼ)` where `µ` is the mean
+//! activation of the trigger inputs at the watermarked layer and `band`
+//! penalizes the squared distance of each projection from its signed
+//! `[margin, limit]` target band (DeepSigns' BCE term, reshaped so wrong
+//! saturated bits keep a gradient and deep bits stay inside the fixed-point
+//! sigmoid range). The embedding gradient is injected at that layer through
+//! [`zkrownn_nn::Network::backward`]'s injection hook, mirroring DeepSigns'
+//! "additional loss term … while fine-tuning".
 
 use crate::extract::{extract, mean_activation};
 use crate::keys::WatermarkKeys;
-use zkrownn_nn::{sigmoid, softmax_cross_entropy, Network, Tensor};
+use zkrownn_nn::{softmax_cross_entropy, Network, Tensor};
 
 /// Embedding hyper-parameters.
 #[derive(Clone, Debug)]
 pub struct EmbedConfig {
     /// Weight of the watermark loss relative to the task loss.
     pub lambda: f32,
-    /// Fine-tuning epochs.
+    /// Fine-tuning epoch budget. Embedding always runs this many epochs,
+    /// then keeps going (up to 8× the budget) only while the watermark has
+    /// not yet reached zero BER.
     pub epochs: usize,
     /// Learning rate.
     pub lr: f32,
@@ -26,7 +31,7 @@ pub struct EmbedConfig {
 impl Default for EmbedConfig {
     fn default() -> Self {
         Self {
-            lambda: 2.0,
+            lambda: 10.0,
             epochs: 15,
             lr: 0.01,
         }
@@ -38,28 +43,62 @@ impl Default for EmbedConfig {
 pub struct EmbedReport {
     /// Bit error rate after embedding (0.0 = perfect).
     pub ber: f64,
-    /// Final watermark loss.
+    /// Final watermark loss (mean squared band residual; 0 = every bit's
+    /// projection inside its target band).
     pub wm_loss: f32,
 }
 
-/// Gradient of the watermark loss with respect to the mean activation `µ`:
-/// `∂/∂µ Σⱼ BCE(σ((µ·A)ⱼ), wmⱼ) = A · (σ(µ·A) − wm)`.
-fn wm_grad_wrt_mu(keys: &WatermarkKeys, mu: &[f32]) -> (Vec<f32>, f32) {
+/// Fraction of the watermark gradient leaked past a dead ReLU mask during
+/// embedding (straight-through estimator).
+const RELU_LEAK: f32 = 0.5;
+
+/// Watermark gradient steps per fine-tuning epoch.
+const WM_STEPS_PER_EPOCH: usize = 16;
+
+/// Minimum projection depth each signature bit is regressed to (`±`).
+/// Deep enough that pruning/fine-tuning attacks don't flip bits.
+const TARGET_MARGIN: f32 = 16.0;
+
+/// Maximum projection depth: bits past this are pulled back so fixed-point
+/// in-circuit extraction (sigmoid input range `2^7`) never overflows.
+const SAFE_LIMIT: f32 = 112.0;
+
+/// Gradient of the watermark loss with respect to the mean activation `µ`,
+/// plus the loss value itself (the mean squared band residual — zero once
+/// every signature bit's projection sits inside its band).
+fn wm_grad_wrt_mu(keys: &WatermarkKeys, mu: &[f32], margin: f32) -> (Vec<f32>, f32) {
     let n = keys.signature.len();
     let proj = keys.project(mu);
     let mut loss = 0.0f32;
     let mut delta = vec![0.0f32; n];
     for j in 0..n {
-        let p = sigmoid(proj[j]);
-        let t = if keys.signature[j] { 1.0 } else { 0.0 };
-        loss -= t * p.max(1e-6).ln() + (1.0 - t) * (1.0 - p).max(1e-6).ln();
-        // d BCE(σ(z), t) / dz = σ(z) − t
-        delta[j] = p - t;
+        // Band regression instead of the BCE gradient: drive each
+        // projection into [±margin, ±SAFE_LIMIT]. Unlike BCE this
+        // (a) keeps a non-vanishing pull on a saturated-but-wrong bit,
+        // (b) embeds deep enough to survive pruning/fine-tuning attacks,
+        // and (c) caps the magnitude inside the fixed-point sigmoid
+        // gadget's input range. Inside the band the bit is left alone, so
+        // satisfied bits don't eat the clipped gradient budget.
+        let (lo, hi) = if keys.signature[j] {
+            (margin, SAFE_LIMIT)
+        } else {
+            (-SAFE_LIMIT, -margin)
+        };
+        let z = proj[j];
+        let residual = if z < lo {
+            z - lo
+        } else if z > hi {
+            z - hi
+        } else {
+            0.0
+        };
+        loss += residual * residual / n as f32;
+        delta[j] = residual * 0.25;
     }
     let mut grad = vec![0.0f32; keys.activation_dim];
-    for i in 0..keys.activation_dim {
-        for j in 0..n {
-            grad[i] += keys.projection[i * n + j] * delta[j];
+    for (i, g) in grad.iter_mut().enumerate() {
+        for (j, d) in delta.iter().enumerate() {
+            *g += keys.projection[i * n + j] * d;
         }
     }
     (grad, loss)
@@ -76,25 +115,69 @@ pub fn embed(
 ) -> EmbedReport {
     let t = keys.triggers.len() as f32;
     let mut wm_loss = 0.0;
-    for _ in 0..cfg.epochs {
-        // -- watermark step: gradient of the WM loss through the triggers --
-        let mu = mean_activation(net, keys);
-        let (grad_mu, loss) = wm_grad_wrt_mu(keys, &mu);
-        wm_loss = loss;
-        let inj = Tensor::from_vec(
-            &[keys.activation_dim],
-            grad_mu.iter().map(|g| g * cfg.lambda / t).collect(),
-        );
-        for trig in &keys.triggers {
-            let acts = net.forward_collect(trig);
-            // reshape injection to the activation's true shape (CNN layers)
-            let inj_shaped = inj.clone().reshape(acts[keys.layer].shape());
-            let zero_out = Tensor::zeros(acts.last().unwrap().shape());
-            let grads = net.backward(trig, &acts, &zero_out, &[(keys.layer, inj_shaped)]);
-            net.apply_grads(&grads, cfg.lr);
+    for epoch in 0..cfg.epochs.saturating_mul(8) {
+        // Past the configured budget, continue only while bits still
+        // disagree — convergence depends on the initialization draw, and a
+        // fixed count leaves unlucky seeds partially embedded.
+        if epoch >= cfg.epochs && extract(net, keys).1 == 0.0 {
+            break;
+        }
+        // -- watermark phase: several small steps with a fresh gradient
+        // each, rather than one λ-scaled leap — re-computing µ between
+        // steps keeps descent stable where a single large step oscillates.
+        // Anneal the depth target: flip the bits at a shallow margin first
+        // (cheap in capacity), then deepen toward TARGET_MARGIN as the
+        // straight-through leak revives units to carry it.
+        let margin = (2.0 + epoch as f32).min(TARGET_MARGIN);
+        for _ in 0..WM_STEPS_PER_EPOCH {
+            let mu = mean_activation(net, keys);
+            let (grad_mu, loss) = wm_grad_wrt_mu(keys, &mu, margin);
+            wm_loss = loss;
+            // Clip the injected gradient to unit norm: with an unbounded
+            // λ-scaled step a bad draw can push every pre-activation
+            // negative and kill the ReLU layer (µ = 0 ⇒ no gradient ever
+            // flows again), while an over-timid step never flips the
+            // stubborn bits.
+            let norm = grad_mu.iter().map(|g| g * g).sum::<f32>().sqrt();
+            let clip = if norm > 1.0 { 1.0 / norm } else { 1.0 };
+            let inj = Tensor::from_vec(
+                &[keys.activation_dim],
+                grad_mu.iter().map(|g| g * clip * cfg.lambda / t).collect(),
+            );
+            for trig in &keys.triggers {
+                let acts = net.forward_collect(trig);
+                // reshape injection to the activation's true shape (CNN layers)
+                let inj_shaped = inj.clone().reshape(acts[keys.layer].shape());
+                let mut injected = vec![(keys.layer, inj_shaped)];
+                // Watermarking a ReLU output can dead-lock: units inactive
+                // on every trigger pass no gradient, so the bits they carry
+                // never move. Leak a fraction of the gradient past the mask
+                // (straight-through estimator) so dead units can revive.
+                if keys.layer > 0 && matches!(net.layers[keys.layer], zkrownn_nn::Layer::ReLU) {
+                    let leak = Tensor::from_vec(
+                        &[keys.activation_dim],
+                        grad_mu
+                            .iter()
+                            .map(|g| g * clip * cfg.lambda * RELU_LEAK / t)
+                            .collect(),
+                    );
+                    injected.push((keys.layer - 1, leak.reshape(acts[keys.layer - 1].shape())));
+                }
+                let zero_out = Tensor::zeros(acts.last().unwrap().shape());
+                let grads = net.backward(trig, &acts, &zero_out, &injected);
+                net.apply_grads(&grads, cfg.lr);
+            }
         }
         // -- task step: retain accuracy on the original objective --
-        for (x, &y) in task_xs.iter().zip(task_ys) {
+        // Past the epoch budget the alternating phases can reach an exact
+        // tug-of-war fixed point (the task pass undoes the watermark pass
+        // verbatim). Progressively thin the task pass so the balance tilts
+        // toward the watermark until the remaining bits flip.
+        let task_stride = 1 + epoch / cfg.epochs.max(1);
+        for (i, (x, &y)) in task_xs.iter().zip(task_ys).enumerate() {
+            if i % task_stride != 0 {
+                continue;
+            }
             let acts = net.forward_collect(x);
             let (_, g) = softmax_cross_entropy(acts.last().unwrap(), y);
             let grads = net.backward(x, &acts, &g, &[]);
@@ -112,9 +195,7 @@ mod tests {
     use rand::SeedableRng;
     use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer};
 
-    fn small_setup(
-        seed: u64,
-    ) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
+    fn small_setup(seed: u64) -> (Network, WatermarkKeys, zkrownn_nn::Dataset) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let gmm = GmmConfig {
             input_shape: vec![16],

@@ -74,8 +74,8 @@ mod tests {
         let mu = mean_activation(&net, &keys);
         let a1 = net.forward(&t1);
         let a2 = net.forward(&t2);
-        for i in 0..3 {
-            assert!((mu[i] - (a1.data()[i] + a2.data()[i]) / 2.0).abs() < 1e-6);
+        for (i, m) in mu.iter().enumerate().take(3) {
+            assert!((m - (a1.data()[i] + a2.data()[i]) / 2.0).abs() < 1e-6);
         }
     }
 
@@ -84,10 +84,7 @@ mod tests {
         // with a random projection and random signature, about half the
         // decoded bits disagree
         let mut rng = rand::rngs::StdRng::seed_from_u64(242);
-        let net = Network::new(vec![
-            Layer::Dense(Dense::new(8, 16, &mut rng)),
-            Layer::ReLU,
-        ]);
+        let net = Network::new(vec![Layer::Dense(Dense::new(8, 16, &mut rng)), Layer::ReLU]);
         use crate::keys::{generate_keys, KeyGenConfig};
         use zkrownn_nn::{generate_gmm, GmmConfig};
         let data = generate_gmm(

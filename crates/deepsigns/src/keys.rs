@@ -72,8 +72,61 @@ pub struct KeyGenConfig {
     pub projection_std: f32,
 }
 
+/// Checks that some non-negative activation mean `µ` can realize the
+/// signature with every projection inside a signed `[m, 7m]` band.
+///
+/// Post-ReLU activation means are non-negative, and the in-circuit
+/// fixed-point sigmoid bounds how deep a projection may sit relative to the
+/// decision margin (|z| < 2⁷), so a usable key must admit a `µ ≥ 0` whose
+/// shallowest and deepest bits stay within that ratio. The band is
+/// scale-invariant in `µ`, so the unit band stands in for every scale.
+/// Solved by projected gradient descent on the convex band-distance QP.
+fn signature_is_embeddable(projection: &[f32], signature: &[bool], dim: usize) -> bool {
+    let n = signature.len();
+    let frob2: f32 = projection.iter().map(|p| p * p).sum();
+    if frob2 == 0.0 {
+        return false;
+    }
+    let eta = 4.0 / frob2;
+    let mut mu = vec![1.0f32; dim];
+    let mut residual = f32::MAX;
+    for _ in 0..3000 {
+        let mut delta = vec![0.0f32; n];
+        residual = 0.0;
+        for (j, &s) in signature.iter().enumerate() {
+            let z: f32 = (0..dim).map(|i| mu[i] * projection[i * n + j]).sum();
+            let (lo, hi) = if s { (1.0, 7.0) } else { (-7.0, -1.0) };
+            delta[j] = if z < lo {
+                z - lo
+            } else if z > hi {
+                z - hi
+            } else {
+                0.0
+            };
+            residual += delta[j] * delta[j];
+        }
+        if residual < 1e-6 {
+            return true;
+        }
+        for (i, m) in mu.iter_mut().enumerate() {
+            let g: f32 = (0..n).map(|j| projection[i * n + j] * delta[j]).sum();
+            *m = (*m - eta * g).max(0.0);
+        }
+    }
+    residual < 1e-6
+}
+
+/// How many fresh projection draws [`generate_keys`] tries before settling
+/// for the last one.
+const MAX_PROJECTION_REDRAWS: usize = 32;
+
 /// Generates fresh watermark keys: random signature, Gaussian projection,
 /// and triggers drawn from the dataset restricted to a random target class.
+///
+/// The projection matrix is redrawn (up to [`MAX_PROJECTION_REDRAWS`] times)
+/// until the signature is geometrically embeddable in the non-negative
+/// activation orthant — key generation is owner-side and free to reject
+/// degenerate draws that no amount of fine-tuning could embed.
 pub fn generate_keys<R: Rng + ?Sized>(
     cfg: &KeyGenConfig,
     data: &Dataset,
@@ -93,14 +146,21 @@ pub fn generate_keys<R: Rng + ?Sized>(
         "dataset has too few samples of class {target_class}"
     );
     let signature: Vec<bool> = (0..cfg.signature_bits).map(|_| rng.gen()).collect();
-    let projection: Vec<f32> = (0..cfg.activation_dim * cfg.signature_bits)
-        .map(|_| {
-            let u1: f32 = rng.gen_range(1e-7..1.0f32);
-            let u2: f32 = rng.gen_range(0.0..1.0f32);
-            (-2.0 * u1.ln()).sqrt() * (2.0 * core::f32::consts::PI * u2).cos()
-                * cfg.projection_std
-        })
-        .collect();
+    let mut projection = Vec::new();
+    for _ in 0..MAX_PROJECTION_REDRAWS {
+        projection = (0..cfg.activation_dim * cfg.signature_bits)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(1e-7..1.0f32);
+                let u2: f32 = rng.gen_range(0.0..1.0f32);
+                (-2.0 * u1.ln()).sqrt()
+                    * (2.0 * core::f32::consts::PI * u2).cos()
+                    * cfg.projection_std
+            })
+            .collect();
+        if signature_is_embeddable(&projection, &signature, cfg.activation_dim) {
+            break;
+        }
+    }
     WatermarkKeys {
         layer: cfg.layer,
         target_class,

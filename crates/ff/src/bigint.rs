@@ -203,7 +203,11 @@ impl PartialOrd for BigInt256 {
 
 impl core::fmt::Display for BigInt256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "{}", crate::biguint::BigUint::from_limbs(&self.0).to_decimal())
+        write!(
+            f,
+            "{}",
+            crate::biguint::BigUint::from_limbs(&self.0).to_decimal()
+        )
     }
 }
 
@@ -329,7 +333,7 @@ mod tests {
     fn mont_inv64_is_negative_inverse() {
         let m = BigInt256([0x3c208c16d87cfd47, 0, 0, 0]);
         let inv = mont_inv64(&m);
-        assert_eq!(m.0[0].wrapping_mul(inv), u64::MAX - 0 /* -1 mod 2^64 */);
+        assert_eq!(m.0[0].wrapping_mul(inv), u64::MAX /* -1 mod 2^64 */);
         assert_eq!(m.0[0].wrapping_mul(inv).wrapping_add(1), 0);
     }
 }

@@ -32,7 +32,9 @@ impl BigUint {
 
     /// Creates a value from little-endian limbs.
     pub fn from_limbs(limbs: &[u64]) -> Self {
-        let mut s = Self { limbs: limbs.to_vec() };
+        let mut s = Self {
+            limbs: limbs.to_vec(),
+        };
         s.normalize();
         s
     }
@@ -41,7 +43,9 @@ impl BigUint {
     pub fn from_decimal(s: &str) -> Self {
         let mut out = Self::zero();
         for ch in s.chars() {
-            let d = ch.to_digit(10).unwrap_or_else(|| panic!("invalid decimal digit {ch:?}"));
+            let d = ch
+                .to_digit(10)
+                .unwrap_or_else(|| panic!("invalid decimal digit {ch:?}"));
             out = out.mul_u64(10).add(&Self::from_u64(d as u64));
         }
         out

@@ -216,7 +216,7 @@ impl<P: FpParams> Field for Fp<P> {
             for l in limbs.iter_mut() {
                 *l = rng.gen();
             }
-            let top_limb = ((bits + 63) / 64 - 1) as usize;
+            let top_limb = (bits.div_ceil(64) - 1) as usize;
             limbs[top_limb] &= top_mask;
             for l in limbs.iter_mut().skip(top_limb + 1) {
                 *l = 0;
@@ -232,10 +232,7 @@ impl<P: FpParams> Field for Fp<P> {
 
     #[inline]
     fn from_u64(v: u64) -> Self {
-        Self(
-            Self::mul_repr(&BigInt256::from_u64(v), &P::R2),
-            PhantomData,
-        )
+        Self(Self::mul_repr(&BigInt256::from_u64(v), &P::R2), PhantomData)
     }
 }
 

@@ -150,10 +150,7 @@ impl Field for Fq2 {
     fn square(&self) -> Self {
         // (a + bu)² = (a+b)(a−b) + 2ab·u
         let ab = self.c0 * self.c1;
-        Self::new(
-            (self.c0 + self.c1) * (self.c0 - self.c1),
-            ab.double(),
-        )
+        Self::new((self.c0 + self.c1) * (self.c0 - self.c1), ab.double())
     }
 
     fn inverse(&self) -> Option<Self> {
@@ -234,8 +231,8 @@ mod tests {
     fn frobenius_is_q_power() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(22);
         let a = Fq2::random(&mut rng);
-        use crate::fq::FqParams;
         use crate::fp::FpParams;
+        use crate::fq::FqParams;
         let frob = a.frobenius_map(1);
         assert_eq!(frob, a.pow(&FqParams::MODULUS.0));
         assert_eq!(a.frobenius_map(2), a);

@@ -148,8 +148,7 @@ impl Field for Fq6 {
         let t0 = self.c0.square() - (self.c1 * self.c2).mul_by_nonresidue();
         let t1 = self.c2.square().mul_by_nonresidue() - self.c0 * self.c1;
         let t2 = self.c1.square() - self.c0 * self.c2;
-        let denom = self.c0 * t0
-            + ((self.c2 * t1 + self.c1 * t2).mul_by_nonresidue());
+        let denom = self.c0 * t0 + ((self.c2 * t1 + self.c1 * t2).mul_by_nonresidue());
         let inv = denom.inverse()?;
         Some(Self::new(t0 * inv, t1 * inv, t2 * inv))
     }

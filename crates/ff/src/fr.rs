@@ -90,7 +90,10 @@ mod tests {
             let a = Fr::random(&mut rng);
             let b = Fr::random(&mut rng);
             assert_eq!((a + b) - b, a);
-            assert_eq!(a * b * b.inverse().unwrap_or(Fr::one()), if b.is_zero() { a * b } else { a });
+            assert_eq!(
+                a * b * b.inverse().unwrap_or(Fr::one()),
+                if b.is_zero() { a * b } else { a }
+            );
         }
     }
 
@@ -113,9 +116,8 @@ mod tests {
     fn from_u128_matches_composition() {
         let v: u128 = (1u128 << 100) + 12345;
         let direct = Fr::from_u128(v);
-        let composed = Fr::from_u64((v >> 64) as u64)
-            * Fr::from_u64(2).pow(&[64])
-            + Fr::from_u64(v as u64);
+        let composed =
+            Fr::from_u64((v >> 64) as u64) * Fr::from_u64(2).pow(&[64]) + Fr::from_u64(v as u64);
         assert_eq!(direct, composed);
     }
 }

@@ -27,8 +27,8 @@ pub mod fq;
 pub mod fq12;
 pub mod fq2;
 pub mod fq6;
-pub mod frobenius;
 pub mod fr;
+pub mod frobenius;
 pub mod traits;
 
 pub use bigint::BigInt256;

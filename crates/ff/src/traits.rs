@@ -91,11 +91,7 @@ pub trait Field:
             if elems[i].is_zero() {
                 continue;
             }
-            let prev = if i == 0 {
-                Self::one()
-            } else {
-                prefix[i - 1]
-            };
+            let prev = if i == 0 { Self::one() } else { prefix[i - 1] };
             let e_inv = inv * prev;
             inv *= elems[i];
             elems[i] = e_inv;

@@ -103,7 +103,10 @@ impl Bit {
 /// Panics if the assignment value is negative or too wide (internal bug or
 /// malicious witness during proving — setup never sees real values).
 pub fn to_bits(num: &Num, n: u32, cs: &mut ConstraintSystem<Fr>) -> Vec<Bit> {
-    assert!(n < 253, "decomposition width must stay below the field size");
+    assert!(
+        n < 253,
+        "decomposition width must stay below the field size"
+    );
     let v = num.value_i128();
     assert!(v >= 0, "to_bits requires a non-negative value, got {v}");
     assert!(

@@ -11,7 +11,7 @@ use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
 /// read the top bit — it is 1 exactly when `x ≥ 0`.
 pub fn is_negative(x: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
     let n = x.bits;
-    assert!(n + 1 <= MAX_BITS, "comparison width exceeds MAX_BITS");
+    assert!(n < MAX_BITS, "comparison width exceeds MAX_BITS");
     let shifted = x.add(&Num::constant(Fr::from_u128(1u128 << n)));
     let mut shifted = shifted;
     shifted.bits = n + 1;
@@ -36,7 +36,7 @@ pub fn is_lt(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
 /// [`crate::fixed::floor_div_pow2`].
 pub fn truncate(x: &Num, k: u32, cs: &mut ConstraintSystem<Fr>) -> Num {
     assert!(k > 0 && k < MAX_BITS);
-    assert!(x.bits + 1 <= MAX_BITS, "truncation input too wide");
+    assert!(x.bits < MAX_BITS, "truncation input too wide");
     let v = x.value_i128();
     let q_val = v >> k;
     let r_val = v - (q_val << k);
@@ -72,7 +72,7 @@ pub fn div_by_const(x: &Num, d: u64, cs: &mut ConstraintSystem<Fr>) -> Num {
         return x.clone();
     }
     let d_bits = 64 - d.leading_zeros();
-    assert!(x.bits + 1 <= MAX_BITS);
+    assert!(x.bits < MAX_BITS);
     let v = x.value_i128();
     let q_val = v.div_euclid(d as i128);
     let r_val = v - q_val * d as i128;

@@ -169,7 +169,9 @@ mod tests {
     fn conv_matches_reference() {
         let shape = small_shape();
         let mut rng = rand::rngs::StdRng::seed_from_u64(151);
-        let input: Vec<i128> = (0..shape.in_len()).map(|_| rng.gen_range(-20..20)).collect();
+        let input: Vec<i128> = (0..shape.in_len())
+            .map(|_| rng.gen_range(-20..20))
+            .collect();
         let kernels: Vec<i128> = (0..shape.kernel_len())
             .map(|_| rng.gen_range(-20..20))
             .collect();

@@ -45,7 +45,11 @@ pub fn maxpool2d(
     stride: usize,
     cs: &mut ConstraintSystem<Fr>,
 ) -> Vec<Num> {
-    assert_eq!(input.len(), channels * height * width, "maxpool input shape");
+    assert_eq!(
+        input.len(),
+        channels * height * width,
+        "maxpool input shape"
+    );
     let oh = (height - size) / stride + 1;
     let ow = (width - size) / stride + 1;
     let mut out = Vec::with_capacity(channels * oh * ow);
@@ -130,7 +134,9 @@ mod tests {
     #[test]
     fn maxpool_circuit_matches_reference() {
         let (c, h, w) = (2usize, 4usize, 4usize);
-        let input: Vec<i128> = (0..(c * h * w) as i128).map(|i| (i * 7) % 23 - 11).collect();
+        let input: Vec<i128> = (0..(c * h * w) as i128)
+            .map(|i| (i * 7) % 23 - 11)
+            .collect();
         let mut cs = ConstraintSystem::<Fr>::new();
         let nums: Vec<Num> = input
             .iter()

@@ -21,11 +21,7 @@ pub fn relu_vec(xs: &[Num], cs: &mut ConstraintSystem<Fr>) -> Vec<Num> {
 
 /// The "zkReLU" circuit of Table I: a private input vector passed through
 /// ReLU with public outputs. Returns the output values for the verifier.
-pub fn relu_circuit(
-    inputs: &[i128],
-    bits: u32,
-    cs: &mut ConstraintSystem<Fr>,
-) -> Vec<i128> {
+pub fn relu_circuit(inputs: &[i128], bits: u32, cs: &mut ConstraintSystem<Fr>) -> Vec<i128> {
     use zkrownn_ff::PrimeField;
     let nums: Vec<Num> = inputs
         .iter()

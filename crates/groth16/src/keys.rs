@@ -171,7 +171,10 @@ impl ProvingKey {
         5 * 8
             + self.vk.serialized_size()
             + 2 * g1
-            + g1 * (self.a_query.len() + self.b_g1_query.len() + self.h_query.len() + self.l_query.len())
+            + g1 * (self.a_query.len()
+                + self.b_g1_query.len()
+                + self.h_query.len()
+                + self.l_query.len())
             + g2 * self.b_g2_query.len()
     }
 

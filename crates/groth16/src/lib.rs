@@ -58,8 +58,7 @@ mod tests {
         cs.enforce(x.into(), x.into(), x2.into());
         cs.enforce(x2.into(), x.into(), x3.into());
         // (x3 + x + 5) * 1 = y
-        let lhs = LinearCombination::from(x3)
-            .add_term(Fr::one(), x)
+        let lhs = LinearCombination::from(x3).add_term(Fr::one(), x)
             + LinearCombination::constant(Fr::from_u64(5));
         cs.enforce(lhs, LinearCombination::constant(Fr::one()), y.into());
         cs

@@ -54,10 +54,7 @@ pub fn create_proof_with_randomness(
 
     // C = Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ − rs·δ
     let witness = &z[matrices.num_instance..];
-    let c = msm(&pk.l_query, witness)
-        + msm(&pk.h_query, &h)
-        + a.mul_scalar(s)
-        + b_g1.mul_scalar(r)
+    let c = msm(&pk.l_query, witness) + msm(&pk.h_query, &h) + a.mul_scalar(s) + b_g1.mul_scalar(r)
         - delta_g1.mul_scalar(r * s);
 
     Proof {

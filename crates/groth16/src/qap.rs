@@ -92,9 +92,8 @@ pub fn witness_map(matrices: &R1csMatrices<Fr>, z: &[Fr]) -> Vec<Fr> {
     };
 
     let mut a_evals = eval_rows(&matrices.a);
-    for i in 0..matrices.num_instance {
-        a_evals[ncons + i] = z[i]; // padding rows
-    }
+    // padding rows
+    a_evals[ncons..ncons + matrices.num_instance].copy_from_slice(&z[..matrices.num_instance]);
     let mut b_evals = eval_rows(&matrices.b);
     let mut c_evals = eval_rows(&matrices.c);
 
@@ -128,7 +127,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use zkrownn_ff::Field;
-    use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
+    use zkrownn_r1cs::ConstraintSystem;
 
     /// x·y = p, y·y = s (two constraints, one instance for each output)
     fn sample_system() -> ConstraintSystem<Fr> {
@@ -153,13 +152,19 @@ mod tests {
         let tau = Fr::random(&mut rng);
         let qap = evaluate_qap_at(&m, tau);
         let z = cs.full_assignment();
-        let at = z.iter().zip(&qap.u).fold(Fr::zero(), |s, (zi, ui)| s + *zi * *ui);
-        let bt = z.iter().zip(&qap.v).fold(Fr::zero(), |s, (zi, vi)| s + *zi * *vi);
-        let ct = z.iter().zip(&qap.w).fold(Fr::zero(), |s, (zi, wi)| s + *zi * *wi);
-        let ht = h
+        let at = z
             .iter()
-            .rev()
-            .fold(Fr::zero(), |acc, &c| acc * tau + c);
+            .zip(&qap.u)
+            .fold(Fr::zero(), |s, (zi, ui)| s + *zi * *ui);
+        let bt = z
+            .iter()
+            .zip(&qap.v)
+            .fold(Fr::zero(), |s, (zi, vi)| s + *zi * *vi);
+        let ct = z
+            .iter()
+            .zip(&qap.w)
+            .fold(Fr::zero(), |s, (zi, wi)| s + *zi * *wi);
+        let ht = h.iter().rev().fold(Fr::zero(), |acc, &c| acc * tau + c);
         assert_eq!(at * bt - ct, ht * qap.zt);
     }
 

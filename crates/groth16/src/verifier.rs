@@ -112,8 +112,7 @@ pub fn verify_proofs_batch<R: rand::Rng + ?Sized>(
             G2Prepared::from(proof.b),
         ));
         // accumulate r·(γ_abc-combination) and r·C
-        let acc =
-            pvk.gamma_abc_g1[0].into_projective() + msm(&pvk.gamma_abc_g1[1..], inputs);
+        let acc = pvk.gamma_abc_g1[0].into_projective() + msm(&pvk.gamma_abc_g1[1..], inputs);
         acc_gamma += acc.mul_scalar(r);
         acc_delta += proof.c.mul_scalar(r);
     }

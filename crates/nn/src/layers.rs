@@ -158,10 +158,7 @@ impl Layer {
                 }
                 (dx, LayerGrad::default())
             }
-            Layer::Flatten => (
-                grad_out.clone().reshape(x.shape()),
-                LayerGrad::default(),
-            ),
+            Layer::Flatten => (grad_out.clone().reshape(x.shape()), LayerGrad::default()),
         }
     }
 
@@ -346,7 +343,11 @@ mod tests {
             cm.w.data_mut()[wi] -= eps;
             let fm: f32 = Layer::Conv2d(cm).forward(&x).data().iter().sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((dw.data()[wi] - num).abs() < 2e-2, "{} vs {num}", dw.data()[wi]);
+            assert!(
+                (dw.data()[wi] - num).abs() < 2e-2,
+                "{} vs {num}",
+                dw.data()[wi]
+            );
         }
     }
 

@@ -94,13 +94,7 @@ impl Network {
 
     /// Trains with softmax cross-entropy for `epochs` over the dataset,
     /// sample-at-a-time SGD. Returns the final mean loss.
-    pub fn train(
-        &mut self,
-        xs: &[Tensor],
-        ys: &[usize],
-        epochs: usize,
-        lr: f32,
-    ) -> f32 {
+    pub fn train(&mut self, xs: &[Tensor], ys: &[usize], epochs: usize, lr: f32) -> f32 {
         let mut last = 0.0;
         for _ in 0..epochs {
             let mut total = 0.0;

@@ -143,13 +143,13 @@ pub fn dense_forward(w: &Tensor, b: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(x.len(), in_dim, "dense input dimension mismatch");
     assert_eq!(b.len(), out_dim);
     let mut out = vec![0.0f32; out_dim];
-    for o in 0..out_dim {
+    for (o, out_o) in out.iter_mut().enumerate() {
         let row = &w.data()[o * in_dim..(o + 1) * in_dim];
         let mut acc = 0.0f32;
         for (wi, xi) in row.iter().zip(x.data()) {
             acc += wi * xi;
         }
-        out[o] = acc + b.data()[o];
+        *out_o = acc + b.data()[o];
     }
     Tensor::from_vec(&[out_dim], out)
 }
@@ -188,7 +188,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(181);
         let t = Tensor::kaiming(&[100, 100], 100, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 0.02).abs() < 0.005, "var {var}"); // 2/fan_in = 0.02

@@ -348,10 +348,7 @@ mod tests {
         let b = Fr::random(&mut rng);
         let p1 = g1().mul_scalar(a).into_affine();
         let p2 = g1().mul_scalar(b).into_affine();
-        let prod = multi_pairing(&[
-            (p1, G2Prepared::from(g2())),
-            (p2, G2Prepared::from(g2())),
-        ]);
+        let prod = multi_pairing(&[(p1, G2Prepared::from(g2())), (p2, G2Prepared::from(g2()))]);
         assert_eq!(prod, pairing(&p1, &g2()) * pairing(&p2, &g2()));
         // and equals e(g1, g2)^(a+b)
         assert_eq!(prod, pairing(&g1(), &g2()).pow(&(a + b).into_bigint().0));

@@ -3,8 +3,10 @@
 
 use rand::SeedableRng;
 use zkrownn_curves::{G1Affine, G1Projective, G2Projective};
-use zkrownn_ff::{Field, Fq12, Fr, PrimeField};
-use zkrownn_pairing::{multi_miller_loop, multi_pairing, pairing, final_exponentiation, G2Prepared};
+use zkrownn_ff::{Field, Fq12, Fr};
+use zkrownn_pairing::{
+    final_exponentiation, multi_miller_loop, multi_pairing, pairing, G2Prepared,
+};
 
 fn rand_points(seed: u64) -> (G1Affine, zkrownn_curves::G2Affine, Fr, Fr) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -30,10 +32,7 @@ fn groth16_shaped_equation_balances() {
     let pa = p.mul_scalar(a).into_affine();
     let p_ab_neg = p.mul_scalar(a * b).neg().into_affine();
     let qb = G2Projective::generator().mul_scalar(b).into_affine();
-    let result = multi_pairing(&[
-        (pa, G2Prepared::from(qb)),
-        (p_ab_neg, G2Prepared::from(q)),
-    ]);
+    let result = multi_pairing(&[(pa, G2Prepared::from(qb)), (p_ab_neg, G2Prepared::from(q))]);
     assert_eq!(result, Fq12::one());
 }
 
@@ -52,10 +51,7 @@ fn miller_loop_product_equals_pairing_product() {
     let (p1, q1, _, _) = rand_points(603);
     let (p2, q2, _, _) = rand_points(604);
     // final_exp(ML(p1,q1) · ML(p2,q2)) == e(p1,q1)·e(p2,q2)
-    let ml = multi_miller_loop(&[
-        (p1, G2Prepared::from(q1)),
-        (p2, G2Prepared::from(q2)),
-    ]);
+    let ml = multi_miller_loop(&[(p1, G2Prepared::from(q1)), (p2, G2Prepared::from(q2))]);
     let combined = final_exponentiation(&ml).unwrap();
     assert_eq!(combined, pairing(&p1, &q1) * pairing(&p2, &q2));
 }

@@ -12,7 +12,7 @@ pub struct DensePolynomial<F: PrimeField> {
 impl<F: PrimeField> DensePolynomial<F> {
     /// Creates a polynomial from coefficients (low degree first).
     pub fn from_coefficients(mut coeffs: Vec<F>) -> Self {
-        while coeffs.last().map_or(false, |c| c.is_zero()) {
+        while coeffs.last().is_some_and(|c| c.is_zero()) {
             coeffs.pop();
         }
         Self { coeffs }
@@ -116,10 +116,7 @@ impl<F: PrimeField> DensePolynomial<F> {
             rem[i] = F::zero();
         }
         rem.truncate(m);
-        (
-            Self::from_coefficients(quot),
-            Self::from_coefficients(rem),
-        )
+        (Self::from_coefficients(quot), Self::from_coefficients(rem))
     }
 }
 
@@ -181,11 +178,8 @@ mod tests {
 
     #[test]
     fn trailing_zeros_trimmed() {
-        let p = DensePolynomial::<Fr>::from_coefficients(vec![
-            Fr::from_u64(1),
-            Fr::zero(),
-            Fr::zero(),
-        ]);
+        let p =
+            DensePolynomial::<Fr>::from_coefficients(vec![Fr::from_u64(1), Fr::zero(), Fr::zero()]);
         assert_eq!(p.degree(), 0);
         assert_eq!(p.coefficients().len(), 1);
     }

@@ -57,7 +57,10 @@ fn main() {
         );
         let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
         let (_, ber) = extract(&net, &keys);
-        println!("  watermark embedded: BER = {ber:.3} (loss {:.4})", report.wm_loss);
+        println!(
+            "  watermark embedded: BER = {ber:.3} (loss {:.4})",
+            report.wm_loss
+        );
         spec_from_keys(&net, &keys, true, 1, &cfg)
     };
 

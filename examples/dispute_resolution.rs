@@ -71,7 +71,13 @@ fn main() {
     // --- Act 3: Olivia proves ownership of M' to Vera --------------------
     println!("― Act 3 ― Olivia proves ownership of M' without revealing her keys");
     let theta_errors = 2; // tolerate small attack damage
-    let spec = spec_from_keys(&stolen, &olivia_keys, false, theta_errors, &FixedConfig::default());
+    let spec = spec_from_keys(
+        &stolen,
+        &olivia_keys,
+        false,
+        theta_errors,
+        &FixedConfig::default(),
+    );
     let pk = setup(&spec, &mut rng); // run once by a trusted third party
     let proof = prove(&pk, &spec, &mut rng).expect("Olivia's proof");
     println!(
@@ -99,8 +105,13 @@ fn main() {
     );
     let (_, mallory_ber) = extract(&stolen, &mallory_keys);
     println!("  Mallory's 'watermark' BER: {mallory_ber:.3} (random keys don't extract)");
-    let mallory_spec =
-        spec_from_keys(&stolen, &mallory_keys, false, theta_errors, &FixedConfig::default());
+    let mallory_spec = spec_from_keys(
+        &stolen,
+        &mallory_keys,
+        false,
+        theta_errors,
+        &FixedConfig::default(),
+    );
     let mallory_pk = setup(&mallory_spec, &mut rng);
     let mallory_proof = prove(&mallory_pk, &mallory_spec, &mut rng).expect("provable, verdict 0");
     println!(

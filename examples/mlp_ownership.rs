@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 use zkrownn::benchmarks::{spec_from_keys, watermarked_mlp, BenchmarkScale};
 use zkrownn::{prove, setup, verify_prepared};
-use zkrownn_deepsigns::{extract, generate_keys, embed, EmbedConfig, KeyGenConfig};
+use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 
@@ -58,7 +58,10 @@ fn main() {
         );
         let report = embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
         let (_, ber) = extract(&net, &keys);
-        println!("  watermark embedded: BER = {ber:.3} (loss {:.4})", report.wm_loss);
+        println!(
+            "  watermark embedded: BER = {ber:.3} (loss {:.4})",
+            report.wm_loss
+        );
         spec_from_keys(&net, &keys, false, 1, &cfg)
     };
 
@@ -92,6 +95,9 @@ fn main() {
     let pvk = pk.vk.prepare();
     let t = Instant::now();
     verify_prepared(&pvk, &spec, &proof).expect("ownership established");
-    println!("verify: {:.2?}  — any third party can run this step", t.elapsed());
+    println!(
+        "verify: {:.2?}  — any third party can run this step",
+        t.elapsed()
+    );
     println!("ownership of the MLP established in zero knowledge ✔");
 }

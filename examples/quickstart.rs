@@ -31,13 +31,16 @@ fn main() {
         Layer::Dense(Dense::new(32, 4, &mut rng)),
     ]);
     net.train(&data.xs, &data.ys, 6, 0.05);
-    println!("      accuracy: {:.1}%", 100.0 * net.accuracy(&data.xs, &data.ys));
+    println!(
+        "      accuracy: {:.1}%",
+        100.0 * net.accuracy(&data.xs, &data.ys)
+    );
 
     // 2. … embeds a DeepSigns watermark -----------------------------------
     println!("[2/5] embedding a 16-bit DeepSigns watermark …");
     let keys = generate_keys(
         &KeyGenConfig {
-            layer: 1,            // first hidden layer activations
+            layer: 1, // first hidden layer activations
             activation_dim: 32,
             signature_bits: 16,
             num_triggers: 4,
@@ -89,7 +92,10 @@ fn main() {
     let pvk = pk.vk.prepare();
     let t = Instant::now();
     zkrownn::verify_prepared(&pvk, &spec, &proof).expect("verification succeeds");
-    println!("      verified in {:.2?} — ownership established ✔", t.elapsed());
+    println!(
+        "      verified in {:.2?} — ownership established ✔",
+        t.elapsed()
+    );
 
     // and a negative control: different model ⇒ rejection
     let mut other = spec.clone();

@@ -89,7 +89,10 @@ fn main() {
     let publics = spec.public_inputs(&built.logits);
     let t = Instant::now();
     verify_proof_prepared(&pvk, &proof, &publics).expect("client accepts");
-    println!("[client]   proof verified in {:.2?} — logits are authentic ✔", t.elapsed());
+    println!(
+        "[client]   proof verified in {:.2?} — logits are authentic ✔",
+        t.elapsed()
+    );
 
     // forged logits are rejected
     let mut forged = built.logits.clone();

@@ -98,12 +98,9 @@ fn proving_pipeline_never_modifies_the_model() {
     let _ = spec.build();
     // the float model is untouched by quantization and circuit building
     for (a, b) in net.layers.iter().zip(before.layers.iter()) {
-        match (a, b) {
-            (Layer::Dense(x), Layer::Dense(y)) => {
-                assert_eq!(x.w, y.w);
-                assert_eq!(x.b, y.b);
-            }
-            _ => {}
+        if let (Layer::Dense(x), Layer::Dense(y)) = (a, b) {
+            assert_eq!(x.w, y.w);
+            assert_eq!(x.b, y.b);
         }
     }
 }

@@ -107,7 +107,10 @@ fn impostor_without_keys_cannot_claim_ownership() {
         &mut rng,
     );
     let (_, fake_ber) = extract(&victim_model, &fake_keys);
-    assert!(fake_ber > 0.15, "fake keys should not extract (BER {fake_ber})");
+    assert!(
+        fake_ber > 0.15,
+        "fake keys should not extract (BER {fake_ber})"
+    );
 
     let spec = spec_from_keys(&victim_model, &fake_keys, false, 0, &FixedConfig::default());
     let pk = setup(&spec, &mut rng);

@@ -1,0 +1,218 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a one-iteration
+//! warmup, then `sample_size` timed samples, and reports min / median / mean
+//! to stdout. There is no HTML report, outlier analysis, or baseline
+//! comparison — swap the real crate back in for publication-grade numbers.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `"{name}/{param}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording `per_sample` calls per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup
+        black_box(f());
+        // fresh sample set per iter() call so a closure calling it twice
+        // doesn't mix two workloads' timings
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..self.per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed() / self.per_sample as u32;
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!("{label:<40} min {min:>12.2?}   median {median:>12.2?}   mean {mean:>12.2?}");
+}
+
+fn run_bench(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        per_sample: 1,
+    };
+    f(&mut b);
+    report(label, &mut b.samples);
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut f = f;
+        run_bench(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let mut f = f;
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (prints a trailing separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name,
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_bench(name, self.default_sample_size, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; this simple
+            // stand-in has no CLI and ignores them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, n| {
+            b.iter(|| (0..*n).sum::<usize>())
+        });
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(3u32).pow(2)));
+    }
+
+    criterion_group!(benches, sample_target);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
