@@ -7,7 +7,10 @@
 //! * `fft/*` — radix-2 FFT over the scalar field (the `h`-polynomial step);
 //! * `pairing/*` — the verifier's unit operations;
 //! * `average/fold-vs-divide` — the fold-the-average optimization used by
-//!   the end-to-end CNN circuit.
+//!   the end-to-end CNN circuit;
+//! * `verify_batch/*` — amortized batch verification through the
+//!   `KeyRegistry` vs. naive per-claim verification (preparation + pairing
+//!   check per claim), over 8 same-circuit claims.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -128,12 +131,76 @@ fn bench_average_fold(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_verify_batch(c: &mut Criterion) {
+    use zkrownn::{Authority, KeyRegistry, SignedClaim, VerifierKit};
+    use zkrownn_gadgets::FixedConfig;
+
+    // a tiny deterministic spec: no training, positive projections, so the
+    // all-ones signature extracts exactly and every claim carries verdict 1
+    let cfg = FixedConfig::default();
+    let model = zkrownn::QuantizedModel {
+        layers: vec![
+            zkrownn::QuantLayer::Dense {
+                in_dim: 2,
+                out_dim: 2,
+                w: vec![cfg.encode(0.5); 4],
+                b: vec![0; 2],
+            },
+            zkrownn::QuantLayer::ReLU,
+        ],
+        input_len: 2,
+        cfg,
+    };
+    let spec = zkrownn::ExtractionSpec {
+        model,
+        triggers: vec![vec![cfg.encode(1.0); 2]; 2],
+        projection: vec![cfg.encode(0.25); 8],
+        signature: vec![true; 4],
+        max_errors: 0,
+        fold_average: false,
+        cfg,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claims: Vec<SignedClaim> = (0..8)
+        .map(|_| prover.prove(&mut rng).expect("honest claim"))
+        .collect();
+    let vk = verifier.verifying_key().clone();
+    let id = verifier.circuit_id();
+
+    let mut group = c.benchmark_group("verify_batch");
+    group.sample_size(10);
+    // naive service: pairing preparation + a 3-Miller-loop check per claim
+    group.bench_function("one-shot-x8", |b| {
+        b.iter(|| {
+            for claim in &claims {
+                let kit = VerifierKit::from_parts(vk.clone(), id);
+                kit.verify(claim).expect("claim verifies");
+            }
+        })
+    });
+    // amortized: one preparation, one input vector per distinct statement,
+    // one random-linear-combination pairing check for the whole batch
+    group.bench_function("batched-x8", |b| {
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut registry = KeyRegistry::new();
+            registry.register(id, &vk);
+            for result in registry.verify_batch(&claims, &mut rng) {
+                result.expect("claim verifies");
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul_scaling,
     bench_msm,
     bench_fft,
     bench_pairing,
-    bench_average_fold
+    bench_average_fold,
+    bench_verify_batch
 );
 criterion_main!(benches);

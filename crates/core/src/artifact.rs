@@ -1,0 +1,795 @@
+//! Versioned wire formats for everything the three ZKROWNN parties exchange.
+//!
+//! Setup, proving and verification are performed by *different* parties: a
+//! trusted authority publishes keys, the model owner ships a compact claim,
+//! and any third party verifies it. Every object that crosses a process
+//! boundary therefore implements [`Artifact`] — a self-identifying envelope
+//! (magic bytes, artifact kind, format version, payload length, checksum)
+//! around a canonical payload encoding:
+//!
+//! | artifact | payload |
+//! |---|---|
+//! | [`OwnershipStatement`] | public circuit description: quantized model, BER threshold, watermark dimensions |
+//! | [`OwnershipProof`](crate::OwnershipProof) | circuit id ‖ verdict ‖ 128-byte Groth16 proof |
+//! | [`VerifyingKey`] | compressed verification points |
+//! | [`ProvingKey`] | uncompressed prover queries |
+//! | [`SignedClaim`](crate::SignedClaim) | nested statement + proof artifacts |
+//!
+//! Artifacts are tied together by a [`CircuitId`]: a SHA-256 digest of the
+//! circuit *shape* (layer structure, watermark dimensions, BER threshold,
+//! fixed-point configuration — everything that determines the constraint
+//! system, and nothing that doesn't). Two same-shaped models share a
+//! `CircuitId`, and hence trusted-setup keys; a [`KeyRegistry`]
+//! (see [`crate::registry`]) uses the id to cache pairing precomputation.
+//!
+//! Any single corrupted byte on the wire is rejected: header corruption
+//! trips the magic/kind/version/length checks, payload corruption trips the
+//! trailing checksum, and points that survive both are still validated on
+//! the curve.
+
+use crate::model::{QuantLayer, QuantizedModel};
+use zkrownn_ff::{Fr, PrimeField};
+use zkrownn_gadgets::conv::ConvShape;
+use zkrownn_gadgets::fixed::FixedConfig;
+use zkrownn_groth16::{ProvingKey, VerifyingKey};
+
+// ---------------------------------------------------------------------------
+// SHA-256 (the content digest behind CircuitId and the envelope checksum)
+// ---------------------------------------------------------------------------
+
+#[rustfmt::skip]
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256_compress(h: &mut [u32; 8], block: &[u8]) {
+    let mut w = [0u32; 64];
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(SHA256_K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+        *slot = slot.wrapping_add(v);
+    }
+}
+
+/// SHA-256 of `data` — the content digest used for [`CircuitId`]s, statement
+/// digests and the artifact envelope checksum.
+///
+/// Streams over the input in place (proving keys run to megabytes; the
+/// only buffering is the final padded block or two).
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        sha256_compress(&mut h, block);
+    }
+    // pad the tail: 0x80, zeros, 64-bit big-endian bit length
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        sha256_compress(&mut h, block);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// CircuitId
+// ---------------------------------------------------------------------------
+
+/// Content digest of an extraction-circuit *shape*.
+///
+/// Derived from everything that determines the constraint system — layer
+/// structure and dimensions, watermark dimensions (trigger count, signature
+/// length), the BER threshold and the fixed-point configuration — and from
+/// nothing that doesn't (in particular, not the model's parameter values,
+/// which enter verification as public inputs). Same shape ⇒ same circuit ⇒
+/// same trusted-setup keys, so the id doubles as the cache key for prepared
+/// verifying keys in a [`crate::KeyRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CircuitId([u8; 32]);
+
+impl CircuitId {
+    /// Wraps raw digest bytes (e.g. read off the wire).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Full lowercase-hex rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Abbreviated rendering (first 8 hex chars) for logs and displays.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl core::fmt::Debug for CircuitId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "CircuitId({})", self.to_hex())
+    }
+}
+
+impl core::fmt::Display for CircuitId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// The artifact kinds the wire format distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// An [`OwnershipStatement`].
+    Statement,
+    /// An [`crate::OwnershipProof`].
+    Proof,
+    /// A Groth16 [`VerifyingKey`].
+    VerifyingKey,
+    /// A Groth16 [`ProvingKey`].
+    ProvingKey,
+    /// A [`crate::SignedClaim`] (statement + proof bundle).
+    Claim,
+}
+
+impl ArtifactKind {
+    /// One-byte wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Self::Statement => 1,
+            Self::Proof => 2,
+            Self::VerifyingKey => 3,
+            Self::ProvingKey => 4,
+            Self::Claim => 5,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(Self::Statement),
+            2 => Some(Self::Proof),
+            3 => Some(Self::VerifyingKey),
+            4 => Some(Self::ProvingKey),
+            5 => Some(Self::Claim),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Statement => "ownership statement",
+            Self::Proof => "ownership proof",
+            Self::VerifyingKey => "verifying key",
+            Self::ProvingKey => "proving key",
+            Self::Claim => "signed claim",
+        }
+    }
+}
+
+/// Why a byte string failed to decode as an artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than the structure it claims (or needs) to hold.
+    Truncated {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The leading magic bytes are not `ZKRW`.
+    BadMagic([u8; 4]),
+    /// The kind tag is valid but not the kind the caller asked for.
+    WrongKind {
+        /// Kind the caller tried to decode.
+        expected: ArtifactKind,
+        /// Kind found on the wire.
+        got: ArtifactKind,
+    },
+    /// The kind tag is not one this build knows.
+    UnknownKind(u8),
+    /// The format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found on the wire.
+        got: u16,
+        /// Version this build speaks.
+        supported: u16,
+    },
+    /// The buffer length disagrees with the envelope's payload length.
+    LengthMismatch {
+        /// Length the envelope describes.
+        expected: usize,
+        /// Length supplied.
+        got: usize,
+    },
+    /// The payload checksum does not match (bit rot or tampering).
+    ChecksumMismatch,
+    /// A key or proof payload failed point-level validation.
+    Key(zkrownn_groth16::DecodeError),
+    /// The payload structure is invalid.
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated { needed, got } => {
+                write!(f, "truncated artifact: need {needed} bytes, have {got}")
+            }
+            Self::BadMagic(m) => write!(f, "bad magic bytes {m:02x?} (not a ZKROWNN artifact)"),
+            Self::WrongKind { expected, got } => {
+                write!(f, "expected a {}, found a {}", expected.name(), got.name())
+            }
+            Self::UnknownKind(t) => write!(f, "unknown artifact kind tag {t}"),
+            Self::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "unsupported format version {got} (this build speaks {supported})"
+                )
+            }
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "artifact is {got} bytes, envelope describes {expected}")
+            }
+            Self::ChecksumMismatch => write!(f, "artifact checksum mismatch (corrupted payload)"),
+            Self::Key(e) => write!(f, "invalid key/proof payload: {e}"),
+            Self::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<zkrownn_groth16::DecodeError> for WireError {
+    fn from(e: zkrownn_groth16::DecodeError) -> Self {
+        Self::Key(e)
+    }
+}
+
+/// Magic bytes opening every artifact.
+pub const MAGIC: [u8; 4] = *b"ZKRW";
+
+/// The wire-format version this build writes and accepts.
+pub const WIRE_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 4 + 1 + 2 + 8; // magic ‖ kind ‖ version ‖ payload len
+const CHECKSUM_LEN: usize = 8; // truncated SHA-256 over header ‖ payload
+
+/// Envelope bytes added around every payload (header + checksum).
+pub const WIRE_OVERHEAD: usize = HEADER_LEN + CHECKSUM_LEN;
+
+/// A serializable, versioned, self-identifying wire object.
+///
+/// Implementors provide the payload codec; the trait supplies the envelope:
+/// `to_bytes` wraps the payload in magic bytes, the kind tag, the format
+/// version, the payload length and a truncated-SHA-256 checksum, and
+/// `from_bytes` validates all five before touching the payload.
+pub trait Artifact: Sized {
+    /// Which artifact this is on the wire.
+    const KIND: ArtifactKind;
+
+    /// Format version written and accepted (bump on incompatible change).
+    const FORMAT_VERSION: u16 = WIRE_VERSION;
+
+    /// Appends the canonical payload encoding to `out`.
+    fn write_payload(&self, out: &mut Vec<u8>);
+
+    /// Decodes the payload (envelope already validated).
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError>;
+
+    /// Payload size in bytes (must equal what `write_payload` appends).
+    fn payload_size(&self) -> usize;
+
+    /// Total serialized size: envelope overhead + payload.
+    fn serialized_size(&self) -> usize {
+        WIRE_OVERHEAD + self.payload_size()
+    }
+
+    /// Serializes the artifact with its envelope.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_size());
+        out.extend_from_slice(&MAGIC);
+        out.push(Self::KIND.tag());
+        out.extend_from_slice(&Self::FORMAT_VERSION.to_le_bytes());
+        let len_pos = out.len();
+        out.extend_from_slice(&0u64.to_le_bytes());
+        self.write_payload(&mut out);
+        let payload_len = (out.len() - HEADER_LEN) as u64;
+        out[len_pos..len_pos + 8].copy_from_slice(&payload_len.to_le_bytes());
+        let sum = sha256(&out);
+        out.extend_from_slice(&sum[..CHECKSUM_LEN]);
+        debug_assert_eq!(out.len(), self.serialized_size(), "payload_size is wrong");
+        out
+    }
+
+    /// Validates the envelope and decodes the artifact.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < WIRE_OVERHEAD {
+            return Err(WireError::Truncated {
+                needed: WIRE_OVERHEAD,
+                got: bytes.len(),
+            });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(WireError::BadMagic(bytes[0..4].try_into().unwrap()));
+        }
+        let kind = ArtifactKind::from_tag(bytes[4]).ok_or(WireError::UnknownKind(bytes[4]))?;
+        if kind != Self::KIND {
+            return Err(WireError::WrongKind {
+                expected: Self::KIND,
+                got: kind,
+            });
+        }
+        let version = u16::from_le_bytes(bytes[5..7].try_into().unwrap());
+        if version != Self::FORMAT_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                got: version,
+                supported: Self::FORMAT_VERSION,
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[7..15].try_into().unwrap());
+        let payload_len =
+            usize::try_from(payload_len).map_err(|_| WireError::Malformed("payload length"))?;
+        let expected = HEADER_LEN
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(CHECKSUM_LEN))
+            .ok_or(WireError::Malformed("payload length"))?;
+        if bytes.len() != expected {
+            return Err(WireError::LengthMismatch {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let body = &bytes[..HEADER_LEN + payload_len];
+        if sha256(body)[..CHECKSUM_LEN] != bytes[HEADER_LEN + payload_len..] {
+            return Err(WireError::ChecksumMismatch);
+        }
+        Self::read_payload(&bytes[HEADER_LEN..HEADER_LEN + payload_len])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a payload with typed, bounds-checked reads.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, off: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        let slice = self.buf.get(self.off..end).ok_or(WireError::Truncated {
+            needed: end,
+            got: self.buf.len(),
+        })?;
+        self.off = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte is not 0 or 1")),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn len(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Malformed("length overflow"))
+    }
+
+    pub(crate) fn i128(&mut self) -> Result<i128, WireError> {
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` little-endian `i128`s.
+    pub(crate) fn i128_vec(&mut self, n: usize) -> Result<Vec<i128>, WireError> {
+        let mut out = Vec::with_capacity(n.min(self.buf.len() / 16 + 1));
+        for _ in 0..n {
+            out.push(self.i128()?);
+        }
+        Ok(out)
+    }
+
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.off == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::LengthMismatch {
+                expected: self.off,
+                got: self.buf.len(),
+            })
+        }
+    }
+}
+
+fn write_i128s(vals: &[i128], out: &mut Vec<u8>) {
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OwnershipStatement
+// ---------------------------------------------------------------------------
+
+/// The public half of an extraction circuit: everything a verifier needs to
+/// check an ownership claim, and nothing the prover must keep secret.
+///
+/// Carries the quantized suspect model (its parameters are the circuit's
+/// public inputs), the BER threshold, the averaging mode, the fixed-point
+/// configuration and the watermark *dimensions* (trigger count, signature
+/// length) — but never the trigger keys, the projection matrix or the
+/// signature bits themselves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnershipStatement {
+    /// The quantized suspect model under dispute (public). Its `cfg` must
+    /// equal [`Self::cfg`] — the wire format stores the configuration once
+    /// and normalizes `model.cfg` to it on decode, so a hand-built
+    /// statement with diverging configurations will not round-trip
+    /// identically.
+    pub model: QuantizedModel,
+    /// Trigger-set size `T` (shape only; the triggers stay private).
+    pub num_triggers: usize,
+    /// Signature length `N` (shape only; the bits stay private).
+    pub signature_bits: usize,
+    /// Maximum tolerated bit errors (`θ·N`, baked into the circuit).
+    pub max_errors: u64,
+    /// Whether the `1/T` average is folded into the projection matrix.
+    pub fold_average: bool,
+    /// The canonical fixed-point configuration (also applied to
+    /// [`Self::model`] when decoding).
+    pub cfg: FixedConfig,
+}
+
+const LAYER_DENSE: u8 = 0;
+const LAYER_RELU: u8 = 1;
+const LAYER_IDENTITY: u8 = 2;
+const LAYER_MAXPOOL: u8 = 3;
+const LAYER_CONV: u8 = 4;
+
+fn write_layer_shape(layer: &QuantLayer, out: &mut Vec<u8>) {
+    match layer {
+        QuantLayer::Dense {
+            in_dim, out_dim, ..
+        } => {
+            out.push(LAYER_DENSE);
+            out.extend_from_slice(&(*in_dim as u64).to_le_bytes());
+            out.extend_from_slice(&(*out_dim as u64).to_le_bytes());
+        }
+        QuantLayer::ReLU => out.push(LAYER_RELU),
+        QuantLayer::Identity => out.push(LAYER_IDENTITY),
+        QuantLayer::MaxPool {
+            channels,
+            height,
+            width,
+            size,
+            stride,
+        } => {
+            out.push(LAYER_MAXPOOL);
+            for d in [channels, height, width, size, stride] {
+                out.extend_from_slice(&(*d as u64).to_le_bytes());
+            }
+        }
+        QuantLayer::Conv { shape, .. } => {
+            out.push(LAYER_CONV);
+            for d in [
+                shape.in_channels,
+                shape.height,
+                shape.width,
+                shape.out_channels,
+                shape.kernel,
+                shape.stride,
+            ] {
+                out.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Computes the circuit-shape digest from borrowed parts, so callers that
+/// hold an `ExtractionSpec` don't have to clone the (potentially
+/// multi-megabyte) model into a statement first.
+///
+/// The preimage is versioned by its own domain tag — deliberately *not* by
+/// [`WIRE_VERSION`], so envelope-format bumps never orphan existing
+/// trusted-setup keys: rev the tag only when the shape encoding itself
+/// changes.
+pub(crate) fn circuit_id_from_parts(
+    model: &QuantizedModel,
+    num_triggers: usize,
+    signature_bits: usize,
+    max_errors: u64,
+    fold_average: bool,
+    cfg: &FixedConfig,
+) -> CircuitId {
+    let mut t = Vec::with_capacity(128);
+    t.extend_from_slice(b"zkrownn.circuit.v1");
+    t.extend_from_slice(&cfg.frac_bits.to_le_bytes());
+    t.extend_from_slice(&cfg.sigmoid_frac_bits.to_le_bytes());
+    t.extend_from_slice(&cfg.int_bits.to_le_bytes());
+    t.push(u8::from(fold_average));
+    t.extend_from_slice(&max_errors.to_le_bytes());
+    t.extend_from_slice(&(num_triggers as u64).to_le_bytes());
+    t.extend_from_slice(&(signature_bits as u64).to_le_bytes());
+    t.extend_from_slice(&(model.input_len as u64).to_le_bytes());
+    t.extend_from_slice(&(model.layers.len() as u64).to_le_bytes());
+    for layer in &model.layers {
+        write_layer_shape(layer, &mut t);
+    }
+    CircuitId(sha256(&t))
+}
+
+impl OwnershipStatement {
+    /// The circuit-shape digest tying this statement to its keys and proofs.
+    pub fn circuit_id(&self) -> CircuitId {
+        circuit_id_from_parts(
+            &self.model,
+            self.num_triggers,
+            self.signature_bits,
+            self.max_errors,
+            self.fold_average,
+            &self.cfg,
+        )
+    }
+
+    /// SHA-256 over the full payload (shape *and* parameter values) — unlike
+    /// the [`CircuitId`], this distinguishes two same-shaped models, so it
+    /// keys per-statement caches such as prepared public-input vectors.
+    pub fn content_digest(&self) -> [u8; 32] {
+        let mut payload = Vec::with_capacity(self.payload_size());
+        self.write_payload(&mut payload);
+        sha256(&payload)
+    }
+
+    /// The verifier-side public input vector: model parameters followed by
+    /// the expected verdict bit. Excludes the implicit leading constant.
+    pub fn public_inputs(&self, expected_verdict: bool) -> Vec<Fr> {
+        let mut out = self.model_inputs();
+        out.push(Fr::from_i128(i128::from(expected_verdict)));
+        out
+    }
+
+    /// The model-parameter prefix of the public input vector (everything but
+    /// the verdict). Batch verification prepares this once per statement.
+    pub fn model_inputs(&self) -> Vec<Fr> {
+        self.model
+            .params_in_order()
+            .iter()
+            .map(|&v| Fr::from_i128(v))
+            .collect()
+    }
+}
+
+impl Artifact for OwnershipStatement {
+    const KIND: ArtifactKind = ArtifactKind::Statement;
+
+    fn payload_size(&self) -> usize {
+        let mut size = 3 * 4 + 1 + 8 + 8 + 8 + 8 + 8; // cfg, fold, θ, T, N, input_len, #layers
+        for layer in &self.model.layers {
+            size += 1; // tag
+            size += match layer {
+                QuantLayer::Dense { w, b, .. } => 2 * 8 + 16 * (w.len() + b.len()),
+                QuantLayer::ReLU | QuantLayer::Identity => 0,
+                QuantLayer::MaxPool { .. } => 5 * 8,
+                QuantLayer::Conv { w, b, .. } => 6 * 8 + 16 * (w.len() + b.len()),
+            };
+        }
+        size
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.cfg.frac_bits.to_le_bytes());
+        out.extend_from_slice(&self.cfg.sigmoid_frac_bits.to_le_bytes());
+        out.extend_from_slice(&self.cfg.int_bits.to_le_bytes());
+        out.push(u8::from(self.fold_average));
+        out.extend_from_slice(&self.max_errors.to_le_bytes());
+        out.extend_from_slice(&(self.num_triggers as u64).to_le_bytes());
+        out.extend_from_slice(&(self.signature_bits as u64).to_le_bytes());
+        out.extend_from_slice(&(self.model.input_len as u64).to_le_bytes());
+        out.extend_from_slice(&(self.model.layers.len() as u64).to_le_bytes());
+        for layer in &self.model.layers {
+            write_layer_shape(layer, out);
+            match layer {
+                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                    write_i128s(w, out);
+                    write_i128s(b, out);
+                }
+                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {}
+            }
+        }
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let cfg = FixedConfig {
+            frac_bits: r.u32()?,
+            sigmoid_frac_bits: r.u32()?,
+            int_bits: r.u32()?,
+        };
+        let fold_average = r.bool()?;
+        let max_errors = r.u64()?;
+        let num_triggers = r.len()?;
+        let signature_bits = r.len()?;
+        let input_len = r.len()?;
+        let num_layers = r.len()?;
+        let mut layers = Vec::with_capacity(num_layers.min(payload.len() + 1));
+        for _ in 0..num_layers {
+            let layer = match r.u8()? {
+                LAYER_DENSE => {
+                    let in_dim = r.len()?;
+                    let out_dim = r.len()?;
+                    let n_w = in_dim
+                        .checked_mul(out_dim)
+                        .ok_or(WireError::Malformed("dense parameter count overflow"))?;
+                    QuantLayer::Dense {
+                        in_dim,
+                        out_dim,
+                        w: r.i128_vec(n_w)?,
+                        b: r.i128_vec(out_dim)?,
+                    }
+                }
+                LAYER_RELU => QuantLayer::ReLU,
+                LAYER_IDENTITY => QuantLayer::Identity,
+                LAYER_MAXPOOL => QuantLayer::MaxPool {
+                    channels: r.len()?,
+                    height: r.len()?,
+                    width: r.len()?,
+                    size: r.len()?,
+                    stride: r.len()?,
+                },
+                LAYER_CONV => {
+                    let shape = ConvShape {
+                        in_channels: r.len()?,
+                        height: r.len()?,
+                        width: r.len()?,
+                        out_channels: r.len()?,
+                        kernel: r.len()?,
+                        stride: r.len()?,
+                    };
+                    let n_w = shape
+                        .in_channels
+                        .checked_mul(shape.kernel)
+                        .and_then(|n| n.checked_mul(shape.kernel))
+                        .and_then(|n| n.checked_mul(shape.out_channels))
+                        .ok_or(WireError::Malformed("conv parameter count overflow"))?;
+                    QuantLayer::Conv {
+                        shape,
+                        w: r.i128_vec(n_w)?,
+                        b: r.i128_vec(shape.out_channels)?,
+                    }
+                }
+                _ => return Err(WireError::Malformed("unknown layer tag")),
+            };
+            layers.push(layer);
+        }
+        r.finish()?;
+        Ok(Self {
+            model: QuantizedModel {
+                layers,
+                input_len,
+                cfg,
+            },
+            num_triggers,
+            signature_bits,
+            max_errors,
+            fold_average,
+            cfg,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact impls for the Groth16 key material
+// ---------------------------------------------------------------------------
+
+impl Artifact for VerifyingKey {
+    const KIND: ArtifactKind = ArtifactKind::VerifyingKey;
+
+    fn payload_size(&self) -> usize {
+        self.serialized_size()
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        self.write_bytes(out);
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        VerifyingKey::from_bytes(payload).map_err(WireError::Key)
+    }
+}
+
+impl Artifact for ProvingKey {
+    const KIND: ArtifactKind = ArtifactKind::ProvingKey;
+
+    fn payload_size(&self) -> usize {
+        self.serialized_size()
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        self.write_bytes(out);
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        ProvingKey::from_bytes(payload).map_err(WireError::Key)
+    }
+}

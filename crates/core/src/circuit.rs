@@ -19,6 +19,7 @@
 //! applies to its end-to-end circuits; we use it for the CNN, whose
 //! 7200-dimensional activation map would otherwise dominate the circuit.
 
+use crate::artifact::{CircuitId, OwnershipStatement};
 use crate::model::{QuantLayer, QuantizedModel};
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::average::average_rows;
@@ -63,6 +64,41 @@ pub struct BuiltCircuit {
 }
 
 impl ExtractionSpec {
+    /// The public half of this spec: everything a verifier needs, nothing
+    /// the prover must keep secret (no triggers, projection or signature —
+    /// only their dimensions). The statement's fixed-point configuration is
+    /// canonical: the embedded model is normalized to it.
+    pub fn statement(&self) -> OwnershipStatement {
+        debug_assert_eq!(
+            self.model.cfg, self.cfg,
+            "spec and model disagree on the fixed-point configuration"
+        );
+        let mut model = self.model.clone();
+        model.cfg = self.cfg;
+        OwnershipStatement {
+            model,
+            num_triggers: self.triggers.len(),
+            signature_bits: self.signature.len(),
+            max_errors: self.max_errors,
+            fold_average: self.fold_average,
+            cfg: self.cfg,
+        }
+    }
+
+    /// The shape digest of the circuit this spec builds (same shape ⇒ same
+    /// circuit ⇒ same trusted-setup keys). Computed from borrowed data — no
+    /// model clone.
+    pub fn circuit_id(&self) -> CircuitId {
+        crate::artifact::circuit_id_from_parts(
+            &self.model,
+            self.triggers.len(),
+            self.signature.len(),
+            self.max_errors,
+            self.fold_average,
+            &self.cfg,
+        )
+    }
+
     /// Shape-compatible spec with zeroed witness values, for trusted setup
     /// (the circuit structure is assignment-independent).
     pub fn placeholder_witness(&self) -> Self {

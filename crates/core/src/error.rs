@@ -1,0 +1,92 @@
+//! The unified error hierarchy for the ownership workflow.
+//!
+//! One enum covers every failure a party can hit — malformed wire bytes,
+//! an unsatisfiable witness, a forged proof, a *valid* proof that merely
+//! attests the watermark is absent, and circuit-identity mismatches — so
+//! callers match on one type end to end instead of juggling `Option`s and
+//! per-layer error enums.
+
+use crate::artifact::{CircuitId, WireError};
+use zkrownn_groth16::VerificationError;
+
+/// Everything that can go wrong in the ZKROWNN workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZkrownnError {
+    /// An artifact failed to decode (bad envelope, corrupted payload,
+    /// invalid curve point, …).
+    Wire(WireError),
+    /// The witness does not satisfy the extraction circuit at the given row
+    /// (internal bug — an honest spec always satisfies it; the *verdict*
+    /// may still be 0).
+    UnsatisfiedCircuit(usize),
+    /// The proof does not verify: it is forged, tampered with, or bound to
+    /// different public inputs (e.g. another model's weights).
+    InvalidProof(VerificationError),
+    /// The proof is *cryptographically valid* but attests verdict 0: the
+    /// watermark was **not** recovered within the BER threshold. Distinct
+    /// from [`Self::InvalidProof`] so a dispute can tell "forged claim"
+    /// from "watermark genuinely absent".
+    NegativeVerdict,
+    /// The claim's statement is not the statement the verifier is bound
+    /// to: the proof may be sound, but it is about a *different* model
+    /// than the one under dispute.
+    StatementMismatch,
+    /// Artifacts disagree about which circuit they belong to.
+    CircuitMismatch {
+        /// The circuit id the verifier (or the claim's proof) expected.
+        expected: CircuitId,
+        /// The circuit id actually found.
+        got: CircuitId,
+    },
+    /// No verifying key is registered for the claim's circuit.
+    UnknownCircuit(CircuitId),
+}
+
+impl core::fmt::Display for ZkrownnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "artifact decode failed: {e}"),
+            Self::UnsatisfiedCircuit(i) => write!(f, "extraction circuit violated at row {i}"),
+            Self::InvalidProof(e) => write!(f, "ownership proof rejected: {e}"),
+            Self::NegativeVerdict => write!(
+                f,
+                "proof is valid but attests a negative verdict (watermark not recovered)"
+            ),
+            Self::StatementMismatch => write!(
+                f,
+                "claim is about a different statement than the one under dispute"
+            ),
+            Self::CircuitMismatch { expected, got } => write!(
+                f,
+                "circuit mismatch: expected {}, got {}",
+                expected.short(),
+                got.short()
+            ),
+            Self::UnknownCircuit(id) => {
+                write!(f, "no verifying key registered for circuit {}", id.short())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZkrownnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            Self::InvalidProof(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ZkrownnError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<VerificationError> for ZkrownnError {
+    fn from(e: VerificationError) -> Self {
+        Self::InvalidProof(e)
+    }
+}

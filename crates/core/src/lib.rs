@@ -6,31 +6,122 @@
 //! trigger keys, the projection matrix or the signature. Any third party
 //! verifies the 128-byte proof in milliseconds with only the verifying key.
 //!
-//! Pipeline (Figure 1 / Algorithm 1 of the paper):
+//! ## The artifact-centric workflow
 //!
-//! 1. [`model::QuantizedModel`] — quantize the public suspect model;
-//! 2. [`circuit::ExtractionSpec`] — assemble the watermark-extraction
-//!    circuit (feed-forward → average → project → sigmoid → threshold →
-//!    BER);
-//! 3. [`prove::setup`] — one-time circuit-specific trusted setup;
-//! 4. [`prove::prove`] — generate the ownership proof (once);
-//! 5. [`prove::verify`] — public verification by anyone.
+//! Setup, proving and verification are performed by *different parties*
+//! exchanging compact artifacts, so the API is organized around three
+//! role types and a wire format:
 //!
-//! The [`mod@reference`] module re-implements the extraction with bit-identical
-//! fixed-point semantics outside the circuit, [`benchmarks`] hosts the
-//! Table II model zoo (MNIST-MLP / CIFAR10-CNN) with watermark embedding,
-//! and [`inference`] extends the gadget stack to verifiable ML inference
-//! (the extension highlighted in the paper's conclusion).
+//! 1. [`Authority::setup`] — a trusted party runs the one-time,
+//!    circuit-specific setup (it sees only the public circuit shape) and
+//!    hands out a [`ProverKit`] and a [`VerifierKit`];
+//! 2. [`ProverKit::prove`] — the owner, who alone holds the private
+//!    watermark witness, produces a [`SignedClaim`]: the public
+//!    [`OwnershipStatement`] plus an [`OwnershipProof`];
+//! 3. [`VerifierKit::verify`] / [`KeyRegistry::verify_batch`] — anyone
+//!    checks claims with public data only; kits issued by the authority
+//!    are pinned to the disputed model's statement (a sound claim about a
+//!    *different* model fails with [`ZkrownnError::StatementMismatch`]),
+//!    and a registry caches pairing precomputation per [`CircuitId`] and
+//!    amortizes whole batches.
+//!
+//! Every exchanged object implements [`Artifact`] — a versioned,
+//! checksummed, self-identifying byte encoding — so kits and claims can be
+//! reconstructed in another process with nothing but `from_bytes`. All
+//! failures surface as one [`ZkrownnError`], which in particular separates
+//! a *forged* proof ([`ZkrownnError::InvalidProof`]) from a *valid proof
+//! that the watermark is absent* ([`ZkrownnError::NegativeVerdict`]).
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use zkrownn::{Artifact, Authority, ExtractionSpec, KeyRegistry, SignedClaim};
+//! use zkrownn::{QuantLayer, QuantizedModel};
+//! use zkrownn_gadgets::FixedConfig;
+//!
+//! # fn main() -> Result<(), zkrownn::ZkrownnError> {
+//! // a (tiny) public suspect model and the owner's private witness
+//! let cfg = FixedConfig::default();
+//! let model = QuantizedModel {
+//!     layers: vec![
+//!         QuantLayer::Dense {
+//!             in_dim: 2,
+//!             out_dim: 2,
+//!             w: vec![cfg.encode(0.5); 4],
+//!             b: vec![0; 2],
+//!         },
+//!         QuantLayer::ReLU,
+//!     ],
+//!     input_len: 2,
+//!     cfg,
+//! };
+//! let spec = ExtractionSpec {
+//!     model,
+//!     triggers: vec![vec![cfg.encode(1.0); 2]],     // private
+//!     projection: vec![cfg.encode(0.25); 4],        // private
+//!     signature: vec![true, false],                 // private
+//!     max_errors: 2,
+//!     fold_average: false,
+//!     cfg,
+//! };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! // 1. the authority hands each party its kit
+//! let (prover, verifier) = Authority::setup(&spec, &mut rng);
+//!
+//! // 2. the owner generates a claim and ships it as bytes
+//! let claim = prover.prove(&mut rng)?;
+//! let wire: Vec<u8> = claim.to_bytes();
+//!
+//! // 3. any third party reconstructs and verifies — public data only
+//! let received = SignedClaim::from_bytes(&wire)?;
+//! verifier.verify(&received)?;
+//!
+//! // services register the key once and verify claims in bulk
+//! let mut registry = KeyRegistry::new();
+//! registry.register_kit(&verifier);
+//! for result in registry.verify_batch(&[received], &mut rng) {
+//!     result?;
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`model`] / [`circuit`] — quantize the suspect model and assemble the
+//!   watermark-extraction circuit (feed-forward → average → project →
+//!   sigmoid → threshold → BER, Algorithm 1 of the paper);
+//! * [`artifact`] — the wire format: [`Artifact`] envelopes, [`CircuitId`]
+//!   shape digests, the [`OwnershipStatement`];
+//! * [`session`] — the role types ([`Authority`], [`ProverKit`],
+//!   [`VerifierKit`], [`SignedClaim`]);
+//! * [`registry`] — [`KeyRegistry`]: cached key preparation + batch
+//!   verification;
+//! * [`prove`] — the proof object and the deprecated free-function shims;
+//! * [`mod@reference`] — bit-identical fixed-point extraction outside the
+//!   circuit; [`benchmarks`] — the Table II model zoo; [`inference`] —
+//!   verifiable ML inference (the paper's conclusion extension).
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod benchmarks;
 pub mod circuit;
+pub mod error;
 pub mod inference;
 pub mod model;
 pub mod prove;
 pub mod reference;
+pub mod registry;
+pub mod session;
 
+pub use artifact::{Artifact, ArtifactKind, CircuitId, OwnershipStatement, WireError};
 pub use circuit::{BuiltCircuit, ExtractionSpec};
+pub use error::ZkrownnError;
 pub use model::{QuantLayer, QuantizedModel};
-pub use prove::{prove, setup, verify, verify_prepared, OwnershipError, OwnershipProof};
+pub use prove::OwnershipProof;
+pub use registry::KeyRegistry;
+pub use session::{Authority, ProverKit, SignedClaim, VerifierKit};
+
+#[allow(deprecated)]
+pub use prove::{prove, setup, verify, verify_prepared, OwnershipError};

@@ -1,43 +1,67 @@
-//! The ZKROWNN ownership-proof API: one-time setup, one-time proof
-//! generation, and millisecond public verification (Figure 1 of the paper).
+//! The ownership proof object, plus the original free-function API kept as
+//! thin deprecated shims for one release.
+//!
+//! New code should use the role-typed workflow instead: an authority calls
+//! [`Authority::setup`](crate::Authority::setup), the owner calls
+//! [`ProverKit::prove`](crate::ProverKit::prove), verifiers call
+//! [`VerifierKit::verify`](crate::VerifierKit::verify) or go through a
+//! [`KeyRegistry`](crate::KeyRegistry) for amortized batches. The shims
+//! keep their original standalone bodies (delegating would force a
+//! proving-key/spec clone per call) but behave identically to the kit path
+//! — including the [`ZkrownnError::NegativeVerdict`] distinction — and are
+//! pinned to it by `deprecated_free_function_shims_still_work` in the
+//! end-to-end suite.
 
+use crate::artifact::{Artifact, ArtifactKind, CircuitId, Reader, WireError};
 use crate::circuit::ExtractionSpec;
-use zkrownn_ff::Fr;
+use crate::error::ZkrownnError;
 use zkrownn_groth16::{
     create_proof, generate_parameters, verify_proof_prepared, PreparedVerifyingKey, Proof,
     ProvingKey, VerifyingKey,
 };
 
-/// Errors from the ownership-proof workflow.
-#[derive(Debug)]
-pub enum OwnershipError {
-    /// The witness does not satisfy the extraction circuit (internal bug —
-    /// an honest spec always satisfies it; the *verdict* may still be 0).
-    UnsatisfiedCircuit(usize),
-    /// Verification failed: the proof does not establish ownership of the
-    /// stated model.
-    InvalidProof(zkrownn_groth16::VerificationError),
-}
+/// The old two-variant error type, now an alias of the unified hierarchy.
+#[deprecated(note = "use ZkrownnError, which this now aliases")]
+pub type OwnershipError = ZkrownnError;
 
-impl core::fmt::Display for OwnershipError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            Self::UnsatisfiedCircuit(i) => write!(f, "extraction circuit violated at row {i}"),
-            Self::InvalidProof(e) => write!(f, "ownership proof rejected: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for OwnershipError {}
-
-/// An ownership proof together with the verdict it attests to.
-#[derive(Clone, Debug)]
+/// An ownership proof: the 128-byte Groth16 proof, the public verdict it
+/// attests, and the id of the circuit it belongs to.
+#[derive(Clone, Debug, PartialEq)]
 pub struct OwnershipProof {
     /// The 128-byte Groth16 proof.
     pub proof: Proof,
     /// The public verdict (`true` — the watermark was recovered within the
     /// BER threshold).
     pub verdict: bool,
+    /// Shape digest of the circuit this proof was generated for.
+    pub circuit_id: CircuitId,
+}
+
+impl Artifact for OwnershipProof {
+    const KIND: ArtifactKind = ArtifactKind::Proof;
+
+    fn payload_size(&self) -> usize {
+        32 + 1 + Proof::SIZE
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.circuit_id.as_bytes());
+        out.push(u8::from(self.verdict));
+        out.extend_from_slice(&self.proof.to_bytes());
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let circuit_id = CircuitId::from_bytes(r.take(32)?.try_into().unwrap());
+        let verdict = r.bool()?;
+        let proof = Proof::from_bytes(r.take(Proof::SIZE)?).map_err(WireError::Key)?;
+        r.finish()?;
+        Ok(Self {
+            proof,
+            verdict,
+            circuit_id,
+        })
+    }
 }
 
 /// Runs the one-time trusted setup for an extraction circuit.
@@ -45,53 +69,58 @@ pub struct OwnershipProof {
 /// Only the *shape* of the spec matters (a placeholder witness is used), so
 /// a trusted third party can run this knowing just the public model and the
 /// watermark dimensions.
+#[deprecated(note = "use Authority::setup, which returns role-typed kits")]
 pub fn setup<R: rand::Rng + ?Sized>(spec: &ExtractionSpec, rng: &mut R) -> ProvingKey {
     let built = spec.placeholder_witness().build();
     generate_parameters(&built.cs.to_matrices(), rng)
 }
 
 /// Generates the ownership proof (the prover `P` of the paper).
+#[deprecated(note = "use ProverKit::prove, which returns a portable SignedClaim")]
 pub fn prove<R: rand::Rng + ?Sized>(
     pk: &ProvingKey,
     spec: &ExtractionSpec,
     rng: &mut R,
-) -> Result<OwnershipProof, OwnershipError> {
+) -> Result<OwnershipProof, ZkrownnError> {
     let built = spec.build();
     built
         .cs
         .is_satisfied()
-        .map_err(OwnershipError::UnsatisfiedCircuit)?;
+        .map_err(ZkrownnError::UnsatisfiedCircuit)?;
     let proof = create_proof(pk, &built.cs, rng);
     Ok(OwnershipProof {
         proof,
         verdict: built.verdict,
+        circuit_id: spec.circuit_id(),
     })
 }
 
 /// Verifies an ownership proof against the public model (the third-party
 /// verifier `V`; needs only the verifying key).
+#[deprecated(note = "use VerifierKit::verify or KeyRegistry::verify_batch")]
 pub fn verify(
     vk: &VerifyingKey,
     spec_public: &ExtractionSpec,
     proof: &OwnershipProof,
-) -> Result<(), OwnershipError> {
+) -> Result<(), ZkrownnError> {
+    #[allow(deprecated)]
     verify_prepared(&vk.prepare(), spec_public, proof)
 }
 
 /// Verification against a prepared key (amortizes pairing precomputation
 /// across many verifications).
+#[deprecated(note = "use VerifierKit::verify or KeyRegistry::verify_batch")]
 pub fn verify_prepared(
     pvk: &PreparedVerifyingKey,
     spec_public: &ExtractionSpec,
     proof: &OwnershipProof,
-) -> Result<(), OwnershipError> {
-    let inputs: Vec<Fr> = spec_public.public_inputs(proof.verdict);
-    verify_proof_prepared(pvk, &proof.proof, &inputs).map_err(OwnershipError::InvalidProof)?;
+) -> Result<(), ZkrownnError> {
+    let inputs = spec_public.public_inputs(proof.verdict);
+    verify_proof_prepared(pvk, &proof.proof, &inputs).map_err(ZkrownnError::InvalidProof)?;
     if !proof.verdict {
-        // a valid proof of a *negative* verdict is not an ownership claim
-        return Err(OwnershipError::InvalidProof(
-            zkrownn_groth16::VerificationError::InvalidProof,
-        ));
+        // a *valid* proof of a negative verdict is not an ownership claim,
+        // but it is not a forgery either — report it as what it is
+        return Err(ZkrownnError::NegativeVerdict);
     }
     Ok(())
 }

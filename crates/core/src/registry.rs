@@ -1,0 +1,179 @@
+//! The verifier-side key registry: cached pairing precomputation and
+//! amortized batch verification.
+//!
+//! A verification service receives many claims from many claimants, most of
+//! them against a handful of circuits (one per disputed model family). Two
+//! costs dominate a naive per-claim loop and are amortizable:
+//!
+//! * **pairing precomputation** — `VerifyingKey::prepare` runs `e(α, β)`
+//!   and the G2 line precomputations; the [`KeyRegistry`] does it once per
+//!   [`CircuitId`] and caches the result;
+//! * **input preparation** — embedding the suspect model's parameters into
+//!   the scalar field; [`KeyRegistry::verify_batch`] does it once per
+//!   distinct statement, not once per claim.
+//!
+//! On top of that, `verify_batch` folds all positive same-circuit claims
+//! into one random-linear-combination pairing check (`2n + 2` Miller loops
+//! instead of `3n`), falling back to per-claim verification only when the
+//! combined check fails — so a batch with a single forged claim still
+//! yields precise per-claim verdicts.
+//!
+//! Note that the registry authenticates each claim against the statement
+//! *it carries*: `Ok(())` means "the watermark is in the model the claimant
+//! described". A service adjudicating a dispute over one specific model
+//! must additionally pin claims to that model's statement — compare
+//! `claim.statement.content_digest()` against the disputed statement's
+//! digest, as [`crate::VerifierKit::bind_statement`] does for the
+//! single-kit path.
+
+use crate::artifact::CircuitId;
+use crate::error::ZkrownnError;
+use crate::session::{check_claim_identity, verify_claim_prepared, SignedClaim, VerifierKit};
+use std::collections::HashMap;
+use zkrownn_ff::{Fr, PrimeField};
+use zkrownn_groth16::{
+    verify_proof_prepared, verify_proofs_batch, PreparedVerifyingKey, Proof, VerifyingKey,
+};
+
+/// A cache of prepared verifying keys, indexed by circuit id.
+#[derive(Default)]
+pub struct KeyRegistry {
+    prepared: HashMap<CircuitId, PreparedVerifyingKey>,
+    preparations: usize,
+}
+
+impl KeyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a verifying key for a circuit, preparing it (pairing
+    /// precomputation) unless that circuit is already cached. Returns
+    /// `true` if the key was newly prepared.
+    pub fn register(&mut self, id: CircuitId, vk: &VerifyingKey) -> bool {
+        if self.prepared.contains_key(&id) {
+            return false;
+        }
+        self.prepared.insert(id, vk.prepare());
+        self.preparations += 1;
+        true
+    }
+
+    /// Registers a [`VerifierKit`]'s key under its circuit id.
+    pub fn register_kit(&mut self, kit: &VerifierKit) -> bool {
+        self.register(kit.circuit_id(), kit.verifying_key())
+    }
+
+    /// Whether a circuit's key is registered.
+    pub fn contains(&self, id: CircuitId) -> bool {
+        self.prepared.contains_key(&id)
+    }
+
+    /// Number of registered circuits.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// How many pairing precomputations this registry has run — one per
+    /// registered circuit, however many claims are verified against it.
+    pub fn preparations(&self) -> usize {
+        self.preparations
+    }
+
+    /// Verifies a single claim against the registered keys.
+    pub fn verify(&self, claim: &SignedClaim) -> Result<(), ZkrownnError> {
+        let id = claim.circuit_id();
+        let pvk = self
+            .prepared
+            .get(&id)
+            .ok_or(ZkrownnError::UnknownCircuit(id))?;
+        verify_claim_prepared(pvk, id, claim)
+    }
+
+    /// Verifies many claims, amortizing everything amortizable, and returns
+    /// one `Result` per claim (index-aligned with `claims`).
+    ///
+    /// Claims are grouped by circuit id; within a group, public-input
+    /// vectors are prepared once per distinct statement, and all positive
+    /// claims are checked with a single random-linear-combination pairing
+    /// equation (coefficients drawn from `rng`). If the combined check
+    /// fails, the group falls back to per-claim verification so exactly the
+    /// bad claims are flagged. Negative-verdict claims are verified
+    /// individually and reported as [`ZkrownnError::NegativeVerdict`] when
+    /// their proof is sound (a forged negative claim still reports
+    /// [`ZkrownnError::InvalidProof`]).
+    pub fn verify_batch<R: rand::Rng + ?Sized>(
+        &self,
+        claims: &[SignedClaim],
+        rng: &mut R,
+    ) -> Vec<Result<(), ZkrownnError>> {
+        let mut results: Vec<Result<(), ZkrownnError>> = vec![Ok(()); claims.len()];
+
+        // group by the circuit the proof names
+        let mut groups: HashMap<CircuitId, Vec<usize>> = HashMap::new();
+        for (i, claim) in claims.iter().enumerate() {
+            groups.entry(claim.circuit_id()).or_default().push(i);
+        }
+
+        for (id, indices) in groups {
+            let Some(pvk) = self.prepared.get(&id) else {
+                for i in indices {
+                    results[i] = Err(ZkrownnError::UnknownCircuit(id));
+                }
+                continue;
+            };
+
+            // public-input preparation, once per distinct statement
+            let mut input_cache: HashMap<[u8; 32], Vec<Fr>> = HashMap::new();
+            // positive claims eligible for the combined pairing check,
+            // built directly in the shape `verify_proofs_batch` consumes
+            let mut positive_idx: Vec<usize> = Vec::new();
+            let mut batch: Vec<(Proof, Vec<Fr>)> = Vec::new();
+
+            for i in indices {
+                let claim = &claims[i];
+                if let Err(e) = check_claim_identity(id, claim) {
+                    results[i] = Err(e);
+                    continue;
+                }
+                let params = input_cache
+                    .entry(claim.statement.content_digest())
+                    .or_insert_with(|| claim.statement.model_inputs());
+                let mut inputs = params.clone();
+                inputs.push(Fr::from_i128(i128::from(claim.proof.verdict)));
+                if claim.proof.verdict {
+                    positive_idx.push(i);
+                    batch.push((claim.proof.proof.clone(), inputs));
+                } else {
+                    // sound-but-negative vs. forged must stay distinguishable,
+                    // so negatives are never folded into the combined check
+                    results[i] = match verify_proof_prepared(pvk, &claim.proof.proof, &inputs) {
+                        Ok(()) => Err(ZkrownnError::NegativeVerdict),
+                        Err(e) => Err(ZkrownnError::InvalidProof(e)),
+                    };
+                }
+            }
+
+            if batch.is_empty() {
+                continue;
+            }
+            match verify_proofs_batch(pvk, &batch, rng) {
+                Ok(()) => {} // every positive claim verified (already Ok)
+                Err(_) => {
+                    // locate the bad claims individually
+                    for (i, (proof, inputs)) in positive_idx.iter().zip(&batch) {
+                        results[*i] = verify_proof_prepared(pvk, proof, inputs)
+                            .map_err(ZkrownnError::InvalidProof);
+                    }
+                }
+            }
+        }
+        results
+    }
+}

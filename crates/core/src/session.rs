@@ -1,0 +1,292 @@
+//! Role-typed sessions encoding the paper's trust model at compile time.
+//!
+//! ZKROWNN has three parties with strictly different knowledge:
+//!
+//! * the **authority** runs the one-time trusted setup for a circuit shape
+//!   and hands each side its kit — [`Authority::setup`];
+//! * the **prover** (model owner) holds the private watermark witness and
+//!   the proving key — [`ProverKit::prove`] turns them into a portable
+//!   [`SignedClaim`];
+//! * the **verifier** holds only public data (the verifying key and the
+//!   circuit id) — [`VerifierKit::verify`] checks a claim without ever
+//!   seeing a trigger key, projection matrix or signature bit.
+//!
+//! The kits make leaking a secret a *type error*: nothing on
+//! [`VerifierKit`] can reach witness data, because the verifier side never
+//! holds any. Claims serialize with [`Artifact::to_bytes`] and reconstruct
+//! in another process with [`Artifact::from_bytes`]; many claims against
+//! the same circuit amortize via [`crate::KeyRegistry::verify_batch`].
+
+use crate::artifact::{Artifact, ArtifactKind, CircuitId, OwnershipStatement, Reader, WireError};
+use crate::circuit::ExtractionSpec;
+use crate::error::ZkrownnError;
+use crate::prove::OwnershipProof;
+use zkrownn_groth16::{
+    create_proof, generate_parameters, verify_proof_prepared, PreparedVerifyingKey, ProvingKey,
+    VerifyingKey,
+};
+
+/// The trusted-setup authority (the paper's trusted third party `T`).
+///
+/// Runs circuit-specific setup once per circuit *shape* and splits the
+/// result into the two role kits. Setup only needs the public shape — a
+/// placeholder witness is used — so the authority learns nothing about the
+/// watermark.
+pub struct Authority;
+
+impl Authority {
+    /// One-time trusted setup for `spec`'s circuit, returning the prover's
+    /// and verifier's kits.
+    ///
+    /// The [`ProverKit`] keeps the full spec (private witness included) and
+    /// the proving key; the [`VerifierKit`] gets only the verifying key and
+    /// the circuit id.
+    pub fn setup<R: rand::Rng + ?Sized>(
+        spec: &ExtractionSpec,
+        rng: &mut R,
+    ) -> (ProverKit, VerifierKit) {
+        let built = spec.placeholder_witness().build();
+        let pk = generate_parameters(&built.cs.to_matrices(), rng);
+        let vk = pk.vk.clone();
+        let circuit_id = spec.circuit_id();
+        // the setup was requested for *this* dispute, so the issued kit is
+        // bound to this spec's public statement: a claim about any other
+        // same-shaped model will be rejected with `StatementMismatch`
+        let verifier = VerifierKit::from_parts(vk, circuit_id)
+            .bind_statement(spec.statement().content_digest());
+        (
+            ProverKit {
+                pk,
+                spec: spec.clone(),
+                circuit_id,
+            },
+            verifier,
+        )
+    }
+}
+
+/// The model owner's side: proving key + private watermark witness.
+///
+/// This is the only type in the workflow that holds secrets (trigger keys,
+/// projection matrix, signature). It never serializes them; the only thing
+/// it exports is a [`SignedClaim`], which carries public data and a
+/// zero-knowledge proof.
+pub struct ProverKit {
+    pk: ProvingKey,
+    spec: ExtractionSpec,
+    circuit_id: CircuitId,
+}
+
+impl ProverKit {
+    /// Reassembles a kit from a proving key and a spec — e.g. after
+    /// receiving the key bytes from an authority in another process.
+    pub fn from_parts(pk: ProvingKey, spec: ExtractionSpec) -> Self {
+        let circuit_id = spec.circuit_id();
+        Self {
+            pk,
+            spec,
+            circuit_id,
+        }
+    }
+
+    /// The circuit this kit proves against.
+    pub fn circuit_id(&self) -> CircuitId {
+        self.circuit_id
+    }
+
+    /// The public statement this kit's claims will carry.
+    pub fn statement(&self) -> OwnershipStatement {
+        self.spec.statement()
+    }
+
+    /// The proving key (needed to persist or ship the prover role).
+    pub fn proving_key(&self) -> &ProvingKey {
+        &self.pk
+    }
+
+    /// Generates an ownership claim: builds the witnessed circuit, proves
+    /// it, and bundles the proof with the public statement.
+    pub fn prove<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Result<SignedClaim, ZkrownnError> {
+        let built = self.spec.build();
+        built
+            .cs
+            .is_satisfied()
+            .map_err(ZkrownnError::UnsatisfiedCircuit)?;
+        let proof = create_proof(&self.pk, &built.cs, rng);
+        Ok(SignedClaim {
+            statement: self.spec.statement(),
+            proof: OwnershipProof {
+                proof,
+                verdict: built.verdict,
+                circuit_id: self.circuit_id,
+            },
+        })
+    }
+}
+
+/// The third-party verifier's side: public data only.
+///
+/// Holds the verifying key (with pairing precomputation applied once) and
+/// the circuit id it vouches for. For many-claim workloads, register the
+/// key in a [`crate::KeyRegistry`] instead and use
+/// [`crate::KeyRegistry::verify_batch`].
+pub struct VerifierKit {
+    vk: VerifyingKey,
+    pvk: PreparedVerifyingKey,
+    circuit_id: CircuitId,
+    /// Content digest of the one statement this kit accepts claims about
+    /// (the model under dispute). `None` = any same-circuit statement.
+    expected_statement: Option<[u8; 32]>,
+}
+
+impl VerifierKit {
+    /// Builds a kit from a verifying key and the circuit id it belongs to —
+    /// e.g. after receiving both from an authority in another process.
+    ///
+    /// The kit starts *unbound*: it accepts a claim about any model of this
+    /// circuit shape, and `Ok(())` then only means "the watermark is in the
+    /// model the claimant described". When the dispute is about one
+    /// specific model, pin it with [`Self::bind_statement`] (kits issued by
+    /// [`Authority::setup`] come pre-bound to the setup's statement).
+    pub fn from_parts(vk: VerifyingKey, circuit_id: CircuitId) -> Self {
+        let pvk = vk.prepare();
+        Self {
+            vk,
+            pvk,
+            circuit_id,
+            expected_statement: None,
+        }
+    }
+
+    /// Pins this kit to one specific public statement (by its
+    /// [`OwnershipStatement::content_digest`]): claims about any other
+    /// model — even a same-shaped one — fail with
+    /// [`ZkrownnError::StatementMismatch`].
+    pub fn bind_statement(mut self, digest: [u8; 32]) -> Self {
+        self.expected_statement = Some(digest);
+        self
+    }
+
+    /// The statement digest this kit is bound to, if any.
+    pub fn expected_statement(&self) -> Option<[u8; 32]> {
+        self.expected_statement
+    }
+
+    /// The circuit this kit verifies.
+    pub fn circuit_id(&self) -> CircuitId {
+        self.circuit_id
+    }
+
+    /// The raw verifying key (for shipping to further verifiers).
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.vk
+    }
+
+    /// Verifies an ownership claim.
+    ///
+    /// Checks, in order: the claim is about the bound statement (when this
+    /// kit is bound — see [`Self::bind_statement`]), the claim belongs to
+    /// this kit's circuit, the statement's shape matches the proof's
+    /// circuit id, the Groth16 pairing equation holds for the statement's
+    /// public inputs, and the attested verdict is positive. A valid proof
+    /// of verdict 0 fails with [`ZkrownnError::NegativeVerdict`] —
+    /// cryptographically sound, but not an ownership claim.
+    pub fn verify(&self, claim: &SignedClaim) -> Result<(), ZkrownnError> {
+        if let Some(expected) = self.expected_statement {
+            if claim.statement.content_digest() != expected {
+                return Err(ZkrownnError::StatementMismatch);
+            }
+        }
+        verify_claim_prepared(&self.pvk, self.circuit_id, claim)
+    }
+}
+
+/// Full claim validation against a prepared key: circuit-identity checks,
+/// the pairing equation, then the verdict gate.
+pub(crate) fn verify_claim_prepared(
+    pvk: &PreparedVerifyingKey,
+    expected: CircuitId,
+    claim: &SignedClaim,
+) -> Result<(), ZkrownnError> {
+    check_claim_identity(expected, claim)?;
+    let inputs = claim.statement.public_inputs(claim.proof.verdict);
+    verify_proof_prepared(pvk, &claim.proof.proof, &inputs).map_err(ZkrownnError::InvalidProof)?;
+    if !claim.proof.verdict {
+        return Err(ZkrownnError::NegativeVerdict);
+    }
+    Ok(())
+}
+
+/// The identity prefix of claim validation (shared with batch verification):
+/// the proof must name the expected circuit, and the statement's actual
+/// shape must hash to the same id the proof names.
+pub(crate) fn check_claim_identity(
+    expected: CircuitId,
+    claim: &SignedClaim,
+) -> Result<(), ZkrownnError> {
+    if claim.proof.circuit_id != expected {
+        return Err(ZkrownnError::CircuitMismatch {
+            expected,
+            got: claim.proof.circuit_id,
+        });
+    }
+    let statement_id = claim.statement.circuit_id();
+    if statement_id != expected {
+        return Err(ZkrownnError::CircuitMismatch {
+            expected,
+            got: statement_id,
+        });
+    }
+    Ok(())
+}
+
+/// A complete, portable ownership claim: the public statement plus the
+/// zero-knowledge proof over it.
+///
+/// This is the artifact a claimant ships to a verification service —
+/// everything needed to check the claim against a registered verifying key,
+/// nothing more.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedClaim {
+    /// The public circuit description the proof is bound to.
+    pub statement: OwnershipStatement,
+    /// The proof and its attested verdict.
+    pub proof: OwnershipProof,
+}
+
+impl SignedClaim {
+    /// The circuit this claim targets (as named by its proof).
+    pub fn circuit_id(&self) -> CircuitId {
+        self.proof.circuit_id
+    }
+
+    /// The attested verdict (`true` = watermark recovered within θ).
+    pub fn verdict(&self) -> bool {
+        self.proof.verdict
+    }
+}
+
+impl Artifact for SignedClaim {
+    const KIND: ArtifactKind = ArtifactKind::Claim;
+
+    fn payload_size(&self) -> usize {
+        8 + Artifact::serialized_size(&self.statement) + Artifact::serialized_size(&self.proof)
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        let statement = Artifact::to_bytes(&self.statement);
+        out.extend_from_slice(&(statement.len() as u64).to_le_bytes());
+        out.extend_from_slice(&statement);
+        out.extend_from_slice(&Artifact::to_bytes(&self.proof));
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let statement_len = r.len()?;
+        let statement = OwnershipStatement::from_bytes(r.take(statement_len)?)?;
+        let proof_len = payload.len() - (8 + statement_len);
+        let proof = OwnershipProof::from_bytes(r.take(proof_len)?)?;
+        r.finish()?;
+        Ok(Self { statement, proof })
+    }
+}

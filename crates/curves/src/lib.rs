@@ -33,3 +33,4 @@ pub use bn254::{G1Affine, G1Config, G1Projective, G2Affine, G2Config, G2Projecti
 pub use curve::{Affine, Projective, SwCurveConfig};
 pub use field_codec::FieldCodec;
 pub use fixed_base::FixedBaseTable;
+pub use serialize::PointDecodeError;

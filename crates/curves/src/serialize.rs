@@ -14,6 +14,47 @@ use zkrownn_ff::{Field, SquareRootField};
 const FLAG_INFINITY: u8 = 1 << 7;
 const FLAG_Y_LARGEST: u8 = 1 << 6;
 
+/// Why a byte string failed to decode as a curve point.
+///
+/// Every rejection names the exact validation that fired, so the layers
+/// above (key/proof/artifact deserializers) can report *why* an artifact is
+/// malformed instead of a bare `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointDecodeError {
+    /// The input length does not match the encoding size.
+    WrongLength {
+        /// Bytes the encoding requires.
+        expected: usize,
+        /// Bytes supplied.
+        got: usize,
+    },
+    /// A coordinate is not a canonical field element (≥ the modulus).
+    NonCanonicalField,
+    /// The infinity flag is set but the remaining bits are not all zero.
+    NonCanonicalInfinity,
+    /// The coordinates do not satisfy the curve equation (for compressed
+    /// points: `x³ + b` has no square root).
+    NotOnCurve,
+    /// The point is on the curve but outside the prime-order subgroup.
+    WrongSubgroup,
+}
+
+impl core::fmt::Display for PointDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::WrongLength { expected, got } => {
+                write!(f, "point encoding is {got} bytes, expected {expected}")
+            }
+            Self::NonCanonicalField => write!(f, "coordinate is not a canonical field element"),
+            Self::NonCanonicalInfinity => write!(f, "non-canonical encoding of infinity"),
+            Self::NotOnCurve => write!(f, "point is not on the curve"),
+            Self::WrongSubgroup => write!(f, "point is outside the prime-order subgroup"),
+        }
+    }
+}
+
+impl std::error::Error for PointDecodeError {}
+
 /// Number of bytes in the compressed encoding of a point on `C`.
 pub fn compressed_size<C: SwCurveConfig>() -> usize {
     C::BaseField::BYTES
@@ -43,9 +84,12 @@ pub fn write_compressed<C: SwCurveConfig>(p: &Affine<C>, out: &mut Vec<u8>) {
 
 /// Deserializes a compressed point, checking the curve equation and (when
 /// the curve has a cofactor) prime-subgroup membership.
-pub fn read_compressed<C: SwCurveConfig>(bytes: &[u8]) -> Option<Affine<C>> {
+pub fn read_compressed<C: SwCurveConfig>(bytes: &[u8]) -> Result<Affine<C>, PointDecodeError> {
     if bytes.len() != C::BaseField::BYTES {
-        return None;
+        return Err(PointDecodeError::WrongLength {
+            expected: C::BaseField::BYTES,
+            got: bytes.len(),
+        });
     }
     let mut buf = bytes.to_vec();
     let last = buf.len() - 1;
@@ -53,13 +97,13 @@ pub fn read_compressed<C: SwCurveConfig>(bytes: &[u8]) -> Option<Affine<C>> {
     buf[last] &= 0x3f;
     if flags & FLAG_INFINITY != 0 {
         if buf.iter().any(|&b| b != 0) || flags & FLAG_Y_LARGEST != 0 {
-            return None; // non-canonical infinity
+            return Err(PointDecodeError::NonCanonicalInfinity);
         }
-        return Some(Affine::identity());
+        return Ok(Affine::identity());
     }
-    let x = C::BaseField::read_bytes(&buf)?;
+    let x = C::BaseField::read_bytes(&buf).ok_or(PointDecodeError::NonCanonicalField)?;
     let y2 = x.square() * x + C::coeff_b();
-    let mut y = y2.sqrt()?;
+    let mut y = y2.sqrt().ok_or(PointDecodeError::NotOnCurve)?;
     let want_largest = flags & FLAG_Y_LARGEST != 0;
     if y.is_lexicographically_largest() != want_largest {
         y = -y;
@@ -67,9 +111,9 @@ pub fn read_compressed<C: SwCurveConfig>(bytes: &[u8]) -> Option<Affine<C>> {
     let p = Affine::new_unchecked(x, y);
     debug_assert!(p.is_on_curve());
     if !p.is_in_correct_subgroup() {
-        return None;
+        return Err(PointDecodeError::WrongSubgroup);
     }
-    Some(p)
+    Ok(p)
 }
 
 /// Serializes a point in uncompressed form (x ‖ y + flags).
@@ -86,10 +130,13 @@ pub fn write_uncompressed<C: SwCurveConfig>(p: &Affine<C>, out: &mut Vec<u8>) {
 }
 
 /// Deserializes an uncompressed point with on-curve/subgroup validation.
-pub fn read_uncompressed<C: SwCurveConfig>(bytes: &[u8]) -> Option<Affine<C>> {
+pub fn read_uncompressed<C: SwCurveConfig>(bytes: &[u8]) -> Result<Affine<C>, PointDecodeError> {
     let n = C::BaseField::BYTES;
     if bytes.len() != 2 * n {
-        return None;
+        return Err(PointDecodeError::WrongLength {
+            expected: 2 * n,
+            got: bytes.len(),
+        });
     }
     let mut buf = bytes.to_vec();
     let last = buf.len() - 1;
@@ -97,17 +144,20 @@ pub fn read_uncompressed<C: SwCurveConfig>(bytes: &[u8]) -> Option<Affine<C>> {
     buf[last] &= 0x3f;
     if flags & FLAG_INFINITY != 0 {
         if buf.iter().any(|&b| b != 0) {
-            return None;
+            return Err(PointDecodeError::NonCanonicalInfinity);
         }
-        return Some(Affine::identity());
+        return Ok(Affine::identity());
     }
-    let x = C::BaseField::read_bytes(&buf[..n])?;
-    let y = C::BaseField::read_bytes(&buf[n..])?;
+    let x = C::BaseField::read_bytes(&buf[..n]).ok_or(PointDecodeError::NonCanonicalField)?;
+    let y = C::BaseField::read_bytes(&buf[n..]).ok_or(PointDecodeError::NonCanonicalField)?;
     let p = Affine::new_unchecked(x, y);
-    if !p.is_on_curve() || !p.is_in_correct_subgroup() {
-        return None;
+    if !p.is_on_curve() {
+        return Err(PointDecodeError::NotOnCurve);
     }
-    Some(p)
+    if !p.is_in_correct_subgroup() {
+        return Err(PointDecodeError::WrongSubgroup);
+    }
+    Ok(p)
 }
 
 #[cfg(test)]
@@ -127,7 +177,7 @@ mod tests {
             let mut buf = Vec::new();
             write_compressed(&p, &mut buf);
             assert_eq!(buf.len(), 32);
-            assert_eq!(read_compressed::<crate::bn254::G1Config>(&buf), Some(p));
+            assert_eq!(read_compressed::<crate::bn254::G1Config>(&buf), Ok(p));
         }
     }
 
@@ -141,7 +191,7 @@ mod tests {
             let mut buf = Vec::new();
             write_compressed(&p, &mut buf);
             assert_eq!(buf.len(), 64);
-            assert_eq!(read_compressed::<crate::bn254::G2Config>(&buf), Some(p));
+            assert_eq!(read_compressed::<crate::bn254::G2Config>(&buf), Ok(p));
         }
     }
 
@@ -151,13 +201,19 @@ mod tests {
         write_compressed(&G1Affine::identity(), &mut buf);
         assert_eq!(
             read_compressed::<crate::bn254::G1Config>(&buf),
-            Some(G1Affine::identity())
+            Ok(G1Affine::identity())
         );
         let mut buf2 = Vec::new();
         write_uncompressed(&G2Affine::identity(), &mut buf2);
         assert_eq!(
             read_uncompressed::<crate::bn254::G2Config>(&buf2),
-            Some(G2Affine::identity())
+            Ok(G2Affine::identity())
+        );
+        // a non-canonical infinity encoding is named as such
+        buf[0] = 1;
+        assert_eq!(
+            read_compressed::<crate::bn254::G1Config>(&buf),
+            Err(PointDecodeError::NonCanonicalInfinity)
         );
     }
 
@@ -170,7 +226,14 @@ mod tests {
         let mut buf = Vec::new();
         write_uncompressed(&p, &mut buf);
         assert_eq!(buf.len(), 128);
-        assert_eq!(read_uncompressed::<crate::bn254::G2Config>(&buf), Some(p));
+        assert_eq!(read_uncompressed::<crate::bn254::G2Config>(&buf), Ok(p));
+        assert_eq!(
+            read_uncompressed::<crate::bn254::G2Config>(&buf[..127]),
+            Err(PointDecodeError::WrongLength {
+                expected: 128,
+                got: 127
+            })
+        );
     }
 
     #[test]
@@ -179,8 +242,9 @@ mod tests {
         let mut buf = vec![0u8; 32];
         buf[0] = 5; // x = 5: 125 + 3 = 128, not a QR? either way, exercise the path
         let r = read_compressed::<crate::bn254::G1Config>(&buf);
-        if let Some(p) = r {
-            assert!(p.is_on_curve());
+        match r {
+            Ok(p) => assert!(p.is_on_curve()),
+            Err(e) => assert_eq!(e, PointDecodeError::NotOnCurve),
         }
         // tampered uncompressed point must be rejected
         let g = G1Affine::new_unchecked(
@@ -189,7 +253,10 @@ mod tests {
         );
         let mut buf = Vec::new();
         write_uncompressed(&g, &mut buf);
-        assert_eq!(read_uncompressed::<crate::bn254::G1Config>(&buf), None);
+        assert_eq!(
+            read_uncompressed::<crate::bn254::G1Config>(&buf),
+            Err(PointDecodeError::NotOnCurve)
+        );
     }
 
     #[test]
@@ -209,7 +276,10 @@ mod tests {
                 if !p.is_in_correct_subgroup() {
                     let mut buf = Vec::new();
                     write_uncompressed(&p, &mut buf);
-                    assert_eq!(read_uncompressed::<crate::bn254::G2Config>(&buf), None);
+                    assert_eq!(
+                        read_uncompressed::<crate::bn254::G2Config>(&buf),
+                        Err(PointDecodeError::WrongSubgroup)
+                    );
                     found = true;
                     break;
                 }

@@ -40,10 +40,10 @@ proptest! {
         let p = G1Projective::generator().mul_scalar(a).into_affine();
         let mut buf = Vec::new();
         write_compressed(&p, &mut buf);
-        prop_assert_eq!(read_compressed::<G1Config>(&buf), Some(p));
+        prop_assert_eq!(read_compressed::<G1Config>(&buf), Ok(p));
         let mut buf2 = Vec::new();
         write_uncompressed(&p, &mut buf2);
-        prop_assert_eq!(read_uncompressed::<G1Config>(&buf2), Some(p));
+        prop_assert_eq!(read_uncompressed::<G1Config>(&buf2), Ok(p));
     }
 
     #[test]
@@ -51,20 +51,21 @@ proptest! {
         let p = G2Projective::generator().mul_scalar(a).into_affine();
         let mut buf = Vec::new();
         write_compressed(&p, &mut buf);
-        prop_assert_eq!(read_compressed::<G2Config>(&buf), Some(p));
+        prop_assert_eq!(read_compressed::<G2Config>(&buf), Ok(p));
     }
 
     #[test]
     fn corrupted_compressed_points_never_panic(bytes in prop::collection::vec(any::<u8>(), 32)) {
-        // arbitrary bytes must either parse to a valid curve point or None
-        if let Some(p) = read_compressed::<G1Config>(&bytes) {
+        // arbitrary bytes must either parse to a valid curve point or a
+        // typed decode error
+        if let Ok(p) = read_compressed::<G1Config>(&bytes) {
             prop_assert!(p.is_on_curve());
         }
     }
 
     #[test]
     fn corrupted_g2_points_never_panic(bytes in prop::collection::vec(any::<u8>(), 64)) {
-        if let Some(p) = read_compressed::<G2Config>(&bytes) {
+        if let Ok(p) = read_compressed::<G2Config>(&bytes) {
             prop_assert!(p.is_on_curve());
             prop_assert!(p.is_in_correct_subgroup());
         }

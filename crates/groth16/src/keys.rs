@@ -6,9 +6,64 @@
 //! number of variables/constraints.
 
 use zkrownn_curves::serialize as ser;
-use zkrownn_curves::{G1Affine, G1Config, G2Affine, G2Config};
+use zkrownn_curves::{G1Affine, G1Config, G2Affine, G2Config, PointDecodeError};
 use zkrownn_ff::Fq12;
 use zkrownn_pairing::{pairing, G2Prepared};
+
+/// Why a byte string failed to decode as a key or proof.
+///
+/// Each variant pins down the rejection: a length problem names the exact
+/// byte counts, and a bad curve point carries its byte offset plus the
+/// point-level cause (truncated, non-canonical coordinate, off-curve, wrong
+/// subgroup) from [`PointDecodeError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ends before the structure it claims to hold.
+    Truncated {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The total length disagrees with the (fixed or self-described) size.
+    LengthMismatch {
+        /// Length the encoding requires.
+        expected: usize,
+        /// Length supplied.
+        got: usize,
+    },
+    /// A curve point failed validation.
+    Point {
+        /// Byte offset of the offending point.
+        offset: usize,
+        /// The point-level failure.
+        source: PointDecodeError,
+    },
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated { needed, got } => {
+                write!(f, "truncated encoding: need {needed} bytes, have {got}")
+            }
+            Self::LengthMismatch { expected, got } => {
+                write!(f, "encoding is {got} bytes, expected {expected}")
+            }
+            Self::Point { offset, source } => {
+                write!(f, "invalid point at byte {offset}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maps a point-decode failure at the given byte offset into a
+/// [`DecodeError::Point`].
+fn at(offset: usize) -> impl Fn(PointDecodeError) -> DecodeError {
+    move |source| DecodeError::Point { offset, source }
+}
 
 /// A Groth16 proof `(A, B, C)`.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +80,11 @@ impl Proof {
     /// Compressed size in bytes (constant: 32 + 64 + 32).
     pub const SIZE: usize = 128;
 
+    /// Serialized size in bytes (constant; mirrors the key types' API).
+    pub fn serialized_size(&self) -> usize {
+        Self::SIZE
+    }
+
     /// Serializes the proof (compressed, 128 bytes).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(Self::SIZE);
@@ -36,14 +96,17 @@ impl Proof {
     }
 
     /// Deserializes and validates a proof.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         if bytes.len() != Self::SIZE {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                expected: Self::SIZE,
+                got: bytes.len(),
+            });
         }
-        Some(Self {
-            a: ser::read_compressed::<G1Config>(&bytes[0..32])?,
-            b: ser::read_compressed::<G2Config>(&bytes[32..96])?,
-            c: ser::read_compressed::<G1Config>(&bytes[96..128])?,
+        Ok(Self {
+            a: ser::read_compressed::<G1Config>(&bytes[0..32]).map_err(at(0))?,
+            b: ser::read_compressed::<G2Config>(&bytes[32..96]).map_err(at(32))?,
+            c: ser::read_compressed::<G1Config>(&bytes[96..128]).map_err(at(96))?,
         })
     }
 }
@@ -73,42 +136,58 @@ impl VerifyingKey {
     /// Serializes the key (compressed points, length-prefixed vector).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_size());
-        out.extend_from_slice(&(self.gamma_abc_g1.len() as u64).to_le_bytes());
-        ser::write_compressed(&self.alpha_g1, &mut out);
-        ser::write_compressed(&self.beta_g2, &mut out);
-        ser::write_compressed(&self.gamma_g2, &mut out);
-        ser::write_compressed(&self.delta_g2, &mut out);
-        for p in &self.gamma_abc_g1 {
-            ser::write_compressed(p, &mut out);
-        }
+        self.write_bytes(&mut out);
         out
     }
 
-    /// Deserializes and validates a verifying key.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 8 {
-            return None;
+    /// Appends the serialized key to an existing buffer (avoids a second
+    /// allocation when embedding the key in a larger envelope).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.gamma_abc_g1.len() as u64).to_le_bytes());
+        ser::write_compressed(&self.alpha_g1, out);
+        ser::write_compressed(&self.beta_g2, out);
+        ser::write_compressed(&self.gamma_g2, out);
+        ser::write_compressed(&self.delta_g2, out);
+        for p in &self.gamma_abc_g1 {
+            ser::write_compressed(p, out);
         }
-        let n = u64::from_le_bytes(bytes[0..8].try_into().ok()?) as usize;
-        let expected = 8 + 32 + 3 * 64 + 32 * n;
+    }
+
+    /// Deserializes and validates a verifying key.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError::Truncated {
+                needed: 8,
+                got: bytes.len(),
+            });
+        }
+        let n = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        // saturating throughout: a hostile length must yield an error, not
+        // an overflow panic — a saturated `expected` can never equal a real
+        // buffer length (allocations are capped at isize::MAX)
+        let expected = 32usize.saturating_mul(n).saturating_add(8 + 32 + 3 * 64);
         if bytes.len() != expected {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                expected,
+                got: bytes.len(),
+            });
         }
         let mut off = 8;
-        let alpha_g1 = ser::read_compressed::<G1Config>(&bytes[off..off + 32])?;
+        let alpha_g1 = ser::read_compressed::<G1Config>(&bytes[off..off + 32]).map_err(at(off))?;
         off += 32;
-        let beta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        let beta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64]).map_err(at(off))?;
         off += 64;
-        let gamma_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        let gamma_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64]).map_err(at(off))?;
         off += 64;
-        let delta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64])?;
+        let delta_g2 = ser::read_compressed::<G2Config>(&bytes[off..off + 64]).map_err(at(off))?;
         off += 64;
         let mut gamma_abc_g1 = Vec::with_capacity(n);
         for _ in 0..n {
-            gamma_abc_g1.push(ser::read_compressed::<G1Config>(&bytes[off..off + 32])?);
+            gamma_abc_g1
+                .push(ser::read_compressed::<G1Config>(&bytes[off..off + 32]).map_err(at(off))?);
             off += 32;
         }
-        Some(Self {
+        Ok(Self {
             alpha_g1,
             beta_g2,
             gamma_g2,
@@ -181,6 +260,13 @@ impl ProvingKey {
     /// Serializes the proving key (uncompressed points for fast loading).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.serialized_size());
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Appends the serialized key to an existing buffer (avoids a second
+    /// multi-megabyte allocation when embedding the key in an envelope).
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
         for len in [
             self.a_query.len(),
             self.b_g1_query.len(),
@@ -190,82 +276,117 @@ impl ProvingKey {
         ] {
             out.extend_from_slice(&(len as u64).to_le_bytes());
         }
-        let vk_bytes = self.vk.to_bytes();
-        out.extend_from_slice(&vk_bytes);
-        ser::write_uncompressed(&self.beta_g1, &mut out);
-        ser::write_uncompressed(&self.delta_g1, &mut out);
+        self.vk.write_bytes(out);
+        ser::write_uncompressed(&self.beta_g1, out);
+        ser::write_uncompressed(&self.delta_g1, out);
         for p in &self.a_query {
-            ser::write_uncompressed(p, &mut out);
+            ser::write_uncompressed(p, out);
         }
         for p in &self.b_g1_query {
-            ser::write_uncompressed(p, &mut out);
+            ser::write_uncompressed(p, out);
         }
         for p in &self.b_g2_query {
-            ser::write_uncompressed(p, &mut out);
+            ser::write_uncompressed(p, out);
         }
         for p in &self.h_query {
-            ser::write_uncompressed(p, &mut out);
+            ser::write_uncompressed(p, out);
         }
         for p in &self.l_query {
-            ser::write_uncompressed(p, &mut out);
+            ser::write_uncompressed(p, out);
         }
-        out
     }
 
     /// Deserializes and validates a proving key.
-    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
         if bytes.len() < 40 {
-            return None;
+            return Err(DecodeError::Truncated {
+                needed: 40,
+                got: bytes.len(),
+            });
         }
         let mut lens = [0usize; 5];
         for (i, l) in lens.iter_mut().enumerate() {
-            *l = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().ok()?) as usize;
+            *l = u64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap()) as usize;
         }
         let mut off = 40;
         // VK: need its size first
         if bytes.len() < off + 8 {
-            return None;
+            return Err(DecodeError::Truncated {
+                needed: off + 8,
+                got: bytes.len(),
+            });
         }
-        let n_abc = u64::from_le_bytes(bytes[off..off + 8].try_into().ok()?) as usize;
-        let vk_size = 8 + 32 + 3 * 64 + 32 * n_abc;
-        let vk = VerifyingKey::from_bytes(bytes.get(off..off + vk_size)?)?;
+        let n_abc = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize;
+        let vk_size = 32usize
+            .saturating_mul(n_abc)
+            .saturating_add(8 + 32 + 3 * 64);
+        let vk_bytes =
+            bytes
+                .get(off..off.saturating_add(vk_size))
+                .ok_or(DecodeError::Truncated {
+                    needed: off.saturating_add(vk_size),
+                    got: bytes.len(),
+                })?;
+        let vk = VerifyingKey::from_bytes(vk_bytes).map_err(|e| match e {
+            // re-anchor point offsets to the enclosing buffer
+            DecodeError::Point { offset, source } => DecodeError::Point {
+                offset: offset + off,
+                source,
+            },
+            other => other,
+        })?;
         off += vk_size;
-        let read_g1 = |off: &mut usize| -> Option<G1Affine> {
-            let p = ser::read_uncompressed::<G1Config>(bytes.get(*off..*off + 64)?)?;
+        let read_g1 = |off: &mut usize| -> Result<G1Affine, DecodeError> {
+            let slice = bytes.get(*off..*off + 64).ok_or(DecodeError::Truncated {
+                needed: *off + 64,
+                got: bytes.len(),
+            })?;
+            let p = ser::read_uncompressed::<G1Config>(slice).map_err(at(*off))?;
             *off += 64;
-            Some(p)
+            Ok(p)
         };
-        let read_g2 = |off: &mut usize| -> Option<G2Affine> {
-            let p = ser::read_uncompressed::<G2Config>(bytes.get(*off..*off + 128)?)?;
+        let read_g2 = |off: &mut usize| -> Result<G2Affine, DecodeError> {
+            let slice = bytes.get(*off..*off + 128).ok_or(DecodeError::Truncated {
+                needed: *off + 128,
+                got: bytes.len(),
+            })?;
+            let p = ser::read_uncompressed::<G2Config>(slice).map_err(at(*off))?;
             *off += 128;
-            Some(p)
+            Ok(p)
         };
         let beta_g1 = read_g1(&mut off)?;
         let delta_g1 = read_g1(&mut off)?;
-        let mut a_query = Vec::with_capacity(lens[0]);
+        // hostile lens must not drive Vec::with_capacity into an allocation
+        // abort — cap every preallocation by what the buffer could hold;
+        // oversized counts then fail with Truncated on the first short read
+        let cap = |len: usize| len.min(bytes.len() / 64 + 1);
+        let mut a_query = Vec::with_capacity(cap(lens[0]));
         for _ in 0..lens[0] {
             a_query.push(read_g1(&mut off)?);
         }
-        let mut b_g1_query = Vec::with_capacity(lens[1]);
+        let mut b_g1_query = Vec::with_capacity(cap(lens[1]));
         for _ in 0..lens[1] {
             b_g1_query.push(read_g1(&mut off)?);
         }
-        let mut b_g2_query = Vec::with_capacity(lens[2]);
+        let mut b_g2_query = Vec::with_capacity(cap(lens[2]));
         for _ in 0..lens[2] {
             b_g2_query.push(read_g2(&mut off)?);
         }
-        let mut h_query = Vec::with_capacity(lens[3]);
+        let mut h_query = Vec::with_capacity(cap(lens[3]));
         for _ in 0..lens[3] {
             h_query.push(read_g1(&mut off)?);
         }
-        let mut l_query = Vec::with_capacity(lens[4]);
+        let mut l_query = Vec::with_capacity(cap(lens[4]));
         for _ in 0..lens[4] {
             l_query.push(read_g1(&mut off)?);
         }
         if off != bytes.len() {
-            return None;
+            return Err(DecodeError::LengthMismatch {
+                expected: off,
+                got: bytes.len(),
+            });
         }
-        Some(Self {
+        Ok(Self {
             vk,
             beta_g1,
             delta_g1,

@@ -34,7 +34,7 @@ pub mod qap;
 pub mod setup;
 pub mod verifier;
 
-pub use keys::{PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
+pub use keys::{DecodeError, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
 pub use prover::{create_proof, create_proof_with_randomness};
 pub use setup::{generate_parameters, generate_parameters_with, ToxicWaste};
 pub use verifier::{verify_proof, verify_proof_prepared, verify_proofs_batch, VerificationError};
@@ -136,7 +136,7 @@ mod tests {
         let proof = create_proof(&pk, &cs, &mut rng);
         let bytes = proof.to_bytes();
         assert_eq!(bytes.len(), Proof::SIZE);
-        assert_eq!(Proof::from_bytes(&bytes), Some(proof));
+        assert_eq!(Proof::from_bytes(&bytes), Ok(proof));
     }
 
     #[test]
@@ -146,7 +146,7 @@ mod tests {
         let pk = generate_parameters(&cs.to_matrices(), &mut rng);
         let bytes = pk.vk.to_bytes();
         assert_eq!(bytes.len(), pk.vk.serialized_size());
-        assert_eq!(VerifyingKey::from_bytes(&bytes), Some(pk.vk.clone()));
+        assert_eq!(VerifyingKey::from_bytes(&bytes), Ok(pk.vk.clone()));
     }
 
     #[test]
@@ -156,7 +156,105 @@ mod tests {
         let pk = generate_parameters(&cs.to_matrices(), &mut rng);
         let bytes = pk.to_bytes();
         assert_eq!(bytes.len(), pk.serialized_size());
-        assert_eq!(ProvingKey::from_bytes(&bytes), Some(pk.clone()));
+        assert_eq!(ProvingKey::from_bytes(&bytes), Ok(pk.clone()));
+    }
+
+    #[test]
+    fn serialized_size_is_consistent_for_all_artifacts() {
+        // `to_bytes().len() == serialized_size()` for the proof and both
+        // keys, before and after a decode round-trip.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(141);
+        let cs = cubic_circuit(5);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+
+        assert_eq!(proof.to_bytes().len(), proof.serialized_size());
+        assert_eq!(pk.vk.to_bytes().len(), pk.vk.serialized_size());
+        assert_eq!(pk.to_bytes().len(), pk.serialized_size());
+
+        let proof2 = Proof::from_bytes(&proof.to_bytes()).unwrap();
+        let vk2 = VerifyingKey::from_bytes(&pk.vk.to_bytes()).unwrap();
+        let pk2 = ProvingKey::from_bytes(&pk.to_bytes()).unwrap();
+        assert_eq!(proof2.to_bytes().len(), proof2.serialized_size());
+        assert_eq!(vk2.to_bytes().len(), vk2.serialized_size());
+        assert_eq!(pk2.to_bytes().len(), pk2.serialized_size());
+    }
+
+    #[test]
+    fn decode_errors_are_specific() {
+        use zkrownn_curves::PointDecodeError;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(142);
+        let cs = cubic_circuit(3);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let proof = create_proof(&pk, &cs, &mut rng);
+
+        // truncation
+        let bytes = proof.to_bytes();
+        assert_eq!(
+            Proof::from_bytes(&bytes[..100]),
+            Err(DecodeError::LengthMismatch {
+                expected: Proof::SIZE,
+                got: 100
+            })
+        );
+        assert_eq!(
+            VerifyingKey::from_bytes(&[0u8; 3]),
+            Err(DecodeError::Truncated { needed: 8, got: 3 })
+        );
+
+        // a proof whose B element is replaced by a valid-length chunk of
+        // garbage fails with a point error at offset 32
+        let mut bad = bytes.clone();
+        bad[32..96].copy_from_slice(&[0xff; 64]);
+        match Proof::from_bytes(&bad) {
+            Err(DecodeError::Point { offset: 32, .. }) => {}
+            other => panic!("expected point error at offset 32, got {other:?}"),
+        }
+
+        // a non-canonical infinity flag on A is named precisely
+        let mut inf = bytes.clone();
+        inf[31] = 0x80; // infinity flag, but x-limbs are non-zero
+        assert_eq!(
+            Proof::from_bytes(&inf),
+            Err(DecodeError::Point {
+                offset: 0,
+                source: PointDecodeError::NonCanonicalInfinity
+            })
+        );
+
+        // trailing bytes on a proving key are a length mismatch
+        let mut pk_bytes = pk.to_bytes();
+        let expected = pk_bytes.len();
+        pk_bytes.push(0);
+        assert_eq!(
+            ProvingKey::from_bytes(&pk_bytes),
+            Err(DecodeError::LengthMismatch {
+                expected,
+                got: expected + 1
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_lengths_error_instead_of_panicking() {
+        // a VK header claiming 2^60 commitment points must not overflow the
+        // size arithmetic or abort on allocation — just report a mismatch
+        let mut vk_bytes = vec![0u8; 16];
+        vk_bytes[0..8].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        assert!(matches!(
+            VerifyingKey::from_bytes(&vk_bytes),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+
+        // same for a PK whose query-length headers are absurd
+        let mut rng = rand::rngs::StdRng::seed_from_u64(143);
+        let cs = cubic_circuit(2);
+        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let mut pk_bytes = pk.to_bytes();
+        pk_bytes[0..8].copy_from_slice(&(1u64 << 60).to_le_bytes()); // a_query len
+        assert!(ProvingKey::from_bytes(&pk_bytes).is_err());
+        pk_bytes[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ProvingKey::from_bytes(&pk_bytes).is_err());
     }
 
     #[test]

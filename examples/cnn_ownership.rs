@@ -10,7 +10,7 @@
 use rand::SeedableRng;
 use std::time::Instant;
 use zkrownn::benchmarks::{spec_from_keys, watermarked_cnn, BenchmarkScale};
-use zkrownn::{prove, setup, verify_prepared};
+use zkrownn::{Artifact, Authority, SignedClaim};
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
 use zkrownn_nn::{generate_gmm, Conv2d, GmmConfig, Layer, Network};
@@ -73,26 +73,27 @@ fn main() {
     );
 
     let t = Instant::now();
-    let pk = setup(&spec, &mut rng);
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
     println!(
         "setup:  {:.2?}  (PK {:.1} MB, VK {:.2} KB)",
         t.elapsed(),
-        pk.serialized_size() as f64 / 1e6,
-        pk.vk.serialized_size() as f64 / 1e3,
+        prover.proving_key().serialized_size() as f64 / 1e6,
+        verifier.verifying_key().serialized_size() as f64 / 1e3,
     );
 
     let t = Instant::now();
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    let claim = prover.prove(&mut rng).expect("honest claim");
     println!(
-        "prove:  {:.2?}  (proof {} B)",
+        "prove:  {:.2?}  (Groth16 proof {} B)",
         t.elapsed(),
-        proof.proof.to_bytes().len()
+        claim.proof.proof.to_bytes().len()
     );
-    assert!(proof.verdict, "watermark must be recovered");
+    assert!(claim.verdict(), "watermark must be recovered");
 
-    let pvk = pk.vk.prepare();
+    let wire = claim.to_bytes();
+    let received = SignedClaim::from_bytes(&wire).expect("claim decodes");
     let t = Instant::now();
-    verify_prepared(&pvk, &spec, &proof).expect("ownership established");
+    verifier.verify(&received).expect("ownership established");
     println!("verify: {:.2?}", t.elapsed());
     println!("ownership of the CNN established in zero knowledge ✔");
 }

@@ -4,6 +4,10 @@
 //! claims without learning the watermark secrets.
 //!
 //! Cast: **Olivia** (owner), **Mallory** (thief), **Vera** (arbiter).
+//! Vera receives both parties' claims as wire bytes and settles the dispute
+//! with one batch verification — the error taxonomy does the judging:
+//! Olivia's claim verifies, Mallory's comes back `NegativeVerdict` (her
+//! proof is sound, but it proves her "watermark" is *absent*).
 //!
 //! ```text
 //! cargo run --release --example dispute_resolution
@@ -11,7 +15,7 @@
 
 use rand::SeedableRng;
 use zkrownn::benchmarks::spec_from_keys;
-use zkrownn::{prove, setup, verify};
+use zkrownn::{Artifact, Authority, KeyRegistry, SignedClaim, ZkrownnError};
 use zkrownn_deepsigns::attacks::{finetune, prune};
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
@@ -68,27 +72,25 @@ fn main() {
     let (_, stolen_ber) = extract(&stolen, &olivia_keys);
     println!("  Olivia's watermark BER on the stolen model M': {stolen_ber:.3}");
 
-    // --- Act 3: Olivia proves ownership of M' to Vera --------------------
-    println!("― Act 3 ― Olivia proves ownership of M' without revealing her keys");
+    // --- Act 3: both parties file claims about M' ------------------------
+    println!("― Act 3 ― both parties generate claims over M' and send Vera the bytes");
     let theta_errors = 2; // tolerate small attack damage
-    let spec = spec_from_keys(
+    let olivia_spec = spec_from_keys(
         &stolen,
         &olivia_keys,
         false,
         theta_errors,
         &FixedConfig::default(),
     );
-    let pk = setup(&spec, &mut rng); // run once by a trusted third party
-    let proof = prove(&pk, &spec, &mut rng).expect("Olivia's proof");
+    // one circuit shape ⇒ one setup: Mallory's counterclaim uses keys with
+    // the same dimensions, so both claims land on the same CircuitId
+    let (olivia_prover, verifier_kit) = Authority::setup(&olivia_spec, &mut rng);
+    let olivia_claim = olivia_prover.prove(&mut rng).expect("Olivia's claim");
     println!(
-        "  proof generated: {} bytes, verdict = {}",
-        proof.proof.to_bytes().len(),
-        proof.verdict
+        "  Olivia's claim: {} bytes, verdict = {}",
+        olivia_claim.to_bytes().len(),
+        olivia_claim.verdict()
     );
-    match verify(&pk.vk, &spec, &proof) {
-        Ok(()) => println!("  Vera: proof VERIFIES — M' carries Olivia's watermark ✔"),
-        Err(e) => println!("  Vera: proof rejected ({e})"),
-    }
 
     // --- Act 4: Mallory counterclaims with made-up keys -------------------
     println!("― Act 4 ― Mallory counterclaims with keys she invents after the fact");
@@ -112,14 +114,54 @@ fn main() {
         theta_errors,
         &FixedConfig::default(),
     );
-    let mallory_pk = setup(&mallory_spec, &mut rng);
-    let mallory_proof = prove(&mallory_pk, &mallory_spec, &mut rng).expect("provable, verdict 0");
-    println!(
-        "  Mallory's proof verdict = {} — the circuit is sound, she cannot lie",
-        mallory_proof.verdict
+    assert_eq!(
+        mallory_spec.circuit_id(),
+        olivia_spec.circuit_id(),
+        "same shape, same circuit"
     );
-    match verify(&mallory_pk.vk, &mallory_spec, &mallory_proof) {
-        Ok(()) => println!("  Vera: Mallory's claim verifies?! (should never happen)"),
-        Err(_) => println!("  Vera: Mallory's claim REJECTED ✔ — dispute resolved for Olivia"),
+    let mallory_prover =
+        zkrownn::ProverKit::from_parts(olivia_prover.proving_key().clone(), mallory_spec);
+    let mallory_claim = mallory_prover.prove(&mut rng).expect("provable, verdict 0");
+    println!(
+        "  Mallory's claim: verdict = {} — the circuit is sound, she cannot lie",
+        mallory_claim.verdict()
+    );
+
+    // --- Act 5: Vera batch-verifies both claims from wire bytes ----------
+    println!("― Act 5 ― Vera reconstructs both claims from bytes and batch-verifies");
+    let wires: Vec<Vec<u8>> = [&olivia_claim, &mallory_claim]
+        .iter()
+        .map(|c| c.to_bytes())
+        .collect();
+    let claims: Vec<SignedClaim> = wires
+        .iter()
+        .map(|w| SignedClaim::from_bytes(w).expect("claims decode"))
+        .collect();
+    // Vera first pins every claim to the model actually under dispute: a
+    // cryptographically sound claim about some *other* model proves nothing
+    // about M'. (The kit carries the disputed statement's digest.)
+    let disputed = verifier_kit.expected_statement().expect("kit is bound");
+    for claim in &claims {
+        assert_eq!(
+            claim.statement.content_digest(),
+            disputed,
+            "claim must be about the disputed model M'"
+        );
     }
+    let mut registry = KeyRegistry::new();
+    registry.register_kit(&verifier_kit);
+    let verdicts = registry.verify_batch(&claims, &mut rng);
+    for (who, verdict) in ["Olivia", "Mallory"].iter().zip(&verdicts) {
+        match verdict {
+            Ok(()) => println!("  Vera: {who}'s claim VERIFIES — M' carries their watermark ✔"),
+            Err(ZkrownnError::NegativeVerdict) => println!(
+                "  Vera: {who}'s claim is sound but NEGATIVE — their watermark is \
+                 not in M' ✘"
+            ),
+            Err(e) => println!("  Vera: {who}'s claim rejected ({e})"),
+        }
+    }
+    assert!(verdicts[0].is_ok());
+    assert_eq!(verdicts[1], Err(ZkrownnError::NegativeVerdict));
+    println!("  dispute resolved for Olivia ✔");
 }

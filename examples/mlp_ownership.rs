@@ -12,7 +12,7 @@
 use rand::SeedableRng;
 use std::time::Instant;
 use zkrownn::benchmarks::{spec_from_keys, watermarked_mlp, BenchmarkScale};
-use zkrownn::{prove, setup, verify_prepared};
+use zkrownn::{Artifact, Authority, SignedClaim};
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
@@ -74,27 +74,32 @@ fn main() {
     );
 
     let t = Instant::now();
-    let pk = setup(&spec, &mut rng);
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
     let setup_time = t.elapsed();
     println!(
         "setup:  {:.2?}  (PK {:.1} MB, VK {:.1} KB — VK grows with the public weights)",
         setup_time,
-        pk.serialized_size() as f64 / 1e6,
-        pk.vk.serialized_size() as f64 / 1e3,
+        prover.proving_key().serialized_size() as f64 / 1e6,
+        verifier.verifying_key().serialized_size() as f64 / 1e3,
     );
 
     let t = Instant::now();
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    let claim = prover.prove(&mut rng).expect("honest claim");
     println!(
-        "prove:  {:.2?}  (proof {} B — constant regardless of circuit size)",
+        "prove:  {:.2?}  (Groth16 proof {} B — constant regardless of circuit size)",
         t.elapsed(),
-        proof.proof.to_bytes().len()
+        claim.proof.proof.to_bytes().len()
     );
-    assert!(proof.verdict, "watermark must be recovered from the model");
+    assert!(
+        claim.verdict(),
+        "watermark must be recovered from the model"
+    );
 
-    let pvk = pk.vk.prepare();
+    // the claim crosses the process boundary as bytes
+    let wire = claim.to_bytes();
+    let received = SignedClaim::from_bytes(&wire).expect("claim decodes");
     let t = Instant::now();
-    verify_prepared(&pvk, &spec, &proof).expect("ownership established");
+    verifier.verify(&received).expect("ownership established");
     println!(
         "verify: {:.2?}  — any third party can run this step",
         t.elapsed()

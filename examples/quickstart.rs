@@ -1,5 +1,6 @@
 //! Quickstart: the complete ZKROWNN workflow on a tiny model, in under a
-//! minute.
+//! minute — including the cross-party artifact exchange: the claim travels
+//! as bytes and is verified by a party that never saw the prover's memory.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -8,9 +9,10 @@
 use rand::SeedableRng;
 use std::time::Instant;
 use zkrownn::benchmarks::spec_from_keys;
-use zkrownn::{prove, setup, verify};
+use zkrownn::{Artifact, Authority, KeyRegistry, SignedClaim};
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
+use zkrownn_groth16::VerifyingKey;
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 
 fn main() {
@@ -57,51 +59,62 @@ fn main() {
         100.0 * net.accuracy(&data.xs, &data.ys)
     );
 
-    // 3. One-time trusted setup for the extraction circuit ----------------
-    println!("[3/5] trusted setup (one-time, circuit-specific) …");
+    // 3. The authority runs the one-time setup and deals out the kits ------
+    println!("[3/5] trusted setup — Authority::setup hands out the role kits …");
     let spec = spec_from_keys(&net, &keys, false, 1, &FixedConfig::default());
     let built = spec.build();
     println!(
-        "      circuit: {} constraints, {} public inputs, {} witness vars",
+        "      circuit {}: {} constraints, {} public inputs, {} witness vars",
+        spec.circuit_id().short(),
         built.cs.num_constraints(),
         built.cs.num_instance_variables() - 1,
         built.cs.num_witness_variables()
     );
     let t = Instant::now();
-    let pk = setup(&spec, &mut rng);
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
     println!(
         "      setup took {:.2?}; PK {:.2} MB, VK {:.2} KB",
         t.elapsed(),
-        pk.serialized_size() as f64 / 1e6,
-        pk.vk.serialized_size() as f64 / 1e3
+        prover.proving_key().serialized_size() as f64 / 1e6,
+        verifier.verifying_key().serialized_size() as f64 / 1e3
     );
 
-    // 4. The owner proves ownership (once) --------------------------------
-    println!("[4/5] generating the zero-knowledge ownership proof …");
+    // 4. The owner proves ownership and ships the claim as bytes ----------
+    println!("[4/5] generating the zero-knowledge ownership claim …");
     let t = Instant::now();
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    let claim = prover.prove(&mut rng).expect("honest claim");
+    let claim_wire = claim.to_bytes();
+    let vk_wire = Artifact::to_bytes(verifier.verifying_key());
     println!(
-        "      proved in {:.2?}; proof is {} bytes; verdict: {}",
+        "      proved in {:.2?}; claim is {} bytes on the wire \
+         ({}-byte Groth16 proof inside); verdict: {}",
         t.elapsed(),
-        proof.proof.to_bytes().len(),
-        proof.verdict
+        claim_wire.len(),
+        claim.proof.proof.to_bytes().len(),
+        claim.verdict()
     );
 
-    // 5. Anyone verifies in milliseconds -----------------------------------
-    println!("[5/5] third-party verification …");
-    let pvk = pk.vk.prepare();
+    // 5. A verification service reconstructs everything from bytes ---------
+    println!("[5/5] third-party verification from wire bytes only …");
+    let received = SignedClaim::from_bytes(&claim_wire).expect("claim decodes");
+    let received_vk = <VerifyingKey as Artifact>::from_bytes(&vk_wire).expect("vk decodes");
+    let mut registry = KeyRegistry::new();
+    registry.register(received.circuit_id(), &received_vk);
     let t = Instant::now();
-    zkrownn::verify_prepared(&pvk, &spec, &proof).expect("verification succeeds");
+    registry.verify(&received).expect("verification succeeds");
     println!(
-        "      verified in {:.2?} — ownership established ✔",
-        t.elapsed()
+        "      verified in {:.2?} — ownership established ✔ \
+         (key prepared {} time)",
+        t.elapsed(),
+        registry.preparations()
     );
 
-    // and a negative control: different model ⇒ rejection
-    let mut other = spec.clone();
-    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.model.layers[0] {
+    // and a negative control: a claim re-targeted at a different model must
+    // fail — the weights are public inputs, so the pairing check breaks
+    let mut other = received.clone();
+    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.statement.model.layers[0] {
         w[0] += 1;
     }
-    assert!(verify(&pk.vk, &other, &proof).is_err());
-    println!("      (control: proof rejected against a different model ✔)");
+    assert!(registry.verify(&other).is_err());
+    println!("      (control: claim rejected against a different model ✔)");
 }

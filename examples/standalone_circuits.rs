@@ -31,6 +31,9 @@ fn prove_and_verify(name: &str, cs: &ConstraintSystem<Fr>) {
     let proof = create_proof(&pk, cs, &mut rng);
     let prove = t.elapsed();
     let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
+    // round-trip the proof through its 128-byte wire form, as a standalone
+    // deployment would — decoding re-validates all three points
+    let proof = zkrownn_groth16::Proof::from_bytes(&proof.to_bytes()).expect("proof decodes");
     let pvk = pk.vk.prepare();
     let t = Instant::now();
     verify_proof_prepared(&pvk, &proof, &publics).expect("valid proof");

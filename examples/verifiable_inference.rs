@@ -16,7 +16,7 @@ use std::time::Instant;
 use zkrownn::inference::InferenceSpec;
 use zkrownn::QuantizedModel;
 use zkrownn_gadgets::FixedConfig;
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
+use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared, Proof};
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 
 fn main() {
@@ -85,6 +85,9 @@ fn main() {
         data.ys[0]
     );
 
+    // the proof reaches the client as bytes; decoding validates every point
+    let wire = proof.to_bytes();
+    let proof = Proof::from_bytes(&wire).expect("proof decodes");
     let pvk = pk.vk.prepare();
     let publics = spec.public_inputs(&built.logits);
     let t = Instant::now();

@@ -4,7 +4,10 @@
 //! workspace-level examples and integration tests can depend on a single
 //! crate. See the individual crates for documentation:
 //!
-//! * [`zkrownn`] — the end-to-end ownership-proof framework (start here)
+//! * [`zkrownn`] — the end-to-end ownership-proof framework (start here:
+//!   `Authority::setup` → `ProverKit::prove` → `VerifierKit::verify`, with
+//!   `KeyRegistry::verify_batch` for many-claim services and the
+//!   `Artifact` wire format for everything that crosses a process)
 //! * [`zkrownn_deepsigns`] — DeepSigns watermark embedding/extraction
 //! * [`zkrownn_nn`] — the neural-network substrate
 //! * [`zkrownn_groth16`] / [`zkrownn_gadgets`] / [`zkrownn_r1cs`] — the

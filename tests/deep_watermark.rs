@@ -7,7 +7,7 @@
 use rand::SeedableRng;
 use zkrownn::benchmarks::spec_from_keys;
 use zkrownn::reference::extract_fixed;
-use zkrownn::{prove, setup, verify};
+use zkrownn::Authority;
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_gadgets::FixedConfig;
 use zkrownn_nn::{generate_gmm, Conv2d, Dense, GmmConfig, Layer, Network};
@@ -92,8 +92,11 @@ fn deep_watermark_ownership_proof_roundtrip() {
     let cfg = FixedConfig::default();
     let spec = spec_from_keys(&net, &keys, false, 1, &cfg);
     let mut rng = rand::rngs::StdRng::seed_from_u64(504);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
-    assert!(proof.verdict, "deep watermark must be recovered in-circuit");
-    verify(&pk.vk, &spec, &proof).expect("verification succeeds");
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).expect("honest claim");
+    assert!(
+        claim.verdict(),
+        "deep watermark must be recovered in-circuit"
+    );
+    verifier.verify(&claim).expect("verification succeeds");
 }

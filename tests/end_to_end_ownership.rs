@@ -1,14 +1,14 @@
 //! End-to-end ownership proof: train → watermark → setup → prove → verify,
 //! including rejection paths. This is the full Figure-1 workflow of the
-//! paper on a scaled-down MLP.
+//! paper on a scaled-down MLP, driven through the role-typed
+//! Authority/ProverKit/VerifierKit API.
 
 use rand::SeedableRng;
 use zkrownn::benchmarks::spec_from_keys;
-use zkrownn::{prove, setup, verify, ExtractionSpec, OwnershipError};
+use zkrownn::{Artifact, Authority, ExtractionSpec, SignedClaim, ZkrownnError};
 use zkrownn_deepsigns::{embed, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_ff::{Field, Fr, PrimeField};
 use zkrownn_gadgets::FixedConfig;
-use zkrownn_groth16::Proof;
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 
 /// A small watermarked MLP + its extraction spec (fast enough for CI).
@@ -44,60 +44,83 @@ fn small_watermarked_spec(seed: u64) -> ExtractionSpec {
 }
 
 #[test]
-fn ownership_proof_roundtrip() {
+fn ownership_claim_roundtrip() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(301);
     let spec = small_watermarked_spec(300);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
-    assert!(proof.verdict, "watermark must be recovered");
-    verify(&pk.vk, &spec, &proof).expect("verification must succeed");
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).expect("honest claim");
+    assert!(claim.verdict(), "watermark must be recovered");
+    assert_eq!(claim.circuit_id(), spec.circuit_id());
+    verifier.verify(&claim).expect("verification must succeed");
 }
 
 #[test]
-fn proof_is_128_bytes_and_roundtrips() {
+fn claim_survives_the_wire() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(302);
     let spec = small_watermarked_spec(300);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).unwrap();
-    let bytes = proof.proof.to_bytes();
-    assert_eq!(bytes.len(), 128, "constant proof size, as in the paper");
-    assert_eq!(Proof::from_bytes(&bytes).as_ref(), Some(&proof.proof));
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).unwrap();
+    // the inner Groth16 proof stays 128 bytes, as in the paper
+    let proof_bytes = claim.proof.proof.to_bytes();
+    assert_eq!(
+        proof_bytes.len(),
+        128,
+        "constant proof size, as in the paper"
+    );
+    // the whole claim round-trips with envelope + checksum intact
+    let wire = claim.to_bytes();
+    assert_eq!(wire.len(), Artifact::serialized_size(&claim));
+    let received = SignedClaim::from_bytes(&wire).expect("claim decodes");
+    assert_eq!(received, claim);
+    verifier.verify(&received).expect("decoded claim verifies");
 }
 
 #[test]
 fn verification_rejects_different_model() {
-    // Claiming ownership of a model with different weights must fail:
-    // the weights are public inputs, so the verifier's input vector
-    // diverges and the pairing check breaks.
+    // Claiming ownership of a model with different weights must fail.
+    // A kit issued by Authority::setup is *bound* to the disputed model's
+    // statement, so the re-targeted claim is caught by the statement pin;
+    // even an unbound kit rejects it, because the weights are public
+    // inputs and the pairing check breaks.
     let mut rng = rand::rngs::StdRng::seed_from_u64(303);
     let spec = small_watermarked_spec(300);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).unwrap();
-    let mut other = spec.clone();
-    // perturb one public weight
-    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.model.layers[0] {
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).unwrap();
+    let mut other = claim.clone();
+    // perturb one public weight in the claimed statement
+    if let zkrownn::QuantLayer::Dense { w, .. } = &mut other.statement.model.layers[0] {
         w[0] += 1;
     }
+    assert_eq!(
+        verifier.verify(&other),
+        Err(ZkrownnError::StatementMismatch)
+    );
+
+    let unbound =
+        zkrownn::VerifierKit::from_parts(verifier.verifying_key().clone(), verifier.circuit_id());
     assert!(matches!(
-        verify(&pk.vk, &other, &proof),
-        Err(OwnershipError::InvalidProof(_))
+        unbound.verify(&other),
+        Err(ZkrownnError::InvalidProof(_))
     ));
+    // the unbound kit still accepts the genuine claim
+    unbound.verify(&claim).expect("genuine claim verifies");
 }
 
 #[test]
-fn wrong_watermark_produces_negative_verdict() {
-    // A prover with the wrong signature gets a *valid proof of verdict 0*,
-    // which `verify` refuses to accept as an ownership claim.
+fn wrong_watermark_is_a_negative_verdict_not_a_forgery() {
+    // A prover with the wrong signature gets a *valid proof of verdict 0*.
+    // The API reports that as NegativeVerdict — distinguishable from a
+    // forged/tampered proof, which reports InvalidProof.
     let mut rng = rand::rngs::StdRng::seed_from_u64(304);
     let mut spec = small_watermarked_spec(300);
     // flip half the signature bits — BER jumps above θ
     for b in spec.signature.iter_mut().take(4) {
         *b = !*b;
     }
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).expect("circuit still satisfiable");
-    assert!(!proof.verdict);
-    assert!(verify(&pk.vk, &spec, &proof).is_err());
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).expect("circuit still satisfiable");
+    assert!(!claim.verdict());
+    assert_eq!(verifier.verify(&claim), Err(ZkrownnError::NegativeVerdict));
 }
 
 #[test]
@@ -105,10 +128,36 @@ fn tampered_verdict_is_rejected() {
     // Flipping the claimed verdict bit after proving must not verify.
     let mut rng = rand::rngs::StdRng::seed_from_u64(305);
     let spec = small_watermarked_spec(300);
-    let pk = setup(&spec, &mut rng);
-    let mut proof = prove(&pk, &spec, &mut rng).unwrap();
-    proof.verdict = false; // lie about the public output
-    assert!(verify(&pk.vk, &spec, &proof).is_err());
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let mut claim = prover.prove(&mut rng).unwrap();
+    claim.proof.verdict = false; // lie about the public output
+    assert!(matches!(
+        verifier.verify(&claim),
+        Err(ZkrownnError::InvalidProof(_))
+    ));
+}
+
+#[test]
+fn claim_against_wrong_circuit_is_a_mismatch() {
+    // A statement whose shape hashes to a different circuit id than the
+    // proof names must be caught before any pairing work. The bound kit
+    // rejects it even earlier, at the statement pin.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(306);
+    let spec = small_watermarked_spec(300);
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let mut claim = prover.prove(&mut rng).unwrap();
+    claim.statement.max_errors += 1; // different threshold ⇒ different shape
+    assert_eq!(
+        verifier.verify(&claim),
+        Err(ZkrownnError::StatementMismatch)
+    );
+
+    let unbound =
+        zkrownn::VerifierKit::from_parts(verifier.verifying_key().clone(), verifier.circuit_id());
+    assert!(matches!(
+        unbound.verify(&claim),
+        Err(ZkrownnError::CircuitMismatch { .. })
+    ));
 }
 
 #[test]
@@ -121,4 +170,20 @@ fn public_input_vector_layout() {
     // quantized weights are embedded as signed field elements
     let w0 = spec.model.params_in_order()[0];
     assert_eq!(inputs[0], Fr::from_i128(w0));
+    // the statement derives the identical vector
+    assert_eq!(spec.statement().public_inputs(true), inputs);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_free_function_shims_still_work() {
+    // The pre-redesign API keeps working for one release, with identical
+    // semantics (including the NegativeVerdict distinction).
+    use zkrownn::{prove, setup, verify};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(307);
+    let spec = small_watermarked_spec(300);
+    let pk = setup(&spec, &mut rng);
+    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
+    assert!(proof.verdict);
+    verify(&pk.vk, &spec, &proof).expect("verification must succeed");
 }

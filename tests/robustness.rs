@@ -6,7 +6,7 @@
 
 use rand::SeedableRng;
 use zkrownn::benchmarks::spec_from_keys;
-use zkrownn::{prove, setup, verify};
+use zkrownn::{Authority, ZkrownnError};
 use zkrownn_deepsigns::attacks::{finetune, prune};
 use zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig, WatermarkKeys};
 use zkrownn_gadgets::FixedConfig;
@@ -66,10 +66,10 @@ fn proof_of_ownership_of_finetuned_model() {
     let theta_errors = 1; // tolerate one flipped bit
     let spec = spec_from_keys(&stolen, &keys, false, theta_errors, &FixedConfig::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(322);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).unwrap();
-    assert!(proof.verdict, "ownership verdict on the fine-tuned model");
-    verify(&pk.vk, &spec, &proof).unwrap();
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).unwrap();
+    assert!(claim.verdict(), "ownership verdict on the fine-tuned model");
+    verifier.verify(&claim).unwrap();
 }
 
 #[test]
@@ -82,10 +82,10 @@ fn proof_of_ownership_of_pruned_model() {
     let theta_errors = 2;
     let spec = spec_from_keys(&stolen, &keys, false, theta_errors, &FixedConfig::default());
     let mut rng = rand::rngs::StdRng::seed_from_u64(324);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).unwrap();
-    assert!(proof.verdict, "ownership verdict on the pruned model");
-    verify(&pk.vk, &spec, &proof).unwrap();
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).unwrap();
+    assert!(claim.verdict(), "ownership verdict on the pruned model");
+    verifier.verify(&claim).unwrap();
 }
 
 #[test]
@@ -113,8 +113,9 @@ fn impostor_without_keys_cannot_claim_ownership() {
     );
 
     let spec = spec_from_keys(&victim_model, &fake_keys, false, 0, &FixedConfig::default());
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).unwrap();
-    assert!(!proof.verdict);
-    assert!(verify(&pk.vk, &spec, &proof).is_err());
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).unwrap();
+    assert!(!claim.verdict());
+    // the impostor's proof is sound — it just proves the watermark absent
+    assert_eq!(verifier.verify(&claim), Err(ZkrownnError::NegativeVerdict));
 }

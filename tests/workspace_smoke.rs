@@ -5,7 +5,7 @@
 
 use rand::SeedableRng;
 use zkrownn_repro::zkrownn::benchmarks::spec_from_keys;
-use zkrownn_repro::zkrownn::{prove, setup, verify, verify_prepared};
+use zkrownn_repro::zkrownn::{Artifact, Authority, KeyRegistry, SignedClaim};
 use zkrownn_repro::zkrownn_deepsigns::{embed, extract, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_repro::zkrownn_gadgets::FixedConfig;
 use zkrownn_repro::zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
@@ -43,18 +43,24 @@ fn tiny_mlp_ownership_proof_roundtrip() {
     let (_, ber) = extract(&net, &keys);
     assert!(ber < 0.5, "embedding should beat a coin flip (ber = {ber})");
 
-    // Setup → prove → verify through the meta-crate paths.
+    // Setup → prove → wire round-trip → verify through the meta-crate paths.
     let spec = spec_from_keys(&net, &keys, false, 1, &FixedConfig::default());
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).expect("honest prover succeeds");
-    verify(&pk.vk, &spec, &proof).expect("proof verifies");
-    let pvk = pk.vk.prepare();
-    verify_prepared(&pvk, &spec, &proof).expect("prepared verification agrees");
+    let (prover, verifier) = Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).expect("honest prover succeeds");
+    let received = SignedClaim::from_bytes(&claim.to_bytes()).expect("claim decodes");
+    verifier.verify(&received).expect("claim verifies");
+    let mut registry = KeyRegistry::new();
+    registry.register_kit(&verifier);
+    registry
+        .verify(&received)
+        .expect("registry verification agrees");
 
-    // Negative control: the proof must not transfer to a tampered model.
-    let mut tampered = spec.clone();
-    if let zkrownn_repro::zkrownn::QuantLayer::Dense { w, .. } = &mut tampered.model.layers[0] {
+    // Negative control: the claim must not transfer to a tampered model.
+    let mut tampered = received.clone();
+    if let zkrownn_repro::zkrownn::QuantLayer::Dense { w, .. } =
+        &mut tampered.statement.model.layers[0]
+    {
         w[0] += 1;
     }
-    assert!(verify(&pk.vk, &tampered, &proof).is_err());
+    assert!(verifier.verify(&tampered).is_err());
 }
