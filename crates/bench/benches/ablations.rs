@@ -8,6 +8,10 @@
 //! * `pairing/*` — the verifier's unit operations;
 //! * `average/fold-vs-divide` — the fold-the-average optimization used by
 //!   the end-to-end CNN circuit;
+//! * `synthesis/mlp-setup-vs-prove` — the witness-free setup synthesizer
+//!   vs. the proving synthesizer over the quick MNIST-MLP extraction
+//!   circuit: setup no longer pays any witness-evaluation cost (and the
+//!   counting driver is cheaper still);
 //! * `verify_batch/*` — amortized batch verification through the
 //!   `KeyRegistry` vs. naive per-claim verification (preparation + pairing
 //!   check per claim), over 8 same-circuit claims.
@@ -17,26 +21,58 @@ use rand::SeedableRng;
 use zkrownn_curves::{msm::msm, G1Affine, G1Projective};
 use zkrownn_ff::{Field, Fr};
 use zkrownn_gadgets::matmul::{matmul, NumMatrix};
-use zkrownn_groth16::{create_proof, generate_parameters};
+use zkrownn_groth16::{create_proof_from_cs, generate_parameters_from_matrices};
 use zkrownn_pairing::{multi_pairing, pairing, G2Prepared};
 use zkrownn_poly::Radix2Domain;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{Circuit, CountingSynthesizer, ProvingSynthesizer, SetupSynthesizer};
 
 fn bench_matmul_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/matmul-prove");
     group.sample_size(10);
     for d in [4usize, 8, 16] {
-        let mut cs = ConstraintSystem::<Fr>::new();
+        let mut cs = ProvingSynthesizer::<Fr>::new();
         let entries: Vec<i128> = (0..(d * d) as i128).map(|i| i % 17 - 8).collect();
-        let a = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8);
-        let b = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8);
-        let _ = matmul(&a, &b, &mut cs);
+        let a = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8).unwrap();
+        let b = NumMatrix::alloc_witness(&mut cs, d, d, &entries, 8).unwrap();
+        let _ = matmul(&a, &b, &mut cs).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |bench, _| {
-            bench.iter(|| create_proof(&pk, &cs, &mut rng))
+            bench.iter(|| create_proof_from_cs(&pk, &cs, &mut rng))
         });
     }
+    group.finish();
+}
+
+fn bench_synthesis_modes(c: &mut Criterion) {
+    // The tentpole claim of the mode-aware synthesis API: setup-mode
+    // synthesis of the end-to-end MLP circuit evaluates no witness closure
+    // (no trigger encoding, no feed-forward value computation, no
+    // quotient/bit derivation), so it undercuts prove-mode synthesis.
+    let spec = zkrownn_bench::quick_mlp_spec();
+    let mut group = c.benchmark_group("synthesis/mlp-setup-vs-prove");
+    group.sample_size(10);
+    group.bench_function("setup-mode", |b| {
+        b.iter(|| {
+            let mut cs = SetupSynthesizer::<Fr>::new();
+            spec.shape_circuit().synthesize(&mut cs).unwrap();
+            cs.num_constraints()
+        })
+    });
+    group.bench_function("prove-mode", |b| {
+        b.iter(|| {
+            let mut cs = ProvingSynthesizer::<Fr>::new();
+            spec.circuit().synthesize(&mut cs).unwrap();
+            cs.num_constraints()
+        })
+    });
+    group.bench_function("count-mode", |b| {
+        b.iter(|| {
+            let mut cs = CountingSynthesizer::<Fr>::new();
+            spec.shape_circuit().synthesize(&mut cs).unwrap();
+            cs.num_constraints()
+        })
+    });
     group.finish();
 }
 
@@ -99,14 +135,17 @@ fn bench_average_fold(c: &mut Criterion) {
     group.sample_size(10);
     for fold in [false, true] {
         let label = if fold { "folded" } else { "divide" };
-        let mut cs = ConstraintSystem::<Fr>::new();
+        let mut cs = ProvingSynthesizer::<Fr>::new();
         use zkrownn_ff::PrimeField;
         use zkrownn_gadgets::cmp::div_by_const;
         use zkrownn_gadgets::Num;
         let rows: Vec<Vec<Num>> = (0..3)
             .map(|r| {
                 (0..64)
-                    .map(|i| Num::alloc_witness(&mut cs, Fr::from_i128((i + r) as i128), 20))
+                    .map(|i| {
+                        Num::alloc_witness(&mut cs, || Ok(Fr::from_i128((i + r) as i128)), 20)
+                            .unwrap()
+                    })
                     .collect()
             })
             .collect();
@@ -116,17 +155,19 @@ fn bench_average_fold(c: &mut Criterion) {
                 s = s.add(&row[j]);
             }
             if !fold {
-                let _ = div_by_const(&s, 3, &mut cs);
+                let _ = div_by_const(&s, 3, &mut cs).unwrap();
             }
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         // anchor the circuit with one constraint if folding removed them all
         if cs.num_constraints() == 0 {
-            let one = Num::alloc_witness(&mut cs, Fr::one(), 1);
-            let _ = one.mul(&one, &mut cs);
+            let one = Num::alloc_witness(&mut cs, || Ok(Fr::one()), 1).unwrap();
+            let _ = one.mul(&one, &mut cs).unwrap();
         }
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        group.bench_function(label, |b| b.iter(|| create_proof(&pk, &cs, &mut rng)));
+        let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+        group.bench_function(label, |b| {
+            b.iter(|| create_proof_from_cs(&pk, &cs, &mut rng))
+        });
     }
     group.finish();
 }
@@ -197,6 +238,7 @@ fn bench_verify_batch(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul_scaling,
+    bench_synthesis_modes,
     bench_msm,
     bench_fft,
     bench_pairing,

@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use zkrownn_bench::{build_row, Scale};
 use zkrownn_ff::Fr;
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
+use zkrownn_groth16::{
+    create_proof_from_cs, generate_parameters_from_matrices, verify_proof_prepared,
+};
 
 fn bench_rows(c: &mut Criterion) {
     // BER / ReLU / HardThresholding / Sigmoid are the cheap rows; the heavy
@@ -17,12 +19,14 @@ fn bench_rows(c: &mut Criterion) {
         let cs = build_row(row, Scale::Quick);
         let matrices = cs.to_matrices();
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let pk = generate_parameters(&matrices, &mut rng);
+        let pk = generate_parameters_from_matrices(&matrices, &mut rng);
 
         let mut group = c.benchmark_group(format!("table1/{row}"));
         group.sample_size(10);
-        group.bench_function("prove", |b| b.iter(|| create_proof(&pk, &cs, &mut rng)));
-        let proof = create_proof(&pk, &cs, &mut rng);
+        group.bench_function("prove", |b| {
+            b.iter(|| create_proof_from_cs(&pk, &cs, &mut rng))
+        });
+        let proof = create_proof_from_cs(&pk, &cs, &mut rng);
         let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
         let pvk = pk.vk.prepare();
         group.bench_function("verify", |b| {
@@ -35,8 +39,8 @@ fn bench_rows(c: &mut Criterion) {
         let cs = build_row(row, Scale::Quick);
         let matrices = cs.to_matrices();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let pk = generate_parameters(&matrices, &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters_from_matrices(&matrices, &mut rng);
+        let proof = create_proof_from_cs(&pk, &cs, &mut rng);
         let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
         let pvk = pk.vk.prepare();
         let mut group = c.benchmark_group(format!("table1/{row}"));

@@ -17,6 +17,7 @@
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use zkrownn::benchmarks::{spec_from_keys, watermarked_cnn, watermarked_mlp, BenchmarkScale};
+use zkrownn::ExtractionSpec;
 use zkrownn_deepsigns::{embed, generate_keys, EmbedConfig, KeyGenConfig};
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::average::average_rows;
@@ -26,9 +27,11 @@ use zkrownn_gadgets::relu::relu_vec;
 use zkrownn_gadgets::sigmoid::sigmoid_vec;
 use zkrownn_gadgets::threshold::hard_threshold_vec;
 use zkrownn_gadgets::{ber::ber_circuit, FixedConfig, Num};
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
+use zkrownn_groth16::{
+    create_proof_from_cs, generate_parameters_from_matrices, verify_proof_prepared,
+};
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
 
 /// Benchmark scale: the paper's exact dimensions, or reduced ones for
 /// quick runs / CI.
@@ -200,51 +203,133 @@ fn pseudo_entries(n: usize, modulus: i128, seed: i128) -> Vec<i128> {
         .collect()
 }
 
-/// Builds the "MatMult" circuit: private `A, B ∈ ℤ^{d×d}`, private output.
-pub fn build_matmult(scale: Scale) -> ConstraintSystem<Fr> {
-    let d = match scale {
-        Scale::Paper => 128,
-        Scale::Quick => 16,
-    };
-    let mut cs = ConstraintSystem::new();
-    let a = NumMatrix::alloc_witness(&mut cs, d, d, &pseudo_entries(d * d, 1000, 7), 16);
-    let b = NumMatrix::alloc_witness(&mut cs, d, d, &pseudo_entries(d * d, 1000, 13), 16);
-    let _c = matmul(&a, &b, &mut cs);
-    cs
+/// A Table I row as a mode-agnostic circuit: one value synthesizable under
+/// the setup, proving or counting driver (see [`row_circuit`]).
+pub enum Table1Circuit {
+    /// "MatMult": private `A, B ∈ ℤ^{d×d}`, private output.
+    MatMult {
+        /// Matrix dimension.
+        d: usize,
+    },
+    /// "Conv3D": all-private valid convolution.
+    Conv3d {
+        /// Convolution geometry.
+        shape: ConvShape,
+    },
+    /// "ReLU": private vector, public outputs.
+    Relu {
+        /// Vector length.
+        n: usize,
+    },
+    /// "Average2D": private `n×n` matrix, public column means.
+    Average2d {
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// "Sigmoid": private vector through the degree-9 Chebyshev sigmoid.
+    Sigmoid {
+        /// Vector length.
+        n: usize,
+    },
+    /// "HardThresholding": private vector, threshold 0.5, public bits.
+    HardThreshold {
+        /// Vector length.
+        n: usize,
+    },
+    /// "BER": two private bit strings, public verdict.
+    Ber {
+        /// Bit-string length.
+        n: usize,
+    },
+    /// An end-to-end extraction circuit ("mnist-mlp" / "cifar-cnn").
+    Extraction(Box<ExtractionSpec>),
 }
 
-/// Builds the "Conv3D" circuit: 32×32×3 input, 32 output channels, 3×3
-/// kernels, stride 2 (paper caption); all private.
-pub fn build_conv3d(scale: Scale) -> ConstraintSystem<Fr> {
-    let shape = match scale {
-        Scale::Paper => ConvShape {
-            in_channels: 3,
-            height: 32,
-            width: 32,
-            out_channels: 32,
-            kernel: 3,
-            stride: 2,
-        },
-        Scale::Quick => ConvShape {
-            in_channels: 3,
-            height: 8,
-            width: 8,
-            out_channels: 4,
-            kernel: 3,
-            stride: 2,
-        },
-    };
-    let mut cs = ConstraintSystem::new();
-    let input: Vec<Num> = pseudo_entries(shape.in_len(), 500, 3)
-        .iter()
-        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 16))
-        .collect();
-    let kernels: Vec<Num> = pseudo_entries(shape.kernel_len(), 500, 5)
-        .iter()
-        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 16))
-        .collect();
-    let _out = conv3d(&input, &kernels, &shape, &mut cs);
-    cs
+impl Circuit<Fr> for Table1Circuit {
+    type Output = ();
+
+    fn synthesize<CS: ConstraintSystem<Fr>>(&self, cs: &mut CS) -> Result<(), SynthesisError> {
+        match self {
+            Table1Circuit::MatMult { d } => {
+                let d = *d;
+                let a = NumMatrix::alloc_witness(cs, d, d, &pseudo_entries(d * d, 1000, 7), 16)?;
+                let b = NumMatrix::alloc_witness(cs, d, d, &pseudo_entries(d * d, 1000, 13), 16)?;
+                let _c = matmul(&a, &b, cs)?;
+            }
+            Table1Circuit::Conv3d { shape } => {
+                let input: Vec<Num> = pseudo_entries(shape.in_len(), 500, 3)
+                    .iter()
+                    .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), 16))
+                    .collect::<Result<_, _>>()?;
+                let kernels: Vec<Num> = pseudo_entries(shape.kernel_len(), 500, 5)
+                    .iter()
+                    .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), 16))
+                    .collect::<Result<_, _>>()?;
+                let _out = conv3d(&input, &kernels, shape, cs)?;
+            }
+            Table1Circuit::Relu { n } => {
+                let xs: Vec<Num> = pseudo_entries(*n, 1 << 20, 11)
+                    .iter()
+                    .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), STANDALONE_BITS))
+                    .collect::<Result<_, _>>()?;
+                for out in relu_vec(&xs, cs)? {
+                    out.expose_as_output(cs)?;
+                }
+            }
+            Table1Circuit::Average2d { n } => {
+                let rows: Vec<Vec<Num>> = (0..*n)
+                    .map(|r| {
+                        pseudo_entries(*n, 1 << 20, r as i128)
+                            .iter()
+                            .map(|&v| {
+                                Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), STANDALONE_BITS)
+                            })
+                            .collect::<Result<_, _>>()
+                    })
+                    .collect::<Result<_, _>>()?;
+                for out in average_rows(&rows, cs)? {
+                    out.expose_as_output(cs)?;
+                }
+            }
+            Table1Circuit::Sigmoid { n } => {
+                let cfg = FixedConfig::default();
+                let xs: Vec<Num> = (0..*n)
+                    .map(|i| {
+                        let x = (i as f64 / *n as f64) * 8.0 - 4.0;
+                        Num::alloc_witness(
+                            cs,
+                            || Ok(Fr::from_i128(cfg.encode(x))),
+                            cfg.value_bits(),
+                        )
+                    })
+                    .collect::<Result<_, _>>()?;
+                for out in sigmoid_vec(&xs, &cfg, cs)? {
+                    out.expose_as_output(cs)?;
+                }
+            }
+            Table1Circuit::HardThreshold { n } => {
+                let cfg = FixedConfig::default();
+                let xs: Vec<Num> = pseudo_entries(*n, 1 << 18, 17)
+                    .iter()
+                    .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), STANDALONE_BITS))
+                    .collect::<Result<_, _>>()?;
+                let beta = Fr::from_i128(1i128 << (cfg.frac_bits - 1));
+                for out in hard_threshold_vec(&xs, beta, cs)? {
+                    out.num.expose_as_output(cs)?;
+                }
+            }
+            Table1Circuit::Ber { n } => {
+                let wm: Vec<bool> = (0..*n).map(|i| i % 3 == 0).collect();
+                let mut ex = wm.clone();
+                ex[1] = !ex[1];
+                let _ = ber_circuit(&wm, &ex, 2, cs)?;
+            }
+            Table1Circuit::Extraction(spec) => {
+                let _ = spec.circuit().synthesize(cs)?;
+            }
+        }
+        Ok(())
+    }
 }
 
 fn vector_len(scale: Scale) -> usize {
@@ -254,191 +339,162 @@ fn vector_len(scale: Scale) -> usize {
     }
 }
 
-/// Builds the "ReLU" circuit: length-128 private vector, public outputs.
-pub fn build_relu(scale: Scale) -> ConstraintSystem<Fr> {
-    let n = vector_len(scale);
-    let mut cs = ConstraintSystem::new();
-    let xs: Vec<Num> = pseudo_entries(n, 1 << 20, 11)
-        .iter()
-        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
-        .collect();
-    for out in relu_vec(&xs, &mut cs) {
-        out.expose_as_output(&mut cs);
-    }
-    cs
-}
-
-/// Builds the "Average2D" circuit: private 128×128 matrix, public column
-/// means.
-pub fn build_average2d(scale: Scale) -> ConstraintSystem<Fr> {
-    let n = vector_len(scale);
-    let mut cs = ConstraintSystem::new();
-    let rows: Vec<Vec<Num>> = (0..n)
-        .map(|r| {
-            pseudo_entries(n, 1 << 20, r as i128)
-                .iter()
-                .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
-                .collect()
-        })
-        .collect();
-    for out in average_rows(&rows, &mut cs) {
-        out.expose_as_output(&mut cs);
-    }
-    cs
-}
-
-/// Builds the "Sigmoid" circuit: length-128 private vector through the
-/// degree-9 Chebyshev sigmoid, public outputs.
-pub fn build_sigmoid(scale: Scale) -> ConstraintSystem<Fr> {
-    let n = vector_len(scale);
-    let cfg = FixedConfig::default();
-    let mut cs = ConstraintSystem::new();
-    let xs: Vec<Num> = (0..n)
-        .map(|i| {
-            let x = (i as f64 / n as f64) * 8.0 - 4.0;
-            Num::alloc_witness(&mut cs, Fr::from_i128(cfg.encode(x)), cfg.value_bits())
-        })
-        .collect();
-    for out in sigmoid_vec(&xs, &cfg, &mut cs) {
-        out.expose_as_output(&mut cs);
-    }
-    cs
-}
-
-/// Builds the "HardThresholding" circuit: length-128 private vector,
-/// threshold 0.5, public 0/1 outputs.
-pub fn build_hardthreshold(scale: Scale) -> ConstraintSystem<Fr> {
-    let n = vector_len(scale);
-    let cfg = FixedConfig::default();
-    let mut cs = ConstraintSystem::new();
-    let xs: Vec<Num> = pseudo_entries(n, 1 << 18, 17)
-        .iter()
-        .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), STANDALONE_BITS))
-        .collect();
-    let beta = Fr::from_i128(1i128 << (cfg.frac_bits - 1));
-    for out in hard_threshold_vec(&xs, beta, &mut cs) {
-        out.num.expose_as_output(&mut cs);
-    }
-    cs
-}
-
-/// Builds the "BER" circuit: two private 128-bit strings, public verdict.
-pub fn build_ber(scale: Scale) -> ConstraintSystem<Fr> {
-    let n = vector_len(scale);
-    let mut cs = ConstraintSystem::new();
-    let wm: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
-    let mut ex = wm.clone();
-    ex[1] = !ex[1];
-    let _ = ber_circuit(&wm, &ex, 2, &mut cs);
-    cs
-}
-
-/// Builds the end-to-end "MNIST-MLP" extraction circuit (Table II MLP with
-/// a 32-bit watermark in the first hidden layer).
-pub fn build_mnist_mlp(scale: Scale) -> ConstraintSystem<Fr> {
+/// The quick-scale end-to-end MLP extraction spec (same circuit shape as
+/// the paper's MNIST-MLP row, reduced dimensions: 96 → 32, 8-bit wm) —
+/// also the subject of the golden constraint-count regression test.
+pub fn quick_mlp_spec() -> ExtractionSpec {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
     let cfg = FixedConfig::default();
-    match scale {
-        Scale::Paper => {
-            let bench = watermarked_mlp(&BenchmarkScale::paper(), &mut rng);
-            let spec = spec_from_keys(&bench.net, &bench.keys, false, 1, &cfg);
-            spec.build().cs
-        }
-        Scale::Quick => {
-            // same circuit shape, reduced dimensions (96 → 32, 8-bit wm)
-            let gmm = GmmConfig {
-                input_shape: vec![96],
-                num_classes: 10,
-                mean_scale: 1.0,
-                noise_std: 0.35,
-            };
-            let data = generate_gmm(&gmm, 200, &mut rng);
-            let mut net = Network::new(vec![
-                Layer::Dense(Dense::new(96, 32, &mut rng)),
-                Layer::ReLU,
-                Layer::Dense(Dense::new(32, 10, &mut rng)),
-            ]);
-            net.train(&data.xs, &data.ys, 2, 0.02);
-            let keys = generate_keys(
-                &KeyGenConfig {
-                    layer: 1,
-                    activation_dim: 32,
-                    signature_bits: 8,
-                    num_triggers: 3,
-                    projection_std: 1.0 / (32f32).sqrt(),
-                },
-                &data,
-                &mut rng,
-            );
-            embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
-            spec_from_keys(&net, &keys, false, 1, &cfg).build().cs
-        }
-    }
+    let gmm = GmmConfig {
+        input_shape: vec![96],
+        num_classes: 10,
+        mean_scale: 1.0,
+        noise_std: 0.35,
+    };
+    let data = generate_gmm(&gmm, 200, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Dense(Dense::new(96, 32, &mut rng)),
+        Layer::ReLU,
+        Layer::Dense(Dense::new(32, 10, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 2, 0.02);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 1,
+            activation_dim: 32,
+            signature_bits: 8,
+            num_triggers: 3,
+            projection_std: 1.0 / (32f32).sqrt(),
+        },
+        &data,
+        &mut rng,
+    );
+    embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+    spec_from_keys(&net, &keys, false, 1, &cfg)
 }
 
-/// Builds the end-to-end "CIFAR10-CNN" extraction circuit (watermark in the
-/// first convolution layer, with the averaging folded into the projection).
-pub fn build_cifar_cnn(scale: Scale) -> ConstraintSystem<Fr> {
+/// The quick-scale end-to-end CNN extraction spec (watermark in the first
+/// convolution layer, averaging folded into the projection) — also the
+/// subject of the golden constraint-count regression test.
+pub fn quick_cnn_spec() -> ExtractionSpec {
+    use zkrownn_nn::Conv2d;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
     let cfg = FixedConfig::default();
-    match scale {
-        Scale::Paper => {
-            let mut paper = BenchmarkScale::paper();
-            paper.num_triggers = 3; // conv activation maps are large
-            let bench = watermarked_cnn(&paper, &mut rng);
-            let spec = spec_from_keys(&bench.net, &bench.keys, true, 1, &cfg);
-            spec.build().cs
-        }
-        Scale::Quick => {
-            use zkrownn_nn::Conv2d;
-            let gmm = GmmConfig {
-                input_shape: vec![3, 16, 16],
-                num_classes: 4,
-                mean_scale: 1.0,
-                noise_std: 0.35,
-            };
-            let data = generate_gmm(&gmm, 120, &mut rng);
-            let mut net = Network::new(vec![
-                Layer::Conv2d(Conv2d::new(3, 8, 3, 2, &mut rng)),
-                Layer::ReLU,
-                Layer::Flatten,
-                Layer::Dense(Dense::new(8 * 7 * 7, 4, &mut rng)),
-            ]);
-            net.train(&data.xs, &data.ys, 2, 0.01);
-            let keys = generate_keys(
-                &KeyGenConfig {
-                    layer: 0,
-                    activation_dim: 8 * 7 * 7,
-                    signature_bits: 8,
-                    num_triggers: 2,
-                    projection_std: 1.0 / (8f32 * 49.0).sqrt(),
-                },
-                &data,
-                &mut rng,
-            );
-            embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
-            spec_from_keys(&net, &keys, true, 1, &cfg).build().cs
-        }
-    }
+    let gmm = GmmConfig {
+        input_shape: vec![3, 16, 16],
+        num_classes: 4,
+        mean_scale: 1.0,
+        noise_std: 0.35,
+    };
+    let data = generate_gmm(&gmm, 120, &mut rng);
+    let mut net = Network::new(vec![
+        Layer::Conv2d(Conv2d::new(3, 8, 3, 2, &mut rng)),
+        Layer::ReLU,
+        Layer::Flatten,
+        Layer::Dense(Dense::new(8 * 7 * 7, 4, &mut rng)),
+    ]);
+    net.train(&data.xs, &data.ys, 2, 0.01);
+    let keys = generate_keys(
+        &KeyGenConfig {
+            layer: 0,
+            activation_dim: 8 * 7 * 7,
+            signature_bits: 8,
+            num_triggers: 2,
+            projection_std: 1.0 / (8f32 * 49.0).sqrt(),
+        },
+        &data,
+        &mut rng,
+    );
+    embed(&mut net, &keys, &data.xs, &data.ys, &EmbedConfig::default());
+    spec_from_keys(&net, &keys, true, 1, &cfg)
 }
 
-/// Builds a Table I row circuit by name (see [`ROW_NAMES`]).
+/// Builds a Table I row as a mode-agnostic [`Table1Circuit`] by name (see
+/// [`ROW_NAMES`]). The end-to-end rows train and watermark their model
+/// here, so the returned value can be synthesized repeatedly (setup, then
+/// prove, then count) without repeating that work.
 ///
 /// # Panics
 /// Panics on an unknown row name.
-pub fn build_row(name: &str, scale: Scale) -> ConstraintSystem<Fr> {
+pub fn row_circuit(name: &str, scale: Scale) -> Table1Circuit {
     match name {
-        "matmult" => build_matmult(scale),
-        "conv3d" => build_conv3d(scale),
-        "relu" => build_relu(scale),
-        "average2d" => build_average2d(scale),
-        "sigmoid" => build_sigmoid(scale),
-        "hardthreshold" => build_hardthreshold(scale),
-        "ber" => build_ber(scale),
-        "mnist-mlp" => build_mnist_mlp(scale),
-        "cifar-cnn" => build_cifar_cnn(scale),
+        "matmult" => Table1Circuit::MatMult {
+            d: match scale {
+                Scale::Paper => 128,
+                Scale::Quick => 16,
+            },
+        },
+        "conv3d" => Table1Circuit::Conv3d {
+            shape: match scale {
+                Scale::Paper => ConvShape {
+                    in_channels: 3,
+                    height: 32,
+                    width: 32,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 2,
+                },
+                Scale::Quick => ConvShape {
+                    in_channels: 3,
+                    height: 8,
+                    width: 8,
+                    out_channels: 4,
+                    kernel: 3,
+                    stride: 2,
+                },
+            },
+        },
+        "relu" => Table1Circuit::Relu {
+            n: vector_len(scale),
+        },
+        "average2d" => Table1Circuit::Average2d {
+            n: vector_len(scale),
+        },
+        "sigmoid" => Table1Circuit::Sigmoid {
+            n: vector_len(scale),
+        },
+        "hardthreshold" => Table1Circuit::HardThreshold {
+            n: vector_len(scale),
+        },
+        "ber" => Table1Circuit::Ber {
+            n: vector_len(scale),
+        },
+        "mnist-mlp" => Table1Circuit::Extraction(Box::new(match scale {
+            Scale::Paper => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1001);
+                let cfg = FixedConfig::default();
+                let bench = watermarked_mlp(&BenchmarkScale::paper(), &mut rng);
+                spec_from_keys(&bench.net, &bench.keys, false, 1, &cfg)
+            }
+            Scale::Quick => quick_mlp_spec(),
+        })),
+        "cifar-cnn" => Table1Circuit::Extraction(Box::new(match scale {
+            Scale::Paper => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(1002);
+                let cfg = FixedConfig::default();
+                let mut paper = BenchmarkScale::paper();
+                paper.num_triggers = 3; // conv activation maps are large
+                let bench = watermarked_cnn(&paper, &mut rng);
+                spec_from_keys(&bench.net, &bench.keys, true, 1, &cfg)
+            }
+            Scale::Quick => quick_cnn_spec(),
+        })),
         other => panic!("unknown Table I row {other:?}"),
     }
+}
+
+/// Builds a Table I row circuit by name and synthesizes it in proving mode
+/// (the form the measurement harness and benches consume).
+///
+/// # Panics
+/// Panics on an unknown row name.
+pub fn build_row(name: &str, scale: Scale) -> ProvingSynthesizer<Fr> {
+    let circuit = row_circuit(name, scale);
+    let mut cs = ProvingSynthesizer::new();
+    circuit
+        .synthesize(&mut cs)
+        .expect("benchmark circuits carry their witness");
+    cs
 }
 
 /// The paper's reference metrics for a row name, if recorded.
@@ -458,19 +514,19 @@ pub fn paper_reference(name: &str) -> Option<&'static PaperRow> {
     PAPER_TABLE1.iter().find(|r| r.name == canonical)
 }
 
-/// Runs setup → prove → verify over a built circuit and measures all seven
-/// Table I metrics.
-pub fn measure(name: &'static str, cs: &ConstraintSystem<Fr>) -> RowMetrics {
+/// Runs setup → prove → verify over a synthesized circuit and measures all
+/// seven Table I metrics.
+pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe9c);
     assert!(cs.is_satisfied().is_ok(), "{name}: unsatisfied circuit");
     let matrices = cs.to_matrices();
 
     let t = Instant::now();
-    let pk = generate_parameters(&matrices, &mut rng);
+    let pk = generate_parameters_from_matrices(&matrices, &mut rng);
     let setup_time = t.elapsed();
 
     let t = Instant::now();
-    let proof = create_proof(&pk, cs, &mut rng);
+    let proof = create_proof_from_cs(&pk, cs, &mut rng);
     let prove_time = t.elapsed();
 
     let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
@@ -535,8 +591,25 @@ mod tests {
     }
 
     #[test]
+    fn quick_rows_setup_mode_agrees_with_proving_mode() {
+        use zkrownn_r1cs::SetupSynthesizer;
+        for name in ["ber", "relu", "hardthreshold"] {
+            let circuit = row_circuit(name, Scale::Quick);
+            let mut setup = SetupSynthesizer::<Fr>::new();
+            circuit.synthesize(&mut setup).unwrap();
+            let cs = build_row(name, Scale::Quick);
+            assert_eq!(setup.num_constraints(), cs.num_constraints(), "row {name}");
+            assert_eq!(
+                setup.num_witness_variables(),
+                cs.num_witness_variables(),
+                "row {name}"
+            );
+        }
+    }
+
+    #[test]
     fn quick_relu_row_measures_end_to_end() {
-        let cs = build_relu(Scale::Quick);
+        let cs = build_row("relu", Scale::Quick);
         let m = measure("ReLU", &cs);
         assert_eq!(m.proof_bytes, 128);
         assert!(m.verify_time.as_secs_f64() < 1.0);
@@ -564,7 +637,7 @@ mod tests {
 
     #[test]
     fn format_table_contains_paper_rows() {
-        let cs = build_ber(Scale::Quick);
+        let cs = build_row("ber", Scale::Quick);
         let m = measure("BER", &cs);
         let table = format_table(&[m]);
         assert!(table.contains("BER (ours)"));

@@ -1,0 +1,55 @@
+//! Golden constraint-count regression tests for the Table I end-to-end
+//! extraction circuits, via the counting synthesizer.
+//!
+//! The exact numbers below were captured from the quick-scale MNIST-MLP and
+//! CIFAR10-CNN extraction circuits and must not drift silently: a gadget
+//! edit that bloats (or shrinks) the circuits has to update these constants
+//! *deliberately*, with the cost change called out in review. The counting
+//! pass never evaluates a witness closure, so this also pins the shape the
+//! witness-free setup driver sees.
+
+use zkrownn_bench::{quick_cnn_spec, quick_mlp_spec};
+use zkrownn_ff::Fr;
+use zkrownn_r1cs::{Circuit, CountingSynthesizer};
+
+/// (constraints, instance variables incl. the leading 1, witness variables)
+const GOLDEN_MLP: (usize, usize, usize) = (27_553, 3_106, 27_767);
+const GOLDEN_CNN: (usize, usize, usize) = (88_129, 226, 91_943);
+
+fn count(circuit: &impl Circuit<Fr>) -> (usize, usize, usize) {
+    let mut cs = CountingSynthesizer::<Fr>::new();
+    circuit.synthesize(&mut cs).expect("counting never fails");
+    (
+        cs.num_constraints(),
+        cs.num_instance_variables(),
+        cs.num_witness_variables(),
+    )
+}
+
+#[test]
+fn mlp_extraction_circuit_counts_are_golden() {
+    let spec = quick_mlp_spec();
+    // the shape circuit carries no witness — counting must not need one
+    assert_eq!(count(&spec.shape_circuit()), GOLDEN_MLP);
+}
+
+#[test]
+fn cnn_extraction_circuit_counts_are_golden() {
+    let spec = quick_cnn_spec();
+    assert_eq!(count(&spec.shape_circuit()), GOLDEN_CNN);
+}
+
+#[test]
+fn proving_mode_matches_the_golden_shape() {
+    // the dense proving synthesis must agree with the counting pass
+    let spec = quick_mlp_spec();
+    let built = spec.build().expect("witnessed build");
+    assert_eq!(
+        (
+            built.cs.num_constraints(),
+            built.cs.num_instance_variables(),
+            built.cs.num_witness_variables(),
+        ),
+        GOLDEN_MLP
+    );
+}

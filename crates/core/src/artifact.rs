@@ -15,11 +15,12 @@
 //! | [`ProvingKey`] | uncompressed prover queries |
 //! | [`SignedClaim`](crate::SignedClaim) | nested statement + proof artifacts |
 //!
-//! Artifacts are tied together by a [`CircuitId`]: a SHA-256 digest of the
-//! circuit *shape* (layer structure, watermark dimensions, BER threshold,
-//! fixed-point configuration — everything that determines the constraint
-//! system, and nothing that doesn't). Two same-shaped models share a
-//! `CircuitId`, and hence trusted-setup keys; a [`KeyRegistry`]
+//! Artifacts are tied together by a [`CircuitId`]: the SHA-256 digest of
+//! the circuit's *setup-mode synthesis trace* — every allocation and
+//! compacted constraint the witness-free setup driver records, and nothing
+//! else (in particular no assignment values, which the setup driver never
+//! evaluates). Two same-shaped models synthesize the same trace, so they
+//! share a `CircuitId` and hence trusted-setup keys; a [`KeyRegistry`]
 //! (see [`crate::registry`]) uses the id to cache pairing precomputation.
 //!
 //! Any single corrupted byte on the wire is rejected: header corruption
@@ -32,6 +33,7 @@ use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::conv::ConvShape;
 use zkrownn_gadgets::fixed::FixedConfig;
 use zkrownn_groth16::{ProvingKey, VerifyingKey};
+use zkrownn_r1cs::{Circuit, SetupSynthesizer, ShapeSink};
 
 // ---------------------------------------------------------------------------
 // SHA-256 (the content digest behind CircuitId and the envelope checksum)
@@ -88,55 +90,158 @@ fn sha256_compress(h: &mut [u32; 8], block: &[u8]) {
     }
 }
 
+/// Incremental SHA-256 state: absorb any number of `update`s, then
+/// `finalize`. Backs the one-shot [`sha256`] helper and — via
+/// [`TraceHasher`] — the streaming digest of setup-mode synthesis traces,
+/// which for a CNN-scale circuit would be far too large to buffer.
+#[derive(Clone)]
+pub struct Sha256 {
+    h: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hash state.
+    pub fn new() -> Self {
+        Self {
+            h: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorbs the next chunk of the message.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return; // data exhausted without completing the block
+            }
+            let block = self.buf;
+            sha256_compress(&mut self.h, &block);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            sha256_compress(&mut self.h, block);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Pads and returns the digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let mut tail = [0u8; 128];
+        tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        tail[self.buf_len] = 0x80;
+        let tail_len = if self.buf_len < 56 { 64 } else { 128 };
+        let bit_len = self.total.wrapping_mul(8);
+        tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+        for block in tail[..tail_len].chunks_exact(64) {
+            sha256_compress(&mut self.h, block);
+        }
+        let mut out = [0u8; 32];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
 /// SHA-256 of `data` — the content digest used for [`CircuitId`]s, statement
 /// digests and the artifact envelope checksum.
-///
-/// Streams over the input in place (proving keys run to megabytes; the
-/// only buffering is the final padded block or two).
 pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
-    let mut chunks = data.chunks_exact(64);
-    for block in &mut chunks {
-        sha256_compress(&mut h, block);
+    let mut state = Sha256::new();
+    state.update(data);
+    state.finalize()
+}
+
+/// A [`ShapeSink`] hashing the canonical setup-mode synthesis trace —
+/// allocation events and compacted constraints — into SHA-256. The preimage
+/// opens with its own domain tag, deliberately *not* [`WIRE_VERSION`], so
+/// envelope-format bumps never orphan existing trusted-setup keys: the tag
+/// revs only when the trace encoding itself changes.
+pub struct TraceHasher(Sha256);
+
+/// Domain separator for the synthesis-trace digest behind [`CircuitId`].
+pub const TRACE_DOMAIN_TAG: &[u8] = b"zkrownn.trace.v1";
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        Self::new()
     }
-    // pad the tail: 0x80, zeros, 64-bit big-endian bit length
-    let rem = chunks.remainder();
-    let mut tail = [0u8; 128];
-    tail[..rem.len()].copy_from_slice(rem);
-    tail[rem.len()] = 0x80;
-    let tail_len = if rem.len() < 56 { 64 } else { 128 };
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
-    for block in tail[..tail_len].chunks_exact(64) {
-        sha256_compress(&mut h, block);
+}
+
+impl TraceHasher {
+    /// A fresh trace hasher (domain tag pre-absorbed).
+    pub fn new() -> Self {
+        let mut state = Sha256::new();
+        state.update(TRACE_DOMAIN_TAG);
+        Self(state)
     }
-    let mut out = [0u8; 32];
-    for (i, word) in h.iter().enumerate() {
-        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+
+    /// The digest of everything absorbed so far.
+    pub fn finalize(self) -> [u8; 32] {
+        self.0.finalize()
     }
-    out
+}
+
+impl ShapeSink for TraceHasher {
+    fn absorb(&mut self, bytes: &[u8]) {
+        self.0.update(bytes);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // CircuitId
 // ---------------------------------------------------------------------------
 
-/// Content digest of an extraction-circuit *shape*.
+/// Digest of a circuit's setup-mode synthesis trace.
 ///
-/// Derived from everything that determines the constraint system — layer
-/// structure and dimensions, watermark dimensions (trigger count, signature
-/// length), the BER threshold and the fixed-point configuration — and from
-/// nothing that doesn't (in particular, not the model's parameter values,
-/// which enter verification as public inputs). Same shape ⇒ same circuit ⇒
-/// same trusted-setup keys, so the id doubles as the cache key for prepared
-/// verifying keys in a [`crate::KeyRegistry`].
+/// Computed by driving the circuit through the witness-free
+/// `SetupSynthesizer` and hashing every structural event it records —
+/// allocations and compacted constraints, coefficients included. The id is
+/// therefore derived from the *synthesized constraint system itself*, not
+/// from a side-channel description of it: "same shape ⇒ same circuit ⇒
+/// same trusted-setup keys" holds by construction, and no assignment value
+/// (model parameters included — they are public *inputs*, not structure)
+/// can influence it, because the setup driver never evaluates a value
+/// closure. Namespace labels are excluded, so renaming debug scopes keeps
+/// keys valid. The id doubles as the cache key for prepared verifying keys
+/// in a [`crate::KeyRegistry`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CircuitId([u8; 32]);
 
 impl CircuitId {
+    /// Derives the id of `circuit` by hashing its setup-mode synthesis
+    /// trace. Never evaluates a value closure, so it works on witness-less
+    /// circuits (and is what makes two same-shaped circuits provably share
+    /// keys).
+    pub fn of_circuit<C: Circuit<Fr>>(circuit: &C) -> Self {
+        let mut cs = SetupSynthesizer::with_sink(TraceHasher::new());
+        circuit
+            .synthesize(&mut cs)
+            .expect("setup-mode synthesis evaluates no value closure and cannot fail");
+        Self(cs.into_sink().finalize())
+    }
+
     /// Wraps raw digest bytes (e.g. read off the wire).
     pub fn from_bytes(bytes: [u8; 32]) -> Self {
         Self(bytes)
@@ -566,50 +671,12 @@ fn write_layer_shape(layer: &QuantLayer, out: &mut Vec<u8>) {
     }
 }
 
-/// Computes the circuit-shape digest from borrowed parts, so callers that
-/// hold an `ExtractionSpec` don't have to clone the (potentially
-/// multi-megabyte) model into a statement first.
-///
-/// The preimage is versioned by its own domain tag — deliberately *not* by
-/// [`WIRE_VERSION`], so envelope-format bumps never orphan existing
-/// trusted-setup keys: rev the tag only when the shape encoding itself
-/// changes.
-pub(crate) fn circuit_id_from_parts(
-    model: &QuantizedModel,
-    num_triggers: usize,
-    signature_bits: usize,
-    max_errors: u64,
-    fold_average: bool,
-    cfg: &FixedConfig,
-) -> CircuitId {
-    let mut t = Vec::with_capacity(128);
-    t.extend_from_slice(b"zkrownn.circuit.v1");
-    t.extend_from_slice(&cfg.frac_bits.to_le_bytes());
-    t.extend_from_slice(&cfg.sigmoid_frac_bits.to_le_bytes());
-    t.extend_from_slice(&cfg.int_bits.to_le_bytes());
-    t.push(u8::from(fold_average));
-    t.extend_from_slice(&max_errors.to_le_bytes());
-    t.extend_from_slice(&(num_triggers as u64).to_le_bytes());
-    t.extend_from_slice(&(signature_bits as u64).to_le_bytes());
-    t.extend_from_slice(&(model.input_len as u64).to_le_bytes());
-    t.extend_from_slice(&(model.layers.len() as u64).to_le_bytes());
-    for layer in &model.layers {
-        write_layer_shape(layer, &mut t);
-    }
-    CircuitId(sha256(&t))
-}
-
 impl OwnershipStatement {
-    /// The circuit-shape digest tying this statement to its keys and proofs.
+    /// The circuit digest tying this statement to its keys and proofs:
+    /// the setup-trace digest of the extraction circuit this statement
+    /// describes (public data suffices — no witness is consulted).
     pub fn circuit_id(&self) -> CircuitId {
-        circuit_id_from_parts(
-            &self.model,
-            self.num_triggers,
-            self.signature_bits,
-            self.max_errors,
-            self.fold_average,
-            &self.cfg,
-        )
+        CircuitId::of_circuit(&crate::circuit::ExtractionCircuit::from_statement(self))
     }
 
     /// SHA-256 over the full payload (shape *and* parameter values) — unlike
@@ -791,5 +858,46 @@ impl Artifact for ProvingKey {
 
     fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
         ProvingKey::from_bytes(payload).map_err(WireError::Key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_sha256_matches_one_shot_for_any_chunking() {
+        // regression: a partially-filled buffer must survive an update that
+        // doesn't complete its block
+        let data: Vec<u8> = (0..100_003u32).map(|i| (i * 31 % 251) as u8).collect();
+        for sizes in [vec![1usize], vec![9, 64, 33, 1, 128, 5], vec![63, 63, 2]] {
+            let mut st = Sha256::new();
+            let mut off = 0;
+            let mut k = 0;
+            while off < data.len() {
+                let n = sizes[k % sizes.len()].min(data.len() - off);
+                st.update(&data[off..off + n]);
+                off += n;
+                k += 1;
+            }
+            assert_eq!(st.finalize(), sha256(&data), "chunking {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn trace_hasher_is_domain_separated_and_deterministic() {
+        let digest = |chunks: &[&[u8]]| {
+            let mut h = TraceHasher::new();
+            for c in chunks {
+                h.absorb(c);
+            }
+            h.finalize()
+        };
+        assert_eq!(digest(&[b"ab", b"c"]), digest(&[b"a", b"bc"]));
+        // the domain tag separates the trace digest from a plain hash
+        let mut tagged = Vec::from(TRACE_DOMAIN_TAG);
+        tagged.extend_from_slice(b"abc");
+        assert_eq!(digest(&[b"abc"]), sha256(&tagged));
+        assert_ne!(digest(&[b"abc"]), sha256(b"abc"));
     }
 }

@@ -13,6 +13,17 @@
 //! out = check ∧ zkBER(wm, ŵm, θ)
 //! ```
 //!
+//! The circuit is described once, as [`ExtractionCircuit`] — an
+//! implementation of the mode-agnostic [`Circuit`] trait — and driven by
+//! whichever synthesizer the caller picks: witness-free setup
+//! (`SetupSynthesizer`, from which [`CircuitId`]s are also derived),
+//! proving (`ProvingSynthesizer`), or constraint counting
+//! (`CountingSynthesizer`). The witness is *optional* on the circuit value
+//! itself: a setup party builds the circuit from a public
+//! [`OwnershipStatement`] alone, and the type system plus the setup
+//! driver's never-evaluate guarantee ensure no witness is needed — no
+//! placeholder-witness construction anywhere.
+//!
 //! `fold_average` folds the `1/T` mean into the (private) projection
 //! matrix, removing `M` division gadgets — one of the "specific
 //! optimizations, such as … combining operations within loops" the paper
@@ -32,7 +43,7 @@ use zkrownn_gadgets::num::Num;
 use zkrownn_gadgets::relu::relu_vec;
 use zkrownn_gadgets::sigmoid::sigmoid_vec;
 use zkrownn_gadgets::threshold::hard_threshold_vec;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{assignment, Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
 
 /// Everything needed to build (and witness) the extraction circuit.
 #[derive(Clone, Debug)]
@@ -54,13 +65,290 @@ pub struct ExtractionSpec {
     pub cfg: FixedConfig,
 }
 
-/// Result of building the circuit.
+/// The private half of an extraction circuit, borrowed from wherever it
+/// lives (an [`ExtractionSpec`], typically). Setup-side circuits simply
+/// don't have one.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractionWitness<'a> {
+    /// Quantized trigger inputs, each of the model's input length.
+    pub triggers: &'a [Vec<i128>],
+    /// Quantized projection matrix, `M × N` row-major.
+    pub projection: &'a [i128],
+    /// The signature bits.
+    pub signature: &'a [bool],
+}
+
+/// The extraction circuit proper: public shape (+ model) always, witness
+/// optionally — one value drives setup, proving and counting synthesis.
+///
+/// Synthesizing with a witnessing driver but no witness fails cleanly with
+/// [`SynthesisError::AssignmentMissing`]; synthesizing with a shape-only
+/// driver never touches the witness at all.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractionCircuit<'a> {
+    model: &'a QuantizedModel,
+    num_triggers: usize,
+    signature_bits: usize,
+    max_errors: u64,
+    fold_average: bool,
+    cfg: FixedConfig,
+    witness: Option<ExtractionWitness<'a>>,
+}
+
+/// Result of a proving-mode synthesis of the circuit.
 #[derive(Debug)]
 pub struct BuiltCircuit {
-    /// The populated constraint system.
-    pub cs: ConstraintSystem<Fr>,
+    /// The populated proving-mode constraint system.
+    pub cs: ProvingSynthesizer<Fr>,
     /// The verdict the witness produces (`true` = ownership established).
     pub verdict: bool,
+}
+
+/// The shared zkFeedForward body: runs `act` through `model`'s layers over
+/// pre-allocated parameter `Num`s (instance-allocated for extraction,
+/// witness-allocated for verifiable inference — the split is the only
+/// difference between the two circuits' feed-forward stages). Fixed-point
+/// semantics: bias lifted by `2^f`, truncation after every Dense/Conv, with
+/// the tracked bound clamped to `act_bits`.
+pub(crate) fn feed_forward_layers<CS: ConstraintSystem<Fr>>(
+    model: &QuantizedModel,
+    cfg: &FixedConfig,
+    weight_nums: &[Vec<Num>],
+    bias_nums: &[Vec<Num>],
+    mut act: Vec<Num>,
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
+    let f = cfg.frac_bits;
+    let act_bits = cfg.value_bits() + 2; // activation head-room
+    for (li, layer) in model.layers.iter().enumerate() {
+        act = match layer {
+            QuantLayer::Dense {
+                in_dim, out_dim, ..
+            } => {
+                assert_eq!(act.len(), *in_dim);
+                let w = &weight_nums[li];
+                let b = &bias_nums[li];
+                (0..*out_dim)
+                    .map(|o| {
+                        let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
+                        let acc = Num::inner_product(&row, &act, cs)?.add(&b[o].shl(f));
+                        let mut out = truncate(&acc, f, cs)?;
+                        out.bits = out.bits.min(act_bits);
+                        Ok(out)
+                    })
+                    .collect::<Result<_, SynthesisError>>()?
+            }
+            QuantLayer::ReLU => relu_vec(&act, cs)?,
+            QuantLayer::Identity => act,
+            QuantLayer::MaxPool {
+                channels,
+                height,
+                width,
+                size,
+                stride,
+            } => zkrownn_gadgets::maxpool::maxpool2d(
+                &act, *channels, *height, *width, *size, *stride, cs,
+            )?,
+            QuantLayer::Conv { shape, .. } => {
+                let raw = conv3d(&act, &weight_nums[li], shape, cs)?;
+                let (oh, ow) = (shape.out_height(), shape.out_width());
+                raw.iter()
+                    .enumerate()
+                    .map(|(idx, r)| {
+                        let oc = idx / (oh * ow);
+                        let acc = r.add(&bias_nums[li][oc].shl(f));
+                        let mut out = truncate(&acc, f, cs)?;
+                        out.bits = out.bits.min(act_bits);
+                        Ok(out)
+                    })
+                    .collect::<Result<_, SynthesisError>>()?
+            }
+        };
+    }
+    Ok(act)
+}
+
+impl<'a> ExtractionCircuit<'a> {
+    /// The witness-free circuit described by a public statement — all a
+    /// trusted-setup party (or a verifier recomputing a [`CircuitId`])
+    /// ever needs.
+    pub fn from_statement(statement: &'a OwnershipStatement) -> Self {
+        Self {
+            model: &statement.model,
+            num_triggers: statement.num_triggers,
+            signature_bits: statement.signature_bits,
+            max_errors: statement.max_errors,
+            fold_average: statement.fold_average,
+            cfg: statement.cfg,
+            witness: None,
+        }
+    }
+
+    /// The setup-trace digest of this circuit.
+    pub fn id(&self) -> CircuitId {
+        CircuitId::of_circuit(self)
+    }
+}
+
+impl Circuit<Fr> for ExtractionCircuit<'_> {
+    /// The public verdict under the witness (`None` when the driver does
+    /// not evaluate assignments).
+    type Output = Option<bool>;
+
+    fn synthesize<CS: ConstraintSystem<Fr>>(
+        &self,
+        cs: &mut CS,
+    ) -> Result<Option<bool>, SynthesisError> {
+        let f = self.cfg.frac_bits;
+        let act_bits = self.cfg.value_bits() + 2; // activation head-room
+        let w = self.witness;
+        if let Some(w) = &w {
+            assert_eq!(
+                w.triggers.len(),
+                self.num_triggers,
+                "trigger count mismatch"
+            );
+            assert_eq!(
+                w.signature.len(),
+                self.signature_bits,
+                "signature length mismatch"
+            );
+        }
+
+        // -- public inputs: model parameters, layer by layer -------------
+        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
+        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
+        {
+            let mut ns = cs.ns("model-params");
+            for layer in &self.model.layers {
+                match layer {
+                    QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
+                        let wn = w
+                            .iter()
+                            .map(|&v| {
+                                Num::alloc_instance(
+                                    &mut ns,
+                                    || Ok(Fr::from_i128(v)),
+                                    self.cfg.value_bits(),
+                                )
+                            })
+                            .collect::<Result<_, _>>()?;
+                        let bn = b
+                            .iter()
+                            .map(|&v| {
+                                Num::alloc_instance(
+                                    &mut ns,
+                                    || Ok(Fr::from_i128(v)),
+                                    self.cfg.value_bits(),
+                                )
+                            })
+                            .collect::<Result<_, _>>()?;
+                        weight_nums.push(wn);
+                        bias_nums.push(bn);
+                    }
+                    QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
+                        weight_nums.push(Vec::new());
+                        bias_nums.push(Vec::new());
+                    }
+                }
+            }
+        }
+
+        // -- private witness: trigger keys --------------------------------
+        let input_len = self.model.input_len;
+        let trigger_nums: Vec<Vec<Num>> = {
+            let mut ns = cs.ns("triggers");
+            (0..self.num_triggers)
+                .map(|t| {
+                    if let Some(w) = &w {
+                        assert_eq!(w.triggers[t].len(), input_len, "trigger length mismatch");
+                    }
+                    (0..input_len)
+                        .map(|i| {
+                            Num::alloc_witness(
+                                &mut ns,
+                                || assignment(w.map(|w| Fr::from_i128(w.triggers[t][i]))),
+                                self.cfg.value_bits(),
+                            )
+                        })
+                        .collect::<Result<_, _>>()
+                })
+                .collect::<Result<_, _>>()?
+        };
+
+        // -- zkFeedForward until l_wm, per trigger ------------------------
+        let mut ff = cs.ns("feed-forward");
+        let mut activations: Vec<Vec<Num>> = Vec::with_capacity(trigger_nums.len());
+        for trig in &trigger_nums {
+            activations.push(feed_forward_layers(
+                self.model,
+                &self.cfg,
+                &weight_nums,
+                &bias_nums,
+                trig.clone(),
+                &mut ff,
+            )?);
+        }
+        drop(ff);
+
+        // -- zkAverage -----------------------------------------------------
+        let m = self.model.output_len();
+        let mu: Vec<Num> = if self.fold_average {
+            // raw sums; the 1/T is inside the projection matrix
+            (0..m)
+                .map(|j| {
+                    let terms: Vec<Num> = activations.iter().map(|a| a[j].clone()).collect();
+                    Num::sum(&terms)
+                })
+                .collect()
+        } else {
+            average_rows(&activations, &mut cs.ns("average"))?
+        };
+
+        // -- projection µ·A, rescaled to the tensor scale ------------------
+        let n = self.signature_bits;
+        if let Some(w) = &w {
+            assert_eq!(w.projection.len(), m * n, "projection shape mismatch");
+        }
+        let mut proj_ns = cs.ns("projection");
+        let proj_nums: Vec<Num> = (0..m * n)
+            .map(|i| {
+                Num::alloc_witness(
+                    &mut proj_ns,
+                    || assignment(w.map(|w| Fr::from_i128(w.projection[i]))),
+                    self.cfg.value_bits(),
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        let projections: Vec<Num> = (0..n)
+            .map(|j| {
+                let col: Vec<Num> = (0..m).map(|i| proj_nums[i * n + j].clone()).collect();
+                let acc = Num::inner_product(&mu, &col, &mut proj_ns)?;
+                let mut out = truncate(&acc, f, &mut proj_ns)?;
+                out.bits = out.bits.min(act_bits);
+                Ok(out)
+            })
+            .collect::<Result<_, SynthesisError>>()?;
+        drop(proj_ns);
+
+        // -- zkSigmoid + zkHardThresholding(0.5) ---------------------------
+        let squashed = sigmoid_vec(&projections, &self.cfg, &mut cs.ns("sigmoid"))?;
+        let half = Fr::from_i128(1i128 << (f - 1));
+        let extracted = hard_threshold_vec(&squashed, half, &mut cs.ns("threshold"))?;
+
+        // -- zkBER against the private signature ---------------------------
+        let mut ber_ns = cs.ns("ber");
+        let sig_bits: Vec<Bit> = (0..n)
+            .map(|i| Bit::alloc(&mut ber_ns, || assignment(w.map(|w| w.signature[i]))))
+            .collect::<Result<_, _>>()?;
+        let valid = ber_check(&sig_bits, &extracted, self.max_errors, &mut ber_ns)?;
+
+        // check = 1 ∧ valid_BER, exposed as the public verdict
+        let verdict = valid.value();
+        valid.num.expose_as_output(&mut ber_ns)?;
+
+        Ok(verdict)
+    }
 }
 
 impl ExtractionSpec {
@@ -85,187 +373,60 @@ impl ExtractionSpec {
         }
     }
 
-    /// The shape digest of the circuit this spec builds (same shape ⇒ same
-    /// circuit ⇒ same trusted-setup keys). Computed from borrowed data — no
-    /// model clone.
+    /// The fully-witnessed circuit, borrowing this spec's model and
+    /// secrets — ready for a proving-mode synthesis.
+    pub fn circuit(&self) -> ExtractionCircuit<'_> {
+        ExtractionCircuit {
+            witness: Some(ExtractionWitness {
+                triggers: &self.triggers,
+                projection: &self.projection,
+                signature: &self.signature,
+            }),
+            ..self.shape_circuit()
+        }
+    }
+
+    /// The same circuit *without* its witness — what setup (and
+    /// [`CircuitId`] derivation) run on. Any attempt to synthesize it with
+    /// a witnessing driver fails with
+    /// [`SynthesisError::AssignmentMissing`]; shape-only drivers never
+    /// notice the difference.
+    pub fn shape_circuit(&self) -> ExtractionCircuit<'_> {
+        ExtractionCircuit {
+            model: &self.model,
+            num_triggers: self.triggers.len(),
+            signature_bits: self.signature.len(),
+            max_errors: self.max_errors,
+            fold_average: self.fold_average,
+            cfg: self.cfg,
+            witness: None,
+        }
+    }
+
+    /// The circuit digest (same shape ⇒ same circuit ⇒ same trusted-setup
+    /// keys): the hash of the setup-mode synthesis trace. Borrowed data
+    /// only — no model clone, no witness access.
     pub fn circuit_id(&self) -> CircuitId {
-        crate::artifact::circuit_id_from_parts(
-            &self.model,
-            self.triggers.len(),
-            self.signature.len(),
-            self.max_errors,
-            self.fold_average,
-            &self.cfg,
-        )
+        self.shape_circuit().id()
     }
 
-    /// Shape-compatible spec with zeroed witness values, for trusted setup
-    /// (the circuit structure is assignment-independent).
-    pub fn placeholder_witness(&self) -> Self {
-        let mut s = self.clone();
-        s.triggers = vec![vec![0; self.model.input_len]; self.triggers.len()];
-        s.projection = vec![0; self.projection.len()];
-        s.signature = vec![false; self.signature.len()];
-        s
-    }
-
-    /// Builds the full extraction circuit.
+    /// Synthesizes the full extraction circuit in proving mode.
     ///
     /// # Panics
     /// Panics on shape mismatches between the model, triggers, projection
     /// and signature.
-    pub fn build(&self) -> BuiltCircuit {
-        let f = self.cfg.frac_bits;
-        let act_bits = self.cfg.value_bits() + 2; // activation head-room
-        let mut cs = ConstraintSystem::<Fr>::new();
-
-        // -- public inputs: model parameters, layer by layer -------------
-        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
-        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
-        for layer in &self.model.layers {
-            match layer {
-                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
-                    let wn = w
-                        .iter()
-                        .map(|&v| {
-                            Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits())
-                        })
-                        .collect();
-                    let bn = b
-                        .iter()
-                        .map(|&v| {
-                            Num::alloc_instance(&mut cs, Fr::from_i128(v), self.cfg.value_bits())
-                        })
-                        .collect();
-                    weight_nums.push(wn);
-                    bias_nums.push(bn);
-                }
-                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
-                    weight_nums.push(Vec::new());
-                    bias_nums.push(Vec::new());
-                }
-            }
-        }
-
-        // -- private witness: trigger keys --------------------------------
-        let trigger_nums: Vec<Vec<Num>> = self
-            .triggers
-            .iter()
-            .map(|t| {
-                assert_eq!(t.len(), self.model.input_len, "trigger length mismatch");
-                t.iter()
-                    .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
-                    .collect()
-            })
-            .collect();
-
-        // -- zkFeedForward until l_wm, per trigger ------------------------
-        let mut activations: Vec<Vec<Num>> = Vec::with_capacity(trigger_nums.len());
-        for trig in &trigger_nums {
-            let mut act = trig.clone();
-            for (li, layer) in self.model.layers.iter().enumerate() {
-                act = match layer {
-                    QuantLayer::Dense {
-                        in_dim, out_dim, ..
-                    } => {
-                        assert_eq!(act.len(), *in_dim);
-                        let w = &weight_nums[li];
-                        let b = &bias_nums[li];
-                        (0..*out_dim)
-                            .map(|o| {
-                                let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
-                                let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
-                                let mut out = truncate(&acc, f, &mut cs);
-                                out.bits = out.bits.min(act_bits);
-                                out
-                            })
-                            .collect()
-                    }
-                    QuantLayer::ReLU => relu_vec(&act, &mut cs),
-                    QuantLayer::Identity => act,
-                    QuantLayer::MaxPool {
-                        channels,
-                        height,
-                        width,
-                        size,
-                        stride,
-                    } => zkrownn_gadgets::maxpool::maxpool2d(
-                        &act, *channels, *height, *width, *size, *stride, &mut cs,
-                    ),
-                    QuantLayer::Conv { shape, .. } => {
-                        let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
-                        let (oh, ow) = (shape.out_height(), shape.out_width());
-                        raw.iter()
-                            .enumerate()
-                            .map(|(idx, r)| {
-                                let oc = idx / (oh * ow);
-                                let acc = r.add(&bias_nums[li][oc].shl(f));
-                                let mut out = truncate(&acc, f, &mut cs);
-                                out.bits = out.bits.min(act_bits);
-                                out
-                            })
-                            .collect()
-                    }
-                };
-            }
-            activations.push(act);
-        }
-
-        // -- zkAverage -----------------------------------------------------
-        let m = self.model.output_len();
-        let mu: Vec<Num> = if self.fold_average {
-            // raw sums; the 1/T is inside the projection matrix
-            (0..m)
-                .map(|j| {
-                    let terms: Vec<Num> = activations.iter().map(|a| a[j].clone()).collect();
-                    Num::sum(&terms)
-                })
-                .collect()
-        } else {
-            average_rows(&activations, &mut cs)
-        };
-
-        // -- projection µ·A, rescaled to the tensor scale ------------------
-        let n = self.signature.len();
-        assert_eq!(self.projection.len(), m * n, "projection shape mismatch");
-        let proj_nums: Vec<Num> = self
-            .projection
-            .iter()
-            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), self.cfg.value_bits()))
-            .collect();
-        let projections: Vec<Num> = (0..n)
-            .map(|j| {
-                let col: Vec<Num> = (0..m).map(|i| proj_nums[i * n + j].clone()).collect();
-                let acc = Num::inner_product(&mu, &col, &mut cs);
-                let mut out = truncate(&acc, f, &mut cs);
-                out.bits = out.bits.min(act_bits);
-                out
-            })
-            .collect();
-
-        // -- zkSigmoid + zkHardThresholding(0.5) ---------------------------
-        let squashed = sigmoid_vec(&projections, &self.cfg, &mut cs);
-        let half = Fr::from_i128(1i128 << (f - 1));
-        let extracted = hard_threshold_vec(&squashed, half, &mut cs);
-
-        // -- zkBER against the private signature ---------------------------
-        let sig_bits: Vec<Bit> = self
-            .signature
-            .iter()
-            .map(|&b| Bit::alloc(&mut cs, b))
-            .collect();
-        let valid = ber_check(&sig_bits, &extracted, self.max_errors, &mut cs);
-
-        // check = 1 ∧ valid_BER, exposed as the public verdict
-        let verdict = valid.value();
-        valid.num.expose_as_output(&mut cs);
-
-        BuiltCircuit { cs, verdict }
+    pub fn build(&self) -> Result<BuiltCircuit, SynthesisError> {
+        let mut cs = ProvingSynthesizer::new();
+        let verdict = self.circuit().synthesize(&mut cs)?;
+        Ok(BuiltCircuit {
+            cs,
+            verdict: verdict.expect("proving synthesis evaluates every assignment"),
+        })
     }
 
     /// The verifier-side public input vector: model parameters followed by
-    /// the expected verdict (1 = ownership holds). Excludes the implicit
-    /// leading constant.
+    /// the expected verdict (1 = ownership established). Excludes the
+    /// implicit leading constant.
     pub fn public_inputs(&self, expected_verdict: bool) -> Vec<Fr> {
         let mut out: Vec<Fr> = self
             .model
@@ -285,6 +446,7 @@ mod tests {
     use crate::reference::extract_fixed;
     use rand::SeedableRng;
     use zkrownn_nn::{Dense, Layer, Network};
+    use zkrownn_r1cs::{CountingSynthesizer, SetupSynthesizer};
 
     fn tiny_spec(seed: u64, fold: bool) -> ExtractionSpec {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -316,7 +478,7 @@ mod tests {
     fn circuit_is_satisfiable_and_matches_reference() {
         for fold in [false, true] {
             let spec = tiny_spec(281, fold);
-            let built = spec.build();
+            let built = spec.build().unwrap();
             assert!(built.cs.is_satisfied().is_ok(), "fold = {fold}");
             let reference = extract_fixed(
                 &spec.model,
@@ -345,36 +507,86 @@ mod tests {
         // random projection → some errors are overwhelmingly likely
         if reference.errors > 0 {
             spec.max_errors = reference.errors as u64 - 1;
-            let built = spec.build();
+            let built = spec.build().unwrap();
             assert!(built.cs.is_satisfied().is_ok());
             assert!(!built.verdict);
         }
     }
 
     #[test]
-    fn placeholder_has_same_structure() {
+    fn witness_free_setup_synthesis_matches_proving_structure() {
         let spec = tiny_spec(283, false);
-        let built = spec.build();
-        let dummy = spec.placeholder_witness().build();
+        let built = spec.build().unwrap();
+        // the shape circuit carries no witness at all, and setup synthesis
+        // must still produce the identical structure
+        let mut setup = SetupSynthesizer::<Fr>::new();
+        spec.shape_circuit().synthesize(&mut setup).unwrap();
         assert_eq!(
             built.cs.num_constraints(),
-            dummy.cs.num_constraints(),
+            setup.num_constraints(),
             "setup and proving circuits must agree"
         );
         assert_eq!(
             built.cs.num_instance_variables(),
-            dummy.cs.num_instance_variables()
+            setup.num_instance_variables()
         );
         assert_eq!(
             built.cs.num_witness_variables(),
-            dummy.cs.num_witness_variables()
+            setup.num_witness_variables()
         );
+    }
+
+    #[test]
+    fn statement_circuit_matches_spec_circuit_id() {
+        let spec = tiny_spec(285, true);
+        let statement = spec.statement();
+        assert_eq!(spec.circuit_id(), statement.circuit_id());
+        // a different shape (one more signature bit) changes the id
+        let mut other = tiny_spec(285, true);
+        other.signature.push(true);
+        other.projection.extend(vec![0; 5]);
+        assert_ne!(spec.circuit_id(), other.circuit_id());
+        // …but different *values* with the same shape do not
+        let mut same_shape = tiny_spec(285, true);
+        same_shape.projection.iter_mut().for_each(|v| *v = 0);
+        for t in same_shape.triggers.iter_mut() {
+            t.iter_mut().for_each(|v| *v = 0);
+        }
+        assert_eq!(spec.circuit_id(), same_shape.circuit_id());
+    }
+
+    #[test]
+    fn proving_the_shape_circuit_reports_missing_witness() {
+        let spec = tiny_spec(286, false);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        assert_eq!(
+            spec.shape_circuit().synthesize(&mut cs).unwrap_err(),
+            SynthesisError::AssignmentMissing
+        );
+    }
+
+    #[test]
+    fn counting_synthesizer_reports_per_stage_density() {
+        let spec = tiny_spec(287, false);
+        let mut count = CountingSynthesizer::<Fr>::new();
+        spec.shape_circuit().synthesize(&mut count).unwrap();
+        let built = spec.build().unwrap();
+        assert_eq!(count.num_constraints(), built.cs.num_constraints());
+        let ns = count.by_namespace();
+        for stage in ["feed-forward", "average", "projection", "sigmoid", "ber"] {
+            assert!(
+                ns.get(stage).map(|c| c.constraints > 0).unwrap_or(false),
+                "stage {stage} missing from density report: {:?}",
+                ns.keys().collect::<Vec<_>>()
+            );
+        }
+        assert!(count.report().contains("sigmoid"));
     }
 
     #[test]
     fn public_inputs_match_instance_assignment() {
         let spec = tiny_spec(284, false);
-        let built = spec.build();
+        let built = spec.build().unwrap();
         let expected = spec.public_inputs(built.verdict);
         // instance_assignment[0] is the constant 1
         assert_eq!(built.cs.instance_assignment().len(), expected.len() + 1);

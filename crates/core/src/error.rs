@@ -8,6 +8,7 @@
 
 use crate::artifact::{CircuitId, WireError};
 use zkrownn_groth16::VerificationError;
+use zkrownn_r1cs::SynthesisError;
 
 /// Everything that can go wrong in the ZKROWNN workflow.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +20,9 @@ pub enum ZkrownnError {
     /// (internal bug — an honest spec always satisfies it; the *verdict*
     /// may still be 0).
     UnsatisfiedCircuit(usize),
+    /// A proving-mode synthesis failed — e.g. the circuit was constructed
+    /// without its witness (setup-side circuits cannot prove).
+    Synthesis(SynthesisError),
     /// The proof does not verify: it is forged, tampered with, or bound to
     /// different public inputs (e.g. another model's weights).
     InvalidProof(VerificationError),
@@ -47,6 +51,7 @@ impl core::fmt::Display for ZkrownnError {
         match self {
             Self::Wire(e) => write!(f, "artifact decode failed: {e}"),
             Self::UnsatisfiedCircuit(i) => write!(f, "extraction circuit violated at row {i}"),
+            Self::Synthesis(e) => write!(f, "circuit synthesis failed: {e}"),
             Self::InvalidProof(e) => write!(f, "ownership proof rejected: {e}"),
             Self::NegativeVerdict => write!(
                 f,
@@ -82,6 +87,12 @@ impl std::error::Error for ZkrownnError {
 impl From<WireError> for ZkrownnError {
     fn from(e: WireError) -> Self {
         Self::Wire(e)
+    }
+}
+
+impl From<SynthesisError> for ZkrownnError {
+    fn from(e: SynthesisError) -> Self {
+        Self::Synthesis(e)
     }
 }
 

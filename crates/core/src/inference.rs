@@ -6,16 +6,15 @@
 //! input were computed by their *private* model: the weights stay witness,
 //! the input and output logits are public. The same Dense/ReLU/Conv
 //! gadgets as the extraction circuit are reused; only the
-//! instance/witness split changes.
+//! instance/witness split changes. Both variants implement the
+//! mode-agnostic `Circuit` trait, so trusted setup runs witness-free and
+//! `groth16::{generate_parameters, create_proof}` consume them directly.
 
 use crate::model::{QuantLayer, QuantizedModel};
 use crate::reference::feed_forward_fixed;
 use zkrownn_ff::{Fr, PrimeField};
-use zkrownn_gadgets::cmp::truncate;
-use zkrownn_gadgets::conv::conv3d;
 use zkrownn_gadgets::num::Num;
-use zkrownn_gadgets::relu::relu_vec;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
 
 /// A verifiable-inference instance.
 #[derive(Clone, Debug)]
@@ -29,8 +28,8 @@ pub struct InferenceSpec {
 /// A built inference circuit.
 #[derive(Debug)]
 pub struct BuiltInference {
-    /// The populated constraint system.
-    pub cs: ConstraintSystem<Fr>,
+    /// The populated proving-mode constraint system.
+    pub cs: ProvingSynthesizer<Fr>,
     /// The output logits the witness produces (public outputs).
     pub logits: Vec<i128>,
 }
@@ -40,62 +39,59 @@ pub struct BuiltInference {
 /// (the confidence scores can leak information about the model).
 #[derive(Debug)]
 pub struct BuiltClassInference {
-    /// The populated constraint system.
-    pub cs: ConstraintSystem<Fr>,
+    /// The populated proving-mode constraint system.
+    pub cs: ProvingSynthesizer<Fr>,
     /// The predicted class (the only public output besides the query).
     pub class: usize,
 }
 
-impl InferenceSpec {
-    /// Shape-compatible spec with a zeroed model, for trusted setup.
-    pub fn placeholder_witness(&self) -> Self {
-        let mut s = self.clone();
-        for layer in s.model.layers.iter_mut() {
-            match layer {
-                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
-                    w.iter_mut().for_each(|v| *v = 0);
-                    b.iter_mut().for_each(|v| *v = 0);
-                }
-                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {}
-            }
-        }
-        s
-    }
+/// Shared body: public query input → private model parameters →
+/// feed-forward activations (same fixed-point semantics as the extraction
+/// circuit). Returns the output-layer activations for the caller to expose.
+fn synthesize_feed_forward<CS: ConstraintSystem<Fr>>(
+    spec: &InferenceSpec,
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
+    let cfg = &spec.model.cfg;
 
-    /// Builds the inference circuit: public input → private feed-forward →
-    /// public logits.
-    pub fn build(&self) -> BuiltInference {
-        let cfg = &self.model.cfg;
-        let f = cfg.frac_bits;
-        let act_bits = cfg.value_bits() + 2;
-        let mut cs = ConstraintSystem::<Fr>::new();
-
-        // public query input
-        let input_nums: Vec<Num> = self
-            .input
+    // public query input
+    let input_nums: Vec<Num> = {
+        let mut ns = cs.ns("query");
+        spec.input
             .iter()
-            .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), cfg.value_bits()))
-            .collect();
+            .map(|&v| Num::alloc_instance(&mut ns, || Ok(Fr::from_i128(v)), cfg.value_bits()))
+            .collect::<Result<_, _>>()?
+    };
 
-        // private model parameters
-        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
-        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
-        for layer in &self.model.layers {
+    // private model parameters
+    let mut weight_nums: Vec<Vec<Num>> = Vec::new();
+    let mut bias_nums: Vec<Vec<Num>> = Vec::new();
+    {
+        let mut ns = cs.ns("model-params");
+        for layer in &spec.model.layers {
             match layer {
                 QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
                     weight_nums.push(
                         w.iter()
                             .map(|&v| {
-                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                                Num::alloc_witness(
+                                    &mut ns,
+                                    || Ok(Fr::from_i128(v)),
+                                    cfg.value_bits(),
+                                )
                             })
-                            .collect(),
+                            .collect::<Result<_, _>>()?,
                     );
                     bias_nums.push(
                         b.iter()
                             .map(|&v| {
-                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
+                                Num::alloc_witness(
+                                    &mut ns,
+                                    || Ok(Fr::from_i128(v)),
+                                    cfg.value_bits(),
+                                )
                             })
-                            .collect(),
+                            .collect::<Result<_, _>>()?,
                     );
                 }
                 QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
@@ -104,167 +100,105 @@ impl InferenceSpec {
                 }
             }
         }
+    }
 
-        // feed-forward (same fixed-point semantics as the extraction circuit)
-        let mut act = input_nums;
-        for (li, layer) in self.model.layers.iter().enumerate() {
-            act = match layer {
-                QuantLayer::Dense {
-                    in_dim, out_dim, ..
-                } => {
-                    assert_eq!(act.len(), *in_dim);
-                    let w = &weight_nums[li];
-                    let b = &bias_nums[li];
-                    (0..*out_dim)
-                        .map(|o| {
-                            let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
-                            let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
-                            let mut out = truncate(&acc, f, &mut cs);
-                            out.bits = out.bits.min(act_bits);
-                            out
-                        })
-                        .collect()
-                }
-                QuantLayer::ReLU => relu_vec(&act, &mut cs),
-                QuantLayer::Identity => act,
-                QuantLayer::MaxPool {
-                    channels,
-                    height,
-                    width,
-                    size,
-                    stride,
-                } => zkrownn_gadgets::maxpool::maxpool2d(
-                    &act, *channels, *height, *width, *size, *stride, &mut cs,
-                ),
-                QuantLayer::Conv { shape, .. } => {
-                    let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
-                    let (oh, ow) = (shape.out_height(), shape.out_width());
-                    raw.iter()
-                        .enumerate()
-                        .map(|(idx, r)| {
-                            let oc = idx / (oh * ow);
-                            let acc = r.add(&bias_nums[li][oc].shl(f));
-                            let mut out = truncate(&acc, f, &mut cs);
-                            out.bits = out.bits.min(act_bits);
-                            out
-                        })
-                        .collect()
-                }
-            };
-        }
+    // feed-forward (shared with the extraction circuit)
+    let mut ff = cs.ns("feed-forward");
+    crate::circuit::feed_forward_layers(
+        &spec.model,
+        cfg,
+        &weight_nums,
+        &bias_nums,
+        input_nums,
+        &mut ff,
+    )
+}
 
+impl Circuit<Fr> for InferenceSpec {
+    /// The output logits under the assignment (`None` per element never
+    /// occurs — either the whole synthesis is witnessing or it isn't).
+    type Output = Option<Vec<i128>>;
+
+    fn synthesize<CS: ConstraintSystem<Fr>>(
+        &self,
+        cs: &mut CS,
+    ) -> Result<Option<Vec<i128>>, SynthesisError> {
+        let act = synthesize_feed_forward(self, cs)?;
         // expose the logits as public outputs
-        let logits: Vec<i128> = act
-            .iter()
-            .map(|num| {
-                num.expose_as_output(&mut cs);
-                num.value_i128()
-            })
-            .collect();
+        let mut ns = cs.ns("logits");
+        let mut logits = Some(Vec::with_capacity(act.len()));
+        for num in &act {
+            num.expose_as_output(&mut ns)?;
+            logits = logits.take().and_then(|mut l| {
+                let v = num.value?.to_i128().expect("bounded");
+                l.push(v);
+                Some(l)
+            });
+        }
+        Ok(logits)
+    }
+}
 
-        BuiltInference { cs, logits }
+/// The class-only variant: same feed-forward, but the logits stay private
+/// and the circuit instead proves `logits[class]` is a maximum. The claimed
+/// `class` is a public *parameter of the circuit structure* (computed
+/// out-of-circuit from the reference feed-forward), not a witness — so
+/// each claimed class has its own `CircuitId`, as it must: the constraint
+/// wiring differs.
+#[derive(Clone, Debug)]
+pub struct ClassInferenceCircuit<'a> {
+    /// The underlying model + query.
+    pub spec: &'a InferenceSpec,
+    /// The claimed argmax class.
+    pub class: usize,
+}
+
+impl Circuit<Fr> for ClassInferenceCircuit<'_> {
+    type Output = ();
+
+    fn synthesize<CS: ConstraintSystem<Fr>>(&self, cs: &mut CS) -> Result<(), SynthesisError> {
+        let act = synthesize_feed_forward(self.spec, cs)?;
+        let mut ns = cs.ns("argmax");
+        zkrownn_gadgets::cmp::enforce_argmax(&act, self.class, &mut ns)?;
+        let class_num = Num::constant(Fr::from_i128(self.class as i128));
+        class_num.expose_as_output(&mut ns)?;
+        Ok(())
+    }
+}
+
+impl InferenceSpec {
+    /// Synthesizes the inference circuit in proving mode: public input →
+    /// private feed-forward → public logits.
+    pub fn build(&self) -> Result<BuiltInference, SynthesisError> {
+        let mut cs = ProvingSynthesizer::new();
+        let logits = self.synthesize(&mut cs)?;
+        Ok(BuiltInference {
+            cs,
+            logits: logits.expect("proving synthesis evaluates every assignment"),
+        })
     }
 
-    /// Builds the class-only inference circuit: public input → private
-    /// feed-forward → private logits → public argmax class. Uses the
-    /// [`zkrownn_gadgets::cmp::enforce_argmax`] gadget: the circuit is only
-    /// satisfiable if the exposed class really maximizes the logits.
-    pub fn build_class_only(&self) -> BuiltClassInference {
-        // run the plain build, then swap the exposure for an argmax proof
-        // (rebuilding is simpler than threading a flag through; structure
-        // stays assignment-independent either way)
-        let cfg = &self.model.cfg;
-        let f = cfg.frac_bits;
-        let act_bits = cfg.value_bits() + 2;
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let input_nums: Vec<Num> = self
-            .input
-            .iter()
-            .map(|&v| Num::alloc_instance(&mut cs, Fr::from_i128(v), cfg.value_bits()))
-            .collect();
-        let mut weight_nums: Vec<Vec<Num>> = Vec::new();
-        let mut bias_nums: Vec<Vec<Num>> = Vec::new();
-        for layer in &self.model.layers {
-            match layer {
-                QuantLayer::Dense { w, b, .. } | QuantLayer::Conv { w, b, .. } => {
-                    weight_nums.push(
-                        w.iter()
-                            .map(|&v| {
-                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
-                            })
-                            .collect(),
-                    );
-                    bias_nums.push(
-                        b.iter()
-                            .map(|&v| {
-                                Num::alloc_witness(&mut cs, Fr::from_i128(v), cfg.value_bits())
-                            })
-                            .collect(),
-                    );
-                }
-                QuantLayer::ReLU | QuantLayer::Identity | QuantLayer::MaxPool { .. } => {
-                    weight_nums.push(Vec::new());
-                    bias_nums.push(Vec::new());
-                }
-            }
-        }
-        let mut act = input_nums;
-        for (li, layer) in self.model.layers.iter().enumerate() {
-            act = match layer {
-                QuantLayer::Dense {
-                    in_dim, out_dim, ..
-                } => {
-                    assert_eq!(act.len(), *in_dim);
-                    let w = &weight_nums[li];
-                    let b = &bias_nums[li];
-                    (0..*out_dim)
-                        .map(|o| {
-                            let row: Vec<Num> = w[o * in_dim..(o + 1) * in_dim].to_vec();
-                            let acc = Num::inner_product(&row, &act, &mut cs).add(&b[o].shl(f));
-                            let mut out = truncate(&acc, f, &mut cs);
-                            out.bits = out.bits.min(act_bits);
-                            out
-                        })
-                        .collect()
-                }
-                QuantLayer::ReLU => relu_vec(&act, &mut cs),
-                QuantLayer::Identity => act,
-                QuantLayer::MaxPool {
-                    channels,
-                    height,
-                    width,
-                    size,
-                    stride,
-                } => zkrownn_gadgets::maxpool::maxpool2d(
-                    &act, *channels, *height, *width, *size, *stride, &mut cs,
-                ),
-                QuantLayer::Conv { shape, .. } => {
-                    let raw = conv3d(&act, &weight_nums[li], shape, &mut cs);
-                    let (oh, ow) = (shape.out_height(), shape.out_width());
-                    raw.iter()
-                        .enumerate()
-                        .map(|(idx, r)| {
-                            let oc = idx / (oh * ow);
-                            let acc = r.add(&bias_nums[li][oc].shl(f));
-                            let mut out = truncate(&acc, f, &mut cs);
-                            out.bits = out.bits.min(act_bits);
-                            out
-                        })
-                        .collect()
-                }
-            };
-        }
-        // determine the class from the witness and enforce it in-circuit
-        let class = act
+    /// The class-only circuit for a claimed class (use
+    /// [`InferenceSpec::expected_logits`]' argmax for an honest claim).
+    pub fn class_circuit(&self, class: usize) -> ClassInferenceCircuit<'_> {
+        ClassInferenceCircuit { spec: self, class }
+    }
+
+    /// Synthesizes the class-only inference circuit in proving mode,
+    /// claiming the reference argmax class: public input → private
+    /// feed-forward → private logits → public argmax class. The circuit is
+    /// only satisfiable if the exposed class really maximizes the logits.
+    pub fn build_class_only(&self) -> Result<BuiltClassInference, SynthesisError> {
+        let logits = self.expected_logits();
+        let class = logits
             .iter()
             .enumerate()
-            .max_by_key(|(_, n)| n.value_i128())
+            .max_by_key(|(_, v)| **v)
             .map(|(i, _)| i)
             .expect("non-empty logits");
-        zkrownn_gadgets::cmp::enforce_argmax(&act, class, &mut cs);
-        let class_num = Num::constant(Fr::from_i128(class as i128));
-        class_num.expose_as_output(&mut cs);
-        BuiltClassInference { cs, class }
+        let mut cs = ProvingSynthesizer::new();
+        self.class_circuit(class).synthesize(&mut cs)?;
+        Ok(BuiltClassInference { cs, class })
     }
 
     /// The verifier's public input vector for a class-only proof: the query
@@ -295,8 +229,9 @@ mod tests {
     use crate::model::QuantizedModel;
     use rand::SeedableRng;
     use zkrownn_gadgets::FixedConfig;
-    use zkrownn_groth16::{create_proof, generate_parameters, verify_proof};
+    use zkrownn_groth16::{create_proof_from_cs, generate_parameters, verify_proof};
     use zkrownn_nn::{Dense, Layer, Network};
+    use zkrownn_r1cs::SetupSynthesizer;
 
     fn tiny_inference(seed: u64) -> InferenceSpec {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -314,7 +249,7 @@ mod tests {
     #[test]
     fn circuit_logits_match_reference() {
         let spec = tiny_inference(401);
-        let built = spec.build();
+        let built = spec.build().unwrap();
         assert!(built.cs.is_satisfied().is_ok());
         assert_eq!(built.logits, spec.expected_logits());
     }
@@ -322,10 +257,10 @@ mod tests {
     #[test]
     fn inference_proof_roundtrip() {
         let spec = tiny_inference(402);
-        let built = spec.build();
+        let built = spec.build().unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(403);
-        let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &built.cs, &mut rng);
+        let pk = generate_parameters(&spec, &mut rng).unwrap();
+        let proof = create_proof_from_cs(&pk, &built.cs, &mut rng);
         let publics = spec.public_inputs(&built.logits);
         assert!(verify_proof(&pk.vk, &proof, &publics).is_ok());
         // forged logits are rejected
@@ -337,7 +272,7 @@ mod tests {
     #[test]
     fn class_only_inference_roundtrip() {
         let spec = tiny_inference(405);
-        let built = spec.build_class_only();
+        let built = spec.build_class_only().unwrap();
         assert!(built.cs.is_satisfied().is_ok());
         // the class matches the reference argmax
         let expected = spec.expected_logits();
@@ -350,19 +285,23 @@ mod tests {
         assert_eq!(built.class, ref_class);
         // prove & verify; wrong class rejected
         let mut rng = rand::rngs::StdRng::seed_from_u64(406);
-        let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &built.cs, &mut rng);
+        let pk = generate_parameters(&spec.class_circuit(built.class), &mut rng).unwrap();
+        let proof = create_proof_from_cs(&pk, &built.cs, &mut rng);
         assert!(verify_proof(&pk.vk, &proof, &spec.public_inputs_class(built.class)).is_ok());
         let wrong = (built.class + 1) % expected.len();
         assert!(verify_proof(&pk.vk, &proof, &spec.public_inputs_class(wrong)).is_err());
     }
 
     #[test]
-    fn placeholder_matches_structure() {
+    fn setup_synthesis_matches_proving_structure() {
         let spec = tiny_inference(404);
-        let a = spec.build();
-        let b = spec.placeholder_witness().build();
-        assert_eq!(a.cs.num_constraints(), b.cs.num_constraints());
-        assert_eq!(a.cs.num_witness_variables(), b.cs.num_witness_variables());
+        let built = spec.build().unwrap();
+        let mut setup = SetupSynthesizer::<Fr>::new();
+        spec.synthesize(&mut setup).unwrap();
+        assert_eq!(built.cs.num_constraints(), setup.num_constraints());
+        assert_eq!(
+            built.cs.num_witness_variables(),
+            setup.num_witness_variables()
+        );
     }
 }

@@ -86,18 +86,30 @@
 //! # }
 //! ```
 //!
+//! ## Mode-aware synthesis
+//!
+//! The extraction circuit is *one* description — [`ExtractionCircuit`],
+//! an implementation of the `Circuit` trait from `zkrownn-r1cs` — driven
+//! by three synthesizers: witness-free setup (what [`Authority::setup`]
+//! and [`CircuitId`] derivation run; no witness closure is ever
+//! evaluated), proving (dense assignment, [`ProverKit::prove`]), and
+//! constraint counting/diagnostics. The [`CircuitId`] is the SHA-256 of
+//! the setup-mode synthesis trace, so "same shape ⇒ same keys" is a
+//! property of the synthesized constraints themselves, not of a
+//! side-channel shape description.
+//!
 //! ## Module map
 //!
 //! * [`model`] / [`circuit`] — quantize the suspect model and assemble the
 //!   watermark-extraction circuit (feed-forward → average → project →
 //!   sigmoid → threshold → BER, Algorithm 1 of the paper);
 //! * [`artifact`] — the wire format: [`Artifact`] envelopes, [`CircuitId`]
-//!   shape digests, the [`OwnershipStatement`];
+//!   synthesis-trace digests, the [`OwnershipStatement`];
 //! * [`session`] — the role types ([`Authority`], [`ProverKit`],
 //!   [`VerifierKit`], [`SignedClaim`]);
 //! * [`registry`] — [`KeyRegistry`]: cached key preparation + batch
 //!   verification;
-//! * [`prove`] — the proof object and the deprecated free-function shims;
+//! * [`prove`] — the [`OwnershipProof`] wire object;
 //! * [`mod@reference`] — bit-identical fixed-point extraction outside the
 //!   circuit; [`benchmarks`] — the Table II model zoo; [`inference`] —
 //!   verifiable ML inference (the paper's conclusion extension).
@@ -116,12 +128,9 @@ pub mod registry;
 pub mod session;
 
 pub use artifact::{Artifact, ArtifactKind, CircuitId, OwnershipStatement, WireError};
-pub use circuit::{BuiltCircuit, ExtractionSpec};
+pub use circuit::{BuiltCircuit, ExtractionCircuit, ExtractionSpec, ExtractionWitness};
 pub use error::ZkrownnError;
 pub use model::{QuantLayer, QuantizedModel};
 pub use prove::OwnershipProof;
 pub use registry::KeyRegistry;
 pub use session::{Authority, ProverKit, SignedClaim, VerifierKit};
-
-#[allow(deprecated)]
-pub use prove::{prove, setup, verify, verify_prepared, OwnershipError};

@@ -1,28 +1,16 @@
-//! The ownership proof object, plus the original free-function API kept as
-//! thin deprecated shims for one release.
+//! The ownership proof object.
 //!
-//! New code should use the role-typed workflow instead: an authority calls
-//! [`Authority::setup`](crate::Authority::setup), the owner calls
-//! [`ProverKit::prove`](crate::ProverKit::prove), verifiers call
-//! [`VerifierKit::verify`](crate::VerifierKit::verify) or go through a
-//! [`KeyRegistry`](crate::KeyRegistry) for amortized batches. The shims
-//! keep their original standalone bodies (delegating would force a
-//! proving-key/spec clone per call) but behave identically to the kit path
-//! — including the [`ZkrownnError::NegativeVerdict`] distinction — and are
-//! pinned to it by `deprecated_free_function_shims_still_work` in the
-//! end-to-end suite.
+//! Proving goes through the role-typed workflow: an authority calls
+//! [`Authority::setup`](crate::Authority::setup) (or the strictly
+//! witness-free [`Authority::setup_statement`](crate::Authority::setup_statement)),
+//! the owner calls [`ProverKit::prove`](crate::ProverKit::prove), verifiers
+//! call [`VerifierKit::verify`](crate::VerifierKit::verify) or go through a
+//! [`KeyRegistry`](crate::KeyRegistry) for amortized batches. (The PR-2
+//! free-function shims are gone; their role-typed replacements above are
+//! the only path.)
 
 use crate::artifact::{Artifact, ArtifactKind, CircuitId, Reader, WireError};
-use crate::circuit::ExtractionSpec;
-use crate::error::ZkrownnError;
-use zkrownn_groth16::{
-    create_proof, generate_parameters, verify_proof_prepared, PreparedVerifyingKey, Proof,
-    ProvingKey, VerifyingKey,
-};
-
-/// The old two-variant error type, now an alias of the unified hierarchy.
-#[deprecated(note = "use ZkrownnError, which this now aliases")]
-pub type OwnershipError = ZkrownnError;
+use zkrownn_groth16::Proof;
 
 /// An ownership proof: the 128-byte Groth16 proof, the public verdict it
 /// attests, and the id of the circuit it belongs to.
@@ -33,7 +21,7 @@ pub struct OwnershipProof {
     /// The public verdict (`true` — the watermark was recovered within the
     /// BER threshold).
     pub verdict: bool,
-    /// Shape digest of the circuit this proof was generated for.
+    /// Synthesis-trace digest of the circuit this proof was generated for.
     pub circuit_id: CircuitId,
 }
 
@@ -62,65 +50,4 @@ impl Artifact for OwnershipProof {
             circuit_id,
         })
     }
-}
-
-/// Runs the one-time trusted setup for an extraction circuit.
-///
-/// Only the *shape* of the spec matters (a placeholder witness is used), so
-/// a trusted third party can run this knowing just the public model and the
-/// watermark dimensions.
-#[deprecated(note = "use Authority::setup, which returns role-typed kits")]
-pub fn setup<R: rand::Rng + ?Sized>(spec: &ExtractionSpec, rng: &mut R) -> ProvingKey {
-    let built = spec.placeholder_witness().build();
-    generate_parameters(&built.cs.to_matrices(), rng)
-}
-
-/// Generates the ownership proof (the prover `P` of the paper).
-#[deprecated(note = "use ProverKit::prove, which returns a portable SignedClaim")]
-pub fn prove<R: rand::Rng + ?Sized>(
-    pk: &ProvingKey,
-    spec: &ExtractionSpec,
-    rng: &mut R,
-) -> Result<OwnershipProof, ZkrownnError> {
-    let built = spec.build();
-    built
-        .cs
-        .is_satisfied()
-        .map_err(ZkrownnError::UnsatisfiedCircuit)?;
-    let proof = create_proof(pk, &built.cs, rng);
-    Ok(OwnershipProof {
-        proof,
-        verdict: built.verdict,
-        circuit_id: spec.circuit_id(),
-    })
-}
-
-/// Verifies an ownership proof against the public model (the third-party
-/// verifier `V`; needs only the verifying key).
-#[deprecated(note = "use VerifierKit::verify or KeyRegistry::verify_batch")]
-pub fn verify(
-    vk: &VerifyingKey,
-    spec_public: &ExtractionSpec,
-    proof: &OwnershipProof,
-) -> Result<(), ZkrownnError> {
-    #[allow(deprecated)]
-    verify_prepared(&vk.prepare(), spec_public, proof)
-}
-
-/// Verification against a prepared key (amortizes pairing precomputation
-/// across many verifications).
-#[deprecated(note = "use VerifierKit::verify or KeyRegistry::verify_batch")]
-pub fn verify_prepared(
-    pvk: &PreparedVerifyingKey,
-    spec_public: &ExtractionSpec,
-    proof: &OwnershipProof,
-) -> Result<(), ZkrownnError> {
-    let inputs = spec_public.public_inputs(proof.verdict);
-    verify_proof_prepared(pvk, &proof.proof, &inputs).map_err(ZkrownnError::InvalidProof)?;
-    if !proof.verdict {
-        // a *valid* proof of a negative verdict is not an ownership claim,
-        // but it is not a forgery either — report it as what it is
-        return Err(ZkrownnError::NegativeVerdict);
-    }
-    Ok(())
 }

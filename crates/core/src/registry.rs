@@ -28,7 +28,9 @@
 
 use crate::artifact::CircuitId;
 use crate::error::ZkrownnError;
-use crate::session::{check_claim_identity, verify_claim_prepared, SignedClaim, VerifierKit};
+use crate::session::{
+    check_proof_circuit, check_statement_circuit, verify_claim_prepared, SignedClaim, VerifierKit,
+};
 use std::collections::HashMap;
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_groth16::{
@@ -129,8 +131,9 @@ impl KeyRegistry {
                 continue;
             };
 
-            // public-input preparation, once per distinct statement
-            let mut input_cache: HashMap<[u8; 32], Vec<Fr>> = HashMap::new();
+            // per distinct statement: the circuit id (one setup-mode
+            // synthesis) and the prepared public-input prefix, both cached
+            let mut statement_cache: HashMap<[u8; 32], (CircuitId, Vec<Fr>)> = HashMap::new();
             // positive claims eligible for the combined pairing check,
             // built directly in the shape `verify_proofs_batch` consumes
             let mut positive_idx: Vec<usize> = Vec::new();
@@ -138,13 +141,19 @@ impl KeyRegistry {
 
             for i in indices {
                 let claim = &claims[i];
-                if let Err(e) = check_claim_identity(id, claim) {
+                if let Err(e) = check_proof_circuit(id, claim) {
                     results[i] = Err(e);
                     continue;
                 }
-                let params = input_cache
+                let (statement_id, params) = statement_cache
                     .entry(claim.statement.content_digest())
-                    .or_insert_with(|| claim.statement.model_inputs());
+                    .or_insert_with(|| {
+                        (claim.statement.circuit_id(), claim.statement.model_inputs())
+                    });
+                if let Err(e) = check_statement_circuit(id, *statement_id) {
+                    results[i] = Err(e);
+                    continue;
+                }
                 let mut inputs = params.clone();
                 inputs.push(Fr::from_i128(i128::from(claim.proof.verdict)));
                 if claim.proof.verdict {

@@ -17,38 +17,59 @@
 //! in another process with [`Artifact::from_bytes`]; many claims against
 //! the same circuit amortize via [`crate::KeyRegistry::verify_batch`].
 
-use crate::artifact::{Artifact, ArtifactKind, CircuitId, OwnershipStatement, Reader, WireError};
-use crate::circuit::ExtractionSpec;
+use crate::artifact::{
+    Artifact, ArtifactKind, CircuitId, OwnershipStatement, Reader, TraceHasher, WireError,
+};
+use crate::circuit::{ExtractionCircuit, ExtractionSpec};
 use crate::error::ZkrownnError;
 use crate::prove::OwnershipProof;
+use zkrownn_ff::Fr;
 use zkrownn_groth16::{
-    create_proof, generate_parameters, verify_proof_prepared, PreparedVerifyingKey, ProvingKey,
-    VerifyingKey,
+    create_proof_from_cs, generate_parameters_from_matrices, verify_proof_prepared,
+    PreparedVerifyingKey, ProvingKey, VerifyingKey,
 };
+use zkrownn_r1cs::{Circuit, SetupSynthesizer};
+
+/// One witness-free synthesis serving double duty: the lowered matrices
+/// feed key generation, the streamed trace becomes the [`CircuitId`] —
+/// setup-side circuits are synthesized exactly once.
+fn generate_parameters_and_id<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
+    circuit: &C,
+    rng: &mut R,
+) -> (ProvingKey, CircuitId) {
+    let mut cs = SetupSynthesizer::with_sink(TraceHasher::new());
+    circuit
+        .synthesize(&mut cs)
+        .expect("setup-mode synthesis evaluates no value closure and cannot fail");
+    let matrices = cs.to_matrices();
+    let id = CircuitId::from_bytes(cs.into_sink().finalize());
+    (generate_parameters_from_matrices(&matrices, rng), id)
+}
 
 /// The trusted-setup authority (the paper's trusted third party `T`).
 ///
 /// Runs circuit-specific setup once per circuit *shape* and splits the
-/// result into the two role kits. Setup only needs the public shape — a
-/// placeholder witness is used — so the authority learns nothing about the
-/// watermark.
+/// result into the two role kits. Setup synthesizes the circuit with the
+/// witness-free setup driver — no value closure is ever evaluated, so the
+/// authority learns nothing about the watermark (and, via
+/// [`Authority::setup_statement`], need not even be handed a spec that
+/// *contains* a witness).
 pub struct Authority;
 
 impl Authority {
     /// One-time trusted setup for `spec`'s circuit, returning the prover's
     /// and verifier's kits.
     ///
-    /// The [`ProverKit`] keeps the full spec (private witness included) and
-    /// the proving key; the [`VerifierKit`] gets only the verifying key and
-    /// the circuit id.
+    /// Setup runs on [`ExtractionSpec::shape_circuit`] — the witness-less
+    /// view of the spec — so no witness value is touched. The [`ProverKit`]
+    /// keeps the full spec (private witness included) and the proving key;
+    /// the [`VerifierKit`] gets only the verifying key and the circuit id.
     pub fn setup<R: rand::Rng + ?Sized>(
         spec: &ExtractionSpec,
         rng: &mut R,
     ) -> (ProverKit, VerifierKit) {
-        let built = spec.placeholder_witness().build();
-        let pk = generate_parameters(&built.cs.to_matrices(), rng);
+        let (pk, circuit_id) = generate_parameters_and_id(&spec.shape_circuit(), rng);
         let vk = pk.vk.clone();
-        let circuit_id = spec.circuit_id();
         // the setup was requested for *this* dispute, so the issued kit is
         // bound to this spec's public statement: a claim about any other
         // same-shaped model will be rejected with `StatementMismatch`
@@ -62,6 +83,24 @@ impl Authority {
             },
             verifier,
         )
+    }
+
+    /// Strictly witness-free setup from a public [`OwnershipStatement`]
+    /// alone — the honest-authority deployment: the authority receives only
+    /// public data, publishes the proving key, and issues a bound
+    /// [`VerifierKit`]. The owner later assembles their
+    /// [`ProverKit::from_parts`] from the published key and their private
+    /// spec.
+    pub fn setup_statement<R: rand::Rng + ?Sized>(
+        statement: &OwnershipStatement,
+        rng: &mut R,
+    ) -> (ProvingKey, VerifierKit) {
+        let circuit = ExtractionCircuit::from_statement(statement);
+        let (pk, circuit_id) = generate_parameters_and_id(&circuit, rng);
+        let vk = pk.vk.clone();
+        let verifier =
+            VerifierKit::from_parts(vk, circuit_id).bind_statement(statement.content_digest());
+        (pk, verifier)
     }
 }
 
@@ -104,15 +143,16 @@ impl ProverKit {
         &self.pk
     }
 
-    /// Generates an ownership claim: builds the witnessed circuit, proves
-    /// it, and bundles the proof with the public statement.
+    /// Generates an ownership claim: synthesizes the witnessed circuit in
+    /// proving mode, proves it, and bundles the proof with the public
+    /// statement.
     pub fn prove<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Result<SignedClaim, ZkrownnError> {
-        let built = self.spec.build();
+        let built = self.spec.build()?;
         built
             .cs
             .is_satisfied()
             .map_err(ZkrownnError::UnsatisfiedCircuit)?;
-        let proof = create_proof(&self.pk, &built.cs, rng);
+        let proof = create_proof_from_cs(&self.pk, &built.cs, rng);
         Ok(SignedClaim {
             statement: self.spec.statement(),
             proof: OwnershipProof {
@@ -196,19 +236,37 @@ impl VerifierKit {
             if claim.statement.content_digest() != expected {
                 return Err(ZkrownnError::StatementMismatch);
             }
+            // The statement is byte-identical to the one this kit was bound
+            // to at setup, whose synthesis trace produced `self.circuit_id`
+            // — no need to re-synthesize it per claim. (Soundness never
+            // rested on that check anyway: the pairing equation binds the
+            // proof to this kit's circuit-specific key.)
+            check_proof_circuit(self.circuit_id, claim)?;
+            return verify_claim_crypto(&self.pvk, claim);
         }
         verify_claim_prepared(&self.pvk, self.circuit_id, claim)
     }
 }
 
-/// Full claim validation against a prepared key: circuit-identity checks,
-/// the pairing equation, then the verdict gate.
+/// Full claim validation against a prepared key: circuit-identity checks
+/// (including one setup-mode synthesis of the claim's statement), the
+/// pairing equation, then the verdict gate.
 pub(crate) fn verify_claim_prepared(
     pvk: &PreparedVerifyingKey,
     expected: CircuitId,
     claim: &SignedClaim,
 ) -> Result<(), ZkrownnError> {
-    check_claim_identity(expected, claim)?;
+    check_proof_circuit(expected, claim)?;
+    check_statement_circuit(expected, claim.statement.circuit_id())?;
+    verify_claim_crypto(pvk, claim)
+}
+
+/// The cryptographic tail of claim validation: the pairing equation over
+/// the statement's public inputs, then the verdict gate.
+pub(crate) fn verify_claim_crypto(
+    pvk: &PreparedVerifyingKey,
+    claim: &SignedClaim,
+) -> Result<(), ZkrownnError> {
     let inputs = claim.statement.public_inputs(claim.proof.verdict);
     verify_proof_prepared(pvk, &claim.proof.proof, &inputs).map_err(ZkrownnError::InvalidProof)?;
     if !claim.proof.verdict {
@@ -217,10 +275,9 @@ pub(crate) fn verify_claim_prepared(
     Ok(())
 }
 
-/// The identity prefix of claim validation (shared with batch verification):
-/// the proof must name the expected circuit, and the statement's actual
-/// shape must hash to the same id the proof names.
-pub(crate) fn check_claim_identity(
+/// The cheap half of the identity check: the proof must name the expected
+/// circuit.
+pub(crate) fn check_proof_circuit(
     expected: CircuitId,
     claim: &SignedClaim,
 ) -> Result<(), ZkrownnError> {
@@ -230,7 +287,17 @@ pub(crate) fn check_claim_identity(
             got: claim.proof.circuit_id,
         });
     }
-    let statement_id = claim.statement.circuit_id();
+    Ok(())
+}
+
+/// The expensive half: the statement's actual shape must hash to the same
+/// id the verifier expects. Callers that check many claims against the
+/// same statement compute `statement_id` once
+/// ([`crate::KeyRegistry::verify_batch`] caches it per distinct statement).
+pub(crate) fn check_statement_circuit(
+    expected: CircuitId,
+    statement_id: CircuitId,
+) -> Result<(), ZkrownnError> {
     if statement_id != expected {
         return Err(ZkrownnError::CircuitMismatch {
             expected,

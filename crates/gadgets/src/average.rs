@@ -5,12 +5,15 @@
 use crate::cmp::div_by_const;
 use crate::num::Num;
 use zkrownn_ff::Fr;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 
 /// Averages `rows` vectors element-wise: output `j` is
 /// `⌊(Σᵢ rows[i][j]) / rows.len()⌋` (floor division, matching
 /// [`crate::fixed::floor_div`]).
-pub fn average_rows(rows: &[Vec<Num>], cs: &mut ConstraintSystem<Fr>) -> Vec<Num> {
+pub fn average_rows<CS: ConstraintSystem<Fr>>(
+    rows: &[Vec<Num>],
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
     assert!(!rows.is_empty(), "average of zero rows");
     let width = rows[0].len();
     assert!(
@@ -27,31 +30,30 @@ pub fn average_rows(rows: &[Vec<Num>], cs: &mut ConstraintSystem<Fr>) -> Vec<Num
 }
 
 /// The standalone Table I "Average2D" circuit: a private `rows × cols`
-/// matrix averaged along rows (column means), public outputs.
-pub fn average2d_circuit(
+/// matrix averaged along rows (column means), public outputs. Returns the
+/// reference means (computed out of circuit, so the helper works under
+/// every driver).
+pub fn average2d_circuit<CS: ConstraintSystem<Fr>>(
     entries: &[i128],
     rows: usize,
     cols: usize,
     bits: u32,
-    cs: &mut ConstraintSystem<Fr>,
-) -> Vec<i128> {
+    cs: &mut CS,
+) -> Result<Vec<i128>, SynthesisError> {
     use zkrownn_ff::PrimeField;
     assert_eq!(entries.len(), rows * cols);
     let nums: Vec<Vec<Num>> = (0..rows)
         .map(|r| {
             (0..cols)
-                .map(|c| Num::alloc_witness(cs, Fr::from_i128(entries[r * cols + c]), bits))
-                .collect()
+                .map(|c| Num::alloc_witness(cs, || Ok(Fr::from_i128(entries[r * cols + c])), bits))
+                .collect::<Result<_, _>>()
         })
-        .collect();
-    let means = average_rows(&nums, cs);
-    means
-        .iter()
-        .map(|m| {
-            m.expose_as_output(cs);
-            m.value_i128()
-        })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    let means = average_rows(&nums, cs)?;
+    for m in &means {
+        m.expose_as_output(cs)?;
+    }
+    Ok(average_reference(entries, rows, cols))
 }
 
 /// Reference column means with floor semantics.
@@ -69,14 +71,15 @@ mod tests {
     use super::*;
     use rand::Rng;
     use rand::SeedableRng;
+    use zkrownn_r1cs::ProvingSynthesizer;
 
     #[test]
     fn average_matches_reference() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(161);
         let (rows, cols) = (5usize, 7usize);
         let entries: Vec<i128> = (0..rows * cols).map(|_| rng.gen_range(-100..100)).collect();
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs).unwrap();
         assert_eq!(got, average_reference(&entries, rows, cols));
         assert!(cs.is_satisfied().is_ok());
     }
@@ -86,8 +89,8 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(162);
         let (rows, cols) = (4usize, 3usize);
         let entries: Vec<i128> = (0..rows * cols).map(|_| rng.gen_range(-100..100)).collect();
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let got = average2d_circuit(&entries, rows, cols, 8, &mut cs).unwrap();
         assert_eq!(got, average_reference(&entries, rows, cols));
         assert!(cs.is_satisfied().is_ok());
     }
@@ -95,8 +98,8 @@ mod tests {
     #[test]
     fn single_row_average_is_identity() {
         let entries = vec![3i128, -4, 5];
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let got = average2d_circuit(&entries, 1, 3, 4, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let got = average2d_circuit(&entries, 1, 3, 4, &mut cs).unwrap();
         assert_eq!(got, entries);
         assert!(cs.is_satisfied().is_ok());
     }

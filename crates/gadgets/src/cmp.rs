@@ -3,29 +3,36 @@
 use crate::bits::{to_bits, Bit};
 use crate::num::{Num, MAX_BITS};
 use zkrownn_ff::{Field, Fr, PrimeField};
-use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
+use zkrownn_r1cs::{assignment, ConstraintSystem, LinearCombination, SynthesisError};
 
 /// Returns the bit `x < 0`, assuming `|x| < 2^x.bits`.
 ///
 /// Implementation: decompose `x + 2^n` (guaranteed in `[0, 2^(n+1))`) and
 /// read the top bit — it is 1 exactly when `x ≥ 0`.
-pub fn is_negative(x: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
+pub fn is_negative<CS: ConstraintSystem<Fr>>(x: &Num, cs: &mut CS) -> Result<Bit, SynthesisError> {
     let n = x.bits;
     assert!(n < MAX_BITS, "comparison width exceeds MAX_BITS");
-    let shifted = x.add(&Num::constant(Fr::from_u128(1u128 << n)));
-    let mut shifted = shifted;
+    let mut shifted = x.add(&Num::constant(Fr::from_u128(1u128 << n)));
     shifted.bits = n + 1;
-    let bits = to_bits(&shifted, n + 1, cs);
-    bits[n as usize].not()
+    let bits = to_bits(&shifted, n + 1, cs)?;
+    Ok(bits[n as usize].not())
 }
 
 /// Returns the bit `a ≥ b`.
-pub fn is_ge(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
-    is_negative(&a.sub(b), cs).not()
+pub fn is_ge<CS: ConstraintSystem<Fr>>(
+    a: &Num,
+    b: &Num,
+    cs: &mut CS,
+) -> Result<Bit, SynthesisError> {
+    Ok(is_negative(&a.sub(b), cs)?.not())
 }
 
 /// Returns the bit `a < b`.
-pub fn is_lt(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
+pub fn is_lt<CS: ConstraintSystem<Fr>>(
+    a: &Num,
+    b: &Num,
+    cs: &mut CS,
+) -> Result<Bit, SynthesisError> {
     is_negative(&a.sub(b), cs)
 }
 
@@ -34,23 +41,31 @@ pub fn is_lt(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Bit {
 /// Constrains `x = q·2^k + r` with `r ∈ [0, 2^k)` and `q` range-checked to
 /// `(x.bits − k + 1)` signed bits; floor semantics match
 /// [`crate::fixed::floor_div_pow2`].
-pub fn truncate(x: &Num, k: u32, cs: &mut ConstraintSystem<Fr>) -> Num {
+pub fn truncate<CS: ConstraintSystem<Fr>>(
+    x: &Num,
+    k: u32,
+    cs: &mut CS,
+) -> Result<Num, SynthesisError> {
     assert!(k > 0 && k < MAX_BITS);
     assert!(x.bits < MAX_BITS, "truncation input too wide");
-    let v = x.value_i128();
-    let q_val = v >> k;
-    let r_val = v - (q_val << k);
-    debug_assert!((0..(1i128 << k)).contains(&r_val));
+    let v = x.value.map(|f| {
+        f.to_i128()
+            .expect("Num value exceeded i128 range; bounds tracking violated")
+    });
+    let q_val = v.map(|v| v >> k);
+    let r_val = v.map(|v| v - ((v >> k) << k));
+    if let Some(r) = r_val {
+        debug_assert!((0..(1i128 << k)).contains(&r));
+    }
 
     let q_bits = x.bits.saturating_sub(k).max(1);
-    let q = Num::alloc_witness(cs, Fr::from_i128(q_val), q_bits);
-    let r = Num::alloc_witness(cs, Fr::from_i128(r_val), k);
+    let q = Num::alloc_witness(cs, || assignment(q_val.map(Fr::from_i128)), q_bits)?;
+    let r = Num::alloc_witness(cs, || assignment(r_val.map(Fr::from_i128)), k)?;
     // range checks
-    let _ = to_bits(&r, k, cs);
-    let q_shifted = q.add(&Num::constant(Fr::from_u128(1u128 << q_bits)));
-    let mut q_shifted = q_shifted;
+    let _ = to_bits(&r, k, cs)?;
+    let mut q_shifted = q.add(&Num::constant(Fr::from_u128(1u128 << q_bits)));
     q_shifted.bits = q_bits + 1;
-    let _ = to_bits(&q_shifted, q_bits + 1, cs);
+    let _ = to_bits(&q_shifted, q_bits + 1, cs)?;
     // recomposition: x − q·2^k − r == 0
     let recompose = x.lc.clone() - q.lc.clone().scale(Fr::from_u128(1u128 << k)) - r.lc.clone();
     cs.enforce(
@@ -58,39 +73,44 @@ pub fn truncate(x: &Num, k: u32, cs: &mut ConstraintSystem<Fr>) -> Num {
         LinearCombination::constant(Fr::one()),
         LinearCombination::zero(),
     );
-    q
+    Ok(q)
 }
 
 /// Floor-divides a signed value by a small positive constant `d` (used for
 /// activation averaging). Matches [`crate::fixed::floor_div`].
-pub fn div_by_const(x: &Num, d: u64, cs: &mut ConstraintSystem<Fr>) -> Num {
+pub fn div_by_const<CS: ConstraintSystem<Fr>>(
+    x: &Num,
+    d: u64,
+    cs: &mut CS,
+) -> Result<Num, SynthesisError> {
     assert!(d > 0, "division by zero");
     if d.is_power_of_two() && d > 1 {
         return truncate(x, d.trailing_zeros(), cs);
     }
     if d == 1 {
-        return x.clone();
+        return Ok(x.clone());
     }
     let d_bits = 64 - d.leading_zeros();
     assert!(x.bits < MAX_BITS);
-    let v = x.value_i128();
-    let q_val = v.div_euclid(d as i128);
-    let r_val = v - q_val * d as i128;
+    let v = x.value.map(|f| {
+        f.to_i128()
+            .expect("Num value exceeded i128 range; bounds tracking violated")
+    });
+    let q_val = v.map(|v| v.div_euclid(d as i128));
+    let r_val = v.map(|v| v - v.div_euclid(d as i128) * d as i128);
     let q_bits = x.bits; // |q| ≤ |x|
-    let q = Num::alloc_witness(cs, Fr::from_i128(q_val), q_bits);
-    let r = Num::alloc_witness(cs, Fr::from_i128(r_val), d_bits);
+    let q = Num::alloc_witness(cs, || assignment(q_val.map(Fr::from_i128)), q_bits)?;
+    let r = Num::alloc_witness(cs, || assignment(r_val.map(Fr::from_i128)), d_bits)?;
     // r ∈ [0, 2^d_bits) …
-    let _ = to_bits(&r, d_bits, cs);
+    let _ = to_bits(&r, d_bits, cs)?;
     // … and r ≤ d − 1: decompose (d − 1 − r) too
-    let d_minus_1_minus_r = Num::constant(Fr::from_u64(d - 1)).sub(&r);
-    let mut dd = d_minus_1_minus_r;
+    let mut dd = Num::constant(Fr::from_u64(d - 1)).sub(&r);
     dd.bits = d_bits;
-    let _ = to_bits(&dd, d_bits, cs);
+    let _ = to_bits(&dd, d_bits, cs)?;
     // signed range check on q
-    let q_shifted = q.add(&Num::constant(Fr::from_u128(1u128 << q_bits)));
-    let mut q_shifted = q_shifted;
+    let mut q_shifted = q.add(&Num::constant(Fr::from_u128(1u128 << q_bits)));
     q_shifted.bits = q_bits + 1;
-    let _ = to_bits(&q_shifted, q_bits + 1, cs);
+    let _ = to_bits(&q_shifted, q_bits + 1, cs)?;
     // x − q·d − r == 0
     let recompose = x.lc.clone() - q.lc.clone().scale(Fr::from_u64(d)) - r.lc.clone();
     cs.enforce(
@@ -98,20 +118,25 @@ pub fn div_by_const(x: &Num, d: u64, cs: &mut ConstraintSystem<Fr>) -> Num {
         LinearCombination::constant(Fr::one()),
         LinearCombination::zero(),
     );
-    q
+    Ok(q)
 }
 
 /// Enforces that `vals[k]` is a maximum of `vals` (ties allowed): adds an
 /// `is_ge` check against every other element and constrains each to hold.
 /// Used by class-only verifiable inference ("the predicted class is k"
-/// without revealing the logits).
-pub fn enforce_argmax(vals: &[Num], k: usize, cs: &mut ConstraintSystem<Fr>) {
+/// without revealing the logits). Note that `k` is part of the circuit
+/// *structure* — the claimed class is a public parameter, not a witness.
+pub fn enforce_argmax<CS: ConstraintSystem<Fr>>(
+    vals: &[Num],
+    k: usize,
+    cs: &mut CS,
+) -> Result<(), SynthesisError> {
     assert!(k < vals.len(), "argmax index out of range");
     for (j, v) in vals.iter().enumerate() {
         if j == k {
             continue;
         }
-        let ge = is_ge(&vals[k], v, cs);
+        let ge = is_ge(&vals[k], v, cs)?;
         // ge must be 1
         cs.enforce(
             ge.num.lc.clone() - LinearCombination::constant(Fr::one()),
@@ -119,24 +144,26 @@ pub fn enforce_argmax(vals: &[Num], k: usize, cs: &mut ConstraintSystem<Fr>) {
             LinearCombination::zero(),
         );
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fixed::{floor_div, floor_div_pow2};
+    use zkrownn_r1cs::ProvingSynthesizer;
 
-    fn num(cs: &mut ConstraintSystem<Fr>, v: i128, bits: u32) -> Num {
-        Num::alloc_witness(cs, Fr::from_i128(v), bits)
+    fn num(cs: &mut ProvingSynthesizer<Fr>, v: i128, bits: u32) -> Num {
+        Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), bits).unwrap()
     }
 
     #[test]
     fn is_negative_on_samples() {
         for v in [-100i128, -1, 0, 1, 100] {
-            let mut cs = ConstraintSystem::<Fr>::new();
+            let mut cs = ProvingSynthesizer::<Fr>::new();
             let x = num(&mut cs, v, 8);
-            let neg = is_negative(&x, &mut cs);
-            assert_eq!(neg.value(), v < 0, "v = {v}");
+            let neg = is_negative(&x, &mut cs).unwrap();
+            assert_eq!(neg.value(), Some(v < 0), "v = {v}");
             assert!(cs.is_satisfied().is_ok());
         }
     }
@@ -145,11 +172,11 @@ mod tests {
     fn comparisons() {
         let cases = [(3i128, 5i128), (5, 3), (4, 4), (-2, 2), (-7, -3)];
         for (a, b) in cases {
-            let mut cs = ConstraintSystem::<Fr>::new();
+            let mut cs = ProvingSynthesizer::<Fr>::new();
             let na = num(&mut cs, a, 6);
             let nb = num(&mut cs, b, 6);
-            assert_eq!(is_ge(&na, &nb, &mut cs).value(), a >= b);
-            assert_eq!(is_lt(&na, &nb, &mut cs).value(), a < b);
+            assert_eq!(is_ge(&na, &nb, &mut cs).unwrap().value(), Some(a >= b));
+            assert_eq!(is_lt(&na, &nb, &mut cs).unwrap().value(), Some(a < b));
             assert!(cs.is_satisfied().is_ok());
         }
     }
@@ -157,9 +184,9 @@ mod tests {
     #[test]
     fn truncate_matches_reference_semantics() {
         for v in [-1000i128, -17, -16, -1, 0, 1, 15, 16, 1000] {
-            let mut cs = ConstraintSystem::<Fr>::new();
+            let mut cs = ProvingSynthesizer::<Fr>::new();
             let x = num(&mut cs, v, 12);
-            let q = truncate(&x, 4, &mut cs);
+            let q = truncate(&x, 4, &mut cs).unwrap();
             assert_eq!(q.value_i128(), floor_div_pow2(v, 4), "v = {v}");
             assert!(cs.is_satisfied().is_ok(), "v = {v}");
         }
@@ -169,9 +196,9 @@ mod tests {
     fn div_by_const_matches_reference_semantics() {
         for d in [1u64, 3, 5, 7, 10, 128] {
             for v in [-99i128, -10, -1, 0, 1, 9, 100] {
-                let mut cs = ConstraintSystem::<Fr>::new();
+                let mut cs = ProvingSynthesizer::<Fr>::new();
                 let x = num(&mut cs, v, 9);
-                let q = div_by_const(&x, d, &mut cs);
+                let q = div_by_const(&x, d, &mut cs).unwrap();
                 assert_eq!(q.value_i128(), floor_div(v, d as i128), "v={v}, d={d}");
                 assert!(cs.is_satisfied().is_ok(), "v={v}, d={d}");
             }
@@ -183,21 +210,15 @@ mod tests {
         let vals = [3i128, 9, -2, 9, 0];
         // index 1 and 3 are both maxima (ties allowed)
         for k in [1usize, 3] {
-            let mut cs = ConstraintSystem::<Fr>::new();
-            let nums: Vec<Num> = vals
-                .iter()
-                .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 6))
-                .collect();
-            enforce_argmax(&nums, k, &mut cs);
+            let mut cs = ProvingSynthesizer::<Fr>::new();
+            let nums: Vec<Num> = vals.iter().map(|&v| num(&mut cs, v, 6)).collect();
+            enforce_argmax(&nums, k, &mut cs).unwrap();
             assert!(cs.is_satisfied().is_ok(), "k = {k}");
         }
         for k in [0usize, 2, 4] {
-            let mut cs = ConstraintSystem::<Fr>::new();
-            let nums: Vec<Num> = vals
-                .iter()
-                .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 6))
-                .collect();
-            enforce_argmax(&nums, k, &mut cs);
+            let mut cs = ProvingSynthesizer::<Fr>::new();
+            let nums: Vec<Num> = vals.iter().map(|&v| num(&mut cs, v, 6)).collect();
+            enforce_argmax(&nums, k, &mut cs).unwrap();
             assert!(cs.is_satisfied().is_err(), "k = {k}");
         }
     }
@@ -206,16 +227,16 @@ mod tests {
     fn truncate_rejects_cheating_quotient() {
         // A forged quotient/remainder pair violating the range checks must
         // not satisfy the system: emulate by rebuilding with a bad witness.
-        let mut cs = ConstraintSystem::<Fr>::new();
+        let mut cs = ProvingSynthesizer::<Fr>::new();
         let x = num(&mut cs, 33, 8);
         // honest: q = 2, r = 1 (33 = 2·16 + 1). Forge q = 1, r = 17.
-        let q = Num::alloc_witness(&mut cs, Fr::from_i128(1), 4);
-        let r = Num::alloc_witness(&mut cs, Fr::from_i128(17), 4);
+        let q = num(&mut cs, 1, 4);
+        let r = num(&mut cs, 17, 4);
         // r decomposition into 4 bits cannot represent 17 — any bit
         // assignment fails either booleanity or recomposition. Use the
         // honest-looking bits of 17 mod 16 = 1 to show recomposition fails.
         let b: Vec<_> = (0..4)
-            .map(|i| Bit::alloc(&mut cs, (1u64 >> i) & 1 == 1))
+            .map(|i| Bit::alloc(&mut cs, || Ok((1u64 >> i) & 1 == 1)).unwrap())
             .collect();
         let recompose_r = b
             .iter()

@@ -8,7 +8,7 @@
 
 use crate::num::Num;
 use zkrownn_ff::Fr;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 
 /// Shape of a convolution.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -58,12 +58,12 @@ impl ConvShape {
 ///
 /// `input` is `C·H·W` row-major; `kernels` is `OC × (C·k·k)` row-major.
 /// Output is `OC·OH·OW` row-major.
-pub fn conv3d(
+pub fn conv3d<CS: ConstraintSystem<Fr>>(
     input: &[Num],
     kernels: &[Num],
     shape: &ConvShape,
-    cs: &mut ConstraintSystem<Fr>,
-) -> Vec<Num> {
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
     assert_eq!(input.len(), shape.in_len(), "input length mismatch");
     assert_eq!(kernels.len(), shape.kernel_len(), "kernel length mismatch");
     let (oh, ow) = (shape.out_height(), shape.out_width());
@@ -86,38 +86,37 @@ pub fn conv3d(
                         }
                     }
                 }
-                out.push(Num::inner_product(&patch, kern, cs));
+                out.push(Num::inner_product(&patch, kern, cs)?);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// The standalone Table I "Conv3D" circuit: private input and kernels,
-/// public outputs. Returns the output activations.
-pub fn conv3d_circuit(
+/// public outputs. Returns the reference output activations (computed out
+/// of circuit, so the helper works under every driver).
+pub fn conv3d_circuit<CS: ConstraintSystem<Fr>>(
     input: &[i128],
     kernels: &[i128],
     shape: &ConvShape,
     bits: u32,
-    cs: &mut ConstraintSystem<Fr>,
-) -> Vec<i128> {
+    cs: &mut CS,
+) -> Result<Vec<i128>, SynthesisError> {
     use zkrownn_ff::PrimeField;
     let input_nums: Vec<Num> = input
         .iter()
-        .map(|&v| Num::alloc_witness(cs, Fr::from_i128(v), bits))
-        .collect();
+        .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), bits))
+        .collect::<Result<_, _>>()?;
     let kernel_nums: Vec<Num> = kernels
         .iter()
-        .map(|&v| Num::alloc_witness(cs, Fr::from_i128(v), bits))
-        .collect();
-    let outs = conv3d(&input_nums, &kernel_nums, shape, cs);
-    outs.iter()
-        .map(|o| {
-            o.expose_as_output(cs);
-            o.value_i128()
-        })
-        .collect()
+        .map(|&v| Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), bits))
+        .collect::<Result<_, _>>()?;
+    let outs = conv3d(&input_nums, &kernel_nums, shape, cs)?;
+    for o in &outs {
+        o.expose_as_output(cs)?;
+    }
+    Ok(conv3d_reference(input, kernels, shape))
 }
 
 /// Reference integer convolution for cross-checking.
@@ -153,6 +152,7 @@ mod tests {
     use super::*;
     use rand::Rng;
     use rand::SeedableRng;
+    use zkrownn_r1cs::{CountingSynthesizer, ProvingSynthesizer};
 
     fn small_shape() -> ConvShape {
         ConvShape {
@@ -175,8 +175,8 @@ mod tests {
         let kernels: Vec<i128> = (0..shape.kernel_len())
             .map(|_| rng.gen_range(-20..20))
             .collect();
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let got = conv3d_circuit(&input, &kernels, &shape, 8, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let got = conv3d_circuit(&input, &kernels, &shape, 8, &mut cs).unwrap();
         assert_eq!(got, conv3d_reference(&input, &kernels, &shape));
         assert!(cs.is_satisfied().is_ok());
     }
@@ -207,8 +207,8 @@ mod tests {
         let shape = small_shape();
         let input = vec![1i128; shape.in_len()];
         let kernels = vec![1i128; shape.kernel_len()];
-        let mut cs = ConstraintSystem::<Fr>::new();
-        conv3d_circuit(&input, &kernels, &shape, 6, &mut cs);
+        let mut cs = CountingSynthesizer::<Fr>::new();
+        conv3d_circuit(&input, &kernels, &shape, 6, &mut cs).unwrap();
         // patch_len multiplications per output + 1 exposure per output
         assert_eq!(
             cs.num_constraints(),

@@ -1,4 +1,4 @@
-//! # zkrownn-gadgets — R1CS gadgets for watermark extraction
+//! # zkrownn-gadgets — mode-aware R1CS gadgets for watermark extraction
 //!
 //! The circuit building blocks of Algorithm 1, each usable standalone (as
 //! benchmarked in the paper's Table I) or composed into the end-to-end
@@ -15,6 +15,15 @@
 //! | BER | [`ber`] |
 //! | (extension) MaxPool | [`maxpool`] |
 //!
+//! Every gadget is generic over the synthesis driver (`CS:
+//! ConstraintSystem<Fr>` from `zkrownn-r1cs`), so one gadget definition
+//! serves trusted setup (shape only — no witness value is ever computed),
+//! proving (dense assignment) and constraint counting. Assignment values
+//! ride along as `Option`s inside [`Num`]/[`Bit`]: a witnessing driver
+//! fills them in at allocation, a setup-mode driver leaves them `None`,
+//! and every derived witness (quotients, decomposition bits, comparison
+//! flags) is computed inside a value closure the setup driver never calls.
+//!
 //! Real values use binary fixed point ([`fixed`]); every non-linear step
 //! (comparison, truncation) reduces to bit decomposition ([`bits`],
 //! [`cmp`]). Each gadget ships with a plain-integer reference function with
@@ -23,13 +32,23 @@
 //!
 //! ```
 //! use zkrownn_gadgets::{num::Num, relu::relu};
-//! use zkrownn_r1cs::ConstraintSystem;
+//! use zkrownn_r1cs::{ProvingSynthesizer, SetupSynthesizer};
 //! use zkrownn_ff::{Fr, PrimeField};
-//! let mut cs = ConstraintSystem::<Fr>::new();
-//! let x = Num::alloc_witness(&mut cs, Fr::from_i128(-7), 8);
-//! let y = relu(&x, &mut cs);
+//!
+//! // proving mode: values flow with the structure
+//! let mut cs = ProvingSynthesizer::<Fr>::new();
+//! let x = Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(-7)), 8)?;
+//! let y = relu(&x, &mut cs)?;
 //! assert_eq!(y.value_i128(), 0);
 //! assert!(cs.is_satisfied().is_ok());
+//!
+//! // setup mode: same structure, and the value closure is never evaluated
+//! let mut setup = SetupSynthesizer::<Fr>::new();
+//! let x = Num::alloc_witness(&mut setup, || unreachable!("no witness at setup"), 8)?;
+//! let y = relu(&x, &mut setup)?;
+//! assert_eq!(y.value, None);
+//! assert_eq!(setup.num_constraints(), cs.num_constraints());
+//! # Ok::<(), zkrownn_r1cs::SynthesisError>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -6,45 +6,47 @@
 //! complexity" — §III-B.6). Each pairwise max costs one signed comparison
 //! plus one multiplexer.
 
-use crate::bits::Bit;
 use crate::cmp::is_negative;
 use crate::num::Num;
 use zkrownn_ff::Fr;
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 
 /// `max(a, b)` on signed values.
-pub fn max(a: &Num, b: &Num, cs: &mut ConstraintSystem<Fr>) -> Num {
+pub fn max<CS: ConstraintSystem<Fr>>(a: &Num, b: &Num, cs: &mut CS) -> Result<Num, SynthesisError> {
     let mut diff = a.sub(b);
     diff.bits = a.bits.max(b.bits) + 1;
-    let a_lt_b: Bit = is_negative(&diff, cs);
-    let mut out = a_lt_b.select(b, a, cs);
+    let a_lt_b = is_negative(&diff, cs)?;
+    let mut out = a_lt_b.select(b, a, cs)?;
     out.bits = a.bits.max(b.bits);
-    out
+    Ok(out)
 }
 
 /// `max` over a non-empty slice.
-pub fn max_many(vals: &[Num], cs: &mut ConstraintSystem<Fr>) -> Num {
+pub fn max_many<CS: ConstraintSystem<Fr>>(
+    vals: &[Num],
+    cs: &mut CS,
+) -> Result<Num, SynthesisError> {
     assert!(!vals.is_empty(), "max of empty slice");
     let mut acc = vals[0].clone();
     for v in &vals[1..] {
-        acc = max(&acc, v, cs);
+        acc = max(&acc, v, cs)?;
     }
-    acc
+    Ok(acc)
 }
 
 /// 2-D max pooling over a channel-first `C×H×W` volume with a square
 /// window. Matches [`maxpool2d_reference`] and the float layer in
 /// `zkrownn-nn`.
 #[allow(clippy::too_many_arguments)]
-pub fn maxpool2d(
+pub fn maxpool2d<CS: ConstraintSystem<Fr>>(
     input: &[Num],
     channels: usize,
     height: usize,
     width: usize,
     size: usize,
     stride: usize,
-    cs: &mut ConstraintSystem<Fr>,
-) -> Vec<Num> {
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
     assert_eq!(
         input.len(),
         channels * height * width,
@@ -64,11 +66,11 @@ pub fn maxpool2d(
                         window.push(input[(c * height + iy) * width + ix].clone());
                     }
                 }
-                out.push(max_many(&window, cs));
+                out.push(max_many(&window, cs)?);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Reference integer max pooling.
@@ -105,14 +107,19 @@ pub fn maxpool2d_reference(
 mod tests {
     use super::*;
     use zkrownn_ff::PrimeField;
+    use zkrownn_r1cs::ProvingSynthesizer;
+
+    fn wit(cs: &mut ProvingSynthesizer<Fr>, v: i128, bits: u32) -> Num {
+        Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), bits).unwrap()
+    }
 
     #[test]
     fn pairwise_max_on_samples() {
         for (a, b) in [(3i128, 5i128), (5, 3), (-2, -7), (0, 0), (-1, 1)] {
-            let mut cs = ConstraintSystem::<Fr>::new();
-            let na = Num::alloc_witness(&mut cs, Fr::from_i128(a), 8);
-            let nb = Num::alloc_witness(&mut cs, Fr::from_i128(b), 8);
-            let m = max(&na, &nb, &mut cs);
+            let mut cs = ProvingSynthesizer::<Fr>::new();
+            let na = wit(&mut cs, a, 8);
+            let nb = wit(&mut cs, b, 8);
+            let m = max(&na, &nb, &mut cs).unwrap();
             assert_eq!(m.value_i128(), a.max(b), "({a}, {b})");
             assert!(cs.is_satisfied().is_ok());
         }
@@ -121,12 +128,9 @@ mod tests {
     #[test]
     fn max_many_matches_iterator_max() {
         let vals = [-4i128, 9, 0, 9, -100, 3];
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let nums: Vec<Num> = vals
-            .iter()
-            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 8))
-            .collect();
-        let m = max_many(&nums, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let nums: Vec<Num> = vals.iter().map(|&v| wit(&mut cs, v, 8)).collect();
+        let m = max_many(&nums, &mut cs).unwrap();
         assert_eq!(m.value_i128(), 9);
         assert!(cs.is_satisfied().is_ok());
     }
@@ -137,12 +141,9 @@ mod tests {
         let input: Vec<i128> = (0..(c * h * w) as i128)
             .map(|i| (i * 7) % 23 - 11)
             .collect();
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let nums: Vec<Num> = input
-            .iter()
-            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 8))
-            .collect();
-        let pooled = maxpool2d(&nums, c, h, w, 2, 2, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let nums: Vec<Num> = input.iter().map(|&v| wit(&mut cs, v, 8)).collect();
+        let pooled = maxpool2d(&nums, c, h, w, 2, 2, &mut cs).unwrap();
         let reference = maxpool2d_reference(&input, c, h, w, 2, 2);
         assert_eq!(pooled.len(), reference.len());
         for (p, r) in pooled.iter().zip(&reference) {
@@ -155,12 +156,9 @@ mod tests {
     fn overlapping_stride_pooling() {
         // MP(2,1) as in the paper's CNN
         let input: Vec<i128> = vec![1, 2, 3, 4, 5, 6, 7, 8, 9];
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let nums: Vec<Num> = input
-            .iter()
-            .map(|&v| Num::alloc_witness(&mut cs, Fr::from_i128(v), 6))
-            .collect();
-        let pooled = maxpool2d(&nums, 1, 3, 3, 2, 1, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let nums: Vec<Num> = input.iter().map(|&v| wit(&mut cs, v, 6)).collect();
+        let pooled = maxpool2d(&nums, 1, 3, 3, 2, 1, &mut cs).unwrap();
         let vals: Vec<i128> = pooled.iter().map(|p| p.value_i128()).collect();
         assert_eq!(vals, vec![5, 6, 8, 9]);
         assert!(cs.is_satisfied().is_ok());

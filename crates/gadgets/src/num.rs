@@ -1,13 +1,18 @@
 //! `Num` — a signed fixed-point value inside the circuit.
 //!
 //! A `Num` carries a linear combination over circuit variables, the value it
-//! evaluates to under the current assignment, and a conservative bound
+//! evaluates to under the current assignment (when the driver is witnessing
+//! — `None` under setup/counting synthesis), and a conservative bound
 //! `|value| < 2^bits` that downstream gadgets (comparisons, truncations) use
 //! to size their bit decompositions. Linear operations are free (pure LC
 //! manipulation); multiplication allocates one witness and one constraint.
+//!
+//! The bound tracking is *structural*: it depends only on how a value was
+//! built, never on the assignment, which is what keeps the synthesized
+//! constraint shape identical across setup, proving and counting drivers.
 
 use zkrownn_ff::{Field, Fr, PrimeField};
-use zkrownn_r1cs::{ConstraintSystem, LinearCombination, Variable};
+use zkrownn_r1cs::{assignment, ConstraintSystem, LinearCombination, SynthesisError, Variable};
 
 /// Maximum tracked magnitude (in bits) before gadgets refuse to continue.
 /// Keeps every intermediate far below the ~254-bit field and within the
@@ -19,36 +24,57 @@ pub const MAX_BITS: u32 = 120;
 pub struct Num {
     /// Symbolic linear combination.
     pub lc: LinearCombination<Fr>,
-    /// Assignment value.
-    pub value: Fr,
+    /// Assignment value — `Some` under a witnessing driver, `None` under
+    /// setup/counting synthesis (circuit constants are always `Some`).
+    pub value: Option<Fr>,
     /// Conservative magnitude bound: `|value| < 2^bits` as a signed integer.
     pub bits: u32,
 }
 
 impl Num {
-    /// Allocates a fresh private witness.
-    pub fn alloc_witness(cs: &mut ConstraintSystem<Fr>, value: Fr, bits: u32) -> Self {
+    /// Allocates a fresh private witness. `value` is only evaluated by
+    /// witnessing drivers — setup synthesis never calls it.
+    pub fn alloc_witness<CS: ConstraintSystem<Fr>>(
+        cs: &mut CS,
+        value: impl FnOnce() -> Result<Fr, SynthesisError>,
+        bits: u32,
+    ) -> Result<Self, SynthesisError> {
         assert!(bits <= MAX_BITS, "witness bound {bits} exceeds MAX_BITS");
-        let var = cs.alloc_witness(value);
-        Self {
+        let mut evaluated = None;
+        let var = cs.alloc_witness(|| {
+            let v = value()?;
+            evaluated = Some(v);
+            Ok(v)
+        })?;
+        Ok(Self {
             lc: var.into(),
-            value,
+            value: evaluated,
             bits,
-        }
+        })
     }
 
-    /// Allocates a fresh public input.
-    pub fn alloc_instance(cs: &mut ConstraintSystem<Fr>, value: Fr, bits: u32) -> Self {
+    /// Allocates a fresh public input (value closure evaluated only by
+    /// witnessing drivers, like [`Num::alloc_witness`]).
+    pub fn alloc_instance<CS: ConstraintSystem<Fr>>(
+        cs: &mut CS,
+        value: impl FnOnce() -> Result<Fr, SynthesisError>,
+        bits: u32,
+    ) -> Result<Self, SynthesisError> {
         assert!(bits <= MAX_BITS, "instance bound {bits} exceeds MAX_BITS");
-        let var = cs.alloc_instance(value);
-        Self {
+        let mut evaluated = None;
+        let var = cs.alloc_instance(|| {
+            let v = value()?;
+            evaluated = Some(v);
+            Ok(v)
+        })?;
+        Ok(Self {
             lc: var.into(),
-            value,
+            value: evaluated,
             bits,
-        }
+        })
     }
 
-    /// A circuit constant.
+    /// A circuit constant (known in every synthesis mode).
     pub fn constant(value: Fr) -> Self {
         let bits = value
             .to_i128()
@@ -56,7 +82,7 @@ impl Num {
             .unwrap_or(MAX_BITS);
         Self {
             lc: LinearCombination::constant(value),
-            value,
+            value: Some(value),
             bits: bits.min(MAX_BITS),
         }
     }
@@ -65,24 +91,39 @@ impl Num {
     pub fn zero() -> Self {
         Self {
             lc: LinearCombination::zero(),
-            value: Fr::zero(),
+            value: Some(Fr::zero()),
             bits: 0,
         }
     }
 
-    /// The signed integer value (panics if out of `i128` range — prevented
-    /// by the `MAX_BITS` discipline).
-    pub fn value_i128(&self) -> i128 {
-        self.value
+    /// The assignment value, or [`SynthesisError::AssignmentMissing`] under
+    /// a non-witnessing driver — the building block for derived-witness
+    /// closures.
+    pub fn val(&self) -> Result<Fr, SynthesisError> {
+        assignment(self.value)
+    }
+
+    /// The signed integer assignment value, as [`Num::val`] (panics only if
+    /// the value exceeds `i128` — prevented by the `MAX_BITS` discipline).
+    pub fn val_i128(&self) -> Result<i128, SynthesisError> {
+        Ok(self
+            .val()?
             .to_i128()
-            .expect("Num value exceeded i128 range; bounds tracking violated")
+            .expect("Num value exceeded i128 range; bounds tracking violated"))
+    }
+
+    /// The signed integer value (panics when no assignment is present —
+    /// only call on values produced by a witnessing synthesis).
+    pub fn value_i128(&self) -> i128 {
+        self.val_i128()
+            .expect("Num has no assignment (setup/counting synthesis)")
     }
 
     /// Addition (free).
     pub fn add(&self, other: &Self) -> Self {
         Self {
             lc: self.lc.clone() + other.lc.clone(),
-            value: self.value + other.value,
+            value: self.value.zip(other.value).map(|(a, b)| a + b),
             bits: (self.bits.max(other.bits) + 1).min(MAX_BITS + 1),
         }
     }
@@ -91,7 +132,7 @@ impl Num {
     pub fn sub(&self, other: &Self) -> Self {
         Self {
             lc: self.lc.clone() - other.lc.clone(),
-            value: self.value - other.value,
+            value: self.value.zip(other.value).map(|(a, b)| a - b),
             bits: (self.bits.max(other.bits) + 1).min(MAX_BITS + 1),
         }
     }
@@ -101,7 +142,7 @@ impl Num {
     pub fn mul_constant(&self, c: Fr, const_bits: u32) -> Self {
         Self {
             lc: self.lc.clone().scale(c),
-            value: self.value * c,
+            value: self.value.map(|v| v * c),
             bits: (self.bits + const_bits).min(MAX_BITS + 1),
         }
     }
@@ -111,30 +152,34 @@ impl Num {
         let c = Fr::from_u128(1u128 << k.min(127));
         Self {
             lc: self.lc.clone().scale(c),
-            value: self.value * c,
+            value: self.value.map(|v| v * c),
             bits: self.bits + k,
         }
     }
 
     /// Multiplication (allocates the product and one constraint).
-    pub fn mul(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) -> Self {
+    pub fn mul<CS: ConstraintSystem<Fr>>(
+        &self,
+        other: &Self,
+        cs: &mut CS,
+    ) -> Result<Self, SynthesisError> {
         let bits = self.bits + other.bits;
         assert!(
             bits <= MAX_BITS,
             "product bound {bits} exceeds MAX_BITS — truncate earlier"
         );
-        let value = self.value * other.value;
-        let var = cs.alloc_witness(value);
+        let value = self.value.zip(other.value).map(|(a, b)| a * b);
+        let var = cs.alloc_witness(|| assignment(value))?;
         cs.enforce(self.lc.clone(), other.lc.clone(), var.into());
-        Self {
+        Ok(Self {
             lc: var.into(),
             value,
             bits,
-        }
+        })
     }
 
     /// Enforces `self == other` (one linear constraint).
-    pub fn enforce_equal(&self, other: &Self, cs: &mut ConstraintSystem<Fr>) {
+    pub fn enforce_equal<CS: ConstraintSystem<Fr>>(&self, other: &Self, cs: &mut CS) {
         cs.enforce(
             self.lc.clone() - other.lc.clone(),
             LinearCombination::constant(Fr::one()),
@@ -144,14 +189,18 @@ impl Num {
 
     /// Exposes the value as a public output: allocates an instance variable
     /// carrying the same value and constrains it equal (one constraint).
-    pub fn expose_as_output(&self, cs: &mut ConstraintSystem<Fr>) -> Variable {
-        let var = cs.alloc_instance(self.value);
+    pub fn expose_as_output<CS: ConstraintSystem<Fr>>(
+        &self,
+        cs: &mut CS,
+    ) -> Result<Variable, SynthesisError> {
+        let value = self.value;
+        let var = cs.alloc_instance(|| assignment(value))?;
         cs.enforce(
             self.lc.clone(),
             LinearCombination::constant(Fr::one()),
             var.into(),
         );
-        var
+        Ok(var)
     }
 
     /// Sum of many values with a *tight* magnitude bound
@@ -161,12 +210,12 @@ impl Num {
         if terms.is_empty() {
             return Self::zero();
         }
-        let mut lc = zkrownn_r1cs::LinearCombination::zero();
-        let mut value = Fr::zero();
+        let mut lc = LinearCombination::zero();
+        let mut value = Some(Fr::zero());
         let mut max_bits = 0u32;
         for t in terms {
             lc = lc + t.lc.clone();
-            value += t.value;
+            value = value.zip(t.value).map(|(a, b)| a + b);
             max_bits = max_bits.max(t.bits);
         }
         let log_n = usize::BITS - (terms.len() - 1).leading_zeros();
@@ -181,12 +230,16 @@ impl Num {
     ///
     /// # Panics
     /// Panics if the slices have different lengths or are empty.
-    pub fn inner_product(a: &[Self], b: &[Self], cs: &mut ConstraintSystem<Fr>) -> Self {
+    pub fn inner_product<CS: ConstraintSystem<Fr>>(
+        a: &[Self],
+        b: &[Self],
+        cs: &mut CS,
+    ) -> Result<Self, SynthesisError> {
         assert_eq!(a.len(), b.len(), "inner product arity mismatch");
         assert!(!a.is_empty(), "empty inner product");
         let mut acc = Num::zero();
         for (x, y) in a.iter().zip(b.iter()) {
-            acc = acc.add(&x.mul(y, cs));
+            acc = acc.add(&x.mul(y, cs)?);
         }
         // tighten the bound: sum of n products each < 2^(ba+bb)
         let term_bits = a
@@ -197,67 +250,81 @@ impl Num {
             .unwrap();
         let sum_bits = term_bits + (usize::BITS - a.len().leading_zeros());
         acc.bits = sum_bits.min(MAX_BITS + 1);
-        acc
+        Ok(acc)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkrownn_r1cs::{ProvingSynthesizer, SetupSynthesizer};
+
+    fn wit(cs: &mut ProvingSynthesizer<Fr>, v: i128, bits: u32) -> Num {
+        Num::alloc_witness(cs, || Ok(Fr::from_i128(v)), bits).unwrap()
+    }
 
     #[test]
     fn linear_ops_are_constraint_free() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_u64(5), 4);
-        let b = Num::alloc_witness(&mut cs, Fr::from_u64(7), 4);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, 5, 4);
+        let b = wit(&mut cs, 7, 4);
         let c = a.add(&b).sub(&Num::constant(Fr::from_u64(2)));
-        assert_eq!(c.value, Fr::from_u64(10));
+        assert_eq!(c.value, Some(Fr::from_u64(10)));
         assert_eq!(cs.num_constraints(), 0);
     }
 
     #[test]
     fn mul_allocates_one_constraint() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_i128(-5), 4);
-        let b = Num::alloc_witness(&mut cs, Fr::from_u64(7), 4);
-        let c = a.mul(&b, &mut cs);
-        assert_eq!(c.value.to_i128(), Some(-35));
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, -5, 4);
+        let b = wit(&mut cs, 7, 4);
+        let c = a.mul(&b, &mut cs).unwrap();
+        assert_eq!(c.value_i128(), -35);
         assert_eq!(c.bits, 8);
         assert_eq!(cs.num_constraints(), 1);
         assert!(cs.is_satisfied().is_ok());
     }
 
     #[test]
+    fn setup_mode_tracks_no_values_but_same_shape() {
+        let mut setup = SetupSynthesizer::<Fr>::new();
+        let a = Num::alloc_witness(&mut setup, || panic!("evaluated"), 4).unwrap();
+        let b = Num::alloc_witness(&mut setup, || panic!("evaluated"), 4).unwrap();
+        let c = a.mul(&b, &mut setup).unwrap();
+        assert_eq!(c.value, None);
+        assert_eq!(c.bits, 8);
+        assert_eq!(setup.num_constraints(), 1);
+        // and the derived-value accessors report the missing assignment
+        assert_eq!(c.val(), Err(SynthesisError::AssignmentMissing));
+    }
+
+    #[test]
     fn inner_product_value_and_count() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a: Vec<Num> = (1..=4)
-            .map(|i| Num::alloc_witness(&mut cs, Fr::from_u64(i), 3))
-            .collect();
-        let b: Vec<Num> = (1..=4)
-            .map(|i| Num::alloc_witness(&mut cs, Fr::from_u64(i + 1), 3))
-            .collect();
-        let ip = Num::inner_product(&a, &b, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a: Vec<Num> = (1..=4).map(|i| wit(&mut cs, i, 3)).collect();
+        let b: Vec<Num> = (1..=4).map(|i| wit(&mut cs, i + 1, 3)).collect();
+        let ip = Num::inner_product(&a, &b, &mut cs).unwrap();
         // 1·2 + 2·3 + 3·4 + 4·5 = 40
-        assert_eq!(ip.value, Fr::from_u64(40));
+        assert_eq!(ip.value, Some(Fr::from_u64(40)));
         assert_eq!(cs.num_constraints(), 4);
         assert!(cs.is_satisfied().is_ok());
     }
 
     #[test]
     fn expose_as_output_adds_instance() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_u64(9), 4);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, 9, 4);
         let before = cs.num_instance_variables();
-        a.expose_as_output(&mut cs);
+        a.expose_as_output(&mut cs).unwrap();
         assert_eq!(cs.num_instance_variables(), before + 1);
         assert!(cs.is_satisfied().is_ok());
     }
 
     #[test]
     fn enforce_equal_detects_mismatch() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_u64(3), 3);
-        let b = Num::alloc_witness(&mut cs, Fr::from_u64(4), 3);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, 3, 3);
+        let b = wit(&mut cs, 4, 3);
         a.enforce_equal(&b, &mut cs);
         assert!(cs.is_satisfied().is_err());
     }
@@ -265,18 +332,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds MAX_BITS")]
     fn oversized_product_panics() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_u64(1), 100);
-        let b = Num::alloc_witness(&mut cs, Fr::from_u64(1), 100);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, 1, 100);
+        let b = wit(&mut cs, 1, 100);
         let _ = a.mul(&b, &mut cs);
     }
 
     #[test]
     fn shl_scales_value_and_bits() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = Num::alloc_witness(&mut cs, Fr::from_i128(-3), 3);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let a = wit(&mut cs, -3, 3);
         let b = a.shl(10);
-        assert_eq!(b.value.to_i128(), Some(-3 << 10));
+        assert_eq!(b.value.and_then(|v| v.to_i128()), Some(-3 << 10));
         assert_eq!(b.bits, 13);
     }
 }

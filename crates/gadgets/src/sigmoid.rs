@@ -16,7 +16,7 @@ use crate::cmp::truncate;
 use crate::fixed::{encode_fixed, floor_div_pow2, FixedConfig};
 use crate::num::Num;
 use zkrownn_ff::{Fr, PrimeField};
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 
 /// The five odd Chebyshev coefficients `c1, c3, c5, c7, c9`.
 pub const SIGMOID_COEFFS: [f64; 5] = [
@@ -36,7 +36,11 @@ pub const SIGMOID_INPUT_INT_BITS: u32 = 7;
 
 /// Sigmoid on a value at scale `cfg.frac_bits`; returns a value at the same
 /// scale in `[0, 1]` (approximately).
-pub fn sigmoid(x: &Num, cfg: &FixedConfig, cs: &mut ConstraintSystem<Fr>) -> Num {
+pub fn sigmoid<CS: ConstraintSystem<Fr>>(
+    x: &Num,
+    cfg: &FixedConfig,
+    cs: &mut CS,
+) -> Result<Num, SynthesisError> {
     let s = cfg.sigmoid_frac_bits;
     let f = cfg.frac_bits;
     assert!(s >= f, "sigmoid scale must be at least the tensor scale");
@@ -46,18 +50,18 @@ pub fn sigmoid(x: &Num, cfg: &FixedConfig, cs: &mut ConstraintSystem<Fr>) -> Num
     // checks inside the truncation gadgets enforce it on the witness
     xs.bits = xs.bits.min(SIGMOID_INPUT_INT_BITS + s);
     // x² at scale s
-    let x2 = truncate(&xs.mul(&xs, cs), s, cs);
+    let x2 = truncate(&xs.mul(&xs, cs)?, s, cs)?;
     // Horner over x²: acc = c9; acc = acc·x² + c_k …
     let mut acc = Num::constant(Fr::from_i128(encode_fixed(SIGMOID_COEFFS[4], s)));
     for k in (0..4).rev() {
-        let prod = truncate(&acc.mul(&x2, cs), s, cs);
+        let prod = truncate(&acc.mul(&x2, cs)?, s, cs)?;
         acc = prod.add(&Num::constant(Fr::from_i128(encode_fixed(
             SIGMOID_COEFFS[k],
             s,
         ))));
     }
     // odd part: acc·x, plus the 0.5 offset
-    let odd = truncate(&acc.mul(&xs, cs), s, cs);
+    let odd = truncate(&acc.mul(&xs, cs)?, s, cs)?;
     let out_s = odd.add(&Num::constant(Fr::from_i128(1i128 << (s - 1))));
     // Back to the tensor scale. The tracked bound stays as computed by the
     // truncation: for inputs beyond the Chebyshev fit range the polynomial
@@ -68,7 +72,11 @@ pub fn sigmoid(x: &Num, cfg: &FixedConfig, cs: &mut ConstraintSystem<Fr>) -> Num
 }
 
 /// Element-wise sigmoid.
-pub fn sigmoid_vec(xs: &[Num], cfg: &FixedConfig, cs: &mut ConstraintSystem<Fr>) -> Vec<Num> {
+pub fn sigmoid_vec<CS: ConstraintSystem<Fr>>(
+    xs: &[Num],
+    cfg: &FixedConfig,
+    cs: &mut CS,
+) -> Result<Vec<Num>, SynthesisError> {
     xs.iter().map(|x| sigmoid(x, cfg, cs)).collect()
 }
 
@@ -106,15 +114,17 @@ pub fn sigmoid_exact_f64(x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkrownn_r1cs::ProvingSynthesizer;
 
     #[test]
     fn circuit_matches_fixed_reference() {
         let cfg = FixedConfig::default();
         for x in [-4.0f64, -1.5, -0.25, 0.0, 0.25, 1.5, 4.0] {
             let xi = cfg.encode(x);
-            let mut cs = ConstraintSystem::<Fr>::new();
-            let num = Num::alloc_witness(&mut cs, Fr::from_i128(xi), cfg.value_bits());
-            let out = sigmoid(&num, &cfg, &mut cs);
+            let mut cs = ProvingSynthesizer::<Fr>::new();
+            let num =
+                Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(xi)), cfg.value_bits()).unwrap();
+            let out = sigmoid(&num, &cfg, &mut cs).unwrap();
             assert_eq!(
                 out.value_i128(),
                 sigmoid_fixed_reference(xi, &cfg),
@@ -155,9 +165,9 @@ mod tests {
     #[test]
     fn sigmoid_of_zero_is_half() {
         let cfg = FixedConfig::default();
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let num = Num::alloc_witness(&mut cs, Fr::from_i128(0), cfg.value_bits());
-        let out = sigmoid(&num, &cfg, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let num = Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(0)), cfg.value_bits()).unwrap();
+        let out = sigmoid(&num, &cfg, &mut cs).unwrap();
         assert_eq!(out.value_i128(), 1i128 << (cfg.frac_bits - 1));
     }
 

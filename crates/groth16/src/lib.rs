@@ -6,24 +6,43 @@
 //! [`verifier`]. The R1CS→QAP reduction follows libsnark's instance-padding
 //! construction.
 //!
+//! Both [`generate_parameters`] and [`create_proof`] take an
+//! `impl Circuit<Fr>`: setup drives it through the witness-free
+//! `SetupSynthesizer` (no value closure is ever evaluated), proving through
+//! the `ProvingSynthesizer` (dense assignment) — one circuit definition,
+//! two modes, structurally identical by construction.
+//!
 //! ```
 //! use zkrownn_groth16::{generate_parameters, create_proof, verify_proof};
-//! use zkrownn_r1cs::ConstraintSystem;
+//! use zkrownn_r1cs::{assignment, Circuit, ConstraintSystem, SynthesisError};
 //! use zkrownn_ff::{Field, Fr};
 //! use rand::SeedableRng;
 //!
-//! // prove knowledge of a factorization of 35 without revealing it
-//! let mut cs = ConstraintSystem::<Fr>::new();
-//! let n = cs.alloc_instance(Fr::from_u64(35));
-//! let p = cs.alloc_witness(Fr::from_u64(5));
-//! let q = cs.alloc_witness(Fr::from_u64(7));
-//! cs.enforce(p.into(), q.into(), n.into());
+//! // prove knowledge of a factorization of n without revealing it
+//! struct Factors { n: u64, pq: Option<(u64, u64)> }
+//! impl Circuit<Fr> for Factors {
+//!     type Output = ();
+//!     fn synthesize<CS: ConstraintSystem<Fr>>(
+//!         &self,
+//!         cs: &mut CS,
+//!     ) -> Result<(), SynthesisError> {
+//!         let n = cs.alloc_instance(|| Ok(Fr::from_u64(self.n)))?;
+//!         let pq = self.pq;
+//!         let p = cs.alloc_witness(|| assignment(pq.map(|(p, _)| Fr::from_u64(p))))?;
+//!         let q = cs.alloc_witness(|| assignment(pq.map(|(_, q)| Fr::from_u64(q))))?;
+//!         cs.enforce(p.into(), q.into(), n.into());
+//!         Ok(())
+//!     }
+//! }
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-//! let proof = create_proof(&pk, &cs, &mut rng);
+//! // the setup side needs no witness at all…
+//! let pk = generate_parameters(&Factors { n: 35, pq: None }, &mut rng)?;
+//! // …the proving side supplies it
+//! let proof = create_proof(&pk, &Factors { n: 35, pq: Some((5, 7)) }, &mut rng)?;
 //! assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(35)]).is_ok());
 //! assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(36)]).is_err());
+//! # Ok::<(), zkrownn_r1cs::SynthesisError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,8 +54,11 @@ pub mod setup;
 pub mod verifier;
 
 pub use keys::{DecodeError, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
-pub use prover::{create_proof, create_proof_with_randomness};
-pub use setup::{generate_parameters, generate_parameters_with, ToxicWaste};
+pub use prover::{create_proof, create_proof_from_cs, create_proof_with_randomness};
+pub use setup::{
+    generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
+    generate_parameters_with, ToxicWaste,
+};
 pub use verifier::{verify_proof, verify_proof_prepared, verify_proofs_batch, VerificationError};
 
 #[cfg(test)]
@@ -44,43 +66,100 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use zkrownn_ff::{Field, Fr};
-    use zkrownn_r1cs::{ConstraintSystem, LinearCombination, Variable};
+    use zkrownn_r1cs::{
+        assignment, Circuit, ConstraintSystem, LinearCombination, ProvingSynthesizer,
+        SynthesisError, Variable,
+    };
 
     /// A toy circuit: prove knowledge of x with x³ + x + 5 = y (y public).
     /// (The classic "cubic" example from the Pinocchio/Groth16 literature.)
-    fn cubic_circuit(x_val: u64) -> ConstraintSystem<Fr> {
-        let x3_plus = x_val * x_val * x_val + x_val + 5;
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let y = cs.alloc_instance(Fr::from_u64(x3_plus));
-        let x = cs.alloc_witness(Fr::from_u64(x_val));
-        let x2 = cs.alloc_witness(Fr::from_u64(x_val * x_val));
-        let x3 = cs.alloc_witness(Fr::from_u64(x_val * x_val * x_val));
-        cs.enforce(x.into(), x.into(), x2.into());
-        cs.enforce(x2.into(), x.into(), x3.into());
-        // (x3 + x + 5) * 1 = y
-        let lhs = LinearCombination::from(x3).add_term(Fr::one(), x)
-            + LinearCombination::constant(Fr::from_u64(5));
-        cs.enforce(lhs, LinearCombination::constant(Fr::one()), y.into());
-        cs
+    struct Cubic {
+        /// The public evaluation y.
+        y: u64,
+        /// The witness x (absent on the setup side).
+        x: Option<u64>,
+    }
+
+    impl Circuit<Fr> for Cubic {
+        type Output = ();
+        fn synthesize<CS: ConstraintSystem<Fr>>(&self, cs: &mut CS) -> Result<(), SynthesisError> {
+            let y = cs.alloc_instance(|| Ok(Fr::from_u64(self.y)))?;
+            let xv = self.x;
+            let x = cs.alloc_witness(|| assignment(xv.map(Fr::from_u64)))?;
+            let x2 = cs.alloc_witness(|| assignment(xv.map(|x| Fr::from_u64(x * x))))?;
+            let x3 = cs.alloc_witness(|| assignment(xv.map(|x| Fr::from_u64(x * x * x))))?;
+            cs.enforce(x.into(), x.into(), x2.into());
+            cs.enforce(x2.into(), x.into(), x3.into());
+            // (x3 + x + 5) * 1 = y
+            let lhs = LinearCombination::from(x3).add_term(Fr::one(), x)
+                + LinearCombination::constant(Fr::from_u64(5));
+            cs.enforce(lhs, LinearCombination::constant(Fr::one()), y.into());
+            Ok(())
+        }
+    }
+
+    fn cubic(x_val: u64) -> Cubic {
+        Cubic {
+            y: x_val * x_val * x_val + x_val + 5,
+            x: Some(x_val),
+        }
     }
 
     #[test]
     fn prove_and_verify_roundtrip() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(131);
-        let cs = cubic_circuit(3);
-        assert!(cs.is_satisfied().is_ok());
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        // the setup side runs with no witness at all
+        let pk = generate_parameters(
+            &Cubic {
+                y: 3 * 3 * 3 + 3 + 5,
+                x: None,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let proof = create_proof(&pk, &cubic(3), &mut rng).unwrap();
         let y = Fr::from_u64(3 * 3 * 3 + 3 + 5);
         assert!(verify_proof(&pk.vk, &proof, &[y]).is_ok());
     }
 
     #[test]
+    fn setup_never_evaluates_any_value_closure() {
+        // A circuit whose closures all panic: setup must complete, because
+        // the SetupSynthesizer never calls them.
+        struct Bomb;
+        impl Circuit<Fr> for Bomb {
+            type Output = ();
+            fn synthesize<CS: ConstraintSystem<Fr>>(
+                &self,
+                cs: &mut CS,
+            ) -> Result<(), SynthesisError> {
+                let y = cs.alloc_instance(|| panic!("instance closure evaluated at setup"))?;
+                let x = cs.alloc_witness(|| panic!("witness closure evaluated at setup"))?;
+                cs.enforce(x.into(), x.into(), y.into());
+                Ok(())
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(144);
+        let pk = generate_parameters(&Bomb, &mut rng).unwrap();
+        assert_eq!(pk.a_query.len(), 3); // 1 + y + x
+    }
+
+    #[test]
+    fn proving_without_witness_errors_instead_of_panicking() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(145);
+        let shape = Cubic { y: 35, x: None };
+        let pk = generate_parameters(&shape, &mut rng).unwrap();
+        assert_eq!(
+            create_proof(&pk, &shape, &mut rng),
+            Err(SynthesisError::AssignmentMissing)
+        );
+    }
+
+    #[test]
     fn wrong_public_input_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(132);
-        let cs = cubic_circuit(3);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(3), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(3), &mut rng).unwrap();
         assert_eq!(
             verify_proof(&pk.vk, &proof, &[Fr::from_u64(999)]),
             Err(VerificationError::InvalidProof)
@@ -90,9 +169,8 @@ mod tests {
     #[test]
     fn input_length_mismatch_detected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(133);
-        let cs = cubic_circuit(2);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(2), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(2), &mut rng).unwrap();
         assert!(matches!(
             verify_proof(&pk.vk, &proof, &[]),
             Err(VerificationError::InputLengthMismatch { .. })
@@ -102,9 +180,8 @@ mod tests {
     #[test]
     fn tampered_proof_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(134);
-        let cs = cubic_circuit(4);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(4), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(4), &mut rng).unwrap();
         let y = Fr::from_u64(4 * 4 * 4 + 4 + 5);
         // swap A and C (both G1): still valid points, wrong equation
         let tampered = Proof {
@@ -118,10 +195,9 @@ mod tests {
     #[test]
     fn proofs_are_randomized_but_both_verify() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(135);
-        let cs = cubic_circuit(5);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let p1 = create_proof(&pk, &cs, &mut rng);
-        let p2 = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(5), &mut rng).unwrap();
+        let p1 = create_proof(&pk, &cubic(5), &mut rng).unwrap();
+        let p2 = create_proof(&pk, &cubic(5), &mut rng).unwrap();
         assert_ne!(p1, p2, "zero-knowledge randomization");
         let y = Fr::from_u64(5 * 5 * 5 + 5 + 5);
         assert!(verify_proof(&pk.vk, &p1, &[y]).is_ok());
@@ -131,9 +207,8 @@ mod tests {
     #[test]
     fn proof_serialization_roundtrip_is_128_bytes() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(136);
-        let cs = cubic_circuit(6);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(6), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(6), &mut rng).unwrap();
         let bytes = proof.to_bytes();
         assert_eq!(bytes.len(), Proof::SIZE);
         assert_eq!(Proof::from_bytes(&bytes), Ok(proof));
@@ -142,8 +217,7 @@ mod tests {
     #[test]
     fn vk_serialization_roundtrip() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(137);
-        let cs = cubic_circuit(2);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pk = generate_parameters(&cubic(2), &mut rng).unwrap();
         let bytes = pk.vk.to_bytes();
         assert_eq!(bytes.len(), pk.vk.serialized_size());
         assert_eq!(VerifyingKey::from_bytes(&bytes), Ok(pk.vk.clone()));
@@ -152,8 +226,7 @@ mod tests {
     #[test]
     fn pk_serialization_roundtrip() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(138);
-        let cs = cubic_circuit(2);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pk = generate_parameters(&cubic(2), &mut rng).unwrap();
         let bytes = pk.to_bytes();
         assert_eq!(bytes.len(), pk.serialized_size());
         assert_eq!(ProvingKey::from_bytes(&bytes), Ok(pk.clone()));
@@ -164,9 +237,8 @@ mod tests {
         // `to_bytes().len() == serialized_size()` for the proof and both
         // keys, before and after a decode round-trip.
         let mut rng = rand::rngs::StdRng::seed_from_u64(141);
-        let cs = cubic_circuit(5);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(5), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(5), &mut rng).unwrap();
 
         assert_eq!(proof.to_bytes().len(), proof.serialized_size());
         assert_eq!(pk.vk.to_bytes().len(), pk.vk.serialized_size());
@@ -184,9 +256,8 @@ mod tests {
     fn decode_errors_are_specific() {
         use zkrownn_curves::PointDecodeError;
         let mut rng = rand::rngs::StdRng::seed_from_u64(142);
-        let cs = cubic_circuit(3);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters(&cubic(3), &mut rng).unwrap();
+        let proof = create_proof(&pk, &cubic(3), &mut rng).unwrap();
 
         // truncation
         let bytes = proof.to_bytes();
@@ -248,8 +319,7 @@ mod tests {
 
         // same for a PK whose query-length headers are absurd
         let mut rng = rand::rngs::StdRng::seed_from_u64(143);
-        let cs = cubic_circuit(2);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pk = generate_parameters(&cubic(2), &mut rng).unwrap();
         let mut pk_bytes = pk.to_bytes();
         pk_bytes[0..8].copy_from_slice(&(1u64 << 60).to_le_bytes()); // a_query len
         assert!(ProvingKey::from_bytes(&pk_bytes).is_err());
@@ -260,12 +330,11 @@ mod tests {
     #[test]
     fn batch_verification_accepts_valid_and_rejects_corrupt() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(140);
-        let cs = cubic_circuit(3);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+        let pk = generate_parameters(&cubic(3), &mut rng).unwrap();
         let pvk = pk.vk.prepare();
         let y = Fr::from_u64(3 * 3 * 3 + 3 + 5);
         let batch: Vec<(Proof, Vec<Fr>)> = (0..4)
-            .map(|_| (create_proof(&pk, &cs, &mut rng), vec![y]))
+            .map(|_| (create_proof(&pk, &cubic(3), &mut rng).unwrap(), vec![y]))
             .collect();
         assert!(verify_proofs_batch(&pvk, &batch, &mut rng).is_ok());
         // one corrupted proof poisons the batch
@@ -282,8 +351,6 @@ mod tests {
 
     #[test]
     fn deterministic_setup_is_reproducible() {
-        let cs = cubic_circuit(3);
-        let m = cs.to_matrices();
         let toxic = ToxicWaste {
             alpha: Fr::from_u64(11),
             beta: Fr::from_u64(12),
@@ -291,8 +358,9 @@ mod tests {
             delta: Fr::from_u64(14),
             tau: Fr::from_u64(15),
         };
-        let pk1 = generate_parameters_with(&m, &toxic);
-        let pk2 = generate_parameters_with(&m, &toxic);
+        // witness-free and witnessed shapes must yield identical keys
+        let pk1 = generate_parameters_with(&Cubic { y: 35, x: None }, &toxic).unwrap();
+        let pk2 = generate_parameters_with(&cubic(3), &toxic).unwrap();
         assert_eq!(pk1, pk2);
     }
 
@@ -300,15 +368,15 @@ mod tests {
     fn proof_with_instance_only_circuit() {
         // A circuit with no witness at all: 1 * y = y (tautology on input)
         let mut rng = rand::rngs::StdRng::seed_from_u64(139);
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let y = cs.alloc_instance(Fr::from_u64(9));
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let y = cs.alloc_instance(|| Ok(Fr::from_u64(9))).unwrap();
         cs.enforce(
             LinearCombination::constant(Fr::one()),
             LinearCombination::from(y),
             Variable::Instance(1).into(),
         );
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+        let proof = create_proof_from_cs(&pk, &cs, &mut rng);
         assert!(verify_proof(&pk.vk, &proof, &[Fr::from_u64(9)]).is_ok());
     }
 }

@@ -4,19 +4,38 @@ use crate::keys::{Proof, ProvingKey};
 use crate::qap;
 use zkrownn_curves::msm::msm;
 use zkrownn_ff::{Field, Fr};
-use zkrownn_r1cs::{ConstraintSystem, R1csMatrices};
+use zkrownn_r1cs::{Circuit, ProvingSynthesizer, R1csMatrices, SynthesisError};
 
-/// Creates a proof for a satisfied constraint system.
+/// Synthesizes `circuit` in proving mode (evaluating every value closure
+/// into the dense assignment) and creates a proof for it.
 ///
-/// The witness and instance are read from `cs`; fresh zero-knowledge
-/// randomness `(r, s)` is drawn from `rng`.
+/// Fresh zero-knowledge randomness `(r, s)` is drawn from `rng`. Returns
+/// [`SynthesisError::AssignmentMissing`] if the circuit was constructed
+/// without its witness.
+///
+/// # Panics
+/// Panics (in debug builds) if the synthesized system is unsatisfied or its
+/// shape disagrees with the proving key.
+pub fn create_proof<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
+    pk: &ProvingKey,
+    circuit: &C,
+    rng: &mut R,
+) -> Result<Proof, SynthesisError> {
+    let mut cs = ProvingSynthesizer::<Fr>::new();
+    circuit.synthesize(&mut cs)?;
+    Ok(create_proof_from_cs(pk, &cs, rng))
+}
+
+/// Creates a proof from an already-synthesized proving-mode system (useful
+/// when the caller also needs the assignment, e.g. for public inputs, or
+/// wants to amortize one synthesis across several proofs).
 ///
 /// # Panics
 /// Panics (in debug builds) if the constraint system is unsatisfied or its
 /// shape disagrees with the proving key.
-pub fn create_proof<R: rand::Rng + ?Sized>(
+pub fn create_proof_from_cs<R: rand::Rng + ?Sized>(
     pk: &ProvingKey,
-    cs: &ConstraintSystem<Fr>,
+    cs: &ProvingSynthesizer<Fr>,
     rng: &mut R,
 ) -> Proof {
     debug_assert_eq!(cs.is_satisfied(), Ok(()), "unsatisfied constraint system");

@@ -127,15 +127,15 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use zkrownn_ff::Field;
-    use zkrownn_r1cs::ConstraintSystem;
+    use zkrownn_r1cs::{ConstraintSystem, ProvingSynthesizer};
 
     /// x·y = p, y·y = s (two constraints, one instance for each output)
-    fn sample_system() -> ConstraintSystem<Fr> {
-        let mut cs = ConstraintSystem::new();
-        let p = cs.alloc_instance(Fr::from_u64(21));
-        let s = cs.alloc_instance(Fr::from_u64(49));
-        let x = cs.alloc_witness(Fr::from_u64(3));
-        let y = cs.alloc_witness(Fr::from_u64(7));
+    fn sample_system() -> ProvingSynthesizer<Fr> {
+        let mut cs = ProvingSynthesizer::new();
+        let p = cs.alloc_instance(|| Ok(Fr::from_u64(21))).unwrap();
+        let s = cs.alloc_instance(|| Ok(Fr::from_u64(49))).unwrap();
+        let x = cs.alloc_witness(|| Ok(Fr::from_u64(3))).unwrap();
+        let y = cs.alloc_witness(|| Ok(Fr::from_u64(7))).unwrap();
         cs.enforce(x.into(), y.into(), p.into());
         cs.enforce(y.into(), y.into(), s.into());
         cs

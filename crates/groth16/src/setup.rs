@@ -3,12 +3,17 @@
 //! In the paper's setting a trusted third party runs this once per circuit;
 //! because the watermark-extraction circuit never changes, the cost is
 //! amortized over the lifetime of the model (Section II-B of the paper).
+//!
+//! The entry points take an `impl Circuit<Fr>` and synthesize it with the
+//! shape-only [`SetupSynthesizer`], so the party running setup never
+//! evaluates a witness closure — it genuinely needs no witness, not even a
+//! placeholder one.
 
 use crate::keys::{ProvingKey, VerifyingKey};
 use crate::qap;
 use zkrownn_curves::{FixedBaseTable, G1Projective, G2Projective, Projective};
 use zkrownn_ff::{Field, Fr};
-use zkrownn_r1cs::R1csMatrices;
+use zkrownn_r1cs::{Circuit, R1csMatrices, SetupSynthesizer, SynthesisError};
 
 /// The secret randomness ("toxic waste") behind a CRS. Exposed as a struct
 /// so tests can run deterministic setups; real deployments sample it and
@@ -47,17 +52,47 @@ impl ToxicWaste {
     }
 }
 
-/// Runs the Groth16 setup for an R1CS, producing the proving key (which
+/// Runs the Groth16 setup for a circuit, producing the proving key (which
 /// embeds the verifying key).
-pub fn generate_parameters<R: rand::Rng + ?Sized>(
+///
+/// Synthesizes `circuit` in setup mode: no value closure — witness *or*
+/// instance — is ever evaluated, so this can run on a machine holding only
+/// the circuit shape.
+pub fn generate_parameters<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
+    circuit: &C,
+    rng: &mut R,
+) -> Result<ProvingKey, SynthesisError> {
+    generate_parameters_with(circuit, &ToxicWaste::sample(rng))
+}
+
+/// Deterministic circuit setup from explicit toxic waste
+/// (tests / reproducibility).
+pub fn generate_parameters_with<C: Circuit<Fr>>(
+    circuit: &C,
+    toxic: &ToxicWaste,
+) -> Result<ProvingKey, SynthesisError> {
+    let mut cs = SetupSynthesizer::<Fr>::new();
+    circuit.synthesize(&mut cs)?;
+    Ok(generate_parameters_from_matrices_with(
+        &cs.to_matrices(),
+        toxic,
+    ))
+}
+
+/// Low-level setup over pre-lowered matrices (the circuit entry points
+/// reduce to this; also used by harnesses that already hold matrices).
+pub fn generate_parameters_from_matrices<R: rand::Rng + ?Sized>(
     matrices: &R1csMatrices<Fr>,
     rng: &mut R,
 ) -> ProvingKey {
-    generate_parameters_with(matrices, &ToxicWaste::sample(rng))
+    generate_parameters_from_matrices_with(matrices, &ToxicWaste::sample(rng))
 }
 
-/// Deterministic setup from explicit toxic waste (tests / reproducibility).
-pub fn generate_parameters_with(matrices: &R1csMatrices<Fr>, toxic: &ToxicWaste) -> ProvingKey {
+/// Deterministic matrix-level setup from explicit toxic waste.
+pub fn generate_parameters_from_matrices_with(
+    matrices: &R1csMatrices<Fr>,
+    toxic: &ToxicWaste,
+) -> ProvingKey {
     let qap = qap::evaluate_qap_at(matrices, toxic.tau);
     let num_vars = matrices.num_instance + matrices.num_witness;
     let ninstance = matrices.num_instance;

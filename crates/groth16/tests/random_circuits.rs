@@ -5,21 +5,23 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use zkrownn_ff::{Field, Fr};
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof};
-use zkrownn_r1cs::{ConstraintSystem, LinearCombination, Variable};
+use zkrownn_groth16::{create_proof_from_cs, generate_parameters_from_matrices, verify_proof};
+use zkrownn_r1cs::{ConstraintSystem, LinearCombination, ProvingSynthesizer, Variable};
 
 /// Builds a random satisfiable circuit: a chain of multiply/add gates over
 /// a mix of instance and witness variables.
-fn random_circuit(seed: u64, gates: usize, publics: usize) -> ConstraintSystem<Fr> {
+fn random_circuit(seed: u64, gates: usize, publics: usize) -> ProvingSynthesizer<Fr> {
     use rand::Rng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let mut pool: Vec<Variable> = Vec::new();
     for _ in 0..publics {
-        pool.push(cs.alloc_instance(Fr::from_u64(rng.gen_range(0..1000))));
+        let v = Fr::from_u64(rng.gen_range(0..1000));
+        pool.push(cs.alloc_instance(|| Ok(v)).unwrap());
     }
     for _ in 0..3 {
-        pool.push(cs.alloc_witness(Fr::from_u64(rng.gen_range(0..1000))));
+        let v = Fr::from_u64(rng.gen_range(0..1000));
+        pool.push(cs.alloc_witness(|| Ok(v)).unwrap());
     }
     for _ in 0..gates {
         let a = pool[rng.gen_range(0..pool.len())];
@@ -29,7 +31,7 @@ fn random_circuit(seed: u64, gates: usize, publics: usize) -> ConstraintSystem<F
             + LinearCombination::constant(Fr::from_u64(rng.gen_range(0..10)));
         let b_lc: LinearCombination<Fr> = b.into();
         let product = cs.eval_lc(&a_lc) * cs.eval_lc(&b_lc);
-        let out = cs.alloc_witness(product);
+        let out = cs.alloc_witness(|| Ok(product)).unwrap();
         cs.enforce(a_lc, b_lc, out.into());
         pool.push(out);
     }
@@ -48,8 +50,8 @@ proptest! {
         let cs = random_circuit(seed, gates, publics);
         prop_assert!(cs.is_satisfied().is_ok());
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+        let proof = create_proof_from_cs(&pk, &cs, &mut rng);
         let publics_vec: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
         prop_assert!(verify_proof(&pk.vk, &proof, &publics_vec).is_ok());
     }
@@ -58,8 +60,8 @@ proptest! {
     fn perturbed_public_inputs_are_rejected(seed in 0u64..1000) {
         let cs = random_circuit(seed, 4, 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
-        let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-        let proof = create_proof(&pk, &cs, &mut rng);
+        let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+        let proof = create_proof_from_cs(&pk, &cs, &mut rng);
         let mut publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
         publics[0] += Fr::one();
         prop_assert!(verify_proof(&pk.vk, &proof, &publics).is_err());
@@ -71,9 +73,9 @@ proptest! {
         let cs_a = random_circuit(seed, 3, 1);
         let cs_b = random_circuit(seed + 1, 3, 1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x77);
-        let pk_a = generate_parameters(&cs_a.to_matrices(), &mut rng);
-        let pk_b = generate_parameters(&cs_b.to_matrices(), &mut rng);
-        let proof_a = create_proof(&pk_a, &cs_a, &mut rng);
+        let pk_a = generate_parameters_from_matrices(&cs_a.to_matrices(), &mut rng);
+        let pk_b = generate_parameters_from_matrices(&cs_b.to_matrices(), &mut rng);
+        let proof_a = create_proof_from_cs(&pk_a, &cs_a, &mut rng);
         let publics_b: Vec<Fr> = cs_b.instance_assignment()[1..].to_vec();
         prop_assert!(verify_proof(&pk_b.vk, &proof_a, &publics_b).is_err());
     }

@@ -1,30 +1,83 @@
-//! # zkrownn-r1cs — rank-1 constraint systems
+//! # zkrownn-r1cs — mode-aware rank-1 constraint synthesis
 //!
 //! The circuit representation consumed by the Groth16 backend: a list of
 //! constraints `⟨A_j, z⟩ · ⟨B_j, z⟩ = ⟨C_j, z⟩` over the assignment vector
 //! `z = (1, instance…, witness…)`.
 //!
-//! This mirrors the role xJsnark + libsnark's `protoboard` play in the
-//! paper's stack: gadget code allocates variables, builds
-//! [`LinearCombination`]s and calls [`ConstraintSystem::enforce`]. The same
-//! builder runs in two situations: with real values (proving) and with
-//! placeholder values (setup) — the constraint *structure* must not depend
-//! on the assignment, which is what makes the generated circuit reusable.
+//! ZKROWNN's trusted setup is run by a party that holds *no* witness (the
+//! trigger keys, projection matrix and signature stay with the model
+//! owner), so the API separates circuit **structure** from witness
+//! **assignment**:
+//!
+//! * a circuit is a type implementing [`Circuit`]: one `synthesize` method
+//!   describing allocations and constraints, with assignment values behind
+//!   `FnOnce` closures;
+//! * a driver is a type implementing [`ConstraintSystem`], deciding what to
+//!   do with each event. Three drivers ship with the crate:
+//!
+//! | driver | evaluates value closures? | produces |
+//! |---|---|---|
+//! | [`SetupSynthesizer`] | **never** | constraint matrices + optional shape trace ([`ShapeSink`]) |
+//! | [`ProvingSynthesizer`] | always | matrices + the dense assignment `z` |
+//! | [`CountingSynthesizer`] | never | constraint/variable counts, per-namespace density |
+//!
+//! Because the setup driver never calls a witness closure, "setup sees no
+//! witness" is enforced by construction rather than by convention — a
+//! closure that would panic on evaluation is perfectly fine to synthesize
+//! in setup or counting mode (and tests assert exactly that). The same
+//! [`Circuit`] value drives every mode, so the structure agreeing between
+//! setup and proving is guaranteed by having only one description of it.
 //!
 //! ```
-//! use zkrownn_r1cs::{ConstraintSystem, LinearCombination};
-//! use zkrownn_ff::{Field, Fr};
-//! // prove knowledge of a factorization 6 = 2·3
-//! let mut cs = ConstraintSystem::<Fr>::new();
-//! let six = cs.alloc_instance(Fr::from_u64(6));
-//! let a = cs.alloc_witness(Fr::from_u64(2));
-//! let b = cs.alloc_witness(Fr::from_u64(3));
-//! cs.enforce(a.into(), b.into(), six.into());
-//! assert!(cs.is_satisfied().is_ok());
+//! use zkrownn_r1cs::{
+//!     assignment, Circuit, ConstraintSystem, CountingSynthesizer, LinearCombination,
+//!     ProvingSynthesizer, SetupSynthesizer, SynthesisError,
+//! };
+//! use zkrownn_ff::{Field, Fr, PrimeField};
+//!
+//! /// Prove knowledge of a factorization `n = p·q`.
+//! struct Factors {
+//!     n: u64,
+//!     pq: Option<(u64, u64)>, // the witness — absent on the setup side
+//! }
+//!
+//! impl Circuit<Fr> for Factors {
+//!     type Output = ();
+//!     fn synthesize<CS: ConstraintSystem<Fr>>(
+//!         &self,
+//!         cs: &mut CS,
+//!     ) -> Result<(), SynthesisError> {
+//!         let n = cs.alloc_instance(|| Ok(Fr::from_u64(self.n)))?;
+//!         let pq = self.pq;
+//!         let p = cs.alloc_witness(|| assignment(pq.map(|(p, _)| Fr::from_u64(p))))?;
+//!         let q = cs.alloc_witness(|| assignment(pq.map(|(_, q)| Fr::from_u64(q))))?;
+//!         cs.enforce(p.into(), q.into(), n.into());
+//!         Ok(())
+//!     }
+//! }
+//!
+//! // the authority synthesizes the shape without ever seeing a witness…
+//! let mut setup = SetupSynthesizer::<Fr>::new();
+//! Factors { n: 35, pq: None }.synthesize(&mut setup)?;
+//! let matrices = setup.to_matrices();
+//!
+//! // …the prover synthesizes the same circuit with the dense assignment…
+//! let mut prove = ProvingSynthesizer::<Fr>::new();
+//! Factors { n: 35, pq: Some((5, 7)) }.synthesize(&mut prove)?;
+//! assert!(prove.is_satisfied().is_ok());
+//!
+//! // …and both agree on the structure, as does the diagnostics driver.
+//! let mut count = CountingSynthesizer::<Fr>::new();
+//! Factors { n: 35, pq: None }.synthesize(&mut count)?;
+//! assert_eq!(matrices.a.len(), count.num_constraints());
+//! assert_eq!(prove.num_constraints(), count.num_constraints());
+//! # Ok::<(), zkrownn_r1cs::SynthesisError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+use std::collections::HashMap;
 use zkrownn_ff::PrimeField;
 
 /// A variable in the constraint system.
@@ -38,7 +91,24 @@ pub enum Variable {
     Witness(usize),
 }
 
+impl Variable {
+    fn sort_key(&self) -> (u8, usize) {
+        match self {
+            Variable::One => (0, 0),
+            Variable::Instance(i) => (1, *i),
+            Variable::Witness(i) => (2, *i),
+        }
+    }
+}
+
 /// A sparse linear combination `Σ coeff·var`.
+///
+/// [`LinearCombination::add_term`] merges duplicate variables eagerly (and
+/// drops terms whose coefficient cancels to zero), so combinations built
+/// term-by-term stay normalized. The `+`/`-` operators concatenate for
+/// speed; every driver normalizes at [`ConstraintSystem::enforce`] via
+/// [`LinearCombination::compact`], so the lowered matrices are canonical
+/// either way.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LinearCombination<F: PrimeField>(pub Vec<(Variable, F)>);
 
@@ -57,9 +127,19 @@ impl<F: PrimeField> LinearCombination<F> {
         }
     }
 
-    /// Returns `self + coeff·var`.
+    /// Returns `self + coeff·var`, merging eagerly: if `var` already has a
+    /// term the coefficients are added, and a term whose coefficient
+    /// becomes zero is elided.
     pub fn add_term(mut self, coeff: F, var: Variable) -> Self {
-        if !coeff.is_zero() {
+        if coeff.is_zero() {
+            return self;
+        }
+        if let Some(pos) = self.0.iter().position(|(v, _)| *v == var) {
+            self.0[pos].1 += coeff;
+            if self.0[pos].1.is_zero() {
+                self.0.remove(pos);
+            }
+        } else {
             self.0.push((var, coeff));
         }
         self
@@ -76,14 +156,10 @@ impl<F: PrimeField> LinearCombination<F> {
         self
     }
 
-    /// Merges duplicate variables (keeps the representation compact when
-    /// combinations are built incrementally).
+    /// Sorts by variable, merges duplicates and drops zero coefficients —
+    /// the canonical form every driver applies at `enforce`.
     pub fn compact(mut self) -> Self {
-        self.0.sort_by_key(|(v, _)| match v {
-            Variable::One => (0usize, 0usize),
-            Variable::Instance(i) => (1, *i),
-            Variable::Witness(i) => (2, *i),
-        });
+        self.0.sort_by_key(|(v, _)| v.sort_key());
         let mut out: Vec<(Variable, F)> = Vec::with_capacity(self.0.len());
         for (v, c) in self.0 {
             match out.last_mut() {
@@ -157,51 +233,396 @@ pub struct R1csMatrices<F: PrimeField> {
     pub num_witness: usize,
 }
 
-/// A rank-1 constraint system with an assignment.
-#[derive(Clone, Debug, Default)]
-pub struct ConstraintSystem<F: PrimeField> {
+fn lower_constraints<F: PrimeField>(
+    constraints: &[Constraint<F>],
+    num_instance: usize,
+    num_witness: usize,
+) -> R1csMatrices<F> {
+    let column = |v: Variable| -> usize {
+        match v {
+            Variable::One => 0,
+            Variable::Instance(i) => i,
+            Variable::Witness(i) => num_instance + i,
+        }
+    };
+    let lower = |lc: &LinearCombination<F>| -> Vec<(usize, F)> {
+        lc.0.iter().map(|(v, c)| (column(*v), *c)).collect()
+    };
+    R1csMatrices {
+        a: constraints.iter().map(|c| lower(&c.a)).collect(),
+        b: constraints.iter().map(|c| lower(&c.b)).collect(),
+        c: constraints.iter().map(|c| lower(&c.c)).collect(),
+        num_instance,
+        num_witness,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The synthesis traits
+// ---------------------------------------------------------------------------
+
+/// Why a synthesis pass failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// A value closure was evaluated (so the driver is witnessing) but the
+    /// assignment it needs is not available — e.g. a proving synthesis was
+    /// attempted over a circuit constructed without its witness.
+    AssignmentMissing,
+}
+
+impl core::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::AssignmentMissing => {
+                write!(
+                    f,
+                    "witness assignment missing during a witnessing synthesis"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// Lifts an optional assignment into a closure-friendly `Result`: the
+/// idiomatic body of a value closure over data that is only present on the
+/// proving side (`|| assignment(witness.map(…))`).
+pub fn assignment<T>(v: Option<T>) -> Result<T, SynthesisError> {
+    v.ok_or(SynthesisError::AssignmentMissing)
+}
+
+/// A synthesis driver: receives allocations (with values behind closures it
+/// may or may not evaluate), constraints, and namespace markers.
+///
+/// Implementations decide the mode: [`SetupSynthesizer`] and
+/// [`CountingSynthesizer`] never evaluate value closures,
+/// [`ProvingSynthesizer`] always does. Namespaces are debug/diagnostics
+/// metadata only — they never influence the constraint structure (or any
+/// shape digest derived from it).
+pub trait ConstraintSystem<F: PrimeField> {
+    /// Allocates a public-input variable. The driver decides whether to
+    /// evaluate `value`.
+    fn alloc_instance<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>;
+
+    /// Allocates a private witness variable. The driver decides whether to
+    /// evaluate `value` — setup-mode drivers never do.
+    fn alloc_witness<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>;
+
+    /// Adds the constraint `⟨a, z⟩·⟨b, z⟩ = ⟨c, z⟩`.
+    fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    );
+
+    /// Opens a named scope for the constraints and variables that follow
+    /// (prefer the RAII [`ConstraintSystem::ns`] wrapper).
+    fn push_namespace(&mut self, name: &str);
+
+    /// Closes the innermost scope.
+    fn pop_namespace(&mut self);
+
+    /// RAII namespace guard: constraints added through the returned handle
+    /// are attributed to `name`, and the scope closes when it drops.
+    fn ns<'a>(&'a mut self, name: &str) -> Namespace<'a, F, Self>
+    where
+        Self: Sized,
+    {
+        self.push_namespace(name);
+        Namespace {
+            cs: self,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<F: PrimeField, CS: ConstraintSystem<F>> ConstraintSystem<F> for &mut CS {
+    fn alloc_instance<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        (**self).alloc_instance(value)
+    }
+
+    fn alloc_witness<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        (**self).alloc_witness(value)
+    }
+
+    fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        (**self).enforce(a, b, c)
+    }
+
+    fn push_namespace(&mut self, name: &str) {
+        (**self).push_namespace(name)
+    }
+
+    fn pop_namespace(&mut self) {
+        (**self).pop_namespace()
+    }
+}
+
+/// RAII guard returned by [`ConstraintSystem::ns`]: forwards every call to
+/// the wrapped driver and pops the namespace on drop.
+pub struct Namespace<'a, F: PrimeField, CS: ConstraintSystem<F>> {
+    cs: &'a mut CS,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: PrimeField, CS: ConstraintSystem<F>> ConstraintSystem<F> for Namespace<'_, F, CS> {
+    fn alloc_instance<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.cs.alloc_instance(value)
+    }
+
+    fn alloc_witness<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.cs.alloc_witness(value)
+    }
+
+    fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.cs.enforce(a, b, c)
+    }
+
+    fn push_namespace(&mut self, name: &str) {
+        self.cs.push_namespace(name)
+    }
+
+    fn pop_namespace(&mut self) {
+        self.cs.pop_namespace()
+    }
+}
+
+impl<F: PrimeField, CS: ConstraintSystem<F>> Drop for Namespace<'_, F, CS> {
+    fn drop(&mut self) {
+        self.cs.pop_namespace();
+    }
+}
+
+/// A circuit: one mode-agnostic description of structure and (optional)
+/// assignment, synthesizable under any [`ConstraintSystem`] driver.
+///
+/// `Output` carries whatever the proving side wants back out of the
+/// synthesis (e.g. the public verdict a witness produces); shape-only
+/// drivers simply ignore it. Implementations must keep the *structure*
+/// (allocations, constraints, bounds) independent of assignment values —
+/// witness data may only be touched inside value closures.
+pub trait Circuit<F: PrimeField> {
+    /// What `synthesize` returns (use `()` when nothing is needed).
+    type Output;
+
+    /// Describes the circuit to `cs`.
+    fn synthesize<CS: ConstraintSystem<F>>(
+        &self,
+        cs: &mut CS,
+    ) -> Result<Self::Output, SynthesisError>;
+}
+
+// ---------------------------------------------------------------------------
+// Setup driver
+// ---------------------------------------------------------------------------
+
+/// A streaming consumer of the canonical shape trace emitted by
+/// [`SetupSynthesizer`] (typically a hash state; `()` discards the trace).
+pub trait ShapeSink {
+    /// Absorbs the next trace bytes.
+    fn absorb(&mut self, bytes: &[u8]);
+}
+
+impl ShapeSink for () {
+    fn absorb(&mut self, _bytes: &[u8]) {}
+}
+
+/// The trusted-setup driver: records the constraint structure and **never
+/// evaluates a value closure**, so it can run on a machine that holds no
+/// witness (and no public-input values either).
+///
+/// Every structural event is also streamed into a [`ShapeSink`] as a
+/// canonical byte trace — tag bytes for allocations, and for each
+/// constraint the compacted linear combinations (term counts, variable
+/// kind/index, canonical little-endian coefficient bytes). Hashing that
+/// trace yields a digest with the property *same trace ⇒ same matrices ⇒
+/// same trusted-setup keys*; namespaces are deliberately excluded so
+/// renaming a debug scope never orphans existing keys.
+pub struct SetupSynthesizer<F: PrimeField, S: ShapeSink = ()> {
+    num_instance: usize,
+    num_witness: usize,
+    constraints: Vec<Constraint<F>>,
+    sink: S,
+}
+
+const TRACE_ALLOC_INSTANCE: u8 = 1;
+const TRACE_ALLOC_WITNESS: u8 = 2;
+const TRACE_ENFORCE: u8 = 3;
+
+fn absorb_lc<F: PrimeField, S: ShapeSink>(sink: &mut S, lc: &LinearCombination<F>) {
+    sink.absorb(&(lc.0.len() as u64).to_le_bytes());
+    for (v, c) in &lc.0 {
+        let (tag, idx) = v.sort_key();
+        sink.absorb(&[tag]);
+        sink.absorb(&(idx as u64).to_le_bytes());
+        sink.absorb(&c.to_le_bytes());
+    }
+}
+
+impl<F: PrimeField> SetupSynthesizer<F> {
+    /// A fresh setup driver that discards the shape trace.
+    pub fn new() -> Self {
+        Self::with_sink(())
+    }
+}
+
+impl<F: PrimeField> Default for SetupSynthesizer<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: PrimeField, S: ShapeSink> SetupSynthesizer<F, S> {
+    /// A fresh setup driver streaming the shape trace into `sink`.
+    pub fn with_sink(sink: S) -> Self {
+        Self {
+            num_instance: 1, // the implicit constant 1
+            num_witness: 0,
+            constraints: Vec::new(),
+            sink,
+        }
+    }
+
+    /// Number of constraints synthesized so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Instance-block size (including the constant 1).
+    pub fn num_instance_variables(&self) -> usize {
+        self.num_instance
+    }
+
+    /// Number of witness variables.
+    pub fn num_witness_variables(&self) -> usize {
+        self.num_witness
+    }
+
+    /// The recorded constraints.
+    pub fn constraints(&self) -> &[Constraint<F>] {
+        &self.constraints
+    }
+
+    /// Lowers the structure to column-indexed sparse matrices.
+    pub fn to_matrices(&self) -> R1csMatrices<F> {
+        lower_constraints(&self.constraints, self.num_instance, self.num_witness)
+    }
+
+    /// Consumes the driver, returning the sink with the absorbed trace.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+impl<F: PrimeField, S: ShapeSink> ConstraintSystem<F> for SetupSynthesizer<F, S> {
+    fn alloc_instance<V>(&mut self, _value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.sink.absorb(&[TRACE_ALLOC_INSTANCE]);
+        let var = Variable::Instance(self.num_instance);
+        self.num_instance += 1;
+        Ok(var)
+    }
+
+    fn alloc_witness<V>(&mut self, _value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.sink.absorb(&[TRACE_ALLOC_WITNESS]);
+        let var = Variable::Witness(self.num_witness);
+        self.num_witness += 1;
+        Ok(var)
+    }
+
+    fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        let (a, b, c) = (a.compact(), b.compact(), c.compact());
+        self.sink.absorb(&[TRACE_ENFORCE]);
+        absorb_lc(&mut self.sink, &a);
+        absorb_lc(&mut self.sink, &b);
+        absorb_lc(&mut self.sink, &c);
+        self.constraints.push(Constraint { a, b, c });
+    }
+
+    fn push_namespace(&mut self, _name: &str) {}
+
+    fn pop_namespace(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Proving driver
+// ---------------------------------------------------------------------------
+
+/// The proving driver: evaluates every value closure, producing the dense
+/// assignment `z = (1, instance…, witness…)` alongside the constraints.
+///
+/// Also interns the namespace path of each constraint, so an unsatisfied
+/// constraint can be reported as a human-readable path instead of a bare
+/// row index.
+#[derive(Clone, Debug)]
+pub struct ProvingSynthesizer<F: PrimeField> {
     instance: Vec<F>,
     witness: Vec<F>,
     constraints: Vec<Constraint<F>>,
+    /// Interned namespace paths; `paths[0]` is the root `""`.
+    paths: Vec<String>,
+    path_ids: HashMap<String, u32>,
+    stack: Vec<usize>, // segment lengths, to truncate `current` on pop
+    current: String,
+    current_id: u32,
+    constraint_paths: Vec<u32>,
 }
 
-impl<F: PrimeField> ConstraintSystem<F> {
+impl<F: PrimeField> ProvingSynthesizer<F> {
     /// Creates an empty system (instance block starts with the constant 1).
     pub fn new() -> Self {
         Self {
             instance: vec![F::one()],
             witness: Vec::new(),
             constraints: Vec::new(),
+            paths: vec![String::new()],
+            path_ids: HashMap::from([(String::new(), 0)]),
+            stack: Vec::new(),
+            current: String::new(),
+            current_id: 0,
+            constraint_paths: Vec::new(),
         }
     }
 
-    /// Allocates a public-input variable with the given value.
-    pub fn alloc_instance(&mut self, value: F) -> Variable {
-        self.instance.push(value);
-        Variable::Instance(self.instance.len() - 1)
-    }
-
-    /// Allocates a private witness variable with the given value.
-    pub fn alloc_witness(&mut self, value: F) -> Variable {
-        self.witness.push(value);
-        Variable::Witness(self.witness.len() - 1)
-    }
-
-    /// Adds the constraint `⟨a, z⟩·⟨b, z⟩ = ⟨c, z⟩`.
-    pub fn enforce(
-        &mut self,
-        a: LinearCombination<F>,
-        b: LinearCombination<F>,
-        c: LinearCombination<F>,
-    ) {
-        self.constraints.push(Constraint {
-            a: a.compact(),
-            b: b.compact(),
-            c: c.compact(),
-        });
-    }
-
-    /// Value of a variable under the current assignment.
+    /// Value of a variable under the assignment.
     pub fn value(&self, v: Variable) -> F {
         match v {
             Variable::One => F::one(),
@@ -210,7 +631,7 @@ impl<F: PrimeField> ConstraintSystem<F> {
         }
     }
 
-    /// Value of a linear combination under the current assignment.
+    /// Value of a linear combination under the assignment.
     pub fn eval_lc(&self, lc: &LinearCombination<F>) -> F {
         lc.0.iter()
             .fold(F::zero(), |acc, (v, c)| acc + self.value(*v) * *c)
@@ -253,8 +674,14 @@ impl<F: PrimeField> ConstraintSystem<F> {
         &self.constraints
     }
 
+    /// The namespace path constraint `i` was enforced under (`""` = root).
+    pub fn constraint_path(&self, i: usize) -> &str {
+        &self.paths[self.constraint_paths[i] as usize]
+    }
+
     /// Checks satisfaction; on failure returns the index of the first
-    /// violated constraint.
+    /// violated constraint (look up its scope with
+    /// [`Self::constraint_path`]).
     pub fn is_satisfied(&self) -> Result<(), usize> {
         for (i, cstr) in self.constraints.iter().enumerate() {
             let a = self.eval_lc(&cstr.a);
@@ -267,26 +694,245 @@ impl<F: PrimeField> ConstraintSystem<F> {
         Ok(())
     }
 
-    fn column(&self, v: Variable) -> usize {
-        match v {
-            Variable::One => 0,
-            Variable::Instance(i) => i,
-            Variable::Witness(i) => self.instance.len() + i,
+    /// Lowers the constraints to column-indexed sparse matrices.
+    pub fn to_matrices(&self) -> R1csMatrices<F> {
+        lower_constraints(&self.constraints, self.instance.len(), self.witness.len())
+    }
+}
+
+impl<F: PrimeField> Default for ProvingSynthesizer<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: PrimeField> ConstraintSystem<F> for ProvingSynthesizer<F> {
+    fn alloc_instance<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.instance.push(value()?);
+        Ok(Variable::Instance(self.instance.len() - 1))
+    }
+
+    fn alloc_witness<V>(&mut self, value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        self.witness.push(value()?);
+        Ok(Variable::Witness(self.witness.len() - 1))
+    }
+
+    fn enforce(
+        &mut self,
+        a: LinearCombination<F>,
+        b: LinearCombination<F>,
+        c: LinearCombination<F>,
+    ) {
+        self.constraints.push(Constraint {
+            a: a.compact(),
+            b: b.compact(),
+            c: c.compact(),
+        });
+        self.constraint_paths.push(self.current_id);
+    }
+
+    fn push_namespace(&mut self, name: &str) {
+        let seg_len = name.len() + usize::from(!self.current.is_empty());
+        if !self.current.is_empty() {
+            self.current.push('/');
+        }
+        self.current.push_str(name);
+        self.stack.push(seg_len);
+        self.current_id = match self.path_ids.get(&self.current) {
+            Some(&id) => id,
+            None => {
+                let id = self.paths.len() as u32;
+                self.paths.push(self.current.clone());
+                self.path_ids.insert(self.current.clone(), id);
+                id
+            }
+        };
+    }
+
+    fn pop_namespace(&mut self) {
+        let seg_len = self.stack.pop().expect("pop_namespace without a push");
+        self.current.truncate(self.current.len() - seg_len);
+        self.current_id = self.path_ids[&self.current];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counting driver
+// ---------------------------------------------------------------------------
+
+/// Constraint/variable tallies for one namespace path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NamespaceCount {
+    /// Constraints enforced directly under this path.
+    pub constraints: usize,
+    /// Instance variables allocated directly under this path.
+    pub instance: usize,
+    /// Witness variables allocated directly under this path.
+    pub witness: usize,
+}
+
+/// The diagnostics driver: tallies constraints and variables — overall and
+/// per namespace path — without storing constraints or evaluating any
+/// value closure. Synthesizing a multi-million-constraint circuit through
+/// it costs only the linear-combination construction.
+pub struct CountingSynthesizer<F: PrimeField> {
+    num_instance: usize,
+    num_witness: usize,
+    num_constraints: usize,
+    /// Interned namespace paths; `paths[0]` is the root `""`. Counting is
+    /// by path *id*, so per-event cost is an array index, not a clone.
+    paths: Vec<String>,
+    path_ids: HashMap<String, u32>,
+    counts: Vec<NamespaceCount>,
+    stack: Vec<usize>, // segment lengths, to truncate `current` on pop
+    current: String,
+    current_id: u32,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: PrimeField> CountingSynthesizer<F> {
+    /// A fresh counting driver.
+    pub fn new() -> Self {
+        Self {
+            num_instance: 1,
+            num_witness: 0,
+            num_constraints: 0,
+            paths: vec![String::new()],
+            path_ids: HashMap::from([(String::new(), 0)]),
+            counts: vec![NamespaceCount::default()],
+            stack: Vec::new(),
+            current: String::new(),
+            current_id: 0,
+            _marker: core::marker::PhantomData,
         }
     }
 
-    /// Lowers the constraints to column-indexed sparse matrices.
-    pub fn to_matrices(&self) -> R1csMatrices<F> {
-        let lower = |lc: &LinearCombination<F>| -> Vec<(usize, F)> {
-            lc.0.iter().map(|(v, c)| (self.column(*v), *c)).collect()
-        };
-        R1csMatrices {
-            a: self.constraints.iter().map(|c| lower(&c.a)).collect(),
-            b: self.constraints.iter().map(|c| lower(&c.b)).collect(),
-            c: self.constraints.iter().map(|c| lower(&c.c)).collect(),
-            num_instance: self.instance.len(),
-            num_witness: self.witness.len(),
+    /// Number of constraints synthesized.
+    pub fn num_constraints(&self) -> usize {
+        self.num_constraints
+    }
+
+    /// Instance-block size (including the constant 1).
+    pub fn num_instance_variables(&self) -> usize {
+        self.num_instance
+    }
+
+    /// Number of witness variables.
+    pub fn num_witness_variables(&self) -> usize {
+        self.num_witness
+    }
+
+    /// Per-namespace tallies, keyed by `/`-joined path (`""` = root).
+    /// Only paths that saw at least one event appear.
+    pub fn by_namespace(&self) -> BTreeMap<String, NamespaceCount> {
+        self.paths
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, c)| **c != NamespaceCount::default())
+            .map(|(p, c)| (p.clone(), *c))
+            .collect()
+    }
+
+    /// A human-readable density report: one line per namespace, heaviest
+    /// first, with each scope's share of the total constraint count.
+    pub fn report(&self) -> String {
+        let mut rows: Vec<(&str, &NamespaceCount)> = self
+            .paths
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, c)| **c != NamespaceCount::default())
+            .map(|(p, c)| (p.as_str(), c))
+            .collect();
+        rows.sort_by(|a, b| b.1.constraints.cmp(&a.1.constraints).then(a.0.cmp(b.0)));
+        let total = self.num_constraints.max(1);
+        let mut out = format!(
+            "{} constraints, {} instance vars (incl. 1), {} witness vars\n",
+            self.num_constraints, self.num_instance, self.num_witness
+        );
+        for (path, c) in rows {
+            let label = if path.is_empty() { "(root)" } else { path };
+            out.push_str(&format!(
+                "  {label:<40} {:>9} cstr ({:>5.1}%)  {:>7} inst  {:>9} wit\n",
+                c.constraints,
+                100.0 * c.constraints as f64 / total as f64,
+                c.instance,
+                c.witness,
+            ));
         }
+        out
+    }
+
+    fn bucket(&mut self) -> &mut NamespaceCount {
+        &mut self.counts[self.current_id as usize]
+    }
+}
+
+impl<F: PrimeField> Default for CountingSynthesizer<F> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<F: PrimeField> ConstraintSystem<F> for CountingSynthesizer<F> {
+    fn alloc_instance<V>(&mut self, _value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        let var = Variable::Instance(self.num_instance);
+        self.num_instance += 1;
+        self.bucket().instance += 1;
+        Ok(var)
+    }
+
+    fn alloc_witness<V>(&mut self, _value: V) -> Result<Variable, SynthesisError>
+    where
+        V: FnOnce() -> Result<F, SynthesisError>,
+    {
+        let var = Variable::Witness(self.num_witness);
+        self.num_witness += 1;
+        self.bucket().witness += 1;
+        Ok(var)
+    }
+
+    fn enforce(
+        &mut self,
+        _a: LinearCombination<F>,
+        _b: LinearCombination<F>,
+        _c: LinearCombination<F>,
+    ) {
+        self.num_constraints += 1;
+        self.bucket().constraints += 1;
+    }
+
+    fn push_namespace(&mut self, name: &str) {
+        let seg_len = name.len() + usize::from(!self.current.is_empty());
+        if !self.current.is_empty() {
+            self.current.push('/');
+        }
+        self.current.push_str(name);
+        self.stack.push(seg_len);
+        self.current_id = match self.path_ids.get(&self.current) {
+            Some(&id) => id,
+            None => {
+                let id = self.paths.len() as u32;
+                self.paths.push(self.current.clone());
+                self.path_ids.insert(self.current.clone(), id);
+                self.counts.push(NamespaceCount::default());
+                id
+            }
+        };
+    }
+
+    fn pop_namespace(&mut self) {
+        let seg_len = self.stack.pop().expect("pop_namespace without a push");
+        self.current.truncate(self.current.len() - seg_len);
+        self.current_id = self.path_ids[&self.current];
     }
 }
 
@@ -299,61 +945,225 @@ mod tests {
         v.into()
     }
 
+    /// `x³ + x + 5 = y`, the classic Pinocchio example.
+    struct Cubic {
+        y: u64,
+        x: Option<u64>,
+    }
+
+    impl Circuit<Fr> for Cubic {
+        type Output = ();
+        fn synthesize<CS: ConstraintSystem<Fr>>(&self, cs: &mut CS) -> Result<(), SynthesisError> {
+            let y = cs.alloc_instance(|| Ok(Fr::from_u64(self.y)))?;
+            let xv = self.x;
+            let x = cs.alloc_witness(|| assignment(xv.map(Fr::from_u64)))?;
+            let x2 = cs.alloc_witness(|| assignment(xv.map(|x| Fr::from_u64(x * x))))?;
+            let x3 = cs.alloc_witness(|| assignment(xv.map(|x| Fr::from_u64(x * x * x))))?;
+            {
+                let mut ns = cs.ns("powers");
+                ns.enforce(lc(x), lc(x), lc(x2));
+                ns.enforce(lc(x2), lc(x), lc(x3));
+            }
+            let lhs = LinearCombination::from(x3).add_term(Fr::one(), x)
+                + LinearCombination::constant(Fr::from_u64(5));
+            cs.ns("sum")
+                .enforce(lhs, LinearCombination::constant(Fr::one()), lc(y));
+            Ok(())
+        }
+    }
+
     #[test]
-    fn factorization_circuit_satisfied() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let prod = cs.alloc_instance(Fr::from_u64(35));
-        let p = cs.alloc_witness(Fr::from_u64(5));
-        let q = cs.alloc_witness(Fr::from_u64(7));
-        cs.enforce(lc(p), lc(q), lc(prod));
+    fn proving_synthesis_is_satisfied() {
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        Cubic { y: 35, x: Some(3) }.synthesize(&mut cs).unwrap();
         assert!(cs.is_satisfied().is_ok());
-        assert_eq!(cs.num_constraints(), 1);
+        assert_eq!(cs.num_constraints(), 3);
         assert_eq!(cs.num_instance_variables(), 2);
-        assert_eq!(cs.num_witness_variables(), 2);
+        assert_eq!(cs.num_witness_variables(), 3);
+        assert_eq!(cs.constraint_path(0), "powers");
+        assert_eq!(cs.constraint_path(2), "sum");
     }
 
     #[test]
-    fn unsatisfied_constraint_reports_index() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let a = cs.alloc_witness(Fr::from_u64(2));
-        let b = cs.alloc_witness(Fr::from_u64(2));
-        cs.enforce(lc(a), lc(a), LinearCombination::constant(Fr::from_u64(4)));
-        cs.enforce(lc(a), lc(b), LinearCombination::constant(Fr::from_u64(5)));
-        assert_eq!(cs.is_satisfied(), Err(1));
+    fn proving_synthesis_reports_first_violation() {
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        Cubic { y: 36, x: Some(3) }.synthesize(&mut cs).unwrap();
+        assert_eq!(cs.is_satisfied(), Err(2));
+        assert_eq!(cs.constraint_path(2), "sum");
     }
 
     #[test]
-    fn linear_combination_arithmetic() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let x = cs.alloc_witness(Fr::from_u64(3));
-        let y = cs.alloc_witness(Fr::from_u64(4));
-        // (2x + y - 1) should evaluate to 9
-        let combo = LinearCombination::zero()
+    fn proving_without_witness_reports_missing_assignment() {
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let err = Cubic { y: 35, x: None }.synthesize(&mut cs).unwrap_err();
+        assert_eq!(err, SynthesisError::AssignmentMissing);
+    }
+
+    #[test]
+    fn setup_never_evaluates_closures() {
+        struct Bomb;
+        impl Circuit<Fr> for Bomb {
+            type Output = ();
+            fn synthesize<CS: ConstraintSystem<Fr>>(
+                &self,
+                cs: &mut CS,
+            ) -> Result<(), SynthesisError> {
+                let a = cs.alloc_instance(|| panic!("instance closure evaluated"))?;
+                let b = cs.alloc_witness(|| panic!("witness closure evaluated"))?;
+                cs.enforce(a.into(), b.into(), LinearCombination::zero());
+                Ok(())
+            }
+        }
+        let mut setup = SetupSynthesizer::<Fr>::new();
+        Bomb.synthesize(&mut setup).unwrap();
+        assert_eq!(setup.num_constraints(), 1);
+        let mut count = CountingSynthesizer::<Fr>::new();
+        Bomb.synthesize(&mut count).unwrap();
+        assert_eq!(count.num_constraints(), 1);
+    }
+
+    #[test]
+    fn setup_and_proving_agree_on_structure() {
+        let mut setup = SetupSynthesizer::<Fr>::new();
+        Cubic { y: 35, x: None }.synthesize(&mut setup).unwrap();
+        let mut prove = ProvingSynthesizer::<Fr>::new();
+        Cubic { y: 35, x: Some(3) }.synthesize(&mut prove).unwrap();
+        assert_eq!(
+            format!("{:?}", setup.to_matrices()),
+            format!("{:?}", prove.to_matrices())
+        );
+    }
+
+    #[test]
+    fn shape_trace_distinguishes_structure_not_values() {
+        #[derive(Default)]
+        struct Collect(Vec<u8>);
+        impl ShapeSink for Collect {
+            fn absorb(&mut self, bytes: &[u8]) {
+                self.0.extend_from_slice(bytes);
+            }
+        }
+        let trace = |circuit: &Cubic| {
+            let mut cs = SetupSynthesizer::with_sink(Collect::default());
+            circuit.synthesize(&mut cs).unwrap();
+            cs.into_sink().0
+        };
+        // different instance/witness *values*, identical trace
+        let t1 = trace(&Cubic { y: 35, x: Some(3) });
+        let t2 = trace(&Cubic { y: 999, x: None });
+        assert_eq!(t1, t2);
+        // a structurally different circuit produces a different trace
+        struct Square {
+            x: Option<u64>,
+        }
+        impl Circuit<Fr> for Square {
+            type Output = ();
+            fn synthesize<CS: ConstraintSystem<Fr>>(
+                &self,
+                cs: &mut CS,
+            ) -> Result<(), SynthesisError> {
+                let xv = self.x;
+                let x = cs.alloc_witness(|| assignment(xv.map(Fr::from_u64)))?;
+                let x2 = cs.alloc_witness(|| assignment(xv.map(|x| Fr::from_u64(x * x))))?;
+                cs.enforce(x.into(), x.into(), x2.into());
+                Ok(())
+            }
+        }
+        let mut cs = SetupSynthesizer::with_sink(Collect::default());
+        Square { x: None }.synthesize(&mut cs).unwrap();
+        assert_ne!(t1, cs.into_sink().0);
+    }
+
+    #[test]
+    fn namespaces_do_not_affect_trace_or_matrices() {
+        struct Wrapped(bool);
+        impl Circuit<Fr> for Wrapped {
+            type Output = ();
+            fn synthesize<CS: ConstraintSystem<Fr>>(
+                &self,
+                cs: &mut CS,
+            ) -> Result<(), SynthesisError> {
+                let x = cs.alloc_witness(|| Ok(Fr::from_u64(2)))?;
+                if self.0 {
+                    let mut ns = cs.ns("scope");
+                    let mut inner = ns.ns("inner");
+                    inner.enforce(
+                        x.into(),
+                        x.into(),
+                        LinearCombination::constant(Fr::from_u64(4)),
+                    );
+                } else {
+                    cs.enforce(
+                        x.into(),
+                        x.into(),
+                        LinearCombination::constant(Fr::from_u64(4)),
+                    );
+                }
+                Ok(())
+            }
+        }
+        #[derive(Default)]
+        struct Collect(Vec<u8>);
+        impl ShapeSink for Collect {
+            fn absorb(&mut self, bytes: &[u8]) {
+                self.0.extend_from_slice(bytes);
+            }
+        }
+        let trace = |w: &Wrapped| {
+            let mut cs = SetupSynthesizer::with_sink(Collect::default());
+            w.synthesize(&mut cs).unwrap();
+            cs.into_sink().0
+        };
+        assert_eq!(trace(&Wrapped(true)), trace(&Wrapped(false)));
+    }
+
+    #[test]
+    fn counting_synthesizer_tracks_namespace_density() {
+        let mut cs = CountingSynthesizer::<Fr>::new();
+        Cubic { y: 35, x: None }.synthesize(&mut cs).unwrap();
+        assert_eq!(cs.num_constraints(), 3);
+        assert_eq!(cs.num_instance_variables(), 2);
+        assert_eq!(cs.num_witness_variables(), 3);
+        let ns = cs.by_namespace();
+        assert_eq!(ns["powers"].constraints, 2);
+        assert_eq!(ns["sum"].constraints, 1);
+        assert_eq!(ns[""].instance, 1);
+        assert_eq!(ns[""].witness, 3);
+        let report = cs.report();
+        assert!(report.contains("powers"));
+        assert!(report.contains("66.7%"));
+    }
+
+    #[test]
+    fn add_term_merges_eagerly() {
+        let x = Variable::Witness(0);
+        let y = Variable::Witness(1);
+        let combo = LinearCombination::<Fr>::zero()
             .add_term(Fr::from_u64(2), x)
             .add_term(Fr::one(), y)
-            + LinearCombination::constant(-Fr::one());
-        assert_eq!(cs.eval_lc(&combo), Fr::from_u64(9));
-        // and scaling by 3 gives 27
-        assert_eq!(cs.eval_lc(&combo.scale(Fr::from_u64(3))), Fr::from_u64(27));
+            .add_term(Fr::from_u64(3), x);
+        assert_eq!(combo.0.len(), 2);
+        assert_eq!(combo.0[0], (x, Fr::from_u64(5)));
+        // exact cancellation elides the term
+        let cancelled = combo.add_term(-Fr::from_u64(5), x);
+        assert_eq!(cancelled.0.len(), 1);
+        assert_eq!(cancelled.0[0].0, y);
     }
 
     #[test]
     fn compact_merges_duplicates() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let x = cs.alloc_witness(Fr::from_u64(5));
-        let combo = (LinearCombination::from(x) + LinearCombination::from(x)).compact();
-        assert_eq!(combo.0.len(), 1);
-        assert_eq!(cs.eval_lc(&combo), Fr::from_u64(10));
-        // exact cancellation removes the term entirely
+        let x = Variable::Witness(0);
+        let combo = (LinearCombination::<Fr>::from(x) + LinearCombination::from(x)).compact();
+        assert_eq!(combo.0, vec![(x, Fr::from_u64(2))]);
         let zero = (LinearCombination::<Fr>::from(x) - LinearCombination::from(x)).compact();
         assert!(zero.0.is_empty());
     }
 
     #[test]
     fn matrices_use_z_column_order() {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let inst = cs.alloc_instance(Fr::from_u64(6));
-        let w = cs.alloc_witness(Fr::from_u64(6));
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let inst = cs.alloc_instance(|| Ok(Fr::from_u64(6))).unwrap();
+        let w = cs.alloc_witness(|| Ok(Fr::from_u64(6))).unwrap();
         // w * 1 = inst
         cs.enforce(lc(w), LinearCombination::constant(Fr::one()), lc(inst));
         let m = cs.to_matrices();
@@ -365,19 +1175,17 @@ mod tests {
     }
 
     #[test]
-    fn structure_is_assignment_independent() {
-        // The same builder with different values must give identical matrices
-        // (this is what lets one circuit definition serve setup and proving).
-        fn build(x: u64, y: u64) -> R1csMatrices<Fr> {
-            let mut cs = ConstraintSystem::<Fr>::new();
-            let a = cs.alloc_witness(Fr::from_u64(x));
-            let b = cs.alloc_witness(Fr::from_u64(y));
-            let out = cs.alloc_instance(Fr::from_u64(x * y));
-            cs.enforce(lc(a), lc(b), lc(out));
-            cs.to_matrices()
-        }
-        let m1 = build(3, 4);
-        let m2 = build(100, 0);
-        assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
+    fn linear_combination_arithmetic() {
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let x = cs.alloc_witness(|| Ok(Fr::from_u64(3))).unwrap();
+        let y = cs.alloc_witness(|| Ok(Fr::from_u64(4))).unwrap();
+        // (2x + y - 1) should evaluate to 9
+        let combo = LinearCombination::zero()
+            .add_term(Fr::from_u64(2), x)
+            .add_term(Fr::one(), y)
+            + LinearCombination::constant(-Fr::one());
+        assert_eq!(cs.eval_lc(&combo), Fr::from_u64(9));
+        // and scaling by 3 gives 27
+        assert_eq!(cs.eval_lc(&combo.scale(Fr::from_u64(3))), Fr::from_u64(27));
     }
 }

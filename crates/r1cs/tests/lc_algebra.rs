@@ -1,0 +1,116 @@
+//! Property tests for the [`LinearCombination`] algebra: normalization via
+//! eager [`LinearCombination::add_term`] merging and via
+//! [`LinearCombination::compact`] must agree with evaluation semantics under
+//! arbitrary assignments, and the usual algebraic laws must hold.
+
+use proptest::prelude::*;
+use zkrownn_ff::{Field, Fr, PrimeField};
+use zkrownn_r1cs::{LinearCombination, Variable};
+
+const VARS: usize = 6;
+
+/// A small pool of variables, so random terms collide often enough to
+/// exercise the merge paths.
+fn var(idx: u8) -> Variable {
+    match idx % VARS as u8 {
+        0 => Variable::One,
+        1 => Variable::Instance(1),
+        2 => Variable::Instance(2),
+        3 => Variable::Witness(0),
+        4 => Variable::Witness(1),
+        _ => Variable::Witness(7),
+    }
+}
+
+/// Evaluation under a fixed pseudo-assignment (distinct odd values per
+/// variable slot, so distinct combinations rarely collide).
+fn eval(lc: &LinearCombination<Fr>) -> Fr {
+    let value = |v: &Variable| match v {
+        Variable::One => Fr::one(),
+        Variable::Instance(i) => Fr::from_u64(3 + 2 * *i as u64),
+        Variable::Witness(i) => Fr::from_u64(101 + 2 * *i as u64),
+    };
+    lc.0.iter()
+        .fold(Fr::zero(), |acc, (v, c)| acc + value(v) * *c)
+}
+
+fn arb_term() -> impl Strategy<Value = (Variable, Fr)> {
+    (any::<u8>(), -40i64..40).prop_map(|(v, c)| (var(v), Fr::from_i128(c as i128)))
+}
+
+fn arb_lc() -> impl Strategy<Value = LinearCombination<Fr>> {
+    prop::collection::vec(arb_term(), 0..10).prop_map(|terms| {
+        terms
+            .into_iter()
+            .fold(LinearCombination::zero(), |lc, (v, c)| lc.add_term(c, v))
+    })
+}
+
+/// Is the representation normalized: no duplicate variables, no zero
+/// coefficients?
+fn is_normalized(lc: &LinearCombination<Fr>) -> bool {
+    lc.0.iter().all(|(_, c)| !c.is_zero())
+        && (0..lc.0.len()).all(|i| (i + 1..lc.0.len()).all(|j| lc.0[i].0 != lc.0[j].0))
+}
+
+proptest! {
+    #[test]
+    fn add_term_keeps_lc_normalized(terms in prop::collection::vec(arb_term(), 0..16)) {
+        let built = terms
+            .iter()
+            .fold(LinearCombination::<Fr>::zero(), |lc, (v, c)| lc.add_term(*c, *v));
+        prop_assert!(is_normalized(&built));
+        // and agrees (semantically) with the lazy concatenate-then-compact path
+        let concat = terms
+            .iter()
+            .fold(LinearCombination::<Fr>::zero(), |lc, (v, c)| {
+                lc + LinearCombination::from(*v).scale(*c)
+            });
+        prop_assert_eq!(eval(&built), eval(&concat));
+        prop_assert_eq!(built.compact(), concat.compact());
+    }
+
+    #[test]
+    fn addition_is_associative_and_commutative((a, b, c) in (arb_lc(), arb_lc(), arb_lc())) {
+        let ab_c = ((a.clone() + b.clone()) + c.clone()).compact();
+        let a_bc = (a.clone() + (b.clone() + c.clone())).compact();
+        prop_assert_eq!(ab_c, a_bc);
+        let ab = (a.clone() + b.clone()).compact();
+        let ba = (b + a).compact();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition((a, b, k) in (arb_lc(), arb_lc(), -40i64..40)) {
+        let k = Fr::from_i128(k as i128);
+        let scaled_sum = (a.clone() + b.clone()).scale(k).compact();
+        let sum_scaled = (a.scale(k) + b.scale(k)).compact();
+        prop_assert_eq!(scaled_sum, sum_scaled);
+    }
+
+    #[test]
+    fn compact_is_idempotent_and_preserves_eval(a in arb_lc(), b in arb_lc()) {
+        // a + b concatenates (possibly denormalized) — compacting once must
+        // normalize, evaluate identically, and be a fixed point
+        let raw = a + b;
+        let once = raw.clone().compact();
+        prop_assert!(is_normalized(&once));
+        prop_assert_eq!(eval(&raw), eval(&once));
+        prop_assert_eq!(once.clone().compact(), once);
+    }
+
+    #[test]
+    fn subtraction_cancels(a in arb_lc()) {
+        let diff = (a.clone() - a).compact();
+        prop_assert!(diff.0.is_empty());
+    }
+
+    #[test]
+    fn zero_coefficients_are_elided(a in arb_lc(), v in any::<u8>()) {
+        // adding a zero term changes nothing
+        let with_zero = a.clone().add_term(Fr::zero(), var(v));
+        prop_assert_eq!(with_zero, a.clone());
+        // scaling by zero collapses to the empty combination
+        prop_assert!(a.scale(Fr::zero()).0.is_empty());
+    }
+}

@@ -64,7 +64,7 @@ fn main() {
         spec_from_keys(&net, &keys, true, 1, &cfg)
     };
 
-    let built = spec.build();
+    let built = spec.build().expect("witnessed synthesis");
     println!(
         "extraction circuit: {} constraints | {} public inputs (kernels) | verdict = {}",
         built.cs.num_constraints(),

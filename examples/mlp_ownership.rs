@@ -65,7 +65,7 @@ fn main() {
         spec_from_keys(&net, &keys, false, 1, &cfg)
     };
 
-    let built = spec.build();
+    let built = spec.build().expect("witnessed synthesis");
     println!(
         "extraction circuit: {} constraints | {} public inputs (weights) | verdict = {}",
         built.cs.num_constraints(),

@@ -62,7 +62,7 @@ fn main() {
     // 3. The authority runs the one-time setup and deals out the kits ------
     println!("[3/5] trusted setup — Authority::setup hands out the role kits …");
     let spec = spec_from_keys(&net, &keys, false, 1, &FixedConfig::default());
-    let built = spec.build();
+    let built = spec.build().expect("witnessed synthesis");
     println!(
         "      circuit {}: {} constraints, {} public inputs, {} witness vars",
         spec.circuit_id().short(),

@@ -18,17 +18,19 @@ use zkrownn_gadgets::relu::relu_circuit;
 use zkrownn_gadgets::sigmoid::{sigmoid, sigmoid_fixed_reference};
 use zkrownn_gadgets::threshold::threshold_circuit;
 use zkrownn_gadgets::{FixedConfig, Num};
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared};
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_groth16::{
+    create_proof_from_cs, generate_parameters_from_matrices, verify_proof_prepared,
+};
+use zkrownn_r1cs::ProvingSynthesizer;
 
-fn prove_and_verify(name: &str, cs: &ConstraintSystem<Fr>) {
+fn prove_and_verify(name: &str, cs: &ProvingSynthesizer<Fr>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xc0ffee);
     assert!(cs.is_satisfied().is_ok());
     let t = Instant::now();
-    let pk = generate_parameters(&cs.to_matrices(), &mut rng);
+    let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
     let setup = t.elapsed();
     let t = Instant::now();
-    let proof = create_proof(&pk, cs, &mut rng);
+    let proof = create_proof_from_cs(&pk, cs, &mut rng);
     let prove = t.elapsed();
     let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
     // round-trip the proof through its 128-byte wire form, as a standalone
@@ -49,10 +51,10 @@ fn main() {
     println!("standalone zkSNARKs for each ZKROWNN circuit (reduced sizes)\n");
 
     // zkMatMult: private 8×8 matrices, public product
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let a: Vec<i128> = (0..64).map(|i| i % 13 - 6).collect();
     let b: Vec<i128> = (0..64).map(|i| i % 11 - 5).collect();
-    matmul_circuit(&a, &b, 8, 8, 8, 8, &mut cs);
+    matmul_circuit(&a, &b, 8, 8, 8, 8, &mut cs).unwrap();
     prove_and_verify("zkMatMult", &cs);
 
     // zkConv3D: 2×8×8 input, 3 kernels of 3×3, stride 2
@@ -64,48 +66,48 @@ fn main() {
         kernel: 3,
         stride: 2,
     };
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let input: Vec<i128> = (0..shape.in_len() as i128).map(|i| i % 9 - 4).collect();
     let kernels: Vec<i128> = (0..shape.kernel_len() as i128).map(|i| i % 7 - 3).collect();
-    conv3d_circuit(&input, &kernels, &shape, 8, &mut cs);
+    conv3d_circuit(&input, &kernels, &shape, 8, &mut cs).unwrap();
     prove_and_verify("zkConv3D", &cs);
 
     // zkReLU over 32 values
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let vals: Vec<i128> = (-16..16).collect();
-    relu_circuit(&vals, 8, &mut cs);
+    relu_circuit(&vals, 8, &mut cs).unwrap();
     prove_and_verify("zkReLU", &cs);
 
     // zkAverage over an 8×8 matrix
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let entries: Vec<i128> = (0..64).map(|i| i * 3 - 90).collect();
-    average2d_circuit(&entries, 8, 8, 10, &mut cs);
+    average2d_circuit(&entries, 8, 8, 10, &mut cs).unwrap();
     prove_and_verify("zkAverage2D", &cs);
 
     // zkSigmoid over 8 fixed-point values
     let cfg = FixedConfig::default();
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     for i in 0..8 {
         let x = cfg.encode(i as f64 / 2.0 - 2.0);
-        let n = Num::alloc_witness(&mut cs, Fr::from_i128(x), cfg.value_bits());
-        let out = sigmoid(&n, &cfg, &mut cs);
+        let n = Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(x)), cfg.value_bits()).unwrap();
+        let out = sigmoid(&n, &cfg, &mut cs).unwrap();
         assert_eq!(out.value_i128(), sigmoid_fixed_reference(x, &cfg));
-        out.expose_as_output(&mut cs);
+        out.expose_as_output(&mut cs).unwrap();
     }
     prove_and_verify("zkSigmoid", &cs);
 
     // zkHardThresholding at 0.5
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let vals: Vec<i128> = (0..32).map(|i| i * 4096 - 65536).collect();
-    threshold_circuit(&vals, 1 << 15, 18, &mut cs);
+    threshold_circuit(&vals, 1 << 15, 18, &mut cs).unwrap();
     prove_and_verify("zkHardThreshold", &cs);
 
     // zkBER over 32-bit signatures, θ = 1 flipped bit
-    let mut cs = ConstraintSystem::new();
+    let mut cs = ProvingSynthesizer::new();
     let wm: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
     let mut extracted = wm.clone();
     extracted[7] = !extracted[7];
-    let ok = ber_circuit(&wm, &extracted, 1, &mut cs);
+    let ok = ber_circuit(&wm, &extracted, 1, &mut cs).unwrap();
     assert!(ok);
     prove_and_verify("zkBER", &cs);
 

@@ -16,7 +16,7 @@ use std::time::Instant;
 use zkrownn::inference::InferenceSpec;
 use zkrownn::QuantizedModel;
 use zkrownn_gadgets::FixedConfig;
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof_prepared, Proof};
+use zkrownn_groth16::{create_proof_from_cs, generate_parameters, verify_proof_prepared, Proof};
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 
 fn main() {
@@ -56,18 +56,20 @@ fn main() {
     };
 
     println!("[setup]    building the inference circuit …");
-    let built = spec.build();
+    let built = spec.build().expect("witnessed inference synthesis");
     println!(
         "[setup]    {} constraints ({} public: query + logits)",
         built.cs.num_constraints(),
         built.cs.num_instance_variables() - 1
     );
+    // the setup side consumes the circuit description itself — the
+    // witness-free setup synthesizer never evaluates a value closure
     let t = Instant::now();
-    let pk = generate_parameters(&built.cs.to_matrices(), &mut rng);
+    let pk = generate_parameters(&spec, &mut rng).expect("setup synthesis");
     println!("[setup]    done in {:.2?}", t.elapsed());
 
     let t = Instant::now();
-    let proof = create_proof(&pk, &built.cs, &mut rng);
+    let proof = create_proof_from_cs(&pk, &built.cs, &mut rng);
     println!(
         "[provider] inference proof generated in {:.2?} ({} bytes)",
         t.elapsed(),

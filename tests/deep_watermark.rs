@@ -73,7 +73,7 @@ fn circuit_through_maxpool_matches_reference() {
     let (net, keys, _) = deep_watermarked(502);
     let cfg = FixedConfig::default();
     let spec = spec_from_keys(&net, &keys, false, 1, &cfg);
-    let built = spec.build();
+    let built = spec.build().expect("witnessed synthesis");
     assert!(built.cs.is_satisfied().is_ok());
     let fixed = extract_fixed(
         &spec.model,

@@ -70,7 +70,7 @@ fn circuit_verdict_matches_fixed_reference_exactly() {
     let cfg = FixedConfig::default();
     for fold in [false, true] {
         let spec = spec_from_keys(&net, &keys, fold, 0, &cfg);
-        let built = spec.build();
+        let built = spec.build().expect("witnessed synthesis");
         assert!(built.cs.is_satisfied().is_ok());
         let fixed = extract_fixed(
             &spec.model,
@@ -95,7 +95,7 @@ fn proving_pipeline_never_modifies_the_model() {
     let before = net.clone();
     let cfg = FixedConfig::default();
     let spec = spec_from_keys(&net, &keys, false, 0, &cfg);
-    let _ = spec.build();
+    let _ = spec.build().expect("witnessed synthesis");
     // the float model is untouched by quantization and circuit building
     for (a, b) in net.layers.iter().zip(before.layers.iter()) {
         if let (Layer::Dense(x), Layer::Dense(y)) = (a, b) {

@@ -175,15 +175,17 @@ fn public_input_vector_layout() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_free_function_shims_still_work() {
-    // The pre-redesign API keeps working for one release, with identical
-    // semantics (including the NegativeVerdict distinction).
-    use zkrownn::{prove, setup, verify};
+fn statement_only_setup_is_witness_free_end_to_end() {
+    // The authority side of the redesigned flow: setup from the *public
+    // statement alone* — a value that never contained a witness — and the
+    // owner assembles their kit from the published proving key.
     let mut rng = rand::rngs::StdRng::seed_from_u64(307);
     let spec = small_watermarked_spec(300);
-    let pk = setup(&spec, &mut rng);
-    let proof = prove(&pk, &spec, &mut rng).expect("honest proof");
-    assert!(proof.verdict);
-    verify(&pk.vk, &spec, &proof).expect("verification must succeed");
+    let statement = spec.statement();
+    let (pk, verifier) = zkrownn::Authority::setup_statement(&statement, &mut rng);
+    assert_eq!(verifier.circuit_id(), spec.circuit_id());
+    let prover = zkrownn::ProverKit::from_parts(pk, spec);
+    let claim = prover.prove(&mut rng).expect("honest claim");
+    assert!(claim.verdict());
+    verifier.verify(&claim).expect("verification must succeed");
 }

@@ -13,14 +13,14 @@ use zkrownn_gadgets::relu::relu_circuit;
 use zkrownn_gadgets::sigmoid::{sigmoid, sigmoid_fixed_reference};
 use zkrownn_gadgets::threshold::threshold_circuit;
 use zkrownn_gadgets::{FixedConfig, Num};
-use zkrownn_groth16::{create_proof, generate_parameters, verify_proof};
-use zkrownn_r1cs::ConstraintSystem;
+use zkrownn_groth16::{create_proof_from_cs, generate_parameters_from_matrices, verify_proof};
+use zkrownn_r1cs::ProvingSynthesizer;
 
-fn prove_and_verify(cs: &ConstraintSystem<Fr>, seed: u64) {
+fn prove_and_verify(cs: &ProvingSynthesizer<Fr>, seed: u64) {
     assert!(cs.is_satisfied().is_ok());
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let pk = generate_parameters(&cs.to_matrices(), &mut rng);
-    let proof = create_proof(&pk, cs, &mut rng);
+    let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+    let proof = create_proof_from_cs(&pk, cs, &mut rng);
     let inputs: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
     verify_proof(&pk.vk, &proof, &inputs).expect("valid gadget proof");
     assert_eq!(proof.to_bytes().len(), 128);
@@ -28,10 +28,10 @@ fn prove_and_verify(cs: &ConstraintSystem<Fr>, seed: u64) {
 
 #[test]
 fn matmult_snark_roundtrip() {
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let a: Vec<i128> = (0..16).map(|i| i - 8).collect();
     let b: Vec<i128> = (0..16).map(|i| 2 * i - 16).collect();
-    let got = matmul_circuit(&a, &b, 4, 4, 4, 8, &mut cs);
+    let got = matmul_circuit(&a, &b, 4, 4, 4, 8, &mut cs).unwrap();
     assert_eq!(got, matmul_reference(&a, &b, 4, 4, 4));
     prove_and_verify(&cs, 331);
 }
@@ -46,27 +46,27 @@ fn conv3d_snark_roundtrip() {
         kernel: 3,
         stride: 2,
     };
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let input: Vec<i128> = (0..shape.in_len() as i128).map(|i| i % 11 - 5).collect();
     let kernels: Vec<i128> = (0..shape.kernel_len() as i128).map(|i| i % 7 - 3).collect();
-    let got = conv3d_circuit(&input, &kernels, &shape, 8, &mut cs);
+    let got = conv3d_circuit(&input, &kernels, &shape, 8, &mut cs).unwrap();
     assert_eq!(got, conv3d_reference(&input, &kernels, &shape));
     prove_and_verify(&cs, 332);
 }
 
 #[test]
 fn relu_snark_roundtrip() {
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let inputs: Vec<i128> = (-8..8).collect();
-    relu_circuit(&inputs, 16, &mut cs);
+    relu_circuit(&inputs, 16, &mut cs).unwrap();
     prove_and_verify(&cs, 333);
 }
 
 #[test]
 fn average_snark_roundtrip() {
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let entries: Vec<i128> = (0..24).map(|i| i * 3 - 30).collect();
-    let got = average2d_circuit(&entries, 6, 4, 10, &mut cs);
+    let got = average2d_circuit(&entries, 6, 4, 10, &mut cs).unwrap();
     assert_eq!(got, average_reference(&entries, 6, 4));
     prove_and_verify(&cs, 334);
 }
@@ -74,32 +74,32 @@ fn average_snark_roundtrip() {
 #[test]
 fn sigmoid_snark_roundtrip() {
     let cfg = FixedConfig::default();
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     for x in [-2.0f64, 0.0, 1.5] {
         let xi = cfg.encode(x);
-        let num = Num::alloc_witness(&mut cs, Fr::from_i128(xi), cfg.value_bits());
-        let out = sigmoid(&num, &cfg, &mut cs);
+        let num = Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(xi)), cfg.value_bits()).unwrap();
+        let out = sigmoid(&num, &cfg, &mut cs).unwrap();
         assert_eq!(out.value_i128(), sigmoid_fixed_reference(xi, &cfg));
-        out.expose_as_output(&mut cs);
+        out.expose_as_output(&mut cs).unwrap();
     }
     prove_and_verify(&cs, 335);
 }
 
 #[test]
 fn threshold_snark_roundtrip() {
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let inputs: Vec<i128> = (0..16).map(|i| i * 5 - 40).collect();
-    threshold_circuit(&inputs, 0, 10, &mut cs);
+    threshold_circuit(&inputs, 0, 10, &mut cs).unwrap();
     prove_and_verify(&cs, 336);
 }
 
 #[test]
 fn ber_snark_roundtrip() {
-    let mut cs = ConstraintSystem::<Fr>::new();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
     let wm: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
     let mut ex = wm.clone();
     ex[5] = !ex[5];
-    assert!(ber_circuit(&wm, &ex, 1, &mut cs));
+    assert!(ber_circuit(&wm, &ex, 1, &mut cs).unwrap());
     prove_and_verify(&cs, 337);
 }
 
@@ -108,8 +108,8 @@ proptest! {
 
     #[test]
     fn prop_relu_circuit_matches_max(vals in prop::collection::vec(-1000i128..1000, 1..20)) {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let outs = relu_circuit(&vals, 12, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let outs = relu_circuit(&vals, 12, &mut cs).unwrap();
         prop_assert!(cs.is_satisfied().is_ok());
         for (o, v) in outs.iter().zip(&vals) {
             prop_assert_eq!(*o, (*v).max(0));
@@ -118,8 +118,8 @@ proptest! {
 
     #[test]
     fn prop_threshold_is_indicator(vals in prop::collection::vec(-500i128..500, 1..20), beta in -100i128..100) {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let outs = threshold_circuit(&vals, beta, 11, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let outs = threshold_circuit(&vals, beta, 11, &mut cs).unwrap();
         prop_assert!(cs.is_satisfied().is_ok());
         for (o, v) in outs.iter().zip(&vals) {
             prop_assert_eq!(*o, *v >= beta);
@@ -131,8 +131,8 @@ proptest! {
         a in prop::collection::vec(-50i128..50, 6),
         b in prop::collection::vec(-50i128..50, 6),
     ) {
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let got = matmul_circuit(&a, &b, 2, 3, 2, 7, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let got = matmul_circuit(&a, &b, 2, 3, 2, 7, &mut cs).unwrap();
         prop_assert!(cs.is_satisfied().is_ok());
         prop_assert_eq!(got, matmul_reference(&a, &b, 2, 3, 2));
     }
@@ -142,8 +142,8 @@ proptest! {
         let mut flipped = bits.clone();
         let k = bits.len() / 3;
         for b in flipped.iter_mut().take(k) { *b = !*b; }
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let ok = ber_circuit(&bits, &flipped, theta, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let ok = ber_circuit(&bits, &flipped, theta, &mut cs).unwrap();
         prop_assert!(cs.is_satisfied().is_ok());
         prop_assert_eq!(ok, k as u64 <= theta);
     }
@@ -152,9 +152,9 @@ proptest! {
     fn prop_sigmoid_circuit_matches_fixed_reference(x in -6.0f64..6.0) {
         let cfg = FixedConfig::default();
         let xi = cfg.encode(x);
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let num = Num::alloc_witness(&mut cs, Fr::from_i128(xi), cfg.value_bits());
-        let out = sigmoid(&num, &cfg, &mut cs);
+        let mut cs = ProvingSynthesizer::<Fr>::new();
+        let num = Num::alloc_witness(&mut cs, || Ok(Fr::from_i128(xi)), cfg.value_bits()).unwrap();
+        let out = sigmoid(&num, &cfg, &mut cs).unwrap();
         prop_assert!(cs.is_satisfied().is_ok());
         prop_assert_eq!(out.value_i128(), sigmoid_fixed_reference(xi, &cfg));
     }
