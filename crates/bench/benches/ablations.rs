@@ -14,14 +14,21 @@
 //!   counting driver is cheaper still);
 //! * `verify_batch/*` — amortized batch verification through the
 //!   `KeyRegistry` vs. naive per-claim verification (preparation + pairing
-//!   check per claim), over 8 same-circuit claims.
+//!   check per claim), over 8 same-circuit claims;
+//! * `prover-hot-path/*` — the prover-spine ablation over the quick
+//!   MNIST-MLP extraction circuit: a cold `create_proof_from_cs` (matrices
+//!   re-lowered, twiddle tables rebuilt per proof) vs. the cached
+//!   `ProverContext` path, plus the isolated witness-map and MSM phases.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use zkrownn_curves::{msm::msm, G1Affine, G1Projective};
 use zkrownn_ff::{Field, Fr};
 use zkrownn_gadgets::matmul::{matmul, NumMatrix};
-use zkrownn_groth16::{create_proof_from_cs, generate_parameters_from_matrices};
+use zkrownn_groth16::{
+    create_proof_from_cs, create_proof_with_context_and_randomness,
+    generate_parameters_from_matrices, ProverContext,
+};
 use zkrownn_pairing::{multi_pairing, pairing, G2Prepared};
 use zkrownn_poly::Radix2Domain;
 use zkrownn_r1cs::{Circuit, CountingSynthesizer, ProvingSynthesizer, SetupSynthesizer};
@@ -72,6 +79,37 @@ fn bench_synthesis_modes(c: &mut Criterion) {
             spec.shape_circuit().synthesize(&mut cs).unwrap();
             cs.num_constraints()
         })
+    });
+    group.finish();
+}
+
+fn bench_prover_hot_path(c: &mut Criterion) {
+    // The tentpole claim of the prover overhaul: with the context cached
+    // (lowered matrices + twiddle tables + vanishing constant), a proof is
+    // just witness map + MSMs — and both of those kernels got faster
+    // (table-driven parallel FFT; signed-digit batch-affine Pippenger).
+    let spec = zkrownn_bench::quick_mlp_spec();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
+    spec.circuit().synthesize(&mut cs).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let pk = generate_parameters_from_matrices(&cs.to_matrices(), &mut rng);
+    let ctx = ProverContext::for_cs(&cs);
+    let z = cs.full_assignment();
+
+    let mut group = c.benchmark_group("prover-hot-path");
+    group.sample_size(10);
+    group.bench_function("cold-context", |b| {
+        // rebuilds matrices, domain and twiddle tables on every proof
+        b.iter(|| create_proof_from_cs(&pk, &cs, &mut rng))
+    });
+    group.bench_function("cached-context", |b| {
+        let r = Fr::random(&mut rng);
+        let s = Fr::random(&mut rng);
+        b.iter(|| create_proof_with_context_and_randomness(&pk, &ctx, &z, r, s))
+    });
+    group.bench_function("witness-map-only", |b| b.iter(|| ctx.witness_map(&z)));
+    group.bench_function("context-build-only", |b| {
+        b.iter(|| ProverContext::for_cs(&cs).domain().size)
     });
     group.finish();
 }
@@ -239,6 +277,7 @@ criterion_group!(
     benches,
     bench_matmul_scaling,
     bench_synthesis_modes,
+    bench_prover_hot_path,
     bench_msm,
     bench_fft,
     bench_pairing,

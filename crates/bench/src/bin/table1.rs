@@ -4,13 +4,14 @@
 //! table1                         # all Table I rows at paper scale
 //! table1 --scale quick           # reduced dimensions (seconds, not minutes)
 //! table1 --row matmult --row ber # selected rows only
+//! table1 --json                  # also emit machine-readable BENCH_prover.json
 //! table1 --table2                # print the Table II architecture spec
 //! table1 --robustness            # watermark-robustness sweep (attack study)
 //! table1 --fixed-point           # fixed-point sigmoid precision ablation
 //! table1 --smoke                 # CI smoke: cheapest rows at quick scale
 //! ```
 
-use zkrownn_bench::{build_row, format_table, measure, RowMetrics, Scale, ROW_NAMES};
+use zkrownn_bench::{build_row, format_table, measure, prover_json, RowMetrics, Scale, ROW_NAMES};
 
 fn print_table2() {
     println!("Table II — DNN benchmark architectures\n");
@@ -132,7 +133,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: table1 [--scale paper|quick] [--row NAME]... \n\
+            "usage: table1 [--scale paper|quick] [--row NAME]... [--json]\n\
              \x20      [--table2] [--robustness] [--fixed-point] [--smoke]\n\
              rows: {}",
             ROW_NAMES.join(", ")
@@ -199,10 +200,19 @@ fn main() {
         );
         let m = measure(canonical, &cs);
         eprintln!(
-            "[{canonical}] setup {:.1?}, prove {:.1?}, verify {:.2?}",
-            m.setup_time, m.prove_time, m.verify_time
+            "[{canonical}] setup {:.1?}, prove {:.1?} (witness_map {:.1?}, msm {:.1?}), verify {:.2?}",
+            m.setup_time, m.prove_time, m.witness_map_time, m.msm_time, m.verify_time
         );
         measured.push(m);
     }
     println!("{}", format_table(&measured));
+
+    // --json: pin the prover numbers in a machine-readable artifact (the
+    // CI bench-smoke job uploads and validates this file)
+    if args.iter().any(|a| a == "--json") {
+        let path = "BENCH_prover.json";
+        std::fs::write(path, prover_json(&measured, scale))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path} ({} rows)", measured.len());
+    }
 }

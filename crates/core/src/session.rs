@@ -25,25 +25,28 @@ use crate::error::ZkrownnError;
 use crate::prove::OwnershipProof;
 use zkrownn_ff::Fr;
 use zkrownn_groth16::{
-    create_proof_from_cs, generate_parameters_from_matrices, verify_proof_prepared,
-    PreparedVerifyingKey, ProvingKey, VerifyingKey,
+    create_proof_with_context, generate_parameters_from_matrices, verify_proof_prepared,
+    PreparedVerifyingKey, ProverContext, ProvingKey, VerifyingKey,
 };
 use zkrownn_r1cs::{Circuit, SetupSynthesizer};
 
-/// One witness-free synthesis serving double duty: the lowered matrices
-/// feed key generation, the streamed trace becomes the [`CircuitId`] —
-/// setup-side circuits are synthesized exactly once.
+/// One witness-free synthesis serving triple duty: the lowered matrices
+/// feed key generation (and are returned so [`Authority::setup`] can seed
+/// the prover's cached [`ProverContext`] without re-lowering), the
+/// streamed trace becomes the [`CircuitId`] — setup-side circuits are
+/// synthesized exactly once.
 fn generate_parameters_and_id<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
     circuit: &C,
     rng: &mut R,
-) -> (ProvingKey, CircuitId) {
+) -> (ProvingKey, CircuitId, zkrownn_r1cs::R1csMatrices<Fr>) {
     let mut cs = SetupSynthesizer::with_sink(TraceHasher::new());
     circuit
         .synthesize(&mut cs)
         .expect("setup-mode synthesis evaluates no value closure and cannot fail");
     let matrices = cs.to_matrices();
     let id = CircuitId::from_bytes(cs.into_sink().finalize());
-    (generate_parameters_from_matrices(&matrices, rng), id)
+    let pk = generate_parameters_from_matrices(&matrices, rng);
+    (pk, id, matrices)
 }
 
 /// The trusted-setup authority (the paper's trusted third party `T`).
@@ -68,7 +71,8 @@ impl Authority {
         spec: &ExtractionSpec,
         rng: &mut R,
     ) -> (ProverKit, VerifierKit) {
-        let (pk, circuit_id) = generate_parameters_and_id(&spec.shape_circuit(), rng);
+        let (pk, circuit_id, matrices) = generate_parameters_and_id(&spec.shape_circuit(), rng);
+        let ctx = ProverContext::new(matrices);
         let vk = pk.vk.clone();
         // the setup was requested for *this* dispute, so the issued kit is
         // bound to this spec's public statement: a claim about any other
@@ -80,6 +84,7 @@ impl Authority {
                 pk,
                 spec: spec.clone(),
                 circuit_id,
+                ctx,
             },
             verifier,
         )
@@ -96,7 +101,8 @@ impl Authority {
         rng: &mut R,
     ) -> (ProvingKey, VerifierKit) {
         let circuit = ExtractionCircuit::from_statement(statement);
-        let (pk, circuit_id) = generate_parameters_and_id(&circuit, rng);
+        // verifier-only issuance: the matrices are not needed past keygen
+        let (pk, circuit_id, _matrices) = generate_parameters_and_id(&circuit, rng);
         let vk = pk.vk.clone();
         let verifier =
             VerifierKit::from_parts(vk, circuit_id).bind_statement(statement.content_digest());
@@ -114,18 +120,31 @@ pub struct ProverKit {
     pk: ProvingKey,
     spec: ExtractionSpec,
     circuit_id: CircuitId,
+    /// Cached prover compute state (lowered matrices, FFT domain with its
+    /// twiddle tables, vanishing constant) — built once per kit so repeated
+    /// [`ProverKit::prove`] calls pay only synthesis + the proof kernel.
+    ctx: ProverContext,
 }
 
 impl ProverKit {
     /// Reassembles a kit from a proving key and a spec — e.g. after
     /// receiving the key bytes from an authority in another process.
+    /// Lowers the circuit once into the kit's cached [`ProverContext`].
     pub fn from_parts(pk: ProvingKey, spec: ExtractionSpec) -> Self {
         let circuit_id = spec.circuit_id();
+        let ctx = ProverContext::for_circuit(&spec.shape_circuit())
+            .expect("setup-mode synthesis evaluates no value closure and cannot fail");
         Self {
             pk,
             spec,
             circuit_id,
+            ctx,
         }
+    }
+
+    /// The kit's cached prover compute state.
+    pub fn context(&self) -> &ProverContext {
+        &self.ctx
     }
 
     /// The circuit this kit proves against.
@@ -152,7 +171,7 @@ impl ProverKit {
             .cs
             .is_satisfied()
             .map_err(ZkrownnError::UnsatisfiedCircuit)?;
-        let proof = create_proof_from_cs(&self.pk, &built.cs, rng);
+        let proof = create_proof_with_context(&self.pk, &self.ctx, &built.cs, rng);
         Ok(SignedClaim {
             statement: self.spec.statement(),
             proof: OwnershipProof {

@@ -164,6 +164,49 @@ impl BigInt256 {
         t
     }
 
+    /// Full 256-bit → 512-bit squaring: off-diagonal partial products are
+    /// computed once and doubled (10 word multiplications instead of the
+    /// 16 a general [`Self::mul_wide`] pays).
+    pub const fn square_wide(&self) -> [u64; 8] {
+        let a = self.0;
+        let mut t = [0u64; 8];
+        // off-diagonal products a_i·a_j (i < j) accumulated at limb i+j
+        let mut i = 0;
+        while i < 4 {
+            let mut carry = 0u64;
+            let mut j = i + 1;
+            while j < 4 {
+                let (lo, hi) = mac(t[i + j], a[i], a[j], carry);
+                t[i + j] = lo;
+                carry = hi;
+                j += 1;
+            }
+            t[i + 4] = carry;
+            i += 1;
+        }
+        // double the cross terms (left shift by one across the 512 bits;
+        // t[0] holds no cross term and t[7] at most the shifted-in bit)
+        t[7] = t[6] >> 63;
+        let mut k = 6;
+        while k > 1 {
+            t[k] = (t[k] << 1) | (t[k - 1] >> 63);
+            k -= 1;
+        }
+        t[1] <<= 1;
+        // add the diagonal a_i² terms
+        let mut carry = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            let (lo, hi) = mac(t[2 * i], a[i], a[i], carry);
+            t[2 * i] = lo;
+            let (lo, c) = adc(t[2 * i + 1], 0, hi);
+            t[2 * i + 1] = lo;
+            carry = c;
+            i += 1;
+        }
+        t
+    }
+
     /// Little-endian byte encoding (32 bytes).
     pub fn to_le_bytes(self) -> [u8; 32] {
         let mut out = [0u8; 32];

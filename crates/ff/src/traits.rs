@@ -74,8 +74,16 @@ pub trait Field:
     /// Inverts a slice of elements in place using Montgomery's batch trick
     /// (one inversion + 3n multiplications). Zero entries are left untouched.
     fn batch_inverse(elems: &mut [Self]) {
+        Self::batch_inverse_with_scratch(elems, &mut Vec::with_capacity(elems.len()));
+    }
+
+    /// [`Field::batch_inverse`] reusing a caller-provided prefix buffer —
+    /// hot loops calling this repeatedly (the MSM's batch-affine rounds)
+    /// avoid one allocation per call. `scratch` is cleared on entry.
+    fn batch_inverse_with_scratch(elems: &mut [Self], scratch: &mut Vec<Self>) {
         // prefix[i] = product of all non-zero elems[..=i]
-        let mut prefix = Vec::with_capacity(elems.len());
+        scratch.clear();
+        let prefix = scratch;
         let mut acc = Self::one();
         for e in elems.iter() {
             if !e.is_zero() {

@@ -1,0 +1,30 @@
+//! Raw multiplication throughput probe (manual harness):
+//! `cargo test --release -p zkrownn-ff --test mul_throughput -- --ignored --nocapture`
+
+use std::time::Instant;
+use zkrownn_ff::{Field, Fq, Fr};
+
+#[test]
+#[ignore]
+fn mul_throughput() {
+    let mut x = Fq::from_u64(0x1234_5678_9abc_def1).pow(&[0xfeed_beef]);
+    let y = Fq::from_u64(3).pow(&[0x1357_9bdf]);
+    let n = 20_000_000u64;
+    let t = Instant::now();
+    for _ in 0..n {
+        x *= y;
+    }
+    let dt = t.elapsed();
+    println!("Fq mul: {:.2} ns/op ({x})", dt.as_nanos() as f64 / n as f64);
+
+    let mut z = Fr::from_u64(0x1234_5678_9abc_def1).pow(&[0xfeed_beef]);
+    let t = Instant::now();
+    for _ in 0..n {
+        z = z.square();
+    }
+    let dt = t.elapsed();
+    println!(
+        "Fr square: {:.2} ns/op ({z})",
+        dt.as_nanos() as f64 / n as f64
+    );
+}

@@ -54,7 +54,11 @@ pub mod setup;
 pub mod verifier;
 
 pub use keys::{DecodeError, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
-pub use prover::{create_proof, create_proof_from_cs, create_proof_with_randomness};
+pub use prover::{
+    create_proof, create_proof_from_cs, create_proof_timed, create_proof_with_context,
+    create_proof_with_context_and_randomness, create_proof_with_randomness, ProverContext,
+    ProverTimings,
+};
 pub use setup::{
     generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
     generate_parameters_with, ToxicWaste,

@@ -1,10 +1,98 @@
 //! Groth16 prover.
+//!
+//! The hot path is organized around a [`ProverContext`]: the lowered
+//! constraint matrices, the FFT domain (with its twiddle tables) and the
+//! inverse of the coset vanishing constant, built once and reused across
+//! proofs. [`create_proof_from_cs`] still works standalone — it builds a
+//! throwaway context — but anything proving more than once against the same
+//! circuit should hold a context (the `zkrownn-core` `ProverKit` does).
+//!
+//! Inside one proof, the witness map's three interpolation pipelines and
+//! the five proof MSMs (`a_query`, `b_g2_query`, `b_g1_query`,
+//! `l_query`+`h_query`) run concurrently via `std::thread::scope`.
 
 use crate::keys::{Proof, ProvingKey};
 use crate::qap;
+use std::time::{Duration, Instant};
 use zkrownn_curves::msm::msm;
+use zkrownn_curves::{G1Projective, G2Projective};
 use zkrownn_ff::{Field, Fr};
-use zkrownn_r1cs::{Circuit, ProvingSynthesizer, R1csMatrices, SynthesisError};
+use zkrownn_poly::Radix2Domain;
+use zkrownn_r1cs::{Circuit, ProvingSynthesizer, R1csMatrices, SetupSynthesizer, SynthesisError};
+
+/// Everything about a circuit the prover can compute once and reuse for
+/// every proof: the lowered matrices, the FFT domain with its twiddle
+/// tables, and `1/Z_H(g)` (the coset vanishing constant's inverse).
+///
+/// Rebuilding these per proof — `to_matrices()` clones every constraint,
+/// the domain pays `O(m)` table multiplications — is pure overhead for
+/// batch-proving workloads; a context amortizes it to zero.
+pub struct ProverContext {
+    matrices: R1csMatrices<Fr>,
+    domain: Radix2Domain<Fr>,
+    z_inv: Fr,
+}
+
+impl ProverContext {
+    /// Builds a context from pre-lowered matrices.
+    ///
+    /// # Panics
+    /// Panics if the circuit exceeds the field's 2-adic FFT capacity.
+    pub fn new(matrices: R1csMatrices<Fr>) -> Self {
+        let domain = qap::qap_domain(&matrices);
+        let z_inv = domain
+            .vanishing_polynomial_on_coset()
+            .inverse()
+            .expect("coset avoids the domain");
+        Self {
+            matrices,
+            domain,
+            z_inv,
+        }
+    }
+
+    /// Builds a context from a proving-mode synthesis (lowers its
+    /// constraints once).
+    pub fn for_cs(cs: &ProvingSynthesizer<Fr>) -> Self {
+        Self::new(cs.to_matrices())
+    }
+
+    /// Builds a context by synthesizing `circuit` in (witness-free) setup
+    /// mode — the right entry point when only the circuit shape is at hand,
+    /// e.g. reconstructing a prover role from a shipped proving key.
+    pub fn for_circuit<C: Circuit<Fr>>(circuit: &C) -> Result<Self, SynthesisError> {
+        let mut cs = SetupSynthesizer::<Fr>::new();
+        circuit.synthesize(&mut cs)?;
+        Ok(Self::new(cs.to_matrices()))
+    }
+
+    /// The lowered constraint matrices.
+    pub fn matrices(&self) -> &R1csMatrices<Fr> {
+        &self.matrices
+    }
+
+    /// The cached evaluation domain (twiddle tables included).
+    pub fn domain(&self) -> &Radix2Domain<Fr> {
+        &self.domain
+    }
+
+    /// Quotient-polynomial coefficients for a full assignment (see
+    /// [`qap::witness_map`]); uses the cached domain and vanishing constant.
+    pub fn witness_map(&self, z: &[Fr]) -> Vec<Fr> {
+        qap::witness_map_with(&self.matrices, &self.domain, self.z_inv, z)
+    }
+}
+
+/// Wall-clock breakdown of one proof (for benches and telemetry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProverTimings {
+    /// The FFT-heavy quotient computation (`witness_map`).
+    pub witness_map: Duration,
+    /// The five multi-scalar multiplications.
+    pub msm: Duration,
+    /// End-to-end proof time (including assembly of `A`, `B`, `C`).
+    pub total: Duration,
+}
 
 /// Synthesizes `circuit` in proving mode (evaluating every value closure
 /// into the dense assignment) and creates a proof for it.
@@ -26,9 +114,11 @@ pub fn create_proof<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
     Ok(create_proof_from_cs(pk, &cs, rng))
 }
 
-/// Creates a proof from an already-synthesized proving-mode system (useful
-/// when the caller also needs the assignment, e.g. for public inputs, or
-/// wants to amortize one synthesis across several proofs).
+/// Creates a proof from an already-synthesized proving-mode system.
+///
+/// Builds a throwaway [`ProverContext`] — callers proving repeatedly
+/// against one circuit should build the context once and use
+/// [`create_proof_with_context`].
 ///
 /// # Panics
 /// Panics (in debug builds) if the constraint system is unsatisfied or its
@@ -38,15 +128,37 @@ pub fn create_proof_from_cs<R: rand::Rng + ?Sized>(
     cs: &ProvingSynthesizer<Fr>,
     rng: &mut R,
 ) -> Proof {
+    let ctx = ProverContext::for_cs(cs);
+    create_proof_with_context(pk, &ctx, cs, rng)
+}
+
+/// Creates a proof from a cached [`ProverContext`] and a proving-mode
+/// synthesis of the same circuit — the amortized hot path.
+///
+/// # Panics
+/// Panics (in debug builds) if the constraint system is unsatisfied or its
+/// shape disagrees with the context or proving key.
+pub fn create_proof_with_context<R: rand::Rng + ?Sized>(
+    pk: &ProvingKey,
+    ctx: &ProverContext,
+    cs: &ProvingSynthesizer<Fr>,
+    rng: &mut R,
+) -> Proof {
     debug_assert_eq!(cs.is_satisfied(), Ok(()), "unsatisfied constraint system");
-    let matrices = cs.to_matrices();
+    debug_assert_eq!(
+        (cs.num_instance_variables(), cs.num_witness_variables()),
+        (ctx.matrices.num_instance, ctx.matrices.num_witness),
+        "constraint system shape disagrees with the prover context"
+    );
     let z = cs.full_assignment();
     let r = Fr::random(rng);
     let s = Fr::random(rng);
-    create_proof_with_randomness(pk, &matrices, &z, r, s)
+    prove_with(pk, &ctx.matrices, &ctx.domain, ctx.z_inv, &z, r, s).0
 }
 
 /// Deterministic-randomness variant (used by tests and the bench harness).
+/// Builds a throwaway domain; see [`create_proof_with_context_and_randomness`]
+/// for the cached equivalent.
 pub fn create_proof_with_randomness(
     pk: &ProvingKey,
     matrices: &R1csMatrices<Fr>,
@@ -54,31 +166,93 @@ pub fn create_proof_with_randomness(
     r: Fr,
     s: Fr,
 ) -> Proof {
+    let domain = qap::qap_domain(matrices);
+    let z_inv = domain
+        .vanishing_polynomial_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    prove_with(pk, matrices, &domain, z_inv, z, r, s).0
+}
+
+/// Deterministic-randomness proof over a cached context (bit-identical to
+/// [`create_proof_with_randomness`] for the same inputs).
+pub fn create_proof_with_context_and_randomness(
+    pk: &ProvingKey,
+    ctx: &ProverContext,
+    z: &[Fr],
+    r: Fr,
+    s: Fr,
+) -> Proof {
+    prove_with(pk, &ctx.matrices, &ctx.domain, ctx.z_inv, z, r, s).0
+}
+
+/// Instrumented variant returning the per-phase wall-clock breakdown
+/// alongside the proof (the bench harness's `BENCH_prover.json` source).
+pub fn create_proof_timed(
+    pk: &ProvingKey,
+    ctx: &ProverContext,
+    z: &[Fr],
+    r: Fr,
+    s: Fr,
+) -> (Proof, ProverTimings) {
+    prove_with(pk, &ctx.matrices, &ctx.domain, ctx.z_inv, z, r, s)
+}
+
+/// The proof kernel: witness map, then the five MSMs concurrently, then
+/// the `(r, s)`-randomized assembly of `(A, B, C)`.
+fn prove_with(
+    pk: &ProvingKey,
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    z_inv: Fr,
+    z: &[Fr],
+    r: Fr,
+    s: Fr,
+) -> (Proof, ProverTimings) {
+    let start = Instant::now();
     let num_vars = matrices.num_instance + matrices.num_witness;
     assert_eq!(z.len(), num_vars, "assignment length mismatch");
     assert_eq!(pk.a_query.len(), num_vars, "proving key shape mismatch");
 
     // h(x) coefficients (the FFT-heavy part)
-    let h = qap::witness_map(matrices, z);
+    let h = qap::witness_map_with(matrices, domain, z_inv, z);
+    let witness_map_time = start.elapsed();
+
+    // the four independent MSM tasks; each is itself window-parallel
+    let msm_start = Instant::now();
+    let witness = &z[matrices.num_instance..];
+    let mut a_sum = G1Projective::identity();
+    let mut b_g2_sum = G2Projective::identity();
+    let mut b_g1_sum = G1Projective::identity();
+    let lh_sum = std::thread::scope(|scope| {
+        scope.spawn(|| a_sum = msm(&pk.a_query, z));
+        scope.spawn(|| b_g2_sum = msm(&pk.b_g2_query, z));
+        scope.spawn(|| b_g1_sum = msm(&pk.b_g1_query, z));
+        msm(&pk.l_query, witness) + msm(&pk.h_query, &h)
+    });
+    let msm_time = msm_start.elapsed();
 
     // A = α + Σ zᵢ·uᵢ(τ) + r·δ
     let delta_g1 = pk.delta_g1.into_projective();
-    let a = pk.vk.alpha_g1.into_projective() + msm(&pk.a_query, z) + delta_g1.mul_scalar(r);
+    let a = pk.vk.alpha_g1.into_projective() + a_sum + delta_g1.mul_scalar(r);
 
     // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (in G2, and again in G1 for C)
-    let b_g2 = pk.vk.beta_g2.into_projective()
-        + msm(&pk.b_g2_query, z)
-        + pk.vk.delta_g2.into_projective().mul_scalar(s);
-    let b_g1 = pk.beta_g1.into_projective() + msm(&pk.b_g1_query, z) + delta_g1.mul_scalar(s);
+    let b_g2 =
+        pk.vk.beta_g2.into_projective() + b_g2_sum + pk.vk.delta_g2.into_projective().mul_scalar(s);
+    let b_g1 = pk.beta_g1.into_projective() + b_g1_sum + delta_g1.mul_scalar(s);
 
     // C = Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ − rs·δ
-    let witness = &z[matrices.num_instance..];
-    let c = msm(&pk.l_query, witness) + msm(&pk.h_query, &h) + a.mul_scalar(s) + b_g1.mul_scalar(r)
-        - delta_g1.mul_scalar(r * s);
+    let c = lh_sum + a.mul_scalar(s) + b_g1.mul_scalar(r) - delta_g1.mul_scalar(r * s);
 
-    Proof {
+    let proof = Proof {
         a: a.into_affine(),
         b: b_g2.into_affine(),
         c: c.into_affine(),
-    }
+    };
+    let timings = ProverTimings {
+        witness_map: witness_map_time,
+        msm: msm_time,
+        total: start.elapsed(),
+    };
+    (proof, timings)
 }

@@ -75,8 +75,30 @@ pub fn evaluate_qap_at(matrices: &R1csMatrices<Fr>, tau: Fr) -> QapEvaluations {
 /// for a full assignment `z` (the prover's "witness map").
 ///
 /// Returns `m − 1` coefficients (`deg h = m − 2` for a satisfied system).
+///
+/// Builds the evaluation domain (twiddle tables included) from scratch on
+/// every call; amortizing workloads should go through
+/// [`crate::ProverContext`], which caches the domain and the vanishing
+/// constant and reduces to the same kernel.
 pub fn witness_map(matrices: &R1csMatrices<Fr>, z: &[Fr]) -> Vec<Fr> {
     let domain = qap_domain(matrices);
+    let z_inv = domain
+        .vanishing_polynomial_on_coset()
+        .inverse()
+        .expect("coset avoids the domain");
+    witness_map_with(matrices, &domain, z_inv, z)
+}
+
+/// The witness-map kernel over a prebuilt domain: the three interpolation
+/// pipelines (evaluate rows over `H`, interpolate, re-evaluate on the coset
+/// `gH`) are independent until the pointwise combine, so A/B/C run on
+/// separate threads.
+pub(crate) fn witness_map_with(
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    z_inv: Fr,
+    z: &[Fr],
+) -> Vec<Fr> {
     let m = domain.size;
     let ncons = matrices.a.len();
     debug_assert_eq!(z.len(), matrices.num_instance + matrices.num_witness);
@@ -90,25 +112,31 @@ pub fn witness_map(matrices: &R1csMatrices<Fr>, z: &[Fr]) -> Vec<Fr> {
         }
         evals
     };
+    // evaluate over H, interpolate, move to the coset gH where Z ≠ 0
+    let to_coset = |evals: &mut Vec<Fr>| domain.ifft_coset_fft_in_place(evals);
 
-    let mut a_evals = eval_rows(&matrices.a);
-    // padding rows
-    a_evals[ncons..ncons + matrices.num_instance].copy_from_slice(&z[..matrices.num_instance]);
-    let mut b_evals = eval_rows(&matrices.b);
-    let mut c_evals = eval_rows(&matrices.c);
+    let mut a_evals = Vec::new();
+    let mut b_evals = Vec::new();
+    let mut c_evals = Vec::new();
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut evals = eval_rows(&matrices.a);
+            // instance padding rows: A[ncons + i][i] = zᵢ
+            evals[ncons..ncons + matrices.num_instance]
+                .copy_from_slice(&z[..matrices.num_instance]);
+            to_coset(&mut evals);
+            a_evals = evals;
+        });
+        scope.spawn(|| {
+            let mut evals = eval_rows(&matrices.b);
+            to_coset(&mut evals);
+            b_evals = evals;
+        });
+        let mut evals = eval_rows(&matrices.c);
+        to_coset(&mut evals);
+        c_evals = evals;
+    });
 
-    // interpolate, then move to the coset where Z is a nonzero constant
-    domain.ifft_in_place(&mut a_evals);
-    domain.coset_fft_in_place(&mut a_evals);
-    domain.ifft_in_place(&mut b_evals);
-    domain.coset_fft_in_place(&mut b_evals);
-    domain.ifft_in_place(&mut c_evals);
-    domain.coset_fft_in_place(&mut c_evals);
-
-    let z_inv = domain
-        .vanishing_polynomial_on_coset()
-        .inverse()
-        .expect("coset avoids the domain");
     let mut h = a_evals;
     for i in 0..m {
         h[i] = (h[i] * b_evals[i] - c_evals[i]) * z_inv;

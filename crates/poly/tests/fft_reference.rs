@@ -1,0 +1,119 @@
+//! Property tests pinning the twiddle-table (and, above the size
+//! threshold, multi-threaded) FFT to an independent serial reference.
+//!
+//! The reference is the pre-table textbook kernel: per-layer `omega.pow`
+//! for `w_m` and the serial `w *= w_m` chain inside every block — exactly
+//! the code the production path replaced, kept here so a table-indexing or
+//! work-splitting bug cannot hide behind a self-consistent fast path.
+
+use proptest::prelude::*;
+use zkrownn_ff::{Field, Fr};
+use zkrownn_poly::{Radix2Domain, PARALLEL_FFT_MIN};
+
+/// The original serial Cooley-Tukey kernel (decimation in time).
+fn reference_fft(a: &mut [Fr], omega: Fr) {
+    let n = a.len();
+    assert!(n.is_power_of_two());
+    if n == 1 {
+        return;
+    }
+    let log_n = n.trailing_zeros();
+    for k in 0..n as u64 {
+        let rk = k.reverse_bits() >> (64 - log_n);
+        if k < rk {
+            a.swap(k as usize, rk as usize);
+        }
+    }
+    let mut m = 1usize;
+    for _ in 0..log_n {
+        let w_m = omega.pow(&[(n / (2 * m)) as u64]);
+        let mut k = 0;
+        while k < n {
+            let mut w = Fr::one();
+            for j in 0..m {
+                let t = w * a[k + j + m];
+                a[k + j + m] = a[k + j] - t;
+                a[k + j] += t;
+                w *= w_m;
+            }
+            k += 2 * m;
+        }
+        m *= 2;
+    }
+}
+
+fn arb_fr() -> impl Strategy<Value = Fr> {
+    (any::<u64>(), any::<u64>())
+        .prop_map(|(a, b)| Fr::from_u64(a) * Fr::from_u64(b) + Fr::from_u64(b))
+}
+
+fn check_against_reference(coeffs: &[Fr]) {
+    let domain = Radix2Domain::<Fr>::new(coeffs.len().max(1)).unwrap();
+    let mut expected = coeffs.to_vec();
+    expected.resize(domain.size, Fr::zero());
+    reference_fft(&mut expected, domain.group_gen);
+    assert_eq!(domain.fft(coeffs), expected, "forward FFT diverges");
+
+    // inverse: reference kernel with ω⁻¹ plus the 1/m scale
+    let mut inv = coeffs.to_vec();
+    inv.resize(domain.size, Fr::zero());
+    reference_fft(&mut inv, domain.group_gen_inv);
+    for v in inv.iter_mut() {
+        *v *= domain.size_inv;
+    }
+    assert_eq!(domain.ifft(coeffs), inv, "inverse FFT diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn table_fft_matches_reference(
+        coeffs in prop::collection::vec(arb_fr(), 1..257),
+    ) {
+        check_against_reference(&coeffs);
+    }
+
+    #[test]
+    fn coset_roundtrip_is_identity(
+        coeffs in prop::collection::vec(arb_fr(), 1..129),
+    ) {
+        let domain = Radix2Domain::<Fr>::new(coeffs.len()).unwrap();
+        let mut v = coeffs.clone();
+        v.resize(domain.size, Fr::zero());
+        let original = v.clone();
+        domain.coset_fft_in_place(&mut v);
+        domain.coset_ifft_in_place(&mut v);
+        prop_assert_eq!(v, original);
+    }
+
+    #[test]
+    fn elements_iterator_agrees_with_powers(size_log in 0u32..8) {
+        let domain = Radix2Domain::<Fr>::new(1 << size_log).unwrap();
+        let mut cur = Fr::one();
+        for (i, e) in domain.elements().enumerate() {
+            prop_assert_eq!(e, cur, "index {}", i);
+            cur *= domain.group_gen;
+        }
+        prop_assert_eq!(domain.elements().len(), domain.size);
+    }
+}
+
+/// One deterministic case big enough to cross [`PARALLEL_FFT_MIN`], so the
+/// multi-threaded two-phase split is exercised against the serial reference
+/// on machines with more than one core (and the table path everywhere).
+#[test]
+fn parallel_sized_fft_matches_reference() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xff7);
+    let n = PARALLEL_FFT_MIN * 2;
+    let coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+    check_against_reference(&coeffs);
+
+    // and the coset round-trip at the same size
+    let domain = Radix2Domain::<Fr>::new(n).unwrap();
+    let mut v = coeffs.clone();
+    domain.coset_fft_in_place(&mut v);
+    domain.coset_ifft_in_place(&mut v);
+    assert_eq!(v, coeffs);
+}
