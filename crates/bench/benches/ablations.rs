@@ -18,7 +18,15 @@
 //! * `prover-hot-path/*` — the prover-spine ablation over the quick
 //!   MNIST-MLP extraction circuit: a cold `create_proof_from_cs` (matrices
 //!   re-lowered, twiddle tables rebuilt per proof) vs. the cached
-//!   `ProverContext` path, plus the isolated witness-map and MSM phases.
+//!   `ProverContext` path, plus the isolated witness-map and MSM phases;
+//! * `setup-hot-path/*` — the trusted-setup spine ablation over the quick
+//!   MNIST-MLP A-query scalar vector: per-scalar serial fixed-base
+//!   multiplication (Jacobian mixed adds + batch normalization — the
+//!   pre-overhaul shape) vs. the signed-digit batch-affine `mul_many`
+//!   kernel at one thread and at full parallelism (the parallel entry
+//!   doubles as table-reuse-*on*; `table-reuse-off` re-pays the table
+//!   build per run), plus the end-to-end `SetupContext::generate_with`
+//!   keygen.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -110,6 +118,62 @@ fn bench_prover_hot_path(c: &mut Criterion) {
     group.bench_function("witness-map-only", |b| b.iter(|| ctx.witness_map(&z)));
     group.bench_function("context-build-only", |b| {
         b.iter(|| ProverContext::for_cs(&cs).domain().size)
+    });
+    group.finish();
+}
+
+fn bench_setup_hot_path(c: &mut Criterion) {
+    // The tentpole claim of the setup overhaul: keygen is fixed-base
+    // multiplication, and the signed-digit batch-affine kernel beats the
+    // per-scalar windowed path even before parallelism — while the shared
+    // table amortizes across every key family.
+    use zkrownn_curves::{FixedBaseTable, G1Config};
+    use zkrownn_groth16::{qap, SetupContext, ToxicWaste};
+
+    let spec = zkrownn_bench::quick_mlp_spec();
+    let mut cs = ProvingSynthesizer::<Fr>::new();
+    spec.circuit().synthesize(&mut cs).unwrap();
+    let matrices = cs.to_matrices();
+    let toxic = ToxicWaste {
+        alpha: Fr::from_u64(11),
+        beta: Fr::from_u64(12),
+        gamma: Fr::from_u64(13),
+        delta: Fr::from_u64(14),
+        tau: Fr::from_u64(15),
+    };
+    // the A-query scalar vector — one of the six key families
+    let scalars = qap::evaluate_qap_at(&matrices, toxic.tau).u;
+    let window = FixedBaseTable::<G1Config>::suggested_window(scalars.len());
+    let table = FixedBaseTable::new(G1Projective::generator(), window);
+
+    let mut group = c.benchmark_group("setup-hot-path");
+    group.sample_size(10);
+    group.bench_function("per-scalar-serial", |b| {
+        // the pre-overhaul kernel: one windowed Jacobian walk per scalar,
+        // then one batch normalization over the whole vector
+        b.iter(|| {
+            let jac: Vec<G1Projective> = scalars.iter().map(|s| table.mul(*s)).collect();
+            G1Projective::batch_into_affine(&jac)
+        })
+    });
+    group.bench_function("batch-affine-1-thread", |b| {
+        b.iter(|| table.mul_many_with_threads(&scalars, 1))
+    });
+    // parallel over the prebuilt table — this measurement *is* the
+    // table-reuse-on configuration; table-reuse-off below re-pays the
+    // table build inside each run for the delta
+    group.bench_function("batch-affine-parallel", |b| {
+        b.iter(|| table.mul_many(&scalars))
+    });
+    group.bench_function("table-reuse-off", |b| {
+        b.iter(|| {
+            let fresh = FixedBaseTable::new(G1Projective::generator(), window);
+            fresh.mul_many(&scalars)
+        })
+    });
+    let setup_ctx = SetupContext::new(matrices);
+    group.bench_function("full-keygen", |b| {
+        b.iter(|| setup_ctx.generate_with(&toxic).serialized_size())
     });
     group.finish();
 }
@@ -278,6 +342,7 @@ criterion_group!(
     bench_matmul_scaling,
     bench_synthesis_modes,
     bench_prover_hot_path,
+    bench_setup_hot_path,
     bench_msm,
     bench_fft,
     bench_pairing,

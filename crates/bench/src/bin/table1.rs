@@ -200,8 +200,9 @@ fn main() {
         );
         let m = measure(canonical, &cs);
         eprintln!(
-            "[{canonical}] setup {:.1?}, prove {:.1?} (witness_map {:.1?}, msm {:.1?}), verify {:.2?}",
-            m.setup_time, m.prove_time, m.witness_map_time, m.msm_time, m.verify_time
+            "[{canonical}] setup {:.1?} (qap {:.1?}, commit {:.1?}), prove {:.1?} (witness_map {:.1?}, msm {:.1?}), verify {:.2?}",
+            m.setup_time, m.setup_qap_time, m.setup_commit_time,
+            m.prove_time, m.witness_map_time, m.msm_time, m.verify_time
         );
         measured.push(m);
     }

@@ -27,9 +27,7 @@ use zkrownn_gadgets::relu::relu_vec;
 use zkrownn_gadgets::sigmoid::sigmoid_vec;
 use zkrownn_gadgets::threshold::hard_threshold_vec;
 use zkrownn_gadgets::{ber::ber_circuit, FixedConfig, Num};
-use zkrownn_groth16::{
-    create_proof_timed, generate_parameters_from_matrices, verify_proof_prepared, ProverContext,
-};
+use zkrownn_groth16::{create_proof_timed, verify_proof_prepared, SetupContext, ToxicWaste};
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 use zkrownn_r1cs::{Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
 
@@ -54,10 +52,17 @@ pub struct RowMetrics {
     pub domain_size: usize,
     /// Trusted-setup wall time.
     pub setup_time: Duration,
+    /// The setup's scalar phase: QAP evaluation at `τ` and the derived
+    /// scalar vectors.
+    pub setup_qap_time: Duration,
+    /// The setup's group phase: fixed-base table builds plus the
+    /// batch-affine multiplications for every key family.
+    pub setup_commit_time: Duration,
     /// Proving-key size in bytes.
     pub pk_bytes: usize,
-    /// One-time [`ProverContext`] build (matrix lowering + twiddle tables),
-    /// amortized across proofs in batch workloads.
+    /// One-time context build (matrix lowering + twiddle tables) — shared
+    /// by key generation and the prover via `SetupContext` →
+    /// `ProverContext`, amortized across proofs in batch workloads.
     pub context_time: Duration,
     /// Prover wall time (witness map + MSMs + assembly, cached context).
     pub prove_time: Duration,
@@ -524,21 +529,25 @@ pub fn paper_reference(name: &str) -> Option<&'static PaperRow> {
 }
 
 /// Runs setup → prove → verify over a synthesized circuit and measures all
-/// seven Table I metrics plus the prover phase breakdown (context build /
+/// seven Table I metrics plus the setup phase breakdown (QAP scalars /
+/// group commitments) and the prover phase breakdown (context build /
 /// witness map / MSMs).
 pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe9c);
     assert!(cs.is_satisfied().is_ok(), "{name}: unsatisfied circuit");
 
-    // the full cold-start cost a ProverKit pays once: matrix lowering +
-    // domain construction with its twiddle/coset tables
+    // the one-time cost both roles share: matrix lowering + domain
+    // construction with its twiddle/coset tables (`SetupContext` hands the
+    // same lowering to the prover below, mirroring `Authority::setup`)
     let t = Instant::now();
-    let ctx = ProverContext::for_cs(cs);
+    let setup_ctx = SetupContext::new(cs.to_matrices());
     let context_time = t.elapsed();
 
+    let toxic = ToxicWaste::sample(&mut rng);
     let t = Instant::now();
-    let pk = generate_parameters_from_matrices(ctx.matrices(), &mut rng);
+    let (pk, setup_timings) = setup_ctx.generate_timed(&toxic);
     let setup_time = t.elapsed();
+    let ctx = setup_ctx.into_prover_context();
 
     let z = cs.full_assignment();
     let r = Fr::random(&mut rng);
@@ -556,6 +565,8 @@ pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
         constraints: cs.num_constraints(),
         domain_size: ctx.domain().size,
         setup_time,
+        setup_qap_time: setup_timings.qap_eval,
+        setup_commit_time: setup_timings.commit,
         pk_bytes: pk.serialized_size(),
         context_time,
         prove_time: timings.total,
@@ -571,9 +582,12 @@ pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
 /// tag, environment (thread count), and one object per row with seconds as
 /// floats. Hand-rolled writer (the workspace is offline — no serde), but
 /// strictly valid JSON: names are ASCII identifiers, numbers finite.
+///
+/// Schema `v2` added the trusted-setup phase breakdown
+/// (`setup_qap_s` / `setup_commit_s`) alongside `setup_s`.
 pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"zkrownn-bench-prover/v1\",\n");
+    out.push_str("  \"schema\": \"zkrownn-bench-prover/v2\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -591,13 +605,16 @@ pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"constraints\": {}, \"domain_size\": {}, \
-             \"setup_s\": {:.6}, \"context_s\": {:.6}, \"prove_s\": {:.6}, \
+             \"setup_s\": {:.6}, \"setup_qap_s\": {:.6}, \"setup_commit_s\": {:.6}, \
+             \"context_s\": {:.6}, \"prove_s\": {:.6}, \
              \"witness_map_s\": {:.6}, \"msm_s\": {:.6}, \"verify_s\": {:.6}, \
              \"pk_bytes\": {}, \"vk_bytes\": {}, \"proof_bytes\": {}}}{}\n",
             r.name,
             r.constraints,
             r.domain_size,
             r.setup_time.as_secs_f64(),
+            r.setup_qap_time.as_secs_f64(),
+            r.setup_commit_time.as_secs_f64(),
             r.context_time.as_secs_f64(),
             r.prove_time.as_secs_f64(),
             r.witness_map_time.as_secs_f64(),
@@ -715,6 +732,7 @@ mod tests {
         let cs = build_row("ber", Scale::Quick);
         let m = measure("ber", &cs);
         assert!(m.witness_map_time + m.msm_time <= m.prove_time);
+        assert!(m.setup_qap_time + m.setup_commit_time <= m.setup_time);
         assert!(m.domain_size.is_power_of_two());
         let json = prover_json(&[m.clone(), m], Scale::Quick);
         // structural sanity without a JSON parser: balanced braces/brackets,
@@ -723,7 +741,9 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches("\"name\": \"ber\"").count(), 2);
-        assert!(json.contains("\"schema\": \"zkrownn-bench-prover/v1\""));
+        assert!(json.contains("\"schema\": \"zkrownn-bench-prover/v2\""));
+        assert!(json.contains("\"setup_qap_s\""));
+        assert!(json.contains("\"setup_commit_s\""));
         assert!(json.contains("\"scale\": \"quick\""));
         assert!(json.contains("},\n"));
         assert!(json.trim_end().ends_with("]\n}"));

@@ -20,7 +20,7 @@
 //! compacted constraint the witness-free setup driver records, and nothing
 //! else (in particular no assignment values, which the setup driver never
 //! evaluates). Two same-shaped models synthesize the same trace, so they
-//! share a `CircuitId` and hence trusted-setup keys; a [`KeyRegistry`]
+//! share a `CircuitId` and hence trusted-setup keys; a [`crate::KeyRegistry`]
 //! (see [`crate::registry`]) uses the id to cache pairing precomputation.
 //!
 //! Any single corrupted byte on the wire is rejected: header corruption

@@ -25,28 +25,30 @@ use crate::error::ZkrownnError;
 use crate::prove::OwnershipProof;
 use zkrownn_ff::Fr;
 use zkrownn_groth16::{
-    create_proof_with_context, generate_parameters_from_matrices, verify_proof_prepared,
-    PreparedVerifyingKey, ProverContext, ProvingKey, VerifyingKey,
+    create_proof_with_context, verify_proof_prepared, PreparedVerifyingKey, ProverContext,
+    ProvingKey, SetupContext, VerifyingKey,
 };
 use zkrownn_r1cs::{Circuit, SetupSynthesizer};
 
 /// One witness-free synthesis serving triple duty: the lowered matrices
-/// feed key generation (and are returned so [`Authority::setup`] can seed
-/// the prover's cached [`ProverContext`] without re-lowering), the
-/// streamed trace becomes the [`CircuitId`] — setup-side circuits are
-/// synthesized exactly once.
+/// and twiddle-table domain become a [`SetupContext`] that drives key
+/// generation and is returned so [`Authority::setup`] can convert it into
+/// the prover's cached [`ProverContext`] (one lowering, one domain build,
+/// both roles), and the streamed trace becomes the [`CircuitId`] —
+/// setup-side circuits are synthesized exactly once.
 fn generate_parameters_and_id<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
     circuit: &C,
     rng: &mut R,
-) -> (ProvingKey, CircuitId, zkrownn_r1cs::R1csMatrices<Fr>) {
+) -> (ProvingKey, CircuitId, SetupContext) {
     let mut cs = SetupSynthesizer::with_sink(TraceHasher::new());
     circuit
         .synthesize(&mut cs)
         .expect("setup-mode synthesis evaluates no value closure and cannot fail");
     let matrices = cs.to_matrices();
     let id = CircuitId::from_bytes(cs.into_sink().finalize());
-    let pk = generate_parameters_from_matrices(&matrices, rng);
-    (pk, id, matrices)
+    let setup_ctx = SetupContext::new(matrices);
+    let pk = setup_ctx.generate(rng);
+    (pk, id, setup_ctx)
 }
 
 /// The trusted-setup authority (the paper's trusted third party `T`).
@@ -71,8 +73,10 @@ impl Authority {
         spec: &ExtractionSpec,
         rng: &mut R,
     ) -> (ProverKit, VerifierKit) {
-        let (pk, circuit_id, matrices) = generate_parameters_and_id(&spec.shape_circuit(), rng);
-        let ctx = ProverContext::new(matrices);
+        let (pk, circuit_id, setup_ctx) = generate_parameters_and_id(&spec.shape_circuit(), rng);
+        // keygen's lowered matrices and twiddle-table domain carry straight
+        // over into the prover's cached compute state — nothing re-lowers
+        let ctx = setup_ctx.into_prover_context();
         let vk = pk.vk.clone();
         // the setup was requested for *this* dispute, so the issued kit is
         // bound to this spec's public statement: a claim about any other
@@ -101,8 +105,8 @@ impl Authority {
         rng: &mut R,
     ) -> (ProvingKey, VerifierKit) {
         let circuit = ExtractionCircuit::from_statement(statement);
-        // verifier-only issuance: the matrices are not needed past keygen
-        let (pk, circuit_id, _matrices) = generate_parameters_and_id(&circuit, rng);
+        // verifier-only issuance: the setup context is not needed past keygen
+        let (pk, circuit_id, _setup_ctx) = generate_parameters_and_id(&circuit, rng);
         let vk = pk.vk.clone();
         let verifier =
             VerifierKit::from_parts(vk, circuit_id).bind_statement(statement.content_digest());

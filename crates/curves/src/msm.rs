@@ -166,7 +166,7 @@ fn signed_digits<C: SwCurveConfig>(
                 .iter_mut()
                 .enumerate()
             {
-                let raw = extract_bits(scalar, w * c, c) as i64 + carry;
+                let raw = scalar.bits64(w * c, c) as i64 + carry;
                 let digit = if raw >= half {
                     carry = 1;
                     raw - full
@@ -345,8 +345,13 @@ fn batch_affine_reduce<C: SwCurveConfig>(
 }
 
 /// Affine `p + q` given the precomputed (batch-)inverted denominator:
-/// `1/(x₂−x₁)` for distinct x, `1/(2y)` for a doubling.
-fn add_affine<C: SwCurveConfig>(p: &Affine<C>, q: &Affine<C>, inv: C::BaseField) -> Affine<C> {
+/// `1/(x₂−x₁)` for distinct x, `1/(2y)` for a doubling. Shared with the
+/// fixed-base keygen kernel, which batches the same way per window round.
+pub(crate) fn add_affine<C: SwCurveConfig>(
+    p: &Affine<C>,
+    q: &Affine<C>,
+    inv: C::BaseField,
+) -> Affine<C> {
     if p.infinity {
         return *q;
     }
@@ -369,20 +374,6 @@ fn add_affine<C: SwCurveConfig>(p: &Affine<C>, q: &Affine<C>, inv: C::BaseField)
     let x3 = lambda.square() - p.x - q.x;
     let y3 = lambda * (p.x - x3) - p.y;
     Affine::new_unchecked(x3, y3)
-}
-
-/// Reads up to 64 bits of `v` starting at bit `shift` (little-endian).
-fn extract_bits(v: &BigInt256, shift: usize, width: usize) -> u64 {
-    if shift >= 256 {
-        return 0;
-    }
-    let limb = shift / 64;
-    let bit = shift % 64;
-    let mut out = v.0[limb] >> bit;
-    if bit + width > 64 && limb + 1 < 4 {
-        out |= v.0[limb + 1] << (64 - bit);
-    }
-    out & ((1u64 << width) - 1)
 }
 
 #[cfg(test)]
@@ -478,10 +469,10 @@ mod tests {
     }
 
     #[test]
-    fn extract_bits_spans_limb_boundaries() {
+    fn bits64_extraction_spans_limb_boundaries() {
         let v = BigInt256([u64::MAX, 0b1011, 0, 0]);
-        assert_eq!(extract_bits(&v, 60, 8), 0b1011_1111);
-        assert_eq!(extract_bits(&v, 64, 4), 0b1011);
-        assert_eq!(extract_bits(&v, 252, 10), 0);
+        assert_eq!(v.bits64(60, 8), 0b1011_1111);
+        assert_eq!(v.bits64(64, 4), 0b1011);
+        assert_eq!(v.bits64(252, 10), 0);
     }
 }

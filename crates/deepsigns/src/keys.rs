@@ -123,7 +123,7 @@ const MAX_PROJECTION_REDRAWS: usize = 32;
 /// Generates fresh watermark keys: random signature, Gaussian projection,
 /// and triggers drawn from the dataset restricted to a random target class.
 ///
-/// The projection matrix is redrawn (up to [`MAX_PROJECTION_REDRAWS`] times)
+/// The projection matrix is redrawn (up to `MAX_PROJECTION_REDRAWS` times)
 /// until the signature is geometrically embeddable in the non-negative
 /// activation orthant — key generation is owner-side and free to reject
 /// degenerate draws that no amount of fine-tuning could embed.

@@ -207,6 +207,27 @@ impl BigInt256 {
         t
     }
 
+    /// Reads up to 64 bits starting at bit `shift` (little-endian). Bits at
+    /// or beyond 256 read as zero. Shared by the windowed scalar recoders
+    /// (Pippenger MSM, fixed-base keygen): `width ≤ 64`.
+    #[inline]
+    pub const fn bits64(&self, shift: usize, width: usize) -> u64 {
+        if shift >= 256 {
+            return 0;
+        }
+        let limb = shift / 64;
+        let bit = shift % 64;
+        let mut out = self.0[limb] >> bit;
+        if bit + width > 64 && limb + 1 < 4 {
+            out |= self.0[limb + 1] << (64 - bit);
+        }
+        if width >= 64 {
+            out
+        } else {
+            out & ((1u64 << width) - 1)
+        }
+    }
+
     /// Little-endian byte encoding (32 bytes).
     pub fn to_le_bytes(self) -> [u8; 32] {
         let mut out = [0u8; 32];

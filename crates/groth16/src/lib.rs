@@ -61,7 +61,7 @@ pub use prover::{
 };
 pub use setup::{
     generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
-    generate_parameters_with, ToxicWaste,
+    generate_parameters_with, SetupContext, SetupTimings, ToxicWaste,
 };
 pub use verifier::{verify_proof, verify_proof_prepared, verify_proofs_batch, VerificationError};
 

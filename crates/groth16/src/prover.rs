@@ -40,6 +40,26 @@ impl ProverContext {
     /// Panics if the circuit exceeds the field's 2-adic FFT capacity.
     pub fn new(matrices: R1csMatrices<Fr>) -> Self {
         let domain = qap::qap_domain(&matrices);
+        Self::from_lowered(matrices, domain)
+    }
+
+    /// Builds a context from already-lowered matrices *and* their matching
+    /// evaluation domain — the handoff from [`crate::SetupContext`], so an
+    /// authority pays one lowering and one twiddle-table build for both key
+    /// generation and the prover's cached state. The only fresh work here
+    /// is a single field inversion for the coset vanishing constant.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `domain` is not the domain
+    /// [`qap::qap_domain`] would build for `matrices`.
+    pub fn from_lowered(matrices: R1csMatrices<Fr>, domain: Radix2Domain<Fr>) -> Self {
+        debug_assert_eq!(
+            domain.size,
+            (matrices.a.len() + matrices.num_instance)
+                .max(1)
+                .next_power_of_two(),
+            "domain does not match the matrices' QAP domain"
+        );
         let z_inv = domain
             .vanishing_polynomial_on_coset()
             .inverse()

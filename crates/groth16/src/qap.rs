@@ -10,11 +10,11 @@ use zkrownn_ff::{Field, Fr};
 use zkrownn_poly::Radix2Domain;
 use zkrownn_r1cs::R1csMatrices;
 
-/// The QAP view of an R1CS: the domain plus per-variable polynomial
-/// evaluations at a fixed point `τ` (used only at setup).
+/// The QAP view of an R1CS: per-variable polynomial evaluations at a fixed
+/// point `τ` (used only at setup). The evaluation domain itself lives with
+/// the caller (a [`crate::SetupContext`] caches it alongside the lowered
+/// matrices).
 pub struct QapEvaluations {
-    /// Evaluation domain.
-    pub domain: Radix2Domain<Fr>,
     /// `uᵢ(τ)` per column of `z`.
     pub u: Vec<Fr>,
     /// `vᵢ(τ)` per column of `z`.
@@ -34,37 +34,53 @@ pub fn qap_domain(matrices: &R1csMatrices<Fr>) -> Radix2Domain<Fr> {
     Radix2Domain::new(rows).expect("circuit too large for the BN254 scalar field FFT")
 }
 
-/// Evaluates all QAP polynomials at `τ`.
+/// Evaluates all QAP polynomials at `τ`, building a throwaway domain.
+/// Setup-side callers holding a [`crate::SetupContext`] go through
+/// [`evaluate_qap_at_with`] and reuse its cached twiddle-table domain.
 pub fn evaluate_qap_at(matrices: &R1csMatrices<Fr>, tau: Fr) -> QapEvaluations {
-    let domain = qap_domain(matrices);
+    evaluate_qap_at_with(matrices, &qap_domain(matrices), tau)
+}
+
+/// Evaluates all QAP polynomials at `τ` over a prebuilt domain. The
+/// Lagrange coefficients come from the domain's twiddle-table path, and the
+/// three independent A/B/C column accumulations run on separate threads.
+pub fn evaluate_qap_at_with(
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    tau: Fr,
+) -> QapEvaluations {
+    debug_assert!(domain.size >= matrices.a.len() + matrices.num_instance);
     let lagrange = domain.lagrange_coefficients_at(tau);
     let num_vars = matrices.num_instance + matrices.num_witness;
-    let mut u = vec![Fr::zero(); num_vars];
-    let mut v = vec![Fr::zero(); num_vars];
-    let mut w = vec![Fr::zero(); num_vars];
     let ncons = matrices.a.len();
-    for (j, row) in matrices.a.iter().enumerate() {
-        for (col, coeff) in row {
-            u[*col] += *coeff * lagrange[j];
+
+    let accumulate = |rows: &[Vec<(usize, Fr)>]| -> Vec<Fr> {
+        let mut col_evals = vec![Fr::zero(); num_vars];
+        for (j, row) in rows.iter().enumerate() {
+            for (col, coeff) in row {
+                col_evals[*col] += *coeff * lagrange[j];
+            }
         }
-    }
-    // instance padding rows: A[ncons + i][i] = 1
-    for i in 0..matrices.num_instance {
-        u[i] += lagrange[ncons + i];
-    }
-    for (j, row) in matrices.b.iter().enumerate() {
-        for (col, coeff) in row {
-            v[*col] += *coeff * lagrange[j];
-        }
-    }
-    for (j, row) in matrices.c.iter().enumerate() {
-        for (col, coeff) in row {
-            w[*col] += *coeff * lagrange[j];
-        }
-    }
+        col_evals
+    };
+
+    let mut u = Vec::new();
+    let mut v = Vec::new();
+    let w = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut cols = accumulate(&matrices.a);
+            // instance padding rows: A[ncons + i][i] = 1
+            for i in 0..matrices.num_instance {
+                cols[i] += lagrange[ncons + i];
+            }
+            u = cols;
+        });
+        scope.spawn(|| v = accumulate(&matrices.b));
+        accumulate(&matrices.c)
+    });
+
     QapEvaluations {
         zt: domain.evaluate_vanishing_polynomial(tau),
-        domain,
         u,
         v,
         w,

@@ -3,6 +3,24 @@
 //! In the paper's setting a trusted third party runs this once per circuit;
 //! because the watermark-extraction circuit never changes, the cost is
 //! amortized over the lifetime of the model (Section II-B of the paper).
+//! An authority standing up keys for a *fleet* of circuits pays this path
+//! per circuit shape, so it is engineered like the prover's hot path:
+//!
+//! * a [`SetupContext`] caches the lowered matrices and the twiddle-table
+//!   FFT domain, and converts into a [`ProverContext`]
+//!   ([`SetupContext::into_prover_context`]) so one lowering feeds both key
+//!   generation and the prover's cached compute state;
+//! * the QAP polynomials are evaluated at `τ` through the domain's
+//!   table-based Lagrange path, and the powers of `τ` for the H-query come
+//!   from the same jump-then-recur `geometric_series` that builds twiddle
+//!   tables;
+//! * every group element is produced by the fixed-base tables'
+//!   batch-affine [`FixedBaseTable::mul_many`] kernel — including the toxic
+//!   elements `α, β, δ` (G1) and `β, γ, δ` (G2), which ride along in the
+//!   instance-column and B-G2 batches, so keygen performs **no** per-point
+//!   `into_affine` inversion anywhere;
+//! * the independent key families (A-query, B-G1, B-G2, H-query, L-query,
+//!   IC) run concurrently under `std::thread::scope`.
 //!
 //! The entry points take an `impl Circuit<Fr>` and synthesize it with the
 //! shape-only [`SetupSynthesizer`], so the party running setup never
@@ -10,9 +28,12 @@
 //! placeholder one.
 
 use crate::keys::{ProvingKey, VerifyingKey};
+use crate::prover::ProverContext;
 use crate::qap;
-use zkrownn_curves::{FixedBaseTable, G1Projective, G2Projective, Projective};
+use std::time::{Duration, Instant};
+use zkrownn_curves::{FixedBaseTable, G1Config, G1Projective, G2Config, G2Projective};
 use zkrownn_ff::{Field, Fr};
+use zkrownn_poly::{geometric_series, Radix2Domain};
 use zkrownn_r1cs::{Circuit, R1csMatrices, SetupSynthesizer, SynthesisError};
 
 /// The secret randomness ("toxic waste") behind a CRS. Exposed as a struct
@@ -52,6 +73,85 @@ impl ToxicWaste {
     }
 }
 
+/// Wall-clock breakdown of one key generation (for benches and telemetry).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SetupTimings {
+    /// Scalar side: Lagrange/QAP evaluation at `τ` plus the derived scalar
+    /// vectors (`β·u + α·v + w` combinations, powers of `τ`).
+    pub qap_eval: Duration,
+    /// Group side: fixed-base table construction plus the batch-affine
+    /// multiplications for every key family.
+    pub commit: Duration,
+    /// End-to-end key generation.
+    pub total: Duration,
+}
+
+/// Everything about a circuit the setup can compute once and reuse: the
+/// lowered constraint matrices and the FFT domain with its twiddle tables.
+///
+/// One context serves key generation (any number of times — e.g. key
+/// rotation for the same circuit shape) and then converts into the
+/// prover's cached [`ProverContext`] without re-lowering the circuit or
+/// rebuilding the domain tables ([`Self::into_prover_context`] — the
+/// `zkrownn` `Authority::setup` uses exactly this handoff).
+pub struct SetupContext {
+    matrices: R1csMatrices<Fr>,
+    domain: Radix2Domain<Fr>,
+}
+
+impl SetupContext {
+    /// Builds a context from pre-lowered matrices.
+    ///
+    /// # Panics
+    /// Panics if the circuit exceeds the field's 2-adic FFT capacity.
+    pub fn new(matrices: R1csMatrices<Fr>) -> Self {
+        let domain = qap::qap_domain(&matrices);
+        Self { matrices, domain }
+    }
+
+    /// Builds a context by synthesizing `circuit` in (witness-free) setup
+    /// mode.
+    pub fn for_circuit<C: Circuit<Fr>>(circuit: &C) -> Result<Self, SynthesisError> {
+        let mut cs = SetupSynthesizer::<Fr>::new();
+        circuit.synthesize(&mut cs)?;
+        Ok(Self::new(cs.to_matrices()))
+    }
+
+    /// The lowered constraint matrices.
+    pub fn matrices(&self) -> &R1csMatrices<Fr> {
+        &self.matrices
+    }
+
+    /// The cached evaluation domain (twiddle tables included).
+    pub fn domain(&self) -> &Radix2Domain<Fr> {
+        &self.domain
+    }
+
+    /// Runs key generation with fresh randomness from `rng`.
+    pub fn generate<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> ProvingKey {
+        self.generate_with(&ToxicWaste::sample(rng))
+    }
+
+    /// Deterministic key generation from explicit toxic waste
+    /// (tests / reproducibility).
+    pub fn generate_with(&self, toxic: &ToxicWaste) -> ProvingKey {
+        self.generate_timed(toxic).0
+    }
+
+    /// [`Self::generate_with`] returning the per-phase wall-clock breakdown
+    /// (the bench harness's `setup_qap_s`/`setup_commit_s` source).
+    pub fn generate_timed(&self, toxic: &ToxicWaste) -> (ProvingKey, SetupTimings) {
+        generate_from_parts(&self.matrices, &self.domain, toxic)
+    }
+
+    /// Converts this context into the prover's cached compute state,
+    /// reusing the lowered matrices and the domain tables (the only new
+    /// work is one field inversion for the coset vanishing constant).
+    pub fn into_prover_context(self) -> ProverContext {
+        ProverContext::from_lowered(self.matrices, self.domain)
+    }
+}
+
 /// Runs the Groth16 setup for a circuit, producing the proving key (which
 /// embeds the verifying key).
 ///
@@ -71,16 +171,12 @@ pub fn generate_parameters_with<C: Circuit<Fr>>(
     circuit: &C,
     toxic: &ToxicWaste,
 ) -> Result<ProvingKey, SynthesisError> {
-    let mut cs = SetupSynthesizer::<Fr>::new();
-    circuit.synthesize(&mut cs)?;
-    Ok(generate_parameters_from_matrices_with(
-        &cs.to_matrices(),
-        toxic,
-    ))
+    Ok(SetupContext::for_circuit(circuit)?.generate_with(toxic))
 }
 
 /// Low-level setup over pre-lowered matrices (the circuit entry points
 /// reduce to this; also used by harnesses that already hold matrices).
+/// Builds a throwaway domain — amortizing callers hold a [`SetupContext`].
 pub fn generate_parameters_from_matrices<R: rand::Rng + ?Sized>(
     matrices: &R1csMatrices<Fr>,
     rng: &mut R,
@@ -93,7 +189,20 @@ pub fn generate_parameters_from_matrices_with(
     matrices: &R1csMatrices<Fr>,
     toxic: &ToxicWaste,
 ) -> ProvingKey {
-    let qap = qap::evaluate_qap_at(matrices, toxic.tau);
+    generate_from_parts(matrices, &qap::qap_domain(matrices), toxic).0
+}
+
+/// The keygen kernel: QAP scalars at `τ`, then every key family through
+/// the batch-affine fixed-base tables, families in parallel.
+fn generate_from_parts(
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    toxic: &ToxicWaste,
+) -> (ProvingKey, SetupTimings) {
+    let start = Instant::now();
+
+    // Scalar-side computations --------------------------------------------
+    let qap = qap::evaluate_qap_at_with(matrices, domain, toxic.tau);
     let num_vars = matrices.num_instance + matrices.num_witness;
     let ninstance = matrices.num_instance;
     debug_assert_eq!(qap.u.len(), num_vars);
@@ -101,83 +210,95 @@ pub fn generate_parameters_from_matrices_with(
     let gamma_inv = toxic.gamma.inverse().expect("gamma != 0");
     let delta_inv = toxic.delta.inverse().expect("delta != 0");
 
-    // Scalar-side computations --------------------------------------------
-    // gamma_abc (instance columns) and l_query (witness columns)
-    let mut gamma_abc_scalars = Vec::with_capacity(ninstance);
+    // gamma_abc (instance columns) and l_query (witness columns); the G1
+    // toxic elements α, β, δ ride along at the tail of the instance batch
+    // so they share its batch-affine normalization
+    let mut ic_scalars = Vec::with_capacity(ninstance + 3);
     let mut l_scalars = Vec::with_capacity(matrices.num_witness);
     for i in 0..num_vars {
         let combined = toxic.beta * qap.u[i] + toxic.alpha * qap.v[i] + qap.w[i];
         if i < ninstance {
-            gamma_abc_scalars.push(combined * gamma_inv);
+            ic_scalars.push(combined * gamma_inv);
         } else {
             l_scalars.push(combined * delta_inv);
         }
     }
-    // h_query scalars: τ^i · Z(τ)/δ
-    let zt_over_delta = qap.zt * delta_inv;
-    let mut h_scalars = Vec::with_capacity(qap.domain.size - 1);
-    let mut cur = zt_over_delta;
-    for _ in 0..qap.domain.size - 1 {
-        h_scalars.push(cur);
-        cur *= toxic.tau;
-    }
+    ic_scalars.extend([toxic.alpha, toxic.beta, toxic.delta]);
+    // h_query scalars: τ^i · Z(τ)/δ — jump-then-recur, chunk-parallel
+    let h_scalars = geometric_series(qap.zt * delta_inv, toxic.tau, domain.size - 1);
+    // B-G2 batch with the G2 toxic elements β, γ, δ at the tail
+    let mut v_g2_scalars = Vec::with_capacity(num_vars + 3);
+    v_g2_scalars.extend_from_slice(&qap.v);
+    v_g2_scalars.extend([toxic.beta, toxic.gamma, toxic.delta]);
+    let qap_eval = start.elapsed();
 
-    // Group-side computations (fixed-base windowed tables) -----------------
-    let g1 = G1Projective::generator();
-    let g2 = G2Projective::generator();
-    let total_g1_muls = 3 * num_vars + h_scalars.len();
-    let w1 = FixedBaseTable::<zkrownn_curves::G1Config>::suggested_window(total_g1_muls);
-    let w2 = FixedBaseTable::<zkrownn_curves::G2Config>::suggested_window(num_vars);
-    let t1 = FixedBaseTable::new(g1, w1);
-    let t2 = FixedBaseTable::new(g2, w2);
+    // Group-side computations (batch-affine fixed-base kernels) ------------
+    let commit_start = Instant::now();
+    let total_g1_muls = 3 * num_vars + h_scalars.len() + 3;
+    let w1 = FixedBaseTable::<G1Config>::suggested_window(total_g1_muls);
+    let w2 = FixedBaseTable::<G2Config>::suggested_window(v_g2_scalars.len());
+    let mut t2_slot = None;
+    let t1 = std::thread::scope(|scope| {
+        scope.spawn(|| t2_slot = Some(FixedBaseTable::new(G2Projective::generator(), w2)));
+        FixedBaseTable::new(G1Projective::generator(), w1)
+    });
+    let t2 = t2_slot.expect("scope joined the G2 table build");
 
-    let a_query = t1.mul_many(&qap.u);
-    let b_g1_query = t1.mul_many(&qap.v);
-    let b_g2_query = t2.mul_many(&qap.v);
-    let h_query = t1.mul_many(&h_scalars);
-    let l_query = t1.mul_many(&l_scalars);
-    let gamma_abc_g1 = t1.mul_many(&gamma_abc_scalars);
+    // the six independent key families, concurrently; each family's
+    // `mul_many` additionally splits its scalars across cores
+    let mut a_query = Vec::new();
+    let mut b_g1_query = Vec::new();
+    let mut b_g2_ext = Vec::new();
+    let mut h_query = Vec::new();
+    let mut l_query = Vec::new();
+    let mut ic_ext = std::thread::scope(|scope| {
+        scope.spawn(|| a_query = t1.mul_many(&qap.u));
+        scope.spawn(|| b_g1_query = t1.mul_many(&qap.v));
+        scope.spawn(|| b_g2_ext = t2.mul_many(&v_g2_scalars));
+        scope.spawn(|| h_query = t1.mul_many(&h_scalars));
+        scope.spawn(|| l_query = t1.mul_many(&l_scalars));
+        t1.mul_many(&ic_scalars)
+    });
 
-    let vk = VerifyingKey {
-        alpha_g1: t1.mul(toxic.alpha).into_affine(),
-        beta_g2: t2.mul(toxic.beta).into_affine(),
-        gamma_g2: t2.mul(toxic.gamma).into_affine(),
-        delta_g2: t2.mul(toxic.delta).into_affine(),
-        gamma_abc_g1,
-    };
+    // peel the toxic elements back off their carrier batches
+    let delta_g2 = b_g2_ext.pop().expect("delta tail");
+    let gamma_g2 = b_g2_ext.pop().expect("gamma tail");
+    let beta_g2 = b_g2_ext.pop().expect("beta tail");
+    let b_g2_query = b_g2_ext;
+    let delta_g1 = ic_ext.pop().expect("delta tail");
+    let beta_g1 = ic_ext.pop().expect("beta tail");
+    let alpha_g1 = ic_ext.pop().expect("alpha tail");
+    let gamma_abc_g1 = ic_ext;
+    let commit = commit_start.elapsed();
 
-    ProvingKey {
-        vk,
-        beta_g1: t1.mul(toxic.beta).into_affine(),
-        delta_g1: t1.mul(toxic.delta).into_affine(),
+    let pk = ProvingKey {
+        vk: VerifyingKey {
+            alpha_g1,
+            beta_g2,
+            gamma_g2,
+            delta_g2,
+            gamma_abc_g1,
+        },
+        beta_g1,
+        delta_g1,
         a_query,
         b_g1_query,
         b_g2_query,
         h_query,
         l_query,
-    }
+    };
+    let timings = SetupTimings {
+        qap_eval,
+        commit,
+        total: start.elapsed(),
+    };
+    (pk, timings)
 }
 
-/// Convenience: number of Jacobian points the setup will produce, used by
+/// Convenience: number of affine points the setup will produce, used by
 /// the bench harness for progress reporting.
 pub fn setup_output_points(matrices: &R1csMatrices<Fr>) -> usize {
     let num_vars = matrices.num_instance + matrices.num_witness;
     let domain = qap::qap_domain(matrices);
     4 * num_vars + domain.size - 1
-}
-
-/// Helper trait re-export so callers can normalize without reaching into
-/// `zkrownn-curves` directly.
-pub trait IntoAffineExt {
-    /// Affine form of the point.
-    type Affine;
-    /// Converts to affine coordinates.
-    fn into_affine_pt(self) -> Self::Affine;
-}
-
-impl<C: zkrownn_curves::SwCurveConfig> IntoAffineExt for Projective<C> {
-    type Affine = zkrownn_curves::Affine<C>;
-    fn into_affine_pt(self) -> Self::Affine {
-        self.into_affine()
-    }
 }

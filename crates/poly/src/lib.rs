@@ -20,4 +20,4 @@ pub mod dense;
 pub mod domain;
 
 pub use dense::DensePolynomial;
-pub use domain::{Elements, Radix2Domain, PARALLEL_FFT_MIN};
+pub use domain::{geometric_series, Elements, Radix2Domain, PARALLEL_FFT_MIN};

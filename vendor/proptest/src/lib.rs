@@ -160,7 +160,7 @@ impl_tuple_strategy!(A, B, C, D, E, F);
 pub mod collection {
     use super::*;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// half-open `Range<usize>`.
     pub trait IntoLenRange {
         /// Draws a concrete length.
@@ -179,7 +179,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S, L> {
         elem: S,
