@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod service;
+
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use zkrownn::benchmarks::{spec_from_keys, watermarked_cnn, watermarked_mlp, BenchmarkScale};

@@ -132,5 +132,5 @@ pub use circuit::{BuiltCircuit, ExtractionCircuit, ExtractionSpec, ExtractionWit
 pub use error::ZkrownnError;
 pub use model::{QuantLayer, QuantizedModel};
 pub use prove::OwnershipProof;
-pub use registry::KeyRegistry;
+pub use registry::{KeyRegistry, ShardedKeyRegistry, REGISTRY_SHARDS};
 pub use session::{Authority, ProverKit, SignedClaim, VerifierKit};

@@ -2,21 +2,29 @@
 //! amortized batch verification.
 //!
 //! A verification service receives many claims from many claimants, most of
-//! them against a handful of circuits (one per disputed model family). Two
+//! them against a handful of circuits (one per disputed model family). Three
 //! costs dominate a naive per-claim loop and are amortizable:
 //!
 //! * **pairing precomputation** — `VerifyingKey::prepare` runs `e(α, β)`
 //!   and the G2 line precomputations; the [`KeyRegistry`] does it once per
 //!   [`CircuitId`] and caches the result;
-//! * **input preparation** — embedding the suspect model's parameters into
-//!   the scalar field; [`KeyRegistry::verify_batch`] does it once per
-//!   distinct statement, not once per claim.
+//! * **input preparation** — folding the suspect model's parameters into
+//!   the instance commitment (one MSM over the key's `γ_abc` bases);
+//!   [`KeyRegistry::verify_batch`] does it once per distinct
+//!   statement-and-verdict, not once per claim — including on the
+//!   per-claim fallback path after a failed combined check;
+//! * **final exponentiations** — `verify_batch` folds all positive
+//!   same-circuit claims into one random-linear-combination pairing check
+//!   (`2n + 2` Miller loops and one final exponentiation instead of `3n`
+//!   and `n`), falling back to per-claim verification only when the
+//!   combined check fails — so a batch with a single forged claim still
+//!   yields precise per-claim verdicts.
 //!
-//! On top of that, `verify_batch` folds all positive same-circuit claims
-//! into one random-linear-combination pairing check (`2n + 2` Miller loops
-//! instead of `3n`), falling back to per-claim verification only when the
-//! combined check fails — so a batch with a single forged claim still
-//! yields precise per-claim verdicts.
+//! For concurrent servers (many worker threads verifying independently),
+//! [`ShardedKeyRegistry`] wraps the same cache in `CircuitId`-sharded
+//! reader-writer locks: registration takes a per-shard write lock,
+//! verification takes shared read locks, and claims for different circuits
+//! never contend.
 //!
 //! Note that the registry authenticates each claim against the statement
 //! *it carries*: `Ok(())` means "the watermark is in the model the claimant
@@ -32,9 +40,10 @@ use crate::session::{
     check_proof_circuit, check_statement_circuit, verify_claim_prepared, SignedClaim, VerifierKit,
 };
 use std::collections::HashMap;
-use zkrownn_ff::{Fr, PrimeField};
+use std::sync::RwLock;
 use zkrownn_groth16::{
-    verify_proof_prepared, verify_proofs_batch, PreparedVerifyingKey, Proof, VerifyingKey,
+    prepare_inputs, verify_proof_with_prepared_inputs, verify_proofs_batch_prepared,
+    PreparedInputs, PreparedVerifyingKey, Proof, VerificationError, VerifyingKey,
 };
 
 /// A cache of prepared verifying keys, indexed by circuit id.
@@ -42,6 +51,15 @@ use zkrownn_groth16::{
 pub struct KeyRegistry {
     prepared: HashMap<CircuitId, PreparedVerifyingKey>,
     preparations: usize,
+}
+
+/// Per-distinct-statement cache entry inside one `verify_batch` group: the
+/// statement's (re-synthesized) circuit id plus the instance commitment for
+/// each verdict value, prepared at most once and reused by the combined
+/// check *and* the per-claim fallback.
+struct StatementEntry {
+    statement_id: CircuitId,
+    inputs: [Option<Result<PreparedInputs, VerificationError>>; 2],
 }
 
 impl KeyRegistry {
@@ -101,18 +119,31 @@ impl KeyRegistry {
     /// Verifies many claims, amortizing everything amortizable, and returns
     /// one `Result` per claim (index-aligned with `claims`).
     ///
-    /// Claims are grouped by circuit id; within a group, public-input
-    /// vectors are prepared once per distinct statement, and all positive
-    /// claims are checked with a single random-linear-combination pairing
-    /// equation (coefficients drawn from `rng`). If the combined check
-    /// fails, the group falls back to per-claim verification so exactly the
-    /// bad claims are flagged. Negative-verdict claims are verified
-    /// individually and reported as [`ZkrownnError::NegativeVerdict`] when
-    /// their proof is sound (a forged negative claim still reports
-    /// [`ZkrownnError::InvalidProof`]).
+    /// Claims are grouped by circuit id; within a group, the instance
+    /// commitment (the public-input MSM) is prepared once per distinct
+    /// statement and verdict, and all positive claims are checked with a
+    /// single random-linear-combination pairing equation (coefficients
+    /// drawn from `rng`). If the combined check fails, the group falls back
+    /// to per-claim verification — reusing the already-prepared commitments
+    /// — so exactly the bad claims are flagged. Negative-verdict claims are
+    /// verified individually and reported as
+    /// [`ZkrownnError::NegativeVerdict`] when their proof is sound (a
+    /// forged negative claim still reports [`ZkrownnError::InvalidProof`]).
     pub fn verify_batch<R: rand::Rng + ?Sized>(
         &self,
         claims: &[SignedClaim],
+        rng: &mut R,
+    ) -> Vec<Result<(), ZkrownnError>> {
+        let refs: Vec<&SignedClaim> = claims.iter().collect();
+        self.verify_batch_refs(&refs, rng)
+    }
+
+    /// [`Self::verify_batch`] over borrowed claims — what sharded and
+    /// service front ends call after partitioning a mixed batch without
+    /// cloning statements around.
+    pub fn verify_batch_refs<R: rand::Rng + ?Sized>(
+        &self,
+        claims: &[&SignedClaim],
         rng: &mut R,
     ) -> Vec<Result<(), ZkrownnError>> {
         let mut results: Vec<Result<(), ZkrownnError>> = vec![Ok(()); claims.len()];
@@ -132,52 +163,70 @@ impl KeyRegistry {
             };
 
             // per distinct statement: the circuit id (one setup-mode
-            // synthesis) and the prepared public-input prefix, both cached
-            let mut statement_cache: HashMap<[u8; 32], (CircuitId, Vec<Fr>)> = HashMap::new();
+            // synthesis) and the per-verdict instance commitments, all
+            // computed at most once for the whole group — combined check
+            // and fallback included
+            let mut statement_cache: HashMap<[u8; 32], StatementEntry> = HashMap::new();
             // positive claims eligible for the combined pairing check,
-            // built directly in the shape `verify_proofs_batch` consumes
+            // built directly in the shape `verify_proofs_batch_prepared`
+            // consumes
             let mut positive_idx: Vec<usize> = Vec::new();
-            let mut batch: Vec<(Proof, Vec<Fr>)> = Vec::new();
+            let mut batch: Vec<(Proof, PreparedInputs)> = Vec::new();
 
             for i in indices {
-                let claim = &claims[i];
+                let claim = claims[i];
                 if let Err(e) = check_proof_circuit(id, claim) {
                     results[i] = Err(e);
                     continue;
                 }
-                let (statement_id, params) = statement_cache
+                let entry = statement_cache
                     .entry(claim.statement.content_digest())
-                    .or_insert_with(|| {
-                        (claim.statement.circuit_id(), claim.statement.model_inputs())
+                    .or_insert_with(|| StatementEntry {
+                        statement_id: claim.statement.circuit_id(),
+                        inputs: [None, None],
                     });
-                if let Err(e) = check_statement_circuit(id, *statement_id) {
+                if let Err(e) = check_statement_circuit(id, entry.statement_id) {
                     results[i] = Err(e);
                     continue;
                 }
-                let mut inputs = params.clone();
-                inputs.push(Fr::from_i128(i128::from(claim.proof.verdict)));
-                if claim.proof.verdict {
+                let verdict = claim.proof.verdict;
+                let prepared = entry.inputs[usize::from(verdict)]
+                    .get_or_insert_with(|| {
+                        prepare_inputs(pvk, &claim.statement.public_inputs(verdict))
+                    })
+                    .clone();
+                let prepared = match prepared {
+                    Ok(p) => p,
+                    Err(e) => {
+                        results[i] = Err(ZkrownnError::InvalidProof(e));
+                        continue;
+                    }
+                };
+                if verdict {
                     positive_idx.push(i);
-                    batch.push((claim.proof.proof.clone(), inputs));
+                    batch.push((claim.proof.proof.clone(), prepared));
                 } else {
                     // sound-but-negative vs. forged must stay distinguishable,
                     // so negatives are never folded into the combined check
-                    results[i] = match verify_proof_prepared(pvk, &claim.proof.proof, &inputs) {
-                        Ok(()) => Err(ZkrownnError::NegativeVerdict),
-                        Err(e) => Err(ZkrownnError::InvalidProof(e)),
-                    };
+                    results[i] =
+                        match verify_proof_with_prepared_inputs(pvk, &claim.proof.proof, &prepared)
+                        {
+                            Ok(()) => Err(ZkrownnError::NegativeVerdict),
+                            Err(e) => Err(ZkrownnError::InvalidProof(e)),
+                        };
                 }
             }
 
             if batch.is_empty() {
                 continue;
             }
-            match verify_proofs_batch(pvk, &batch, rng) {
+            match verify_proofs_batch_prepared(pvk, &batch, rng) {
                 Ok(()) => {} // every positive claim verified (already Ok)
                 Err(_) => {
-                    // locate the bad claims individually
-                    for (i, (proof, inputs)) in positive_idx.iter().zip(&batch) {
-                        results[*i] = verify_proof_prepared(pvk, proof, inputs)
+                    // locate the bad claims individually; the prepared
+                    // commitments ride along from the combined attempt
+                    for (i, (proof, prepared)) in positive_idx.iter().zip(&batch) {
+                        results[*i] = verify_proof_with_prepared_inputs(pvk, proof, prepared)
                             .map_err(ZkrownnError::InvalidProof);
                     }
                 }
@@ -186,3 +235,135 @@ impl KeyRegistry {
         results
     }
 }
+
+/// Number of circuit shards — a power of two so the shard index is a mask
+/// over the (uniform) circuit-id digest bytes. Sixteen keeps write
+/// contention negligible for realistic circuit catalogs while staying
+/// cache-friendly to iterate.
+pub const REGISTRY_SHARDS: usize = 16;
+
+/// A concurrent, `CircuitId`-sharded [`KeyRegistry`] for multi-threaded
+/// verification services.
+///
+/// Every operation takes `&self`: registration write-locks only the shard
+/// the circuit hashes to, and verification takes shared read locks, so
+/// worker threads serving different circuits never contend and workers
+/// serving the *same* circuit share the cached [`PreparedVerifyingKey`]
+/// without cloning it. The type is `Send + Sync` by construction (asserted
+/// at compile time) — wrap it in an `Arc` and hand it to every worker.
+pub struct ShardedKeyRegistry {
+    shards: Vec<RwLock<KeyRegistry>>,
+}
+
+impl Default for ShardedKeyRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedKeyRegistry {
+    /// An empty sharded registry with [`REGISTRY_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..REGISTRY_SHARDS)
+                .map(|_| RwLock::new(KeyRegistry::new()))
+                .collect(),
+        }
+    }
+
+    /// The shard index a circuit id lives in.
+    pub fn shard_of(id: CircuitId) -> usize {
+        id.as_bytes()[0] as usize & (REGISTRY_SHARDS - 1)
+    }
+
+    fn shard(&self, id: CircuitId) -> &RwLock<KeyRegistry> {
+        &self.shards[Self::shard_of(id)]
+    }
+
+    /// Registers a verifying key for a circuit (write-locking only its
+    /// shard). Returns `true` if the key was newly prepared.
+    pub fn register(&self, id: CircuitId, vk: &VerifyingKey) -> bool {
+        self.shard(id)
+            .write()
+            .expect("shard poisoned")
+            .register(id, vk)
+    }
+
+    /// Registers a [`VerifierKit`]'s key under its circuit id.
+    pub fn register_kit(&self, kit: &VerifierKit) -> bool {
+        self.register(kit.circuit_id(), kit.verifying_key())
+    }
+
+    /// Whether a circuit's key is registered.
+    pub fn contains(&self, id: CircuitId) -> bool {
+        self.shard(id).read().expect("shard poisoned").contains(id)
+    }
+
+    /// Number of registered circuits (sums all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether no circuit is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pairing precomputations across all shards.
+    pub fn preparations(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard poisoned").preparations())
+            .sum()
+    }
+
+    /// Verifies a single claim (read-locking only its circuit's shard).
+    pub fn verify(&self, claim: &SignedClaim) -> Result<(), ZkrownnError> {
+        self.shard(claim.circuit_id())
+            .read()
+            .expect("shard poisoned")
+            .verify(claim)
+    }
+
+    /// Verifies many claims, amortizing per-circuit work exactly like
+    /// [`KeyRegistry::verify_batch`]; claims are partitioned per shard so
+    /// only the shards actually referenced are read-locked.
+    pub fn verify_batch<R: rand::Rng + ?Sized>(
+        &self,
+        claims: &[SignedClaim],
+        rng: &mut R,
+    ) -> Vec<Result<(), ZkrownnError>> {
+        let mut results: Vec<Result<(), ZkrownnError>> = vec![Ok(()); claims.len()];
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); REGISTRY_SHARDS];
+        for (i, claim) in claims.iter().enumerate() {
+            per_shard[Self::shard_of(claim.circuit_id())].push(i);
+        }
+        for (shard_idx, indices) in per_shard.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let refs: Vec<&SignedClaim> = indices.iter().map(|&i| &claims[i]).collect();
+            let shard_results = self.shards[shard_idx]
+                .read()
+                .expect("shard poisoned")
+                .verify_batch_refs(&refs, rng);
+            for (i, r) in indices.into_iter().zip(shard_results) {
+                results[i] = r;
+            }
+        }
+        results
+    }
+}
+
+// The whole point of the sharded registry is to be shared across worker
+// threads; lock it in at compile time so a non-Send field can never sneak
+// into the prepared-key cache unnoticed.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardedKeyRegistry>();
+    assert_send_sync::<KeyRegistry>();
+    assert_send_sync::<PreparedVerifyingKey>();
+};

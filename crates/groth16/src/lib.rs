@@ -63,7 +63,10 @@ pub use setup::{
     generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
     generate_parameters_with, SetupContext, SetupTimings, ToxicWaste,
 };
-pub use verifier::{verify_proof, verify_proof_prepared, verify_proofs_batch, VerificationError};
+pub use verifier::{
+    prepare_inputs, verify_proof, verify_proof_prepared, verify_proof_with_prepared_inputs,
+    verify_proofs_batch, verify_proofs_batch_prepared, PreparedInputs, VerificationError,
+};
 
 #[cfg(test)]
 mod tests {

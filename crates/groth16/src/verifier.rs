@@ -7,6 +7,7 @@
 
 use crate::keys::{PreparedVerifyingKey, Proof, VerifyingKey};
 use zkrownn_curves::msm::msm;
+use zkrownn_curves::G1Projective;
 use zkrownn_ff::Fr;
 use zkrownn_pairing::{multi_pairing, G2Prepared};
 
@@ -37,6 +38,63 @@ impl core::fmt::Display for VerificationError {
 
 impl std::error::Error for VerificationError {}
 
+/// Folds a public-input vector into the instance commitment
+/// `γ_abc[0] + Σ xᵢ·γ_abc[i+1]` — the MSM half of verification.
+///
+/// Many claims against the *same* statement share this point; compute it
+/// once and reuse it with [`verify_proof_with_prepared_inputs`] or
+/// [`verify_proofs_batch_prepared`], paying only the pairing work per
+/// proof. `public_inputs` excludes the leading constant 1.
+pub fn prepare_inputs(
+    pvk: &PreparedVerifyingKey,
+    public_inputs: &[Fr],
+) -> Result<PreparedInputs, VerificationError> {
+    if public_inputs.len() + 1 != pvk.gamma_abc_g1.len() {
+        return Err(VerificationError::InputLengthMismatch {
+            expected: pvk.gamma_abc_g1.len() - 1,
+            got: public_inputs.len(),
+        });
+    }
+    Ok(PreparedInputs {
+        acc: pvk.gamma_abc_g1[0].into_projective() + msm(&pvk.gamma_abc_g1[1..], public_inputs),
+    })
+}
+
+/// A public-input vector pre-folded into its instance commitment (see
+/// [`prepare_inputs`]). Opaque so it can only come from a length-checked
+/// preparation.
+#[derive(Clone, Debug)]
+pub struct PreparedInputs {
+    acc: G1Projective,
+}
+
+impl PreparedInputs {
+    /// The committed instance point `γ_abc[0] + Σ xᵢ·γ_abc[i+1]`.
+    pub fn commitment(&self) -> G1Projective {
+        self.acc
+    }
+}
+
+/// Verifies a proof against prepared verification material and a
+/// pre-folded instance commitment — the per-proof cost is pairings only.
+pub fn verify_proof_with_prepared_inputs(
+    pvk: &PreparedVerifyingKey,
+    proof: &Proof,
+    inputs: &PreparedInputs,
+) -> Result<(), VerificationError> {
+    // e(A, B) · e(−acc, γ) · e(−C, δ) == e(α, β)
+    let lhs = multi_pairing(&[
+        (proof.a, G2Prepared::from(proof.b)),
+        (inputs.acc.into_affine().neg(), pvk.gamma_prepared.clone()),
+        (proof.c.neg(), pvk.delta_prepared.clone()),
+    ]);
+    if lhs == pvk.alpha_beta {
+        Ok(())
+    } else {
+        Err(VerificationError::InvalidProof)
+    }
+}
+
 /// Verifies a proof against prepared verification material.
 ///
 /// `public_inputs` excludes the leading constant 1.
@@ -45,26 +103,8 @@ pub fn verify_proof_prepared(
     proof: &Proof,
     public_inputs: &[Fr],
 ) -> Result<(), VerificationError> {
-    if public_inputs.len() + 1 != pvk.gamma_abc_g1.len() {
-        return Err(VerificationError::InputLengthMismatch {
-            expected: pvk.gamma_abc_g1.len() - 1,
-            got: public_inputs.len(),
-        });
-    }
-    // acc = γ_abc[0] + Σ xᵢ·γ_abc[i+1]
-    let acc = pvk.gamma_abc_g1[0].into_projective() + msm(&pvk.gamma_abc_g1[1..], public_inputs);
-
-    // e(A, B) · e(−acc, γ) · e(−C, δ) == e(α, β)
-    let lhs = multi_pairing(&[
-        (proof.a, G2Prepared::from(proof.b)),
-        (acc.into_affine().neg(), pvk.gamma_prepared.clone()),
-        (proof.c.neg(), pvk.delta_prepared.clone()),
-    ]);
-    if lhs == pvk.alpha_beta {
-        Ok(())
-    } else {
-        Err(VerificationError::InvalidProof)
-    }
+    let inputs = prepare_inputs(pvk, public_inputs)?;
+    verify_proof_with_prepared_inputs(pvk, proof, &inputs)
 }
 
 /// Verifies a proof against a raw verifying key (prepares it internally).
@@ -88,7 +128,21 @@ pub fn verify_proofs_batch<R: rand::Rng + ?Sized>(
     batch: &[(Proof, Vec<Fr>)],
     rng: &mut R,
 ) -> Result<(), VerificationError> {
-    use zkrownn_curves::G1Projective;
+    let prepared = batch
+        .iter()
+        .map(|(proof, inputs)| Ok((proof.clone(), prepare_inputs(pvk, inputs)?)))
+        .collect::<Result<Vec<_>, _>>()?;
+    verify_proofs_batch_prepared(pvk, &prepared, rng)
+}
+
+/// [`verify_proofs_batch`] over pre-folded instance commitments — claims
+/// that share a statement share the (already paid) input MSM, so the
+/// marginal cost per proof is two Miller loops and two G1 scalar muls.
+pub fn verify_proofs_batch_prepared<R: rand::Rng + ?Sized>(
+    pvk: &PreparedVerifyingKey,
+    batch: &[(Proof, PreparedInputs)],
+    rng: &mut R,
+) -> Result<(), VerificationError> {
     use zkrownn_ff::{Field, PrimeField};
     if batch.is_empty() {
         return Ok(());
@@ -98,12 +152,6 @@ pub fn verify_proofs_batch<R: rand::Rng + ?Sized>(
     let mut acc_delta = G1Projective::identity();
     let mut r_sum = Fr::zero();
     for (proof, inputs) in batch {
-        if inputs.len() + 1 != pvk.gamma_abc_g1.len() {
-            return Err(VerificationError::InputLengthMismatch {
-                expected: pvk.gamma_abc_g1.len() - 1,
-                got: inputs.len(),
-            });
-        }
         let r = Fr::random(rng);
         r_sum += r;
         // e(r·A, B)
@@ -112,8 +160,7 @@ pub fn verify_proofs_batch<R: rand::Rng + ?Sized>(
             G2Prepared::from(proof.b),
         ));
         // accumulate r·(γ_abc-combination) and r·C
-        let acc = pvk.gamma_abc_g1[0].into_projective() + msm(&pvk.gamma_abc_g1[1..], inputs);
-        acc_gamma += acc.mul_scalar(r);
+        acc_gamma += inputs.acc.mul_scalar(r);
         acc_delta += proof.c.mul_scalar(r);
     }
     pairs.push((acc_gamma.neg().into_affine(), pvk.gamma_prepared.clone()));

@@ -1,0 +1,131 @@
+//! `zkrownn-authority` — the claim-verification daemon.
+//!
+//! Loads `.vk` key-registration files (written by `loadgen --write-corpus`
+//! or [`zkrownn_service::registration_bytes`]) into a sharded registry and
+//! serves the framed verification protocol until shut down.
+
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use zkrownn::ShardedKeyRegistry;
+use zkrownn_service::{parse_registration, serve, CoalescerConfig, ServerConfig};
+
+const USAGE: &str = "\
+zkrownn-authority — ZKROWNN claim-verification daemon
+
+USAGE:
+    zkrownn-authority [OPTIONS]
+
+OPTIONS:
+    --listen ADDR           bind address (default 127.0.0.1:7791; port 0 = ephemeral)
+    --keys DIR              load every *.vk key-registration file in DIR
+    --workers N             worker threads (default: max(16, 2 x cores))
+    --no-batching           disable claim coalescing (ablation mode)
+    --max-batch N           RLC batch ceiling (default 64)
+    --idle-shutdown-ms N    exit after N ms with no traffic
+    --help                  print this help
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("zkrownn-authority: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7791".into(),
+        ..ServerConfig::default()
+    };
+    let mut coalescer = CoalescerConfig::default();
+    let mut keys_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--listen" => match value("--listen") {
+                Ok(v) => config.addr = v,
+                Err(e) => return fail(&e),
+            },
+            "--keys" => match value("--keys") {
+                Ok(v) => keys_dir = Some(v),
+                Err(e) => return fail(&e),
+            },
+            "--workers" => match value("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--workers expects a number".into())
+            }) {
+                Ok(n) if n >= 1 => config.workers = n,
+                Ok(_) => return fail("--workers must be at least 1"),
+                Err(e) => return fail(&e),
+            },
+            "--max-batch" => match value("--max-batch").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--max-batch expects a number".into())
+            }) {
+                Ok(n) if n >= 1 => coalescer.max_batch = n,
+                Ok(_) => return fail("--max-batch must be at least 1"),
+                Err(e) => return fail(&e),
+            },
+            "--idle-shutdown-ms" => match value("--idle-shutdown-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| "--idle-shutdown-ms expects a number".into())
+            }) {
+                Ok(ms) => config.idle_shutdown = Some(Duration::from_millis(ms)),
+                Err(e) => return fail(&e),
+            },
+            "--no-batching" => coalescer.batching = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown option {other}")),
+        }
+    }
+    config.coalescer = coalescer;
+
+    let registry = Arc::new(ShardedKeyRegistry::new());
+    if let Some(dir) = keys_dir {
+        match load_keys(&registry, Path::new(&dir)) {
+            Ok(n) => eprintln!("zkrownn-authority: registered {n} circuit(s) from {dir}"),
+            Err(e) => return fail(&format!("loading keys from {dir}: {e}")),
+        }
+    } else {
+        eprintln!("zkrownn-authority: starting with an empty registry (no --keys)");
+    }
+
+    let handle = match serve(config, registry) {
+        Ok(h) => h,
+        Err(e) => return fail(&format!("binding listener: {e}")),
+    };
+    // CI and tests poll for this exact line to learn the bound port
+    println!("zkrownn-authority listening on {}", handle.addr());
+
+    handle.join();
+    eprintln!("zkrownn-authority: shut down");
+    ExitCode::SUCCESS
+}
+
+/// Registers every `*.vk` file under `dir`; returns how many were loaded.
+fn load_keys(registry: &ShardedKeyRegistry, dir: &Path) -> Result<usize, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
+    let mut loaded = 0usize;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("vk") {
+            continue;
+        }
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (id, vk) =
+            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        registry.register(id, &vk);
+        loaded += 1;
+    }
+    Ok(loaded)
+}

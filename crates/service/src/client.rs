@@ -1,0 +1,129 @@
+//! A small blocking client for the authority protocol — what the load
+//! generator, the integration tests, and embedding tools use.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use zkrownn::{Artifact, SignedClaim};
+
+use crate::protocol::{read_response, write_request, ProtocolError, Request, Response, Status};
+
+/// One framed connection to a running authority.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to an authority.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connects, retrying for up to `timeout` — for racing a server that
+    /// is still binding its socket (CI startup, tests).
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        write_request(&mut self.stream, request)?;
+        read_response(&mut self.stream)
+    }
+
+    /// Submits raw claim artifact bytes for verification.
+    pub fn verify_bytes(&mut self, claim_bytes: Vec<u8>) -> Result<Response, ProtocolError> {
+        self.request(&Request::Verify(claim_bytes))
+    }
+
+    /// Serializes and submits a claim for verification.
+    pub fn verify(&mut self, claim: &SignedClaim) -> Result<Response, ProtocolError> {
+        self.verify_bytes(claim.to_bytes())
+    }
+
+    /// Fetches the metrics snapshot JSON.
+    pub fn stats_json(&mut self) -> Result<String, ProtocolError> {
+        let response = self.request(&Request::Stats)?;
+        Ok(response.text())
+    }
+
+    /// Toggles claim coalescing server-side.
+    pub fn set_batching(&mut self, on: bool) -> Result<Response, ProtocolError> {
+        self.request(&Request::SetBatching(on))
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<Response, ProtocolError> {
+        self.request(&Request::Shutdown)
+    }
+}
+
+/// Pulls an unsigned integer field out of the flat stats JSON (the
+/// document is machine-written, so a scan is reliable; this avoids a JSON
+/// dependency in the offline build).
+pub fn stats_field_u64(json: &str, key: &str) -> Option<u64> {
+    stats_field_f64(json, key).map(|v| v as u64)
+}
+
+/// Pulls a numeric field out of the flat stats JSON.
+pub fn stats_field_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Reads a boolean field out of the flat stats JSON.
+pub fn stats_field_bool(json: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// `true` when a response marks a claim as verified (positive verdict).
+pub fn is_verified(response: &Response) -> bool {
+    response.status == Status::Ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_scanning() {
+        let json = "{\"schema\": \"zkrownn-service-stats/v1\", \"requests\": 42, \
+                    \"batch_mean\": 3.25, \"batching\": true, \"latency_mean_us\": 12.5}";
+        assert_eq!(stats_field_u64(json, "requests"), Some(42));
+        assert_eq!(stats_field_f64(json, "batch_mean"), Some(3.25));
+        assert_eq!(stats_field_bool(json, "batching"), Some(true));
+        assert_eq!(stats_field_u64(json, "nope"), None);
+        assert_eq!(stats_field_f64(json, "latency_mean_us"), Some(12.5));
+    }
+}

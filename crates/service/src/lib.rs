@@ -1,0 +1,133 @@
+//! # zkrownn-service — the dispute authority as a daemon
+//!
+//! ZKROWNN's end state is not a library a researcher links against but a
+//! *service*: a dispute authority that holds the verifying keys for the
+//! circuits under its jurisdiction and answers ownership claims from many
+//! independent clients, fast. This crate is that serving layer:
+//!
+//! * **wire protocol** ([`protocol`]) — length-prefixed frames carrying
+//!   [`SignedClaim`] artifact bytes in and typed status codes out, with a
+//!   `STATS` endpoint serving a JSON metrics snapshot and admin opcodes
+//!   for runtime batching control and graceful shutdown;
+//! * **coalescing verifier** ([`batcher`]) — concurrent in-flight claims
+//!   for the same circuit are folded into one random-linear-combination
+//!   pairing check, so the registry's `verify_batch` amortization (one
+//!   input MSM per distinct statement, `2n + 2` Miller loops instead of
+//!   `3n`) is realized across *independent clients*, not just within one
+//!   caller's batch;
+//! * **server** ([`server`]) — a hand-rolled TCP listener and worker
+//!   thread pool over a [`ShardedKeyRegistry`] (no async runtime), with
+//!   per-frame deadlines, idle shutdown, and structured request/latency/
+//!   batch-occupancy metrics ([`metrics`]);
+//! * **client** ([`client`]) — a small blocking client used by the load
+//!   generator (`loadgen` in `zkrownn-bench`) and the integration tests.
+//!
+//! ## Embedding the authority
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//! use zkrownn::{Authority, ExtractionSpec, QuantLayer, QuantizedModel, ShardedKeyRegistry};
+//! use zkrownn_gadgets::FixedConfig;
+//! use zkrownn_service::{serve, Client, ServerConfig, Status};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // a (tiny) disputed model and the owner's private watermark witness
+//! let cfg = FixedConfig::default();
+//! let model = QuantizedModel {
+//!     layers: vec![
+//!         QuantLayer::Dense { in_dim: 2, out_dim: 2, w: vec![cfg.encode(0.5); 4], b: vec![0; 2] },
+//!         QuantLayer::ReLU,
+//!     ],
+//!     input_len: 2,
+//!     cfg,
+//! };
+//! let spec = ExtractionSpec {
+//!     model,
+//!     triggers: vec![vec![cfg.encode(1.0); 2]],
+//!     projection: vec![cfg.encode(0.25); 4],
+//!     signature: vec![true, false],
+//!     max_errors: 2,
+//!     fold_average: false,
+//!     cfg,
+//! };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (prover, verifier) = Authority::setup(&spec, &mut rng);
+//!
+//! // the authority registers the circuit's key and starts serving
+//! let registry = Arc::new(ShardedKeyRegistry::new());
+//! registry.register_kit(&verifier);
+//! let handle = serve(ServerConfig::default(), Arc::clone(&registry))?;
+//!
+//! // a claimant ships their claim over the socket and gets a verdict
+//! let claim = prover.prove(&mut rng)?;
+//! let mut client = Client::connect(handle.addr())?;
+//! assert_eq!(client.verify(&claim)?.status, Status::Ok);
+//!
+//! handle.shutdown_and_join();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`SignedClaim`]: zkrownn::SignedClaim
+//! [`ShardedKeyRegistry`]: zkrownn::ShardedKeyRegistry
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{Coalescer, CoalescerConfig};
+pub use client::{is_verified, stats_field_bool, stats_field_f64, stats_field_u64, Client};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{
+    encode_request, encode_response, read_request, read_request_body, read_response, write_request,
+    write_response, Opcode, ProtocolError, Request, Response, Status, HEADER_LEN, MAX_FRAME_LEN,
+};
+pub use server::{serve, ServerConfig, ServerHandle};
+
+use zkrownn::{Artifact, CircuitId, WireError};
+use zkrownn_groth16::VerifyingKey;
+
+/// Serializes a key registration — the `.vk` files `zkrownn-authority
+/// --keys DIR` loads at startup: the 32-byte [`CircuitId`] digest followed
+/// by the [`VerifyingKey`] artifact envelope.
+pub fn registration_bytes(id: CircuitId, vk: &VerifyingKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + vk.serialized_size());
+    out.extend_from_slice(id.as_bytes());
+    out.extend_from_slice(&Artifact::to_bytes(vk));
+    out
+}
+
+/// Parses a key-registration file written by [`registration_bytes`].
+pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, VerifyingKey), WireError> {
+    if bytes.len() < 32 {
+        return Err(WireError::Truncated {
+            needed: 32,
+            got: bytes.len(),
+        });
+    }
+    let mut id = [0u8; 32];
+    id.copy_from_slice(&bytes[..32]);
+    let vk = <VerifyingKey as Artifact>::from_bytes(&bytes[32..])?;
+    Ok((CircuitId::from_bytes(id), vk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_rejects_short_buffers() {
+        assert!(matches!(
+            parse_registration(&[0u8; 31]),
+            Err(WireError::Truncated {
+                needed: 32,
+                got: 31
+            })
+        ));
+    }
+}

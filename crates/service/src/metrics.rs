@@ -1,0 +1,323 @@
+//! Lock-free service metrics: request/outcome counters, a log-scaled
+//! latency histogram, and batch-occupancy accounting for the RLC
+//! coalescer.
+//!
+//! Everything is plain relaxed atomics — workers record on the hot path
+//! without contention, and [`Metrics::snapshot`] reads a consistent-enough
+//! view for the `STATS` endpoint (individual counters are exact; cross-
+//! counter skew is bounded by in-flight requests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::protocol::Status;
+
+/// Histogram bucket count: bucket `b` holds samples in `[2^(b-1), 2^b)`
+/// microseconds (bucket 0 holds sub-microsecond samples), so 40 buckets
+/// reach ~9 minutes — far beyond any sane claim latency.
+const BUCKETS: usize = 40;
+
+/// Outcome-counter slots, indexed by the wire status codes `0x00..=0x07`
+/// ([`Status::Protocol`] is tracked separately as a framing error).
+const OUTCOMES: usize = 8;
+
+/// Shared, append-only service counters.
+pub struct Metrics {
+    started: Instant,
+    /// `VERIFY` requests received (== sum of `outcomes`, once answered).
+    requests: AtomicU64,
+    /// Per-[`Status`] response counts for `VERIFY` requests.
+    outcomes: [AtomicU64; OUTCOMES],
+    /// Frames rejected at the protocol layer (bad opcode/length/payload).
+    protocol_errors: AtomicU64,
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Claims currently inside the verification pipeline.
+    in_flight: AtomicU64,
+    /// Log₂-microsecond latency histogram over `VERIFY` handling.
+    latency_buckets: [AtomicU64; BUCKETS],
+    latency_sum_us: AtomicU64,
+    latency_max_us: AtomicU64,
+    /// Coalescer accounting: number of verification batches dispatched,
+    /// claims covered by them, and the largest batch seen.
+    batches: AtomicU64,
+    batched_claims: AtomicU64,
+    batch_max: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics anchored at "now".
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            outcomes: std::array::from_fn(|_| AtomicU64::new(0)),
+            protocol_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_sum_us: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_claims: AtomicU64::new(0),
+            batch_max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records an accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a frame rejected at the protocol layer.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a `VERIFY` request as entering the pipeline.
+    pub fn begin_verify(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a finished `VERIFY` request: its outcome and its
+    /// service-side latency (frame decoded → response ready).
+    pub fn end_verify(&self, status: Status, latency: Duration) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        let slot = (status as u8) as usize;
+        if slot < OUTCOMES {
+            self.outcomes[slot].fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records one dispatched verification batch of `n` claims.
+    pub fn record_batch(&self, n: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_claims.fetch_add(n as u64, Ordering::Relaxed);
+        self.batch_max.fetch_max(n as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime: self.started.elapsed(),
+            requests: self.requests.load(Ordering::Relaxed),
+            outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            latency_buckets: std::array::from_fn(|i| {
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            }),
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_claims: self.batched_claims.load(Ordering::Relaxed),
+            batch_max: self.batch_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A point-in-time copy of [`Metrics`], with derived quantiles and the
+/// JSON emitter the `STATS` endpoint serves.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Time since the metrics were created (≈ server start).
+    pub uptime: Duration,
+    /// `VERIFY` requests received.
+    pub requests: u64,
+    /// Responses by status code `0x00..=0x07`.
+    pub outcomes: [u64; OUTCOMES],
+    /// Frames rejected at the protocol layer.
+    pub protocol_errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Claims in the pipeline at snapshot time.
+    pub in_flight: u64,
+    /// Log₂-microsecond latency histogram.
+    pub latency_buckets: [u64; BUCKETS],
+    /// Sum of all recorded latencies (µs).
+    pub latency_sum_us: u64,
+    /// Largest recorded latency (µs).
+    pub latency_max_us: u64,
+    /// Verification batches dispatched.
+    pub batches: u64,
+    /// Claims covered by those batches.
+    pub batched_claims: u64,
+    /// Largest single batch.
+    pub batch_max: u64,
+}
+
+impl MetricsSnapshot {
+    /// Count of a specific outcome.
+    pub fn outcome(&self, status: Status) -> u64 {
+        self.outcomes[(status as u8) as usize]
+    }
+
+    /// Total latency samples recorded.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// Mean recorded latency in microseconds.
+    pub fn latency_mean_us(&self) -> f64 {
+        let n = self.latency_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / n as f64
+        }
+    }
+
+    /// Approximate latency quantile (bucket upper bound), `q` in `[0, 1]`.
+    pub fn latency_quantile_us(&self, q: f64) -> u64 {
+        let n = self.latency_count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << b; // bucket upper bound
+            }
+        }
+        self.latency_max_us
+    }
+
+    /// Mean claims per dispatched batch (1.0 when every claim went solo).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_claims as f64 / self.batches as f64
+        }
+    }
+
+    /// Renders the snapshot as the flat JSON document served by `STATS`.
+    ///
+    /// `batching` and `circuits` are server-side state reported alongside
+    /// the counters.
+    pub fn to_json(&self, batching: bool, circuits: usize) -> String {
+        format!(
+            "{{\"schema\": \"zkrownn-service-stats/v1\", \"uptime_s\": {:.3}, \
+             \"requests\": {}, \"ok\": {}, \"negative_verdict\": {}, \"invalid_proof\": {}, \
+             \"unknown_circuit\": {}, \"circuit_mismatch\": {}, \"statement_mismatch\": {}, \
+             \"malformed_claim\": {}, \"internal\": {}, \"protocol_errors\": {}, \
+             \"connections\": {}, \"in_flight\": {}, \
+             \"latency_count\": {}, \"latency_mean_us\": {:.1}, \"latency_p50_us\": {}, \
+             \"latency_p99_us\": {}, \"latency_max_us\": {}, \
+             \"batches\": {}, \"batched_claims\": {}, \"batch_mean\": {:.3}, \"batch_max\": {}, \
+             \"batching\": {}, \"circuits\": {}}}",
+            self.uptime.as_secs_f64(),
+            self.requests,
+            self.outcome(Status::Ok),
+            self.outcome(Status::NegativeVerdict),
+            self.outcome(Status::InvalidProof),
+            self.outcome(Status::UnknownCircuit),
+            self.outcome(Status::CircuitMismatch),
+            self.outcome(Status::StatementMismatch),
+            self.outcome(Status::MalformedClaim),
+            self.outcome(Status::Internal),
+            self.protocol_errors,
+            self.connections,
+            self.in_flight,
+            self.latency_count(),
+            self.latency_mean_us(),
+            self.latency_quantile_us(0.50),
+            self.latency_quantile_us(0.99),
+            self.latency_max_us,
+            self.batches,
+            self.batched_claims,
+            self.mean_batch(),
+            self.batch_max,
+            batching,
+            circuits,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_microseconds() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_and_means_track_recordings() {
+        let m = Metrics::new();
+        for us in [100u64, 200, 400, 800] {
+            m.begin_verify();
+            m.end_verify(Status::Ok, Duration::from_micros(us));
+        }
+        m.begin_verify();
+        m.end_verify(Status::InvalidProof, Duration::from_micros(100_000));
+        let s = m.snapshot();
+        assert_eq!(s.requests, 5);
+        assert_eq!(s.outcome(Status::Ok), 4);
+        assert_eq!(s.outcome(Status::InvalidProof), 1);
+        assert_eq!(s.in_flight, 0);
+        assert_eq!(s.latency_count(), 5);
+        assert_eq!(s.latency_max_us, 100_000);
+        // the median sample is 400µs, whose bucket is (256, 512]
+        assert_eq!(s.latency_quantile_us(0.5), 512);
+        // p99 lands on the straggler's bucket
+        assert!(s.latency_quantile_us(0.99) >= 65_536);
+        let mean = s.latency_mean_us();
+        assert!((mean - 20_300.0).abs() < 1.0, "{mean}");
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let m = Metrics::new();
+        m.record_batch(1);
+        m.record_batch(7);
+        m.record_batch(4);
+        let s = m.snapshot();
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_claims, 12);
+        assert_eq!(s.batch_max, 7);
+        assert!((s.mean_batch() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_json_is_balanced_and_tagged() {
+        let m = Metrics::new();
+        m.begin_verify();
+        m.end_verify(Status::Ok, Duration::from_micros(1500));
+        let json = m.snapshot().to_json(true, 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"schema\": \"zkrownn-service-stats/v1\""));
+        assert!(json.contains("\"batching\": true"));
+        assert!(json.contains("\"circuits\": 2"));
+        assert!(json.contains("\"requests\": 1"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Socket-level integration tests for the authority daemon: real TCP
+//! connections against an in-process server, covering verdict mapping,
+//! malformed input, concurrency + coalescing, runtime batching control,
+//! and all three shutdown triggers.
+//!
+//! One proving fixture is built lazily and shared by every test: four
+//! variants of the same tiny extraction circuit (honest, wrong-watermark,
+//! forged-under-different-toxic-waste, different-shape) exercise each
+//! response status without any network training.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use rand::SeedableRng;
+use zkrownn::{
+    Artifact, Authority, ExtractionSpec, QuantLayer, QuantizedModel, ShardedKeyRegistry,
+};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_service::{
+    read_response, serve, stats_field_bool, stats_field_u64, Client, Request, ServerConfig,
+    ServerHandle, Status,
+};
+
+/// A tiny, deterministic extraction spec (no training). Projections come
+/// out positive, so every extracted bit is 1: with `max_errors = 0` the
+/// verdict is exactly "is the signature all-ones".
+fn tiny_spec(signature: Vec<bool>) -> ExtractionSpec {
+    let cfg = FixedConfig::default();
+    let model = QuantizedModel {
+        layers: vec![
+            QuantLayer::Dense {
+                in_dim: 2,
+                out_dim: 2,
+                w: vec![cfg.encode(0.5); 4],
+                b: vec![0; 2],
+            },
+            QuantLayer::ReLU,
+        ],
+        input_len: 2,
+        cfg,
+    };
+    ExtractionSpec {
+        model,
+        triggers: vec![vec![cfg.encode(1.0); 2]; 2],
+        projection: vec![cfg.encode(0.25); 2 * signature.len()],
+        signature,
+        max_errors: 0,
+        fold_average: false,
+        cfg,
+    }
+}
+
+struct Fixture {
+    /// Registered circuit + key for the honest claims.
+    id: [u8; 32],
+    vk_bytes: Vec<u8>,
+    /// Distinct honest claims (verdict 1, verify under `vk`).
+    claims: Vec<Vec<u8>>,
+    /// Sound proof of verdict 0 under the *same* keys.
+    negative: Vec<u8>,
+    /// Same circuit id, different toxic waste — cryptographically wrong.
+    forged: Vec<u8>,
+    /// A different circuit shape, never registered.
+    unknown: Vec<u8>,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let spec = tiny_spec(vec![true; 4]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(601);
+        let (prover, verifier) = Authority::setup(&spec, &mut rng);
+        let claims = (0..8)
+            .map(|_| prover.prove(&mut rng).expect("honest claim").to_bytes())
+            .collect();
+
+        // same seed + same circuit shape ⇒ identical keys; the flipped
+        // signature bit only changes the private witness, so this prover
+        // produces a *sound* proof of verdict 0 under the registered key
+        let mut neg_spec = tiny_spec(vec![true; 4]);
+        neg_spec.signature[0] = false;
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(601);
+        let (neg_prover, neg_verifier) = Authority::setup(&neg_spec, &mut rng2);
+        assert_eq!(neg_verifier.circuit_id(), verifier.circuit_id());
+        let negative = neg_prover.prove(&mut rng2).expect("sound negative claim");
+        assert!(!negative.verdict());
+
+        // different seed ⇒ different toxic waste, same circuit id — the
+        // claim decodes fine but fails the pairing check
+        let mut rng3 = rand::rngs::StdRng::seed_from_u64(77_777);
+        let (forged_prover, forged_verifier) = Authority::setup(&spec, &mut rng3);
+        assert_eq!(forged_verifier.circuit_id(), verifier.circuit_id());
+        let forged = forged_prover.prove(&mut rng3).expect("forged claim proves");
+
+        // a different signature width is a different synthesis trace ⇒ a
+        // circuit id the server has never seen
+        let mut rng4 = rand::rngs::StdRng::seed_from_u64(42);
+        let (unknown_prover, unknown_verifier) =
+            Authority::setup(&tiny_spec(vec![true; 2]), &mut rng4);
+        assert_ne!(unknown_verifier.circuit_id(), verifier.circuit_id());
+        let unknown = unknown_prover
+            .prove(&mut rng4)
+            .expect("unknown-circuit claim");
+
+        Fixture {
+            id: *verifier.circuit_id().as_bytes(),
+            vk_bytes: Artifact::to_bytes(verifier.verifying_key()),
+            claims,
+            negative: negative.to_bytes(),
+            forged: forged.to_bytes(),
+            unknown: unknown.to_bytes(),
+        }
+    })
+}
+
+fn test_registry() -> Arc<ShardedKeyRegistry> {
+    let f = fixture();
+    let vk = Artifact::from_bytes(&f.vk_bytes).expect("fixture vk decodes");
+    let registry = Arc::new(ShardedKeyRegistry::new());
+    registry.register(zkrownn::CircuitId::from_bytes(f.id), &vk);
+    registry
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        workers: 8,
+        frame_deadline: Duration::from_millis(500),
+        poll_interval: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    serve(config, test_registry()).expect("server binds")
+}
+
+/// Joins a handle on a helper thread so a hung shutdown fails the test
+/// instead of wedging the suite.
+fn join_within(handle: ServerHandle, timeout: Duration) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        handle.join();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(timeout)
+        .expect("server threads did not exit in time");
+}
+
+#[test]
+fn happy_path_claim_verifies_over_the_socket() {
+    let handle = start_server(test_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client.verify_bytes(fixture().claims[0].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+
+    let stats = client.stats_json().unwrap();
+    assert_eq!(stats_field_u64(&stats, "requests"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "ok"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "circuits"), Some(1));
+    assert_eq!(stats_field_bool(&stats, "batching"), Some(true));
+    assert_eq!(stats.matches('{').count(), stats.matches('}').count());
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn verdicts_map_to_typed_statuses_and_the_connection_survives() {
+    let handle = start_server(test_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let f = fixture();
+
+    let cases = [
+        (&f.negative, Status::NegativeVerdict),
+        (&f.forged, Status::InvalidProof),
+        (&f.unknown, Status::UnknownCircuit),
+    ];
+    for (claim, expected) in cases {
+        let response = client.verify_bytes(claim.clone()).unwrap();
+        assert_eq!(response.status, expected, "{expected:?}");
+        assert!(!response.payload.is_empty(), "errors carry a message");
+    }
+    // the same connection still serves honest claims after every rejection
+    let response = client.verify_bytes(f.claims[1].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn malformed_claim_bytes_are_a_typed_error_not_a_dead_connection() {
+    let handle = start_server(test_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    for garbage in [vec![], vec![0u8; 3], vec![0xa5u8; 600]] {
+        let response = client.verify_bytes(garbage).unwrap();
+        assert_eq!(response.status, Status::MalformedClaim);
+    }
+    // a truncated *valid* claim prefix is also caught by the envelope
+    let truncated = fixture().claims[0][..40].to_vec();
+    let response = client.verify_bytes(truncated).unwrap();
+    assert_eq!(response.status, Status::MalformedClaim);
+
+    let response = client.verify_bytes(fixture().claims[0].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert!(handle.metrics().snapshot().outcome(Status::MalformedClaim) == 4);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn framing_violations_get_a_protocol_response_and_close_the_connection() {
+    let handle = start_server(test_config());
+
+    // unknown opcode
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&[0x7f, 0, 0, 0, 0]).unwrap();
+    let response = read_response(&mut raw).unwrap();
+    assert_eq!(response.status, Status::Protocol);
+
+    // oversized frame length
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    let mut frame = vec![0x01];
+    frame.extend_from_slice(&u32::MAX.to_le_bytes());
+    raw.write_all(&frame).unwrap();
+    let response = read_response(&mut raw).unwrap();
+    assert_eq!(response.status, Status::Protocol);
+
+    // a frame that starts but never finishes trips the deadline instead of
+    // wedging the worker
+    let mut raw = TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&[0x01, 64, 0, 0, 0, 1, 2, 3]).unwrap(); // 3 of 64 bytes
+    let response = read_response(&mut raw).unwrap();
+    assert_eq!(response.status, Status::Protocol);
+
+    // the server took no damage: a fresh connection verifies fine
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client.verify_bytes(fixture().claims[0].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    assert!(handle.metrics().snapshot().protocol_errors >= 3);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn concurrent_clients_all_get_their_own_verdict() {
+    let handle = start_server(test_config());
+    let addr = handle.addr();
+    let f = fixture();
+
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..4 {
+                    let claim = &f.claims[(t + i) % f.claims.len()];
+                    let response = client.verify_bytes(claim.clone()).unwrap();
+                    assert_eq!(response.status, Status::Ok, "client {t} claim {i}");
+                }
+            });
+        }
+    });
+
+    let snapshot = handle.metrics().snapshot();
+    assert_eq!(snapshot.outcome(Status::Ok), 32);
+    assert_eq!(snapshot.batched_claims, 32);
+    assert!(snapshot.batches >= 1 && snapshot.batches <= 32);
+    assert!(snapshot.connections >= 8);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn batching_toggles_at_runtime_and_shows_in_stats() {
+    let handle = start_server(test_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    assert_eq!(client.set_batching(false).unwrap().status, Status::Ok);
+    assert!(!handle.batching());
+    let response = client.verify_bytes(fixture().claims[0].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    let stats = client.stats_json().unwrap();
+    assert_eq!(stats_field_bool(&stats, "batching"), Some(false));
+    // the ablation path still counts occupancy — as batches of one
+    assert_eq!(stats_field_u64(&stats, "batches"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "batched_claims"), Some(1));
+
+    assert_eq!(client.set_batching(true).unwrap().status, Status::Ok);
+    assert!(handle.batching());
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_opcode_acknowledges_then_stops_the_server() {
+    let handle = start_server(test_config());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    join_within(handle, Duration::from_secs(5));
+}
+
+#[test]
+fn idle_server_shuts_itself_down() {
+    let config = ServerConfig {
+        idle_shutdown: Some(Duration::from_millis(200)),
+        ..test_config()
+    };
+    let handle = start_server(config);
+    // one real request, then silence
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let response = client.verify_bytes(fixture().claims[0].clone()).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    drop(client);
+    join_within(handle, Duration::from_secs(10));
+}
+
+#[test]
+fn handle_shutdown_stops_a_server_with_open_connections() {
+    let handle = start_server(test_config());
+    let _parked = TcpStream::connect(handle.addr()).unwrap(); // idle client
+    handle.shutdown();
+    join_within(handle, Duration::from_secs(5));
+}
