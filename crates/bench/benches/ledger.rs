@@ -1,0 +1,87 @@
+//! Ledger ablation benches: registration-accumulator append throughput and
+//! membership/consistency proof generation + verification latency at
+//! n ∈ {1k, 64k, 1M} leaves. Appends are amortized O(1) hashing, proofs
+//! are O(log n) — these benches make the constants visible so a regression
+//! in either shape shows up as a step change, not a mystery.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use zkrownn_ledger::{leaf_hash, verify_consistency_roots, verify_membership_hashes, Ledger};
+
+const SIZES: [u64; 3] = [1_000, 64_000, 1_000_000];
+
+/// A deterministic synthetic 64-byte registry leaf.
+fn leaf_of(i: u64) -> [u8; 64] {
+    let mut leaf = [0u8; 64];
+    leaf[..8].copy_from_slice(&i.to_le_bytes());
+    leaf[32..40].copy_from_slice(&(!i).to_le_bytes());
+    leaf
+}
+
+fn build(n: u64) -> Ledger {
+    let mut ledger = Ledger::new();
+    for i in 0..n {
+        ledger.append(&leaf_of(i));
+    }
+    ledger
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ledger/append");
+    // each sample hashes the full n-leaf build; keep the 1M entry cheap
+    group.sample_size(3);
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| build(black_box(n)).root())
+        });
+    }
+    group.finish();
+}
+
+fn bench_proofs(c: &mut Criterion) {
+    for n in SIZES {
+        // built once outside the timing loops: proofs are O(log n) against
+        // a standing ledger, and that is the shape the server serves them in
+        let ledger = build(n);
+        let root = ledger.root();
+        let index = n / 2;
+        let leaf = leaf_hash(&leaf_of(index));
+        let membership = ledger.prove_membership(index).unwrap();
+        let old = n / 3;
+        let old_root = ledger.root_at(old);
+        let consistency = ledger.prove_consistency(old).unwrap();
+
+        let mut group = c.benchmark_group(format!("ledger/proofs/{n}"));
+        group.bench_function("prove-membership", |b| {
+            b.iter(|| ledger.prove_membership(black_box(index)).unwrap())
+        });
+        group.bench_function("verify-membership", |b| {
+            b.iter(|| {
+                assert!(verify_membership_hashes(
+                    black_box(&root),
+                    &leaf,
+                    index,
+                    n,
+                    &membership
+                ))
+            })
+        });
+        group.bench_function("prove-consistency", |b| {
+            b.iter(|| ledger.prove_consistency(black_box(old)).unwrap())
+        });
+        group.bench_function("verify-consistency", |b| {
+            b.iter(|| {
+                assert!(verify_consistency_roots(
+                    black_box(&old_root),
+                    old,
+                    &root,
+                    n,
+                    &consistency
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_append, bench_proofs);
+criterion_main!(benches);

@@ -16,12 +16,12 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use zkrownn::{CircuitId, ShardedKeyRegistry};
+use zkrownn::CircuitId;
 use zkrownn_bench::service::{
     build_corpus, load_corpus, print_results, service_json, standard_scenarios, write_corpus,
     FULL_CLAIMS, SMOKE_CLAIMS,
 };
-use zkrownn_service::{serve, ServerConfig};
+use zkrownn_service::{serve, LedgeredRegistry, ServerConfig};
 
 const USAGE: &str = "\
 loadgen — zkrownn-service load generator
@@ -139,9 +139,9 @@ fn main() -> ExitCode {
     let target = match addr {
         Some(a) => a,
         None => {
-            let registry = Arc::new(ShardedKeyRegistry::new());
-            for (id, vk) in &corpus.keys {
-                registry.register(CircuitId::from_bytes(*id), vk);
+            let registry = Arc::new(LedgeredRegistry::new());
+            for (id, digest, vk) in &corpus.keys {
+                registry.register(CircuitId::from_bytes(*id), *digest, vk);
             }
             let handle = match serve(ServerConfig::default(), registry) {
                 Ok(h) => h,

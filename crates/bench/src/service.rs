@@ -32,8 +32,10 @@ pub const FULL_CLAIMS: usize = 384;
 
 /// A generated claim corpus: key registrations plus signed claims.
 pub struct Corpus {
-    /// `(circuit id, verifying key)` registrations, one per circuit.
-    pub keys: Vec<([u8; 32], VerifyingKey)>,
+    /// `(circuit id, statement digest, verifying key)` registrations, one
+    /// per circuit — the digest is the second half of the circuit's
+    /// registration-ledger leaf.
+    pub keys: Vec<([u8; 32], [u8; 32], VerifyingKey)>,
     /// Serialized [`SignedClaim`] artifacts, mixed across circuits.
     pub claims: Vec<Vec<u8>>,
 }
@@ -53,6 +55,7 @@ pub fn build_corpus(mlp: usize, cnn: usize) -> Corpus {
         let (prover, verifier) = Authority::setup(&spec, &mut rng);
         keys.push((
             *verifier.circuit_id().as_bytes(),
+            prover.statement().content_digest(),
             verifier.verifying_key().clone(),
         ));
         let claims = (0..count)
@@ -82,8 +85,8 @@ pub fn build_corpus(mlp: usize, cnn: usize) -> Corpus {
 /// `claim-NNN.claim` artifacts.
 pub fn write_corpus(corpus: &Corpus, dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
-    for (i, (id, vk)) in corpus.keys.iter().enumerate() {
-        let bytes = registration_bytes(zkrownn::CircuitId::from_bytes(*id), vk);
+    for (i, (id, digest, vk)) in corpus.keys.iter().enumerate() {
+        let bytes = registration_bytes(zkrownn::CircuitId::from_bytes(*id), *digest, vk);
         std::fs::write(dir.join(format!("key-{i}.vk")), bytes)?;
     }
     for (i, claim) in corpus.claims.iter().enumerate() {
@@ -111,9 +114,9 @@ pub fn load_corpus(dir: &Path) -> std::io::Result<Corpus> {
     let mut keys = Vec::new();
     for path in vk_paths {
         let bytes = std::fs::read(&path)?;
-        let (id, vk) = zkrownn_service::parse_registration(&bytes)
+        let (id, digest, vk) = zkrownn_service::parse_registration(&bytes)
             .map_err(|e| bad(format!("{}: {e}", path.display())))?;
-        keys.push((*id.as_bytes(), vk));
+        keys.push((*id.as_bytes(), digest, vk));
     }
     let mut claims = Vec::new();
     for path in claim_paths {

@@ -292,6 +292,15 @@ pub enum ArtifactKind {
     ProvingKey,
     /// A [`crate::SignedClaim`] (statement + proof bundle).
     Claim,
+    /// A registry-ledger head (size + accumulator root) — payload codec in
+    /// `zkrownn-ledger`.
+    LedgerRoot,
+    /// A ledger membership proof (audit path) — payload codec in
+    /// `zkrownn-ledger`.
+    MembershipProof,
+    /// A ledger root-transition consistency proof — payload codec in
+    /// `zkrownn-ledger`.
+    ConsistencyProof,
 }
 
 impl ArtifactKind {
@@ -303,6 +312,9 @@ impl ArtifactKind {
             Self::VerifyingKey => 3,
             Self::ProvingKey => 4,
             Self::Claim => 5,
+            Self::LedgerRoot => 6,
+            Self::MembershipProof => 7,
+            Self::ConsistencyProof => 8,
         }
     }
 
@@ -314,6 +326,9 @@ impl ArtifactKind {
             3 => Some(Self::VerifyingKey),
             4 => Some(Self::ProvingKey),
             5 => Some(Self::Claim),
+            6 => Some(Self::LedgerRoot),
+            7 => Some(Self::MembershipProof),
+            8 => Some(Self::ConsistencyProof),
             _ => None,
         }
     }
@@ -326,6 +341,9 @@ impl ArtifactKind {
             Self::VerifyingKey => "verifying key",
             Self::ProvingKey => "proving key",
             Self::Claim => "signed claim",
+            Self::LedgerRoot => "ledger root",
+            Self::MembershipProof => "ledger membership proof",
+            Self::ConsistencyProof => "ledger consistency proof",
         }
     }
 }

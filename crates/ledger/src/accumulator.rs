@@ -1,0 +1,490 @@
+//! The accumulator itself: an RFC 6962-shaped Merkle *history tree* over
+//! an append-only sequence of leaves.
+//!
+//! The tree over `n` leaves is defined recursively: the root of a range
+//! splits it at `k`, the largest power of two strictly below its length,
+//! hashes the two subranges, and combines them with a node-tagged hash.
+//! This shape has two properties the registry needs:
+//!
+//! * **append-only**: the tree over the first `m` leaves is a function of
+//!   those leaves alone, so the root history forms a verifiable chain —
+//!   a *consistency proof* shows an old root is a prefix of a new one
+//!   without replaying the leaves in between;
+//! * **logarithmic proofs**: membership of leaf `i` and consistency of a
+//!   prefix `m ⊆ n` are both `O(log n)` hashes to produce and verify.
+//!
+//! Storage is a table of complete-subtree hashes: `levels[k][i]` is the
+//! hash of the complete subtree over leaves `[i·2ᵏ, (i+1)·2ᵏ)`. An append
+//! pushes one leaf hash and merges completed pairs upward like a binary
+//! counter — `O(1)` amortized, `O(log n)` worst case, and the incomplete
+//! right spine (the *frontier*) is never materialized: roots of ragged
+//! ranges are bagged on demand from at most `log n` stored peaks.
+//!
+//! Hashing is domain-separated SHA-256 ([`zkrownn::artifact::sha256`]'s
+//! streaming sibling): every preimage opens with [`LEDGER_DOMAIN_TAG`] and
+//! a role byte — `0x00` for leaves, `0x01` for interior nodes, `0x02` for
+//! the empty root — so a leaf encoding can never be confused with an
+//! interior node (the classic second-preimage trick against untagged
+//! Merkle trees), and ledger hashes can never collide with the artifact
+//! checksum or [`CircuitId`](zkrownn::CircuitId) domains.
+
+use zkrownn::artifact::Sha256;
+
+/// Domain separator opening every ledger hash preimage.
+pub const LEDGER_DOMAIN_TAG: &[u8] = b"zkrownn.ledger.v1";
+
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+const EMPTY_TAG: u8 = 0x02;
+
+/// Hashes a leaf encoding into its leaf-tagged digest.
+pub fn leaf_hash(leaf_bytes: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(LEDGER_DOMAIN_TAG);
+    h.update(&[LEAF_TAG]);
+    h.update(leaf_bytes);
+    h.finalize()
+}
+
+/// Combines two child digests into their node-tagged parent.
+pub fn node_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(LEDGER_DOMAIN_TAG);
+    h.update(&[NODE_TAG]);
+    h.update(left);
+    h.update(right);
+    h.finalize()
+}
+
+/// The root of the empty ledger — a constant, distinct from every
+/// leaf-tagged and node-tagged digest.
+pub fn empty_root() -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(LEDGER_DOMAIN_TAG);
+    h.update(&[EMPTY_TAG]);
+    h.finalize()
+}
+
+/// Largest power of two strictly below `n` (the RFC 6962 split point).
+/// Requires `n >= 2`.
+fn split_point(n: u64) -> u64 {
+    debug_assert!(n >= 2);
+    1u64 << (63 - (n - 1).leading_zeros())
+}
+
+/// An append-only Merkle accumulator over opaque leaf encodings.
+///
+/// Appends are cheap ([`Ledger::append`]), the current root and any
+/// historical prefix root are `O(log n)` ([`Ledger::root`],
+/// [`Ledger::root_at`]), and the ledger produces the two proof kinds the
+/// wire layer ships: [`Ledger::prove_membership`] and
+/// [`Ledger::prove_consistency`]. Verification lives in the free
+/// functions [`verify_membership_hashes`] and [`verify_consistency_roots`]
+/// — they need only hashes, never the ledger.
+#[derive(Default, Clone)]
+pub struct Ledger {
+    /// `levels[k][i]` = hash of the complete subtree over leaves
+    /// `[i·2ᵏ, (i+1)·2ᵏ)`; `levels[0]` holds the leaf hashes themselves.
+    levels: Vec<Vec<[u8; 32]>>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of leaves appended so far.
+    pub fn size(&self) -> u64 {
+        self.levels.first().map_or(0, |l| l.len() as u64)
+    }
+
+    /// Appends one leaf encoding; returns its index. Merges completed
+    /// subtree pairs upward like a binary counter: `O(1)` amortized.
+    pub fn append(&mut self, leaf_bytes: &[u8]) -> u64 {
+        let hash = leaf_hash(leaf_bytes);
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(hash);
+        let index = self.levels[0].len() as u64 - 1;
+        let mut k = 0;
+        loop {
+            if self.levels.len() == k + 1 {
+                self.levels.push(Vec::new());
+            }
+            let filled = self.levels[k + 1].len();
+            if self.levels[k].len() < 2 * (filled + 1) {
+                break;
+            }
+            let parent = node_hash(&self.levels[k][2 * filled], &self.levels[k][2 * filled + 1]);
+            self.levels[k + 1].push(parent);
+            k += 1;
+        }
+        index
+    }
+
+    /// The current root (the empty-root constant when no leaf exists).
+    pub fn root(&self) -> [u8; 32] {
+        self.root_at(self.size())
+    }
+
+    /// The historical root after the first `m` appends. Requires
+    /// `m <= self.size()`; `m == 0` yields the empty root.
+    pub fn root_at(&self, m: u64) -> [u8; 32] {
+        assert!(m <= self.size(), "prefix {m} exceeds ledger size");
+        if m == 0 {
+            empty_root()
+        } else {
+            self.range_root(0, m)
+        }
+    }
+
+    /// Root of the subtree over leaves `[lo, hi)` (`lo < hi <= size`).
+    /// Complete aligned subtrees are table lookups; ragged ranges recurse
+    /// on the right spine only, so this is `O(log (hi - lo))`.
+    fn range_root(&self, lo: u64, hi: u64) -> [u8; 32] {
+        let len = hi - lo;
+        if len.is_power_of_two() && lo.is_multiple_of(len) {
+            let k = len.trailing_zeros() as usize;
+            return self.levels[k][(lo >> k) as usize];
+        }
+        let k = split_point(len);
+        node_hash(&self.range_root(lo, lo + k), &self.range_root(lo + k, hi))
+    }
+
+    /// Audit path for leaf `index` against the current root: sibling
+    /// subtree roots from the leaf upward. `None` when `index` is out of
+    /// range. Verify with [`verify_membership_hashes`].
+    pub fn prove_membership(&self, index: u64) -> Option<Vec<[u8; 32]>> {
+        if index >= self.size() {
+            return None;
+        }
+        let mut path = Vec::new();
+        self.membership_path(index, 0, self.size(), &mut path);
+        Some(path)
+    }
+
+    fn membership_path(&self, index: u64, lo: u64, hi: u64, out: &mut Vec<[u8; 32]>) {
+        if hi - lo <= 1 {
+            return;
+        }
+        let k = split_point(hi - lo);
+        if index < lo + k {
+            self.membership_path(index, lo, lo + k, out);
+            out.push(self.range_root(lo + k, hi));
+        } else {
+            self.membership_path(index, lo + k, hi, out);
+            out.push(self.range_root(lo, lo + k));
+        }
+    }
+
+    /// Consistency path showing the root over the first `old_size` leaves
+    /// is a prefix of the current tree. `None` when `old_size` exceeds the
+    /// ledger (nothing to prove) — `old_size` of `0` or `size` yields the
+    /// trivial empty path. Verify with [`verify_consistency_roots`].
+    pub fn prove_consistency(&self, old_size: u64) -> Option<Vec<[u8; 32]>> {
+        let n = self.size();
+        if old_size > n {
+            return None;
+        }
+        if old_size == 0 || old_size == n {
+            return Some(Vec::new());
+        }
+        let mut path = Vec::new();
+        self.consistency_subproof(old_size, 0, n, true, &mut path);
+        Some(path)
+    }
+
+    /// RFC 6962 `SUBPROOF(m, D[lo:hi], complete)`: `complete` records
+    /// whether the old tree's root is still derivable from the caller's
+    /// context (true only while descending the left spine).
+    fn consistency_subproof(
+        &self,
+        m: u64,
+        lo: u64,
+        hi: u64,
+        complete: bool,
+        out: &mut Vec<[u8; 32]>,
+    ) {
+        let n = hi - lo;
+        if m == n {
+            if !complete {
+                out.push(self.range_root(lo, hi));
+            }
+            return;
+        }
+        let k = split_point(n);
+        if m <= k {
+            self.consistency_subproof(m, lo, lo + k, complete, out);
+            out.push(self.range_root(lo + k, hi));
+        } else {
+            self.consistency_subproof(m - k, lo + k, hi, false, out);
+            out.push(self.range_root(lo, lo + k));
+        }
+    }
+}
+
+/// Recomputes the root implied by a membership path (RFC 9162 §2.1.3.2's
+/// iterative algorithm). Returns `None` when the path length does not
+/// match the claimed `(index, size)` position.
+pub fn membership_root(
+    leaf: &[u8; 32],
+    index: u64,
+    size: u64,
+    path: &[[u8; 32]],
+) -> Option<[u8; 32]> {
+    if index >= size {
+        return None;
+    }
+    let mut fnode = index;
+    let mut snode = size - 1;
+    let mut acc = *leaf;
+    for sibling in path {
+        if snode == 0 {
+            return None; // path longer than the position requires
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            acc = node_hash(sibling, &acc);
+            if fnode & 1 == 0 {
+                // skip levels where the accumulated node has no sibling
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            acc = node_hash(&acc, sibling);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    (snode == 0).then_some(acc)
+}
+
+/// Checks a membership path end to end: the path must place the leaf hash
+/// at `index` in a tree of `size` leaves whose root is `root`.
+pub fn verify_membership_hashes(
+    root: &[u8; 32],
+    leaf: &[u8; 32],
+    index: u64,
+    size: u64,
+    path: &[[u8; 32]],
+) -> bool {
+    membership_root(leaf, index, size, path) == Some(*root)
+}
+
+/// Checks a consistency path (RFC 9162 §2.1.4.2's iterative algorithm):
+/// the tree of `old_size` leaves with root `old_root` must be a prefix of
+/// the tree of `new_size` leaves with root `new_root`.
+///
+/// The two degenerate prefixes need no path: `old_size == new_size`
+/// requires equal roots, and `old_size == 0` requires `old_root` to be
+/// the [`empty_root`] constant.
+pub fn verify_consistency_roots(
+    old_root: &[u8; 32],
+    old_size: u64,
+    new_root: &[u8; 32],
+    new_size: u64,
+    path: &[[u8; 32]],
+) -> bool {
+    if old_size > new_size {
+        return false;
+    }
+    if old_size == new_size {
+        return path.is_empty() && old_root == new_root;
+    }
+    if old_size == 0 {
+        return path.is_empty() && *old_root == empty_root();
+    }
+    // when the old tree is a complete (power-of-two) subtree its root is a
+    // node of the new tree and the prover omits it; reconstitute it here
+    let mut steps = path.iter();
+    let first = if old_size.is_power_of_two() {
+        old_root
+    } else {
+        match steps.next() {
+            Some(h) => h,
+            None => return false,
+        }
+    };
+    let mut old_acc = *first;
+    let mut new_acc = *first;
+    let mut fnode = old_size - 1;
+    let mut snode = new_size - 1;
+    while fnode & 1 == 1 {
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    for sibling in steps {
+        if snode == 0 {
+            return false;
+        }
+        if fnode & 1 == 1 || fnode == snode {
+            old_acc = node_hash(sibling, &old_acc);
+            new_acc = node_hash(sibling, &new_acc);
+            if fnode & 1 == 0 {
+                while fnode & 1 == 0 && fnode != 0 {
+                    fnode >>= 1;
+                    snode >>= 1;
+                }
+            }
+        } else {
+            new_acc = node_hash(&new_acc, sibling);
+        }
+        fnode >>= 1;
+        snode >>= 1;
+    }
+    snode == 0 && old_acc == *old_root && new_acc == *new_root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(i: u64) -> Vec<u8> {
+        let mut out = vec![0u8; 64];
+        out[..8].copy_from_slice(&i.to_le_bytes());
+        out
+    }
+
+    fn build(n: u64) -> Ledger {
+        let mut ledger = Ledger::new();
+        for i in 0..n {
+            assert_eq!(ledger.append(&leaf(i)), i);
+        }
+        ledger
+    }
+
+    /// Reference root: the textbook recursion over the raw leaf list.
+    fn naive_root(leaves: &[[u8; 32]]) -> [u8; 32] {
+        match leaves.len() {
+            0 => empty_root(),
+            1 => leaves[0],
+            n => {
+                let k = split_point(n as u64) as usize;
+                node_hash(&naive_root(&leaves[..k]), &naive_root(&leaves[k..]))
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_root_matches_the_naive_recursion() {
+        let mut ledger = Ledger::new();
+        let mut hashes = Vec::new();
+        for i in 0..70u64 {
+            ledger.append(&leaf(i));
+            hashes.push(leaf_hash(&leaf(i)));
+            assert_eq!(ledger.root(), naive_root(&hashes), "n = {}", i + 1);
+        }
+        // historical prefixes replay the same sequence of roots
+        for m in 0..=70u64 {
+            assert_eq!(ledger.root_at(m), naive_root(&hashes[..m as usize]));
+        }
+    }
+
+    #[test]
+    fn membership_paths_verify_at_every_position() {
+        for n in [1u64, 2, 3, 7, 8, 13, 64, 65] {
+            let ledger = build(n);
+            let root = ledger.root();
+            for i in 0..n {
+                let path = ledger.prove_membership(i).expect("in range");
+                assert!(
+                    path.len() <= 64,
+                    "path over-long at n={n} i={i}: {}",
+                    path.len()
+                );
+                assert!(
+                    verify_membership_hashes(&root, &leaf_hash(&leaf(i)), i, n, &path),
+                    "n={n} i={i}"
+                );
+                // the same path pins the leaf to its position
+                if n > 1 {
+                    let other = (i + 1) % n;
+                    assert!(!verify_membership_hashes(
+                        &root,
+                        &leaf_hash(&leaf(i)),
+                        other,
+                        n,
+                        &path
+                    ));
+                }
+            }
+            assert!(ledger.prove_membership(n).is_none());
+        }
+    }
+
+    #[test]
+    fn consistency_paths_verify_for_every_prefix() {
+        let n = 37u64;
+        let ledger = build(n);
+        let new_root = ledger.root();
+        for m in 0..=n {
+            let path = ledger.prove_consistency(m).expect("m <= n");
+            let old_root = ledger.root_at(m);
+            assert!(
+                verify_consistency_roots(&old_root, m, &new_root, n, &path),
+                "m={m}"
+            );
+        }
+        assert!(ledger.prove_consistency(n + 1).is_none());
+    }
+
+    #[test]
+    fn consistency_rejects_a_forked_history() {
+        // two ledgers agreeing on 9 leaves, then diverging
+        let honest = build(20);
+        let mut forked = build(9);
+        for i in 0..11u64 {
+            forked.append(&leaf(1000 + i));
+        }
+        let path = honest.prove_consistency(9).unwrap();
+        assert!(verify_consistency_roots(
+            &honest.root_at(9),
+            9,
+            &honest.root(),
+            20,
+            &path
+        ));
+        // the forked tip is not an extension of the honest prefix
+        assert!(!verify_consistency_roots(
+            &honest.root_at(9),
+            9,
+            &forked.root(),
+            20,
+            &path
+        ));
+        // and the honest tip does not extend a fabricated prefix
+        assert!(!verify_consistency_roots(
+            &forked.root(),
+            9,
+            &honest.root(),
+            20,
+            &path
+        ));
+    }
+
+    #[test]
+    fn domain_tags_separate_leaves_nodes_and_empty() {
+        let l = leaf_hash(&[0u8; 64]);
+        let n = node_hash(&[0u8; 32], &[0u8; 32]);
+        assert_ne!(l, n);
+        assert_ne!(l, empty_root());
+        assert_ne!(n, empty_root());
+        // a node preimage presented as a leaf hashes differently
+        let mut node_preimage = Vec::new();
+        node_preimage.extend_from_slice(&[0u8; 64]);
+        assert_ne!(leaf_hash(&node_preimage), n);
+    }
+
+    #[test]
+    fn split_points() {
+        assert_eq!(split_point(2), 1);
+        assert_eq!(split_point(3), 2);
+        assert_eq!(split_point(4), 2);
+        assert_eq!(split_point(5), 4);
+        assert_eq!(split_point(1 << 40), 1 << 39);
+        assert_eq!(split_point((1 << 40) + 1), 1 << 40);
+    }
+}

@@ -1,0 +1,434 @@
+//! Wire forms: the registry leaf encoding, the three ledger artifacts
+//! ([`LedgerRoot`], [`MembershipProof`], [`ConsistencyProof`]) wrapped in
+//! the standard [`Artifact`] envelope, and the standalone byte-level
+//! verifiers [`verify_membership`] / [`verify_consistency`] — everything a
+//! party needs to audit the registry with no registry, no network, and no
+//! key material.
+
+use zkrownn::{Artifact, ArtifactKind, CircuitId, WireError};
+
+use crate::accumulator::{leaf_hash, verify_consistency_roots, verify_membership_hashes};
+
+/// What the registry appends per registration: the circuit's synthesis-
+/// trace digest plus the content digest of the statement it was registered
+/// for. The canonical encoding is the fixed 64-byte concatenation — this
+/// is the `leaf_bytes` argument of [`verify_membership`] and the payload
+/// of the service's `PROVE_MEMBER` opcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerLeaf {
+    /// The registered circuit.
+    pub circuit_id: CircuitId,
+    /// Content digest of the statement registered alongside it
+    /// ([`zkrownn::OwnershipStatement::content_digest`]).
+    pub statement_digest: [u8; 32],
+}
+
+/// Canonical leaf encoding length: two 32-byte digests.
+pub const LEAF_LEN: usize = 64;
+
+impl LedgerLeaf {
+    /// The canonical 64-byte leaf encoding (what gets leaf-hashed).
+    pub fn to_bytes(&self) -> [u8; LEAF_LEN] {
+        let mut out = [0u8; LEAF_LEN];
+        out[..32].copy_from_slice(self.circuit_id.as_bytes());
+        out[32..].copy_from_slice(&self.statement_digest);
+        out
+    }
+
+    /// Parses a canonical 64-byte leaf encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() != LEAF_LEN {
+            return Err(WireError::LengthMismatch {
+                expected: LEAF_LEN,
+                got: bytes.len(),
+            });
+        }
+        let mut id = [0u8; 32];
+        id.copy_from_slice(&bytes[..32]);
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(&bytes[32..]);
+        Ok(Self {
+            circuit_id: CircuitId::from_bytes(id),
+            statement_digest: digest,
+        })
+    }
+}
+
+/// A signed-off ledger head: the tree size and the root digest at that
+/// size. What the `ROOT` opcode serves and what both proof kinds verify
+/// against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LedgerRoot {
+    /// Number of leaves the root commits to.
+    pub size: u64,
+    /// The accumulator root over those leaves.
+    pub root: [u8; 32],
+}
+
+impl LedgerRoot {
+    /// Full lowercase-hex rendering of the root digest.
+    pub fn root_hex(&self) -> String {
+        self.root.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl Artifact for LedgerRoot {
+    const KIND: ArtifactKind = ArtifactKind::LedgerRoot;
+
+    fn payload_size(&self) -> usize {
+        8 + 32
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.root);
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() != 8 + 32 {
+            return Err(WireError::LengthMismatch {
+                expected: 8 + 32,
+                got: payload.len(),
+            });
+        }
+        let size = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let mut root = [0u8; 32];
+        root.copy_from_slice(&payload[8..]);
+        Ok(Self { size, root })
+    }
+}
+
+/// Longest admissible membership path (a `u64`-sized tree is at most 64
+/// levels deep).
+const MAX_MEMBERSHIP_PATH: usize = 64;
+
+/// Longest admissible consistency path (one stored peak per level of the
+/// old and new trees).
+const MAX_CONSISTENCY_PATH: usize = 129;
+
+fn read_path(payload: &[u8], offset: usize, max: usize) -> Result<Vec<[u8; 32]>, WireError> {
+    let declared = payload
+        .get(offset..offset + 8)
+        .ok_or(WireError::Truncated {
+            needed: offset + 8,
+            got: payload.len(),
+        })?;
+    let len = u64::from_le_bytes(declared.try_into().unwrap());
+    let len = usize::try_from(len).map_err(|_| WireError::Malformed("path length overflow"))?;
+    if len > max {
+        return Err(WireError::Malformed("proof path is impossibly long"));
+    }
+    let body = offset + 8;
+    let expected = body + 32 * len;
+    if payload.len() != expected {
+        return Err(WireError::LengthMismatch {
+            expected,
+            got: payload.len(),
+        });
+    }
+    Ok((0..len)
+        .map(|i| {
+            let mut h = [0u8; 32];
+            h.copy_from_slice(&payload[body + 32 * i..body + 32 * (i + 1)]);
+            h
+        })
+        .collect())
+}
+
+fn write_path(path: &[[u8; 32]], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(path.len() as u64).to_le_bytes());
+    for h in path {
+        out.extend_from_slice(h);
+    }
+}
+
+/// Proof that one leaf sits at a specific index of the tree a
+/// [`LedgerRoot`] commits to: the audit path of sibling subtree roots.
+/// The leaf encoding itself is deliberately *not* embedded — the verifier
+/// hashes the leaf bytes it cares about, so a proof can never smuggle in a
+/// different leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipProof {
+    /// The leaf's position in the tree.
+    pub index: u64,
+    /// Size of the tree the proof targets (must match the root's).
+    pub size: u64,
+    /// Sibling subtree roots, leaf-to-root order.
+    pub path: Vec<[u8; 32]>,
+}
+
+impl Artifact for MembershipProof {
+    const KIND: ArtifactKind = ArtifactKind::MembershipProof;
+
+    fn payload_size(&self) -> usize {
+        8 + 8 + 8 + 32 * self.path.len()
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.size.to_le_bytes());
+        write_path(&self.path, out);
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() < 24 {
+            return Err(WireError::Truncated {
+                needed: 24,
+                got: payload.len(),
+            });
+        }
+        let index = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let size = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let path = read_path(payload, 16, MAX_MEMBERSHIP_PATH)?;
+        Ok(Self { index, size, path })
+    }
+}
+
+/// Proof that the tree at `old_size` is a prefix of the tree at
+/// `new_size`: the RFC 6962 consistency path between the two roots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsistencyProof {
+    /// Size of the earlier tree.
+    pub old_size: u64,
+    /// Size of the later tree (must match the new root's).
+    pub new_size: u64,
+    /// Consistency path hashes, deepest-first.
+    pub path: Vec<[u8; 32]>,
+}
+
+impl Artifact for ConsistencyProof {
+    const KIND: ArtifactKind = ArtifactKind::ConsistencyProof;
+
+    fn payload_size(&self) -> usize {
+        8 + 8 + 8 + 32 * self.path.len()
+    }
+
+    fn write_payload(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.old_size.to_le_bytes());
+        out.extend_from_slice(&self.new_size.to_le_bytes());
+        write_path(&self.path, out);
+    }
+
+    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
+        if payload.len() < 24 {
+            return Err(WireError::Truncated {
+                needed: 24,
+                got: payload.len(),
+            });
+        }
+        let old_size = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let new_size = u64::from_le_bytes(payload[8..16].try_into().unwrap());
+        let path = read_path(payload, 16, MAX_CONSISTENCY_PATH)?;
+        Ok(Self {
+            old_size,
+            new_size,
+            path,
+        })
+    }
+}
+
+/// Why an offline ledger verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// A root or proof artifact failed to decode.
+    Wire(WireError),
+    /// The proof and the root disagree about the tree size it targets.
+    SizeMismatch {
+        /// Size named by the proof.
+        proof: u64,
+        /// Size committed by the root.
+        root: u64,
+    },
+    /// The sizes line up but the path does not place the leaf under the
+    /// root — the leaf is not in the committed tree (at that index).
+    NotInTree,
+    /// The sizes line up but the path does not connect the two roots —
+    /// the old root is not a prefix of the new one.
+    NotAPrefix,
+}
+
+impl core::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "ledger artifact failed to decode: {e}"),
+            Self::SizeMismatch { proof, root } => {
+                write!(
+                    f,
+                    "proof targets a tree of {proof} leaves, root commits to {root}"
+                )
+            }
+            Self::NotInTree => write!(f, "membership path does not reach the committed root"),
+            Self::NotAPrefix => write!(f, "old root is not a prefix of the new root"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<WireError> for LedgerError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Verifies a membership proof from bytes alone: no registry, no network,
+/// no key material. `root_bytes` is a [`LedgerRoot`] artifact,
+/// `leaf_bytes` the raw leaf encoding the caller cares about (64 bytes
+/// for registry leaves — see [`LedgerLeaf::to_bytes`]), `proof_bytes` a
+/// [`MembershipProof`] artifact.
+pub fn verify_membership(
+    root_bytes: &[u8],
+    leaf_bytes: &[u8],
+    proof_bytes: &[u8],
+) -> Result<(), LedgerError> {
+    let root = LedgerRoot::from_bytes(root_bytes)?;
+    let proof = MembershipProof::from_bytes(proof_bytes)?;
+    if proof.size != root.size {
+        return Err(LedgerError::SizeMismatch {
+            proof: proof.size,
+            root: root.size,
+        });
+    }
+    if verify_membership_hashes(
+        &root.root,
+        &leaf_hash(leaf_bytes),
+        proof.index,
+        proof.size,
+        &proof.path,
+    ) {
+        Ok(())
+    } else {
+        Err(LedgerError::NotInTree)
+    }
+}
+
+/// Verifies a root-transition consistency proof from bytes alone: the
+/// ledger committed by `old_root_bytes` is a prefix of the one committed
+/// by `new_root_bytes`. Both roots are [`LedgerRoot`] artifacts,
+/// `proof_bytes` a [`ConsistencyProof`] artifact.
+pub fn verify_consistency(
+    old_root_bytes: &[u8],
+    new_root_bytes: &[u8],
+    proof_bytes: &[u8],
+) -> Result<(), LedgerError> {
+    let old = LedgerRoot::from_bytes(old_root_bytes)?;
+    let new = LedgerRoot::from_bytes(new_root_bytes)?;
+    let proof = ConsistencyProof::from_bytes(proof_bytes)?;
+    if proof.old_size != old.size {
+        return Err(LedgerError::SizeMismatch {
+            proof: proof.old_size,
+            root: old.size,
+        });
+    }
+    if proof.new_size != new.size {
+        return Err(LedgerError::SizeMismatch {
+            proof: proof.new_size,
+            root: new.size,
+        });
+    }
+    if verify_consistency_roots(&old.root, old.size, &new.root, new.size, &proof.path) {
+        Ok(())
+    } else {
+        Err(LedgerError::NotAPrefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accumulator::Ledger;
+
+    fn test_leaf(i: u64) -> LedgerLeaf {
+        LedgerLeaf {
+            circuit_id: CircuitId::from_bytes([i as u8; 32]),
+            statement_digest: [(i + 1) as u8; 32],
+        }
+    }
+
+    #[test]
+    fn leaf_encoding_round_trips_and_rejects_bad_lengths() {
+        let leaf = test_leaf(5);
+        let bytes = leaf.to_bytes();
+        assert_eq!(LedgerLeaf::from_bytes(&bytes).unwrap(), leaf);
+        assert!(LedgerLeaf::from_bytes(&bytes[..63]).is_err());
+        assert!(LedgerLeaf::from_bytes(&[0u8; 65]).is_err());
+    }
+
+    #[test]
+    fn offline_verification_from_bytes_alone() {
+        let mut ledger = Ledger::new();
+        for i in 0..10 {
+            ledger.append(&test_leaf(i).to_bytes());
+        }
+        let root = LedgerRoot {
+            size: ledger.size(),
+            root: ledger.root(),
+        };
+        let proof = MembershipProof {
+            index: 7,
+            size: ledger.size(),
+            path: ledger.prove_membership(7).unwrap(),
+        };
+        let root_bytes = root.to_bytes();
+        let proof_bytes = proof.to_bytes();
+        verify_membership(&root_bytes, &test_leaf(7).to_bytes(), &proof_bytes)
+            .expect("honest proof verifies");
+        // a different leaf under the same proof fails
+        assert_eq!(
+            verify_membership(&root_bytes, &test_leaf(8).to_bytes(), &proof_bytes),
+            Err(LedgerError::NotInTree)
+        );
+        // a proof for a different tree size is rejected before hashing
+        let mut wrong = proof.clone();
+        wrong.size = 11;
+        assert_eq!(
+            verify_membership(&root_bytes, &test_leaf(7).to_bytes(), &wrong.to_bytes()),
+            Err(LedgerError::SizeMismatch {
+                proof: 11,
+                root: 10
+            })
+        );
+    }
+
+    #[test]
+    fn consistency_verification_from_bytes_alone() {
+        let mut ledger = Ledger::new();
+        for i in 0..6 {
+            ledger.append(&test_leaf(i).to_bytes());
+        }
+        let old = LedgerRoot {
+            size: 6,
+            root: ledger.root(),
+        };
+        for i in 6..21 {
+            ledger.append(&test_leaf(i).to_bytes());
+        }
+        let new = LedgerRoot {
+            size: 21,
+            root: ledger.root(),
+        };
+        let proof = ConsistencyProof {
+            old_size: 6,
+            new_size: 21,
+            path: ledger.prove_consistency(6).unwrap(),
+        };
+        verify_consistency(&old.to_bytes(), &new.to_bytes(), &proof.to_bytes())
+            .expect("honest consistency proof verifies");
+        // swapping the roots is not a valid transition
+        assert!(verify_consistency(&new.to_bytes(), &old.to_bytes(), &proof.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn path_length_bounds_are_enforced() {
+        let proof = MembershipProof {
+            index: 0,
+            size: 1,
+            path: vec![[0u8; 32]; MAX_MEMBERSHIP_PATH + 1],
+        };
+        let bytes = proof.to_bytes();
+        assert!(matches!(
+            MembershipProof::from_bytes(&bytes),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,222 @@
+//! Accumulator properties over random ledgers: every leaf of every tree
+//! has a verifying membership proof, every prefix has a verifying
+//! consistency proof, and single-bit tampering with the leaf, the path, or
+//! either root is always rejected.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use zkrownn_ledger::{leaf_hash, verify_consistency_roots, verify_membership_hashes, Ledger};
+
+/// Builds a ledger of `n` pseudo-random 64-byte leaves, returning the
+/// ledger plus the raw leaf encodings.
+fn random_ledger(seed: u64, n: u64) -> (Ledger, Vec<[u8; 64]>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ledger = Ledger::new();
+    let mut leaves = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut leaf = [0u8; 64];
+        for b in leaf.iter_mut() {
+            *b = rng.gen();
+        }
+        assert_eq!(ledger.append(&leaf), i);
+        leaves.push(leaf);
+    }
+    (ledger, leaves)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every leaf of a random ledger has a membership proof that verifies
+    /// against the current root — and against no other position.
+    #[test]
+    fn every_leaf_has_a_verifying_membership_proof(seed in any::<u64>(), n in 1u64..=1024) {
+        let (ledger, leaves) = random_ledger(seed, n);
+        let root = ledger.root();
+        for (i, leaf) in leaves.iter().enumerate() {
+            let i = i as u64;
+            let path = ledger.prove_membership(i).expect("index is in range");
+            prop_assert!(
+                verify_membership_hashes(&root, &leaf_hash(leaf), i, n, &path),
+                "leaf {i} of {n} must verify"
+            );
+            // the proof pins the position: the same path at a shifted
+            // index must not verify
+            let other = (i + 1) % n;
+            if other != i {
+                prop_assert!(
+                    !verify_membership_hashes(&root, &leaf_hash(leaf), other, n, &path),
+                    "leaf {i} of {n} must not verify at index {other}"
+                );
+            }
+        }
+        // out-of-range indices have no proof at all
+        prop_assert!(ledger.prove_membership(n).is_none());
+    }
+
+    /// Every prefix size of a random ledger has a consistency proof tying
+    /// the prefix root to the final root.
+    #[test]
+    fn every_prefix_has_a_verifying_consistency_proof(seed in any::<u64>(), n in 1u64..=1024) {
+        let (ledger, _) = random_ledger(seed, n);
+        let new_root = ledger.root();
+        for m in 0..=n {
+            let old_root = ledger.root_at(m);
+            let path = ledger.prove_consistency(m).expect("prefix is in range");
+            prop_assert!(
+                verify_consistency_roots(&old_root, m, &new_root, n, &path),
+                "prefix {m} of {n} must verify"
+            );
+        }
+        // a "prefix" beyond the tree has no proof
+        prop_assert!(ledger.prove_consistency(n + 1).is_none());
+    }
+
+    /// Flipping any single bit of the leaf bytes kills its membership
+    /// proof.
+    #[test]
+    fn membership_rejects_a_tampered_leaf(
+        seed in any::<u64>(),
+        n in 1u64..=256,
+        pick in any::<u64>(),
+        byte in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let (ledger, leaves) = random_ledger(seed, n);
+        let root = ledger.root();
+        let i = pick % n;
+        let path = ledger.prove_membership(i).unwrap();
+        let mut tampered = leaves[i as usize];
+        tampered[byte] ^= 1 << bit;
+        prop_assert!(
+            !verify_membership_hashes(&root, &leaf_hash(&tampered), i, n, &path),
+            "a tampered leaf must not verify"
+        );
+    }
+
+    /// Flipping any single bit of any path node kills the membership
+    /// proof.
+    #[test]
+    fn membership_rejects_a_tampered_path(
+        seed in any::<u64>(),
+        n in 2u64..=256,
+        pick in any::<u64>(),
+        node_pick in any::<usize>(),
+        byte in 0usize..32,
+        bit in 0u8..8,
+    ) {
+        let (ledger, leaves) = random_ledger(seed, n);
+        let root = ledger.root();
+        let i = pick % n;
+        let mut path = ledger.prove_membership(i).unwrap();
+        // n ≥ 2 ⇒ every leaf has at least one sibling on its path
+        prop_assert!(!path.is_empty());
+        let node = node_pick % path.len();
+        path[node][byte] ^= 1 << bit;
+        prop_assert!(
+            !verify_membership_hashes(&root, &leaf_hash(&leaves[i as usize]), i, n, &path),
+            "a tampered path must not verify"
+        );
+    }
+
+    /// Flipping any single bit of the root kills both proof kinds.
+    #[test]
+    fn proofs_reject_a_tampered_root(
+        seed in any::<u64>(),
+        n in 1u64..=256,
+        pick in any::<u64>(),
+        byte in 0usize..32,
+        bit in 0u8..8,
+    ) {
+        let (ledger, leaves) = random_ledger(seed, n);
+        let mut bad_root = ledger.root();
+        bad_root[byte] ^= 1 << bit;
+
+        let i = pick % n;
+        let path = ledger.prove_membership(i).unwrap();
+        prop_assert!(
+            !verify_membership_hashes(&bad_root, &leaf_hash(&leaves[i as usize]), i, n, &path),
+            "membership against a tampered root must not verify"
+        );
+
+        let m = pick % (n + 1);
+        let old_root = ledger.root_at(m);
+        let consistency = ledger.prove_consistency(m).unwrap();
+        prop_assert!(
+            !verify_consistency_roots(&old_root, m, &bad_root, n, &consistency),
+            "consistency into a tampered new root must not verify"
+        );
+        if m > 0 {
+            let mut bad_old = old_root;
+            bad_old[byte] ^= 1 << bit;
+            prop_assert!(
+                !verify_consistency_roots(&bad_old, m, &ledger.root(), n, &consistency),
+                "consistency from a tampered old root must not verify"
+            );
+        }
+    }
+
+    /// Consistency proofs tie *specific* sizes: the right path with the
+    /// wrong claimed old size must not verify against honest roots.
+    #[test]
+    fn consistency_rejects_a_shifted_prefix(
+        seed in any::<u64>(),
+        n in 2u64..=256,
+        pick in any::<u64>(),
+    ) {
+        let (ledger, _) = random_ledger(seed, n);
+        let new_root = ledger.root();
+        let m = 1 + pick % (n - 1); // 1..n, so m-1 and m are both valid sizes
+        let path = ledger.prove_consistency(m).unwrap();
+        prop_assert!(
+            !verify_consistency_roots(&ledger.root_at(m - 1), m - 1, &new_root, n, &path),
+            "a proof for prefix {m} must not verify as prefix {}", m - 1
+        );
+    }
+
+    /// A forked history — same size, one divergent leaf — never verifies
+    /// as a prefix.
+    #[test]
+    fn consistency_rejects_forked_histories(
+        seed in any::<u64>(),
+        n in 1u64..=128,
+        extra in 1u64..=64,
+        byte in 0usize..64,
+        bit in 0u8..8,
+    ) {
+        let (_, leaves) = random_ledger(seed, n);
+
+        // honest chain: the first n leaves, then `extra` more
+        let mut honest = Ledger::new();
+        for leaf in &leaves {
+            honest.append(leaf);
+        }
+        let old_root = honest.root();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xfeed);
+        for _ in 0..extra {
+            let mut leaf = [0u8; 64];
+            for b in leaf.iter_mut() {
+                *b = rng.gen();
+            }
+            honest.append(&leaf);
+        }
+        let path = honest.prove_consistency(n).unwrap();
+        prop_assert!(verify_consistency_roots(
+            &old_root, n, &honest.root(), n + extra, &path
+        ));
+
+        // forked "old" registry: identical except one flipped bit in the
+        // last leaf — its root must not pass as a prefix of the honest one
+        let mut forked = Ledger::new();
+        for leaf in &leaves[..n as usize - 1] {
+            forked.append(leaf);
+        }
+        let mut divergent = leaves[n as usize - 1];
+        divergent[byte] ^= 1 << bit;
+        forked.append(&divergent);
+        prop_assert!(
+            !verify_consistency_roots(&forked.root(), n, &honest.root(), n + extra, &path),
+            "a forked history must not verify as a prefix"
+        );
+    }
+}

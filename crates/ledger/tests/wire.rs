@@ -1,0 +1,222 @@
+//! Wire-format properties for the three ledger artifacts: round-trips are
+//! bit-exact, sizes are self-consistent, any single corrupted byte is
+//! rejected, and the byte-level offline verifiers track the hash-level
+//! ones over random ledgers.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use zkrownn::{Artifact, ArtifactKind, CircuitId, WireError};
+use zkrownn_ledger::{
+    verify_consistency, verify_membership, ConsistencyProof, Ledger, LedgerError, LedgerLeaf,
+    LedgerRoot, MembershipProof,
+};
+
+fn arb_path(max: usize) -> impl Strategy<Value = Vec<[u8; 32]>> {
+    prop::collection::vec(any::<[u8; 32]>(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn leaf_roundtrips(id in any::<[u8; 32]>(), digest in any::<[u8; 32]>()) {
+        let leaf = LedgerLeaf {
+            circuit_id: CircuitId::from_bytes(id),
+            statement_digest: digest,
+        };
+        let wire = leaf.to_bytes();
+        let back = LedgerLeaf::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back.circuit_id, leaf.circuit_id);
+        prop_assert_eq!(back.statement_digest, leaf.statement_digest);
+    }
+
+    #[test]
+    fn root_roundtrips(size in any::<u64>(), root in any::<[u8; 32]>()) {
+        let artifact = LedgerRoot { size, root };
+        let wire = artifact.to_bytes();
+        prop_assert_eq!(wire.len(), Artifact::serialized_size(&artifact));
+        let back = LedgerRoot::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back.size, size);
+        prop_assert_eq!(back.root, root);
+    }
+
+    #[test]
+    fn membership_proof_roundtrips(
+        index in any::<u64>(),
+        size in any::<u64>(),
+        path in arb_path(20),
+    ) {
+        let artifact = MembershipProof { index, size, path };
+        let wire = artifact.to_bytes();
+        prop_assert_eq!(wire.len(), Artifact::serialized_size(&artifact));
+        let back = MembershipProof::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back.index, artifact.index);
+        prop_assert_eq!(back.size, artifact.size);
+        prop_assert_eq!(back.path, artifact.path);
+    }
+
+    #[test]
+    fn consistency_proof_roundtrips(
+        old_size in any::<u64>(),
+        new_size in any::<u64>(),
+        path in arb_path(20),
+    ) {
+        let artifact = ConsistencyProof { old_size, new_size, path };
+        let wire = artifact.to_bytes();
+        prop_assert_eq!(wire.len(), Artifact::serialized_size(&artifact));
+        let back = ConsistencyProof::from_bytes(&wire).unwrap();
+        prop_assert_eq!(back.old_size, artifact.old_size);
+        prop_assert_eq!(back.new_size, artifact.new_size);
+        prop_assert_eq!(back.path, artifact.path);
+    }
+
+    /// Byte-level verification over a real random ledger: membership and
+    /// consistency both hold for honest bytes and fail once any byte of
+    /// the proof is flipped.
+    #[test]
+    fn offline_verifiers_track_the_accumulator(
+        seed in any::<u64>(),
+        n in 2u64..=128,
+        pick in any::<u64>(),
+        flip_pos in any::<usize>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ledger = Ledger::new();
+        let mut leaves = Vec::new();
+        for _ in 0..n {
+            let leaf = LedgerLeaf {
+                circuit_id: CircuitId::from_bytes(rng.gen()),
+                statement_digest: rng.gen(),
+            };
+            ledger.append(&leaf.to_bytes());
+            leaves.push(leaf);
+        }
+        let old_size = pick % n; // a strict prefix
+        let old_root_bytes = LedgerRoot { size: old_size, root: ledger.root_at(old_size) }.to_bytes();
+        let root_bytes = LedgerRoot { size: n, root: ledger.root() }.to_bytes();
+
+        let i = pick % n;
+        let leaf_bytes = leaves[i as usize].to_bytes();
+        let membership = MembershipProof {
+            index: i,
+            size: n,
+            path: ledger.prove_membership(i).unwrap(),
+        }.to_bytes();
+        prop_assert!(verify_membership(&root_bytes, &leaf_bytes, &membership).is_ok());
+
+        let consistency = ConsistencyProof {
+            old_size,
+            new_size: n,
+            path: ledger.prove_consistency(old_size).unwrap(),
+        }.to_bytes();
+        prop_assert!(verify_consistency(&old_root_bytes, &root_bytes, &consistency).is_ok());
+
+        // flipping any one byte of either proof makes it fail — either as
+        // a wire error (checksum/envelope) or a clean verification miss
+        let mut bad_membership = membership.clone();
+        bad_membership[flip_pos % membership.len()] ^= 0x01;
+        prop_assert!(verify_membership(&root_bytes, &leaf_bytes, &bad_membership).is_err());
+
+        let mut bad_consistency = consistency.clone();
+        bad_consistency[flip_pos % consistency.len()] ^= 0x01;
+        prop_assert!(verify_consistency(&old_root_bytes, &root_bytes, &bad_consistency).is_err());
+    }
+}
+
+/// Asserts that flipping any single byte of `wire` makes `A::from_bytes`
+/// reject it. Unlike claims (where a flip may legally decode onto another
+/// circuit), the ledger artifacts carry no interior escape hatch: the
+/// envelope checksum and header validation must catch *every* flip.
+fn assert_every_byte_flip_rejected<A: Artifact>(wire: &[u8]) {
+    for i in 0..wire.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = wire.to_vec();
+            corrupt[i] ^= flip;
+            assert!(
+                A::from_bytes(&corrupt).is_err(),
+                "byte {i} flip {flip:#04x} slipped through undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_single_byte_flip_in_a_root_is_rejected() {
+    let wire = LedgerRoot {
+        size: 42,
+        root: [0xAB; 32],
+    }
+    .to_bytes();
+    assert_every_byte_flip_rejected::<LedgerRoot>(&wire);
+}
+
+#[test]
+fn every_single_byte_flip_in_a_membership_proof_is_rejected() {
+    let wire = MembershipProof {
+        index: 5,
+        size: 13,
+        path: (0..4).map(|i| [i as u8; 32]).collect(),
+    }
+    .to_bytes();
+    assert_every_byte_flip_rejected::<MembershipProof>(&wire);
+}
+
+#[test]
+fn every_single_byte_flip_in_a_consistency_proof_is_rejected() {
+    let wire = ConsistencyProof {
+        old_size: 9,
+        new_size: 21,
+        path: (0..5).map(|i| [0x60 + i as u8; 32]).collect(),
+    }
+    .to_bytes();
+    assert_every_byte_flip_rejected::<ConsistencyProof>(&wire);
+}
+
+#[test]
+fn ledger_artifacts_do_not_cross_decode() {
+    let root_wire = LedgerRoot {
+        size: 7,
+        root: [1; 32],
+    }
+    .to_bytes();
+    assert_eq!(
+        MembershipProof::from_bytes(&root_wire),
+        Err(WireError::WrongKind {
+            expected: ArtifactKind::MembershipProof,
+            got: ArtifactKind::LedgerRoot,
+        })
+    );
+    assert_eq!(
+        ConsistencyProof::from_bytes(&root_wire),
+        Err(WireError::WrongKind {
+            expected: ArtifactKind::ConsistencyProof,
+            got: ArtifactKind::LedgerRoot,
+        })
+    );
+}
+
+#[test]
+fn size_mismatch_between_root_and_proof_is_typed() {
+    let mut ledger = Ledger::new();
+    let leaf = LedgerLeaf {
+        circuit_id: CircuitId::from_bytes([3; 32]),
+        statement_digest: [4; 32],
+    };
+    ledger.append(&leaf.to_bytes());
+    ledger.append(&[0u8; 64]);
+
+    let root = LedgerRoot {
+        size: ledger.size(),
+        root: ledger.root(),
+    };
+    // proof claims a different tree size than the root commits to
+    let proof = MembershipProof {
+        index: 0,
+        size: 99,
+        path: ledger.prove_membership(0).unwrap(),
+    };
+    assert!(matches!(
+        verify_membership(&root.to_bytes(), &leaf.to_bytes(), &proof.to_bytes()),
+        Err(LedgerError::SizeMismatch { proof: 99, root: 2 })
+    ));
+}

@@ -9,8 +9,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use zkrownn::ShardedKeyRegistry;
-use zkrownn_service::{parse_registration, serve, CoalescerConfig, ServerConfig};
+use zkrownn_ledger::LedgeredRegistry;
+use zkrownn_service::{load_keys_dir, serve, CoalescerConfig, ServerConfig};
 
 const USAGE: &str = "\
 zkrownn-authority — ZKROWNN claim-verification daemon
@@ -90,15 +90,23 @@ fn main() -> ExitCode {
     }
     config.coalescer = coalescer;
 
-    let registry = Arc::new(ShardedKeyRegistry::new());
+    let registry = Arc::new(LedgeredRegistry::new());
     if let Some(dir) = keys_dir {
-        match load_keys(&registry, Path::new(&dir)) {
+        // load_keys_dir registers in sorted path order, so the ledger root
+        // printed below is reproducible for a given key directory
+        match load_keys_dir(&registry, Path::new(&dir)) {
             Ok(n) => eprintln!("zkrownn-authority: registered {n} circuit(s) from {dir}"),
             Err(e) => return fail(&format!("loading keys from {dir}: {e}")),
         }
     } else {
         eprintln!("zkrownn-authority: starting with an empty registry (no --keys)");
     }
+    let root = registry.current_root();
+    eprintln!(
+        "zkrownn-authority: ledger root {} at size {}",
+        root.root_hex(),
+        root.size
+    );
 
     let handle = match serve(config, registry) {
         Ok(h) => h,
@@ -110,22 +118,4 @@ fn main() -> ExitCode {
     handle.join();
     eprintln!("zkrownn-authority: shut down");
     ExitCode::SUCCESS
-}
-
-/// Registers every `*.vk` file under `dir`; returns how many were loaded.
-fn load_keys(registry: &ShardedKeyRegistry, dir: &Path) -> Result<usize, String> {
-    let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
-    let mut loaded = 0usize;
-    for entry in entries {
-        let path = entry.map_err(|e| e.to_string())?.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("vk") {
-            continue;
-        }
-        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let (id, vk) =
-            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-        registry.register(id, &vk);
-        loaded += 1;
-    }
-    Ok(loaded)
 }

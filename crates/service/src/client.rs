@@ -6,6 +6,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use zkrownn::{Artifact, SignedClaim};
+use zkrownn_ledger::LedgerLeaf;
 
 use crate::protocol::{read_response, write_request, ProtocolError, Request, Response, Status};
 
@@ -72,6 +73,26 @@ impl Client {
     /// Asks the server to shut down gracefully.
     pub fn shutdown_server(&mut self) -> Result<Response, ProtocolError> {
         self.request(&Request::Shutdown)
+    }
+
+    /// Fetches the current registration-ledger head. On `Ok` the response
+    /// payload is a `LedgerRoot` artifact.
+    pub fn ledger_root(&mut self) -> Result<Response, ProtocolError> {
+        self.request(&Request::Root)
+    }
+
+    /// Asks for a membership proof for a registered `(circuit, statement)`
+    /// leaf. On `Ok` the response payload is a `MembershipProof` artifact;
+    /// an unknown leaf gets [`Status::NotInLedger`].
+    pub fn prove_member(&mut self, leaf: &LedgerLeaf) -> Result<Response, ProtocolError> {
+        self.request(&Request::ProveMember(leaf.to_bytes()))
+    }
+
+    /// Asks for a consistency proof from an earlier ledger size to the
+    /// current one. On `Ok` the response payload is a `ConsistencyProof`
+    /// artifact; a size beyond the tree gets [`Status::NotInLedger`].
+    pub fn consistency(&mut self, old_size: u64) -> Result<Response, ProtocolError> {
+        self.request(&Request::Consistency(old_size))
     }
 }
 

@@ -16,19 +16,25 @@
 //!   `3n`) is realized across *independent clients*, not just within one
 //!   caller's batch;
 //! * **server** ([`server`]) — a hand-rolled TCP listener and worker
-//!   thread pool over a [`ShardedKeyRegistry`] (no async runtime), with
+//!   thread pool over a [`LedgeredRegistry`] (no async runtime), with
 //!   per-frame deadlines, idle shutdown, and structured request/latency/
 //!   batch-occupancy metrics ([`metrics`]);
 //! * **client** ([`client`]) — a small blocking client used by the load
 //!   generator (`loadgen` in `zkrownn-bench`) and the integration tests.
+//!
+//! Every registration is also committed to an append-only Merkle ledger
+//! (see `zkrownn-ledger`): the `ROOT`, `PROVE_MEMBER` and `CONSISTENCY`
+//! opcodes let any client fetch the 40-byte registry commitment plus
+//! logarithmic proofs that verify offline, with the authority gone.
 //!
 //! ## Embedding the authority
 //!
 //! ```
 //! use rand::SeedableRng;
 //! use std::sync::Arc;
-//! use zkrownn::{Authority, ExtractionSpec, QuantLayer, QuantizedModel, ShardedKeyRegistry};
+//! use zkrownn::{Authority, ExtractionSpec, QuantLayer, QuantizedModel};
 //! use zkrownn_gadgets::FixedConfig;
+//! use zkrownn_ledger::{verify_membership, LedgerLeaf, LedgeredRegistry};
 //! use zkrownn_service::{serve, Client, ServerConfig, Status};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -54,9 +60,11 @@
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let (prover, verifier) = Authority::setup(&spec, &mut rng);
 //!
-//! // the authority registers the circuit's key and starts serving
-//! let registry = Arc::new(ShardedKeyRegistry::new());
-//! registry.register_kit(&verifier);
+//! // the authority registers the circuit's key (which also appends a leaf
+//! // to the registration ledger) and starts serving
+//! let statement_digest = prover.statement().content_digest();
+//! let registry = Arc::new(LedgeredRegistry::new());
+//! registry.register(verifier.circuit_id(), statement_digest, verifier.verifying_key());
 //! let handle = serve(ServerConfig::default(), Arc::clone(&registry))?;
 //!
 //! // a claimant ships their claim over the socket and gets a verdict
@@ -64,7 +72,13 @@
 //! let mut client = Client::connect(handle.addr())?;
 //! assert_eq!(client.verify(&claim)?.status, Status::Ok);
 //!
+//! // anyone can pull the ledger head plus a membership proof and check
+//! // the registration offline, long after the authority is gone
+//! let leaf = LedgerLeaf { circuit_id: verifier.circuit_id(), statement_digest };
+//! let root_bytes = client.ledger_root()?.payload;
+//! let proof_bytes = client.prove_member(&leaf)?.payload;
 //! handle.shutdown_and_join();
+//! verify_membership(&root_bytes, &leaf.to_bytes(), &proof_bytes)?;
 //! # Ok(())
 //! # }
 //! ```
@@ -88,32 +102,67 @@ pub use protocol::{
     write_response, Opcode, ProtocolError, Request, Response, Status, HEADER_LEN, MAX_FRAME_LEN,
 };
 pub use server::{serve, ServerConfig, ServerHandle};
+pub use zkrownn_ledger::{LedgerLeaf, LedgeredRegistry};
+
+use std::path::Path;
 
 use zkrownn::{Artifact, CircuitId, WireError};
 use zkrownn_groth16::VerifyingKey;
 
 /// Serializes a key registration — the `.vk` files `zkrownn-authority
-/// --keys DIR` loads at startup: the 32-byte [`CircuitId`] digest followed
-/// by the [`VerifyingKey`] artifact envelope.
-pub fn registration_bytes(id: CircuitId, vk: &VerifyingKey) -> Vec<u8> {
-    let mut out = Vec::with_capacity(32 + vk.serialized_size());
+/// --keys DIR` loads at startup: the 32-byte [`CircuitId`] digest, the
+/// 32-byte statement content digest the circuit was set up for (the second
+/// half of its ledger leaf), then the [`VerifyingKey`] artifact envelope.
+pub fn registration_bytes(id: CircuitId, statement_digest: [u8; 32], vk: &VerifyingKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + vk.serialized_size());
     out.extend_from_slice(id.as_bytes());
+    out.extend_from_slice(&statement_digest);
     out.extend_from_slice(&Artifact::to_bytes(vk));
     out
 }
 
 /// Parses a key-registration file written by [`registration_bytes`].
-pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, VerifyingKey), WireError> {
-    if bytes.len() < 32 {
+pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, [u8; 32], VerifyingKey), WireError> {
+    if bytes.len() < 64 {
         return Err(WireError::Truncated {
-            needed: 32,
+            needed: 64,
             got: bytes.len(),
         });
     }
     let mut id = [0u8; 32];
     id.copy_from_slice(&bytes[..32]);
-    let vk = <VerifyingKey as Artifact>::from_bytes(&bytes[32..])?;
-    Ok((CircuitId::from_bytes(id), vk))
+    let mut digest = [0u8; 32];
+    digest.copy_from_slice(&bytes[32..64]);
+    let vk = <VerifyingKey as Artifact>::from_bytes(&bytes[64..])?;
+    Ok((CircuitId::from_bytes(id), digest, vk))
+}
+
+/// Registers every `*.vk` key-registration file under `dir`; returns how
+/// many were loaded.
+///
+/// Files are processed in sorted path order, so the registration ledger —
+/// whose roots depend on append order — is identical across runs and
+/// machines for the same key directory, regardless of directory-iteration
+/// order.
+pub fn load_keys_dir(registry: &LedgeredRegistry, dir: &Path) -> Result<usize, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
+    let mut paths = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("vk") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+    let mut loaded = 0usize;
+    for path in paths {
+        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (id, digest, vk) =
+            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        registry.register(id, digest, &vk);
+        loaded += 1;
+    }
+    Ok(loaded)
 }
 
 #[cfg(test)]
@@ -123,10 +172,10 @@ mod tests {
     #[test]
     fn registration_rejects_short_buffers() {
         assert!(matches!(
-            parse_registration(&[0u8; 31]),
+            parse_registration(&[0u8; 63]),
             Err(WireError::Truncated {
-                needed: 32,
-                got: 31
+                needed: 64,
+                got: 63
             })
         ));
     }

@@ -43,6 +43,13 @@ pub struct Metrics {
     batches: AtomicU64,
     batched_claims: AtomicU64,
     batch_max: AtomicU64,
+    /// Ledger endpoint accounting: `ROOT` requests served, and per-proof
+    /// hit/miss splits for `PROVE_MEMBER` and `CONSISTENCY`.
+    ledger_roots: AtomicU64,
+    ledger_membership_proofs: AtomicU64,
+    ledger_membership_misses: AtomicU64,
+    ledger_consistency_proofs: AtomicU64,
+    ledger_consistency_misses: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -67,6 +74,11 @@ impl Metrics {
             batches: AtomicU64::new(0),
             batched_claims: AtomicU64::new(0),
             batch_max: AtomicU64::new(0),
+            ledger_roots: AtomicU64::new(0),
+            ledger_membership_proofs: AtomicU64::new(0),
+            ledger_membership_misses: AtomicU64::new(0),
+            ledger_consistency_proofs: AtomicU64::new(0),
+            ledger_consistency_misses: AtomicU64::new(0),
         }
     }
 
@@ -107,6 +119,35 @@ impl Metrics {
         self.batch_max.fetch_max(n as u64, Ordering::Relaxed);
     }
 
+    /// Records one `ROOT` request served.
+    pub fn record_ledger_root(&self) {
+        self.ledger_roots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `PROVE_MEMBER` request: `hit` iff the leaf was in the
+    /// ledger and a proof was returned.
+    pub fn record_membership(&self, hit: bool) {
+        if hit {
+            self.ledger_membership_proofs
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ledger_membership_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one `CONSISTENCY` request: `hit` iff the old size was a
+    /// valid prefix and a proof was returned.
+    pub fn record_consistency(&self, hit: bool) {
+        if hit {
+            self.ledger_consistency_proofs
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.ledger_consistency_misses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -124,6 +165,11 @@ impl Metrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_claims: self.batched_claims.load(Ordering::Relaxed),
             batch_max: self.batch_max.load(Ordering::Relaxed),
+            ledger_roots: self.ledger_roots.load(Ordering::Relaxed),
+            ledger_membership_proofs: self.ledger_membership_proofs.load(Ordering::Relaxed),
+            ledger_membership_misses: self.ledger_membership_misses.load(Ordering::Relaxed),
+            ledger_consistency_proofs: self.ledger_consistency_proofs.load(Ordering::Relaxed),
+            ledger_consistency_misses: self.ledger_consistency_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -164,6 +210,16 @@ pub struct MetricsSnapshot {
     pub batched_claims: u64,
     /// Largest single batch.
     pub batch_max: u64,
+    /// `ROOT` requests served.
+    pub ledger_roots: u64,
+    /// `PROVE_MEMBER` requests answered with a proof.
+    pub ledger_membership_proofs: u64,
+    /// `PROVE_MEMBER` requests for leaves not in the ledger.
+    pub ledger_membership_misses: u64,
+    /// `CONSISTENCY` requests answered with a proof.
+    pub ledger_consistency_proofs: u64,
+    /// `CONSISTENCY` requests for sizes beyond the current tree.
+    pub ledger_consistency_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -215,11 +271,16 @@ impl MetricsSnapshot {
 
     /// Renders the snapshot as the flat JSON document served by `STATS`.
     ///
-    /// `batching` and `circuits` are server-side state reported alongside
-    /// the counters.
-    pub fn to_json(&self, batching: bool, circuits: usize) -> String {
+    /// `batching`, `registered_circuits` and `ledger_size` are server-side
+    /// state reported alongside the counters.
+    ///
+    /// Schema history: `zkrownn-service-stats/v2` renamed `circuits` to
+    /// `registered_circuits` and added `ledger_size` plus the five
+    /// `ledger_*` operation counters; everything in v1 is otherwise
+    /// unchanged.
+    pub fn to_json(&self, batching: bool, registered_circuits: usize, ledger_size: u64) -> String {
         format!(
-            "{{\"schema\": \"zkrownn-service-stats/v1\", \"uptime_s\": {:.3}, \
+            "{{\"schema\": \"zkrownn-service-stats/v2\", \"uptime_s\": {:.3}, \
              \"requests\": {}, \"ok\": {}, \"negative_verdict\": {}, \"invalid_proof\": {}, \
              \"unknown_circuit\": {}, \"circuit_mismatch\": {}, \"statement_mismatch\": {}, \
              \"malformed_claim\": {}, \"internal\": {}, \"protocol_errors\": {}, \
@@ -227,7 +288,10 @@ impl MetricsSnapshot {
              \"latency_count\": {}, \"latency_mean_us\": {:.1}, \"latency_p50_us\": {}, \
              \"latency_p99_us\": {}, \"latency_max_us\": {}, \
              \"batches\": {}, \"batched_claims\": {}, \"batch_mean\": {:.3}, \"batch_max\": {}, \
-             \"batching\": {}, \"circuits\": {}}}",
+             \"ledger_roots\": {}, \"ledger_membership_proofs\": {}, \
+             \"ledger_membership_misses\": {}, \"ledger_consistency_proofs\": {}, \
+             \"ledger_consistency_misses\": {}, \
+             \"batching\": {}, \"registered_circuits\": {}, \"ledger_size\": {}}}",
             self.uptime.as_secs_f64(),
             self.requests,
             self.outcome(Status::Ok),
@@ -250,8 +314,14 @@ impl MetricsSnapshot {
             self.batched_claims,
             self.mean_batch(),
             self.batch_max,
+            self.ledger_roots,
+            self.ledger_membership_proofs,
+            self.ledger_membership_misses,
+            self.ledger_consistency_proofs,
+            self.ledger_consistency_misses,
             batching,
-            circuits,
+            registered_circuits,
+            ledger_size,
         )
     }
 }
@@ -312,11 +382,21 @@ mod tests {
         let m = Metrics::new();
         m.begin_verify();
         m.end_verify(Status::Ok, Duration::from_micros(1500));
-        let json = m.snapshot().to_json(true, 2);
+        m.record_ledger_root();
+        m.record_membership(true);
+        m.record_membership(false);
+        m.record_consistency(true);
+        let json = m.snapshot().to_json(true, 2, 5);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"zkrownn-service-stats/v1\""));
+        assert!(json.contains("\"schema\": \"zkrownn-service-stats/v2\""));
         assert!(json.contains("\"batching\": true"));
-        assert!(json.contains("\"circuits\": 2"));
+        assert!(json.contains("\"registered_circuits\": 2"));
+        assert!(json.contains("\"ledger_size\": 5"));
+        assert!(json.contains("\"ledger_roots\": 1"));
+        assert!(json.contains("\"ledger_membership_proofs\": 1"));
+        assert!(json.contains("\"ledger_membership_misses\": 1"));
+        assert!(json.contains("\"ledger_consistency_proofs\": 1"));
+        assert!(json.contains("\"ledger_consistency_misses\": 0"));
         assert!(json.contains("\"requests\": 1"));
         assert!(!json.contains("NaN") && !json.contains("inf"));
     }

@@ -16,6 +16,9 @@
 //! | `0x02` | `STATS`       | empty — response payload is the metrics JSON |
 //! | `0x03` | `SET_BATCHING`| one byte, `0` or `1`                      |
 //! | `0x04` | `SHUTDOWN`    | empty — asks the server to drain and exit |
+//! | `0x05` | `ROOT`        | empty — response payload is a `LedgerRoot` artifact |
+//! | `0x06` | `PROVE_MEMBER`| a 64-byte registry leaf encoding — response payload is a `MembershipProof` artifact |
+//! | `0x07` | `CONSISTENCY` | eight bytes, `u64` LE old tree size — response payload is a `ConsistencyProof` artifact |
 //!
 //! Responses carry a [`Status`] byte; error statuses put a human-readable
 //! UTF-8 message in the payload. Frames above [`MAX_FRAME_LEN`] are
@@ -46,6 +49,15 @@ pub enum Opcode {
     SetBatching = 0x03,
     /// Graceful shutdown: stop accepting, drain in-flight work, exit.
     Shutdown = 0x04,
+    /// Fetch the current registry-ledger head (a `LedgerRoot` artifact).
+    Root = 0x05,
+    /// Prove a `(circuit, statement)` leaf is in the ledger (payload = the
+    /// 64-byte leaf encoding; response = a `MembershipProof` artifact).
+    ProveMember = 0x06,
+    /// Prove the ledger at an earlier size is a prefix of the current one
+    /// (payload = `u64` LE old size; response = a `ConsistencyProof`
+    /// artifact).
+    Consistency = 0x07,
 }
 
 impl Opcode {
@@ -56,6 +68,9 @@ impl Opcode {
             0x02 => Some(Self::Stats),
             0x03 => Some(Self::SetBatching),
             0x04 => Some(Self::Shutdown),
+            0x05 => Some(Self::Root),
+            0x06 => Some(Self::ProveMember),
+            0x07 => Some(Self::Consistency),
             _ => None,
         }
     }
@@ -72,6 +87,12 @@ pub enum Request {
     SetBatching(bool),
     /// Graceful shutdown.
     Shutdown,
+    /// Fetch the current ledger head.
+    Root,
+    /// Prove membership of the enclosed 64-byte registry leaf encoding.
+    ProveMember([u8; 64]),
+    /// Prove consistency from the enclosed old tree size.
+    Consistency(u64),
 }
 
 impl Request {
@@ -82,6 +103,9 @@ impl Request {
             Self::Stats => Opcode::Stats,
             Self::SetBatching(_) => Opcode::SetBatching,
             Self::Shutdown => Opcode::Shutdown,
+            Self::Root => Opcode::Root,
+            Self::ProveMember(_) => Opcode::ProveMember,
+            Self::Consistency(_) => Opcode::Consistency,
         }
     }
 }
@@ -109,6 +133,10 @@ pub enum Status {
     MalformedClaim = 0x06,
     /// Any other server-side failure.
     Internal = 0x07,
+    /// A ledger query named something the ledger does not hold: a
+    /// `(circuit, statement)` pair never registered, or a claimed old
+    /// size beyond the current tree.
+    NotInLedger = 0x08,
     /// The *frame* was malformed (bad opcode, oversized length, bad
     /// payload shape); the server closes the connection after sending
     /// this, since framing can't be resynchronized.
@@ -127,6 +155,7 @@ impl Status {
             0x05 => Some(Self::StatementMismatch),
             0x06 => Some(Self::MalformedClaim),
             0x07 => Some(Self::Internal),
+            0x08 => Some(Self::NotInLedger),
             0xFF => Some(Self::Protocol),
             _ => None,
         }
@@ -262,12 +291,13 @@ pub fn read_request_body(opcode: u8, r: &mut impl Read) -> Result<Request, Proto
     let len = read_len(r)?;
     match opcode {
         Opcode::Verify => Ok(Request::Verify(read_payload(r, len)?)),
-        Opcode::Stats | Opcode::Shutdown => {
+        Opcode::Stats | Opcode::Shutdown | Opcode::Root => {
             if len != 0 {
                 return Err(ProtocolError::BadPayload { opcode, len });
             }
             Ok(match opcode {
                 Opcode::Stats => Request::Stats,
+                Opcode::Root => Request::Root,
                 _ => Request::Shutdown,
             })
         }
@@ -281,6 +311,24 @@ pub fn read_request_body(opcode: u8, r: &mut impl Read) -> Result<Request, Proto
                 1 => Ok(Request::SetBatching(true)),
                 _ => Err(ProtocolError::BadPayload { opcode, len }),
             }
+        }
+        Opcode::ProveMember => {
+            if len != 64 {
+                return Err(ProtocolError::BadPayload { opcode, len });
+            }
+            let payload = read_payload(r, 64)?;
+            let mut leaf = [0u8; 64];
+            leaf.copy_from_slice(&payload);
+            Ok(Request::ProveMember(leaf))
+        }
+        Opcode::Consistency => {
+            if len != 8 {
+                return Err(ProtocolError::BadPayload { opcode, len });
+            }
+            let payload = read_payload(r, 8)?;
+            let mut size = [0u8; 8];
+            size.copy_from_slice(&payload);
+            Ok(Request::Consistency(u64::from_le_bytes(size)))
         }
     }
 }
@@ -310,8 +358,10 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
     let tag = req.opcode() as u8;
     match req {
         Request::Verify(bytes) => write_frame(w, tag, bytes),
-        Request::Stats | Request::Shutdown => write_frame(w, tag, &[]),
+        Request::Stats | Request::Shutdown | Request::Root => write_frame(w, tag, &[]),
         Request::SetBatching(on) => write_frame(w, tag, &[u8::from(*on)]),
+        Request::ProveMember(leaf) => write_frame(w, tag, leaf),
+        Request::Consistency(old_size) => write_frame(w, tag, &old_size.to_le_bytes()),
     }
 }
 

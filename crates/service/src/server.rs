@@ -20,7 +20,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use zkrownn::{Artifact, ShardedKeyRegistry, SignedClaim};
+use zkrownn::{Artifact, SignedClaim};
+use zkrownn_ledger::{LedgerLeaf, LedgeredRegistry};
 
 use crate::batcher::{Coalescer, CoalescerConfig};
 use crate::metrics::Metrics;
@@ -71,7 +72,7 @@ struct Shared {
     last_activity_ms: AtomicU64,
     metrics: Arc<Metrics>,
     coalescer: Coalescer,
-    registry: Arc<ShardedKeyRegistry>,
+    registry: Arc<LedgeredRegistry>,
     frame_deadline: Duration,
     poll_interval: Duration,
 }
@@ -144,8 +145,8 @@ impl ServerHandle {
 ///
 /// The registry is shared — the embedding process may keep registering
 /// circuits while the server runs (registration write-locks only the
-/// target shard).
-pub fn serve(config: ServerConfig, registry: Arc<ShardedKeyRegistry>) -> io::Result<ServerHandle> {
+/// target shard and appends a leaf to the registration ledger).
+pub fn serve(config: ServerConfig, registry: Arc<LedgeredRegistry>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -157,7 +158,7 @@ pub fn serve(config: ServerConfig, registry: Arc<ShardedKeyRegistry>) -> io::Res
         last_activity_ms: AtomicU64::new(0),
         metrics: Arc::clone(&metrics),
         coalescer: Coalescer::new(
-            Arc::clone(&registry),
+            Arc::clone(registry.keys()),
             Arc::clone(&metrics),
             config.coalescer,
         ),
@@ -354,13 +355,65 @@ fn dispatch(shared: &Shared, writer: &mut impl Write, request: Request) -> bool 
             write_response(writer, &response).is_ok()
         }
         Request::Stats => {
-            let json = shared
-                .metrics
-                .snapshot()
-                .to_json(shared.coalescer.batching(), shared.registry.len());
+            let json = shared.metrics.snapshot().to_json(
+                shared.coalescer.batching(),
+                shared.registry.len(),
+                shared.registry.ledger_size(),
+            );
             let response = Response {
                 status: Status::Ok,
                 payload: json.into_bytes(),
+            };
+            write_response(writer, &response).is_ok()
+        }
+        Request::Root => {
+            shared.metrics.record_ledger_root();
+            let response = Response {
+                status: Status::Ok,
+                payload: shared.registry.current_root().to_bytes(),
+            };
+            write_response(writer, &response).is_ok()
+        }
+        Request::ProveMember(leaf_bytes) => {
+            let leaf = LedgerLeaf::from_bytes(&leaf_bytes)
+                .expect("a 64-byte buffer always decodes as a leaf");
+            let response = match shared.registry.prove_member(&leaf) {
+                Some(proof) => {
+                    shared.metrics.record_membership(true);
+                    Response {
+                        status: Status::Ok,
+                        payload: proof.to_bytes(),
+                    }
+                }
+                None => {
+                    shared.metrics.record_membership(false);
+                    Response::error(
+                        Status::NotInLedger,
+                        "no such (circuit, statement) registration in the ledger",
+                    )
+                }
+            };
+            write_response(writer, &response).is_ok()
+        }
+        Request::Consistency(old_size) => {
+            let response = match shared.registry.prove_consistency(old_size) {
+                Some(proof) => {
+                    shared.metrics.record_consistency(true);
+                    Response {
+                        status: Status::Ok,
+                        payload: proof.to_bytes(),
+                    }
+                }
+                None => {
+                    shared.metrics.record_consistency(false);
+                    Response::error(
+                        Status::NotInLedger,
+                        format!(
+                            "old size {old_size} exceeds the current ledger size {}",
+                            shared.registry.ledger_size()
+                        ),
+                    )
+                }
             };
             write_response(writer, &response).is_ok()
         }

@@ -15,13 +15,13 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use rand::SeedableRng;
-use zkrownn::{
-    Artifact, Authority, ExtractionSpec, QuantLayer, QuantizedModel, ShardedKeyRegistry,
-};
+use zkrownn::{Artifact, Authority, CircuitId, ExtractionSpec, QuantLayer, QuantizedModel};
 use zkrownn_gadgets::FixedConfig;
+use zkrownn_groth16::VerifyingKey;
+use zkrownn_ledger::{verify_consistency, verify_membership, LedgerLeaf, LedgerRoot};
 use zkrownn_service::{
-    read_response, serve, stats_field_bool, stats_field_u64, Client, Request, ServerConfig,
-    ServerHandle, Status,
+    load_keys_dir, parse_registration, read_response, registration_bytes, serve, stats_field_bool,
+    stats_field_u64, Client, LedgeredRegistry, Request, ServerConfig, ServerHandle, Status,
 };
 
 /// A tiny, deterministic extraction spec (no training). Projections come
@@ -56,6 +56,9 @@ fn tiny_spec(signature: Vec<bool>) -> ExtractionSpec {
 struct Fixture {
     /// Registered circuit + key for the honest claims.
     id: [u8; 32],
+    /// Content digest of the statement the circuit was set up for — the
+    /// second half of its ledger leaf.
+    statement_digest: [u8; 32],
     vk_bytes: Vec<u8>,
     /// Distinct honest claims (verdict 1, verify under `vk`).
     claims: Vec<Vec<u8>>,
@@ -108,6 +111,7 @@ fn fixture() -> &'static Fixture {
 
         Fixture {
             id: *verifier.circuit_id().as_bytes(),
+            statement_digest: prover.statement().content_digest(),
             vk_bytes: Artifact::to_bytes(verifier.verifying_key()),
             claims,
             negative: negative.to_bytes(),
@@ -117,11 +121,18 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-fn test_registry() -> Arc<ShardedKeyRegistry> {
+fn fixture_vk() -> VerifyingKey {
+    Artifact::from_bytes(&fixture().vk_bytes).expect("fixture vk decodes")
+}
+
+fn test_registry() -> Arc<LedgeredRegistry> {
     let f = fixture();
-    let vk = Artifact::from_bytes(&f.vk_bytes).expect("fixture vk decodes");
-    let registry = Arc::new(ShardedKeyRegistry::new());
-    registry.register(zkrownn::CircuitId::from_bytes(f.id), &vk);
+    let registry = Arc::new(LedgeredRegistry::new());
+    registry.register(
+        CircuitId::from_bytes(f.id),
+        f.statement_digest,
+        &fixture_vk(),
+    );
     registry
 }
 
@@ -160,7 +171,8 @@ fn happy_path_claim_verifies_over_the_socket() {
     let stats = client.stats_json().unwrap();
     assert_eq!(stats_field_u64(&stats, "requests"), Some(1));
     assert_eq!(stats_field_u64(&stats, "ok"), Some(1));
-    assert_eq!(stats_field_u64(&stats, "circuits"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "registered_circuits"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "ledger_size"), Some(1));
     assert_eq!(stats_field_bool(&stats, "batching"), Some(true));
     assert_eq!(stats.matches('{').count(), stats.matches('}').count());
 
@@ -324,4 +336,158 @@ fn handle_shutdown_stops_a_server_with_open_connections() {
     let _parked = TcpStream::connect(handle.addr()).unwrap(); // idle client
     handle.shutdown();
     join_within(handle, Duration::from_secs(5));
+}
+
+/// The tentpole acceptance path: register N keys, fetch the root and a
+/// membership proof for each over the socket, *shut the authority down*,
+/// and verify every registration offline from bytes alone.
+#[test]
+fn membership_proofs_verify_offline_after_the_authority_is_gone() {
+    let vk = fixture_vk();
+    let registry = Arc::new(LedgeredRegistry::new());
+    let leaves: Vec<LedgerLeaf> = (0..9u8)
+        .map(|i| {
+            let leaf = LedgerLeaf {
+                circuit_id: CircuitId::from_bytes([i + 1; 32]),
+                statement_digest: [0x40 + i; 32],
+            };
+            let reg = registry.register(leaf.circuit_id, leaf.statement_digest, &vk);
+            assert_eq!(reg.appended_at, Some(u64::from(i)));
+            leaf
+        })
+        .collect();
+
+    let handle = serve(test_config(), Arc::clone(&registry)).expect("server binds");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let root_response = client.ledger_root().unwrap();
+    assert_eq!(root_response.status, Status::Ok);
+    let root_bytes = root_response.payload;
+
+    let proofs: Vec<Vec<u8>> = leaves
+        .iter()
+        .map(|leaf| {
+            let response = client.prove_member(leaf).unwrap();
+            assert_eq!(response.status, Status::Ok);
+            response.payload
+        })
+        .collect();
+
+    // a pair that was never registered is a typed miss, not a protocol kill
+    let stranger = LedgerLeaf {
+        circuit_id: CircuitId::from_bytes([0xEE; 32]),
+        statement_digest: [0; 32],
+    };
+    let response = client.prove_member(&stranger).unwrap();
+    assert_eq!(response.status, Status::NotInLedger);
+
+    let stats = client.stats_json().unwrap();
+    assert_eq!(stats_field_u64(&stats, "registered_circuits"), Some(9));
+    assert_eq!(stats_field_u64(&stats, "ledger_size"), Some(9));
+    assert_eq!(stats_field_u64(&stats, "ledger_roots"), Some(1));
+    assert_eq!(stats_field_u64(&stats, "ledger_membership_proofs"), Some(9));
+    assert_eq!(stats_field_u64(&stats, "ledger_membership_misses"), Some(1));
+
+    // the authority is gone for good...
+    handle.shutdown_and_join();
+    drop(registry);
+
+    // ...yet every registration checks out from the captured bytes alone
+    for (leaf, proof_bytes) in leaves.iter().zip(&proofs) {
+        verify_membership(&root_bytes, &leaf.to_bytes(), proof_bytes)
+            .expect("offline verification needs no authority");
+    }
+    // and each proof is pinned to its own leaf
+    assert!(verify_membership(&root_bytes, &leaves[0].to_bytes(), &proofs[1]).is_err());
+}
+
+/// Root at size K must be provably a prefix of the root at size N after
+/// the embedding process registers more circuits at runtime.
+#[test]
+fn consistency_proofs_link_roots_across_runtime_registrations() {
+    let vk = fixture_vk();
+    let registry = Arc::new(LedgeredRegistry::new());
+    for i in 0..3u8 {
+        registry.register(CircuitId::from_bytes([i + 1; 32]), [i; 32], &vk);
+    }
+
+    let handle = serve(test_config(), Arc::clone(&registry)).expect("server binds");
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let old_root_bytes = client.ledger_root().unwrap().payload;
+    let old_root: LedgerRoot = Artifact::from_bytes(&old_root_bytes).unwrap();
+    assert_eq!(old_root.size, 3);
+
+    // the registry keeps growing while the server runs
+    for i in 3..8u8 {
+        registry.register(CircuitId::from_bytes([i + 1; 32]), [i; 32], &vk);
+    }
+
+    let new_root_bytes = client.ledger_root().unwrap().payload;
+    let response = client.consistency(old_root.size).unwrap();
+    assert_eq!(response.status, Status::Ok);
+    let proof_bytes = response.payload;
+
+    // an old size beyond the tree is a typed miss
+    let miss = client.consistency(999).unwrap();
+    assert_eq!(miss.status, Status::NotInLedger);
+
+    let stats = client.stats_json().unwrap();
+    assert_eq!(
+        stats_field_u64(&stats, "ledger_consistency_proofs"),
+        Some(1)
+    );
+    assert_eq!(
+        stats_field_u64(&stats, "ledger_consistency_misses"),
+        Some(1)
+    );
+
+    handle.shutdown_and_join();
+
+    verify_consistency(&old_root_bytes, &new_root_bytes, &proof_bytes)
+        .expect("the old registry is a prefix of the new one");
+    // swapped roots must not verify
+    assert!(verify_consistency(&new_root_bytes, &old_root_bytes, &proof_bytes).is_err());
+}
+
+/// `zkrownn-authority --keys DIR` loads registrations in sorted path
+/// order, so the published ledger root is reproducible no matter what
+/// order the filesystem hands back directory entries.
+#[test]
+fn key_directory_loading_is_deterministic_and_sorted() {
+    let vk = fixture_vk();
+    let files: Vec<(String, Vec<u8>)> = (0..6u8)
+        .map(|i| {
+            let id = CircuitId::from_bytes([0x30 + i; 32]);
+            (format!("key-{i}.vk"), registration_bytes(id, [i; 32], &vk))
+        })
+        .collect();
+
+    let base = std::env::temp_dir().join(format!("zkrownn-e2e-keys-{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    std::fs::create_dir_all(&dir_a).unwrap();
+    std::fs::create_dir_all(&dir_b).unwrap();
+    for (name, bytes) in &files {
+        std::fs::write(dir_a.join(name), bytes).unwrap();
+    }
+    for (name, bytes) in files.iter().rev() {
+        std::fs::write(dir_b.join(name), bytes).unwrap();
+    }
+
+    let reg_a = LedgeredRegistry::new();
+    let reg_b = LedgeredRegistry::new();
+    assert_eq!(load_keys_dir(&reg_a, &dir_a).unwrap(), 6);
+    assert_eq!(load_keys_dir(&reg_b, &dir_b).unwrap(), 6);
+    assert_eq!(reg_a.current_root().root, reg_b.current_root().root);
+
+    // ...and that order is exactly sorted-by-name
+    let by_hand = LedgeredRegistry::new();
+    for (_, bytes) in &files {
+        let (id, digest, parsed_vk) = parse_registration(bytes).unwrap();
+        by_hand.register(id, digest, &parsed_vk);
+    }
+    assert_eq!(reg_a.current_root().root, by_hand.current_root().root);
+
+    std::fs::remove_dir_all(&base).ok();
 }

@@ -11,7 +11,7 @@ use zkrownn_service::{
     Response, Status, HEADER_LEN, MAX_FRAME_LEN,
 };
 
-const ALL_STATUSES: [Status; 9] = [
+const ALL_STATUSES: [Status; 10] = [
     Status::Ok,
     Status::NegativeVerdict,
     Status::InvalidProof,
@@ -20,19 +20,25 @@ const ALL_STATUSES: [Status; 9] = [
     Status::StatementMismatch,
     Status::MalformedClaim,
     Status::Internal,
+    Status::NotInLedger,
     Status::Protocol,
 ];
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..4,
+        0u8..7,
         prop::collection::vec(any::<u8>(), 0..300),
         any::<bool>(),
+        any::<[u8; 64]>(),
+        any::<u64>(),
     )
-        .prop_map(|(kind, bytes, on)| match kind {
+        .prop_map(|(kind, bytes, on, leaf, old_size)| match kind {
             0 => Request::Verify(bytes),
             1 => Request::Stats,
             2 => Request::SetBatching(on),
+            3 => Request::Root,
+            4 => Request::ProveMember(leaf),
+            5 => Request::Consistency(old_size),
             _ => Request::Shutdown,
         })
 }
@@ -110,7 +116,7 @@ proptest! {
 
 #[test]
 fn oversized_length_is_rejected_before_allocation() {
-    for opcode in [0x01u8, 0x02, 0x03, 0x04] {
+    for opcode in [0x01u8, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07] {
         let mut wire = vec![opcode];
         wire.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
         assert_eq!(
@@ -133,7 +139,7 @@ fn oversized_length_is_rejected_before_allocation() {
 
 #[test]
 fn unknown_opcodes_and_statuses_are_typed() {
-    for b in [0x00u8, 0x05, 0x7f, 0xff] {
+    for b in [0x00u8, 0x08, 0x7f, 0xff] {
         let mut wire = vec![b];
         wire.extend_from_slice(&0u32.to_le_bytes());
         assert_eq!(
@@ -151,14 +157,36 @@ fn unknown_opcodes_and_statuses_are_typed() {
 
 #[test]
 fn wrong_payload_shapes_are_bad_payload() {
-    // STATS and SHUTDOWN must be empty
-    for (opcode, name) in [(Opcode::Stats, 0x02u8), (Opcode::Shutdown, 0x04)] {
+    // STATS, SHUTDOWN and ROOT must be empty
+    for (opcode, name) in [
+        (Opcode::Stats, 0x02u8),
+        (Opcode::Shutdown, 0x04),
+        (Opcode::Root, 0x05),
+    ] {
         let mut wire = vec![name];
         wire.extend_from_slice(&3u32.to_le_bytes());
         wire.extend_from_slice(b"abc");
         assert_eq!(
             read_request(&mut Cursor::new(&wire)),
             Err(ProtocolError::BadPayload { opcode, len: 3 })
+        );
+    }
+    // PROVE_MEMBER takes exactly 64 bytes, CONSISTENCY exactly 8
+    for (opcode, name, len) in [
+        (Opcode::ProveMember, 0x06u8, 63u32),
+        (Opcode::ProveMember, 0x06, 65),
+        (Opcode::Consistency, 0x07, 7),
+        (Opcode::Consistency, 0x07, 9),
+    ] {
+        let mut wire = vec![name];
+        wire.extend_from_slice(&len.to_le_bytes());
+        wire.extend_from_slice(&vec![0u8; len as usize]);
+        assert_eq!(
+            read_request(&mut Cursor::new(&wire)),
+            Err(ProtocolError::BadPayload {
+                opcode,
+                len: len as usize
+            })
         );
     }
     // SET_BATCHING takes exactly one 0/1 byte

@@ -8,6 +8,9 @@
 //!   `Authority::setup` → `ProverKit::prove` → `VerifierKit::verify`, with
 //!   `KeyRegistry::verify_batch` for many-claim services and the
 //!   `Artifact` wire format for everything that crosses a process)
+//! * [`zkrownn_ledger`] — the registry as a verifiable log: an append-only
+//!   Merkle accumulator over registrations with offline-checkable
+//!   membership and consistency proofs
 //! * [`zkrownn_deepsigns`] — DeepSigns watermark embedding/extraction
 //! * [`zkrownn_nn`] — the neural-network substrate
 //! * [`zkrownn_groth16`] / [`zkrownn_gadgets`] / [`zkrownn_r1cs`] — the
@@ -23,6 +26,7 @@ pub use zkrownn_deepsigns;
 pub use zkrownn_ff;
 pub use zkrownn_gadgets;
 pub use zkrownn_groth16;
+pub use zkrownn_ledger;
 pub use zkrownn_nn;
 pub use zkrownn_pairing;
 pub use zkrownn_poly;
