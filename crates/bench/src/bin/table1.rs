@@ -3,15 +3,31 @@
 //! ```text
 //! table1                         # all Table I rows at paper scale
 //! table1 --scale quick           # reduced dimensions (seconds, not minutes)
+//! table1 --scale full            # paper dimensions through the on-disk key
+//!                                # store (streaming setup + prover)
+//! table1 --mem-budget 64         # cap the streaming working set at 64 MB
+//!                                # (routes any scale through the store)
 //! table1 --row matmult --row ber # selected rows only
 //! table1 --json                  # also emit machine-readable BENCH_prover.json
 //! table1 --table2                # print the Table II architecture spec
 //! table1 --robustness            # watermark-robustness sweep (attack study)
 //! table1 --fixed-point           # fixed-point sigmoid precision ablation
-//! table1 --smoke                 # CI smoke: cheapest rows at quick scale
+//! table1 --smoke                 # CI smoke: cheapest rows at quick scale,
+//!                                # plus cifar-cnn streamed at 64 MB
 //! ```
 
-use zkrownn_bench::{build_row, format_table, measure, prover_json, RowMetrics, Scale, ROW_NAMES};
+use zkrownn_bench::{
+    build_row, format_table, measure, measure_with_store, prover_json, MemoryBudget, RowMetrics,
+    Scale, ROW_NAMES,
+};
+
+/// Default streaming budget for `--scale full` when `--mem-budget` is not
+/// given: large enough that chunking costs little, far below the paper
+/// rows' multi-GB in-memory keys.
+const DEFAULT_FULL_BUDGET_MB: usize = 256;
+
+/// Streaming budget for the store-backed `--smoke` row.
+const SMOKE_BUDGET_MB: usize = 64;
 
 fn print_table2() {
     println!("Table II — DNN benchmark architectures\n");
@@ -129,11 +145,30 @@ fn run_fixed_point_ablation() {
     println!("\n(default config: 16 tensor bits / 32 sigmoid bits — the smallest sigmoid scale where the x⁹ Chebyshev coefficient survives)");
 }
 
+fn report_row(m: &RowMetrics) {
+    eprintln!(
+        "[{}] setup {:.1?} (qap {:.1?}, commit {:.1?}), prove {:.1?} (witness_map {:.1?}, msm {:.1?}), verify {:.2?}",
+        m.name,
+        m.setup_time, m.setup_qap_time, m.setup_commit_time,
+        m.prove_time, m.witness_map_time, m.msm_time, m.verify_time
+    );
+    if m.key_segments > 0 {
+        eprintln!(
+            "[{}] key store: {} segments, {:.2} MB on disk, peak RSS {:.1} MB",
+            m.name,
+            m.key_segments,
+            m.pk_bytes as f64 / 1e6,
+            m.peak_rss_bytes as f64 / 1e6
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: table1 [--scale paper|quick] [--row NAME]... [--json]\n\
+            "usage: table1 [--scale paper|quick|full] [--mem-budget MB]\n\
+             \x20      [--row NAME]... [--json]\n\
              \x20      [--table2] [--robustness] [--fixed-point] [--smoke]\n\
              rows: {}",
             ROW_NAMES.join(", ")
@@ -156,15 +191,30 @@ fn main() {
     // --smoke: the CI bitrot check — cheapest rows at quick scale, so the
     // whole build→setup→prove→verify path runs in seconds.
     let smoke = args.iter().any(|a| a == "--smoke");
-    let scale = match args
+    let mem_budget_mb: Option<usize> = args.iter().position(|a| a == "--mem-budget").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&mb| mb > 0)
+            .unwrap_or_else(|| panic!("--mem-budget expects a positive MB count"))
+    });
+    let scale_arg = args
         .iter()
         .position(|a| a == "--scale")
         .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-    {
-        Some("quick") => Scale::Quick,
-        None if smoke => Scale::Quick,
-        _ => Scale::Paper,
+        .map(String::as_str);
+    // `full` is paper dimensions routed through the on-disk key store, so
+    // the big rows run without materializing multi-GB proving keys; an
+    // explicit --mem-budget routes whichever scale was picked the same way
+    let (scale, store_budget) = match scale_arg {
+        Some("quick") => (Scale::Quick, mem_budget_mb.map(MemoryBudget::from_mb)),
+        Some("full") => (
+            Scale::Paper,
+            Some(MemoryBudget::from_mb(
+                mem_budget_mb.unwrap_or(DEFAULT_FULL_BUDGET_MB),
+            )),
+        ),
+        None if smoke => (Scale::Quick, mem_budget_mb.map(MemoryBudget::from_mb)),
+        _ => (Scale::Paper, mem_budget_mb.map(MemoryBudget::from_mb)),
     };
     let mut rows: Vec<&str> = args
         .iter()
@@ -181,10 +231,14 @@ fn main() {
     }
 
     println!(
-        "ZKROWNN Table I reproduction — scale: {scale:?}, {} threads\n",
+        "ZKROWNN Table I reproduction — scale: {scale:?}, {} threads{}\n",
         std::thread::available_parallelism()
             .map(|v| v.get())
-            .unwrap_or(1)
+            .unwrap_or(1),
+        match store_budget {
+            Some(b) => format!(", streaming key store @ {} MB", b.bytes() >> 20),
+            None => String::new(),
+        }
     );
     let mut measured: Vec<RowMetrics> = Vec::new();
     for row in rows {
@@ -198,12 +252,28 @@ fn main() {
             "[{canonical}] {} constraints; running setup/prove/verify …",
             cs.num_constraints()
         );
-        let m = measure(canonical, &cs);
+        let m = match store_budget {
+            Some(budget) => measure_with_store(canonical, &cs, budget),
+            None => measure(canonical, &cs),
+        };
+        report_row(&m);
+        measured.push(m);
+    }
+
+    // --smoke also exercises the streaming pipeline end to end: the
+    // heaviest quick row, chunked through an on-disk key store at a fixed
+    // budget (this is the row the CI memory-cap lane and the schema-v3
+    // peak-RSS gate key on)
+    if smoke && store_budget.is_none() {
+        let canonical = "cifar-cnn";
+        eprintln!("[{canonical}] building circuit (streamed @ {SMOKE_BUDGET_MB} MB) …");
+        let cs = build_row(canonical, scale);
         eprintln!(
-            "[{canonical}] setup {:.1?} (qap {:.1?}, commit {:.1?}), prove {:.1?} (witness_map {:.1?}, msm {:.1?}), verify {:.2?}",
-            m.setup_time, m.setup_qap_time, m.setup_commit_time,
-            m.prove_time, m.witness_map_time, m.msm_time, m.verify_time
+            "[{canonical}] {} constraints; running streaming setup/prove/verify …",
+            cs.num_constraints()
         );
+        let m = measure_with_store(canonical, &cs, MemoryBudget::from_mb(SMOKE_BUDGET_MB));
+        report_row(&m);
         measured.push(m);
     }
     println!("{}", format_table(&measured));

@@ -32,6 +32,9 @@ use zkrownn_gadgets::{ber::ber_circuit, FixedConfig, Num};
 use zkrownn_groth16::{create_proof_timed, verify_proof_prepared, SetupContext, ToxicWaste};
 use zkrownn_nn::{generate_gmm, Dense, GmmConfig, Layer, Network};
 use zkrownn_r1cs::{Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
+use zkrownn_store::{create_proof_streamed_timed, KeyStore, KeyStoreWriter, StoreBackend};
+
+pub use zkrownn_curves::MemoryBudget;
 
 /// Benchmark scale: the paper's exact dimensions, or reduced ones for
 /// quick runs / CI.
@@ -78,6 +81,14 @@ pub struct RowMetrics {
     pub vk_bytes: usize,
     /// Verifier wall time.
     pub verify_time: Duration,
+    /// Peak resident-set size (`VmHWM`) observed across setup + prove +
+    /// verify, in bytes. `0` when the platform exposes no high-water mark
+    /// (non-Linux) or for the in-memory [`measure`] path, which predates
+    /// the column.
+    pub peak_rss_bytes: u64,
+    /// Number of segments in the on-disk key store consumed by the
+    /// streamed prover; `0` for the in-memory [`measure`] path.
+    pub key_segments: usize,
 }
 
 /// The paper's reported numbers for a row (for side-by-side printing).
@@ -577,7 +588,117 @@ pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
         proof_bytes: proof.to_bytes().len(),
         vk_bytes: pk.vk.serialized_size(),
         verify_time,
+        peak_rss_bytes: 0,
+        key_segments: 0,
     }
+}
+
+/// Resets the kernel's peak-RSS high-water mark for this process, so the
+/// next [`peak_rss_bytes`] reading covers only work done after the reset.
+/// Best-effort: a no-op where `/proc/self/clear_refs` is unavailable.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// The process's peak resident-set size (`VmHWM`) in bytes, or `0` where
+/// `/proc/self/status` is unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// [`measure`]'s store-backed twin: runs the *streaming* pipeline end to
+/// end — keygen chunked under `budget` straight into an on-disk `.zkst`
+/// key store, then the segment-aware prover consuming base chunks from
+/// that store at the same budget — and reports the usual Table I metrics
+/// plus the peak-RSS and key-segment columns.
+///
+/// The proving key is never materialized in memory: `pk_bytes` reports the
+/// on-disk store size, and the store is read through the buffered backend
+/// so the footprint stays honest even under an address-space cap (mmap
+/// would count the whole file against `ulimit -v`).
+///
+/// # Panics
+/// Panics on an unsatisfied circuit, on store I/O failures, or if the
+/// streamed proof fails to verify.
+pub fn measure_with_store(
+    name: &'static str,
+    cs: &ProvingSynthesizer<Fr>,
+    budget: MemoryBudget,
+) -> RowMetrics {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xbe9c);
+    assert!(cs.is_satisfied().is_ok(), "{name}: unsatisfied circuit");
+    let store_path =
+        std::env::temp_dir().join(format!("zkrownn-bench-{}-{name}.zkst", std::process::id()));
+
+    reset_peak_rss();
+    let t = Instant::now();
+    let setup_ctx = SetupContext::new(cs.to_matrices());
+    let context_time = t.elapsed();
+
+    let toxic = ToxicWaste::sample(&mut rng);
+    let t = Instant::now();
+    let mut sink = KeyStoreWriter::create(&store_path, None)
+        .unwrap_or_else(|e| panic!("{name}: creating key store: {e}"));
+    let setup_timings = setup_ctx
+        .generate_streaming_with(&toxic, &mut sink, budget)
+        .unwrap_or_else(|e| panic!("{name}: streaming keygen: {e}"));
+    sink.finish()
+        .unwrap_or_else(|e| panic!("{name}: finishing key store: {e}"));
+    let setup_time = t.elapsed();
+    let ctx = setup_ctx.into_prover_context();
+
+    let store = KeyStore::open_with(&store_path, StoreBackend::Buffered)
+        .unwrap_or_else(|e| panic!("{name}: opening key store: {e}"));
+    let z = cs.full_assignment();
+    let r = Fr::random(&mut rng);
+    let s = Fr::random(&mut rng);
+    let (proof, timings) = create_proof_streamed_timed(&store, &ctx, &z, r, s, budget)
+        .unwrap_or_else(|e| panic!("{name}: streamed prover: {e}"));
+
+    let publics: Vec<Fr> = cs.instance_assignment()[1..].to_vec();
+    let vk = store
+        .verifying_key()
+        .unwrap_or_else(|e| panic!("{name}: reading vk from store: {e}"));
+    let pvk = vk.prepare();
+    let t = Instant::now();
+    verify_proof_prepared(&pvk, &proof, &publics).expect("streamed proof must verify");
+    let verify_time = t.elapsed();
+
+    let metrics = RowMetrics {
+        name,
+        constraints: cs.num_constraints(),
+        domain_size: ctx.domain().size,
+        setup_time,
+        setup_qap_time: setup_timings.qap_eval,
+        setup_commit_time: setup_timings.commit,
+        pk_bytes: store.file().file_len() as usize,
+        context_time,
+        prove_time: timings.total,
+        witness_map_time: timings.witness_map,
+        msm_time: timings.msm,
+        proof_bytes: proof.to_bytes().len(),
+        vk_bytes: vk.serialized_size(),
+        verify_time,
+        peak_rss_bytes: peak_rss_bytes(),
+        key_segments: store.segment_count(),
+    };
+    drop(store);
+    let _ = std::fs::remove_file(&store_path);
+    metrics
 }
 
 /// Serializes measured rows as the `BENCH_prover.json` document: schema
@@ -586,10 +707,12 @@ pub fn measure(name: &'static str, cs: &ProvingSynthesizer<Fr>) -> RowMetrics {
 /// strictly valid JSON: names are ASCII identifiers, numbers finite.
 ///
 /// Schema `v2` added the trusted-setup phase breakdown
-/// (`setup_qap_s` / `setup_commit_s`) alongside `setup_s`.
+/// (`setup_qap_s` / `setup_commit_s`) alongside `setup_s`; schema `v3`
+/// added the streaming-store columns (`peak_rss_bytes` / `key_segments`),
+/// both `0` for rows measured through the in-memory path.
 pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"zkrownn-bench-prover/v2\",\n");
+    out.push_str("  \"schema\": \"zkrownn-bench-prover/v3\",\n");
     out.push_str(&format!(
         "  \"scale\": \"{}\",\n",
         match scale {
@@ -610,7 +733,8 @@ pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
              \"setup_s\": {:.6}, \"setup_qap_s\": {:.6}, \"setup_commit_s\": {:.6}, \
              \"context_s\": {:.6}, \"prove_s\": {:.6}, \
              \"witness_map_s\": {:.6}, \"msm_s\": {:.6}, \"verify_s\": {:.6}, \
-             \"pk_bytes\": {}, \"vk_bytes\": {}, \"proof_bytes\": {}}}{}\n",
+             \"pk_bytes\": {}, \"vk_bytes\": {}, \"proof_bytes\": {}, \
+             \"peak_rss_bytes\": {}, \"key_segments\": {}}}{}\n",
             r.name,
             r.constraints,
             r.domain_size,
@@ -625,6 +749,8 @@ pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
             r.pk_bytes,
             r.vk_bytes,
             r.proof_bytes,
+            r.peak_rss_bytes,
+            r.key_segments,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -701,6 +827,26 @@ mod tests {
     }
 
     #[test]
+    fn store_backed_measure_matches_in_memory_row() {
+        let cs = build_row("ber", Scale::Quick);
+        let streamed = measure_with_store("ber", &cs, MemoryBudget::from_mb(4));
+        assert_eq!(streamed.proof_bytes, 128);
+        assert_eq!(streamed.constraints, cs.num_constraints());
+        // constants + IC + the six proving-key families (no META: the
+        // bench store is not circuit-bound)
+        assert!(
+            streamed.key_segments >= 7,
+            "expected a fully segmented key store, got {} segments",
+            streamed.key_segments
+        );
+        // the on-disk key is real (container overhead over an empty file)
+        assert!(streamed.pk_bytes > 1024);
+        if cfg!(target_os = "linux") {
+            assert!(streamed.peak_rss_bytes > 0, "VmHWM should be readable");
+        }
+    }
+
+    #[test]
     fn paper_reference_lookup() {
         assert_eq!(paper_reference("matmult").unwrap().constraints, 1_097_344);
         assert_eq!(paper_reference("MatMult").unwrap().constraints, 1_097_344);
@@ -743,9 +889,11 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches("\"name\": \"ber\"").count(), 2);
-        assert!(json.contains("\"schema\": \"zkrownn-bench-prover/v2\""));
+        assert!(json.contains("\"schema\": \"zkrownn-bench-prover/v3\""));
         assert!(json.contains("\"setup_qap_s\""));
         assert!(json.contains("\"setup_commit_s\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
+        assert!(json.contains("\"key_segments\""));
         assert!(json.contains("\"scale\": \"quick\""));
         assert!(json.contains("},\n"));
         assert!(json.trim_end().ends_with("]\n}"));

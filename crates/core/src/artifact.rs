@@ -39,139 +39,11 @@ use zkrownn_r1cs::{Circuit, SetupSynthesizer, ShapeSink};
 // SHA-256 (the content digest behind CircuitId and the envelope checksum)
 // ---------------------------------------------------------------------------
 
-#[rustfmt::skip]
-const SHA256_K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
-    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
-    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
-    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
-    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
-];
-
-fn sha256_compress(h: &mut [u32; 8], block: &[u8]) {
-    let mut w = [0u32; 64];
-    for (i, word) in w.iter_mut().take(16).enumerate() {
-        *word = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().unwrap());
-    }
-    for i in 16..64 {
-        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-        w[i] = w[i - 16]
-            .wrapping_add(s0)
-            .wrapping_add(w[i - 7])
-            .wrapping_add(s1);
-    }
-    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
-    for i in 0..64 {
-        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-        let ch = (e & f) ^ (!e & g);
-        let t1 = hh
-            .wrapping_add(s1)
-            .wrapping_add(ch)
-            .wrapping_add(SHA256_K[i])
-            .wrapping_add(w[i]);
-        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-        let maj = (a & b) ^ (a & c) ^ (b & c);
-        let t2 = s0.wrapping_add(maj);
-        hh = g;
-        g = f;
-        f = e;
-        e = d.wrapping_add(t1);
-        d = c;
-        c = b;
-        b = a;
-        a = t1.wrapping_add(t2);
-    }
-    for (slot, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
-        *slot = slot.wrapping_add(v);
-    }
-}
-
-/// Incremental SHA-256 state: absorb any number of `update`s, then
-/// `finalize`. Backs the one-shot [`sha256`] helper and — via
-/// [`TraceHasher`] — the streaming digest of setup-mode synthesis traces,
-/// which for a CNN-scale circuit would be far too large to buffer.
-#[derive(Clone)]
-pub struct Sha256 {
-    h: [u32; 8],
-    buf: [u8; 64],
-    buf_len: usize,
-    total: u64,
-}
-
-impl Default for Sha256 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Sha256 {
-    /// A fresh hash state.
-    pub fn new() -> Self {
-        Self {
-            h: [
-                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-                0x5be0cd19,
-            ],
-            buf: [0u8; 64],
-            buf_len: 0,
-            total: 0,
-        }
-    }
-
-    /// Absorbs the next chunk of the message.
-    pub fn update(&mut self, mut data: &[u8]) {
-        self.total = self.total.wrapping_add(data.len() as u64);
-        if self.buf_len > 0 {
-            let take = (64 - self.buf_len).min(data.len());
-            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
-            self.buf_len += take;
-            data = &data[take..];
-            if self.buf_len < 64 {
-                return; // data exhausted without completing the block
-            }
-            let block = self.buf;
-            sha256_compress(&mut self.h, &block);
-            self.buf_len = 0;
-        }
-        let mut chunks = data.chunks_exact(64);
-        for block in &mut chunks {
-            sha256_compress(&mut self.h, block);
-        }
-        let rem = chunks.remainder();
-        self.buf[..rem.len()].copy_from_slice(rem);
-        self.buf_len = rem.len();
-    }
-
-    /// Pads and returns the digest.
-    pub fn finalize(mut self) -> [u8; 32] {
-        let mut tail = [0u8; 128];
-        tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
-        tail[self.buf_len] = 0x80;
-        let tail_len = if self.buf_len < 56 { 64 } else { 128 };
-        let bit_len = self.total.wrapping_mul(8);
-        tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
-        for block in tail[..tail_len].chunks_exact(64) {
-            sha256_compress(&mut self.h, block);
-        }
-        let mut out = [0u8; 32];
-        for (i, word) in self.h.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
-    }
-}
-
-/// SHA-256 of `data` — the content digest used for [`CircuitId`]s, statement
-/// digests and the artifact envelope checksum.
-pub fn sha256(data: &[u8]) -> [u8; 32] {
-    let mut state = Sha256::new();
-    state.update(data);
-    state.finalize()
-}
+// The implementation lives in `zkrownn-store` (which sits *below* this crate
+// in the dependency graph and needs the hash for segment checksums); it is
+// re-exported here so existing `zkrownn::artifact::sha256` callers — and the
+// CircuitId / envelope-checksum code below — are unaffected by the move.
+pub use zkrownn_store::sha::{sha256, Sha256};
 
 /// A [`ShapeSink`] hashing the canonical setup-mode synthesis trace —
 /// allocation events and compacted constraints — into SHA-256. The preimage
@@ -301,6 +173,11 @@ pub enum ArtifactKind {
     /// A ledger root-transition consistency proof — payload codec in
     /// `zkrownn-ledger`.
     ConsistencyProof,
+    /// A segmented on-disk key store (`.zkst`) — container codec in
+    /// `zkrownn-store`. Store files reuse the `ZKRW` magic with this kind
+    /// tag so a store is recognizably a ZKROWNN artifact, but their body is
+    /// a seekable segment table rather than a monolithic payload.
+    KeyStore,
 }
 
 impl ArtifactKind {
@@ -315,6 +192,7 @@ impl ArtifactKind {
             Self::LedgerRoot => 6,
             Self::MembershipProof => 7,
             Self::ConsistencyProof => 8,
+            Self::KeyStore => zkrownn_store::STORE_KIND,
         }
     }
 
@@ -329,6 +207,7 @@ impl ArtifactKind {
             6 => Some(Self::LedgerRoot),
             7 => Some(Self::MembershipProof),
             8 => Some(Self::ConsistencyProof),
+            9 => Some(Self::KeyStore),
             _ => None,
         }
     }
@@ -344,6 +223,7 @@ impl ArtifactKind {
             Self::LedgerRoot => "ledger root",
             Self::MembershipProof => "ledger membership proof",
             Self::ConsistencyProof => "ledger consistency proof",
+            Self::KeyStore => "segmented key store",
         }
     }
 }
@@ -585,8 +465,22 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `n` little-endian `i128`s.
+    ///
+    /// The declared count is validated against the bytes actually left in
+    /// the buffer *before* any allocation, so a hostile length field costs
+    /// a bounds check — never an over-sized `Vec` reservation.
     pub(crate) fn i128_vec(&mut self, n: usize) -> Result<Vec<i128>, WireError> {
-        let mut out = Vec::with_capacity(n.min(self.buf.len() / 16 + 1));
+        let remaining = self.buf.len() - self.off;
+        let needed = n
+            .checked_mul(16)
+            .ok_or(WireError::Malformed("length overflow"))?;
+        if needed > remaining {
+            return Err(WireError::Truncated {
+                needed: self.off + needed,
+                got: self.buf.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(self.i128()?);
         }
@@ -917,5 +811,86 @@ mod tests {
         tagged.extend_from_slice(b"abc");
         assert_eq!(digest(&[b"abc"]), sha256(&tagged));
         assert_ne!(digest(&[b"abc"]), sha256(b"abc"));
+    }
+
+    fn tiny_statement() -> OwnershipStatement {
+        let cfg = FixedConfig::default();
+        OwnershipStatement {
+            model: QuantizedModel {
+                layers: vec![QuantLayer::Dense {
+                    in_dim: 2,
+                    out_dim: 2,
+                    w: vec![1, 2, 3, 4],
+                    b: vec![0, 0],
+                }],
+                input_len: 2,
+                cfg,
+            },
+            num_triggers: 1,
+            signature_bits: 4,
+            max_errors: 1,
+            fold_average: false,
+            cfg,
+        }
+    }
+
+    #[test]
+    fn hostile_vector_lengths_fail_before_allocating() {
+        // A statement whose in-payload length fields are inflated far past
+        // the actual buffer must be rejected by a bounds check, not by an
+        // attempted multi-GB allocation. The envelope checksum would catch
+        // the edit too, so splice the length *and* recompute the checksum —
+        // the decoder then has nothing but its own validation between a
+        // hostile count and `Vec::with_capacity`.
+        let bytes = Artifact::to_bytes(&tiny_statement());
+        let good: OwnershipStatement = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(good, tiny_statement());
+        let n = bytes.len();
+        for off in HEADER_LEN..n - CHECKSUM_LEN - 8 {
+            // stamp a huge u64 at every payload offset; whichever ones land
+            // on length fields now declare ~2^62 elements. A decoder that
+            // sizes a Vec from the declared count would ask the allocator
+            // for exabytes and abort the process — completing (with either
+            // verdict) is the pass condition. Offsets landing on value
+            // fields (weights, max_errors) may legally decode.
+            let mut evil = bytes.clone();
+            evil[off..off + 8].copy_from_slice(&(u64::MAX / 4).to_le_bytes());
+            let body_len = n - CHECKSUM_LEN;
+            let sum = sha256(&evil[..body_len]);
+            evil[body_len..].copy_from_slice(&sum[..CHECKSUM_LEN]);
+            let _ = <OwnershipStatement as Artifact>::from_bytes(&evil);
+        }
+        // and the layer-count field specifically (fixed payload offset:
+        // cfg 12 ‖ fold 1 ‖ θ 8 ‖ T 8 ‖ N 8 ‖ input_len 8) must be
+        // rejected outright
+        let mut evil = bytes.clone();
+        let layer_count_off = HEADER_LEN + 12 + 1 + 8 + 8 + 8 + 8;
+        assert_eq!(
+            evil[layer_count_off..layer_count_off + 8],
+            1u64.to_le_bytes(),
+            "single-layer statement encodes a layer count of 1"
+        );
+        evil[layer_count_off..layer_count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let body_len = n - CHECKSUM_LEN;
+        let sum = sha256(&evil[..body_len]);
+        evil[body_len..].copy_from_slice(&sum[..CHECKSUM_LEN]);
+        assert!(<OwnershipStatement as Artifact>::from_bytes(&evil).is_err());
+    }
+
+    #[test]
+    fn declared_payload_length_is_validated_against_the_buffer() {
+        let bytes = Artifact::to_bytes(&tiny_statement());
+        // inflate the envelope's own payload-length field without supplying
+        // the bytes: must be a LengthMismatch, never an allocation
+        let mut evil = bytes.clone();
+        evil[7..15].copy_from_slice(&(u64::MAX - 16).to_le_bytes());
+        assert!(matches!(
+            <OwnershipStatement as Artifact>::from_bytes(&evil),
+            Err(WireError::Malformed(_)) | Err(WireError::LengthMismatch { .. })
+        ));
+        // truncating the buffer mid-payload must also be caught up front
+        for keep in [0, 4, HEADER_LEN, bytes.len() - 1] {
+            assert!(<OwnershipStatement as Artifact>::from_bytes(&bytes[..keep]).is_err());
+        }
     }
 }

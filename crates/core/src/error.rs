@@ -44,6 +44,11 @@ pub enum ZkrownnError {
     },
     /// No verifying key is registered for the claim's circuit.
     UnknownCircuit(CircuitId),
+    /// A segmented key store (`.zkst`) could not be opened or streamed —
+    /// I/O failure, corruption, or a key that does not match the circuit.
+    /// Carries the rendered [`zkrownn_store::StoreError`] (this enum is
+    /// `Clone + PartialEq`, which `std::io::Error` is not).
+    Store(String),
 }
 
 impl core::fmt::Display for ZkrownnError {
@@ -70,6 +75,7 @@ impl core::fmt::Display for ZkrownnError {
             Self::UnknownCircuit(id) => {
                 write!(f, "no verifying key registered for circuit {}", id.short())
             }
+            Self::Store(e) => write!(f, "key store failed: {e}"),
         }
     }
 }
@@ -99,5 +105,11 @@ impl From<SynthesisError> for ZkrownnError {
 impl From<VerificationError> for ZkrownnError {
     fn from(e: VerificationError) -> Self {
         Self::InvalidProof(e)
+    }
+}
+
+impl From<zkrownn_store::StoreError> for ZkrownnError {
+    fn from(e: zkrownn_store::StoreError) -> Self {
+        Self::Store(e.to_string())
     }
 }

@@ -133,4 +133,8 @@ pub use error::ZkrownnError;
 pub use model::{QuantLayer, QuantizedModel};
 pub use prove::OwnershipProof;
 pub use registry::{KeyRegistry, ShardedKeyRegistry, REGISTRY_SHARDS};
-pub use session::{Authority, ProverKit, SignedClaim, VerifierKit};
+pub use session::{Authority, ProverKit, SignedClaim, StoredProverKit, VerifierKit};
+// the store-backed setup/proving knobs, so `zkrownn` alone is enough to
+// drive the streaming workflow end to end
+pub use zkrownn_curves::MemoryBudget;
+pub use zkrownn_store::{KeyStore, StoreBackend};

@@ -23,12 +23,15 @@ use crate::artifact::{
 use crate::circuit::{ExtractionCircuit, ExtractionSpec};
 use crate::error::ZkrownnError;
 use crate::prove::OwnershipProof;
+use std::path::Path;
+use zkrownn_curves::MemoryBudget;
 use zkrownn_ff::Fr;
 use zkrownn_groth16::{
     create_proof_with_context, verify_proof_prepared, PreparedVerifyingKey, ProverContext,
-    ProvingKey, SetupContext, VerifyingKey,
+    ProvingKey, SetupContext, ToxicWaste, VerifyingKey,
 };
 use zkrownn_r1cs::{Circuit, SetupSynthesizer};
+use zkrownn_store::{create_proof_streamed_rng, KeyStore, KeyStoreWriter, StoreBackend, StoreMeta};
 
 /// One witness-free synthesis serving triple duty: the lowered matrices
 /// and twiddle-table domain become a [`SetupContext`] that drives key
@@ -112,6 +115,47 @@ impl Authority {
             VerifierKit::from_parts(vk, circuit_id).bind_statement(statement.content_digest());
         (pk, verifier)
     }
+
+    /// [`Authority::setup_statement`], but the proving key is **streamed**
+    /// to a segmented store file at `path` instead of materialized in
+    /// memory: each fixed-base keygen chunk goes to disk as it finishes,
+    /// bounded by `budget`, so the authority's peak memory is independent
+    /// of key size. The store is stamped with the circuit id and statement
+    /// digest, so a [`StoredProverKit`] can later refuse a mismatched key.
+    ///
+    /// Byte-for-byte, the stored key is identical to the one
+    /// [`Authority::setup_statement`] would produce from the same
+    /// randomness. Returns the bound [`VerifierKit`] (read back from the
+    /// finished store — what was written is what verifies).
+    pub fn setup_statement_stored<R: rand::Rng + ?Sized>(
+        statement: &OwnershipStatement,
+        path: &Path,
+        rng: &mut R,
+        budget: MemoryBudget,
+    ) -> Result<VerifierKit, ZkrownnError> {
+        let circuit = ExtractionCircuit::from_statement(statement);
+        let mut cs = SetupSynthesizer::with_sink(TraceHasher::new());
+        circuit
+            .synthesize(&mut cs)
+            .expect("setup-mode synthesis evaluates no value closure and cannot fail");
+        let matrices = cs.to_matrices();
+        let circuit_id = CircuitId::from_bytes(cs.into_sink().finalize());
+        let setup_ctx = SetupContext::new(matrices);
+        let meta = StoreMeta {
+            circuit_id: *circuit_id.as_bytes(),
+            statement_digest: statement.content_digest(),
+        };
+        let mut sink = KeyStoreWriter::create(path, Some(meta))
+            .map_err(|e| ZkrownnError::Store(e.to_string()))?;
+        let toxic = ToxicWaste::sample(rng);
+        setup_ctx
+            .generate_streaming_with(&toxic, &mut sink, budget)
+            .map_err(|e| ZkrownnError::Store(e.to_string()))?;
+        sink.finish()
+            .map_err(|e| ZkrownnError::Store(e.to_string()))?;
+        let vk = KeyStore::open(path)?.verifying_key()?;
+        Ok(VerifierKit::from_parts(vk, circuit_id).bind_statement(statement.content_digest()))
+    }
 }
 
 /// The model owner's side: proving key + private watermark witness.
@@ -176,6 +220,106 @@ impl ProverKit {
             .is_satisfied()
             .map_err(ZkrownnError::UnsatisfiedCircuit)?;
         let proof = create_proof_with_context(&self.pk, &self.ctx, &built.cs, rng);
+        Ok(SignedClaim {
+            statement: self.spec.statement(),
+            proof: OwnershipProof {
+                proof,
+                verdict: built.verdict,
+                circuit_id: self.circuit_id,
+            },
+        })
+    }
+}
+
+/// A [`ProverKit`] whose proving key lives on disk in a segmented store
+/// (`.zkst`) instead of in memory.
+///
+/// Proving streams each key family out of the store in budget-sized,
+/// checksum-verified chunks, so peak memory is the witness scalars plus one
+/// chunk of points — independent of key size. The proofs it produces are
+/// byte-identical to [`ProverKit::prove`] with the equivalent in-memory key
+/// under the same randomness.
+pub struct StoredProverKit {
+    store: KeyStore,
+    spec: ExtractionSpec,
+    circuit_id: CircuitId,
+    ctx: ProverContext,
+    budget: MemoryBudget,
+}
+
+impl StoredProverKit {
+    /// Opens a store-backed kit with the default (mmap-preferring) backend.
+    ///
+    /// Validates the store's structure at open, and — when the store
+    /// carries metadata — that the key was generated for `spec`'s circuit;
+    /// a key for any other circuit shape fails with
+    /// [`ZkrownnError::CircuitMismatch`] here rather than producing an
+    /// unverifiable proof later.
+    pub fn open(
+        path: &Path,
+        spec: ExtractionSpec,
+        budget: MemoryBudget,
+    ) -> Result<Self, ZkrownnError> {
+        Self::open_with(path, spec, budget, StoreBackend::Auto)
+    }
+
+    /// [`StoredProverKit::open`] with an explicit I/O backend — pass
+    /// [`StoreBackend::Buffered`] when running under an address-space cap
+    /// (an mmap of the key counts against `ulimit -v`; buffered `pread`
+    /// does not).
+    pub fn open_with(
+        path: &Path,
+        spec: ExtractionSpec,
+        budget: MemoryBudget,
+        backend: StoreBackend,
+    ) -> Result<Self, ZkrownnError> {
+        let store = KeyStore::open_with(path, backend)?;
+        let circuit_id = spec.circuit_id();
+        if let Some(meta) = store.meta()? {
+            if meta.circuit_id != *circuit_id.as_bytes() {
+                return Err(ZkrownnError::CircuitMismatch {
+                    expected: circuit_id,
+                    got: CircuitId::from_bytes(meta.circuit_id),
+                });
+            }
+        }
+        let ctx = ProverContext::for_circuit(&spec.shape_circuit())
+            .expect("setup-mode synthesis evaluates no value closure and cannot fail");
+        Ok(Self {
+            store,
+            spec,
+            circuit_id,
+            ctx,
+            budget,
+        })
+    }
+
+    /// The circuit this kit proves against.
+    pub fn circuit_id(&self) -> CircuitId {
+        self.circuit_id
+    }
+
+    /// The public statement this kit's claims will carry.
+    pub fn statement(&self) -> OwnershipStatement {
+        self.spec.statement()
+    }
+
+    /// The underlying key store (e.g. for [`KeyStore::verifying_key`]).
+    pub fn store(&self) -> &KeyStore {
+        &self.store
+    }
+
+    /// Generates an ownership claim exactly like [`ProverKit::prove`], but
+    /// with the five proof MSMs consuming key segments from the store at
+    /// this kit's memory budget.
+    pub fn prove<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Result<SignedClaim, ZkrownnError> {
+        let built = self.spec.build()?;
+        built
+            .cs
+            .is_satisfied()
+            .map_err(ZkrownnError::UnsatisfiedCircuit)?;
+        let z = built.cs.full_assignment();
+        let proof = create_proof_streamed_rng(&self.store, &self.ctx, &z, rng, self.budget)?;
         Ok(SignedClaim {
             statement: self.spec.statement(),
             proof: OwnershipProof {

@@ -1,0 +1,73 @@
+//! A byte-denominated memory budget for chunked curve computations.
+//!
+//! The streaming keygen and prover paths (`zkrownn-groth16`,
+//! `zkrownn-store`) process point families in bounded chunks instead of
+//! materializing whole vectors. [`MemoryBudget`] is the single knob that
+//! sizes those chunks: callers state how many bytes of *point data* they
+//! are willing to hold at once, and every chunked kernel derives its chunk
+//! length from the element size it is working with.
+//!
+//! The budget only bounds the dominant buffers (decoded point chunks and
+//! their wire bytes) — fixed-base tables, scalar vectors (32 B/element)
+//! and MSM scratch are small by comparison and accounted for by the
+//! caller's choice of budget, not micro-managed here.
+
+/// How many bytes of point data a chunked kernel may hold at once.
+///
+/// Chunk lengths are clamped to [`MemoryBudget::MIN_CHUNK`] elements so a
+/// pathologically small budget still makes progress (batch-affine kernels
+/// need a few hundred elements per batch to amortize their shared
+/// inversion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// Smallest chunk length any budget resolves to.
+    pub const MIN_CHUNK: usize = 256;
+
+    /// A budget of `mb` mebibytes.
+    pub fn from_mb(mb: usize) -> Self {
+        Self {
+            bytes: mb.saturating_mul(1 << 20),
+        }
+    }
+
+    /// A budget of exactly `bytes` bytes.
+    pub fn from_bytes(bytes: usize) -> Self {
+        Self { bytes }
+    }
+
+    /// The budget in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many elements of `elem_bytes` bytes each fit in the budget,
+    /// clamped to at least [`Self::MIN_CHUNK`].
+    ///
+    /// Chunking never changes results — fixed-base multiplication is
+    /// per-scalar and MSM partial sums add up group-exactly — so the
+    /// clamp is purely a performance floor.
+    pub fn chunk_len(&self, elem_bytes: usize) -> usize {
+        (self.bytes / elem_bytes.max(1)).max(Self::MIN_CHUNK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_len_scales_with_budget_and_element_size() {
+        let b = MemoryBudget::from_mb(1);
+        assert_eq!(b.bytes(), 1 << 20);
+        assert_eq!(b.chunk_len(64), (1 << 20) / 64);
+        assert_eq!(b.chunk_len(128), (1 << 20) / 128);
+        // tiny budgets are floored so kernels still batch usefully
+        assert_eq!(MemoryBudget::from_bytes(64).chunk_len(128), 256);
+        // a zero element size must not divide by zero
+        assert_eq!(MemoryBudget::from_bytes(1024).chunk_len(0), 1024);
+    }
+}

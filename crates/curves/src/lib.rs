@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod bn254;
+pub mod budget;
 pub mod curve;
 pub mod field_codec;
 pub mod fixed_base;
@@ -30,7 +31,9 @@ pub mod msm;
 pub mod serialize;
 
 pub use bn254::{G1Affine, G1Config, G1Projective, G2Affine, G2Config, G2Projective};
+pub use budget::MemoryBudget;
 pub use curve::{Affine, Projective, SwCurveConfig};
 pub use field_codec::FieldCodec;
 pub use fixed_base::FixedBaseTable;
+pub use msm::MsmAccumulator;
 pub use serialize::PointDecodeError;

@@ -344,6 +344,58 @@ fn batch_affine_reduce<C: SwCurveConfig>(
     }
 }
 
+/// Incremental MSM over a stream of `(bases, scalars)` chunks.
+///
+/// `Σᵢ scalarᵢ · baseᵢ` distributes over any partition of the index set,
+/// so feeding a vector family chunk-by-chunk and summing the per-chunk
+/// Pippenger results yields **exactly** the same group element as one
+/// monolithic [`msm`] call — the chunked prover path is byte-identical to
+/// the in-memory one after affine normalization, not merely close.
+///
+/// This is the entry point the store-backed prover uses: it never holds
+/// more than one decoded chunk of bases while the accumulator carries a
+/// single projective running sum.
+#[derive(Debug, Clone)]
+pub struct MsmAccumulator<C: SwCurveConfig> {
+    acc: Projective<C>,
+    terms: usize,
+}
+
+impl<C: SwCurveConfig> Default for MsmAccumulator<C> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C: SwCurveConfig> MsmAccumulator<C> {
+    /// An empty accumulator (identity sum).
+    pub fn new() -> Self {
+        Self {
+            acc: Projective::identity(),
+            terms: 0,
+        }
+    }
+
+    /// Adds one chunk's worth of terms: `Σ scalarᵢ · baseᵢ` over the slices.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths differ (same contract as [`msm`]).
+    pub fn accumulate(&mut self, bases: &[Affine<C>], scalars: &[Fr]) {
+        self.acc += msm(bases, scalars);
+        self.terms += bases.len();
+    }
+
+    /// Total number of terms accumulated so far (including trivial ones).
+    pub fn terms(&self) -> usize {
+        self.terms
+    }
+
+    /// The running sum.
+    pub fn finish(self) -> Projective<C> {
+        self.acc
+    }
+}
+
 /// Affine `p + q` given the precomputed (batch-)inverted denominator:
 /// `1/(x₂−x₁)` for distinct x, `1/(2y)` for a doubling. Shared with the
 /// fixed-base keygen kernel, which batches the same way per window round.
@@ -437,6 +489,26 @@ mod tests {
         let two = Fr::from_u64(2);
         let scalars = vec![two, two, two, two, two, two];
         assert_eq!(msm(&bases, &scalars), naive(&bases, &scalars));
+    }
+
+    #[test]
+    fn chunked_accumulator_matches_monolithic_msm() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(65);
+        let g = G1Projective::generator();
+        let bases: Vec<G1Affine> = (0..97)
+            .map(|_| g.mul_scalar(Fr::random(&mut rng)).into_affine())
+            .collect();
+        let scalars: Vec<Fr> = (0..97).map(|_| Fr::random(&mut rng)).collect();
+        let whole = msm(&bases, &scalars).into_affine();
+        for chunk in [1usize, 7, 32, 97, 200] {
+            let mut acc = MsmAccumulator::new();
+            for (b, s) in bases.chunks(chunk).zip(scalars.chunks(chunk)) {
+                acc.accumulate(b, s);
+            }
+            assert_eq!(acc.terms(), bases.len());
+            // byte-identical after normalization, not just group-equal
+            assert_eq!(acc.finish().into_affine(), whole, "chunk = {chunk}");
+        }
     }
 
     #[test]

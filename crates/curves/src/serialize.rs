@@ -160,6 +160,43 @@ pub fn read_uncompressed<C: SwCurveConfig>(bytes: &[u8]) -> Result<Affine<C>, Po
     Ok(p)
 }
 
+/// Deserializes an uncompressed point **without** the on-curve and
+/// subgroup checks.
+///
+/// This is the hot-path decode for integrity-protected streams: the
+/// store-backed prover reads millions of key points whose bytes are
+/// covered by a per-segment checksum verified alongside the read, so
+/// re-proving subgroup membership per point (a full scalar mul on G2)
+/// would dominate the proving time for zero safety gain. Canonical-field
+/// and canonical-infinity validation still run — a flipped bit that
+/// survives into the field range yields a *wrong but well-formed* point,
+/// which the caller's checksum check is responsible for catching.
+///
+/// Never feed this untrusted bytes without an accompanying integrity
+/// check: an adversarial off-curve point silently corrupts every sum it
+/// touches.
+pub fn read_uncompressed_unvalidated<C: SwCurveConfig>(
+    bytes: &[u8],
+) -> Result<Affine<C>, PointDecodeError> {
+    let n = C::BaseField::BYTES;
+    if bytes.len() != 2 * n {
+        return Err(PointDecodeError::WrongLength {
+            expected: 2 * n,
+            got: bytes.len(),
+        });
+    }
+    let last = 2 * n - 1;
+    if bytes[last] & FLAG_INFINITY != 0 {
+        if bytes[..last].iter().any(|&b| b != 0) || bytes[last] != FLAG_INFINITY {
+            return Err(PointDecodeError::NonCanonicalInfinity);
+        }
+        return Ok(Affine::identity());
+    }
+    let x = C::BaseField::read_bytes(&bytes[..n]).ok_or(PointDecodeError::NonCanonicalField)?;
+    let y = C::BaseField::read_bytes(&bytes[n..]).ok_or(PointDecodeError::NonCanonicalField)?;
+    Ok(Affine::new_unchecked(x, y))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +269,47 @@ mod tests {
             Err(PointDecodeError::WrongLength {
                 expected: 128,
                 got: 127
+            })
+        );
+    }
+
+    #[test]
+    fn unvalidated_read_roundtrips_and_keeps_canonical_checks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(85);
+        let p = G2Projective::generator()
+            .mul_scalar(Fr::random(&mut rng))
+            .into_affine();
+        let mut buf = Vec::new();
+        write_uncompressed(&p, &mut buf);
+        assert_eq!(
+            read_uncompressed_unvalidated::<crate::bn254::G2Config>(&buf),
+            Ok(p)
+        );
+        let mut inf = Vec::new();
+        write_uncompressed(&G1Affine::identity(), &mut inf);
+        assert_eq!(
+            read_uncompressed_unvalidated::<crate::bn254::G1Config>(&inf),
+            Ok(G1Affine::identity())
+        );
+        inf[0] = 1;
+        assert_eq!(
+            read_uncompressed_unvalidated::<crate::bn254::G1Config>(&inf),
+            Err(PointDecodeError::NonCanonicalInfinity)
+        );
+        // a coordinate ≥ the modulus is still rejected (flag bits clear:
+        // x = 2^253-ish > q with the top two bits of the last byte zero)
+        let mut oversized = vec![0xffu8; 64];
+        oversized[31] = 0x3f;
+        oversized[63] = 0x3f;
+        assert_eq!(
+            read_uncompressed_unvalidated::<crate::bn254::G1Config>(&oversized),
+            Err(PointDecodeError::NonCanonicalField)
+        );
+        assert_eq!(
+            read_uncompressed_unvalidated::<crate::bn254::G1Config>(&buf[..63]),
+            Err(PointDecodeError::WrongLength {
+                expected: 64,
+                got: 63
             })
         );
     }

@@ -55,13 +55,14 @@ pub mod verifier;
 
 pub use keys::{DecodeError, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
 pub use prover::{
-    create_proof, create_proof_from_cs, create_proof_timed, create_proof_with_context,
-    create_proof_with_context_and_randomness, create_proof_with_randomness, ProverContext,
-    ProverTimings,
+    assemble_proof, create_proof, create_proof_from_cs, create_proof_timed,
+    create_proof_with_context, create_proof_with_context_and_randomness,
+    create_proof_with_randomness, ProofSums, ProverContext, ProverTimings,
 };
 pub use setup::{
     generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
-    generate_parameters_with, SetupContext, SetupTimings, ToxicWaste,
+    generate_parameters_with, KeyConstants, KeyFamily, KeySink, SetupContext, SetupTimings,
+    ToxicWaste,
 };
 pub use verifier::{
     prepare_inputs, verify_proof, verify_proof_prepared, verify_proof_with_prepared_inputs,
@@ -369,6 +370,96 @@ mod tests {
         let pk1 = generate_parameters_with(&Cubic { y: 35, x: None }, &toxic).unwrap();
         let pk2 = generate_parameters_with(&cubic(3), &toxic).unwrap();
         assert_eq!(pk1, pk2);
+    }
+
+    #[test]
+    fn streaming_keygen_reassembles_the_in_memory_key() {
+        use setup::{KeyConstants, KeyFamily, KeySink};
+        use zkrownn_curves::{G1Affine, G2Affine, MemoryBudget};
+
+        /// A sink that just collects everything back into vectors.
+        #[derive(Default)]
+        struct Collector {
+            constants: Option<KeyConstants>,
+            families: Vec<(KeyFamily, Vec<G1Affine>, Vec<G2Affine>)>,
+            announced: usize,
+        }
+        impl KeySink for Collector {
+            type Error = core::convert::Infallible;
+            fn constants(&mut self, c: &KeyConstants) -> Result<(), Self::Error> {
+                self.constants = Some(*c);
+                Ok(())
+            }
+            fn begin_family(&mut self, family: KeyFamily, len: usize) -> Result<(), Self::Error> {
+                self.families.push((family, Vec::new(), Vec::new()));
+                self.announced = len;
+                Ok(())
+            }
+            fn g1_chunk(&mut self, points: &[G1Affine]) -> Result<(), Self::Error> {
+                self.families
+                    .last_mut()
+                    .unwrap()
+                    .1
+                    .extend_from_slice(points);
+                Ok(())
+            }
+            fn g2_chunk(&mut self, points: &[G2Affine]) -> Result<(), Self::Error> {
+                self.families
+                    .last_mut()
+                    .unwrap()
+                    .2
+                    .extend_from_slice(points);
+                Ok(())
+            }
+            fn end_family(&mut self, family: KeyFamily) -> Result<(), Self::Error> {
+                let last = self.families.last().unwrap();
+                assert_eq!(last.0, family);
+                let got = if family.is_g2() {
+                    last.2.len()
+                } else {
+                    last.1.len()
+                };
+                assert_eq!(got, self.announced, "family {:?} length", family);
+                Ok(())
+            }
+        }
+
+        let toxic = ToxicWaste {
+            alpha: Fr::from_u64(21),
+            beta: Fr::from_u64(22),
+            gamma: Fr::from_u64(23),
+            delta: Fr::from_u64(24),
+            tau: Fr::from_u64(25),
+        };
+        let ctx = SetupContext::for_circuit(&Cubic { y: 35, x: None }).unwrap();
+        let pk = ctx.generate_with(&toxic);
+        // a tiny budget forces many chunks (MIN_CHUNK floor: still ≥ 2
+        // chunks for any family longer than 256)
+        let mut sink = Collector::default();
+        let timings = ctx
+            .generate_streaming_with(&toxic, &mut sink, MemoryBudget::from_bytes(1))
+            .unwrap();
+        assert!(timings.total >= timings.commit);
+
+        let c = sink.constants.expect("constants emitted first");
+        assert_eq!(c.alpha_g1, pk.vk.alpha_g1);
+        assert_eq!(c.beta_g1, pk.beta_g1);
+        assert_eq!(c.delta_g1, pk.delta_g1);
+        assert_eq!(c.beta_g2, pk.vk.beta_g2);
+        assert_eq!(c.gamma_g2, pk.vk.gamma_g2);
+        assert_eq!(c.delta_g2, pk.vk.delta_g2);
+        let order: Vec<KeyFamily> = sink.families.iter().map(|f| f.0).collect();
+        assert_eq!(order, KeyFamily::ALL.to_vec());
+        for (family, g1, g2) in &sink.families {
+            match family {
+                KeyFamily::Ic => assert_eq!(g1, &pk.vk.gamma_abc_g1),
+                KeyFamily::AQuery => assert_eq!(g1, &pk.a_query),
+                KeyFamily::BG1Query => assert_eq!(g1, &pk.b_g1_query),
+                KeyFamily::BG2Query => assert_eq!(g2, &pk.b_g2_query),
+                KeyFamily::HQuery => assert_eq!(g1, &pk.h_query),
+                KeyFamily::LQuery => assert_eq!(g1, &pk.l_query),
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::keys::{Proof, ProvingKey};
 use crate::qap;
+use crate::setup::KeyConstants;
 use std::time::{Duration, Instant};
 use zkrownn_curves::msm::msm;
 use zkrownn_curves::{G1Projective, G2Projective};
@@ -252,27 +253,73 @@ fn prove_with(
     });
     let msm_time = msm_start.elapsed();
 
-    // A = α + Σ zᵢ·uᵢ(τ) + r·δ
-    let delta_g1 = pk.delta_g1.into_projective();
-    let a = pk.vk.alpha_g1.into_projective() + a_sum + delta_g1.mul_scalar(r);
-
-    // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (in G2, and again in G1 for C)
-    let b_g2 =
-        pk.vk.beta_g2.into_projective() + b_g2_sum + pk.vk.delta_g2.into_projective().mul_scalar(s);
-    let b_g1 = pk.beta_g1.into_projective() + b_g1_sum + delta_g1.mul_scalar(s);
-
-    // C = Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ − rs·δ
-    let c = lh_sum + a.mul_scalar(s) + b_g1.mul_scalar(r) - delta_g1.mul_scalar(r * s);
-
-    let proof = Proof {
-        a: a.into_affine(),
-        b: b_g2.into_affine(),
-        c: c.into_affine(),
+    let constants = KeyConstants {
+        alpha_g1: pk.vk.alpha_g1,
+        beta_g1: pk.beta_g1,
+        delta_g1: pk.delta_g1,
+        beta_g2: pk.vk.beta_g2,
+        gamma_g2: pk.vk.gamma_g2,
+        delta_g2: pk.vk.delta_g2,
     };
+    let proof = assemble_proof(
+        &constants,
+        &ProofSums {
+            a_sum,
+            b_g1_sum,
+            b_g2_sum,
+            lh_sum,
+        },
+        r,
+        s,
+    );
     let timings = ProverTimings {
         witness_map: witness_map_time,
         msm: msm_time,
         total: start.elapsed(),
     };
     (proof, timings)
+}
+
+/// The four MSM partial sums a proof is assembled from.
+///
+/// `Σ zᵢ·uᵢ(τ)` (G1), `Σ zᵢ·vᵢ(τ)` in G1 and G2, and the combined
+/// `L + H` sum. How the sums were produced — monolithic MSMs over
+/// in-memory queries or chunk-accumulated streams out of a key store —
+/// is invisible here: MSM partial sums add up group-exactly, so both
+/// paths hand [`assemble_proof`] the same group elements.
+#[derive(Clone, Copy, Debug)]
+pub struct ProofSums {
+    /// `Σ zᵢ·uᵢ(τ)` over the full assignment (A-query MSM).
+    pub a_sum: G1Projective,
+    /// `Σ zᵢ·vᵢ(τ)` in G1 (B-G1-query MSM).
+    pub b_g1_sum: G1Projective,
+    /// `Σ zᵢ·vᵢ(τ)` in G2 (B-G2-query MSM).
+    pub b_g2_sum: G2Projective,
+    /// `Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ)` (L-query + H-query MSMs).
+    pub lh_sum: G1Projective,
+}
+
+/// The `(r, s)`-randomized assembly of `(A, B, C)` from the MSM partial
+/// sums and the key's fixed elements — the single final step shared by the
+/// in-memory prover and the store-backed streaming prover, so both emit
+/// byte-identical proofs for identical sums and randomness.
+pub fn assemble_proof(constants: &KeyConstants, sums: &ProofSums, r: Fr, s: Fr) -> Proof {
+    // A = α + Σ zᵢ·uᵢ(τ) + r·δ
+    let delta_g1 = constants.delta_g1.into_projective();
+    let a = constants.alpha_g1.into_projective() + sums.a_sum + delta_g1.mul_scalar(r);
+
+    // B = β + Σ zᵢ·vᵢ(τ) + s·δ  (in G2, and again in G1 for C)
+    let b_g2 = constants.beta_g2.into_projective()
+        + sums.b_g2_sum
+        + constants.delta_g2.into_projective().mul_scalar(s);
+    let b_g1 = constants.beta_g1.into_projective() + sums.b_g1_sum + delta_g1.mul_scalar(s);
+
+    // C = Σ_w zᵢ·lᵢ + Σ hᵢ·(τⁱZ(τ)/δ) + s·A + r·B₁ − rs·δ
+    let c = sums.lh_sum + a.mul_scalar(s) + b_g1.mul_scalar(r) - delta_g1.mul_scalar(r * s);
+
+    Proof {
+        a: a.into_affine(),
+        b: b_g2.into_affine(),
+        c: c.into_affine(),
+    }
 }

@@ -31,7 +31,11 @@ use crate::keys::{ProvingKey, VerifyingKey};
 use crate::prover::ProverContext;
 use crate::qap;
 use std::time::{Duration, Instant};
-use zkrownn_curves::{FixedBaseTable, G1Config, G1Projective, G2Config, G2Projective};
+use zkrownn_curves::serialize::uncompressed_size;
+use zkrownn_curves::{
+    FixedBaseTable, G1Affine, G1Config, G1Projective, G2Affine, G2Config, G2Projective,
+    MemoryBudget,
+};
 use zkrownn_ff::{Field, Fr};
 use zkrownn_poly::{geometric_series, Radix2Domain};
 use zkrownn_r1cs::{Circuit, R1csMatrices, SetupSynthesizer, SynthesisError};
@@ -84,6 +88,109 @@ pub struct SetupTimings {
     pub commit: Duration,
     /// End-to-end key generation.
     pub total: Duration,
+}
+
+/// One of the six point-vector families making up a [`ProvingKey`].
+///
+/// Streaming key generation emits families one at a time in the order of
+/// the variants below; sinks use the discriminant to tag their output
+/// (the `zkrownn-store` segment table reuses these names).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KeyFamily {
+    /// `gamma_abc_g1` — the instance (IC) columns, part of the verifying
+    /// key.
+    Ic,
+    /// `a_query` — `uᵢ(τ)` in G1.
+    AQuery,
+    /// `b_g1_query` — `vᵢ(τ)` in G1.
+    BG1Query,
+    /// `b_g2_query` — `vᵢ(τ)` in G2 (the only G2 family).
+    BG2Query,
+    /// `h_query` — `τⁱ·Z(τ)/δ` in G1.
+    HQuery,
+    /// `l_query` — the witness columns over `δ⁻¹` in G1.
+    LQuery,
+}
+
+impl KeyFamily {
+    /// Every family, in the order streaming keygen emits them.
+    pub const ALL: [KeyFamily; 6] = [
+        KeyFamily::Ic,
+        KeyFamily::AQuery,
+        KeyFamily::BG1Query,
+        KeyFamily::BG2Query,
+        KeyFamily::HQuery,
+        KeyFamily::LQuery,
+    ];
+
+    /// Human-readable family name (for diagnostics and store tooling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Ic => "ic",
+            Self::AQuery => "a_query",
+            Self::BG1Query => "b_g1_query",
+            Self::BG2Query => "b_g2_query",
+            Self::HQuery => "h_query",
+            Self::LQuery => "l_query",
+        }
+    }
+
+    /// Whether this family's points live in G2 (only the B-G2 query does).
+    pub fn is_g2(self) -> bool {
+        matches!(self, Self::BG2Query)
+    }
+}
+
+/// The six fixed group elements of a proving key — everything that is not
+/// one of the [`KeyFamily`] vectors. Emitted once, first, by streaming key
+/// generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyConstants {
+    /// `α` in G1 (verifying key).
+    pub alpha_g1: G1Affine,
+    /// `β` in G1 (prover side).
+    pub beta_g1: G1Affine,
+    /// `δ` in G1 (prover side).
+    pub delta_g1: G1Affine,
+    /// `β` in G2 (verifying key).
+    pub beta_g2: G2Affine,
+    /// `γ` in G2 (verifying key).
+    pub gamma_g2: G2Affine,
+    /// `δ` in G2 (verifying key).
+    pub delta_g2: G2Affine,
+}
+
+/// A consumer of streaming key generation
+/// ([`SetupContext::generate_streaming_with`]).
+///
+/// The generator drives a sink through a fixed protocol: one
+/// [`constants`](Self::constants) call, then for each family in
+/// [`KeyFamily::ALL`] order a [`begin_family`](Self::begin_family) call
+/// announcing the exact element count, one or more budget-sized point
+/// chunks ([`g1_chunk`](Self::g1_chunk) or [`g2_chunk`](Self::g2_chunk),
+/// matching [`KeyFamily::is_g2`]), and an [`end_family`](Self::end_family)
+/// call. Chunks arrive in index order and concatenate to exactly the same
+/// point vector the in-memory [`SetupContext::generate_with`] would
+/// produce — affine coordinates are canonical, so a sink that serializes
+/// chunks as they arrive writes a byte-identical key.
+pub trait KeySink {
+    /// The sink's failure type (e.g. an I/O error for on-disk sinks).
+    type Error;
+
+    /// Receives the six fixed key elements (called exactly once, first).
+    fn constants(&mut self, constants: &KeyConstants) -> Result<(), Self::Error>;
+
+    /// Announces the next family and its total element count.
+    fn begin_family(&mut self, family: KeyFamily, len: usize) -> Result<(), Self::Error>;
+
+    /// Receives the next chunk of a G1 family, in index order.
+    fn g1_chunk(&mut self, points: &[G1Affine]) -> Result<(), Self::Error>;
+
+    /// Receives the next chunk of the G2 family, in index order.
+    fn g2_chunk(&mut self, points: &[G2Affine]) -> Result<(), Self::Error>;
+
+    /// Marks the announced family complete.
+    fn end_family(&mut self, family: KeyFamily) -> Result<(), Self::Error>;
 }
 
 /// Everything about a circuit the setup can compute once and reuse: the
@@ -144,6 +251,26 @@ impl SetupContext {
         generate_from_parts(&self.matrices, &self.domain, toxic)
     }
 
+    /// Streaming key generation: drives `sink` through the protocol
+    /// described on [`KeySink`], holding at most one `budget`-sized point
+    /// chunk (plus the fixed-base tables and the 32 B/element scalar
+    /// vectors) in memory at any time.
+    ///
+    /// Families are processed **serially** — the point of this path is a
+    /// bounded peak footprint, not latency — but each chunk still runs
+    /// through the same multi-core batch-affine [`FixedBaseTable::mul_many`]
+    /// kernel as the in-memory path, and produces exactly the same points:
+    /// a sink that collects every chunk reassembles a key byte-identical
+    /// to [`Self::generate_with`] for the same toxic waste.
+    pub fn generate_streaming_with<S: KeySink>(
+        &self,
+        toxic: &ToxicWaste,
+        sink: &mut S,
+        budget: MemoryBudget,
+    ) -> Result<SetupTimings, S::Error> {
+        generate_streaming_from_parts(&self.matrices, &self.domain, toxic, sink, budget)
+    }
+
     /// Converts this context into the prover's cached compute state,
     /// reusing the lowered matrices and the domain tables (the only new
     /// work is one field inversion for the coset vanishing constant).
@@ -192,6 +319,59 @@ pub fn generate_parameters_from_matrices_with(
     generate_from_parts(matrices, &qap::qap_domain(matrices), toxic).0
 }
 
+/// The scalar phase of key generation, shared by the in-memory and
+/// streaming kernels: QAP evaluations at `τ` plus every derived scalar
+/// vector, **without** the toxic-element tails (the in-memory path appends
+/// those to its carrier batches; the streaming path emits the constants
+/// separately).
+struct KeygenScalars {
+    /// `a_query` scalars — `uᵢ(τ)`.
+    u: Vec<Fr>,
+    /// `b_g1_query`/`b_g2_query` scalars — `vᵢ(τ)`.
+    v: Vec<Fr>,
+    /// `gamma_abc_g1` scalars — instance columns of `(β·u + α·v + w)·γ⁻¹`.
+    ic: Vec<Fr>,
+    /// `l_query` scalars — witness columns of `(β·u + α·v + w)·δ⁻¹`.
+    l: Vec<Fr>,
+    /// `h_query` scalars — `τⁱ·Z(τ)/δ`.
+    h: Vec<Fr>,
+}
+
+fn keygen_scalars(
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    toxic: &ToxicWaste,
+) -> KeygenScalars {
+    let qap = qap::evaluate_qap_at_with(matrices, domain, toxic.tau);
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    let ninstance = matrices.num_instance;
+    debug_assert_eq!(qap.u.len(), num_vars);
+
+    let gamma_inv = toxic.gamma.inverse().expect("gamma != 0");
+    let delta_inv = toxic.delta.inverse().expect("delta != 0");
+
+    // gamma_abc (instance columns) and l_query (witness columns)
+    let mut ic = Vec::with_capacity(ninstance + 3);
+    let mut l = Vec::with_capacity(matrices.num_witness);
+    for i in 0..num_vars {
+        let combined = toxic.beta * qap.u[i] + toxic.alpha * qap.v[i] + qap.w[i];
+        if i < ninstance {
+            ic.push(combined * gamma_inv);
+        } else {
+            l.push(combined * delta_inv);
+        }
+    }
+    // h_query scalars: τ^i · Z(τ)/δ — jump-then-recur, chunk-parallel
+    let h = geometric_series(qap.zt * delta_inv, toxic.tau, domain.size - 1);
+    KeygenScalars {
+        u: qap.u,
+        v: qap.v,
+        ic,
+        l,
+        h,
+    }
+}
+
 /// The keygen kernel: QAP scalars at `τ`, then every key family through
 /// the batch-affine fixed-base tables, families in parallel.
 fn generate_from_parts(
@@ -202,33 +382,17 @@ fn generate_from_parts(
     let start = Instant::now();
 
     // Scalar-side computations --------------------------------------------
-    let qap = qap::evaluate_qap_at_with(matrices, domain, toxic.tau);
+    let scalars = keygen_scalars(matrices, domain, toxic);
     let num_vars = matrices.num_instance + matrices.num_witness;
-    let ninstance = matrices.num_instance;
-    debug_assert_eq!(qap.u.len(), num_vars);
-
-    let gamma_inv = toxic.gamma.inverse().expect("gamma != 0");
-    let delta_inv = toxic.delta.inverse().expect("delta != 0");
-
-    // gamma_abc (instance columns) and l_query (witness columns); the G1
-    // toxic elements α, β, δ ride along at the tail of the instance batch
-    // so they share its batch-affine normalization
-    let mut ic_scalars = Vec::with_capacity(ninstance + 3);
-    let mut l_scalars = Vec::with_capacity(matrices.num_witness);
-    for i in 0..num_vars {
-        let combined = toxic.beta * qap.u[i] + toxic.alpha * qap.v[i] + qap.w[i];
-        if i < ninstance {
-            ic_scalars.push(combined * gamma_inv);
-        } else {
-            l_scalars.push(combined * delta_inv);
-        }
-    }
+    // the G1 toxic elements α, β, δ ride along at the tail of the instance
+    // batch so they share its batch-affine normalization
+    let mut ic_scalars = scalars.ic;
     ic_scalars.extend([toxic.alpha, toxic.beta, toxic.delta]);
-    // h_query scalars: τ^i · Z(τ)/δ — jump-then-recur, chunk-parallel
-    let h_scalars = geometric_series(qap.zt * delta_inv, toxic.tau, domain.size - 1);
+    let h_scalars = scalars.h;
+    let l_scalars = scalars.l;
     // B-G2 batch with the G2 toxic elements β, γ, δ at the tail
     let mut v_g2_scalars = Vec::with_capacity(num_vars + 3);
-    v_g2_scalars.extend_from_slice(&qap.v);
+    v_g2_scalars.extend_from_slice(&scalars.v);
     v_g2_scalars.extend([toxic.beta, toxic.gamma, toxic.delta]);
     let qap_eval = start.elapsed();
 
@@ -252,8 +416,8 @@ fn generate_from_parts(
     let mut h_query = Vec::new();
     let mut l_query = Vec::new();
     let mut ic_ext = std::thread::scope(|scope| {
-        scope.spawn(|| a_query = t1.mul_many(&qap.u));
-        scope.spawn(|| b_g1_query = t1.mul_many(&qap.v));
+        scope.spawn(|| a_query = t1.mul_many(&scalars.u));
+        scope.spawn(|| b_g1_query = t1.mul_many(&scalars.v));
         scope.spawn(|| b_g2_ext = t2.mul_many(&v_g2_scalars));
         scope.spawn(|| h_query = t1.mul_many(&h_scalars));
         scope.spawn(|| l_query = t1.mul_many(&l_scalars));
@@ -293,6 +457,78 @@ fn generate_from_parts(
         total: start.elapsed(),
     };
     (pk, timings)
+}
+
+/// The streaming keygen kernel: same scalar phase and fixed-base tables as
+/// [`generate_from_parts`], but families are walked serially in
+/// budget-sized chunks that are handed to `sink` and dropped, so peak
+/// memory is the tables + the scalar vectors + **one** chunk of points
+/// instead of the whole key (plus its serialized copy).
+fn generate_streaming_from_parts<S: KeySink>(
+    matrices: &R1csMatrices<Fr>,
+    domain: &Radix2Domain<Fr>,
+    toxic: &ToxicWaste,
+    sink: &mut S,
+    budget: MemoryBudget,
+) -> Result<SetupTimings, S::Error> {
+    let start = Instant::now();
+    let scalars = keygen_scalars(matrices, domain, toxic);
+    let num_vars = matrices.num_instance + matrices.num_witness;
+    let qap_eval = start.elapsed();
+
+    let commit_start = Instant::now();
+    // same window choices as the in-memory kernel, so per-chunk `mul_many`
+    // cost matches the monolithic path point-for-point
+    let total_g1_muls = 3 * num_vars + scalars.h.len() + 3;
+    let w1 = FixedBaseTable::<G1Config>::suggested_window(total_g1_muls);
+    let w2 = FixedBaseTable::<G2Config>::suggested_window(scalars.v.len() + 3);
+    let mut t2_slot = None;
+    let t1 = std::thread::scope(|scope| {
+        scope.spawn(|| t2_slot = Some(FixedBaseTable::new(G2Projective::generator(), w2)));
+        FixedBaseTable::new(G1Projective::generator(), w1)
+    });
+    let t2 = t2_slot.expect("scope joined the G2 table build");
+
+    // the fixed elements first — single-scalar muls normalize to the same
+    // canonical affine coordinates the batch kernel produces
+    sink.constants(&KeyConstants {
+        alpha_g1: t1.mul(toxic.alpha).into_affine(),
+        beta_g1: t1.mul(toxic.beta).into_affine(),
+        delta_g1: t1.mul(toxic.delta).into_affine(),
+        beta_g2: t2.mul(toxic.beta).into_affine(),
+        gamma_g2: t2.mul(toxic.gamma).into_affine(),
+        delta_g2: t2.mul(toxic.delta).into_affine(),
+    })?;
+
+    let g1_chunk = budget.chunk_len(uncompressed_size::<G1Config>());
+    let g2_chunk = budget.chunk_len(uncompressed_size::<G2Config>());
+    for family in KeyFamily::ALL {
+        let family_scalars: &[Fr] = match family {
+            KeyFamily::Ic => &scalars.ic,
+            KeyFamily::AQuery => &scalars.u,
+            KeyFamily::BG1Query => &scalars.v,
+            KeyFamily::BG2Query => &scalars.v,
+            KeyFamily::HQuery => &scalars.h,
+            KeyFamily::LQuery => &scalars.l,
+        };
+        sink.begin_family(family, family_scalars.len())?;
+        if family.is_g2() {
+            for chunk in family_scalars.chunks(g2_chunk) {
+                sink.g2_chunk(&t2.mul_many(chunk))?;
+            }
+        } else {
+            for chunk in family_scalars.chunks(g1_chunk) {
+                sink.g1_chunk(&t1.mul_many(chunk))?;
+            }
+        }
+        sink.end_family(family)?;
+    }
+    let commit = commit_start.elapsed();
+    Ok(SetupTimings {
+        qap_eval,
+        commit,
+        total: start.elapsed(),
+    })
 }
 
 /// Convenience: number of affine points the setup will produce, used by

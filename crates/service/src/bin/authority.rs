@@ -20,7 +20,8 @@ USAGE:
 
 OPTIONS:
     --listen ADDR           bind address (default 127.0.0.1:7791; port 0 = ephemeral)
-    --keys DIR              load every *.vk key-registration file in DIR
+    --keys DIR              load every *.vk registration file and *.zkst
+                            segmented key store in DIR (one sorted order)
     --workers N             worker threads (default: max(16, 2 x cores))
     --no-batching           disable claim coalescing (ablation mode)
     --max-batch N           RLC batch ceiling (default 64)

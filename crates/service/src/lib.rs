@@ -108,6 +108,7 @@ use std::path::Path;
 
 use zkrownn::{Artifact, CircuitId, WireError};
 use zkrownn_groth16::VerifyingKey;
+use zkrownn_store::{KeyStore, StoreBackend};
 
 /// Serializes a key registration — the `.vk` files `zkrownn-authority
 /// --keys DIR` loads at startup: the 32-byte [`CircuitId`] digest, the
@@ -137,32 +138,61 @@ pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, [u8; 32], Verifyin
     Ok((CircuitId::from_bytes(id), digest, vk))
 }
 
-/// Registers every `*.vk` key-registration file under `dir`; returns how
-/// many were loaded.
+/// Registers every `*.vk` key-registration file **and** every `*.zkst`
+/// segmented key store under `dir`; returns how many were loaded.
 ///
-/// Files are processed in sorted path order, so the registration ledger —
-/// whose roots depend on append order — is identical across runs and
-/// machines for the same key directory, regardless of directory-iteration
-/// order.
+/// Files of both kinds are processed in one sorted path order, so the
+/// registration ledger — whose roots depend on append order — is identical
+/// across runs and machines for the same key directory, regardless of
+/// directory-iteration order. A `.zkst` store contributes its embedded
+/// circuit-id / statement-digest metadata and its verifying-key segments;
+/// the proving-key segments are never read, so registering a multi-GB
+/// store costs only the verifying key.
 pub fn load_keys_dir(registry: &LedgeredRegistry, dir: &Path) -> Result<usize, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
     let mut paths = Vec::new();
     for entry in entries {
         let path = entry.map_err(|e| e.to_string())?.path();
-        if path.extension().and_then(|e| e.to_str()) == Some("vk") {
+        if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("vk") | Some("zkst")
+        ) {
             paths.push(path);
         }
     }
     paths.sort();
     let mut loaded = 0usize;
     for path in paths {
-        let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let (id, digest, vk) =
-            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (id, digest, vk) = if path.extension().and_then(|e| e.to_str()) == Some("zkst") {
+            read_store_registration(&path).map_err(|e| format!("{}: {e}", path.display()))?
+        } else {
+            let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?
+        };
         registry.register(id, digest, &vk);
         loaded += 1;
     }
     Ok(loaded)
+}
+
+/// Extracts a registration from a segmented key store: its embedded
+/// metadata (circuit id, statement digest) plus the verifying-key segments.
+/// A store without a metadata segment cannot be registered — the registry
+/// is keyed by circuit id, which the store would not vouch for.
+fn read_store_registration(path: &Path) -> Result<(CircuitId, [u8; 32], VerifyingKey), String> {
+    // buffered reads: registration touches only the constants, IC and meta
+    // segments, so mapping the (potentially huge) key would be waste
+    let store = KeyStore::open_with(path, StoreBackend::Buffered).map_err(|e| e.to_string())?;
+    let meta = store
+        .meta()
+        .map_err(|e| e.to_string())?
+        .ok_or("key store has no circuit-binding metadata segment")?;
+    let vk = store.verifying_key().map_err(|e| e.to_string())?;
+    Ok((
+        CircuitId::from_bytes(meta.circuit_id),
+        meta.statement_digest,
+        vk,
+    ))
 }
 
 #[cfg(test)]

@@ -171,7 +171,7 @@ impl Status {
             E::StatementMismatch => Self::StatementMismatch,
             E::CircuitMismatch { .. } => Self::CircuitMismatch,
             E::UnknownCircuit(_) => Self::UnknownCircuit,
-            E::UnsatisfiedCircuit(_) | E::Synthesis(_) => Self::Internal,
+            E::UnsatisfiedCircuit(_) | E::Synthesis(_) | E::Store(_) => Self::Internal,
         }
     }
 }

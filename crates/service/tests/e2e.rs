@@ -15,7 +15,10 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use rand::SeedableRng;
-use zkrownn::{Artifact, Authority, CircuitId, ExtractionSpec, QuantLayer, QuantizedModel};
+use zkrownn::{
+    Artifact, Authority, CircuitId, ExtractionSpec, KeyStore, MemoryBudget, QuantLayer,
+    QuantizedModel,
+};
 use zkrownn_gadgets::FixedConfig;
 use zkrownn_groth16::VerifyingKey;
 use zkrownn_ledger::{verify_consistency, verify_membership, LedgerLeaf, LedgerRoot};
@@ -452,7 +455,9 @@ fn consistency_proofs_link_roots_across_runtime_registrations() {
 
 /// `zkrownn-authority --keys DIR` loads registrations in sorted path
 /// order, so the published ledger root is reproducible no matter what
-/// order the filesystem hands back directory entries.
+/// order the filesystem hands back directory entries. Segmented key
+/// stores (`*.zkst`) participate in the *same* sorted sequence as `*.vk`
+/// registration files.
 #[test]
 fn key_directory_loading_is_deterministic_and_sorted() {
     let vk = fixture_vk();
@@ -475,17 +480,36 @@ fn key_directory_loading_is_deterministic_and_sorted() {
         std::fs::write(dir_b.join(name), bytes).unwrap();
     }
 
+    // a store-backed key, named to land mid-sequence ("key-2.vk" <
+    // "key-2a.zkst" < "key-3.vk"); the authority registers it from the
+    // store's embedded metadata + verifying-key segments
+    let statement = tiny_spec(vec![true; 4]).statement();
+    let store_path = base.join("key-2a.zkst");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(733);
+    Authority::setup_statement_stored(&statement, &store_path, &mut rng, MemoryBudget::from_mb(8))
+        .expect("streaming setup writes the store");
+    std::fs::copy(&store_path, dir_a.join("key-2a.zkst")).unwrap();
+    std::fs::copy(&store_path, dir_b.join("key-2a.zkst")).unwrap();
+
     let reg_a = LedgeredRegistry::new();
     let reg_b = LedgeredRegistry::new();
-    assert_eq!(load_keys_dir(&reg_a, &dir_a).unwrap(), 6);
-    assert_eq!(load_keys_dir(&reg_b, &dir_b).unwrap(), 6);
+    assert_eq!(load_keys_dir(&reg_a, &dir_a).unwrap(), 7);
+    assert_eq!(load_keys_dir(&reg_b, &dir_b).unwrap(), 7);
     assert_eq!(reg_a.current_root().root, reg_b.current_root().root);
 
-    // ...and that order is exactly sorted-by-name
+    // ...and that order is exactly sorted-by-name, store included
+    let store = KeyStore::open(&store_path).unwrap();
     let by_hand = LedgeredRegistry::new();
-    for (_, bytes) in &files {
+    for (name, bytes) in &files {
         let (id, digest, parsed_vk) = parse_registration(bytes).unwrap();
         by_hand.register(id, digest, &parsed_vk);
+        if name == "key-2.vk" {
+            by_hand.register(
+                statement.circuit_id(),
+                statement.content_digest(),
+                &store.verifying_key().unwrap(),
+            );
+        }
     }
     assert_eq!(reg_a.current_root().root, by_hand.current_root().root);
 

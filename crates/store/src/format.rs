@@ -1,0 +1,489 @@
+//! The `.zkst` segmented container format.
+//!
+//! A store file is a `ZKRW` envelope extended with a *segment table*, so
+//! large artifacts can be read lazily and each piece verified
+//! independently:
+//!
+//! ```text
+//! offset 0             32                                table_offset
+//! ┌────────────────────┬─────────────────────────────────┬───────────────┬────────┐
+//! │ header (32 bytes)  │ segment payloads …              │ segment table │ footer │
+//! └────────────────────┴─────────────────────────────────┴───────────────┴────────┘
+//!
+//! header:  "ZKRW" ‖ kind u8 (9) ‖ version u16 LE ‖ reserved u8
+//!          ‖ segment_count u64 LE ‖ table_offset u64 LE ‖ file_len u64 LE
+//! table:   segment_count × 36-byte entries:
+//!          kind u32 LE ‖ count u64 LE ‖ offset u64 LE ‖ len u64 LE ‖ checksum [u8; 8]
+//! footer:  8-byte truncated SHA-256 of header ‖ table
+//! ```
+//!
+//! Every byte of the file is covered by a check: the header and table by
+//! the footer digest, and each segment payload by its table entry's
+//! truncated SHA-256 — computed streamingly on both the write and read
+//! sides, so integrity verification never buffers a segment.
+//!
+//! The `kind` byte reuses the artifact envelope's tag space (tag 9 =
+//! "key store", registered in the core crate's `ArtifactKind`); segment
+//! kinds are a separate 32-bit namespace owned by this crate
+//! ([`crate::keystore::segment_kind`] for the proving-key layout).
+
+use crate::map::{Source, StoreBackend};
+use crate::sha::Sha256;
+use std::fs::File;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use zkrownn_curves::PointDecodeError;
+
+/// The envelope magic, shared with the core artifact format.
+pub const MAGIC: [u8; 4] = *b"ZKRW";
+/// The envelope kind tag of a store file (`ArtifactKind::KeyStore`).
+pub const STORE_KIND: u8 = 9;
+/// Store format version this crate writes and understands.
+pub const STORE_VERSION: u16 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: u64 = 32;
+/// Segment-table entry length in bytes.
+pub const ENTRY_LEN: u64 = 36;
+/// Footer (truncated digest) length in bytes.
+pub const FOOTER_LEN: u64 = 8;
+
+/// Why a store file failed to open, verify or serve a read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The file does not start with the `ZKRW` magic.
+    BadMagic,
+    /// The envelope kind tag is not [`STORE_KIND`].
+    WrongKind(u8),
+    /// The format version is newer than this reader.
+    UnsupportedVersion(u16),
+    /// The file is shorter than a declared structure.
+    Truncated {
+        /// Bytes the structure requires.
+        needed: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// A declared length or offset disagrees with the actual file layout.
+    Malformed(&'static str),
+    /// The header/table footer digest does not match.
+    TableChecksumMismatch,
+    /// A segment's payload digest does not match its table entry.
+    SegmentChecksumMismatch {
+        /// The corrupt segment's kind tag.
+        kind: u32,
+    },
+    /// A required segment is absent.
+    MissingSegment {
+        /// The absent segment's kind tag.
+        kind: u32,
+    },
+    /// A segment's element count disagrees with what the caller needs.
+    ShapeMismatch {
+        /// The segment kind whose count is wrong.
+        kind: u32,
+        /// Elements the caller expected.
+        expected: u64,
+        /// Elements the table declares.
+        got: u64,
+    },
+    /// A point failed to decode inside a segment.
+    Point {
+        /// The segment kind containing the bad point.
+        kind: u32,
+        /// The element index within the segment.
+        index: u64,
+        /// The point-level validation that fired.
+        source: PointDecodeError,
+    },
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl core::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "store I/O failed: {e}"),
+            Self::BadMagic => write!(f, "not a ZKRW store file"),
+            Self::WrongKind(k) => write!(f, "envelope kind {k} is not a key store"),
+            Self::UnsupportedVersion(v) => write!(f, "unsupported store format version {v}"),
+            Self::Truncated { needed, got } => {
+                write!(f, "store truncated: need {needed} bytes, have {got}")
+            }
+            Self::Malformed(what) => write!(f, "malformed store: {what}"),
+            Self::TableChecksumMismatch => write!(f, "segment table checksum mismatch"),
+            Self::SegmentChecksumMismatch { kind } => {
+                write!(f, "segment {kind} payload checksum mismatch")
+            }
+            Self::MissingSegment { kind } => write!(f, "segment {kind} missing"),
+            Self::ShapeMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "segment {kind} holds {got} elements, expected {expected}"
+            ),
+            Self::Point {
+                kind,
+                index,
+                source,
+            } => write!(f, "segment {kind} element {index}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Point { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One row of the segment table: where a segment lives and how to check it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Application-defined segment kind tag.
+    pub kind: u32,
+    /// Number of elements in the segment (elements are
+    /// application-defined; the key store uses curve points).
+    pub count: u64,
+    /// Payload offset from the start of the file.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Truncated SHA-256 of the payload bytes.
+    pub checksum: [u8; 8],
+}
+
+impl SegmentEntry {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.kind.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.offset.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.checksum);
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Self {
+        let u64at = |i: usize| u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap());
+        Self {
+            kind: u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+            count: u64at(4),
+            offset: u64at(12),
+            len: u64at(20),
+            checksum: bytes[28..36].try_into().unwrap(),
+        }
+    }
+}
+
+fn header_bytes(segment_count: u64, table_offset: u64, file_len: u64) -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4] = STORE_KIND;
+    h[5..7].copy_from_slice(&STORE_VERSION.to_le_bytes());
+    // h[7] reserved, zero
+    h[8..16].copy_from_slice(&segment_count.to_le_bytes());
+    h[16..24].copy_from_slice(&table_offset.to_le_bytes());
+    h[24..32].copy_from_slice(&file_len.to_le_bytes());
+    h
+}
+
+/// Streaming writer for a `.zkst` container.
+///
+/// Segments are written strictly sequentially: `begin_segment`, any number
+/// of `write` calls (hashed into the segment checksum as they pass), then
+/// `end_segment`; `finish` appends the table and footer and patches the
+/// header. Nothing is buffered beyond the `BufWriter` block, so writing a
+/// multi-GB store holds O(1) memory.
+pub struct StoreWriter {
+    out: io::BufWriter<File>,
+    offset: u64,
+    entries: Vec<SegmentEntry>,
+    open: Option<OpenSegment>,
+}
+
+struct OpenSegment {
+    kind: u32,
+    count: u64,
+    start: u64,
+    hasher: Sha256,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) `path` and writes the header placeholder.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut out = io::BufWriter::new(File::create(path)?);
+        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        Ok(Self {
+            out,
+            offset: HEADER_LEN,
+            entries: Vec::new(),
+            open: None,
+        })
+    }
+
+    /// Opens the next segment. `count` is the (application-defined)
+    /// element count recorded in the table.
+    ///
+    /// # Panics
+    /// Panics if a segment is already open — segment writes cannot nest.
+    pub fn begin_segment(&mut self, kind: u32, count: u64) {
+        assert!(self.open.is_none(), "segment already open");
+        self.open = Some(OpenSegment {
+            kind,
+            count,
+            start: self.offset,
+            hasher: Sha256::new(),
+        });
+    }
+
+    /// Appends payload bytes to the open segment.
+    ///
+    /// # Panics
+    /// Panics if no segment is open.
+    pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let seg = self.open.as_mut().expect("no open segment");
+        seg.hasher.update(bytes);
+        self.out.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Closes the open segment, recording its table entry.
+    ///
+    /// # Panics
+    /// Panics if no segment is open.
+    pub fn end_segment(&mut self) {
+        let seg = self.open.take().expect("no open segment");
+        self.entries.push(SegmentEntry {
+            kind: seg.kind,
+            count: seg.count,
+            offset: seg.start,
+            len: self.offset - seg.start,
+            checksum: seg.hasher.finalize_truncated(),
+        });
+    }
+
+    /// Writes the segment table and footer, patches the header, and syncs
+    /// the file to disk.
+    ///
+    /// # Panics
+    /// Panics if a segment is still open.
+    pub fn finish(mut self) -> io::Result<()> {
+        assert!(self.open.is_none(), "unclosed segment at finish");
+        let table_offset = self.offset;
+        let mut table = Vec::with_capacity(self.entries.len() * ENTRY_LEN as usize);
+        for entry in &self.entries {
+            entry.write_bytes(&mut table);
+        }
+        let file_len = table_offset + table.len() as u64 + FOOTER_LEN;
+        let header = header_bytes(self.entries.len() as u64, table_offset, file_len);
+
+        let mut footer_hash = Sha256::new();
+        footer_hash.update(&header);
+        footer_hash.update(&table);
+
+        self.out.write_all(&table)?;
+        self.out.write_all(&footer_hash.finalize_truncated())?;
+        let mut file = self
+            .out
+            .into_inner()
+            .map_err(io::IntoInnerError::into_error)?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()
+    }
+}
+
+/// An open, header-validated `.zkst` container.
+///
+/// Opening reads and verifies only the header, table and footer — O(table)
+/// work and memory no matter how large the payloads are. Segment payloads
+/// are fetched lazily through [`Self::chunk`] and checked against their
+/// table checksums by the streaming consumers ([`Self::verify_integrity`],
+/// the budgeted prover, the materializing readers in
+/// [`crate::keystore`]).
+pub struct StoreFile {
+    source: Source,
+    entries: Vec<SegmentEntry>,
+}
+
+impl StoreFile {
+    /// Opens `path` with the default backend ([`StoreBackend::Auto`]).
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        Self::open_with(path, StoreBackend::Auto)
+    }
+
+    /// Opens `path` with an explicit read backend.
+    pub fn open_with(path: &Path, backend: StoreBackend) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let source = Source::open(file, file_len, backend)?;
+        let mut scratch = Vec::new();
+
+        if file_len < HEADER_LEN + FOOTER_LEN {
+            return Err(StoreError::Truncated {
+                needed: HEADER_LEN + FOOTER_LEN,
+                got: file_len,
+            });
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        header.copy_from_slice(source.chunk(0, HEADER_LEN as usize, &mut scratch)?);
+        if header[0..4] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        if header[4] != STORE_KIND {
+            return Err(StoreError::WrongKind(header[4]));
+        }
+        let version = u16::from_le_bytes(header[5..7].try_into().unwrap());
+        if version != STORE_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let segment_count = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let table_offset = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let declared_len = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if declared_len != file_len {
+            return Err(StoreError::Malformed("declared file length disagrees"));
+        }
+        // validate the table extent against the real file size *before*
+        // allocating anything proportional to segment_count
+        let table_len = segment_count
+            .checked_mul(ENTRY_LEN)
+            .ok_or(StoreError::Malformed("segment count overflows"))?;
+        let expected_len = table_offset
+            .checked_add(table_len)
+            .and_then(|v| v.checked_add(FOOTER_LEN))
+            .ok_or(StoreError::Malformed("table extent overflows"))?;
+        if table_offset < HEADER_LEN || expected_len != file_len {
+            return Err(StoreError::Malformed("table extent disagrees with file"));
+        }
+
+        let table = source
+            .chunk(table_offset, table_len as usize, &mut scratch)?
+            .to_vec();
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        footer.copy_from_slice(source.chunk(
+            table_offset + table_len,
+            FOOTER_LEN as usize,
+            &mut scratch,
+        )?);
+        let mut footer_hash = Sha256::new();
+        footer_hash.update(&header);
+        footer_hash.update(&table);
+        if footer_hash.finalize_truncated() != footer {
+            return Err(StoreError::TableChecksumMismatch);
+        }
+
+        // entries must tile [HEADER_LEN, table_offset) exactly, in order —
+        // every payload byte belongs to exactly one checksummed segment
+        let mut entries = Vec::with_capacity(segment_count as usize);
+        let mut cursor = HEADER_LEN;
+        for raw in table.chunks_exact(ENTRY_LEN as usize) {
+            let entry = SegmentEntry::from_bytes(raw);
+            if entry.offset != cursor {
+                return Err(StoreError::Malformed("segments are not contiguous"));
+            }
+            cursor = entry
+                .offset
+                .checked_add(entry.len)
+                .ok_or(StoreError::Malformed("segment extent overflows"))?;
+            if cursor > table_offset {
+                return Err(StoreError::Malformed("segment extends past the table"));
+            }
+            entries.push(entry);
+        }
+        if cursor != table_offset {
+            return Err(StoreError::Malformed("payload bytes outside any segment"));
+        }
+
+        Ok(Self { source, entries })
+    }
+
+    /// The segment table, in file order.
+    pub fn segments(&self) -> &[SegmentEntry] {
+        &self.entries
+    }
+
+    /// The first segment of `kind`, if present.
+    pub fn segment(&self, kind: u32) -> Option<&SegmentEntry> {
+        self.entries.iter().find(|e| e.kind == kind)
+    }
+
+    /// Like [`Self::segment`] but an error when absent.
+    pub fn require(&self, kind: u32) -> Result<&SegmentEntry, StoreError> {
+        self.segment(kind)
+            .ok_or(StoreError::MissingSegment { kind })
+    }
+
+    /// Total file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.source.len()
+    }
+
+    /// A borrowed window of `len` bytes at absolute `offset` — zero-copy
+    /// from the mapping, or `scratch` filled by a positioned read. The
+    /// range must lie inside the file.
+    pub fn chunk<'a>(
+        &'a self,
+        offset: u64,
+        len: usize,
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], StoreError> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or(StoreError::Malformed("chunk range overflows"))?;
+        if end > self.source.len() {
+            return Err(StoreError::Truncated {
+                needed: end,
+                got: self.source.len(),
+            });
+        }
+        Ok(self.source.chunk(offset, len, scratch)?)
+    }
+
+    /// Reads an entire segment's payload into a fresh buffer, verifying
+    /// its checksum.
+    pub fn read_segment(&self, entry: &SegmentEntry) -> Result<Vec<u8>, StoreError> {
+        let mut scratch = Vec::new();
+        let bytes = self
+            .chunk(entry.offset, entry.len as usize, &mut scratch)?
+            .to_vec();
+        let mut hasher = Sha256::new();
+        hasher.update(&bytes);
+        if hasher.finalize_truncated() != entry.checksum {
+            return Err(StoreError::SegmentChecksumMismatch { kind: entry.kind });
+        }
+        Ok(bytes)
+    }
+
+    /// Streams every segment through its checksum at a bounded buffer
+    /// size, verifying the whole file without materializing any payload.
+    pub fn verify_integrity(&self) -> Result<(), StoreError> {
+        const VERIFY_CHUNK: usize = 1 << 20;
+        let mut scratch = Vec::new();
+        for entry in &self.entries {
+            let mut hasher = Sha256::new();
+            let mut off = entry.offset;
+            let mut remaining = entry.len;
+            while remaining > 0 {
+                let take = remaining.min(VERIFY_CHUNK as u64) as usize;
+                hasher.update(self.chunk(off, take, &mut scratch)?);
+                off += take as u64;
+                remaining -= take as u64;
+            }
+            if hasher.finalize_truncated() != entry.checksum {
+                return Err(StoreError::SegmentChecksumMismatch { kind: entry.kind });
+            }
+        }
+        Ok(())
+    }
+}

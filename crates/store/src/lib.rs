@@ -1,0 +1,99 @@
+//! # zkrownn-store — the segmented on-disk key store
+//!
+//! ZKROWNN's pipeline materializes every proving key in RAM; at CNN scale
+//! a key is tens of megabytes and at paper-scale conv stacks it is
+//! multi-GB — far past what the setup and prover should be required to
+//! hold. This crate makes key size and peak memory independent:
+//!
+//! * [`mod@format`] — the `.zkst` container: a `ZKRW` envelope extended with a
+//!   **segment table** (per-segment kind/count/offset/length/checksum), a
+//!   streaming [`StoreWriter`] and a lazily-reading [`StoreFile`] with
+//!   mmap and buffered-`pread` backends ([`StoreBackend`]);
+//! * [`keystore`] — the proving-key layout over that container: one
+//!   segment per [`zkrownn_groth16::KeyFamily`], a constants segment, and
+//!   an optional circuit-binding metadata segment. [`KeyStoreWriter`] is
+//!   the [`zkrownn_groth16::KeySink`] that turns
+//!   `SetupContext::generate_streaming_with` into memory-budgeted on-disk
+//!   keygen; [`KeyStore`] reads families back segment-at-a-time;
+//! * [`prover`] — [`create_proof_streamed`]: windowed Pippenger consuming
+//!   base chunks straight from the store at a fixed
+//!   [`zkrownn_curves::MemoryBudget`], byte-identical to the in-memory
+//!   prover;
+//! * [`sha`] — the workspace's SHA-256 (re-exported by the core crate),
+//!   which backs every segment checksum.
+//!
+//! Both streaming paths are *pinned* byte-identical to their in-memory
+//! equivalents: chunked fixed-base multiplication produces the same
+//! canonical affine points, and MSM partial sums add up group-exactly.
+//! Integrity is end-to-end — every byte of a store file is covered either
+//! by the header/table footer digest or by a segment checksum, and the
+//! streaming prover refuses to assemble a proof from a segment whose
+//! digest does not match.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use zkrownn_curves::MemoryBudget;
+//! use zkrownn_ff::{Field, Fr};
+//! use zkrownn_groth16::{SetupContext, ToxicWaste};
+//! use zkrownn_r1cs::{assignment, Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};
+//! use zkrownn_store::{create_proof_streamed, KeyStore, KeyStoreWriter};
+//!
+//! struct Square { x: Option<u64> }
+//! impl Circuit<Fr> for Square {
+//!     type Output = ();
+//!     fn synthesize<CS: ConstraintSystem<Fr>>(&self, cs: &mut CS) -> Result<(), SynthesisError> {
+//!         let y = cs.alloc_instance(|| Ok(Fr::from_u64(self.x.unwrap() * self.x.unwrap())))?;
+//!         let xv = self.x;
+//!         let x = cs.alloc_witness(|| assignment(xv.map(Fr::from_u64)))?;
+//!         cs.enforce(x.into(), x.into(), y.into());
+//!         Ok(())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("zkst-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let path = dir.join("square.zkst");
+//!
+//! // streaming keygen: each fixed-base chunk goes to disk as it finishes
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let budget = MemoryBudget::from_mb(64);
+//! let ctx = SetupContext::for_circuit(&Square { x: None })?;
+//! let mut sink = KeyStoreWriter::create(&path, None)?;
+//! ctx.generate_streaming_with(&ToxicWaste::sample(&mut rng), &mut sink, budget)?;
+//! sink.finish()?;
+//!
+//! // streaming prove: Pippenger consumes base chunks from the store
+//! let store = KeyStore::open(&path)?;
+//! let mut cs = ProvingSynthesizer::<Fr>::new();
+//! Square { x: Some(3) }.synthesize(&mut cs)?;
+//! let prover_ctx = ctx.into_prover_context();
+//! let z = cs.full_assignment();
+//! let r = Fr::random(&mut rng);
+//! let s = Fr::random(&mut rng);
+//! let proof = create_proof_streamed(&store, &prover_ctx, &z, r, s, budget)?;
+//! assert!(zkrownn_groth16::verify_proof(
+//!     &store.verifying_key()?,
+//!     &proof,
+//!     &[Fr::from_u64(9)],
+//! ).is_ok());
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod keystore;
+pub mod map;
+pub mod prover;
+pub mod sha;
+
+pub use format::{SegmentEntry, StoreError, StoreFile, StoreWriter, STORE_KIND, STORE_VERSION};
+pub use keystore::{
+    family_kind, segment_kind, write_proving_key, KeyStore, KeyStoreWriter, StoreMeta,
+};
+pub use map::StoreBackend;
+pub use prover::{create_proof_streamed, create_proof_streamed_rng, create_proof_streamed_timed};
+pub use sha::{sha256, Sha256};

@@ -1,0 +1,203 @@
+//! Read backends for an open store: a read-only memory map where the
+//! platform provides one, and a buffered positioned-read (`pread`)
+//! fallback everywhere.
+//!
+//! The two backends expose one access primitive —
+//! `Source::chunk` — that hands back a borrowed byte slice: a zero-copy
+//! window into the mapping, or the caller's scratch buffer filled by a
+//! positioned read. Streaming consumers (the budgeted prover, integrity
+//! verification) are written once against that primitive and never learn
+//! which backend is underneath.
+//!
+//! The mapping is raw `mmap(2)` through an `extern "C"` declaration — the
+//! build environment vendors no `libc` crate, but `std` already links the
+//! platform C library, so the symbol resolves without any new dependency.
+
+use std::fs::File;
+use std::io;
+
+/// Which read backend [`crate::StoreFile::open_with`] should use.
+///
+/// `Auto` picks the memory map where the platform supports it and falls
+/// back to buffered positioned reads. `Buffered` is the right choice when
+/// *address space* (not just resident memory) is capped — a mapping of a
+/// multi-GB key file counts against `ulimit -v` even though pages are
+/// faulted in lazily — and is what `table1 --mem-budget` uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// Memory-map if available, otherwise buffered reads.
+    #[default]
+    Auto,
+    /// Require the memory map (errors where unsupported).
+    Mmap,
+    /// Positioned buffered reads only; bounded address space.
+    Buffered,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only private mapping of a whole file (Linux only).
+#[cfg(target_os = "linux")]
+pub(crate) struct Mapping {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// The mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime, so shared references to its bytes are safe across threads.
+#[cfg(target_os = "linux")]
+unsafe impl Send for Mapping {}
+#[cfg(target_os = "linux")]
+unsafe impl Sync for Mapping {}
+
+#[cfg(target_os = "linux")]
+impl Mapping {
+    fn new(file: &File, len: usize) -> io::Result<Self> {
+        use std::os::fd::AsRawFd;
+        if len == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "cannot map an empty file",
+            ));
+        }
+        // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len` bytes of
+        // an open fd; we check for MAP_FAILED before using the pointer.
+        let ptr = unsafe {
+            sys::mmap(
+                core::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { ptr, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: the mapping covers exactly `len` readable bytes and
+        // lives as long as `self`.
+        unsafe { core::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: unmapping exactly what `new` mapped.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+/// The open read source: mapped or seekable.
+pub(crate) enum Source {
+    #[cfg(target_os = "linux")]
+    Mapped(Mapping),
+    Seek {
+        file: File,
+        len: u64,
+    },
+}
+
+impl Source {
+    /// Opens `file` (of total length `len`) with the requested backend.
+    pub(crate) fn open(file: File, len: u64, backend: StoreBackend) -> io::Result<Self> {
+        match backend {
+            StoreBackend::Buffered => Ok(Self::Seek { file, len }),
+            #[cfg(target_os = "linux")]
+            StoreBackend::Mmap => Ok(Self::Mapped(Mapping::new(&file, len as usize)?)),
+            #[cfg(not(target_os = "linux"))]
+            StoreBackend::Mmap => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "memory mapping is not supported on this platform",
+            )),
+            StoreBackend::Auto => {
+                #[cfg(target_os = "linux")]
+                {
+                    match Mapping::new(&file, len as usize) {
+                        Ok(map) => Ok(Self::Mapped(map)),
+                        Err(_) => Ok(Self::Seek { file, len }),
+                    }
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    Ok(Self::Seek { file, len })
+                }
+            }
+        }
+    }
+
+    /// Total length of the underlying file in bytes.
+    pub(crate) fn len(&self) -> u64 {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Mapped(map) => map.len as u64,
+            Self::Seek { len, .. } => *len,
+        }
+    }
+
+    /// A borrowed view of `count` bytes at `offset`: zero-copy from the
+    /// mapping, or `scratch` filled by a positioned read. The caller must
+    /// have range-checked `offset + count` against [`Self::len`].
+    pub(crate) fn chunk<'a>(
+        &'a self,
+        offset: u64,
+        count: usize,
+        scratch: &'a mut Vec<u8>,
+    ) -> io::Result<&'a [u8]> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Self::Mapped(map) => {
+                let start = offset as usize;
+                map.as_slice()
+                    .get(start..start + count)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "range past EOF"))
+            }
+            Self::Seek { file, .. } => {
+                scratch.resize(count, 0);
+                pread_exact(file, offset, scratch)?;
+                Ok(&scratch[..])
+            }
+        }
+    }
+}
+
+/// Fills `buf` from `offset` without moving any shared cursor.
+fn pread_exact(file: &File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}

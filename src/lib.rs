@@ -11,6 +11,8 @@
 //! * [`zkrownn_ledger`] — the registry as a verifiable log: an append-only
 //!   Merkle accumulator over registrations with offline-checkable
 //!   membership and consistency proofs
+//! * [`zkrownn_store`] — the segmented on-disk key store behind streaming
+//!   (memory-budgeted) trusted setup and proving
 //! * [`zkrownn_deepsigns`] — DeepSigns watermark embedding/extraction
 //! * [`zkrownn_nn`] — the neural-network substrate
 //! * [`zkrownn_groth16`] / [`zkrownn_gadgets`] / [`zkrownn_r1cs`] — the
@@ -31,3 +33,4 @@ pub use zkrownn_nn;
 pub use zkrownn_pairing;
 pub use zkrownn_poly;
 pub use zkrownn_r1cs;
+pub use zkrownn_store;
