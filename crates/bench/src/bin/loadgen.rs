@@ -175,7 +175,11 @@ fn main() -> ExitCode {
     let json = service_json(&results, smoke, corpus.claims.len());
     match json_path {
         Some(path) => {
-            if let Err(e) = std::fs::write(&path, &json) {
+            // temp-file + rename so an interrupted run never clobbers a
+            // prior artifact with a half-written document
+            if let Err(e) =
+                zkrownn_store::write_file_atomic(std::path::Path::new(&path), json.as_bytes())
+            {
                 return fail(&format!("writing {path}: {e}"));
             }
             eprintln!("loadgen: wrote {path}");

@@ -282,8 +282,13 @@ fn main() {
     // CI bench-smoke job uploads and validates this file)
     if args.iter().any(|a| a == "--json") {
         let path = "BENCH_prover.json";
-        std::fs::write(path, prover_json(&measured, scale))
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        // temp-file + rename so an interrupted run never clobbers a prior
+        // artifact with a half-written document
+        zkrownn_store::write_file_atomic(
+            std::path::Path::new(path),
+            prover_json(&measured, scale).as_bytes(),
+        )
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path} ({} rows)", measured.len());
     }
 }

@@ -21,7 +21,10 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use zkrownn::{Artifact, Authority, SignedClaim};
 use zkrownn_groth16::VerifyingKey;
-use zkrownn_service::{registration_bytes, stats_field_u64, Client, Status};
+use zkrownn_service::{
+    registration_bytes, stats_field_u64, Client, RetryPolicy, RetryingClient, Status,
+};
+use zkrownn_store::write_file_atomic;
 
 use crate::{quick_cnn_spec, quick_mlp_spec};
 
@@ -83,14 +86,18 @@ pub fn build_corpus(mlp: usize, cnn: usize) -> Corpus {
 
 /// Writes a corpus to `dir` as `key-N.vk` registration files and
 /// `claim-NNN.claim` artifacts.
+///
+/// Every file is committed atomically (temp file + rename), so a corpus
+/// regeneration interrupted mid-write never leaves a half-written `.vk`
+/// or `.claim` at a path a later `--keys`/`--corpus` load would trust.
 pub fn write_corpus(corpus: &Corpus, dir: &Path) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
     for (i, (id, digest, vk)) in corpus.keys.iter().enumerate() {
         let bytes = registration_bytes(zkrownn::CircuitId::from_bytes(*id), *digest, vk);
-        std::fs::write(dir.join(format!("key-{i}.vk")), bytes)?;
+        write_file_atomic(&dir.join(format!("key-{i}.vk")), &bytes)?;
     }
     for (i, claim) in corpus.claims.iter().enumerate() {
-        std::fs::write(dir.join(format!("claim-{i:03}.claim")), claim)?;
+        write_file_atomic(&dir.join(format!("claim-{i:03}.claim")), claim)?;
     }
     Ok(())
 }
@@ -159,6 +166,9 @@ pub struct ScenarioResult {
     /// Largest batch the server has formed so far (cumulative across
     /// scenarios — a max can't be diffed from the stats endpoint).
     pub batch_max: u64,
+    /// Reconnect-and-retry cycles the clients performed (absorbed `Busy`
+    /// sheds and transport hiccups; invisible in `errors` by design).
+    pub retries: u64,
 }
 
 fn percentile_ms(sorted: &[Duration], q: f64) -> f64 {
@@ -196,13 +206,23 @@ pub fn run_scenario(
 
     let per_client = total / clients;
     let start = Instant::now();
-    let results: Vec<Result<(usize, Vec<Duration>), String>> = std::thread::scope(|scope| {
+    // per-client outcome: (verified claims, retries taken, latencies)
+    type ClientOutcome = Result<(usize, u64, Vec<Duration>), String>;
+    let results: Vec<ClientOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let claims = &corpus.claims;
                 scope.spawn(move || {
-                    let mut client = Client::connect_with_retry(addr, Duration::from_secs(10))
-                        .map_err(|e| format!("client {c}: {e}"))?;
+                    // retrying client: a Busy shed from a saturated server
+                    // or a dropped connection is absorbed by backoff and
+                    // reconnect, never surfaced as a scenario error
+                    let mut client = RetryingClient::new(
+                        addr,
+                        RetryPolicy {
+                            seed: 0xb0b0 + c as u64, // decorrelate client backoffs
+                            ..RetryPolicy::default()
+                        },
+                    );
                     let mut errors = 0usize;
                     let mut latencies = Vec::with_capacity(per_client);
                     for i in 0..per_client {
@@ -216,7 +236,7 @@ pub fn run_scenario(
                             errors += 1;
                         }
                     }
-                    Ok((errors, latencies))
+                    Ok((errors, client.retries(), latencies))
                 })
             })
             .collect();
@@ -229,10 +249,12 @@ pub fn run_scenario(
     let after = control.stats_json().map_err(io("stats"))?;
 
     let mut errors = 0usize;
+    let mut retries = 0u64;
     let mut latencies = Vec::new();
     for r in results {
-        let (e, l) = r?;
+        let (e, rt, l) = r?;
         errors += e;
+        retries += rt;
         latencies.extend(l);
     }
     latencies.sort();
@@ -264,6 +286,7 @@ pub fn run_scenario(
         p99_ms: percentile_ms(&latencies, 0.99),
         mean_batch,
         batch_max,
+        retries,
     })
 }
 
@@ -300,7 +323,7 @@ pub fn service_json(results: &[ScenarioResult], smoke: bool, corpus_claims: usiz
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"clients\": {}, \"batching\": {}, \
-             \"total_claims\": {}, \"errors\": {}, \"elapsed_s\": {:.6}, \
+             \"total_claims\": {}, \"errors\": {}, \"retries\": {}, \"elapsed_s\": {:.6}, \
              \"claims_per_s\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"mean_batch\": {:.3}, \"batch_max\": {}}}{}\n",
             r.name,
@@ -308,6 +331,7 @@ pub fn service_json(results: &[ScenarioResult], smoke: bool, corpus_claims: usiz
             r.batching,
             r.total_claims,
             r.errors,
+            r.retries,
             r.elapsed_s,
             r.claims_per_s,
             r.p50_ms,
@@ -328,14 +352,21 @@ pub fn print_results(
 ) -> std::io::Result<()> {
     writeln!(
         w,
-        "| scenario | claims | claims/s | p50 (ms) | p99 (ms) | mean batch | errors |"
+        "| scenario | claims | claims/s | p50 (ms) | p99 (ms) | mean batch | errors | retries |"
     )?;
-    writeln!(w, "|---|---:|---:|---:|---:|---:|---:|")?;
+    writeln!(w, "|---|---:|---:|---:|---:|---:|---:|---:|")?;
     for r in results {
         writeln!(
             w,
-            "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {} |",
-            r.name, r.total_claims, r.claims_per_s, r.p50_ms, r.p99_ms, r.mean_batch, r.errors
+            "| {} | {} | {:.1} | {:.2} | {:.2} | {:.2} | {} | {} |",
+            r.name,
+            r.total_claims,
+            r.claims_per_s,
+            r.p50_ms,
+            r.p99_ms,
+            r.mean_batch,
+            r.errors,
+            r.retries
         )?;
     }
     w.flush()
@@ -368,8 +399,10 @@ mod tests {
             p99_ms: 55.5,
             mean_batch: 3.2,
             batch_max: 7,
+            retries: 1,
         };
         let json = service_json(&[row.clone(), row], true, 6);
+        assert_eq!(json.matches("\"retries\": 1").count(), 2);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(json.contains("\"schema\": \"zkrownn-bench-service/v1\""));

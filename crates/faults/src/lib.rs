@@ -1,0 +1,618 @@
+//! # zkrownn-faults — deterministic fault injection for storage and sockets
+//!
+//! Robustness claims need an adversarial *machine*, not just adversarial
+//! bytes. This crate scripts one: a [`FaultPlan`] lists faults pinned to
+//! byte offsets — fail outright, tear the stream short, stall, or reset
+//! the connection — and an armed plan ([`ArmedFaults`]) wraps any
+//! `Read`/`Write` pair (socket halves, cursors) plus the store crate's
+//! two trait seams ([`zkrownn_store::StoreMedium`] for writes,
+//! [`zkrownn_store::ReadAt`] for positioned reads), so the exact same
+//! fault fires at the exact same byte on every run.
+//!
+//! Plans are either built explicitly (`fail_write_at`, `torn_write_at`,
+//! …) or derived from a seed ([`FaultPlan::from_seed`]) for chaos suites
+//! that sweep many seeds and print the failing one. Determinism is the
+//! point: a chaos failure in CI reproduces locally from its seed alone.
+//!
+//! Fault semantics, per channel:
+//!
+//! * **`Fail`** — the operation covering the offset fails with an
+//!   injected I/O error; the channel stays broken afterwards.
+//! * **`Torn`** — on a write stream, exactly `offset` bytes reach the
+//!   underlying writer, then every write fails (a torn write). On a read
+//!   stream, the reader sees `offset` bytes then clean end-of-stream (a
+//!   short read).
+//! * **`Delay`** — the operation covering the offset stalls for a fixed
+//!   number of milliseconds, then proceeds; the channel is undamaged.
+//! * **`Reset`** — like `Fail`, with `ConnectionReset` (a peer-vanished
+//!   socket).
+//!
+//! Offsets count cumulative bytes through the wrapper (its stream
+//! position); for the positioned-read seam they are absolute file
+//! offsets. Every fault is one-shot.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zkrownn_store::{ReadAt, StoreMedium};
+
+/// What happens when an operation crosses a planned fault's byte offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the covering operation; the channel stays broken.
+    Fail,
+    /// Deliver/accept bytes strictly before the offset, then break: short
+    /// read (clean EOF) on a read stream, torn write on a write stream.
+    Torn,
+    /// Stall the covering operation for this many milliseconds, then
+    /// proceed undamaged.
+    Delay(u64),
+    /// Fail the covering operation with `ConnectionReset`; the channel
+    /// stays broken.
+    Reset,
+}
+
+/// Which direction of a stream a fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Channel {
+    /// The read side (bytes flowing in).
+    Read,
+    /// The write side (bytes flowing out).
+    Write,
+}
+
+/// A deterministic, scriptable schedule of I/O faults.
+///
+/// Build one explicitly with the `*_at` methods or derive one from a seed
+/// with [`Self::from_seed`], then [`Self::arm`] it to get wrappers that
+/// share the plan's state. [`Self::label`] names the plan in test output
+/// so a failing chaos run is reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    read: Vec<(u64, FaultKind)>,
+    write: Vec<(u64, FaultKind)>,
+    label: String,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults — wrappers become transparent).
+    pub fn new() -> Self {
+        Self {
+            label: "none".into(),
+            ..Self::default()
+        }
+    }
+
+    /// Derives a small fault schedule from `seed`, with offsets spread
+    /// over `[0, extent)` — the deterministic generator chaos suites
+    /// sweep. The same `(seed, extent)` always yields the same plan.
+    pub fn from_seed(seed: u64, extent: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_1a7e_5eed_0001);
+        let mut plan = Self {
+            label: format!("seed={seed}"),
+            ..Self::default()
+        };
+        let faults = rng.gen_range(1usize..=3);
+        for _ in 0..faults {
+            let offset = rng.gen_range(0..extent.max(1));
+            let kind = match rng.gen_range(0u32..4) {
+                0 => FaultKind::Fail,
+                1 => FaultKind::Torn,
+                2 => FaultKind::Delay(rng.gen_range(1u64..=5)),
+                _ => FaultKind::Reset,
+            };
+            let channel = if rng.gen_range(0u32..2) == 0 {
+                Channel::Read
+            } else {
+                Channel::Write
+            };
+            plan.push(channel, offset, kind);
+        }
+        plan
+    }
+
+    /// Human-readable identity of this plan (e.g. `seed=7`), for test
+    /// failure messages.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Names the plan (overrides the constructor's label).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Adds a fault on `channel` at byte `offset`.
+    pub fn push(&mut self, channel: Channel, offset: u64, kind: FaultKind) {
+        let list = match channel {
+            Channel::Read => &mut self.read,
+            Channel::Write => &mut self.write,
+        };
+        list.push((offset, kind));
+        list.sort_by_key(|&(off, _)| off);
+    }
+
+    /// Fails the read covering byte `offset`.
+    pub fn fail_read_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Read, offset, FaultKind::Fail);
+        self
+    }
+
+    /// Fails the write covering byte `offset`.
+    pub fn fail_write_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Write, offset, FaultKind::Fail);
+        self
+    }
+
+    /// Ends the read stream cleanly after exactly `offset` bytes.
+    pub fn short_read_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Read, offset, FaultKind::Torn);
+        self
+    }
+
+    /// Tears the write stream after exactly `offset` bytes reach the
+    /// underlying writer.
+    pub fn torn_write_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Write, offset, FaultKind::Torn);
+        self
+    }
+
+    /// Stalls the read covering byte `offset` for `millis` milliseconds.
+    pub fn delay_read_at(mut self, offset: u64, millis: u64) -> Self {
+        self.push(Channel::Read, offset, FaultKind::Delay(millis));
+        self
+    }
+
+    /// Stalls the write covering byte `offset` for `millis` milliseconds.
+    pub fn delay_write_at(mut self, offset: u64, millis: u64) -> Self {
+        self.push(Channel::Write, offset, FaultKind::Delay(millis));
+        self
+    }
+
+    /// Resets the connection at read byte `offset`.
+    pub fn reset_read_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Read, offset, FaultKind::Reset);
+        self
+    }
+
+    /// Resets the connection at write byte `offset`.
+    pub fn reset_write_at(mut self, offset: u64) -> Self {
+        self.push(Channel::Write, offset, FaultKind::Reset);
+        self
+    }
+
+    /// Arms the plan: allocates the shared per-channel state the wrappers
+    /// consume faults from. Arm once per simulated run; wrappers created
+    /// from the same [`ArmedFaults`] share byte cursors and fault lists
+    /// (e.g. a socket's read and write halves).
+    pub fn arm(&self) -> ArmedFaults {
+        ArmedFaults {
+            read: Arc::new(Mutex::new(ChannelState::new(&self.read))),
+            write: Arc::new(Mutex::new(ChannelState::new(&self.write))),
+            label: self.label.clone(),
+        }
+    }
+}
+
+/// Shared state of one armed stream direction.
+struct ChannelState {
+    pos: u64,
+    pending: Vec<(u64, FaultKind)>,
+    /// Set once a `Fail`/`Torn`/`Reset` fired: every later op fails so.
+    dead: Option<io::ErrorKind>,
+    /// Set by a read-side `Torn`: the stream ended cleanly.
+    eof: bool,
+    fired: u64,
+}
+
+impl ChannelState {
+    fn new(faults: &[(u64, FaultKind)]) -> Self {
+        Self {
+            pos: 0,
+            pending: faults.to_vec(),
+            dead: None,
+            eof: false,
+            fired: 0,
+        }
+    }
+
+    fn dead_error(kind: io::ErrorKind) -> io::Error {
+        io::Error::new(kind, "injected fault: channel broken")
+    }
+
+    /// The first pending fault whose offset precedes `pos + len`, if any.
+    fn first_in(&self, len: usize) -> Option<(u64, FaultKind)> {
+        self.pending
+            .first()
+            .copied()
+            .filter(|&(off, _)| off < self.pos + len.max(1) as u64)
+    }
+
+    fn consume_first(&mut self) -> (u64, FaultKind) {
+        self.fired += 1;
+        self.pending.remove(0)
+    }
+}
+
+/// An armed [`FaultPlan`]: the factory for fault-injecting wrappers that
+/// share its byte cursors and one-shot fault lists.
+#[derive(Clone)]
+pub struct ArmedFaults {
+    read: Arc<Mutex<ChannelState>>,
+    write: Arc<Mutex<ChannelState>>,
+    label: String,
+}
+
+impl ArmedFaults {
+    /// The originating plan's label (for failure messages).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Wraps a reader; faults on the plan's read channel fire at their
+    /// cumulative byte offsets.
+    pub fn read<R: Read>(&self, inner: R) -> FaultyRead<R> {
+        FaultyRead {
+            inner,
+            chan: Arc::clone(&self.read),
+        }
+    }
+
+    /// Wraps a writer; faults on the plan's write channel fire at their
+    /// cumulative byte offsets.
+    pub fn write<W: Write>(&self, inner: W) -> FaultyWrite<W> {
+        FaultyWrite {
+            inner,
+            chan: Arc::clone(&self.write),
+        }
+    }
+
+    /// Wraps a positioned reader ([`ReadAt`]) for the store's buffered
+    /// backend; read-channel fault offsets are absolute file offsets.
+    pub fn read_at<F: ReadAt>(&self, inner: F) -> FaultyReadAt<F> {
+        FaultyReadAt {
+            inner,
+            chan: Arc::clone(&self.read),
+        }
+    }
+
+    /// Wraps a [`StoreMedium`] (write-channel faults on cumulative bytes
+    /// written) — plug into `StoreWriter::create_with`.
+    pub fn medium<M: StoreMedium>(&self, inner: M) -> FaultyMedium<M> {
+        FaultyMedium {
+            write: self.write(inner),
+        }
+    }
+
+    /// Total faults fired so far across both channels.
+    pub fn fired(&self) -> u64 {
+        let r = self.read.lock().expect("fault channel poisoned").fired;
+        let w = self.write.lock().expect("fault channel poisoned").fired;
+        r + w
+    }
+}
+
+/// How far the current operation may proceed, per the channel's plan.
+enum Admit {
+    /// Up to this many bytes (possibly the whole request) pass through.
+    Allow(usize),
+    /// The operation fails now with this error.
+    Deny(io::Error),
+    /// The read stream ended cleanly (short-read fault).
+    Eof,
+}
+
+/// Decides the fate of an operation of `len` bytes at the channel cursor,
+/// sleeping out any delay faults first (with the lock released).
+fn admit(chan: &Mutex<ChannelState>, len: usize, is_read: bool) -> Admit {
+    loop {
+        let action = {
+            let mut state = chan.lock().expect("fault channel poisoned");
+            if let Some(kind) = state.dead {
+                return Admit::Deny(ChannelState::dead_error(kind));
+            }
+            if state.eof {
+                return if is_read {
+                    Admit::Eof
+                } else {
+                    Admit::Deny(ChannelState::dead_error(io::ErrorKind::BrokenPipe))
+                };
+            }
+            match state.first_in(len) {
+                None => return Admit::Allow(len),
+                Some((off, kind)) => {
+                    let keep = (off - state.pos) as usize;
+                    if keep > 0 {
+                        // the fault boundary is inside this op: let bytes
+                        // up to it through; the fault fires on a later op
+                        return Admit::Allow(keep);
+                    }
+                    let (_, kind2) = state.consume_first();
+                    debug_assert_eq!(kind, kind2);
+                    match kind {
+                        FaultKind::Delay(ms) => Some(ms), // sleep unlocked
+                        FaultKind::Fail => {
+                            state.dead = Some(io::ErrorKind::Other);
+                            return Admit::Deny(io::Error::other("injected fault: I/O failure"));
+                        }
+                        FaultKind::Reset => {
+                            state.dead = Some(io::ErrorKind::ConnectionReset);
+                            return Admit::Deny(io::Error::new(
+                                io::ErrorKind::ConnectionReset,
+                                "injected fault: connection reset",
+                            ));
+                        }
+                        FaultKind::Torn => {
+                            if is_read {
+                                state.eof = true;
+                                return Admit::Eof;
+                            }
+                            state.dead = Some(io::ErrorKind::BrokenPipe);
+                            return Admit::Deny(io::Error::new(
+                                io::ErrorKind::BrokenPipe,
+                                "injected fault: torn write",
+                            ));
+                        }
+                    }
+                }
+            }
+        };
+        if let Some(ms) = action {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+    }
+}
+
+/// A fault-injecting [`Read`] wrapper. Reads are truncated at the next
+/// fault boundary so each fault fires at exactly its planned byte.
+pub struct FaultyRead<R> {
+    inner: R,
+    chan: Arc<Mutex<ChannelState>>,
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let allowed = match admit(&self.chan, buf.len(), true) {
+            Admit::Allow(n) => n.min(buf.len()),
+            Admit::Deny(e) => return Err(e),
+            Admit::Eof => return Ok(0),
+        };
+        let n = self.inner.read(&mut buf[..allowed])?;
+        self.chan.lock().expect("fault channel poisoned").pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// A fault-injecting [`Write`] wrapper. Writes are truncated at the next
+/// fault boundary, so a torn write commits exactly the planned prefix to
+/// the underlying writer before breaking.
+pub struct FaultyWrite<W> {
+    inner: W,
+    chan: Arc<Mutex<ChannelState>>,
+}
+
+impl<W> FaultyWrite<W> {
+    /// The wrapped writer (e.g. to inspect an underlying buffer).
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let allowed = match admit(&self.chan, buf.len(), false) {
+            Admit::Allow(n) => n.min(buf.len()),
+            Admit::Deny(e) => return Err(e),
+            Admit::Eof => unreachable!("write channels do not EOF"),
+        };
+        let n = self.inner.write(&buf[..allowed])?;
+        self.chan.lock().expect("fault channel poisoned").pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(kind) = self.chan.lock().expect("fault channel poisoned").dead {
+            return Err(ChannelState::dead_error(kind));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: Write + Seek> Seek for FaultyWrite<W> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        // seeking moves the file cursor, not the fault cursor: fault
+        // offsets count cumulative bytes *written* through the wrapper
+        self.inner.seek(pos)
+    }
+}
+
+impl<M: StoreMedium> StoreMedium for FaultyWrite<M> {
+    fn sync_all(&mut self) -> io::Result<()> {
+        if let Some(kind) = self.chan.lock().expect("fault channel poisoned").dead {
+            return Err(ChannelState::dead_error(kind));
+        }
+        self.inner.sync_all()
+    }
+}
+
+/// A fault-injecting [`StoreMedium`]: what `StoreWriter::create_with`
+/// receives to put every store write (and `sync_all`) under the plan.
+pub struct FaultyMedium<M> {
+    write: FaultyWrite<M>,
+}
+
+impl<M: StoreMedium> Write for FaultyMedium<M> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.write.flush()
+    }
+}
+
+impl<M: StoreMedium> Seek for FaultyMedium<M> {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.write.seek(pos)
+    }
+}
+
+impl<M: StoreMedium> StoreMedium for FaultyMedium<M> {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.write.sync_all()
+    }
+}
+
+/// A fault-injecting positioned reader for the store's buffered backend.
+/// Read-channel fault offsets are interpreted as absolute file offsets;
+/// `read_exact_at` is all-or-nothing, so a `Torn` fault inside the span
+/// surfaces as an `UnexpectedEof` failure rather than a silent prefix.
+pub struct FaultyReadAt<F> {
+    inner: F,
+    chan: Arc<Mutex<ChannelState>>,
+}
+
+impl<F: ReadAt> ReadAt for FaultyReadAt<F> {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        loop {
+            let action = {
+                let mut state = self.chan.lock().expect("fault channel poisoned");
+                if let Some(kind) = state.dead {
+                    return Err(ChannelState::dead_error(kind));
+                }
+                let span = buf.len() as u64;
+                let hit = state
+                    .pending
+                    .iter()
+                    .position(|&(off, _)| off >= offset && off < offset + span.max(1));
+                match hit {
+                    None => None,
+                    Some(i) => {
+                        state.fired += 1;
+                        let (_, kind) = state.pending.remove(i);
+                        match kind {
+                            FaultKind::Delay(ms) => Some(ms),
+                            FaultKind::Fail => {
+                                state.dead = Some(io::ErrorKind::Other);
+                                return Err(io::Error::other(
+                                    "injected fault: positioned read failure",
+                                ));
+                            }
+                            FaultKind::Reset => {
+                                state.dead = Some(io::ErrorKind::ConnectionReset);
+                                return Err(io::Error::new(
+                                    io::ErrorKind::ConnectionReset,
+                                    "injected fault: connection reset",
+                                ));
+                            }
+                            FaultKind::Torn => {
+                                state.dead = Some(io::ErrorKind::UnexpectedEof);
+                                return Err(io::Error::new(
+                                    io::ErrorKind::UnexpectedEof,
+                                    "injected fault: short positioned read",
+                                ));
+                            }
+                        }
+                    }
+                }
+            };
+            match action {
+                Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+                None => return self.inner.read_exact_at(buf, offset),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn plans_from_the_same_seed_are_identical() {
+        for seed in 0..32 {
+            let a = FaultPlan::from_seed(seed, 1000);
+            let b = FaultPlan::from_seed(seed, 1000);
+            assert_eq!(a.read, b.read, "seed={seed}");
+            assert_eq!(a.write, b.write, "seed={seed}");
+            assert!(!a.read.is_empty() || !a.write.is_empty(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn torn_write_commits_exactly_the_planned_prefix() {
+        let armed = FaultPlan::new().torn_write_at(10).arm();
+        let mut w = armed.write(Vec::new());
+        // write_all loops over partial writes, so the tear lands mid-call
+        let err = w.write_all(&[0xAB; 64]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(w.get_ref().len(), 10);
+        // the channel stays broken
+        assert!(w.write_all(&[1]).is_err());
+        assert_eq!(armed.fired(), 1);
+    }
+
+    #[test]
+    fn short_read_delivers_prefix_then_clean_eof() {
+        let armed = FaultPlan::new().short_read_at(5).arm();
+        let mut r = armed.read(Cursor::new(vec![7u8; 100]));
+        let mut out = Vec::new();
+        let n = r.read_to_end(&mut out).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(out, vec![7u8; 5]);
+    }
+
+    #[test]
+    fn fail_and_reset_break_the_channel_at_the_byte() {
+        let armed = FaultPlan::new().fail_read_at(3).arm();
+        let mut r = armed.read(Cursor::new(vec![1u8; 10]));
+        let mut buf = [0u8; 10];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert!(r.read(&mut buf).is_err());
+        assert!(r.read(&mut buf).is_err());
+
+        let armed = FaultPlan::new().reset_write_at(0).arm();
+        let mut w = armed.write(Vec::new());
+        let err = w.write(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[test]
+    fn delay_is_transparent_to_the_byte_stream() {
+        let armed = FaultPlan::new().delay_read_at(2, 1).arm();
+        let mut r = armed.read(Cursor::new(vec![9u8; 8]));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, vec![9u8; 8]);
+        assert_eq!(armed.fired(), 1);
+    }
+
+    #[test]
+    fn positioned_reads_trigger_on_absolute_offsets() {
+        let path = std::env::temp_dir().join(format!("faults-pread-{}.bin", std::process::id()));
+        std::fs::write(&path, vec![3u8; 64]).unwrap();
+        let file = std::fs::File::open(&path).unwrap();
+        let armed = FaultPlan::new().fail_read_at(40).arm();
+        let wrapped = armed.read_at(file);
+        let mut buf = [0u8; 16];
+        // [0, 16) misses the fault
+        wrapped.read_exact_at(&mut buf, 0).unwrap();
+        assert_eq!(buf, [3u8; 16]);
+        // [32, 48) covers offset 40
+        assert!(wrapped.read_exact_at(&mut buf, 32).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

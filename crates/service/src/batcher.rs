@@ -22,11 +22,25 @@
 //! Claims for different circuits use different queues (and different
 //! registry shards), so disputes over unrelated models never serialize
 //! behind each other.
+//!
+//! # Degradation under poisoned batches
+//!
+//! A batch that fails its combined RLC check pays for itself twice: the
+//! batched pairing check *plus* a per-claim fallback for every member.
+//! One adversarial (or just broken) claimant hammering a circuit with
+//! invalid proofs can therefore force every honest claim sharing its
+//! batch to pay the fallback tax. After
+//! [`CoalescerConfig::poison_threshold`] *consecutive* poisoned batches
+//! for a circuit, the coalescer degrades that circuit to direct per-claim
+//! verification for [`CoalescerConfig::degrade_cooldown`] — honest
+//! claims then pay exactly one pairing check instead of riding in doomed
+//! batches. Degradations are counted in the metrics, and the circuit
+//! re-enters batching automatically when the cooldown lapses.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::SystemTime;
+use std::time::{Duration, Instant, SystemTime};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +61,13 @@ pub struct CoalescerConfig {
     /// parallel batches keep every core busy; excess workers park and let
     /// their claims coalesce.
     pub max_drainers: usize,
+    /// Consecutive poisoned batches (multi-claim batches whose combined
+    /// RLC check failed) a circuit tolerates before it is degraded to
+    /// per-claim verification.
+    pub poison_threshold: u32,
+    /// How long a degraded circuit stays on the per-claim path before
+    /// batching resumes.
+    pub degrade_cooldown: Duration,
 }
 
 impl Default for CoalescerConfig {
@@ -57,6 +78,8 @@ impl Default for CoalescerConfig {
             max_drainers: std::thread::available_parallelism()
                 .map(|v| v.get())
                 .unwrap_or(1),
+            poison_threshold: 3,
+            degrade_cooldown: Duration::from_secs(2),
         }
     }
 }
@@ -70,6 +93,10 @@ struct Pending {
 struct QueueState {
     pending: VecDeque<Pending>,
     drainers: usize,
+    /// Consecutive multi-claim batches whose combined RLC check failed.
+    poison_streak: u32,
+    /// While set and in the future, this circuit verifies per-claim.
+    degraded_until: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -85,6 +112,8 @@ pub struct Coalescer {
     batching: AtomicBool,
     max_batch: usize,
     max_drainers: usize,
+    poison_threshold: u32,
+    degrade_cooldown: Duration,
     rng_salt: AtomicU64,
 }
 
@@ -102,6 +131,8 @@ impl Coalescer {
             batching: AtomicBool::new(config.batching),
             max_batch: config.max_batch.max(1),
             max_drainers: config.max_drainers.max(1),
+            poison_threshold: config.poison_threshold.max(1),
+            degrade_cooldown: config.degrade_cooldown,
             rng_salt: AtomicU64::new(0x5a6b_726f_776e_6e01),
         }
     }
@@ -155,6 +186,17 @@ impl Coalescer {
         let (tx, rx) = mpsc::channel();
         let drain = {
             let mut state = queue.state.lock().expect("circuit queue poisoned");
+            if let Some(until) = state.degraded_until {
+                if Instant::now() < until {
+                    // degraded circuit: skip the queue, verify directly
+                    drop(state);
+                    self.metrics.record_batch(1);
+                    return self.registry.verify(&claim);
+                }
+                // cooldown lapsed: resume batching with a clean slate
+                state.degraded_until = None;
+                state.poison_streak = 0;
+            }
             state.pending.push_back(Pending { claim, tx });
             // become a drainer unless enough workers are already draining
             // this circuit; their drain loops are guaranteed to observe the
@@ -190,11 +232,41 @@ impl Coalescer {
             let mut rng = self.batch_rng();
             let results = self.registry.verify_batch(&claims, &mut rng);
             self.metrics.record_batch(claims.len());
+            self.track_poisoning(queue, claims.len(), &results);
             for (tx, result) in txs.into_iter().zip(results) {
                 // a receiver can only be gone if its worker died; dropping
                 // the result is then the right thing
                 let _ = tx.send(result);
             }
+        }
+    }
+
+    /// Updates a circuit's poison streak after a batch and degrades it to
+    /// per-claim verification once the streak reaches the threshold. Only
+    /// multi-claim batches count either way: a forged proof in a batch of
+    /// one costs nobody else anything, and a singleton success says
+    /// nothing about whether the poisoner left.
+    fn track_poisoning(
+        &self,
+        queue: &CircuitQueue,
+        batch_len: usize,
+        results: &[Result<(), ZkrownnError>],
+    ) {
+        if batch_len < 2 {
+            return;
+        }
+        let poisoned = results
+            .iter()
+            .any(|r| matches!(r, Err(ZkrownnError::InvalidProof(_))));
+        let mut state = queue.state.lock().expect("circuit queue poisoned");
+        if !poisoned {
+            state.poison_streak = 0;
+            return;
+        }
+        state.poison_streak += 1;
+        if state.poison_streak >= self.poison_threshold && state.degraded_until.is_none() {
+            state.degraded_until = Some(Instant::now() + self.degrade_cooldown);
+            self.metrics.record_degradation();
         }
     }
 }
@@ -209,6 +281,8 @@ mod tests {
         assert!(c.batching);
         assert!(c.max_batch >= 1);
         assert!(c.max_drainers >= 1);
+        assert!(c.poison_threshold >= 1);
+        assert!(c.degrade_cooldown > Duration::ZERO);
     }
 
     #[test]

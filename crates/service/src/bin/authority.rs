@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use zkrownn_ledger::LedgeredRegistry;
-use zkrownn_service::{load_keys_dir, serve, CoalescerConfig, ServerConfig};
+use zkrownn_service::{load_keys_dir_with, serve, CoalescerConfig, KeyLoadOptions, ServerConfig};
 
 const USAGE: &str = "\
 zkrownn-authority — ZKROWNN claim-verification daemon
@@ -21,8 +21,14 @@ USAGE:
 OPTIONS:
     --listen ADDR           bind address (default 127.0.0.1:7791; port 0 = ephemeral)
     --keys DIR              load every *.vk registration file and *.zkst
-                            segmented key store in DIR (one sorted order)
+                            segmented key store in DIR (one sorted order);
+                            unreadable files are quarantined to *.corrupt
+                            and skipped
+    --strict-keys           abort startup on the first unreadable key file
+                            instead of quarantining it
     --workers N             worker threads (default: max(16, 2 x cores))
+    --accept-queue N        connections queued for a worker before new ones
+                            are shed with BUSY (default 128)
     --no-batching           disable claim coalescing (ablation mode)
     --max-batch N           RLC batch ceiling (default 64)
     --idle-shutdown-ms N    exit after N ms with no traffic
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
     };
     let mut coalescer = CoalescerConfig::default();
     let mut keys_dir: Option<String> = None;
+    let mut key_options = KeyLoadOptions::default();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -81,6 +88,15 @@ fn main() -> ExitCode {
                 Ok(ms) => config.idle_shutdown = Some(Duration::from_millis(ms)),
                 Err(e) => return fail(&e),
             },
+            "--accept-queue" => match value("--accept-queue").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| "--accept-queue expects a number".into())
+            }) {
+                Ok(n) if n >= 1 => config.accept_queue = n,
+                Ok(_) => return fail("--accept-queue must be at least 1"),
+                Err(e) => return fail(&e),
+            },
+            "--strict-keys" => key_options.strict = true,
             "--no-batching" => coalescer.batching = false,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -92,11 +108,32 @@ fn main() -> ExitCode {
     config.coalescer = coalescer;
 
     let registry = Arc::new(LedgeredRegistry::new());
+    let mut quarantined_keys = 0u64;
     if let Some(dir) = keys_dir {
-        // load_keys_dir registers in sorted path order, so the ledger root
-        // printed below is reproducible for a given key directory
-        match load_keys_dir(&registry, Path::new(&dir)) {
-            Ok(n) => eprintln!("zkrownn-authority: registered {n} circuit(s) from {dir}"),
+        // keys register in sorted path order, so the ledger root printed
+        // below is reproducible for a given key directory
+        match load_keys_dir_with(&registry, Path::new(&dir), key_options) {
+            Ok(report) => {
+                eprintln!(
+                    "zkrownn-authority: registered {} circuit(s) from {dir}",
+                    report.loaded
+                );
+                for (path, error) in &report.quarantined {
+                    eprintln!(
+                        "zkrownn-authority: quarantined {} -> {}.corrupt ({error})",
+                        path.display(),
+                        path.display()
+                    );
+                }
+                if report.stale_tmp > 0 {
+                    eprintln!(
+                        "zkrownn-authority: ignoring {} stale *.tmp staging file(s) \
+                         from an interrupted writer",
+                        report.stale_tmp
+                    );
+                }
+                quarantined_keys = report.quarantined.len() as u64;
+            }
             Err(e) => return fail(&format!("loading keys from {dir}: {e}")),
         }
     } else {
@@ -113,6 +150,7 @@ fn main() -> ExitCode {
         Ok(h) => h,
         Err(e) => return fail(&format!("binding listener: {e}")),
     };
+    handle.metrics().record_quarantined(quarantined_keys);
     // CI and tests poll for this exact line to learn the bound port
     println!("zkrownn-authority listening on {}", handle.addr());
 

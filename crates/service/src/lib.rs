@@ -95,7 +95,10 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::{Coalescer, CoalescerConfig};
-pub use client::{is_verified, stats_field_bool, stats_field_f64, stats_field_u64, Client};
+pub use client::{
+    is_verified, stats_field_bool, stats_field_f64, stats_field_u64, Client, RetryPolicy,
+    RetryingClient,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{
     encode_request, encode_response, read_request, read_request_body, read_response, write_request,
@@ -138,8 +141,55 @@ pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, [u8; 32], Verifyin
     Ok((CircuitId::from_bytes(id), digest, vk))
 }
 
+/// Startup-recovery policy for [`load_keys_dir_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct KeyLoadOptions {
+    /// Abort on the first unreadable/corrupt key file instead of skipping
+    /// it. Off by default: one torn file should not take down a daemon
+    /// serving every other circuit. (`--strict-keys` on the binary.)
+    pub strict: bool,
+    /// Rename unreadable key files to `<name>.corrupt` so the next
+    /// startup doesn't re-parse known-bad bytes and an operator can
+    /// inspect or restore them. Best-effort; a failed rename still skips.
+    pub quarantine: bool,
+}
+
+impl Default for KeyLoadOptions {
+    fn default() -> Self {
+        Self {
+            strict: false,
+            quarantine: true,
+        }
+    }
+}
+
+/// What [`load_keys_dir_with`] found and did.
+#[derive(Debug, Default)]
+pub struct KeyLoadReport {
+    /// Registrations successfully loaded (both `.vk` and `.zkst`).
+    pub loaded: usize,
+    /// Key files that could not be read or parsed, with the error. When
+    /// quarantining is on they have been renamed to `<name>.corrupt`.
+    pub quarantined: Vec<(std::path::PathBuf, String)>,
+    /// Leftover `*.tmp` staging files from an interrupted writer. They
+    /// are never loaded (the atomic-commit protocol renames a finished
+    /// store onto its final path) and are reported so operators can
+    /// clean them up.
+    pub stale_tmp: usize,
+}
+
 /// Registers every `*.vk` key-registration file **and** every `*.zkst`
 /// segmented key store under `dir`; returns how many were loaded.
+///
+/// Equivalent to [`load_keys_dir_with`] under the default
+/// [`KeyLoadOptions`]: unreadable files are quarantined and skipped, and
+/// only the loaded count is reported.
+pub fn load_keys_dir(registry: &LedgeredRegistry, dir: &Path) -> Result<usize, String> {
+    load_keys_dir_with(registry, dir, KeyLoadOptions::default()).map(|report| report.loaded)
+}
+
+/// Registers every `*.vk` key-registration file **and** every `*.zkst`
+/// segmented key store under `dir`.
 ///
 /// Files of both kinds are processed in one sorted path order, so the
 /// registration ledger — whose roots depend on append order — is identical
@@ -148,31 +198,65 @@ pub fn parse_registration(bytes: &[u8]) -> Result<(CircuitId, [u8; 32], Verifyin
 /// circuit-id / statement-digest metadata and its verifying-key segments;
 /// the proving-key segments are never read, so registering a multi-GB
 /// store costs only the verifying key.
-pub fn load_keys_dir(registry: &LedgeredRegistry, dir: &Path) -> Result<usize, String> {
+///
+/// # Recovery semantics
+///
+/// A file that cannot be read or parsed (truncated by a crash, bit-rotted,
+/// wrong format) is **skipped**: the survivors still load, in the same
+/// sorted order they would have loaded in without the bad file, so the
+/// ledger root over the survivors is stable. Skipped files are recorded in
+/// [`KeyLoadReport::quarantined`] and (unless
+/// [`KeyLoadOptions::quarantine`] is off) renamed to `<name>.corrupt`.
+/// With [`KeyLoadOptions::strict`] the first bad file aborts the load
+/// instead. `*.tmp` staging files left by an interrupted writer are never
+/// loaded and are counted in [`KeyLoadReport::stale_tmp`].
+pub fn load_keys_dir_with(
+    registry: &LedgeredRegistry,
+    dir: &Path,
+    options: KeyLoadOptions,
+) -> Result<KeyLoadReport, String> {
     let entries = std::fs::read_dir(dir).map_err(|e| e.to_string())?;
     let mut paths = Vec::new();
+    let mut report = KeyLoadReport::default();
     for entry in entries {
         let path = entry.map_err(|e| e.to_string())?.path();
-        if matches!(
-            path.extension().and_then(|e| e.to_str()),
-            Some("vk") | Some("zkst")
-        ) {
-            paths.push(path);
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("vk") | Some("zkst") => paths.push(path),
+            Some("tmp") => {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if name.ends_with(".vk.tmp") || name.ends_with(".zkst.tmp") {
+                    report.stale_tmp += 1;
+                }
+            }
+            _ => {}
         }
     }
     paths.sort();
-    let mut loaded = 0usize;
     for path in paths {
-        let (id, digest, vk) = if path.extension().and_then(|e| e.to_str()) == Some("zkst") {
-            read_store_registration(&path).map_err(|e| format!("{}: {e}", path.display()))?
+        let parsed = if path.extension().and_then(|e| e.to_str()) == Some("zkst") {
+            read_store_registration(&path)
         } else {
-            let bytes = std::fs::read(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-            parse_registration(&bytes).map_err(|e| format!("{}: {e}", path.display()))?
+            std::fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| parse_registration(&bytes).map_err(|e| e.to_string()))
         };
-        registry.register(id, digest, &vk);
-        loaded += 1;
+        match parsed {
+            Ok((id, digest, vk)) => {
+                registry.register(id, digest, &vk);
+                report.loaded += 1;
+            }
+            Err(e) if options.strict => return Err(format!("{}: {e}", path.display())),
+            Err(e) => {
+                if options.quarantine {
+                    let mut quarantined = path.clone().into_os_string();
+                    quarantined.push(".corrupt");
+                    let _ = std::fs::rename(&path, &quarantined);
+                }
+                report.quarantined.push((path, e));
+            }
+        }
     }
-    Ok(loaded)
+    Ok(report)
 }
 
 /// Extracts a registration from a segmented key store: its embedded

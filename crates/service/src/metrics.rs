@@ -50,6 +50,13 @@ pub struct Metrics {
     ledger_membership_misses: AtomicU64,
     ledger_consistency_proofs: AtomicU64,
     ledger_consistency_misses: AtomicU64,
+    /// Robustness accounting: connections shed with `Busy` at accept,
+    /// responses abandoned on the write deadline, RLC-degradation windows
+    /// entered by the coalescer, and key files quarantined at startup.
+    sheds: AtomicU64,
+    write_timeouts: AtomicU64,
+    degradations: AtomicU64,
+    quarantined_keys: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -79,7 +86,35 @@ impl Metrics {
             ledger_membership_misses: AtomicU64::new(0),
             ledger_consistency_proofs: AtomicU64::new(0),
             ledger_consistency_misses: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            write_timeouts: AtomicU64::new(0),
+            degradations: AtomicU64::new(0),
+            quarantined_keys: AtomicU64::new(0),
         }
+    }
+
+    /// Records a connection shed with `Busy` because the accept queue was
+    /// full.
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response abandoned because a slow-reading peer held the
+    /// socket past the write deadline.
+    pub fn record_write_timeout(&self) {
+        self.write_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the coalescer entering a per-claim degradation window for
+    /// one circuit (repeatedly poisoned RLC batches).
+    pub fn record_degradation(&self) {
+        self.degradations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` key files quarantined (skipped and renamed to
+    /// `*.corrupt`) during startup key loading.
+    pub fn record_quarantined(&self, n: u64) {
+        self.quarantined_keys.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records an accepted connection.
@@ -170,6 +205,10 @@ impl Metrics {
             ledger_membership_misses: self.ledger_membership_misses.load(Ordering::Relaxed),
             ledger_consistency_proofs: self.ledger_consistency_proofs.load(Ordering::Relaxed),
             ledger_consistency_misses: self.ledger_consistency_misses.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            quarantined_keys: self.quarantined_keys.load(Ordering::Relaxed),
         }
     }
 }
@@ -220,6 +259,14 @@ pub struct MetricsSnapshot {
     pub ledger_consistency_proofs: u64,
     /// `CONSISTENCY` requests for sizes beyond the current tree.
     pub ledger_consistency_misses: u64,
+    /// Connections shed with `Busy` (accept queue full).
+    pub sheds: u64,
+    /// Responses abandoned on the write deadline (slow-reading peers).
+    pub write_timeouts: u64,
+    /// Per-claim degradation windows entered by the coalescer.
+    pub degradations: u64,
+    /// Key files quarantined during startup loading.
+    pub quarantined_keys: u64,
 }
 
 impl MetricsSnapshot {
@@ -276,11 +323,12 @@ impl MetricsSnapshot {
     ///
     /// Schema history: `zkrownn-service-stats/v2` renamed `circuits` to
     /// `registered_circuits` and added `ledger_size` plus the five
-    /// `ledger_*` operation counters; everything in v1 is otherwise
-    /// unchanged.
+    /// `ledger_*` operation counters; `v3` added the four robustness
+    /// counters `sheds`, `write_timeouts`, `degradations` and
+    /// `quarantined_keys`. Everything earlier is otherwise unchanged.
     pub fn to_json(&self, batching: bool, registered_circuits: usize, ledger_size: u64) -> String {
         format!(
-            "{{\"schema\": \"zkrownn-service-stats/v2\", \"uptime_s\": {:.3}, \
+            "{{\"schema\": \"zkrownn-service-stats/v3\", \"uptime_s\": {:.3}, \
              \"requests\": {}, \"ok\": {}, \"negative_verdict\": {}, \"invalid_proof\": {}, \
              \"unknown_circuit\": {}, \"circuit_mismatch\": {}, \"statement_mismatch\": {}, \
              \"malformed_claim\": {}, \"internal\": {}, \"protocol_errors\": {}, \
@@ -291,6 +339,8 @@ impl MetricsSnapshot {
              \"ledger_roots\": {}, \"ledger_membership_proofs\": {}, \
              \"ledger_membership_misses\": {}, \"ledger_consistency_proofs\": {}, \
              \"ledger_consistency_misses\": {}, \
+             \"sheds\": {}, \"write_timeouts\": {}, \"degradations\": {}, \
+             \"quarantined_keys\": {}, \
              \"batching\": {}, \"registered_circuits\": {}, \"ledger_size\": {}}}",
             self.uptime.as_secs_f64(),
             self.requests,
@@ -319,6 +369,10 @@ impl MetricsSnapshot {
             self.ledger_membership_misses,
             self.ledger_consistency_proofs,
             self.ledger_consistency_misses,
+            self.sheds,
+            self.write_timeouts,
+            self.degradations,
+            self.quarantined_keys,
             batching,
             registered_circuits,
             ledger_size,
@@ -388,7 +442,11 @@ mod tests {
         m.record_consistency(true);
         let json = m.snapshot().to_json(true, 2, 5);
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"schema\": \"zkrownn-service-stats/v2\""));
+        assert!(json.contains("\"schema\": \"zkrownn-service-stats/v3\""));
+        assert!(json.contains("\"sheds\": 0"));
+        assert!(json.contains("\"write_timeouts\": 0"));
+        assert!(json.contains("\"degradations\": 0"));
+        assert!(json.contains("\"quarantined_keys\": 0"));
         assert!(json.contains("\"batching\": true"));
         assert!(json.contains("\"registered_circuits\": 2"));
         assert!(json.contains("\"ledger_size\": 5"));

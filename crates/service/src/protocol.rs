@@ -26,6 +26,12 @@
 //! produces either a request/response or a typed [`ProtocolError`] — never
 //! a panic — so a malformed client can't take a worker down with it.
 //!
+//! One response can arrive *unsolicited*: a saturated server sheds a
+//! fresh connection by sending a [`Status::Busy`] frame and closing, so a
+//! client may read `Busy` in answer to whatever request it pipelined
+//! first. `Busy` never reports on the request itself — retrying on a new
+//! connection after a backoff is always correct.
+//!
 //! [`SignedClaim`]: zkrownn::SignedClaim
 
 use std::io::{self, Read, Write};
@@ -137,6 +143,11 @@ pub enum Status {
     /// `(circuit, statement)` pair never registered, or a claimed old
     /// size beyond the current tree.
     NotInLedger = 0x08,
+    /// The server is saturated: its accept queue was full, so this
+    /// connection was shed before any request was read. The server closes
+    /// the connection after sending this frame; clients should back off
+    /// and reconnect (the retrying client does so automatically).
+    Busy = 0x09,
     /// The *frame* was malformed (bad opcode, oversized length, bad
     /// payload shape); the server closes the connection after sending
     /// this, since framing can't be resynchronized.
@@ -156,6 +167,7 @@ impl Status {
             0x06 => Some(Self::MalformedClaim),
             0x07 => Some(Self::Internal),
             0x08 => Some(Self::NotInLedger),
+            0x09 => Some(Self::Busy),
             0xFF => Some(Self::Protocol),
             _ => None,
         }

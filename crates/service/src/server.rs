@@ -7,11 +7,25 @@
 //! [`ServerConfig::frame_deadline`] — a stalled or truncated frame gets a
 //! typed `Protocol` response (or a dead socket) instead of a hung worker.
 //!
+//! Responses are written under the same deadline discipline: a peer that
+//! accepts a request but refuses to drain the reply can stall a worker
+//! for at most one `frame_deadline` before the connection is dropped and
+//! the stall is counted (`write_timeouts` in `STATS`).
+//!
+//! The acceptor hands connections to workers over a *bounded* queue
+//! ([`ServerConfig::accept_queue`]). When every worker is busy and the
+//! queue is full, new connections are shed: they receive a one-frame
+//! [`Status::Busy`] response and are closed, which keeps the daemon's
+//! memory and latency bounded under overload instead of queueing without
+//! limit. Sheds are counted (`sheds` in `STATS`) and well-behaved
+//! clients back off and reconnect.
+//!
 //! Shutdown is graceful and has three triggers: the `SHUTDOWN` opcode, an
 //! idle timeout ([`ServerConfig::idle_shutdown`]), and
 //! [`ServerHandle::shutdown`] from the embedding process. In every case
-//! the listener stops accepting, workers finish the frame they are on,
-//! and [`ServerHandle::join`] returns.
+//! the listener stops accepting, workers drain the frame they are on —
+//! finishing the read *and* flushing the response — and
+//! [`ServerHandle::join`] returns.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,8 +55,12 @@ pub struct ServerConfig {
     /// Exit when no request or connection has been seen for this long.
     /// `None` = run until told to stop.
     pub idle_shutdown: Option<Duration>,
-    /// A frame that started must complete within this window.
+    /// A frame that started must complete within this window. The same
+    /// window bounds how long a response write may stall on a slow peer.
     pub frame_deadline: Duration,
+    /// Accepted connections waiting for a worker beyond this count are
+    /// shed with a [`Status::Busy`] frame instead of queueing unboundedly.
+    pub accept_queue: usize,
     /// Socket poll interval: how quickly workers and the acceptor observe
     /// the shutdown flag.
     pub poll_interval: Duration,
@@ -59,6 +77,7 @@ impl Default for ServerConfig {
             coalescer: CoalescerConfig::default(),
             idle_shutdown: None,
             frame_deadline: Duration::from_secs(5),
+            accept_queue: 128,
             poll_interval: Duration::from_millis(50),
         }
     }
@@ -167,7 +186,7 @@ pub fn serve(config: ServerConfig, registry: Arc<LedgeredRegistry>) -> io::Resul
         poll_interval: config.poll_interval,
     });
 
-    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.accept_queue.max(1));
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
@@ -204,7 +223,7 @@ pub fn serve(config: ServerConfig, registry: Arc<LedgeredRegistry>) -> io::Resul
 fn accept_loop(
     listener: &TcpListener,
     shared: &Shared,
-    conn_tx: mpsc::Sender<TcpStream>,
+    conn_tx: mpsc::SyncSender<TcpStream>,
     idle_shutdown: Option<Duration>,
     poll: Duration,
 ) {
@@ -224,8 +243,10 @@ fn accept_loop(
                 shared.metrics.record_connection();
                 // workers poll with a timeout; hand them a blocking socket
                 let _ = stream.set_nonblocking(false);
-                if conn_tx.send(stream).is_err() {
-                    break; // no workers left
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(mpsc::TrySendError::Full(stream)) => shed(shared, stream, poll),
+                    Err(mpsc::TrySendError::Disconnected(_)) => break, // no workers left
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(poll),
@@ -233,6 +254,20 @@ fn accept_loop(
         }
     }
     // dropping conn_tx ends the workers' recv loops
+}
+
+/// Load shedding: every worker is busy and the accept queue is full, so
+/// the connection is refused with a one-frame [`Status::Busy`] response
+/// and closed. Best-effort — a peer that will not even read the `Busy`
+/// frame is simply dropped.
+fn shed(shared: &Shared, stream: TcpStream, poll: Duration) {
+    shared.metrics.record_shed();
+    let _ = stream.set_write_timeout(Some(poll));
+    let mut writer = &stream;
+    let _ = write_response(
+        &mut writer,
+        &Response::error(Status::Busy, "server saturated; back off and retry"),
+    );
 }
 
 fn worker_loop(shared: &Shared, conn_rx: &Mutex<mpsc::Receiver<TcpStream>>) {
@@ -257,12 +292,17 @@ fn is_poll_timeout(e: &io::Error) -> bool {
     )
 }
 
-/// Reads from a polled socket, retrying timeouts until a deadline or
-/// server shutdown. `read_exact` over this either completes the frame or
-/// returns a typed error — a worker can't be wedged by a stalled peer.
+/// Reads from a polled socket, retrying timeouts until a deadline.
+/// `read_exact` over this either completes the frame or returns a typed
+/// error — a worker can't be wedged by a stalled peer.
+///
+/// Shutdown does *not* cut a frame short: graceful drain means a request
+/// that started arriving before the flag flipped still gets read,
+/// dispatched, and answered (bounded by the deadline) before the worker
+/// exits. The idle-phase loop in [`handle_connection`] is where the
+/// shutdown flag is observed.
 struct DeadlineReader<'a> {
     stream: &'a TcpStream,
-    shared: &'a Shared,
     deadline: Instant,
 }
 
@@ -273,7 +313,7 @@ impl Read for DeadlineReader<'_> {
                 Ok(n) => return Ok(n),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) if is_poll_timeout(&e) => {
-                    if Instant::now() >= self.deadline || self.shared.stopping() {
+                    if Instant::now() >= self.deadline {
                         return Err(io::Error::new(
                             io::ErrorKind::TimedOut,
                             "frame did not complete before the deadline",
@@ -286,10 +326,59 @@ impl Read for DeadlineReader<'_> {
     }
 }
 
+/// Writes a response to a polled socket, retrying timeouts until a
+/// deadline that starts at the first byte written. A slow-reading peer
+/// can therefore stall a worker for at most one `frame_deadline` per
+/// response instead of wedging it on a blocking write; giving up counts
+/// a `write_timeouts` metric and drops the connection.
+struct DeadlineWriter<'a> {
+    stream: &'a TcpStream,
+    shared: &'a Shared,
+    deadline: Option<Instant>,
+}
+
+impl<'a> DeadlineWriter<'a> {
+    fn new(stream: &'a TcpStream, shared: &'a Shared) -> Self {
+        Self {
+            stream,
+            shared,
+            deadline: None,
+        }
+    }
+}
+
+impl Write for DeadlineWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let deadline = *self
+            .deadline
+            .get_or_insert_with(|| Instant::now() + self.shared.frame_deadline);
+        loop {
+            match (&mut &*self.stream).write(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) if is_poll_timeout(&e) => {
+                    if Instant::now() >= deadline {
+                        self.shared.metrics.record_write_timeout();
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "peer did not drain the response before the deadline",
+                        ));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (&mut &*self.stream).flush()
+    }
+}
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.poll_interval));
     let _ = stream.set_nodelay(true);
-    let mut writer = &stream;
     loop {
         // idle phase: wait for a frame's first byte, watching the flag
         let mut opcode = [0u8; 1];
@@ -309,7 +398,6 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         // a frame has started: it must finish within the deadline
         let mut reader = DeadlineReader {
             stream: &stream,
-            shared,
             deadline: Instant::now() + shared.frame_deadline,
         };
         let request = match read_request_body(opcode[0], &mut reader) {
@@ -317,7 +405,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
             Err(e) => {
                 shared.metrics.record_protocol_error();
                 let _ = write_response(
-                    &mut writer,
+                    &mut DeadlineWriter::new(&stream, shared),
                     &Response::error(Status::Protocol, e.to_string()),
                 );
                 return; // framing lost; a fresh connection is required
@@ -325,6 +413,7 @@ fn handle_connection(shared: &Shared, stream: TcpStream) {
         };
         shared.touch();
 
+        let mut writer = DeadlineWriter::new(&stream, shared);
         let keep_going = dispatch(shared, &mut writer, request);
         shared.touch();
         if !keep_going {

@@ -6,12 +6,13 @@
 use std::io::Cursor;
 
 use proptest::prelude::*;
+use zkrownn_faults::FaultPlan;
 use zkrownn_service::{
-    encode_request, encode_response, read_request, read_response, Opcode, ProtocolError, Request,
-    Response, Status, HEADER_LEN, MAX_FRAME_LEN,
+    encode_request, encode_response, read_request, read_response, write_request, write_response,
+    Opcode, ProtocolError, Request, Response, Status, HEADER_LEN, MAX_FRAME_LEN,
 };
 
-const ALL_STATUSES: [Status; 10] = [
+const ALL_STATUSES: [Status; 11] = [
     Status::Ok,
     Status::NegativeVerdict,
     Status::InvalidProof,
@@ -21,6 +22,7 @@ const ALL_STATUSES: [Status; 10] = [
     Status::MalformedClaim,
     Status::Internal,
     Status::NotInLedger,
+    Status::Busy,
     Status::Protocol,
 ];
 
@@ -111,6 +113,75 @@ proptest! {
     fn garbage_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
         let _ = read_request(&mut Cursor::new(&bytes));
         let _ = read_response(&mut Cursor::new(&bytes));
+    }
+
+    // The decoders stay total when the *transport* misbehaves, not just
+    // the bytes: seeded fault plans interrupt, tear, stall and reset the
+    // stream mid-frame, and every outcome must be a decoded frame or a
+    // typed error — never a panic, never a hang on these finite buffers.
+    #[test]
+    fn fault_injected_reads_are_total(
+        req in arb_request(),
+        resp in arb_response(),
+        seed in any::<u64>(),
+    ) {
+        let wire = encode_request(&req);
+        let armed = FaultPlan::from_seed(seed, wire.len() as u64 + 8).arm();
+        match read_request(&mut armed.read(Cursor::new(&wire))) {
+            Ok(Some(decoded)) => prop_assert_eq!(decoded, req, "seed={}", seed),
+            Ok(None) | Err(ProtocolError::Io(_)) => {}
+            Err(e) => prop_assert!(false, "seed={}: unexpected error class: {e:?}", seed),
+        }
+
+        let wire = encode_response(&resp);
+        let armed = FaultPlan::from_seed(seed, wire.len() as u64 + 8).arm();
+        match read_response(&mut armed.read(Cursor::new(&wire))) {
+            Ok(decoded) => prop_assert_eq!(decoded, resp, "seed={}", seed),
+            Err(ProtocolError::Io(_)) => {}
+            Err(e) => prop_assert!(false, "seed={}: unexpected error class: {e:?}", seed),
+        }
+    }
+
+    // The encoders are fault-total too: a write that errors mid-frame has
+    // committed at most a strict prefix of the encoding — an interrupted
+    // sender can never have placed bytes beyond the tear on the wire.
+    #[test]
+    fn fault_injected_writes_commit_at_most_a_prefix(
+        req in arb_request(),
+        resp in arb_response(),
+        seed in any::<u64>(),
+    ) {
+        let full = encode_request(&req);
+        let armed = FaultPlan::from_seed(seed, full.len() as u64 + 8).arm();
+        let mut sink = armed.write(Vec::new());
+        match write_request(&mut sink, &req) {
+            Ok(()) => prop_assert_eq!(sink.get_ref(), &full, "seed={}", seed),
+            Err(_) => {
+                let committed = sink.get_ref();
+                prop_assert!(committed.len() < full.len(), "seed={}", seed);
+                prop_assert_eq!(
+                    committed.as_slice(),
+                    &full[..committed.len()],
+                    "seed={}: committed bytes are not a prefix", seed
+                );
+            }
+        }
+
+        let full = encode_response(&resp);
+        let armed = FaultPlan::from_seed(seed, full.len() as u64 + 8).arm();
+        let mut sink = armed.write(Vec::new());
+        match write_response(&mut sink, &resp) {
+            Ok(()) => prop_assert_eq!(sink.get_ref(), &full, "seed={}", seed),
+            Err(_) => {
+                let committed = sink.get_ref();
+                prop_assert!(committed.len() < full.len(), "seed={}", seed);
+                prop_assert_eq!(
+                    committed.as_slice(),
+                    &full[..committed.len()],
+                    "seed={}: committed bytes are not a prefix", seed
+                );
+            }
+        }
     }
 }
 

@@ -1,0 +1,95 @@
+//! Atomic file-commit primitives: write-to-temp, `sync_all`, rename,
+//! fsync the parent directory.
+//!
+//! A writer that creates its final path directly can be interrupted — by a
+//! crash, a disk fault, or plain `kill -9` — half way through, leaving a
+//! torn file *at the name readers look for*. The discipline here makes
+//! every commit all-or-nothing: bytes land at `<path>.tmp`, are synced to
+//! stable storage, and only then renamed over `<path>` (atomic within a
+//! POSIX filesystem); the parent directory is fsynced afterwards so the
+//! *name* survives a power cut too. Readers therefore only ever observe
+//! either the previous complete file or the new complete file — a crash at
+//! any byte leaves at worst a stale `*.tmp` that loaders skip.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The staging name a pending atomic write uses: `<path>.tmp` (the full
+/// file name plus a `.tmp` suffix, so `model.zkst` stages at
+/// `model.zkst.tmp`). Loaders treat this suffix as "never committed".
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
+}
+
+/// Fsyncs the directory holding `path`, durably committing a rename of a
+/// name inside it. A no-op on platforms where directories cannot be
+/// opened (non-Unix); the rename is still atomic there, just not
+/// power-cut durable.
+pub fn fsync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+        Ok(())
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content goes to
+/// [`temp_path`], is synced, and is renamed over `path` only once
+/// complete. An interruption at any point leaves the previous content of
+/// `path` (or no file) plus at worst a stale `*.tmp` — never a torn file
+/// at the final name.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(path);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temp_path_appends_to_the_full_name() {
+        assert_eq!(
+            temp_path(Path::new("/keys/model.zkst")),
+            PathBuf::from("/keys/model.zkst.tmp")
+        );
+        assert_eq!(
+            temp_path(Path::new("out.json")),
+            PathBuf::from("out.json.tmp")
+        );
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("zkst-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        write_file_atomic(&path, b"first").unwrap();
+        write_file_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!temp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

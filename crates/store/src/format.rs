@@ -27,11 +27,12 @@
 //! kinds are a separate 32-bit namespace owned by this crate
 //! ([`crate::keystore::segment_kind`] for the proving-key layout).
 
-use crate::map::{Source, StoreBackend};
+use crate::atomic::{fsync_parent_dir, temp_path};
+use crate::map::{ReadAt, Source, StoreBackend};
 use crate::sha::Sha256;
 use std::fs::File;
 use std::io::{self, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use zkrownn_curves::PointDecodeError;
 
 /// The envelope magic, shared with the core artifact format.
@@ -197,6 +198,23 @@ fn header_bytes(segment_count: u64, table_offset: u64, file_len: u64) -> [u8; HE
     h
 }
 
+/// The write medium a [`StoreWriter`] commits bytes through — the trait
+/// seam the fault-injection harness (`zkrownn-faults`) wraps a real file
+/// with. Production code only ever uses [`File`].
+pub trait StoreMedium: Write + Seek + Send {
+    /// Flushes all written bytes to stable storage. Media without a
+    /// durability notion may no-op.
+    fn sync_all(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl StoreMedium for File {
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+}
+
 /// Streaming writer for a `.zkst` container.
 ///
 /// Segments are written strictly sequentially: `begin_segment`, any number
@@ -204,11 +222,21 @@ fn header_bytes(segment_count: u64, table_offset: u64, file_len: u64) -> [u8; HE
 /// `end_segment`; `finish` appends the table and footer and patches the
 /// header. Nothing is buffered beyond the `BufWriter` block, so writing a
 /// multi-GB store holds O(1) memory.
+///
+/// Durability is atomic: bytes stream to `<path>.tmp`, and only a fully
+/// successful [`Self::finish`] — table, footer, header, `sync_all` —
+/// renames the staging file over `path` and fsyncs the parent directory.
+/// A crash (even `kill -9`) at any earlier byte leaves at worst a stale
+/// `*.tmp`; the final name never holds a partial store. If the writer is
+/// dropped without finishing, the staging file is removed.
 pub struct StoreWriter {
-    out: io::BufWriter<File>,
+    out: Option<io::BufWriter<Box<dyn StoreMedium>>>,
     offset: u64,
     entries: Vec<SegmentEntry>,
     open: Option<OpenSegment>,
+    /// `(staging path, final path)` for path-backed writers.
+    dest: Option<(PathBuf, PathBuf)>,
+    finished: bool,
 }
 
 struct OpenSegment {
@@ -219,16 +247,39 @@ struct OpenSegment {
 }
 
 impl StoreWriter {
-    /// Creates (truncating) `path` and writes the header placeholder.
+    /// Creates a writer that stages at `<path>.tmp` and atomically renames
+    /// over `path` on a successful [`Self::finish`].
     pub fn create(path: &Path) -> io::Result<Self> {
-        let mut out = io::BufWriter::new(File::create(path)?);
-        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        Self::create_with(path, |file| Box::new(file))
+    }
+
+    /// Like [`Self::create`], but the staging file is passed through
+    /// `wrap` first — the hook fault-injection harnesses use to interpose
+    /// on every write. The atomic rename discipline is unchanged.
+    pub fn create_with(
+        path: &Path,
+        wrap: impl FnOnce(File) -> Box<dyn StoreMedium>,
+    ) -> io::Result<Self> {
+        let tmp = temp_path(path);
+        let file = File::create(&tmp)?;
+        let mut out = io::BufWriter::new(wrap(file));
+        if let Err(e) = out.write_all(&[0u8; HEADER_LEN as usize]) {
+            drop(out);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
         Ok(Self {
-            out,
+            out: Some(out),
             offset: HEADER_LEN,
             entries: Vec::new(),
             open: None,
+            dest: Some((tmp, path.to_path_buf())),
+            finished: false,
         })
+    }
+
+    fn out(&mut self) -> &mut io::BufWriter<Box<dyn StoreMedium>> {
+        self.out.as_mut().expect("writer already consumed")
     }
 
     /// Opens the next segment. `count` is the (application-defined)
@@ -253,7 +304,7 @@ impl StoreWriter {
     pub fn write(&mut self, bytes: &[u8]) -> io::Result<()> {
         let seg = self.open.as_mut().expect("no open segment");
         seg.hasher.update(bytes);
-        self.out.write_all(bytes)?;
+        self.out().write_all(bytes)?;
         self.offset += bytes.len() as u64;
         Ok(())
     }
@@ -273,8 +324,10 @@ impl StoreWriter {
         });
     }
 
-    /// Writes the segment table and footer, patches the header, and syncs
-    /// the file to disk.
+    /// Writes the segment table and footer, patches the header, syncs the
+    /// staging file to disk, renames it over the final path, and fsyncs
+    /// the parent directory. Only a fully successful return commits the
+    /// store at its final name.
     ///
     /// # Panics
     /// Panics if a segment is still open.
@@ -291,16 +344,42 @@ impl StoreWriter {
         let mut footer_hash = Sha256::new();
         footer_hash.update(&header);
         footer_hash.update(&table);
+        let footer = footer_hash.finalize_truncated();
 
-        self.out.write_all(&table)?;
-        self.out.write_all(&footer_hash.finalize_truncated())?;
-        let mut file = self
+        let out = self.out();
+        out.write_all(&table)?;
+        out.write_all(&footer)?;
+        let mut medium = self
             .out
+            .take()
+            .expect("writer already consumed")
             .into_inner()
             .map_err(io::IntoInnerError::into_error)?;
-        file.seek(SeekFrom::Start(0))?;
-        file.write_all(&header)?;
-        file.sync_all()
+        medium.seek(SeekFrom::Start(0))?;
+        medium.write_all(&header)?;
+        medium.sync_all()?;
+        // release the handle before renaming, then commit the name
+        drop(medium);
+        if let Some((tmp, path)) = self.dest.clone() {
+            std::fs::rename(&tmp, &path)?;
+            fsync_parent_dir(&path)?;
+        }
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // abandoned mid-write: close the handle, then remove the staging
+        // file so a failed setup never leaves partial bytes behind
+        drop(self.out.take());
+        if let Some((tmp, _)) = self.dest.take() {
+            let _ = std::fs::remove_file(tmp);
+        }
     }
 }
 
@@ -328,6 +407,18 @@ impl StoreFile {
         let file = File::open(path)?;
         let file_len = file.metadata()?.len();
         let source = Source::open(file, file_len, backend)?;
+        Self::from_source(source)
+    }
+
+    /// Opens a store through an arbitrary positioned reader of `len` total
+    /// bytes — the buffered backend's [`ReadAt`] seam, which fault
+    /// harnesses use to interpose on every read of a real store file.
+    pub fn open_reader(reader: Box<dyn ReadAt>, len: u64) -> Result<Self, StoreError> {
+        Self::from_source(Source::from_read_at(reader, len))
+    }
+
+    fn from_source(source: Source) -> Result<Self, StoreError> {
+        let file_len = source.len();
         let mut scratch = Vec::new();
 
         if file_len < HEADER_LEN + FOOTER_LEN {

@@ -196,7 +196,13 @@ impl KeyStore {
     /// [`StoreBackend::Buffered`] when address space is capped — a mapping
     /// of the whole key file counts against `ulimit -v`.
     pub fn open_with(path: &Path, backend: StoreBackend) -> Result<Self, StoreError> {
-        let file = StoreFile::open_with(path, backend)?;
+        Self::from_store_file(StoreFile::open_with(path, backend)?)
+    }
+
+    /// Wraps an already-open container as a key store, validating that the
+    /// required segments are all present — the entry point for stores
+    /// opened through [`StoreFile::open_reader`] (fault harnesses, tests).
+    pub fn from_store_file(file: StoreFile) -> Result<Self, StoreError> {
         // a key store must at least carry its constants and all six
         // families; shape errors surface at open, not mid-proof
         file.require(segment_kind::CONSTANTS)?;

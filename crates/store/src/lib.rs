@@ -20,7 +20,11 @@
 //!   [`zkrownn_curves::MemoryBudget`], byte-identical to the in-memory
 //!   prover;
 //! * [`sha`] — the workspace's SHA-256 (re-exported by the core crate),
-//!   which backs every segment checksum.
+//!   which backs every segment checksum;
+//! * [`mod@atomic`] — the write-to-temp / `sync_all` / rename /
+//!   fsync-parent commit discipline behind every writer here: a crash
+//!   (even `kill -9`) mid-setup leaves at worst a stale `*.zkst.tmp`,
+//!   never a torn store at the final name.
 //!
 //! Both streaming paths are *pinned* byte-identical to their in-memory
 //! equivalents: chunked fixed-base multiplication produces the same
@@ -84,16 +88,21 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod format;
 pub mod keystore;
 pub mod map;
 pub mod prover;
 pub mod sha;
 
-pub use format::{SegmentEntry, StoreError, StoreFile, StoreWriter, STORE_KIND, STORE_VERSION};
+pub use atomic::{fsync_parent_dir, temp_path, write_file_atomic};
+pub use format::{
+    SegmentEntry, StoreError, StoreFile, StoreMedium, StoreWriter, STORE_KIND, STORE_VERSION,
+};
 pub use keystore::{
     family_kind, segment_kind, write_proving_key, KeyStore, KeyStoreWriter, StoreMeta,
 };
+pub use map::ReadAt;
 pub use map::StoreBackend;
 pub use prover::{create_proof_streamed, create_proof_streamed_rng, create_proof_streamed_timed};
 pub use sha::{sha256, Sha256};

@@ -113,21 +113,49 @@ impl Drop for Mapping {
     }
 }
 
-/// The open read source: mapped or seekable.
+/// Positioned-read access to an open store — the trait seam behind the
+/// buffered backend, which the fault-injection harness (`zkrownn-faults`)
+/// wraps to inject read failures under a real store file.
+///
+/// Production reads go straight to [`File`] via `pread(2)`; the mmap
+/// backend bypasses this trait entirely (page faults cannot be
+/// interposed on).
+pub trait ReadAt: Send + Sync {
+    /// Fills `buf` from absolute file offset `offset`, completely or with
+    /// an error — short reads are an `UnexpectedEof` failure, and no
+    /// shared cursor moves.
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()>;
+}
+
+impl ReadAt for File {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        pread_exact(self, offset, buf)
+    }
+}
+
+/// The open read source: mapped or positioned reads through a [`ReadAt`].
 pub(crate) enum Source {
     #[cfg(target_os = "linux")]
     Mapped(Mapping),
     Seek {
-        file: File,
+        file: Box<dyn ReadAt>,
         len: u64,
     },
 }
 
 impl Source {
+    /// Wraps an arbitrary positioned reader (fault harnesses, tests).
+    pub(crate) fn from_read_at(file: Box<dyn ReadAt>, len: u64) -> Self {
+        Self::Seek { file, len }
+    }
+
     /// Opens `file` (of total length `len`) with the requested backend.
     pub(crate) fn open(file: File, len: u64, backend: StoreBackend) -> io::Result<Self> {
         match backend {
-            StoreBackend::Buffered => Ok(Self::Seek { file, len }),
+            StoreBackend::Buffered => Ok(Self::Seek {
+                file: Box::new(file),
+                len,
+            }),
             #[cfg(target_os = "linux")]
             StoreBackend::Mmap => Ok(Self::Mapped(Mapping::new(&file, len as usize)?)),
             #[cfg(not(target_os = "linux"))]
@@ -140,12 +168,18 @@ impl Source {
                 {
                     match Mapping::new(&file, len as usize) {
                         Ok(map) => Ok(Self::Mapped(map)),
-                        Err(_) => Ok(Self::Seek { file, len }),
+                        Err(_) => Ok(Self::Seek {
+                            file: Box::new(file),
+                            len,
+                        }),
                     }
                 }
                 #[cfg(not(target_os = "linux"))]
                 {
-                    Ok(Self::Seek { file, len })
+                    Ok(Self::Seek {
+                        file: Box::new(file),
+                        len,
+                    })
                 }
             }
         }
@@ -179,7 +213,7 @@ impl Source {
             }
             Self::Seek { file, .. } => {
                 scratch.resize(count, 0);
-                pread_exact(file, offset, scratch)?;
+                file.read_exact_at(scratch, offset)?;
                 Ok(&scratch[..])
             }
         }
@@ -191,7 +225,7 @@ fn pread_exact(file: &File, offset: u64, buf: &mut [u8]) -> io::Result<()> {
     #[cfg(unix)]
     {
         use std::os::unix::fs::FileExt;
-        file.read_exact_at(buf, offset)
+        FileExt::read_exact_at(file, buf, offset)
     }
     #[cfg(not(unix))]
     {

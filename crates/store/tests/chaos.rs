@@ -1,0 +1,176 @@
+//! Fault-injection chaos tests for the store's atomic write path.
+//!
+//! The contract under test: **the final `.zkst` path never holds a
+//! partial store.** Whatever faults fire during a write — injected I/O
+//! failures, torn writes, stalls, even a simulated `kill -9` — either the
+//! store commits completely (and then reads back byte-perfect) or the
+//! final path does not exist at all. Every plan is seeded, and every
+//! assertion carries the plan label so a CI failure reproduces locally.
+
+use std::path::{Path, PathBuf};
+
+use zkrownn_faults::FaultPlan;
+use zkrownn_store::{temp_path, StoreFile, StoreWriter};
+
+const SEG_A: u32 = 0xA0;
+const SEG_B: u32 = 0xB0;
+
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("zkst-chaos-{}-{tag}.zkst", std::process::id()))
+}
+
+fn seg_bytes(tag: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| tag ^ (i as u8)).collect()
+}
+
+/// Writes the reference two-segment store through `writer`, propagating
+/// the first injected failure.
+fn write_reference(mut writer: StoreWriter) -> std::io::Result<()> {
+    writer.begin_segment(SEG_A, 4);
+    writer.write(&seg_bytes(0x11, 400))?;
+    writer.end_segment();
+    writer.begin_segment(SEG_B, 7);
+    writer.write(&seg_bytes(0x22, 700))?;
+    writer.end_segment();
+    writer.finish()
+}
+
+fn assert_committed_store_is_sound(path: &Path, label: &str) {
+    let store = StoreFile::open(path)
+        .unwrap_or_else(|e| panic!("[{label}] committed store does not open: {e}"));
+    store
+        .verify_integrity()
+        .unwrap_or_else(|e| panic!("[{label}] committed store fails integrity: {e}"));
+    let a = store.segment(SEG_A).expect("segment A present");
+    assert_eq!(
+        store.read_segment(a).unwrap(),
+        seg_bytes(0x11, 400),
+        "[{label}] segment A bytes"
+    );
+    let b = store.segment(SEG_B).expect("segment B present");
+    assert_eq!(
+        store.read_segment(b).unwrap(),
+        seg_bytes(0x22, 700),
+        "[{label}] segment B bytes"
+    );
+}
+
+#[test]
+fn seeded_write_faults_never_leave_a_partial_store() {
+    // the reference store is ~1.2 KiB; spread fault offsets across it so
+    // plans hit the header, payloads, table, and footer writes
+    const EXTENT: u64 = 1300;
+    let mut committed = 0usize;
+    let mut aborted = 0usize;
+    for seed in 0..16u64 {
+        let plan = FaultPlan::from_seed(seed, EXTENT);
+        let label = plan.label().to_string();
+        let armed = plan.arm();
+        let path = scratch_path(&format!("seed{seed}"));
+        let _ = std::fs::remove_file(&path);
+
+        let outcome = StoreWriter::create_with(&path, |file| Box::new(armed.medium(file)))
+            .and_then(write_reference);
+        match outcome {
+            Ok(()) => {
+                committed += 1;
+                assert_committed_store_is_sound(&path, &label);
+            }
+            Err(_) => {
+                aborted += 1;
+                assert!(
+                    !path.exists(),
+                    "[{label}] aborted write left bytes at the final path"
+                );
+            }
+        }
+        // the staging file must be gone either way: renamed on success,
+        // removed by the writer's drop on failure
+        assert!(
+            !temp_path(&path).exists(),
+            "[{label}] staging file survived the writer"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    // the seed sweep must actually exercise both outcomes (read-only
+    // plans and delay-only plans commit; write faults abort)
+    assert!(committed > 0, "no seeded plan committed");
+    assert!(aborted > 0, "no seeded plan injected a write failure");
+}
+
+#[test]
+fn fault_free_wrapped_writer_matches_a_plain_one() {
+    let plain = scratch_path("plain");
+    let wrapped = scratch_path("wrapped");
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&wrapped);
+
+    write_reference(StoreWriter::create(&plain).unwrap()).unwrap();
+    let armed = FaultPlan::new().arm();
+    write_reference(StoreWriter::create_with(&wrapped, |f| Box::new(armed.medium(f))).unwrap())
+        .unwrap();
+
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&wrapped).unwrap(),
+        "an empty fault plan must be byte-transparent"
+    );
+    assert_committed_store_is_sound(&plain, "plain");
+    std::fs::remove_file(&plain).unwrap();
+    std::fs::remove_file(&wrapped).unwrap();
+}
+
+#[test]
+fn kill_nine_mid_write_leaves_only_the_staging_file() {
+    let path = scratch_path("kill9");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(temp_path(&path));
+
+    let mut writer = StoreWriter::create(&path).unwrap();
+    writer.begin_segment(SEG_A, 4);
+    writer.write(&seg_bytes(0x11, 400)).unwrap();
+    // a SIGKILL never runs destructors; forgetting the writer models the
+    // process vanishing between two write calls
+    std::mem::forget(writer);
+
+    assert!(
+        !path.exists(),
+        "a killed write must not materialize the final path"
+    );
+    let tmp = temp_path(&path);
+    assert!(tmp.exists(), "the staging file is what a crash leaves");
+    // the partial staging bytes must not open as a store either
+    assert!(
+        StoreFile::open(&tmp).is_err(),
+        "partial staging bytes opened as a store"
+    );
+    std::fs::remove_file(&tmp).unwrap();
+}
+
+#[test]
+fn faulted_positioned_reads_fail_closed() {
+    let path = scratch_path("pread");
+    let _ = std::fs::remove_file(&path);
+    write_reference(StoreWriter::create(&path).unwrap()).unwrap();
+    let len = std::fs::metadata(&path).unwrap().len();
+
+    // a fault inside a payload: the store opens (header/table are clean)
+    // but integrity verification must error, never panic or pass
+    let armed = FaultPlan::new().fail_read_at(200).arm();
+    let file = std::fs::File::open(&path).unwrap();
+    let store = StoreFile::open_reader(Box::new(armed.read_at(file)), len)
+        .expect("header and table avoid the payload fault");
+    assert!(
+        store.verify_integrity().is_err(),
+        "integrity check passed through an injected read failure"
+    );
+
+    // a fault inside the header: opening itself must fail cleanly
+    let armed = FaultPlan::new().short_read_at(10).arm();
+    let file = std::fs::File::open(&path).unwrap();
+    assert!(
+        StoreFile::open_reader(Box::new(armed.read_at(file)), len).is_err(),
+        "open succeeded through a torn header read"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
