@@ -15,6 +15,12 @@
 //! * `verify_batch/*` — amortized batch verification through the
 //!   `KeyRegistry` vs. naive per-claim verification (preparation + pairing
 //!   check per claim), over 8 same-circuit claims;
+//! * `field-backend/*` — the two Montgomery multiplication backends head
+//!   to head over 8 independent base-field chains (the instruction-level-
+//!   parallel regime the MSM bucket passes and FFT butterflies run in):
+//!   the loop-structured schoolbook reference vs. the unrolled no-carry
+//!   CIOS kernel, plus whichever of the two `ActiveBackend` resolved to at
+//!   runtime;
 //! * `prover-hot-path/*` — the prover-spine ablation over the quick
 //!   MNIST-MLP extraction circuit: a cold `create_proof_from_cs` (matrices
 //!   re-lowered, twiddle tables rebuilt per proof) vs. the cached
@@ -274,6 +280,54 @@ fn bench_average_fold(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_field_backend(c: &mut Criterion) {
+    use zkrownn_ff::fq::FqParams;
+    use zkrownn_ff::{
+        ActiveBackend, BigInt256, FieldBackend, Fq, PrimeField, SchoolbookBackend, UnrolledBackend,
+    };
+
+    // 8 independent Montgomery chains: enough in-flight products to expose
+    // the pipelining difference between the kernels (a single dependent
+    // chain hides it behind the carry latency). Mirrors the methodology of
+    // the `backend_speedup` gate in `zkrownn-ff/tests/mul_throughput.rs`.
+    const LANES: usize = 8;
+    let y = Fq::from_u64(3).pow(&[0x1357_9bdf]).into_bigint();
+    let mut seed = [BigInt256::ZERO; LANES];
+    for (i, x) in seed.iter_mut().enumerate() {
+        *x = Fq::from_u64(0x1234_5678_9abc_def1)
+            .pow(&[0xfeed_beef + i as u64])
+            .into_bigint();
+    }
+
+    fn chains<B: FieldBackend, const LANES: usize>(
+        seed: &[BigInt256; LANES],
+        y: &BigInt256,
+        rounds: usize,
+    ) -> [BigInt256; LANES] {
+        let mut xs = *seed;
+        for _ in 0..rounds {
+            for x in xs.iter_mut() {
+                *x = B::mul_reduce::<FqParams>(x, y);
+            }
+        }
+        xs
+    }
+
+    let mut group = c.benchmark_group("field-backend");
+    group.bench_function("schoolbook", |b| {
+        b.iter(|| chains::<SchoolbookBackend, LANES>(&seed, &y, 1024))
+    });
+    group.bench_function("unrolled", |b| {
+        b.iter(|| chains::<UnrolledBackend, LANES>(&seed, &y, 1024))
+    });
+    // `ActiveBackend` aliases one of the two above (feature-selected), so
+    // this row should match its target — a drift is a wiring bug
+    group.bench_function(format!("active-{}", ActiveBackend::NAME), |b| {
+        b.iter(|| chains::<ActiveBackend, LANES>(&seed, &y, 1024))
+    });
+    group.finish();
+}
+
 fn bench_verify_batch(c: &mut Criterion) {
     use zkrownn::{Authority, KeyRegistry, SignedClaim, VerifierKit};
     use zkrownn_gadgets::FixedConfig;
@@ -347,6 +401,7 @@ criterion_group!(
     bench_fft,
     bench_pairing,
     bench_average_fold,
+    bench_field_backend,
     bench_verify_batch
 );
 criterion_main!(benches);

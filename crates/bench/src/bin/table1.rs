@@ -281,12 +281,20 @@ fn main() {
     // --json: pin the prover numbers in a machine-readable artifact (the
     // CI bench-smoke job uploads and validates this file)
     if args.iter().any(|a| a == "--json") {
+        // amortized byte-level verification throughput (decode + pairing
+        // per claim through `zkrownn_verify`) — the verify-side companion
+        // to the per-row prover timings
+        let vt = zkrownn_bench::measure_verify_throughput();
+        eprintln!(
+            "[verify] {:.1} claims/s ({:.3} ms/claim over {} iters, cold path)",
+            vt.claims_per_s, vt.mean_ms, vt.iters
+        );
         let path = "BENCH_prover.json";
         // temp-file + rename so an interrupted run never clobbers a prior
         // artifact with a half-written document
         zkrownn_store::write_file_atomic(
             std::path::Path::new(path),
-            prover_json(&measured, scale).as_bytes(),
+            prover_json(&measured, scale, Some(&vt)).as_bytes(),
         )
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path} ({} rows)", measured.len());

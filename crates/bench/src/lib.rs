@@ -701,6 +701,74 @@ pub fn measure_with_store(
     metrics
 }
 
+/// Sustained verification throughput through the byte-level
+/// [`zkrownn_verifier::zkrownn_verify`] entry point — the full
+/// envelope-decode → statement-synthesis → pairing path a cold verifier
+/// (wasm page, enclave, contract host) pays per claim, with no key or
+/// preparation cached across calls.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyThroughput {
+    /// Full byte-level verifications per second.
+    pub claims_per_s: f64,
+    /// Mean wall time per verification, in milliseconds.
+    pub mean_ms: f64,
+    /// Number of verifications timed.
+    pub iters: u32,
+}
+
+/// Measures [`VerifyThroughput`] on a small deterministic claim: setup and
+/// prove once, serialize the three dispute artifacts, then time repeated
+/// `zkrownn_verify` calls over the raw bytes.
+pub fn measure_verify_throughput() -> VerifyThroughput {
+    let cfg = FixedConfig::default();
+    let spec = ExtractionSpec {
+        model: zkrownn::QuantizedModel {
+            layers: vec![
+                zkrownn::QuantLayer::Dense {
+                    in_dim: 2,
+                    out_dim: 2,
+                    w: vec![cfg.encode(0.5); 4],
+                    b: vec![0; 2],
+                },
+                zkrownn::QuantLayer::ReLU,
+            ],
+            input_len: 2,
+            cfg,
+        },
+        triggers: vec![vec![cfg.encode(1.0); 2]],
+        projection: vec![cfg.encode(0.25); 4],
+        signature: vec![true, false],
+        max_errors: 2,
+        fold_average: false,
+        cfg,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+    let (prover, verifier) = zkrownn::Authority::setup(&spec, &mut rng);
+    let claim = prover.prove(&mut rng).expect("honest spec proves");
+    use zkrownn::Artifact;
+    let vk_bytes = Artifact::to_bytes(verifier.verifying_key());
+    let statement_bytes = Artifact::to_bytes(&spec.statement());
+    let claim_bytes = Artifact::to_bytes(&claim);
+
+    let run = |iters: u32| {
+        let t = Instant::now();
+        for _ in 0..iters {
+            zkrownn_verifier::zkrownn_verify(&vk_bytes, &statement_bytes, &claim_bytes)
+                .expect("honest claim verifies");
+        }
+        t.elapsed()
+    };
+    run(3); // warm the instruction cache and the allocator
+    let iters = 64u32;
+    let elapsed = run(iters);
+    let mean = elapsed.as_secs_f64() / iters as f64;
+    VerifyThroughput {
+        claims_per_s: 1.0 / mean,
+        mean_ms: mean * 1e3,
+        iters,
+    }
+}
+
 /// Serializes measured rows as the `BENCH_prover.json` document: schema
 /// tag, environment (thread count), and one object per row with seconds as
 /// floats. Hand-rolled writer (the workspace is offline — no serde), but
@@ -709,8 +777,11 @@ pub fn measure_with_store(
 /// Schema `v2` added the trusted-setup phase breakdown
 /// (`setup_qap_s` / `setup_commit_s`) alongside `setup_s`; schema `v3`
 /// added the streaming-store columns (`peak_rss_bytes` / `key_segments`),
-/// both `0` for rows measured through the in-memory path.
-pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
+/// both `0` for rows measured through the in-memory path, and later grew
+/// the optional top-level `verify` object (byte-level verification
+/// throughput through `zkrownn_verify`) — additive, so v3 consumers that
+/// only read `rows` are unaffected.
+pub fn prover_json(rows: &[RowMetrics], scale: Scale, verify: Option<&VerifyThroughput>) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"zkrownn-bench-prover/v3\",\n");
     out.push_str(&format!(
@@ -726,6 +797,13 @@ pub fn prover_json(rows: &[RowMetrics], scale: Scale) -> String {
             .map(|v| v.get())
             .unwrap_or(1)
     ));
+    if let Some(v) = verify {
+        out.push_str(&format!(
+            "  \"verify\": {{\"entrypoint\": \"zkrownn_verify\", \
+             \"claims_per_s\": {:.2}, \"mean_ms\": {:.4}, \"iters\": {}}},\n",
+            v.claims_per_s, v.mean_ms, v.iters
+        ));
+    }
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -882,7 +960,12 @@ mod tests {
         assert!(m.witness_map_time + m.msm_time <= m.prove_time);
         assert!(m.setup_qap_time + m.setup_commit_time <= m.setup_time);
         assert!(m.domain_size.is_power_of_two());
-        let json = prover_json(&[m.clone(), m], Scale::Quick);
+        let vt = VerifyThroughput {
+            claims_per_s: 412.5,
+            mean_ms: 2.4242,
+            iters: 64,
+        };
+        let json = prover_json(&[m.clone(), m], Scale::Quick, Some(&vt));
         // structural sanity without a JSON parser: balanced braces/brackets,
         // both rows present, schema tag, comma between rows but not after
         // the last
@@ -895,6 +978,10 @@ mod tests {
         assert!(json.contains("\"peak_rss_bytes\""));
         assert!(json.contains("\"key_segments\""));
         assert!(json.contains("\"scale\": \"quick\""));
+        assert!(json.contains("\"verify\": {\"entrypoint\": \"zkrownn_verify\""));
+        assert!(json.contains("\"claims_per_s\": 412.50"));
+        // without the measurement the document stays pure v3
+        assert!(!prover_json(&[], Scale::Quick, None).contains("\"verify\""));
         assert!(json.contains("},\n"));
         assert!(json.trim_end().ends_with("]\n}"));
         assert!(!json.contains("NaN") && !json.contains("inf"));

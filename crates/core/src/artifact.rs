@@ -29,6 +29,9 @@
 //! the curve.
 
 use crate::model::{QuantLayer, QuantizedModel};
+use alloc::format;
+use alloc::string::String;
+use alloc::vec::Vec;
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::conv::ConvShape;
 use zkrownn_gadgets::fixed::FixedConfig;
@@ -298,6 +301,7 @@ impl core::fmt::Display for WireError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for WireError {}
 
 impl From<zkrownn_groth16::DecodeError> for WireError {

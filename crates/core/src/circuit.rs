@@ -32,6 +32,7 @@
 
 use crate::artifact::{CircuitId, OwnershipStatement};
 use crate::model::{QuantLayer, QuantizedModel};
+use alloc::vec::Vec;
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::average::average_rows;
 use zkrownn_gadgets::ber::ber_check;

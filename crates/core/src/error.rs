@@ -7,6 +7,7 @@
 //! per-layer error enums.
 
 use crate::artifact::{CircuitId, WireError};
+use alloc::string::String;
 use zkrownn_groth16::VerificationError;
 use zkrownn_r1cs::SynthesisError;
 
@@ -80,6 +81,7 @@ impl core::fmt::Display for ZkrownnError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for ZkrownnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
@@ -108,6 +110,7 @@ impl From<VerificationError> for ZkrownnError {
     }
 }
 
+#[cfg(feature = "std")]
 impl From<zkrownn_store::StoreError> for ZkrownnError {
     fn from(e: zkrownn_store::StoreError) -> Self {
         Self::Store(e.to_string())

@@ -12,6 +12,7 @@
 
 use crate::model::{QuantLayer, QuantizedModel};
 use crate::reference::feed_forward_fixed;
+use alloc::vec::Vec;
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_gadgets::num::Num;
 use zkrownn_r1cs::{Circuit, ConstraintSystem, ProvingSynthesizer, SynthesisError};

@@ -114,9 +114,13 @@
 //!   circuit; [`benchmarks`] — the Table II model zoo; [`inference`] —
 //!   verifiable ML inference (the paper's conclusion extension).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
 
 pub mod artifact;
+#[cfg(feature = "std")]
 pub mod benchmarks;
 pub mod circuit;
 pub mod error;
@@ -124,17 +128,24 @@ pub mod inference;
 pub mod model;
 pub mod prove;
 pub mod reference;
+#[cfg(feature = "std")]
 pub mod registry;
+#[cfg(feature = "std")]
 pub mod session;
+pub mod verify;
 
 pub use artifact::{Artifact, ArtifactKind, CircuitId, OwnershipStatement, WireError};
 pub use circuit::{BuiltCircuit, ExtractionCircuit, ExtractionSpec, ExtractionWitness};
 pub use error::ZkrownnError;
 pub use model::{QuantLayer, QuantizedModel};
 pub use prove::OwnershipProof;
+#[cfg(feature = "std")]
 pub use registry::{KeyRegistry, ShardedKeyRegistry, REGISTRY_SHARDS};
-pub use session::{Authority, ProverKit, SignedClaim, StoredProverKit, VerifierKit};
+#[cfg(feature = "std")]
+pub use session::{Authority, ProverKit, StoredProverKit};
+pub use verify::{SignedClaim, VerifierKit};
 // the store-backed setup/proving knobs, so `zkrownn` alone is enough to
 // drive the streaming workflow end to end
 pub use zkrownn_curves::MemoryBudget;
+#[cfg(feature = "std")]
 pub use zkrownn_store::{KeyStore, StoreBackend};

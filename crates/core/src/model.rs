@@ -6,8 +6,10 @@
 //! Only the layers up to the watermarked layer are needed — Algorithm 1
 //! runs `zkFeedForward(M)` "until layer l_wm".
 
+use alloc::vec::Vec;
 use zkrownn_gadgets::conv::ConvShape;
 use zkrownn_gadgets::fixed::FixedConfig;
+#[cfg(feature = "std")]
 use zkrownn_nn::{Layer, Network};
 
 /// One quantized layer (integer weights at scale `2^frac_bits`).
@@ -109,6 +111,9 @@ impl QuantizedModel {
     /// Panics on layer kinds the extraction circuit does not support before
     /// the watermarked layer (MaxPool/Flatten — the paper's benchmarks
     /// place the watermark before any pooling).
+    ///
+    /// (`std`-only: quantizes a float [`Network`] from `zkrownn-nn`.)
+    #[cfg(feature = "std")]
     pub fn from_network(
         net: &Network,
         up_to_layer: usize,
@@ -163,6 +168,7 @@ impl QuantizedModel {
     /// Fills in conv/pool geometry by propagating the input shape through
     /// the stack. Assumes square spatial dimensions (as in the paper's
     /// benchmarks).
+    #[cfg(feature = "std")]
     fn infer_conv_geometry(&mut self) {
         let mut len = self.input_len;
         // (channels, height, width) once a conv establishes a spatial shape

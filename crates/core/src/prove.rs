@@ -10,6 +10,7 @@
 //! the only path.)
 
 use crate::artifact::{Artifact, ArtifactKind, CircuitId, Reader, WireError};
+use alloc::vec::Vec;
 use zkrownn_groth16::Proof;
 
 /// An ownership proof: the 128-byte Groth16 proof, the public verdict it

@@ -8,6 +8,8 @@
 //! on this.
 
 use crate::model::{QuantLayer, QuantizedModel};
+use alloc::vec;
+use alloc::vec::Vec;
 use zkrownn_gadgets::fixed::{floor_div, floor_div_pow2, FixedConfig};
 use zkrownn_gadgets::sigmoid::sigmoid_fixed_reference;
 

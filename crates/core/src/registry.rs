@@ -36,7 +36,7 @@
 
 use crate::artifact::CircuitId;
 use crate::error::ZkrownnError;
-use crate::session::{
+use crate::verify::{
     check_proof_circuit, check_statement_circuit, verify_claim_prepared, SignedClaim, VerifierKit,
 };
 use std::collections::HashMap;

@@ -13,22 +13,20 @@
 //!
 //! The kits make leaking a secret a *type error*: nothing on
 //! [`VerifierKit`] can reach witness data, because the verifier side never
-//! holds any. Claims serialize with [`Artifact::to_bytes`] and reconstruct
-//! in another process with [`Artifact::from_bytes`]; many claims against
+//! holds any. Claims serialize with [`Artifact::to_bytes`](crate::Artifact::to_bytes) and reconstruct
+//! in another process with [`Artifact::from_bytes`](crate::Artifact::from_bytes); many claims against
 //! the same circuit amortize via [`crate::KeyRegistry::verify_batch`].
 
-use crate::artifact::{
-    Artifact, ArtifactKind, CircuitId, OwnershipStatement, Reader, TraceHasher, WireError,
-};
+use crate::artifact::{CircuitId, OwnershipStatement, TraceHasher};
 use crate::circuit::{ExtractionCircuit, ExtractionSpec};
 use crate::error::ZkrownnError;
 use crate::prove::OwnershipProof;
+pub use crate::verify::{SignedClaim, VerifierKit};
 use std::path::Path;
 use zkrownn_curves::MemoryBudget;
 use zkrownn_ff::Fr;
 use zkrownn_groth16::{
-    create_proof_with_context, verify_proof_prepared, PreparedVerifyingKey, ProverContext,
-    ProvingKey, SetupContext, ToxicWaste, VerifyingKey,
+    create_proof_with_context, ProverContext, ProvingKey, SetupContext, ToxicWaste,
 };
 use zkrownn_r1cs::{Circuit, SetupSynthesizer};
 use zkrownn_store::{create_proof_streamed_rng, KeyStore, KeyStoreWriter, StoreBackend, StoreMeta};
@@ -62,6 +60,34 @@ fn generate_parameters_and_id<C: Circuit<Fr>, R: rand::Rng + ?Sized>(
 /// authority learns nothing about the watermark (and, via
 /// [`Authority::setup_statement`], need not even be handed a spec that
 /// *contains* a witness).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use zkrownn::{Authority, ExtractionSpec, QuantLayer, QuantizedModel};
+/// use zkrownn_gadgets::FixedConfig;
+///
+/// let cfg = FixedConfig::default();
+/// let spec = ExtractionSpec {
+///     model: QuantizedModel {
+///         layers: vec![
+///             QuantLayer::Dense { in_dim: 2, out_dim: 2, w: vec![cfg.encode(0.5); 4], b: vec![0; 2] },
+///             QuantLayer::ReLU,
+///         ],
+///         input_len: 2,
+///         cfg,
+///     },
+///     triggers: vec![vec![cfg.encode(1.0); 2]],
+///     projection: vec![cfg.encode(0.25); 4],
+///     signature: vec![true, false],
+///     max_errors: 2,
+///     fold_average: false,
+///     cfg,
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let (prover, verifier) = Authority::setup(&spec, &mut rng);
+/// let claim = prover.prove(&mut rng).unwrap();
+/// verifier.verify(&claim).unwrap();
+/// ```
 pub struct Authority;
 
 impl Authority {
@@ -328,199 +354,5 @@ impl StoredProverKit {
                 circuit_id: self.circuit_id,
             },
         })
-    }
-}
-
-/// The third-party verifier's side: public data only.
-///
-/// Holds the verifying key (with pairing precomputation applied once) and
-/// the circuit id it vouches for. For many-claim workloads, register the
-/// key in a [`crate::KeyRegistry`] instead and use
-/// [`crate::KeyRegistry::verify_batch`].
-pub struct VerifierKit {
-    vk: VerifyingKey,
-    pvk: PreparedVerifyingKey,
-    circuit_id: CircuitId,
-    /// Content digest of the one statement this kit accepts claims about
-    /// (the model under dispute). `None` = any same-circuit statement.
-    expected_statement: Option<[u8; 32]>,
-}
-
-impl VerifierKit {
-    /// Builds a kit from a verifying key and the circuit id it belongs to —
-    /// e.g. after receiving both from an authority in another process.
-    ///
-    /// The kit starts *unbound*: it accepts a claim about any model of this
-    /// circuit shape, and `Ok(())` then only means "the watermark is in the
-    /// model the claimant described". When the dispute is about one
-    /// specific model, pin it with [`Self::bind_statement`] (kits issued by
-    /// [`Authority::setup`] come pre-bound to the setup's statement).
-    pub fn from_parts(vk: VerifyingKey, circuit_id: CircuitId) -> Self {
-        let pvk = vk.prepare();
-        Self {
-            vk,
-            pvk,
-            circuit_id,
-            expected_statement: None,
-        }
-    }
-
-    /// Pins this kit to one specific public statement (by its
-    /// [`OwnershipStatement::content_digest`]): claims about any other
-    /// model — even a same-shaped one — fail with
-    /// [`ZkrownnError::StatementMismatch`].
-    pub fn bind_statement(mut self, digest: [u8; 32]) -> Self {
-        self.expected_statement = Some(digest);
-        self
-    }
-
-    /// The statement digest this kit is bound to, if any.
-    pub fn expected_statement(&self) -> Option<[u8; 32]> {
-        self.expected_statement
-    }
-
-    /// The circuit this kit verifies.
-    pub fn circuit_id(&self) -> CircuitId {
-        self.circuit_id
-    }
-
-    /// The raw verifying key (for shipping to further verifiers).
-    pub fn verifying_key(&self) -> &VerifyingKey {
-        &self.vk
-    }
-
-    /// Verifies an ownership claim.
-    ///
-    /// Checks, in order: the claim is about the bound statement (when this
-    /// kit is bound — see [`Self::bind_statement`]), the claim belongs to
-    /// this kit's circuit, the statement's shape matches the proof's
-    /// circuit id, the Groth16 pairing equation holds for the statement's
-    /// public inputs, and the attested verdict is positive. A valid proof
-    /// of verdict 0 fails with [`ZkrownnError::NegativeVerdict`] —
-    /// cryptographically sound, but not an ownership claim.
-    pub fn verify(&self, claim: &SignedClaim) -> Result<(), ZkrownnError> {
-        if let Some(expected) = self.expected_statement {
-            if claim.statement.content_digest() != expected {
-                return Err(ZkrownnError::StatementMismatch);
-            }
-            // The statement is byte-identical to the one this kit was bound
-            // to at setup, whose synthesis trace produced `self.circuit_id`
-            // — no need to re-synthesize it per claim. (Soundness never
-            // rested on that check anyway: the pairing equation binds the
-            // proof to this kit's circuit-specific key.)
-            check_proof_circuit(self.circuit_id, claim)?;
-            return verify_claim_crypto(&self.pvk, claim);
-        }
-        verify_claim_prepared(&self.pvk, self.circuit_id, claim)
-    }
-}
-
-/// Full claim validation against a prepared key: circuit-identity checks
-/// (including one setup-mode synthesis of the claim's statement), the
-/// pairing equation, then the verdict gate.
-pub(crate) fn verify_claim_prepared(
-    pvk: &PreparedVerifyingKey,
-    expected: CircuitId,
-    claim: &SignedClaim,
-) -> Result<(), ZkrownnError> {
-    check_proof_circuit(expected, claim)?;
-    check_statement_circuit(expected, claim.statement.circuit_id())?;
-    verify_claim_crypto(pvk, claim)
-}
-
-/// The cryptographic tail of claim validation: the pairing equation over
-/// the statement's public inputs, then the verdict gate.
-pub(crate) fn verify_claim_crypto(
-    pvk: &PreparedVerifyingKey,
-    claim: &SignedClaim,
-) -> Result<(), ZkrownnError> {
-    let inputs = claim.statement.public_inputs(claim.proof.verdict);
-    verify_proof_prepared(pvk, &claim.proof.proof, &inputs).map_err(ZkrownnError::InvalidProof)?;
-    if !claim.proof.verdict {
-        return Err(ZkrownnError::NegativeVerdict);
-    }
-    Ok(())
-}
-
-/// The cheap half of the identity check: the proof must name the expected
-/// circuit.
-pub(crate) fn check_proof_circuit(
-    expected: CircuitId,
-    claim: &SignedClaim,
-) -> Result<(), ZkrownnError> {
-    if claim.proof.circuit_id != expected {
-        return Err(ZkrownnError::CircuitMismatch {
-            expected,
-            got: claim.proof.circuit_id,
-        });
-    }
-    Ok(())
-}
-
-/// The expensive half: the statement's actual shape must hash to the same
-/// id the verifier expects. Callers that check many claims against the
-/// same statement compute `statement_id` once
-/// ([`crate::KeyRegistry::verify_batch`] caches it per distinct statement).
-pub(crate) fn check_statement_circuit(
-    expected: CircuitId,
-    statement_id: CircuitId,
-) -> Result<(), ZkrownnError> {
-    if statement_id != expected {
-        return Err(ZkrownnError::CircuitMismatch {
-            expected,
-            got: statement_id,
-        });
-    }
-    Ok(())
-}
-
-/// A complete, portable ownership claim: the public statement plus the
-/// zero-knowledge proof over it.
-///
-/// This is the artifact a claimant ships to a verification service —
-/// everything needed to check the claim against a registered verifying key,
-/// nothing more.
-#[derive(Clone, Debug, PartialEq)]
-pub struct SignedClaim {
-    /// The public circuit description the proof is bound to.
-    pub statement: OwnershipStatement,
-    /// The proof and its attested verdict.
-    pub proof: OwnershipProof,
-}
-
-impl SignedClaim {
-    /// The circuit this claim targets (as named by its proof).
-    pub fn circuit_id(&self) -> CircuitId {
-        self.proof.circuit_id
-    }
-
-    /// The attested verdict (`true` = watermark recovered within θ).
-    pub fn verdict(&self) -> bool {
-        self.proof.verdict
-    }
-}
-
-impl Artifact for SignedClaim {
-    const KIND: ArtifactKind = ArtifactKind::Claim;
-
-    fn payload_size(&self) -> usize {
-        8 + Artifact::serialized_size(&self.statement) + Artifact::serialized_size(&self.proof)
-    }
-
-    fn write_payload(&self, out: &mut Vec<u8>) {
-        let statement = Artifact::to_bytes(&self.statement);
-        out.extend_from_slice(&(statement.len() as u64).to_le_bytes());
-        out.extend_from_slice(&statement);
-        out.extend_from_slice(&Artifact::to_bytes(&self.proof));
-    }
-
-    fn read_payload(payload: &[u8]) -> Result<Self, WireError> {
-        let mut r = Reader::new(payload);
-        let statement_len = r.len()?;
-        let statement = OwnershipStatement::from_bytes(r.take(statement_len)?)?;
-        let proof_len = payload.len() - (8 + statement_len);
-        let proof = OwnershipProof::from_bytes(r.take(proof_len)?)?;
-        r.finish()?;
-        Ok(Self { statement, proof })
     }
 }

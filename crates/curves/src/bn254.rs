@@ -9,8 +9,7 @@
 //! expansions and validated (curve equation + subgroup membership) in tests.
 
 use crate::curve::{Affine, Projective, SwCurveConfig};
-use std::sync::OnceLock;
-use zkrownn_ff::{BigUint, Field, Fq, Fq2, PrimeField};
+use zkrownn_ff::{BigUint, Cached, Field, Fq, Fq2, PrimeField};
 
 /// BN254 G1 configuration.
 #[derive(Copy, Clone, Eq, PartialEq, Debug)]
@@ -44,16 +43,16 @@ impl SwCurveConfig for G2Config {
     type BaseField = Fq2;
 
     fn coeff_b() -> Fq2 {
-        static B: OnceLock<Fq2> = OnceLock::new();
-        *B.get_or_init(|| {
+        static B: Cached<Fq2> = Cached::new();
+        B.get_or_init(|| {
             // b' = 3/ξ  (D-type twist)
             Fq2::from_u64(3) * Fq2::xi().inverse().expect("ξ != 0")
         })
     }
 
     fn generator() -> Affine<Self> {
-        static G: OnceLock<Affine<G2Config>> = OnceLock::new();
-        *G.get_or_init(|| {
+        static G: Cached<Affine<G2Config>> = Cached::new();
+        G.get_or_init(|| {
             let x = Fq2::new(
                 fq_from_decimal(
                     "10857046999023057135944570762232829481370756359578518086990519993285655852781",

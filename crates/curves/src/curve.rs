@@ -2,6 +2,7 @@
 //! coordinates, shared by BN254 G1 (over `Fq`) and G2 (over `Fq2`).
 
 use crate::field_codec::FieldCodec;
+use alloc::vec::Vec;
 use zkrownn_ff::{Field, Fr, PrimeField, SquareRootField};
 
 /// Static configuration of a short-Weierstrass curve with `a = 0`.

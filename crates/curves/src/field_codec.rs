@@ -1,6 +1,7 @@
 //! Byte encoding and sign conventions for base-field elements, used by the
 //! compressed/uncompressed point serialization.
 
+use alloc::vec::Vec;
 use zkrownn_ff::{Field, Fq, Fq2, PrimeField};
 
 /// Canonical byte encoding plus a lexicographic "sign" for a field element.

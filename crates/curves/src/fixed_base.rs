@@ -27,6 +27,8 @@
 
 use crate::curve::{Affine, Projective, SwCurveConfig};
 use crate::msm::add_affine;
+use alloc::vec;
+use alloc::vec::Vec;
 use zkrownn_ff::{BigInt256, Field, Fr, PrimeField};
 
 /// Precomputed window table for one base point.
@@ -137,32 +139,38 @@ impl<C: SwCurveConfig> FixedBaseTable<C> {
     }
 
     /// Multiplies the base by each scalar, returning affine points directly
-    /// (batch-affine accumulation, split across the machine's cores).
+    /// (batch-affine accumulation, split across the machine's cores; serial
+    /// without the `std` feature).
     pub fn mul_many(&self, scalars: &[Fr]) -> Vec<Affine<C>> {
-        self.mul_many_with_threads(
-            scalars,
-            std::thread::available_parallelism()
-                .map(|v| v.get())
-                .unwrap_or(1),
-        )
+        #[cfg(feature = "std")]
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1);
+        #[cfg(not(feature = "std"))]
+        let threads = 1;
+        self.mul_many_with_threads(scalars, threads)
     }
 
     /// [`Self::mul_many`] with an explicit worker cap (exposed for the
     /// ablation benches and for callers that already parallelize above
-    /// this kernel).
+    /// this kernel). Without the `std` feature the cap is ignored and the
+    /// kernel runs serially.
     pub fn mul_many_with_threads(&self, scalars: &[Fr], threads: usize) -> Vec<Affine<C>> {
         let mut out = vec![Affine::identity(); scalars.len()];
         let threads = threads.max(1).min(scalars.len().max(1));
-        if threads == 1 {
+        if threads == 1 || cfg!(not(feature = "std")) {
             self.accumulate(scalars, &mut out);
             return out;
         }
-        let chunk = scalars.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move || self.accumulate(s_chunk, o_chunk));
-            }
-        });
+        #[cfg(feature = "std")]
+        {
+            let chunk = scalars.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (s_chunk, o_chunk) in scalars.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                    scope.spawn(move || self.accumulate(s_chunk, o_chunk));
+                }
+            });
+        }
         out
     }
 

@@ -24,6 +24,8 @@
 //! would be pure waste.
 
 use crate::curve::{Affine, Projective, SwCurveConfig};
+use alloc::vec;
+use alloc::vec::Vec;
 use zkrownn_ff::{BigInt256, Field, Fr, PrimeField};
 
 /// Chooses a Pippenger window size for `n` non-trivial terms.
@@ -97,27 +99,36 @@ pub fn msm_bigint_with_window<C: SwCurveConfig>(
 
     let digits = signed_digits(pairs, c, num_windows);
 
-    let threads = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .min(num_windows);
-
     let mut window_sums = vec![Projective::<C>::identity(); num_windows];
-    std::thread::scope(|scope| {
-        for (t, chunk) in window_sums
-            .chunks_mut(num_windows.div_ceil(threads))
-            .enumerate()
-        {
-            let digits = &digits;
-            let first_window = t * num_windows.div_ceil(threads);
-            scope.spawn(move || {
-                let mut scratch = WindowScratch::new(c);
-                for (i, out) in chunk.iter_mut().enumerate() {
-                    *out = window_sum(pairs, digits, first_window + i, c, &mut scratch);
-                }
-            });
+    #[cfg(feature = "std")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(num_windows);
+        std::thread::scope(|scope| {
+            for (t, chunk) in window_sums
+                .chunks_mut(num_windows.div_ceil(threads))
+                .enumerate()
+            {
+                let digits = &digits;
+                let first_window = t * num_windows.div_ceil(threads);
+                scope.spawn(move || {
+                    let mut scratch = WindowScratch::new(c);
+                    for (i, out) in chunk.iter_mut().enumerate() {
+                        *out = window_sum(pairs, digits, first_window + i, c, &mut scratch);
+                    }
+                });
+            }
+        });
+    }
+    #[cfg(not(feature = "std"))]
+    {
+        let mut scratch = WindowScratch::new(c);
+        for (i, out) in window_sums.iter_mut().enumerate() {
+            *out = window_sum(pairs, &digits, i, c, &mut scratch);
         }
-    });
+    }
 
     // total = Σ window_sums[w] · 2^(w·c), evaluated Horner-style from the
     // highest *populated* window — trailing identity windows cost nothing

@@ -9,6 +9,7 @@
 
 use crate::curve::{Affine, SwCurveConfig};
 use crate::field_codec::FieldCodec;
+use alloc::vec::Vec;
 use zkrownn_ff::{Field, SquareRootField};
 
 const FLAG_INFINITY: u8 = 1 << 7;
@@ -53,6 +54,7 @@ impl core::fmt::Display for PointDecodeError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for PointDecodeError {}
 
 /// Number of bytes in the compressed encoding of a point on `C`.

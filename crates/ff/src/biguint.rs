@@ -6,6 +6,11 @@
 //! `(p⁴ − p² + 1)/r` that validates the fast pairing path. None of this code
 //! is on a hot path, so clarity is preferred over speed.
 
+use alloc::format;
+use alloc::string::{String, ToString};
+use alloc::vec;
+use alloc::vec::Vec;
+
 /// An arbitrary-precision unsigned integer (little-endian `u64` limbs).
 #[derive(Clone, PartialEq, Eq, Debug, Default, Hash)]
 pub struct BigUint {

@@ -1,0 +1,55 @@
+//! A portable once-cell: caches derived constants under `std`, recomputes
+//! them per call under `no_std`.
+//!
+//! Several derived constants in the tower (Frobenius coefficients, the G2
+//! generator, the ate-loop NAF) are computed at runtime from the modulus
+//! and were cached in `std::sync::OnceLock` statics. `no_std` targets have
+//! no blocking primitive to guarantee single initialisation, so there
+//! [`Cached::get_or_init`] simply recomputes: every derivation in this
+//! workspace is a pure function of compile-time constants, so the result
+//! is identical on every call and the only cost is time — acceptable on
+//! the verification-only `no_std` path, invisible under `std`.
+
+#[cfg(not(feature = "std"))]
+use core::marker::PhantomData;
+
+/// A lazily derived constant. See the module docs for the `std`/`no_std`
+/// behaviour split.
+pub struct Cached<T> {
+    #[cfg(feature = "std")]
+    cell: std::sync::OnceLock<T>,
+    #[cfg(not(feature = "std"))]
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Clone> Cached<T> {
+    /// Creates an empty cache (usable in `static` items).
+    pub const fn new() -> Self {
+        Self {
+            #[cfg(feature = "std")]
+            cell: std::sync::OnceLock::new(),
+            #[cfg(not(feature = "std"))]
+            _marker: PhantomData,
+        }
+    }
+
+    /// Returns the cached value, deriving it with `f` on first use
+    /// (`std`) or on every call (`no_std`). `f` must be deterministic.
+    #[cfg(feature = "std")]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> T {
+        self.cell.get_or_init(f).clone()
+    }
+
+    /// Returns the cached value, deriving it with `f` on first use
+    /// (`std`) or on every call (`no_std`). `f` must be deterministic.
+    #[cfg(not(feature = "std"))]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> T {
+        f()
+    }
+}
+
+impl<T: Clone> Default for Cached<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

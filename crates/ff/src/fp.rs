@@ -4,7 +4,8 @@
 //! small generator hint); `R`, `R²` and `-p⁻¹ mod 2⁶⁴` are derived by
 //! `const fn` evaluation, and the 2-adic root of unity is derived at runtime.
 
-use crate::bigint::{adc, mac, mont_inv64, mont_r, mont_r2, BigInt256};
+use crate::backend::{ActiveBackend, FieldBackend};
+use crate::bigint::{mont_inv64, mont_r, mont_r2, BigInt256};
 use crate::traits::{Field, PrimeField, SquareRootField};
 use core::marker::PhantomData;
 
@@ -33,46 +34,17 @@ pub trait FpParams:
 pub struct Fp<P: FpParams>(BigInt256, PhantomData<P>);
 
 impl<P: FpParams> Fp<P> {
-    /// Montgomery reduction of a 512-bit product.
-    #[inline]
-    fn mont_reduce(mut t: [u64; 8]) -> BigInt256 {
-        let m = P::MODULUS.0;
-        let mut carry2 = 0u64;
-        for i in 0..4 {
-            let k = t[i].wrapping_mul(P::INV);
-            let (_, mut carry) = mac(t[i], k, m[0], 0);
-            for j in 1..4 {
-                let (lo, hi) = mac(t[i + j], k, m[j], carry);
-                t[i + j] = lo;
-                carry = hi;
-            }
-            let (lo, c) = adc(t[i + 4], carry, carry2);
-            t[i + 4] = lo;
-            carry2 = c;
-        }
-        debug_assert_eq!(carry2, 0, "montgomery reduction overflow");
-        let mut r = BigInt256([t[4], t[5], t[6], t[7]]);
-        if r.const_cmp(&P::MODULUS) >= 0 {
-            r = r.sub_with_borrow(&P::MODULUS).0;
-        }
-        r
-    }
-
+    /// Montgomery multiplication via the compile-time-selected
+    /// [`FieldBackend`] (see [`crate::backend`] for the kernel menu).
     #[inline]
     fn mul_repr(a: &BigInt256, b: &BigInt256) -> BigInt256 {
-        // Interleaved (CIOS) multiplication was tried here and measured
-        // *slower* than schoolbook + separate reduction with the u128-mac
-        // primitives — the per-iteration `k` dependency serializes what the
-        // wide product pipelines freely.
-        Self::mont_reduce(a.mul_wide(b))
+        ActiveBackend::mul_reduce::<P>(a, b)
     }
 
-    /// Montgomery squaring via the dedicated wide squaring (off-diagonal
-    /// products computed once and doubled — ~10 word multiplications
-    /// instead of 16) followed by the shared reduction.
+    /// Montgomery squaring via the selected backend.
     #[inline]
     fn square_repr(a: &BigInt256) -> BigInt256 {
-        Self::mont_reduce(a.square_wide())
+        ActiveBackend::square_reduce::<P>(a)
     }
 
     /// Returns the canonical (non-Montgomery) representation.
@@ -80,7 +52,7 @@ impl<P: FpParams> Fp<P> {
     fn to_canonical(self) -> BigInt256 {
         let mut t = [0u64; 8];
         t[..4].copy_from_slice(&(self.0).0);
-        Self::mont_reduce(t)
+        ActiveBackend::reduce_wide::<P>(t)
     }
 
     /// Number of bits in the modulus.

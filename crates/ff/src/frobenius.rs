@@ -11,11 +11,11 @@
 //!   pairing Miller loop.
 
 use crate::biguint::BigUint;
+use crate::cache::Cached;
 use crate::fp::FpParams;
 use crate::fq::FqParams;
 use crate::fq2::Fq2;
 use crate::traits::Field;
-use std::sync::OnceLock;
 
 /// Returns `(q − 1)/k` as fixed limbs. Panics if `k` does not divide `q − 1`.
 fn q_minus_1_over(k: u64) -> [u64; 4] {
@@ -27,20 +27,20 @@ fn q_minus_1_over(k: u64) -> [u64; 4] {
 
 /// `ξ^((q−1)/3)`.
 pub fn fq6_c1() -> Fq2 {
-    static C: OnceLock<Fq2> = OnceLock::new();
-    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(3)))
+    static C: Cached<Fq2> = Cached::new();
+    C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(3)))
 }
 
 /// `ξ^(2(q−1)/3)`.
 pub fn fq6_c2() -> Fq2 {
-    static C: OnceLock<Fq2> = OnceLock::new();
-    *C.get_or_init(|| fq6_c1().square())
+    static C: Cached<Fq2> = Cached::new();
+    C.get_or_init(|| fq6_c1().square())
 }
 
 /// `ξ^((q−1)/6)`.
 pub fn fq12_c1() -> Fq2 {
-    static C: OnceLock<Fq2> = OnceLock::new();
-    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(6)))
+    static C: Cached<Fq2> = Cached::new();
+    C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(6)))
 }
 
 /// `ξ^((q−1)/3)` — x-coordinate coefficient of the G2 Frobenius.
@@ -50,8 +50,8 @@ pub fn twist_mul_by_q_x() -> Fq2 {
 
 /// `ξ^((q−1)/2)` — y-coordinate coefficient of the G2 Frobenius.
 pub fn twist_mul_by_q_y() -> Fq2 {
-    static C: OnceLock<Fq2> = OnceLock::new();
-    *C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(2)))
+    static C: Cached<Fq2> = Cached::new();
+    C.get_or_init(|| Fq2::xi().pow(&q_minus_1_over(2)))
 }
 
 #[cfg(test)]

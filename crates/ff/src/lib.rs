@@ -19,9 +19,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
 
+extern crate alloc;
+
+pub mod backend;
 pub mod bigint;
 pub mod biguint;
+pub mod cache;
 pub mod fp;
 pub mod fq;
 pub mod fq12;
@@ -31,8 +36,10 @@ pub mod fr;
 pub mod frobenius;
 pub mod traits;
 
+pub use backend::{ActiveBackend, FieldBackend, SchoolbookBackend, UnrolledBackend};
 pub use bigint::BigInt256;
 pub use biguint::BigUint;
+pub use cache::Cached;
 pub use fp::{Fp, FpParams};
 pub use fq::{Fq, FqParams};
 pub use fq12::Fq12;

@@ -2,6 +2,7 @@
 //! extension tower.
 
 use crate::bigint::BigInt256;
+use alloc::vec::Vec;
 use core::fmt::{Debug, Display};
 use core::hash::Hash;
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};

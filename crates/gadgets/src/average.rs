@@ -4,6 +4,7 @@
 
 use crate::cmp::div_by_const;
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::Fr;
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

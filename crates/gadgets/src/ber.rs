@@ -7,6 +7,7 @@
 use crate::bits::Bit;
 use crate::cmp::is_negative;
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::{Field, Fr};
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

@@ -12,6 +12,7 @@
 //! closures that setup-mode drivers never evaluate.
 
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::{Field, Fr, PrimeField};
 use zkrownn_r1cs::{assignment, ConstraintSystem, LinearCombination, SynthesisError};
 

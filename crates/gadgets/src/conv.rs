@@ -7,6 +7,7 @@
 //! convolution), configurable stride.
 
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::Fr;
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

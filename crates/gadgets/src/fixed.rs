@@ -55,14 +55,22 @@ impl FixedConfig {
 }
 
 /// `⌊x·2^f⌉` with round-half-away-from-zero.
+///
+/// Uses an integer power of two and cast-truncation so it stays available
+/// without `std` (no `f64::powi`/`round`, which live in the platform math
+/// library).
 pub fn encode_fixed(x: f64, frac_bits: u32) -> i128 {
-    let scaled = x * (2f64.powi(frac_bits as i32));
-    scaled.round() as i128
+    let scaled = x * ((1u128 << frac_bits) as f64);
+    if scaled >= 0.0 {
+        (scaled + 0.5) as i128
+    } else {
+        (scaled - 0.5) as i128
+    }
 }
 
 /// `v / 2^f` as `f64`.
 pub fn decode_fixed(v: i128, frac_bits: u32) -> f64 {
-    (v as f64) / 2f64.powi(frac_bits as i32)
+    (v as f64) / ((1u128 << frac_bits) as f64)
 }
 
 /// Floor division by a power of two on signed integers (arithmetic shift),

@@ -4,6 +4,8 @@
 //! constraint; sums are free linear combinations.
 
 use crate::num::Num;
+use alloc::vec;
+use alloc::vec::Vec;
 use zkrownn_ff::Fr;
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

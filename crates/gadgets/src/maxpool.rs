@@ -8,6 +8,7 @@
 
 use crate::cmp::is_negative;
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::Fr;
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

@@ -15,6 +15,7 @@
 use crate::cmp::truncate;
 use crate::fixed::{encode_fixed, floor_div_pow2, FixedConfig};
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::{Fr, PrimeField};
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 
@@ -107,6 +108,8 @@ pub fn sigmoid_poly_f64(x: f64) -> f64 {
 }
 
 /// The true sigmoid, for approximation-error measurements.
+/// (`std`-only: `f64::exp` needs the platform math library.)
+#[cfg(feature = "std")]
 pub fn sigmoid_exact_f64(x: f64) -> f64 {
     1.0 / (1.0 + (-x).exp())
 }

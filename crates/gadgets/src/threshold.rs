@@ -6,6 +6,7 @@
 use crate::bits::Bit;
 use crate::cmp::is_negative;
 use crate::num::Num;
+use alloc::vec::Vec;
 use zkrownn_ff::Fr;
 use zkrownn_r1cs::{ConstraintSystem, SynthesisError};
 

@@ -5,6 +5,7 @@
 //! the number of public inputs, and the proving key grows linearly in the
 //! number of variables/constraints.
 
+use alloc::vec::Vec;
 use zkrownn_curves::serialize as ser;
 use zkrownn_curves::{G1Affine, G1Config, G2Affine, G2Config, PointDecodeError};
 use zkrownn_ff::Fq12;
@@ -57,6 +58,7 @@ impl core::fmt::Display for DecodeError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for DecodeError {}
 
 /// Maps a point-decode failure at the given byte offset into a

@@ -46,19 +46,27 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
 
 pub mod keys;
+#[cfg(feature = "std")]
 pub mod prover;
+#[cfg(feature = "std")]
 pub mod qap;
+#[cfg(feature = "std")]
 pub mod setup;
 pub mod verifier;
 
 pub use keys::{DecodeError, PreparedVerifyingKey, Proof, ProvingKey, VerifyingKey};
+#[cfg(feature = "std")]
 pub use prover::{
     assemble_proof, create_proof, create_proof_from_cs, create_proof_timed,
     create_proof_with_context, create_proof_with_context_and_randomness,
     create_proof_with_randomness, ProofSums, ProverContext, ProverTimings,
 };
+#[cfg(feature = "std")]
 pub use setup::{
     generate_parameters, generate_parameters_from_matrices, generate_parameters_from_matrices_with,
     generate_parameters_with, KeyConstants, KeyFamily, KeySink, SetupContext, SetupTimings,

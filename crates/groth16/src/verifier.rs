@@ -6,6 +6,7 @@
 //! verifiers execute.
 
 use crate::keys::{PreparedVerifyingKey, Proof, VerifyingKey};
+use alloc::vec::Vec;
 use zkrownn_curves::msm::msm;
 use zkrownn_curves::G1Projective;
 use zkrownn_ff::Fr;
@@ -36,6 +37,7 @@ impl core::fmt::Display for VerificationError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for VerificationError {}
 
 /// Folds a public-input vector into the instance commitment

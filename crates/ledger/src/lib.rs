@@ -58,7 +58,7 @@
 //!     .expect("the pair is in the committed registry");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accumulator;
 pub mod registry;

@@ -276,6 +276,29 @@ impl From<WireError> for LedgerError {
 /// `leaf_bytes` the raw leaf encoding the caller cares about (64 bytes
 /// for registry leaves — see [`LedgerLeaf::to_bytes`]), `proof_bytes` a
 /// [`MembershipProof`] artifact.
+///
+/// ```
+/// use zkrownn::{Artifact, CircuitId};
+/// use zkrownn_ledger::{verify_membership, Ledger, LedgerLeaf, LedgerRoot, MembershipProof};
+///
+/// let leaf = LedgerLeaf {
+///     circuit_id: CircuitId::from_bytes([7; 32]),
+///     statement_digest: [9; 32],
+/// };
+/// let mut ledger = Ledger::new();
+/// let index = ledger.append(&leaf.to_bytes());
+/// let root = LedgerRoot { size: ledger.size(), root: ledger.root() };
+/// let proof = MembershipProof {
+///     index,
+///     size: ledger.size(),
+///     path: ledger.prove_membership(index).unwrap(),
+/// };
+/// verify_membership(&root.to_bytes(), &leaf.to_bytes(), &proof.to_bytes()).unwrap();
+///
+/// // a different leaf is *not* under this root
+/// let other = LedgerLeaf { circuit_id: CircuitId::from_bytes([8; 32]), statement_digest: [9; 32] };
+/// assert!(verify_membership(&root.to_bytes(), &other.to_bytes(), &proof.to_bytes()).is_err());
+/// ```
 pub fn verify_membership(
     root_bytes: &[u8],
     leaf_bytes: &[u8],

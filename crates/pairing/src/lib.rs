@@ -27,8 +27,11 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
 
-use std::sync::OnceLock;
+extern crate alloc;
+
+use alloc::vec::Vec;
 use zkrownn_curves::{G1Affine, G2Affine, G2Config, SwCurveConfig};
 use zkrownn_ff::{frobenius, Field, Fq, Fq12, Fq2};
 
@@ -38,29 +41,51 @@ pub const BN_X: u64 = 4_965_661_367_192_848_881;
 /// The (positive) ate loop count `6x + 2`.
 pub const ATE_LOOP_COUNT: u128 = 6 * BN_X as u128 + 2;
 
+/// Digit count of [`ATE_NAF`] (the NAF of `6x + 2` is one digit longer
+/// than its binary expansion at most; this walks the same recoding loop).
+const ATE_NAF_LEN: usize = {
+    let mut n = ATE_LOOP_COUNT;
+    let mut len = 0;
+    while n > 0 {
+        if n & 1 == 1 {
+            if n & 3 == 3 {
+                n += 1;
+            } else {
+                n -= 1;
+            }
+        }
+        len += 1;
+        n >>= 1;
+    }
+    len
+};
+
+/// Non-adjacent form of the ate loop count, least-significant digit first,
+/// recoded at compile time (no runtime cache, so it stays `no_std`).
+static ATE_NAF: [i8; ATE_NAF_LEN] = {
+    let mut out = [0i8; ATE_NAF_LEN];
+    let mut n = ATE_LOOP_COUNT;
+    let mut i = 0;
+    while n > 0 {
+        if n & 1 == 1 {
+            if n & 3 == 3 {
+                out[i] = -1;
+                n += 1;
+            } else {
+                out[i] = 1;
+                n -= 1;
+            }
+        }
+        i += 1;
+        n >>= 1;
+    }
+    assert!(out[ATE_NAF_LEN - 1] == 1);
+    out
+};
+
 /// Non-adjacent form of the ate loop count, least-significant digit first.
 fn ate_naf() -> &'static [i8] {
-    static NAF: OnceLock<Vec<i8>> = OnceLock::new();
-    NAF.get_or_init(|| {
-        let mut n = ATE_LOOP_COUNT;
-        let mut out = Vec::new();
-        while n > 0 {
-            if n & 1 == 1 {
-                let d: i8 = if n & 3 == 3 { -1 } else { 1 };
-                out.push(d);
-                if d == 1 {
-                    n -= 1;
-                } else {
-                    n += 1;
-                }
-            } else {
-                out.push(0);
-            }
-            n >>= 1;
-        }
-        debug_assert_eq!(*out.last().unwrap(), 1);
-        out
-    })
+    &ATE_NAF
 }
 
 /// One line-function evaluation, as three `Fq2` coefficients.

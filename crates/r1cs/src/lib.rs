@@ -75,9 +75,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
 
-use std::collections::BTreeMap;
-use std::collections::HashMap;
+extern crate alloc;
+
+use alloc::collections::BTreeMap;
+use alloc::format;
+use alloc::string::String;
+use alloc::vec;
+use alloc::vec::Vec;
 use zkrownn_ff::PrimeField;
 
 /// A variable in the constraint system.
@@ -283,6 +289,7 @@ impl core::fmt::Display for SynthesisError {
     }
 }
 
+#[cfg(feature = "std")]
 impl std::error::Error for SynthesisError {}
 
 /// Lifts an optional assignment into a closure-friendly `Result`: the
@@ -599,7 +606,7 @@ pub struct ProvingSynthesizer<F: PrimeField> {
     constraints: Vec<Constraint<F>>,
     /// Interned namespace paths; `paths[0]` is the root `""`.
     paths: Vec<String>,
-    path_ids: HashMap<String, u32>,
+    path_ids: BTreeMap<String, u32>,
     stack: Vec<usize>, // segment lengths, to truncate `current` on pop
     current: String,
     current_id: u32,
@@ -614,7 +621,7 @@ impl<F: PrimeField> ProvingSynthesizer<F> {
             witness: Vec::new(),
             constraints: Vec::new(),
             paths: vec![String::new()],
-            path_ids: HashMap::from([(String::new(), 0)]),
+            path_ids: BTreeMap::from([(String::new(), 0)]),
             stack: Vec::new(),
             current: String::new(),
             current_id: 0,
@@ -788,7 +795,7 @@ pub struct CountingSynthesizer<F: PrimeField> {
     /// Interned namespace paths; `paths[0]` is the root `""`. Counting is
     /// by path *id*, so per-event cost is an array index, not a clone.
     paths: Vec<String>,
-    path_ids: HashMap<String, u32>,
+    path_ids: BTreeMap<String, u32>,
     counts: Vec<NamespaceCount>,
     stack: Vec<usize>, // segment lengths, to truncate `current` on pop
     current: String,
@@ -804,7 +811,7 @@ impl<F: PrimeField> CountingSynthesizer<F> {
             num_witness: 0,
             num_constraints: 0,
             paths: vec![String::new()],
-            path_ids: HashMap::from([(String::new(), 0)]),
+            path_ids: BTreeMap::from([(String::new(), 0)]),
             counts: vec![NamespaceCount::default()],
             stack: Vec::new(),
             current: String::new(),

@@ -37,10 +37,7 @@ use zkrownn_curves::PointDecodeError;
 
 /// The envelope magic, shared with the core artifact format.
 pub const MAGIC: [u8; 4] = *b"ZKRW";
-/// The envelope kind tag of a store file (`ArtifactKind::KeyStore`).
-pub const STORE_KIND: u8 = 9;
-/// Store format version this crate writes and understands.
-pub const STORE_VERSION: u16 = 1;
+pub use crate::{STORE_KIND, STORE_VERSION};
 /// Fixed header length in bytes.
 pub const HEADER_LEN: u64 = 32;
 /// Segment-table entry length in bytes.

@@ -87,22 +87,37 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
 
+#[cfg(feature = "std")]
 pub mod atomic;
+#[cfg(feature = "std")]
 pub mod format;
+#[cfg(feature = "std")]
 pub mod keystore;
+#[cfg(feature = "std")]
 pub mod map;
+#[cfg(feature = "std")]
 pub mod prover;
 pub mod sha;
 
+#[cfg(feature = "std")]
 pub use atomic::{fsync_parent_dir, temp_path, write_file_atomic};
-pub use format::{
-    SegmentEntry, StoreError, StoreFile, StoreMedium, StoreWriter, STORE_KIND, STORE_VERSION,
-};
+#[cfg(feature = "std")]
+pub use format::{SegmentEntry, StoreError, StoreFile, StoreMedium, StoreWriter};
+
+/// The envelope kind tag of a store file (`ArtifactKind::KeyStore`).
+pub const STORE_KIND: u8 = 9;
+/// Store format version this crate writes and understands.
+pub const STORE_VERSION: u16 = 1;
+#[cfg(feature = "std")]
 pub use keystore::{
     family_kind, segment_kind, write_proving_key, KeyStore, KeyStoreWriter, StoreMeta,
 };
+#[cfg(feature = "std")]
 pub use map::ReadAt;
+#[cfg(feature = "std")]
 pub use map::StoreBackend;
+#[cfg(feature = "std")]
 pub use prover::{create_proof_streamed, create_proof_streamed_rng, create_proof_streamed_timed};
 pub use sha::{sha256, Sha256};

@@ -1,0 +1,231 @@
+//! # zkrownn-verifier — the portable claim verifier
+//!
+//! One function from raw artifact bytes to a verdict: [`zkrownn_verify`]
+//! decodes a verifying key, an ownership statement and a signed claim from
+//! their `ZKRW` envelopes and runs the full ZKROWNN verification — circuit
+//! identity, statement binding, the Groth16 pairing equation, and the
+//! verdict gate.
+//!
+//! This crate is a thin façade over the verification spine
+//! (`zkrownn-ff` → `zkrownn-curves` → `zkrownn-pairing` →
+//! `zkrownn-groth16` → `zkrownn::verify`), compiled `no_std + alloc`: it
+//! builds unchanged for `wasm32-unknown-unknown` and embedded targets (the
+//! CI wasm lane checks exactly that), so a browser, an enclave or a smart
+//! contract host can check ownership claims without trusting a server.
+//!
+//! Every failure is a typed [`VerifyError`]; no input — truncated,
+//! bit-flipped, or hostile — panics (see `tests/decode_taxonomy.rs`).
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use zkrownn::{Artifact, Authority, ExtractionSpec, QuantLayer, QuantizedModel};
+//! use zkrownn_gadgets::FixedConfig;
+//! use zkrownn_verifier::{zkrownn_verify, VerifyError};
+//!
+//! // a (tiny) disputed model, its watermark witness, and a signed claim
+//! let cfg = FixedConfig::default();
+//! let model = QuantizedModel {
+//!     layers: vec![
+//!         QuantLayer::Dense { in_dim: 2, out_dim: 2, w: vec![cfg.encode(0.5); 4], b: vec![0; 2] },
+//!         QuantLayer::ReLU,
+//!     ],
+//!     input_len: 2,
+//!     cfg,
+//! };
+//! let spec = ExtractionSpec {
+//!     model,
+//!     triggers: vec![vec![cfg.encode(1.0); 2]],
+//!     projection: vec![cfg.encode(0.25); 4],
+//!     signature: vec![true, false],
+//!     max_errors: 2,
+//!     fold_average: false,
+//!     cfg,
+//! };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let (prover, verifier) = Authority::setup(&spec, &mut rng);
+//! let claim = prover.prove(&mut rng).unwrap();
+//!
+//! let vk_bytes = Artifact::to_bytes(verifier.verifying_key());
+//! let statement_bytes = Artifact::to_bytes(&spec.statement());
+//! let claim_bytes = Artifact::to_bytes(&claim);
+//!
+//! let verdict = zkrownn_verify(&vk_bytes, &statement_bytes, &claim_bytes).unwrap();
+//! assert!(verdict.ownership_established());
+//!
+//! // flip one proof byte → typed rejection, never a panic
+//! let mut bad = claim_bytes.clone();
+//! let n = bad.len();
+//! bad[n - 40] ^= 0x01;
+//! assert!(matches!(
+//!     zkrownn_verify(&vk_bytes, &statement_bytes, &bad),
+//!     Err(VerifyError::Claim(_)) | Err(VerifyError::InvalidProof)
+//! ));
+//! ```
+
+#![deny(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
+
+use zkrownn::artifact::{Artifact, CircuitId, OwnershipStatement, WireError};
+use zkrownn::error::ZkrownnError;
+use zkrownn::verify::{SignedClaim, VerifierKit};
+use zkrownn_groth16::VerifyingKey;
+
+/// Why [`zkrownn_verify`] rejected its inputs.
+///
+/// The three decode variants name which *input* failed and carry the exact
+/// byte-level cause ([`WireError`]: truncation, bad magic, wrong kind tag,
+/// checksum mismatch, invalid curve point, …). The remaining variants are
+/// semantic rejections of well-formed inputs, in the order the checks run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The verifying-key bytes failed to decode.
+    VerifyingKey(WireError),
+    /// The ownership-statement bytes failed to decode.
+    Statement(WireError),
+    /// The signed-claim bytes failed to decode.
+    Claim(WireError),
+    /// The claim is about a different statement than the one supplied —
+    /// the proof may be sound, but it concerns another model.
+    StatementMismatch,
+    /// The claim's proof names a different circuit than the statement's
+    /// shape synthesizes to.
+    CircuitMismatch {
+        /// The circuit id derived from the supplied statement.
+        expected: CircuitId,
+        /// The circuit id the claim actually names.
+        got: CircuitId,
+    },
+    /// The Groth16 pairing equation does not hold: the proof is forged,
+    /// tampered with, or bound to different public inputs.
+    InvalidProof,
+    /// The proof is *cryptographically valid* but attests verdict 0: the
+    /// watermark was **not** recovered within the BER threshold. Distinct
+    /// from [`VerifyError::InvalidProof`] so a dispute can tell "forged
+    /// claim" from "watermark genuinely absent".
+    NegativeVerdict,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::VerifyingKey(e) => write!(f, "verifying key failed to decode: {e}"),
+            Self::Statement(e) => write!(f, "ownership statement failed to decode: {e}"),
+            Self::Claim(e) => write!(f, "signed claim failed to decode: {e}"),
+            Self::StatementMismatch => {
+                write!(f, "claim is about a different statement than supplied")
+            }
+            Self::CircuitMismatch { expected, got } => write!(
+                f,
+                "circuit mismatch: statement synthesizes to {}, claim names {}",
+                expected.short(),
+                got.short()
+            ),
+            Self::InvalidProof => write!(f, "pairing check failed: proof is not valid"),
+            Self::NegativeVerdict => write!(
+                f,
+                "proof is valid but attests a negative verdict (watermark not recovered)"
+            ),
+        }
+    }
+}
+
+#[cfg(feature = "std")]
+impl std::error::Error for VerifyError {}
+
+impl VerifyError {
+    /// `true` when the input *bytes* were malformed (as opposed to a
+    /// well-formed claim that failed a semantic or cryptographic check).
+    pub fn is_decode_error(&self) -> bool {
+        matches!(
+            self,
+            Self::VerifyingKey(_) | Self::Statement(_) | Self::Claim(_)
+        )
+    }
+}
+
+/// The outcome of a successful verification.
+///
+/// Constructed only by [`zkrownn_verify`], and only after every check has
+/// passed — holding a `Verdict` *is* the attestation that the claim's
+/// proof is valid, bound to the supplied statement, and attests ownership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    circuit_id: CircuitId,
+    statement_digest: [u8; 32],
+}
+
+impl Verdict {
+    /// Always `true`: [`zkrownn_verify`] returns `Err` for every failed
+    /// check, including a valid proof of a *negative* extraction verdict
+    /// ([`VerifyError::NegativeVerdict`]). Present so call sites read as a
+    /// decision rather than a unit value.
+    pub fn ownership_established(&self) -> bool {
+        true
+    }
+
+    /// The circuit the verified claim was proven against (derived from the
+    /// supplied statement's shape, and matched against the claim).
+    pub fn circuit_id(&self) -> CircuitId {
+        self.circuit_id
+    }
+
+    /// Content digest of the statement the claim was verified against.
+    pub fn statement_digest(&self) -> [u8; 32] {
+        self.statement_digest
+    }
+}
+
+/// Verifies a ZKROWNN ownership claim from raw artifact bytes.
+///
+/// Takes the three public artifacts of a dispute, each in its `ZKRW`
+/// envelope:
+///
+/// * `vk_bytes` — the Groth16 [`VerifyingKey`] published by the setup
+///   authority (kind tag 3);
+/// * `statement_bytes` — the [`OwnershipStatement`] describing the model
+///   under dispute (kind tag 1);
+/// * `claim_bytes` — the claimant's [`SignedClaim`] (kind tag 5).
+///
+/// Checks, in order: all three envelopes decode (magic, kind, version,
+/// length, checksum, then payload — including curve-point subgroup
+/// checks); the claim is about the supplied statement; the claim's proof
+/// names the statement's circuit (re-derived here by a witness-free shape
+/// synthesis, so the caller need not trust the claim's self-description);
+/// the pairing equation holds; and the attested verdict is positive.
+///
+/// Never panics on any input. The error pins down exactly which input and
+/// which check failed.
+pub fn zkrownn_verify(
+    vk_bytes: &[u8],
+    statement_bytes: &[u8],
+    claim_bytes: &[u8],
+) -> Result<Verdict, VerifyError> {
+    let vk: VerifyingKey = Artifact::from_bytes(vk_bytes).map_err(VerifyError::VerifyingKey)?;
+    let statement: OwnershipStatement =
+        Artifact::from_bytes(statement_bytes).map_err(VerifyError::Statement)?;
+    let claim: SignedClaim = Artifact::from_bytes(claim_bytes).map_err(VerifyError::Claim)?;
+
+    // The statement is the verifier's trust anchor: its shape synthesis
+    // yields the circuit id the claim must match, and its content digest
+    // pins the claim to this exact model.
+    let circuit_id = statement.circuit_id();
+    let statement_digest = statement.content_digest();
+    let kit = VerifierKit::from_parts(vk, circuit_id).bind_statement(statement_digest);
+
+    match kit.verify(&claim) {
+        Ok(()) => Ok(Verdict {
+            circuit_id,
+            statement_digest,
+        }),
+        Err(ZkrownnError::StatementMismatch) => Err(VerifyError::StatementMismatch),
+        Err(ZkrownnError::CircuitMismatch { expected, got }) => {
+            Err(VerifyError::CircuitMismatch { expected, got })
+        }
+        Err(ZkrownnError::NegativeVerdict) => Err(VerifyError::NegativeVerdict),
+        // InvalidProof, plus any other rejection of a decoded claim:
+        // cryptographic failure is the safe summary.
+        Err(_) => Err(VerifyError::InvalidProof),
+    }
+}

@@ -1,0 +1,222 @@
+//! Byte-level decode-error taxonomy at the `zkrownn_verify` entry point.
+//!
+//! The verifier is the one component that must face *hostile* bytes: a
+//! claimant controls every input it sees. These tests drive every
+//! truncation and every single-byte flip of all three inputs through the
+//! public entry point and require a typed [`VerifyError`] — never a panic,
+//! and never a verdict. They mirror the envelope-level suite in
+//! `tests/artifact_wire.rs`, one layer up.
+
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use zkrownn::artifact::WireError;
+use zkrownn::{Artifact, ArtifactKind, Authority, ExtractionSpec, QuantLayer, QuantizedModel};
+use zkrownn_gadgets::FixedConfig;
+use zkrownn_verifier::{zkrownn_verify, VerifyError};
+
+/// The three wire inputs of a valid, verifiable dispute, built once: setup
+/// and proving dominate this suite's runtime and every test reuses them.
+fn fixture() -> &'static (Vec<u8>, Vec<u8>, Vec<u8>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<u8>, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = fixture_spec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1729);
+        let (prover, verifier) = Authority::setup(&spec, &mut rng);
+        let claim = prover.prove(&mut rng).expect("honest spec proves");
+        (
+            Artifact::to_bytes(verifier.verifying_key()),
+            Artifact::to_bytes(&spec.statement()),
+            Artifact::to_bytes(&claim),
+        )
+    })
+}
+
+fn fixture_spec() -> ExtractionSpec {
+    let cfg = FixedConfig::default();
+    ExtractionSpec {
+        model: QuantizedModel {
+            layers: vec![
+                QuantLayer::Dense {
+                    in_dim: 2,
+                    out_dim: 2,
+                    w: vec![cfg.encode(0.5); 4],
+                    b: vec![0; 2],
+                },
+                QuantLayer::ReLU,
+            ],
+            input_len: 2,
+            cfg,
+        },
+        triggers: vec![vec![cfg.encode(1.0); 2]],
+        projection: vec![cfg.encode(0.25); 4],
+        signature: vec![true, false],
+        max_errors: 2,
+        fold_average: false,
+        cfg,
+    }
+}
+
+#[test]
+fn the_fixture_verifies() {
+    let (vk, stmt, claim) = fixture();
+    let verdict = zkrownn_verify(vk, stmt, claim).expect("untampered inputs verify");
+    assert!(verdict.ownership_established());
+}
+
+/// Every truncation of every input is a typed decode error naming that
+/// input — no panic, no verdict, and no misattribution to another input.
+#[test]
+fn every_truncation_of_every_input_is_typed() {
+    let (vk, stmt, claim) = fixture();
+    for len in 0..vk.len() {
+        match zkrownn_verify(&vk[..len], stmt, claim) {
+            Err(VerifyError::VerifyingKey(_)) => {}
+            other => panic!("vk truncated to {len}: expected decode error, got {other:?}"),
+        }
+    }
+    for len in 0..stmt.len() {
+        match zkrownn_verify(vk, &stmt[..len], claim) {
+            Err(VerifyError::Statement(_)) => {}
+            other => panic!("statement truncated to {len}: expected decode error, got {other:?}"),
+        }
+    }
+    for len in 0..claim.len() {
+        match zkrownn_verify(vk, stmt, &claim[..len]) {
+            Err(VerifyError::Claim(_)) => {}
+            other => panic!("claim truncated to {len}: expected decode error, got {other:?}"),
+        }
+    }
+}
+
+/// Flips one byte at every offset (low bit and high bit) of one input and
+/// asserts the result is always an `Err` — a corrupted artifact must never
+/// produce a verdict, whether the corruption is caught at decode or at the
+/// pairing equation.
+fn assert_every_flip_rejected(which: &str, verify: impl Fn(&[u8]) -> Result<(), VerifyError>) {
+    let (vk, stmt, claim) = fixture();
+    let wire = match which {
+        "vk" => vk,
+        "stmt" => stmt,
+        _ => claim,
+    };
+    for i in 0..wire.len() {
+        for flip in [0x01u8, 0x80] {
+            let mut corrupt = wire.clone();
+            corrupt[i] ^= flip;
+            if verify(&corrupt).is_ok() {
+                panic!("{which} byte {i} flip {flip:#04x} still verified");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_byte_flip_in_the_verifying_key_is_rejected() {
+    let (_, stmt, claim) = fixture();
+    assert_every_flip_rejected("vk", |bytes| zkrownn_verify(bytes, stmt, claim).map(drop));
+}
+
+#[test]
+fn every_byte_flip_in_the_statement_is_rejected() {
+    let (vk, _, claim) = fixture();
+    assert_every_flip_rejected("stmt", |bytes| zkrownn_verify(vk, bytes, claim).map(drop));
+}
+
+#[test]
+fn every_byte_flip_in_the_claim_is_rejected() {
+    let (vk, stmt, _) = fixture();
+    assert_every_flip_rejected("claim", |bytes| zkrownn_verify(vk, stmt, bytes).map(drop));
+}
+
+/// The decode variants carry the envelope-level cause, so a caller can
+/// distinguish "not even an artifact" from "tampered artifact" per input.
+#[test]
+fn decode_errors_carry_the_envelope_cause() {
+    let (vk, stmt, claim) = fixture();
+
+    // truncation below the envelope minimum
+    assert!(matches!(
+        zkrownn_verify(&vk[..10], stmt, claim),
+        Err(VerifyError::VerifyingKey(WireError::Truncated { .. }))
+    ));
+
+    // bad magic
+    let mut bad = stmt.clone();
+    bad[0] = b'X';
+    assert!(matches!(
+        zkrownn_verify(vk, &bad, claim),
+        Err(VerifyError::Statement(WireError::BadMagic(_)))
+    ));
+
+    // swapped inputs are a *kind* error on the position they were passed in
+    assert_eq!(
+        zkrownn_verify(claim, stmt, claim),
+        Err(VerifyError::VerifyingKey(WireError::WrongKind {
+            expected: ArtifactKind::VerifyingKey,
+            got: ArtifactKind::Claim,
+        }))
+    );
+    assert_eq!(
+        zkrownn_verify(vk, stmt, vk),
+        Err(VerifyError::Claim(WireError::WrongKind {
+            expected: ArtifactKind::Claim,
+            got: ArtifactKind::VerifyingKey,
+        }))
+    );
+
+    // corrupted payload trips the checksum
+    let mut corrupt = claim.clone();
+    let mid = claim.len() / 2;
+    corrupt[mid] ^= 0xff;
+    assert_eq!(
+        zkrownn_verify(vk, stmt, &corrupt),
+        Err(VerifyError::Claim(WireError::ChecksumMismatch))
+    );
+
+    // decode errors self-identify against semantic rejections
+    assert!(zkrownn_verify(&vk[..10], stmt, claim)
+        .unwrap_err()
+        .is_decode_error());
+}
+
+/// Semantic rejections of well-formed inputs: each check in the documented
+/// order maps to its own variant.
+#[test]
+fn semantic_rejections_are_typed() {
+    let (vk, stmt, claim) = fixture();
+
+    // a different (same-shape) model under dispute → statement mismatch
+    let mut other_spec = fixture_spec();
+    if let QuantLayer::Dense { w, .. } = &mut other_spec.model.layers[0] {
+        w[0] += 1;
+    }
+    let other_stmt = Artifact::to_bytes(&other_spec.statement());
+    assert_eq!(
+        zkrownn_verify(vk, &other_stmt, claim),
+        Err(VerifyError::StatementMismatch)
+    );
+
+    // same statement, but the claim's proof names another circuit
+    let mut renamed = zkrownn::SignedClaim::from_bytes(claim).unwrap();
+    let other_id = other_spec.statement().circuit_id();
+    let expected_id = fixture_spec().statement().circuit_id();
+    assert_eq!(other_id, expected_id, "same shape, same circuit");
+    let forged_id = zkrownn::CircuitId::from_bytes([0xAB; 32]);
+    renamed.proof.circuit_id = forged_id;
+    assert_eq!(
+        zkrownn_verify(vk, stmt, &Artifact::to_bytes(&renamed)),
+        Err(VerifyError::CircuitMismatch {
+            expected: expected_id,
+            got: forged_id,
+        })
+    );
+
+    // flipping the attested verdict bit breaks the pairing equation (the
+    // verdict is a public input), not the envelope
+    let mut flipped = zkrownn::SignedClaim::from_bytes(claim).unwrap();
+    flipped.proof.verdict = !flipped.proof.verdict;
+    match zkrownn_verify(vk, stmt, &Artifact::to_bytes(&flipped)) {
+        Err(VerifyError::InvalidProof) | Err(VerifyError::NegativeVerdict) => {}
+        other => panic!("verdict flip: expected crypto rejection, got {other:?}"),
+    }
+}

@@ -10,8 +10,9 @@
 //! crate back in is a one-line change in the workspace manifest.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), no_std)]
 
-use std::ops::{Range, RangeInclusive};
+use core::ops::{Range, RangeInclusive};
 
 /// Core random-number-generator interface: a source of `u64`s.
 pub trait RngCore {
@@ -90,7 +91,7 @@ impl StandardSample for f64 {
 
 impl<T: StandardSample, const N: usize> StandardSample for [T; N] {
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        std::array::from_fn(|_| T::sample_standard(rng))
+        core::array::from_fn(|_| T::sample_standard(rng))
     }
 }
 
